@@ -1,0 +1,55 @@
+"""Figure 12 — search quality per task: NaLIX vs keyword search.
+
+Regenerates the per-task average precision/recall series for both
+blocks, prints them in the paper's layout, and checks the figure's
+shape claims:
+
+* NaLIX's search quality beats keyword search on (nearly) every task —
+  the paper: "consistently better";
+* keyword search collapses on the tasks needing complex manipulation
+  (sorting Q7, aggregation Q10) — the paper calls these out explicitly;
+* NaLIX's per-task averages stay in the paper's reported band
+  (precision >= ~70%, recall >= ~79% for the worst task).
+"""
+
+from repro.evaluation.metrics import harmonic_mean
+from repro.evaluation.report import StudyReport
+
+
+def test_figure12(benchmark, study_results):
+    report = StudyReport(study_results)
+    rows = benchmark(report.figure12)
+
+    print()
+    print(report.render_figure12())
+
+    wins = 0
+    for task_id, row in rows.items():
+        nalix_f = harmonic_mean(row["nalix_precision"], row["nalix_recall"])
+        keyword_f = harmonic_mean(
+            row["keyword_precision"], row["keyword_recall"]
+        )
+        if nalix_f >= keyword_f:
+            wins += 1
+        assert row["nalix_precision"] >= 0.70, (
+            f"{task_id}: paper's worst-task average precision is 70.9%"
+        )
+        assert row["nalix_recall"] >= 0.75, (
+            f"{task_id}: paper's worst-task average recall is 79.4%"
+        )
+    assert wins >= len(rows) - 1, "NaLIX should win on (nearly) every task"
+
+
+def test_figure12_keyword_fails_complex_tasks(benchmark, study_results):
+    report = StudyReport(study_results)
+    rows = benchmark(report.figure12)
+    for task_id in ("Q7", "Q10"):
+        row = rows[task_id]
+        keyword_f = harmonic_mean(
+            row["keyword_precision"], row["keyword_recall"]
+        )
+        nalix_f = harmonic_mean(row["nalix_precision"], row["nalix_recall"])
+        assert keyword_f < 0.3, (
+            f"{task_id}: keyword search should fail on sorting/aggregation"
+        )
+        assert nalix_f > 0.8

@@ -1,0 +1,61 @@
+"""Sec. 5.1's timing observation: translation and evaluation < 1 s each.
+
+"We measured the time NaLIX took for query translation and the time
+Timber took for query evaluation for each query. Both numbers were
+consistently very small (less than one second)." We benchmark the two
+stages separately over all nine tasks' correct phrasings on the DBLP
+collection and assert the sub-second claim holds per query.
+"""
+
+import pytest
+
+from repro.evaluation.tasks import TASKS
+from repro.xquery.parser import parse_xquery
+
+
+@pytest.fixture(scope="module")
+def accepted_translations(dblp_nalix):
+    translations = {}
+    for task in TASKS:
+        phrasing = task.good_phrasings()[0]
+        result = dblp_nalix.ask(phrasing.text, evaluate=False)
+        assert result.ok, f"{task.task_id}: {result.render_feedback()}"
+        translations[task.task_id] = (phrasing.text, result.xquery_text)
+    return translations
+
+
+def test_translation_under_one_second(benchmark, dblp_nalix,
+                                      accepted_translations):
+    sentences = [text for text, _ in accepted_translations.values()]
+
+    def translate_all():
+        for sentence in sentences:
+            result = dblp_nalix.ask(sentence, evaluate=False)
+            assert result.ok
+
+    benchmark(translate_all)
+    per_query = benchmark.stats.stats.mean / len(sentences)
+    print(f"\ntranslation: {per_query * 1000:.1f} ms/query")
+    assert per_query < 1.0, "paper: translation consistently < 1 s"
+
+
+def test_evaluation_under_one_second(benchmark, dblp_nalix,
+                                     accepted_translations):
+    queries = [parse_xquery(xq) for _, xq in accepted_translations.values()]
+
+    def evaluate_all():
+        for query in queries:
+            dblp_nalix.evaluator.run(query)
+
+    benchmark(evaluate_all)
+    per_query = benchmark.stats.stats.mean / len(queries)
+    print(f"\nevaluation: {per_query * 1000:.1f} ms/query")
+    assert per_query < 1.0, "paper: evaluation consistently < 1 s"
+
+
+def test_full_pipeline_latency(benchmark, dblp_nalix, accepted_translations):
+    """End-to-end ask() latency for the most complex task phrasing."""
+    sentence = accepted_translations["Q10"][0]
+    result = benchmark(dblp_nalix.ask, sentence)
+    assert result.ok
+    assert benchmark.stats.stats.mean < 2.0

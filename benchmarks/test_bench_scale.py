@@ -1,0 +1,53 @@
+"""Paper-scale data check: the 73k-node collection.
+
+The paper's data set was 1.44 MB / 73 142 nodes. ``DblpConfig.paper_scale()``
+generates a collection of comparable size; this bench verifies the
+pipeline stays interactive (the paper's sub-second translation, and
+evaluation fast enough for a user study) at that scale.
+"""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.data import DblpConfig, generate_dblp
+from repro.database.store import Database
+
+
+@pytest.fixture(scope="module")
+def paper_scale_nalix():
+    database = Database()
+    database.load_document(generate_dblp(DblpConfig.paper_scale()))
+    return NaLIX(database)
+
+
+def test_paper_scale_node_count(benchmark, paper_scale_nalix):
+    def count_nodes():
+        return paper_scale_nalix.database.node_count()
+
+    nodes = benchmark.pedantic(count_nodes, rounds=1, iterations=1)
+    # Same order of magnitude as the paper's 73 142 nodes.
+    assert 40_000 <= nodes <= 120_000
+    print(f"\npaper-scale collection: {nodes} nodes")
+
+
+def test_paper_scale_structured_query(benchmark, paper_scale_nalix):
+    result = benchmark(
+        paper_scale_nalix.ask,
+        "Return the year and title of every book published by "
+        "Addison-Wesley after 1991.",
+    )
+    assert result.ok
+    assert result.values()
+    assert benchmark.stats.stats.mean < 5.0
+
+
+def test_paper_scale_aggregation_query(benchmark, paper_scale_nalix):
+    result = benchmark.pedantic(
+        lambda: paper_scale_nalix.ask(
+            "Return the number of books published by each publisher."
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.ok
+    assert result.values()

@@ -1,0 +1,55 @@
+"""Table 7 — average precision and recall over query subsets.
+
+Regenerates the paper's Table 7: average precision/recall over (a) all
+accepted queries, (b) queries specified correctly, (c) queries specified
+and parsed correctly, with the number of queries in each subset. Prints
+the table in the paper's layout and checks the shape:
+
+* totals: 18 participants x 9 tasks = 162 queries in "all"; the subsets
+  shrink in the paper's proportions (162 -> 120 -> 112 there);
+* precision and recall improve (weakly) from row to row;
+* restricting to specified+parsed queries removes most of the error,
+  mirroring the paper's "error rate is roughly reduced by 75%".
+"""
+
+from repro.evaluation.report import StudyReport
+
+
+def test_table7(benchmark, study_results):
+    report = StudyReport(study_results)
+    table = benchmark(report.table7)
+
+    print()
+    print(report.render_table7())
+
+    all_row = table["all queries"]
+    specified = table["all queries specified correctly"]
+    parsed = table["all queries specified and parsed correctly"]
+
+    assert all_row["total_queries"] == 162
+    assert 100 <= specified["total_queries"] < 162
+    assert 90 <= parsed["total_queries"] <= specified["total_queries"]
+
+    # Weak monotonic improvement row to row (a small tolerance: the
+    # misparse injection can leave near-perfect queries in any subset).
+    assert specified["avg_precision"] >= all_row["avg_precision"] - 0.005
+    assert parsed["avg_precision"] >= specified["avg_precision"] - 0.005
+    assert specified["avg_recall"] >= all_row["avg_recall"] - 0.005
+    assert parsed["avg_recall"] >= specified["avg_recall"] - 0.005
+
+    assert all_row["avg_precision"] >= 0.80, "paper: 83.0%"
+    assert all_row["avg_recall"] >= 0.85, "paper: 90.1%"
+    assert parsed["avg_precision"] >= 0.93, "paper: 95.1%"
+    assert parsed["avg_recall"] >= 0.95, "paper: 97.6%"
+
+
+def test_table7_error_reduction(benchmark, study_results):
+    """Restricting to specified+parsed queries should remove most of the
+    imperfection (the paper reports ~75% error-rate reduction)."""
+    report = StudyReport(study_results)
+    table = benchmark(report.table7)
+    all_row = table["all queries"]
+    parsed = table["all queries specified and parsed correctly"]
+    error_all = (1 - all_row["avg_precision"]) + (1 - all_row["avg_recall"])
+    error_parsed = (1 - parsed["avg_precision"]) + (1 - parsed["avg_recall"])
+    assert error_parsed <= error_all * 0.5

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""The nine XMP study tasks against the DBLP-like collection.
+
+For each task: the elaborated description, a correct phrasing, the
+generated Schema-Free XQuery, result size, and precision/recall against
+the gold standard. Also shows the keyword-search baseline for contrast.
+
+Run with::
+
+    python examples/dblp_queries.py
+"""
+
+from repro import Database, NaLIX
+from repro.data import generate_dblp
+from repro.evaluation.metrics import harmonic_mean, precision_recall
+from repro.evaluation.tasks import TASKS
+from repro.keyword_search import KeywordSearchEngine
+
+
+def main():
+    database = Database()
+    database.load_document(generate_dblp())
+    print(database)
+
+    nalix = NaLIX(database)
+    keyword = KeywordSearchEngine(database)
+
+    for task in TASKS:
+        gold = task.gold(database)
+        phrasing = task.good_phrasings()[0]
+        print("\n" + "=" * 76)
+        print(f"{task.task_id}: {task.description}")
+        print("NL:", phrasing.text)
+        result = nalix.ask(phrasing.text)
+        if not result.ok:
+            print(result.render_feedback())
+            continue
+        print("XQuery:", result.xquery_text)
+        precision, recall = precision_recall(
+            result.distinct_items(), gold, ordered=task.ordered
+        )
+        print(
+            f"NaLIX:   {len(result.distinct_items())} items, "
+            f"P={precision:.2f} R={recall:.2f} "
+            f"F={harmonic_mean(precision, recall):.2f}"
+        )
+        kw_nodes = keyword.search(task.keyword_queries[0])
+        kw_p, kw_r = precision_recall(kw_nodes, gold, ordered=task.ordered)
+        print(
+            f"keyword: {len(kw_nodes)} items, P={kw_p:.2f} R={kw_r:.2f} "
+            f"F={harmonic_mean(kw_p, kw_r):.2f} "
+            f"(query: {task.keyword_queries[0]!r})"
+        )
+
+
+if __name__ == "__main__":
+    main()

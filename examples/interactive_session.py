@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The paper's interactive reformulation loop, scripted.
+
+Re-enacts the Sec. 4 story: the user poses the paper's Query 1, NaLIX
+rejects it with a suggestion ("as" -> "the same as"), the user rephrases
+into Query 2's form, and the query succeeds.
+
+Run with::
+
+    python examples/interactive_session.py          # scripted replay
+    python examples/interactive_session.py --repl   # type your own
+"""
+
+import sys
+
+from repro import Database, NaLIX
+from repro.data import movies_document
+
+SCRIPTED_TURNS = [
+    # The paper's Query 1 — invalid: "as ... as" is outside the grammar.
+    "Return every director who has directed as many movies as has "
+    "Ron Howard.",
+    # The rephrasing a user produces after reading the suggestion
+    # (the paper's Query 2).
+    "Return every director, where the number of movies directed by the "
+    "director is the same as the number of movies directed by Ron Howard.",
+]
+
+
+def show(result):
+    if result.ok:
+        print("  accepted.")
+        print("  XQuery:", result.xquery_text)
+        print("  answer:", sorted(set(result.values())))
+        for warning in result.warnings:
+            print("  ", warning.render())
+    else:
+        for message in result.errors:
+            print("  ", message.render())
+
+
+def main():
+    database = Database()
+    database.load_document(movies_document())
+    nalix = NaLIX(database)
+
+    if "--repl" in sys.argv:
+        print("Type an English query (empty line to quit).")
+        while True:
+            try:
+                line = input("nalix> ").strip()
+            except EOFError:
+                break
+            if not line:
+                break
+            show(nalix.ask(line))
+        return
+
+    for turn, sentence in enumerate(SCRIPTED_TURNS, start=1):
+        print(f"\nuser turn {turn}: {sentence}")
+        show(nalix.ask(sentence))
+
+
+if __name__ == "__main__":
+    main()

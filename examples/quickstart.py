@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: ask English questions against the paper's movie database.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Database, NaLIX
+from repro.data import movies_document
+
+
+def main():
+    database = Database()
+    database.load_document(movies_document())
+    print(database)
+
+    nalix = NaLIX(database)
+
+    questions = [
+        "Return the title of every movie directed by Ron Howard.",
+        "Return every director, where the number of movies directed by the "
+        "director is the same as the number of movies directed by Ron "
+        "Howard.",
+        "Return the number of movies directed by each director.",
+        "Return the title of every movie, sorted by title.",
+    ]
+
+    for question in questions:
+        print("\n" + "=" * 72)
+        print("Q:", question)
+        result = nalix.ask(question)
+        if result.ok:
+            print("XQuery:", result.xquery_text)
+            print("Answer:", result.values())
+        else:
+            print(result.render_feedback())
+
+
+if __name__ == "__main__":
+    main()

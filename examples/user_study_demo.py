@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Run a scaled-down user study and print the paper's figures.
+
+The full 18-participant study is what the benchmarks run; this example
+uses 6 participants for a quick demonstration and prints Figure 11,
+Figure 12 and Table 7 in the paper's format.
+
+Run with::
+
+    python examples/user_study_demo.py
+"""
+
+from repro.evaluation.report import StudyReport
+from repro.evaluation.study import Study, StudyConfig
+
+
+def main():
+    config = StudyConfig(participants=6, seed=42)
+    study = Study(config)
+    print(f"database: {study.database}")
+    print(f"simulating {config.participants} participants, both blocks ...")
+    results = study.run()
+    print()
+    print(StudyReport(results).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Use the Schema-Free XQuery engine directly (no natural language).
+
+Demonstrates the query language the translator targets: FLWOR with
+``mqf``, aggregates in nested lets, quantifiers and sorting — evaluated
+over the XMP ``bib.xml`` sample.
+
+Run with::
+
+    python examples/xquery_console.py           # scripted demo
+    python examples/xquery_console.py --repl    # type raw XQuery
+"""
+
+import sys
+
+from repro import Database, evaluate_query
+from repro.data import bib_document
+from repro.xquery.values import string_value
+
+DEMO_QUERIES = [
+    # Titles of Addison-Wesley books after 1991 (XMP Q1, hand-written).
+    'for $b in doc("bib.xml")//book, $t in doc("bib.xml")//title,'
+    ' $p in doc("bib.xml")//publisher, $y in doc("bib.xml")//@year'
+    ' where mqf($b, $t, $p, $y) and $p = "Addison-Wesley" and $y > 1991'
+    ' return $t',
+    # Books cheaper than average (aggregate in a let).
+    'let $prices := { for $p in doc("bib.xml")//price return $p }'
+    ' for $b in doc("bib.xml")//book, $p in doc("bib.xml")//price'
+    ' where mqf($b, $p) and $p < avg($prices)'
+    ' return $b/title',
+    # Quantifier: books where some author's last name is Stevens.
+    'for $b in doc("bib.xml")//book'
+    ' where some $a in $b//author satisfies ($a/last = "Stevens")'
+    ' return $b/title',
+    # Sorting, descending by price.
+    'for $b in doc("bib.xml")//book, $p in doc("bib.xml")//price'
+    ' where mqf($b, $p) order by $p descending return $b/title',
+]
+
+
+def render(items):
+    return [string_value(item) for item in items]
+
+
+def main():
+    database = Database()
+    database.load_document(bib_document())
+    print(database)
+
+    if "--repl" in sys.argv:
+        print("Type XQuery (empty line to quit).")
+        while True:
+            try:
+                line = input("xquery> ").strip()
+            except EOFError:
+                break
+            if not line:
+                break
+            try:
+                print(render(evaluate_query(database, line)))
+            except Exception as error:  # demo REPL: show, keep going
+                print("error:", error)
+        return
+
+    for query in DEMO_QUERIES:
+        print("\n" + "=" * 76)
+        print(query)
+        print("->", render(evaluate_query(database, query)))
+
+
+if __name__ == "__main__":
+    main()

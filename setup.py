@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy
+editable installs (``pip install -e .``) work on environments without
+the ``wheel`` package (PEP 660 editable wheels need it, ``setup.py
+develop`` does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""NaLIX reproduction: a generic natural language interface for XML databases.
+
+Reproduces Li, Yang & Jagadish, *Constructing a Generic Natural Language
+Interface for an XML Database* (EDBT 2006), together with every substrate
+the paper depends on: an XML store, a Schema-Free XQuery engine with the
+``mqf`` structural-search function, a dependency parser for query English,
+a term-expansion ontology, a keyword-search baseline, and the user-study
+evaluation harness.
+
+Quick start::
+
+    from repro import Database, NaLIX
+    from repro.data import movies_document
+
+    db = Database()
+    db.load_document(movies_document())
+    nalix = NaLIX(db)
+    result = nalix.ask("Return the director of every movie where the"
+                       " title of the movie is \"Traffic\".")
+    print(result.values())
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "NaLIX",
+    "QueryResult",
+    "QuerySession",
+    "evaluate_query",
+]
+
+
+def __getattr__(name):
+    # Lazy exports keep `import repro.xmlstore` usable without pulling in
+    # the whole stack (and avoid import cycles while the package loads).
+    if name == "Database":
+        from repro.database.store import Database
+
+        return Database
+    if name in ("NaLIX", "QueryResult"):
+        import repro.core.interface as interface
+
+        return getattr(interface, name)
+    if name == "QuerySession":
+        from repro.core.session import QuerySession
+
+        return QuerySession
+    if name == "evaluate_query":
+        from repro.xquery.evaluator import evaluate_query
+
+        return evaluate_query
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

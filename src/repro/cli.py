@@ -1,0 +1,216 @@
+"""Command-line interface to the reproduction.
+
+Subcommands::
+
+    python -m repro query   [--data movies|bib|dblp|FILE] "SENTENCE"
+    python -m repro repl    [--data ...]          # interactive loop
+    python -m repro xquery  [--data ...] "QUERY"  # raw Schema-Free XQuery
+    python -m repro tasks   [--books N]           # run the 9 XMP tasks
+    python -m repro study   [--participants N] [--seed S]
+    python -m repro generate [--books N] [--seed S] [--out FILE]
+
+Each command builds its database from the named built-in dataset (or an
+XML file path) and prints human-readable output; exit status is non-zero
+when a query is rejected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.interface import NaLIX
+from repro.data import DblpConfig, bib_document, generate_dblp, movies_document
+from repro.database.store import Database
+from repro.xquery.errors import XQueryError
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.values import string_value
+
+
+def load_database(spec, books=120, seed=7):
+    """Build a Database from a dataset name or an XML file path."""
+    database = Database()
+    if spec == "movies":
+        database.load_document(movies_document())
+    elif spec == "bib":
+        database.load_document(bib_document())
+    elif spec == "dblp":
+        database.load_document(generate_dblp(DblpConfig(books=books, seed=seed)))
+    else:
+        database.load_file(spec)
+    return database
+
+
+def _print_result(result, show_xquery=True):
+    if not result.ok:
+        print(result.render_feedback())
+        return False
+    if show_xquery:
+        print("XQuery:", result.xquery_text)
+    for warning in result.warnings:
+        print(warning.render())
+    values = result.values()
+    print(f"{len(values)} result(s):")
+    for value in values[:50]:
+        print(" ", value)
+    if len(values) > 50:
+        print(f"  ... and {len(values) - 50} more")
+    return True
+
+
+def cmd_query(args):
+    database = load_database(args.data, books=args.books, seed=args.seed)
+    nalix = NaLIX(database)
+    ok = _print_result(nalix.ask(args.sentence), show_xquery=not args.quiet)
+    return 0 if ok else 1
+
+
+def cmd_repl(args):
+    database = load_database(args.data, books=args.books, seed=args.seed)
+    nalix = NaLIX(database)
+    print(database)
+    print("Type an English query (empty line to quit).")
+    while True:
+        try:
+            line = input("nalix> ").strip()
+        except EOFError:
+            break
+        if not line:
+            break
+        _print_result(nalix.ask(line), show_xquery=not args.quiet)
+    return 0
+
+
+def cmd_xquery(args):
+    database = load_database(args.data, books=args.books, seed=args.seed)
+    try:
+        items = evaluate_query(database, args.query)
+    except XQueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(f"{len(items)} item(s):")
+    for item in items[:50]:
+        print(" ", string_value(item))
+    if len(items) > 50:
+        print(f"  ... and {len(items) - 50} more")
+    return 0
+
+
+def cmd_tasks(args):
+    from repro.evaluation.metrics import harmonic_mean, precision_recall
+    from repro.evaluation.tasks import TASKS
+
+    database = load_database("dblp", books=args.books, seed=args.seed)
+    nalix = NaLIX(database)
+    failures = 0
+    for task in TASKS:
+        gold = task.gold(database)
+        phrasing = task.good_phrasings()[0]
+        result = nalix.ask(phrasing.text)
+        if not result.ok:
+            print(f"{task.task_id}: REJECTED — {phrasing.text}")
+            failures += 1
+            continue
+        precision, recall = precision_recall(
+            result.distinct_items(), gold, ordered=task.ordered
+        )
+        score = harmonic_mean(precision, recall)
+        print(
+            f"{task.task_id}: P={precision:.2f} R={recall:.2f} "
+            f"F={score:.2f} — {phrasing.text}"
+        )
+        if score < 0.5:
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_study(args):
+    from repro.evaluation.report import StudyReport
+    from repro.evaluation.study import Study, StudyConfig
+
+    config = StudyConfig(
+        participants=args.participants,
+        seed=args.seed,
+        dblp=DblpConfig(books=args.books, seed=args.seed),
+    )
+    results = Study(config).run()
+    print(StudyReport(results).render())
+    return 0
+
+
+def cmd_generate(args):
+    from repro.xmlstore.serializer import to_pretty_string
+
+    document = generate_dblp(DblpConfig(books=args.books, seed=args.seed))
+    text = to_pretty_string(document.root)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {document.node_count()} nodes to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _add_data_options(parser, default_data="movies"):
+    parser.add_argument(
+        "--data",
+        default=default_data,
+        help="dataset: movies | bib | dblp | path to an XML file",
+    )
+    parser.add_argument("--books", type=int, default=120,
+                        help="books in the generated dblp dataset")
+    parser.add_argument("--seed", type=int, default=7, help="generator seed")
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NaLIX reproduction: natural language queries over XML",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    query = commands.add_parser("query", help="run one English query")
+    _add_data_options(query)
+    query.add_argument("--quiet", action="store_true",
+                       help="hide the generated XQuery")
+    query.add_argument("sentence", help="the English query")
+    query.set_defaults(handler=cmd_query)
+
+    repl = commands.add_parser("repl", help="interactive query loop")
+    _add_data_options(repl)
+    repl.add_argument("--quiet", action="store_true")
+    repl.set_defaults(handler=cmd_repl)
+
+    xquery = commands.add_parser("xquery", help="run raw Schema-Free XQuery")
+    _add_data_options(xquery, default_data="bib")
+    xquery.add_argument("query", help="the XQuery text")
+    xquery.set_defaults(handler=cmd_xquery)
+
+    tasks = commands.add_parser("tasks", help="run the 9 XMP study tasks")
+    tasks.add_argument("--books", type=int, default=120)
+    tasks.add_argument("--seed", type=int, default=7)
+    tasks.set_defaults(handler=cmd_tasks)
+
+    study = commands.add_parser("study", help="run the simulated user study")
+    study.add_argument("--participants", type=int, default=18)
+    study.add_argument("--seed", type=int, default=2006)
+    study.add_argument("--books", type=int, default=120)
+    study.set_defaults(handler=cmd_study)
+
+    generate = commands.add_parser("generate", help="emit a DBLP-like XML file")
+    generate.add_argument("--books", type=int, default=120)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", help="output path (stdout when absent)")
+    generate.set_defaults(handler=cmd_generate)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

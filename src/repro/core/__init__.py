@@ -1,0 +1,38 @@
+"""NaLIX core: classification, validation, translation, interaction.
+
+This package is the paper's primary contribution, layered exactly as
+Sec. 3–4 describe:
+
+* :mod:`token_types` / :mod:`enums` — Tables 1 and 2: the token/marker
+  taxonomy and the enumerated phrase sets ("the real-world knowledge
+  base for the system", each about a dozen entries);
+* :mod:`classifier` — Sec. 3.1: identify tokens and markers in the
+  dependency parse tree;
+* :mod:`validator` — Sec. 4: check the classified tree against the
+  supported grammar (Table 6), insert implicit name tokens (Def. 11),
+  expand terms against the database, and produce the error/warning
+  feedback that drives interactive reformulation;
+* :mod:`semantics` — Sec. 3.2.1: token equivalence, core tokens,
+  attachment and relatedness (Defs. 1–10);
+* :mod:`translator` — Sec. 3.2.2–3.2.4: variable binding, pattern
+  mapping (Fig. 4), connection-marker semantics (Fig. 5),
+  grouping/nesting for aggregates (Fig. 6), MQF clauses, and full
+  query construction;
+* :mod:`interface` — the interactive query interface itself.
+"""
+
+from repro.core.errors import NaLIXError, TranslationError, ValidationFailed
+from repro.core.feedback import Feedback, Message
+from repro.core.interface import NaLIX, QueryResult
+from repro.core.token_types import TokenType
+
+__all__ = [
+    "Feedback",
+    "Message",
+    "NaLIX",
+    "NaLIXError",
+    "QueryResult",
+    "TokenType",
+    "TranslationError",
+    "ValidationFailed",
+]

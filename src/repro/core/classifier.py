@@ -1,0 +1,110 @@
+"""Token classification (Sec. 3.1, Tables 1 and 2).
+
+Walks the dependency parse tree and annotates every node with a
+``token_type`` (and its semantic payload: comparison operator for OTs,
+aggregate function for FTs, sort direction for OBTs, parsed literal for
+VTs). Terms that fall outside the enumerated vocabulary become UNKNOWN
+and are reported by the validator.
+"""
+
+from __future__ import annotations
+
+from repro.core.enums import (
+    COMMAND_PHRASES,
+    CONNECTION_PREPOSITIONS,
+    FUNCTION_PHRASES,
+    NEGATION_WORDS,
+    OPERATOR_PHRASES,
+    ORDER_PHRASES,
+    QUANTIFIER_WORDS,
+)
+from repro.core.token_types import TokenType
+from repro.nlp.categories import Category
+
+
+def classify_tree(root):
+    """Annotate all nodes of ``root`` in place; returns ``root``.
+
+    Adds to each :class:`~repro.nlp.parse_tree.ParseNode`:
+
+    * ``token_type`` — a :class:`TokenType` constant;
+    * ``operator`` (OT), ``aggregate`` (FT), ``descending`` (OBT),
+      ``value`` (VT: str, int or float), ``implicit`` (NT) as relevant.
+    """
+    for node in root.preorder():
+        _classify_node(node)
+    return root
+
+
+def _classify_node(node):
+    node.implicit = False
+    category = node.category
+    lemma = node.lemma
+
+    if category in (Category.COMMAND, Category.WH):
+        node.token_type = (
+            TokenType.CMT if lemma in COMMAND_PHRASES else TokenType.UNKNOWN
+        )
+    elif category == Category.ORDER:
+        node.token_type = TokenType.OBT
+        node.descending = ORDER_PHRASES.get(lemma, False)
+    elif category == Category.FUNCTION:
+        if lemma in FUNCTION_PHRASES:
+            node.token_type = TokenType.FT
+            node.aggregate = FUNCTION_PHRASES[lemma]
+        else:
+            node.token_type = TokenType.UNKNOWN
+    elif category == Category.COMPARATIVE:
+        if lemma in OPERATOR_PHRASES:
+            node.token_type = TokenType.OT
+            node.operator = OPERATOR_PHRASES[lemma]
+        else:
+            node.token_type = TokenType.UNKNOWN
+    elif category == Category.VALUE:
+        node.token_type = TokenType.VT
+        node.value = _parse_literal(node)
+    elif category == Category.NOUN:
+        node.token_type = TokenType.NT
+    elif category == Category.QUANTIFIER:
+        node.token_type = (
+            TokenType.QT if lemma in QUANTIFIER_WORDS else TokenType.UNKNOWN
+        )
+    elif category == Category.NEGATION:
+        node.token_type = (
+            TokenType.NEG if lemma in NEGATION_WORDS else TokenType.UNKNOWN
+        )
+    elif category == Category.PREP:
+        node.token_type = (
+            TokenType.CM
+            if lemma in CONNECTION_PREPOSITIONS
+            else TokenType.UNKNOWN
+        )
+    elif category == Category.VERB:
+        # Non-token main verbs are connection markers (Table 2).
+        node.token_type = TokenType.CM
+    elif category in (Category.DETERMINER, Category.ADJECTIVE):
+        node.token_type = TokenType.MM
+    elif category == Category.PRONOUN:
+        node.token_type = TokenType.PM
+    elif category in (
+        Category.AUXILIARY,
+        Category.SUBORDINATOR,
+        Category.BOUNDARY,
+        Category.CONJUNCTION,
+    ):
+        node.token_type = TokenType.GM
+    else:
+        node.token_type = TokenType.UNKNOWN
+
+
+def _parse_literal(node):
+    """A VT's literal: numeric when unquoted and numeric-looking."""
+    text = node.text
+    if node.quoted:
+        return text
+    try:
+        if "." in text:
+            return float(text)
+        return int(text)
+    except ValueError:
+        return text

@@ -1,0 +1,189 @@
+"""The enumerated phrase sets — NaLIX's "real-world knowledge base".
+
+The paper keeps each set small ("about a dozen elements"); these are the
+same sets, written with lemmatised words ("be the same as") so that the
+parser's morphology matches every surface inflection. The sets also
+carry their semantic payload: operator phrases map to a comparison
+symbol, function phrases to an aggregate function, order phrases to a
+sort direction.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.categories import Category
+
+# -- CMT: command phrases ------------------------------------------------------
+
+COMMAND_PHRASES = {
+    "return",
+    "find",
+    "list",
+    "show",
+    "display",
+    "give",
+    "get",
+    "retrieve",
+    "report",
+    "tell",
+    "show me",
+    "give me",
+    "tell me",
+    "what",
+    "which",
+    "who",
+}
+
+# -- OBT: order-by phrases -> descending flag ---------------------------------------
+
+ORDER_PHRASES = {
+    "sort by": False,
+    "sorted by": False,
+    "order by": False,
+    "ordered by": False,
+    "rank by": False,
+    "ranked by": False,
+    "in alphabetical order of": False,
+    "in alphabetic order of": False,
+    "in alphabetical order": False,
+    "in alphabetic order": False,
+    "in ascending order of": False,
+    "in ascending order": False,
+    "in descending order of": True,
+    "in descending order": True,
+    "in reverse order of": True,
+}
+
+# -- FT: function phrases -> aggregate function ----------------------------------------
+
+FUNCTION_PHRASES = {
+    "the number of": "count",
+    "the total number of": "count",
+    "number of": "count",
+    "the count of": "count",
+    "how many": "count",
+    "the sum of": "sum",
+    "the total of": "sum",
+    "the average of": "avg",
+    "the average": "avg",
+    "average": "avg",
+    "lowest": "min",
+    "the lowest": "min",
+    "smallest": "min",
+    "minimum": "min",
+    "earliest": "min",
+    "cheapest": "min",
+    "least expensive": "min",
+    "highest": "max",
+    "the highest": "max",
+    "largest": "max",
+    "greatest": "max",
+    "maximum": "max",
+    "latest": "max",
+    "most expensive": "max",
+    "most recent": "max",
+}
+
+# -- OT: operator phrases -> comparison symbol ---------------------------------------------
+
+OPERATOR_PHRASES = {
+    # Bare copula: the parser emits it as an operator when it links a
+    # clause subject to a value ("... where the director is Ron Howard").
+    "be": "=",
+    "be the same as": "=",
+    "the same as": "=",
+    "be equal to": "=",
+    "equal to": "=",
+    "equal": "=",
+    "be different from": "!=",
+    "different from": "!=",
+    "greater than": ">",
+    "more than": ">",
+    "larger than": ">",
+    "bigger than": ">",
+    "higher than": ">",
+    "later than": ">",
+    "after": ">",
+    "over": ">",
+    "above": ">",
+    "less than": "<",
+    "fewer than": "<",
+    "smaller than": "<",
+    "lower than": "<",
+    "earlier than": "<",
+    "before": "<",
+    "under": "<",
+    "below": "<",
+    "at least": ">=",
+    "no less than": ">=",
+    "at most": "<=",
+    "no more than": "<=",
+    "contain": "contains",
+    "containing": "contains",
+    "include the word": "contains",
+    "contain the word": "contains",
+}
+
+# -- CM: connection-marker prepositions (note: "as" is deliberately absent —
+# the paper's Query 1 fails on it and the feedback suggests "the same as").
+
+CONNECTION_PREPOSITIONS = {
+    "of",
+    "by",
+    "with",
+    "for",
+    "from",
+    "in",
+    "on",
+    "about",
+    "within",
+    "to",
+    "whose",
+}
+
+# -- QT / NEG --------------------------------------------------------------------------------
+
+QUANTIFIER_WORDS = {"every", "each", "all", "any", "some"}
+
+NEGATION_WORDS = {"not", "never"}
+
+# Articles are vacuous for name-token equivalence (Def. 1).
+VACUOUS_MODIFIERS = {"the", "a", "an"}
+
+
+def parser_vocabulary():
+    """Build the vocabulary handed to the dependency parser.
+
+    Maps lemma phrases to parser categories; the classifier later reads
+    the same enum sets to attach token types and payloads.
+    """
+    vocabulary = {}
+    for phrase in COMMAND_PHRASES:
+        if phrase not in ("what", "which", "who"):
+            vocabulary[phrase] = Category.COMMAND
+    for phrase in ORDER_PHRASES:
+        vocabulary[phrase] = Category.ORDER
+    for phrase in FUNCTION_PHRASES:
+        vocabulary[phrase] = Category.FUNCTION
+    for phrase in OPERATOR_PHRASES:
+        vocabulary[phrase] = Category.COMPARATIVE
+    return vocabulary
+
+
+def suggest_replacement(word, category=None):
+    """A rephrasing suggestion for an unclassifiable term.
+
+    Mirrors the paper's feedback: for Query 1's "as" the system suggests
+    "the same as". The suggestion is the enum phrase containing the
+    unknown word, or the closest operator phrase.
+    """
+    word = word.lower()
+    for phrase in OPERATOR_PHRASES:
+        if word != phrase and word in phrase.split():
+            return phrase
+    for phrase in FUNCTION_PHRASES:
+        if word != phrase and word in phrase.split():
+            return phrase
+    for phrase in ORDER_PHRASES:
+        if word != phrase and word in phrase.split():
+            return phrase
+    return None

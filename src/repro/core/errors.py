@@ -1,0 +1,18 @@
+"""Errors raised by the NaLIX core."""
+
+
+class NaLIXError(Exception):
+    """Base class for core-layer errors."""
+
+
+class ValidationFailed(NaLIXError):
+    """The classified parse tree was rejected; carries the feedback."""
+
+    def __init__(self, feedback):
+        super().__init__("; ".join(message.text for message in feedback.errors))
+        self.feedback = feedback
+
+
+class TranslationError(NaLIXError):
+    """A validated tree could not be mapped to XQuery (internal bug or an
+    unsupported construct that slipped past validation)."""

@@ -1,0 +1,66 @@
+"""Feedback messages: the error/warning vocabulary of Sec. 4.
+
+Every message is generated for the specific query that caused it and,
+where possible, carries a concrete rephrasing suggestion — the paper's
+mechanism for teaching users the system's linguistic coverage without a
+manual.
+"""
+
+from __future__ import annotations
+
+
+class Message:
+    """One error or warning."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __init__(self, kind, code, text, suggestion=None, node=None):
+        self.kind = kind
+        self.code = code
+        self.text = text
+        self.suggestion = suggestion
+        self.node = node
+
+    def render(self):
+        prefix = "Error" if self.kind == Message.ERROR else "Warning"
+        rendered = f"{prefix}: {self.text}"
+        if self.suggestion:
+            rendered += f" Suggestion: {self.suggestion}"
+        return rendered
+
+    def __repr__(self):
+        return f"Message({self.kind}, {self.code}, {self.text!r})"
+
+
+class Feedback:
+    """The collected outcome of validation."""
+
+    def __init__(self):
+        self.messages = []
+
+    def error(self, code, text, suggestion=None, node=None):
+        self.messages.append(Message(Message.ERROR, code, text, suggestion, node))
+
+    def warning(self, code, text, suggestion=None, node=None):
+        self.messages.append(Message(Message.WARNING, code, text, suggestion, node))
+
+    @property
+    def errors(self):
+        return [m for m in self.messages if m.kind == Message.ERROR]
+
+    @property
+    def warnings(self):
+        return [m for m in self.messages if m.kind == Message.WARNING]
+
+    @property
+    def ok(self):
+        return not self.errors
+
+    def render(self):
+        return "\n".join(message.render() for message in self.messages)
+
+    def __repr__(self):
+        return (
+            f"Feedback({len(self.errors)} errors, {len(self.warnings)} warnings)"
+        )

@@ -1,0 +1,122 @@
+"""The supported grammar (the paper's Table 6) as a checkable object.
+
+Table 6 licenses *attachment relations* between token types ("+"
+represents attachment). This module checks a classified parse tree
+against those productions and reports each unlicensed attachment with
+the production context, giving the validator precise diagnostics:
+
+    1.  Q         -> RETURN PREDICATE* ORDER_BY?
+    2.  RETURN    -> CMT + (RNP | GVT | PREDICATE)
+    3-7. PREDICATE-> QT? + ((RNP|GVT) + GOT + (RNP|GVT))
+                   | (GOT? + RNP + GVT) | (GOT? + GVT + RNP)
+                   | (GOT? + [NT] + GVT) | RNP
+    8.  ORDER_BY  -> OBT + RNP
+    9.  RNP       -> NT | (QT+RNP) | (FT+RNP) | (RNP and RNP)
+    10. GOT       -> OT | (NEG+OT) | (GOT and GOT)
+    11. GVT       -> VT | (GVT and GVT)
+
+Markers are transparent throughout (attachment ignores them).
+"""
+
+from __future__ import annotations
+
+from repro.core.semantics import token_parent
+from repro.core.token_types import TokenType, token_type
+
+
+class GrammarViolation:
+    """One unlicensed attachment."""
+
+    def __init__(self, node, reason):
+        self.node = node
+        self.reason = reason
+
+    def __repr__(self):
+        return f"GrammarViolation({self.node.text!r}: {self.reason})"
+
+
+# For each token type: the token types its (token-)parent may have.
+# ``None`` in the set means "may be the root".
+_ALLOWED_PARENTS = {
+    TokenType.CMT: {None},
+    TokenType.NT: {
+        TokenType.CMT,   # RETURN -> CMT + RNP
+        TokenType.NT,    # RNP chains ("title of movie")
+        TokenType.OT,    # predicate operand
+        TokenType.FT,    # FT + RNP
+        TokenType.OBT,   # ORDER_BY -> OBT + RNP
+    },
+    TokenType.VT: {
+        TokenType.NT,    # RNP + GVT, [NT] + GVT
+        TokenType.OT,    # GOT + GVT
+        TokenType.CMT,   # caught separately with a better message
+    },
+    TokenType.FT: {
+        TokenType.CMT,
+        TokenType.OT,
+        TokenType.NT,    # Fig. 5: NT + connection marker + FT
+    },
+    TokenType.OT: {
+        TokenType.CMT,   # clause-level predicate
+        TokenType.NT,    # restrictive comparison on an RNP
+        TokenType.FT,
+    },
+    TokenType.OBT: {TokenType.CMT},
+    TokenType.QT: {TokenType.NT, TokenType.FT, TokenType.CMT},
+    TokenType.NEG: {TokenType.OT, TokenType.NT, TokenType.CMT},
+}
+
+_HUMAN_NAMES = {
+    TokenType.CMT: "command",
+    TokenType.NT: "name",
+    TokenType.VT: "value",
+    TokenType.FT: "function",
+    TokenType.OT: "comparison",
+    TokenType.OBT: "sort phrase",
+    TokenType.QT: "quantifier",
+    TokenType.NEG: "negation",
+}
+
+
+def check_grammar(root):
+    """All grammar violations in a classified tree (empty when valid).
+
+    UNKNOWN nodes are skipped — the validator reports those with their
+    own, more helpful messages.
+    """
+    violations = []
+    root_type = token_type(root)
+    if root_type != TokenType.CMT:
+        violations.append(
+            GrammarViolation(
+                root, "the query does not start with a command (Q -> RETURN)"
+            )
+        )
+    for node in root.preorder():
+        kind = token_type(node)
+        if kind not in _ALLOWED_PARENTS or node is root:
+            continue
+        parent = token_parent(node)
+        parent_kind = token_type(parent) if parent is not None else None
+        if parent_kind == TokenType.UNKNOWN:
+            continue  # the unknown term is the real problem
+        if parent_kind not in _ALLOWED_PARENTS[kind]:
+            attached = (
+                f'attached to the {_HUMAN_NAMES.get(parent_kind, "unknown")} '
+                f'"{parent.text}"'
+                if parent is not None
+                else "attached to nothing"
+            )
+            violations.append(
+                GrammarViolation(
+                    node,
+                    f'the {_HUMAN_NAMES[kind]} "{node.text}" cannot be '
+                    f"{attached} in the supported grammar",
+                )
+            )
+    return violations
+
+
+def conforms(root):
+    """True when the classified tree is inside the Table 6 grammar."""
+    return not check_grammar(root)

@@ -1,0 +1,230 @@
+"""The interactive NaLIX interface.
+
+Wires the full pipeline of the paper's Sec. 3–4 together::
+
+    parse -> classify -> validate (feedback on failure) -> translate ->
+    serialize to XQuery text -> evaluate on the database
+
+``ask`` never raises on user-input problems: it returns a
+:class:`QueryResult` that either carries results or carries the feedback
+messages a user (or the simulated participants of the evaluation
+harness) would see and react to.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.classifier import classify_tree
+from repro.core.enums import parser_vocabulary
+from repro.core.errors import TranslationError
+from repro.core.feedback import Feedback
+from repro.core.translator import Translator
+from repro.core.validator import Validator
+from repro.nlp.dependency import DependencyParser
+from repro.nlp.errors import ParseFailure
+from repro.ontology.expansion import TermExpander
+from repro.xmlstore.model import Node
+from repro.xquery.errors import XQueryError
+from repro.xquery.evaluator import Evaluator
+from repro.xquery.parser import parse_xquery
+from repro.xquery.values import string_value
+
+
+class QueryResult:
+    """Outcome of one natural-language query."""
+
+    def __init__(self, sentence):
+        self.sentence = sentence
+        self.accepted = False       # passed validation & translated
+        self.feedback = Feedback()
+        self.parse_tree = None
+        self.translation = None
+        self.xquery_text = None
+        self.items = []             # raw evaluation output
+        self.translation_seconds = 0.0
+        self.evaluation_seconds = 0.0
+
+    @property
+    def ok(self):
+        return self.accepted
+
+    @property
+    def warnings(self):
+        return self.feedback.warnings
+
+    @property
+    def errors(self):
+        return self.feedback.errors
+
+    def nodes(self):
+        """Distinct result nodes, in document order of first appearance."""
+        seen = set()
+        result = []
+        for item in self.items:
+            if isinstance(item, Node) and id(item) not in seen:
+                seen.add(id(item))
+                result.append(item)
+        return result
+
+    def distinct_items(self):
+        """Result items with duplicate nodes removed (atomics kept).
+
+        Multi-variable binding tuples repeat the returned node once per
+        combination; the interface presents each element once, and the
+        study's precision/recall is computed over this presentation.
+        """
+        seen = set()
+        result = []
+        for item in self.items:
+            if isinstance(item, Node):
+                if id(item) not in seen:
+                    seen.add(id(item))
+                    result.append(item)
+            else:
+                result.append(item)
+        return result
+
+    def values(self):
+        """String values of all result items (nodes deduplicated)."""
+        atoms = [item for item in self.items if not isinstance(item, Node)]
+        return [string_value(node) for node in self.nodes()] + [
+            string_value(atom) for atom in atoms
+        ]
+
+    def render_feedback(self):
+        return self.feedback.render()
+
+    def __repr__(self):
+        status = "ok" if self.ok else f"rejected({len(self.errors)} errors)"
+        return f"QueryResult({self.sentence[:40]!r}..., {status})"
+
+
+def _looks_multi_sentence(sentence):
+    """True when the input holds several sentences (". Return ...").
+
+    Conservative: a sentence boundary only counts when the next fragment
+    opens with a command word, so abbreviations ("W. Stevens") and
+    punctuation inside values never trigger it.
+    """
+    import re
+
+    from repro.core.enums import COMMAND_PHRASES
+
+    parts = [
+        part.strip()
+        for part in re.split(r"[.!?]\s+", sentence.strip())
+        if part.strip()
+    ]
+    if len(parts) <= 1:
+        return False
+    return any(
+        part.split()[0].lower() in COMMAND_PHRASES for part in parts[1:]
+    )
+
+
+class NaLIX:
+    """A generic natural language interface to an XML database.
+
+    Example::
+
+        nalix = NaLIX(database)
+        result = nalix.ask("Return the title of every book.")
+        if result.ok:
+            print(result.values())
+        else:
+            print(result.render_feedback())   # rephrasing suggestions
+    """
+
+    def __init__(self, database, document_name=None, thesaurus=None,
+                 use_planner=True, wrap_results=False):
+        self.database = database
+        self.document_name = document_name or next(iter(database.documents), "doc")
+        self.parser = DependencyParser(parser_vocabulary())
+        self.expander = TermExpander(database, thesaurus=thesaurus)
+        self.validator = Validator(database, self.expander)
+        self.translator = Translator(
+            database, self.document_name, wrap_results=wrap_results
+        )
+        self.evaluator = Evaluator(database, use_planner=use_planner)
+
+    # -- pipeline stages (each usable on its own for tests/benches) ------------------
+
+    def parse(self, sentence):
+        return self.parser.parse(sentence)
+
+    def classify(self, tree):
+        return classify_tree(tree)
+
+    def validate(self, classified_tree):
+        return self.validator.validate(classified_tree)
+
+    def translate(self, validated_tree):
+        return self.translator.translate(validated_tree)
+
+    # -- the interactive entry point ------------------------------------------------------
+
+    def ask(self, sentence, evaluate=True):
+        """Run the full pipeline; never raises on user-input problems."""
+        result = QueryResult(sentence)
+        if _looks_multi_sentence(sentence):
+            # Multi-sentence queries are the paper's future work; reject
+            # with guidance rather than silently mis-reading them.
+            result.feedback.error(
+                "multi-sentence",
+                "The query contains more than one sentence.",
+                suggestion="Ask one question at a time; NaLIX does not "
+                "support multi-sentence queries yet.",
+            )
+            return result
+        started = time.perf_counter()
+        try:
+            tree = self.parse(sentence)
+        except ParseFailure as failure:
+            result.feedback.error(
+                "parse-failure",
+                f"NaLIX could not parse the sentence: {failure}.",
+                suggestion="State the query as a single imperative "
+                'sentence, e.g. "Return the title of every book."',
+            )
+            return result
+
+        self.classify(tree)
+        result.parse_tree = tree
+        feedback = self.validate(tree)
+        result.feedback = feedback
+        if not feedback.ok:
+            return result
+
+        try:
+            translation = self.translate(tree)
+        except TranslationError as error:
+            result.feedback.error(
+                "translation-failure",
+                f"NaLIX could not map the query to XQuery: {error}.",
+                suggestion="Simplify the query, or split it into smaller "
+                "questions.",
+            )
+            return result
+        result.translation = translation
+        result.xquery_text = translation.text
+        result.translation_seconds = time.perf_counter() - started
+        result.accepted = True
+
+        if evaluate:
+            started = time.perf_counter()
+            try:
+                # Re-parse the serialized text: the emitted query string is
+                # the contract, exactly as NaLIX hands text to Timber.
+                expr = parse_xquery(result.xquery_text)
+                result.items = self.evaluator.run(expr)
+            except XQueryError as error:
+                result.accepted = False
+                result.feedback.error(
+                    "evaluation-failure",
+                    f"The generated query could not be evaluated: {error}.",
+                    suggestion="Add conditions that relate the query's "
+                    "elements to each other.",
+                )
+            result.evaluation_seconds = time.perf_counter() - started
+        return result

@@ -1,0 +1,322 @@
+"""Semantic analysis of the classified parse tree (Defs. 1–10).
+
+Produces a :class:`SemanticModel`: the name tokens grouped into
+variables (Definitions 1, 3, 8), the core tokens (Def. 3), and the
+relatedness partition over variables (Defs. 4–6, 9–10) that decides
+which variables share an ``mqf`` call.
+"""
+
+from __future__ import annotations
+
+from repro.core.enums import VACUOUS_MODIFIERS
+from repro.core.token_types import TokenType, token_type
+
+
+# -- structural helpers over the classified tree ---------------------------------
+
+
+def is_marker_node(node):
+    return token_type(node) in (
+        TokenType.CM,
+        TokenType.MM,
+        TokenType.PM,
+        TokenType.GM,
+    )
+
+
+def token_children(node):
+    """Direct token children, looking through marker nodes."""
+    result = []
+    for child in sorted(node.children, key=lambda n: n.index):
+        if is_marker_node(child):
+            result.extend(token_children(child))
+        elif token_type(child) is not None and token_type(child) != TokenType.GM:
+            result.append(child)
+    return result
+
+
+def token_parent(node):
+    """Nearest token ancestor, looking through marker nodes."""
+    ancestor = node.parent
+    while ancestor is not None and is_marker_node(ancestor):
+        ancestor = ancestor.parent
+    return ancestor
+
+
+def _operand_children(node):
+    """Token children that act as operands (NT/VT/FT)."""
+    return [
+        child
+        for child in token_children(node)
+        if token_type(child) in (TokenType.NT, TokenType.VT, TokenType.FT)
+    ]
+
+
+def is_sub_parse_tree_root(node):
+    """Def. 2: an OT node with at least two (token) children."""
+    return token_type(node) == TokenType.OT and len(_operand_children(node)) >= 2
+
+
+def _transparent_for_direct_relation(node):
+    """Def. 4 ignores markers and FT/OT nodes with a single child."""
+    if is_marker_node(node):
+        return True
+    if token_type(node) in (TokenType.FT, TokenType.OT):
+        return len(_operand_children(node)) <= 1
+    return False
+
+
+def nt_effective_parent(node):
+    """The nearest NT above ``node`` through transparent nodes, or None."""
+    ancestor = node.parent
+    while ancestor is not None:
+        if token_type(ancestor) == TokenType.NT:
+            return ancestor
+        if not _transparent_for_direct_relation(ancestor):
+            return None
+        ancestor = ancestor.parent
+    return None
+
+
+def directly_related(a, b):
+    """Def. 4: parent-child, ignoring markers and 1-child FT/OT nodes.
+
+    Coordination ("the year and title of each book") extends direct
+    relations across conjuncts: a conjunct inherits its partner's
+    relations, since grammatically the two form one RNP (Table 6 line 9).
+    """
+    if nt_effective_parent(a) is b or nt_effective_parent(b) is a:
+        return True
+    for first, second in ((a, b), (b, a)):
+        partner = first.conjunct_of
+        if partner is not None and partner is not second:
+            if nt_effective_parent(partner) is second:
+                return True
+            if nt_effective_parent(second) is partner:
+                return True
+    return False
+
+
+# -- equivalence and core tokens -----------------------------------------------------
+
+
+def modifier_signature(node):
+    """The equivalence-relevant modifiers of an NT (Def. 1, footnote 4).
+
+    Articles and quantifier tokens are vacuous ("every director" and
+    "the director" co-refer); remaining modifier/pronoun markers count
+    ("first book" differs from "second book").
+    """
+    signature = set()
+    for child in node.children:
+        if token_type(child) in (TokenType.MM, TokenType.PM):
+            if child.lemma not in VACUOUS_MODIFIERS:
+                signature.add(child.lemma)
+    return frozenset(signature)
+
+
+def equivalent_name_tokens(a, b):
+    """Def. 1: name-token equivalence."""
+    if a.implicit != b.implicit:
+        return False
+    if a.implicit:
+        value_a = getattr(a, "implicit_value", None)
+        value_b = getattr(b, "implicit_value", None)
+        return value_a is not None and value_a == value_b
+    return a.lemma == b.lemma and modifier_signature(a) == modifier_signature(b)
+
+
+def _has_nt_descendant(node):
+    return any(
+        token_type(descendant) == TokenType.NT for descendant in node.descendants()
+    )
+
+
+def find_core_tokens(root):
+    """Def. 3: NTs in a sub-parse tree with no NT descendants, closed
+    under equivalence."""
+    nts = [node for node in root.preorder() if token_type(node) == TokenType.NT]
+    sub_parse_roots = [
+        node for node in root.preorder() if is_sub_parse_tree_root(node)
+    ]
+    cores = set()
+    for nt in nts:
+        inside = any(
+            sub_root is nt or nt in set(sub_root.descendants())
+            for sub_root in sub_parse_roots
+        )
+        if inside and not _has_nt_descendant(nt):
+            cores.add(id(nt))
+    changed = True
+    while changed:
+        changed = False
+        for nt in nts:
+            if id(nt) in cores:
+                continue
+            if any(
+                id(core) in cores and equivalent_name_tokens(nt, core)
+                for core in nts
+            ):
+                cores.add(id(nt))
+                changed = True
+    return [nt for nt in nts if id(nt) in cores]
+
+
+# -- variables and relatedness --------------------------------------------------------
+
+
+class Variable:
+    """A basic variable: one or more NT nodes bound together."""
+
+    def __init__(self, name, nodes):
+        self.name = name
+        self.nodes = nodes
+        self.is_core = False
+        self.tags = []
+
+    @property
+    def lemma(self):
+        return self.nodes[0].lemma
+
+    @property
+    def implicit(self):
+        return self.nodes[0].implicit
+
+    def __repr__(self):
+        ids = ",".join(str(node.node_id) for node in self.nodes)
+        marker = "*" if self.is_core else ""
+        return f"${self.name}{marker}({self.lemma}:{ids})"
+
+
+class SemanticModel:
+    """The result of :func:`analyze`."""
+
+    def __init__(self, root):
+        self.root = root
+        self.name_tokens = [
+            node for node in root.preorder() if token_type(node) == TokenType.NT
+        ]
+        self.core_tokens = find_core_tokens(root)
+        self.variables = []
+        self.variable_of = {}  # id(node) -> Variable
+        self._bind_variables()
+        self.related_groups = self._compute_related_groups()
+
+    # -- variable binding (Sec. 3.2.2) ------------------------------------------
+
+    def _bind_variables(self):
+        core_ids = {id(node) for node in self.core_tokens}
+        clusters = []  # list of node lists
+        for node in self.name_tokens:
+            placed = None
+            for cluster in clusters:
+                representative = cluster[0]
+                same_core = (
+                    id(node) in core_ids
+                    and id(representative) in core_ids
+                    and equivalent_name_tokens(node, representative)
+                )
+                if same_core or self._identical(node, representative):
+                    placed = cluster
+                    break
+            if placed is not None:
+                placed.append(node)
+            else:
+                clusters.append([node])
+
+        for number, cluster in enumerate(clusters, start=1):
+            variable = Variable(f"v{number}", cluster)
+            variable.is_core = any(id(node) in core_ids for node in cluster)
+            self.variables.append(variable)
+            for node in cluster:
+                self.variable_of[id(node)] = variable
+
+    def _identical(self, a, b):
+        """Def. 8: identical NTs — merged into one variable."""
+        if a is b:
+            return True
+        if not equivalent_name_tokens(a, b):
+            return False
+        if directly_related(a, b):
+            return False
+        for node in (a, b):
+            for child in token_children(node):
+                if token_type(child) in (TokenType.FT, TokenType.QT):
+                    return False
+            parent = token_parent(node)
+            if parent is not None and token_type(parent) == TokenType.FT:
+                return False
+        return self._direct_relation_signature(a) == self._direct_relation_signature(b)
+
+    def _direct_relation_signature(self, node):
+        """Lemmas of the NTs directly related to ``node`` (Def. 8 (ii),
+        approximated by lemma comparison instead of full recursion)."""
+        related = set()
+        for other in self.name_tokens:
+            if other is not node and directly_related(node, other):
+                related.add((other.lemma, other.implicit))
+        return frozenset(related)
+
+    # -- relatedness (Defs. 4-6, 9-10) ----------------------------------------------
+
+    def _compute_related_groups(self):
+        """Partition variables into related groups (one mqf per group)."""
+        if not self.core_tokens:
+            return [list(self.variables)] if self.variables else []
+
+        parent = {variable.name: variable.name for variable in self.variables}
+
+        def find(name):
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        def union(first, second):
+            parent[find(first.name)] = find(second.name)
+
+        nts = self.name_tokens
+        for i, a in enumerate(nts):
+            for b in nts[i + 1 :]:
+                if directly_related(a, b):
+                    union(self.variable_of[id(a)], self.variable_of[id(b)])
+
+        groups = {}
+        for variable in self.variables:
+            groups.setdefault(find(variable.name), []).append(variable)
+        return list(groups.values())
+
+    def group_of(self, variable):
+        for group in self.related_groups:
+            if variable in group:
+                return group
+        return [variable]
+
+    def core_variable_related_to(self, variable):
+        """The core-token variable in ``variable``'s group (Fig. 6's
+        'core'), or None."""
+        if variable.is_core:
+            return None
+        for member in self.group_of(variable):
+            if member.is_core and member is not variable:
+                return member
+        return None
+
+    def directly_related_variables(self, variable):
+        """Def. 9 projected onto variables."""
+        related = []
+        for other in self.variables:
+            if other is variable:
+                continue
+            if any(
+                directly_related(a, b)
+                for a in variable.nodes
+                for b in other.nodes
+            ):
+                related.append(other)
+        return related
+
+
+def analyze(root):
+    """Run the full semantic analysis on a classified, validated tree."""
+    return SemanticModel(root)

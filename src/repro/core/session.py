@@ -1,0 +1,100 @@
+"""Interactive query sessions.
+
+The paper's usage model is a dialogue: the user submits a query, reads
+feedback or results, and reformulates. :class:`QuerySession` captures
+that dialogue: it tracks every turn, counts reformulation iterations the
+way the study does (a turn is a reformulation when the previous turn was
+rejected or its results were not accepted by the user), and renders a
+transcript.
+"""
+
+from __future__ import annotations
+
+
+class Turn:
+    """One submit/response exchange."""
+
+    def __init__(self, number, sentence, result):
+        self.number = number
+        self.sentence = sentence
+        self.result = result
+
+    @property
+    def accepted(self):
+        return self.result.ok
+
+    def render(self):
+        lines = [f"[{self.number}] user: {self.sentence}"]
+        if self.result.ok:
+            values = self.result.values()
+            preview = ", ".join(values[:5])
+            if len(values) > 5:
+                preview += ", ..."
+            lines.append(f"    nalix: {len(values)} result(s): {preview}")
+            for warning in self.result.warnings:
+                lines.append(f"    nalix: {warning.render()}")
+        else:
+            for error in self.result.errors:
+                lines.append(f"    nalix: {error.render()}")
+        return "\n".join(lines)
+
+
+class QuerySession:
+    """A stateful dialogue with one NaLIX instance.
+
+    Example::
+
+        session = QuerySession(nalix)
+        result = session.submit("Return every director who has directed "
+                                "as many movies as has Ron Howard.")
+        if not result.ok:
+            print(session.suggestions())      # how to rephrase
+        result = session.submit("Return every director, where ...")
+        print(session.iterations)             # 1 reformulation
+    """
+
+    def __init__(self, nalix):
+        self.nalix = nalix
+        self.turns = []
+
+    def submit(self, sentence):
+        """Run one query; the result is recorded as a turn."""
+        result = self.nalix.ask(sentence)
+        self.turns.append(Turn(len(self.turns) + 1, sentence, result))
+        return result
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def last_turn(self):
+        return self.turns[-1] if self.turns else None
+
+    @property
+    def iterations(self):
+        """Reformulations so far: turns after the first (study counting:
+        a first-try success is zero iterations)."""
+        return max(0, len(self.turns) - 1)
+
+    @property
+    def succeeded(self):
+        return bool(self.turns) and self.turns[-1].accepted
+
+    def suggestions(self):
+        """The rephrasing suggestions from the most recent turn."""
+        if not self.turns:
+            return []
+        return [
+            message.suggestion
+            for message in self.turns[-1].result.feedback.messages
+            if message.suggestion
+        ]
+
+    def transcript(self):
+        return "\n".join(turn.render() for turn in self.turns)
+
+    def reset(self):
+        self.turns = []
+
+    def __repr__(self):
+        status = "ok" if self.succeeded else "open"
+        return f"QuerySession({len(self.turns)} turns, {status})"

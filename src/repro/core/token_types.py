@@ -1,0 +1,43 @@
+"""Token and marker types (the paper's Tables 1 and 2)."""
+
+
+class TokenType:
+    """Namespace of token/marker type constants.
+
+    Tokens (Table 1) map to XQuery components; markers (Table 2) carry
+    little or no direct semantics but shape attachment and feedback.
+    """
+
+    # tokens
+    CMT = "CMT"    # command token -> RETURN clause
+    OBT = "OBT"    # order-by token -> ORDER BY clause
+    FT = "FT"      # function token -> aggregate function
+    OT = "OT"      # operator token -> comparison operator
+    VT = "VT"      # value token -> literal value
+    NT = "NT"      # name token -> basic variable
+    NEG = "NEG"    # negation -> not()
+    QT = "QT"      # quantifier
+
+    # markers
+    CM = "CM"      # connection marker (preposition / non-token verb)
+    MM = "MM"      # modifier marker (determiner/adjective)
+    PM = "PM"      # pronoun marker
+    GM = "GM"      # general marker (auxiliaries, articles, punctuation)
+
+    UNKNOWN = "UNKNOWN"  # unclassifiable term -> validation error
+
+    TOKENS = (CMT, OBT, FT, OT, VT, NT, NEG, QT)
+    MARKERS = (CM, MM, PM, GM)
+
+
+def is_token(node):
+    """True if the classified parse node is a token (not a marker)."""
+    return getattr(node, "token_type", None) in TokenType.TOKENS
+
+
+def is_marker(node):
+    return getattr(node, "token_type", None) in TokenType.MARKERS
+
+
+def token_type(node):
+    return getattr(node, "token_type", None)

@@ -1,0 +1,703 @@
+"""Translation from a validated parse tree to Schema-Free XQuery.
+
+Implements Sec. 3.2.2–3.2.4 of the paper:
+
+* variable binding over the semantic model (one basic variable per
+  name-token group; composed variables for FT patterns);
+* direct pattern mapping (Fig. 4): value predicates, comparisons,
+  order-by and return clauses;
+* the connection-marker rule (Fig. 5): ``book with the lowest price``
+  introduces a fresh related variable equated with a global aggregate;
+* grouping/nesting scope determination for aggregates (Fig. 6): an
+  aggregate over a non-core variable nests that variable inside a
+  ``let`` FLWOR joined to the core by value (the paper's Fig. 8/9
+  construction); aggregates over cores (or coreless queries) pull the
+  related predicates inside instead;
+* MQF clause generation — one ``mqf(...)`` per related variable group —
+  and full FLWOR assembly following the FLOWR convention.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import TranslationError
+from repro.core.semantics import analyze, token_children, token_parent
+from repro.core.token_types import TokenType, token_type
+from repro.xquery import ast
+from repro.xquery.ast import doc_path
+
+
+class Condition:
+    """One where-clause conjunct before rendering."""
+
+    def __init__(self, left, op, right, negated=False):
+        self.left = left          # operand triple: ("var", Variable) etc.
+        self.op = op
+        self.right = right
+        self.negated = negated
+        self.inner = False        # moved inside an aggregate's let-FLWOR
+
+    def variables(self):
+        result = []
+        for operand in (self.left, self.right):
+            if operand[0] == "var":
+                result.append(operand[1])
+        return result
+
+
+class AggregateUse:
+    """One FT occurrence: function + the variable it ranges over."""
+
+    def __init__(self, ft_node, function, variable):
+        self.ft_node = ft_node
+        self.function = function
+        self.variable = variable
+        self.let_name = None      # assigned during planning
+        self.with_marker = False  # Fig. 5 pattern (NT + CM + FT)
+        self.equated_variable = None  # Fig. 5's var2new
+
+
+class TranslationResult:
+    """Everything the interface and the worked-example bench need."""
+
+    def __init__(self, query, model, bindings_table, notes):
+        self.query = query
+        self.model = model
+        self.bindings_table = bindings_table
+        self.notes = notes
+
+    @property
+    def text(self):
+        return self.query.to_text()
+
+    @property
+    def pretty_text(self):
+        if isinstance(self.query, ast.FLWOR):
+            return self.query.to_pretty_text()
+        return self.query.to_text()
+
+
+class Translator:
+    """Translates validated parse trees for one database document.
+
+    ``wrap_results`` turns on composite result construction (listed as
+    future work by the paper, supported here): each binding tuple is
+    returned inside a ``<result>`` element, the XMP use cases' output
+    convention.
+    """
+
+    def __init__(self, database, document_name=None, wrap_results=False,
+                 result_tag="result"):
+        self.database = database
+        if document_name is None:
+            document_name = next(iter(database.documents), "doc")
+        self.document_name = document_name
+        self.wrap_results = wrap_results
+        self.result_tag = result_tag
+
+    # -- public API -----------------------------------------------------------
+
+    def translate(self, root):
+        """Translate a classified, validated tree into a FLWOR AST."""
+        state = _TranslationState(self, root)
+        return state.run()
+
+
+class _TranslationState:
+    def __init__(self, translator, root):
+        self.translator = translator
+        self.database = translator.database
+        self.document_name = translator.document_name
+        self.root = root
+        self.model = analyze(root)
+        self.conditions = []
+        self.aggregates = []       # AggregateUse, in discovery order
+        self.order_keys = []       # (operand, descending)
+        self.return_operands = []
+        self.consumed = set()      # variable names moved inside lets
+        self.extra_group_members = {}  # group index -> [Variable]
+        self.fresh_counter = len(self.model.variables)
+        self.let_counter = 0
+        self.lets = []             # (name, FLWOR)
+        self.notes = []
+        self.handled_ots = set()
+
+    # -- variable helpers ---------------------------------------------------------
+
+    def var_tags(self, variable):
+        tags = []
+        for node in variable.nodes:
+            for tag in getattr(node, "tags", []) or []:
+                if tag not in tags:
+                    tags.append(tag)
+        if not tags:
+            raise TranslationError(
+                f"name token {variable.lemma!r} matched no database names"
+            )
+        variable.tags = tags
+        return "|".join(tags)
+
+    def var_path(self, variable):
+        return doc_path(self.document_name, self.var_tags(variable))
+
+    def fresh_variable(self, like):
+        """A new variable over the same tags (Fig. 6's core copy)."""
+        from repro.core.semantics import Variable
+
+        self.fresh_counter += 1
+        fresh = Variable(f"v{self.fresh_counter}", list(like.nodes))
+        fresh.is_core = like.is_core
+        return fresh
+
+    def fresh_let_name(self):
+        self.let_counter += 1
+        return f"vars{self.let_counter}"
+
+    # -- main ------------------------------------------------------------------------
+
+    def run(self):
+        self.collect_return()
+        self.collect_conditions()
+        self.collect_order()
+        self.plan_aggregates()
+        query = self.assemble()
+        return TranslationResult(
+            query, self.model, self.bindings_table(), self.notes
+        )
+
+    # -- collection passes --------------------------------------------------------------
+
+    def collect_return(self):
+        for child in token_children(self.root):
+            kind = token_type(child)
+            if kind == TokenType.NT:
+                self.return_operands.append(("var", self.model.variable_of[id(child)]))
+                self._collect_np(child)
+            elif kind == TokenType.FT:
+                self.return_operands.append(("agg", self._register_aggregate(child)))
+            elif kind == TokenType.OT:
+                self._handle_ot(child)
+        if not self.return_operands:
+            raise TranslationError("nothing to return")
+
+    def _add_condition(self, condition):
+        if not self._duplicate_condition(condition):
+            self.conditions.append(condition)
+
+    def _collect_np(self, nt):
+        """Walk an NT's subtree for nested conditions (OTs, VTs, FTs)."""
+        for child in token_children(nt):
+            kind = token_type(child)
+            if kind == TokenType.VT:
+                self._add_condition(
+                    Condition(
+                        ("var", self.model.variable_of[id(nt)]),
+                        "=",
+                        ("lit", child.value),
+                    )
+                )
+            elif kind == TokenType.OT:
+                self._handle_ot(child)
+            elif kind == TokenType.NT:
+                self._collect_np(child)
+            elif kind == TokenType.FT:
+                self._register_aggregate(child)
+
+    def collect_conditions(self):
+        for node in self.root.preorder():
+            kind = token_type(node)
+            if kind == TokenType.OT:
+                self._handle_ot(node)
+            elif kind == TokenType.NT and node.implicit:
+                # Implicit NT with its VT: equality unless an OT governs it.
+                raw_parent = node.parent
+                governed_by_ot = (
+                    raw_parent is not None
+                    and token_type(raw_parent) == TokenType.OT
+                )
+                if not governed_by_ot:
+                    self._add_condition(
+                        Condition(
+                            ("var", self.model.variable_of[id(node)]),
+                            "=",
+                            ("lit", node.implicit_value),
+                        )
+                    )
+            elif kind == TokenType.NT and not node.implicit:
+                for child in token_children(node):
+                    if token_type(child) == TokenType.VT:
+                        self._add_condition(
+                            Condition(
+                                ("var", self.model.variable_of[id(node)]),
+                                "=",
+                                ("lit", child.value),
+                            )
+                        )
+
+    def _duplicate_condition(self, candidate):
+        for existing in self.conditions:
+            if (
+                existing.op == candidate.op
+                and existing.left == candidate.left
+                and existing.right == candidate.right
+            ):
+                return True
+        return False
+
+    def _handle_ot(self, ot):
+        if id(ot) in self.handled_ots:
+            return
+        self.handled_ots.add(id(ot))
+        operands = [
+            child
+            for child in token_children(ot)
+            if token_type(child) in (TokenType.NT, TokenType.VT, TokenType.FT)
+        ]
+        negated = any(
+            token_type(child) == TokenType.NEG for child in token_children(ot)
+        ) or any(
+            token_type(child) == TokenType.NEG for child in ot.children
+        )
+        op = ot.operator
+        parent = token_parent(ot)
+        parent_operand = (
+            parent
+            if parent is not None and token_type(parent) in (TokenType.NT, TokenType.FT)
+            else None
+        )
+
+        if len(operands) >= 2:
+            left, right = operands[0], operands[1]
+            self.conditions.append(
+                Condition(self._operand(left), op, self._operand(right), negated)
+            )
+            return
+        if len(operands) == 1:
+            operand = operands[0]
+            if token_type(operand) == TokenType.NT and operand.implicit:
+                # GOT + [NT] + GVT (Table 6 line 6): "... after 1991".
+                self.conditions.append(
+                    Condition(
+                        ("var", self.model.variable_of[id(operand)]),
+                        op,
+                        ("lit", operand.implicit_value),
+                        negated,
+                    )
+                )
+                return
+            if parent_operand is not None:
+                self.conditions.append(
+                    Condition(
+                        self._operand(parent_operand),
+                        op,
+                        self._operand(operand),
+                        negated,
+                    )
+                )
+                return
+        raise TranslationError(
+            f"comparison {ot.text!r} has no usable operands"
+        )
+
+    def _operand(self, node):
+        kind = token_type(node)
+        if kind == TokenType.NT:
+            return ("var", self.model.variable_of[id(node)])
+        if kind == TokenType.VT:
+            return ("lit", node.value)
+        if kind == TokenType.FT:
+            return ("agg", self._register_aggregate(node))
+        raise TranslationError(f"unsupported operand {node.text!r}")
+
+    def _register_aggregate(self, ft_node):
+        for existing in self.aggregates:
+            if existing.ft_node is ft_node:
+                return existing
+        complements = [
+            child
+            for child in token_children(ft_node)
+            if token_type(child) in (TokenType.NT, TokenType.FT)
+        ]
+        if not complements:
+            raise TranslationError(
+                f'the function "{ft_node.text}" does not say what it '
+                "applies to"
+            )
+        complement = complements[0]
+        if token_type(complement) == TokenType.FT:
+            raise TranslationError(
+                "nested aggregate functions are not supported yet"
+            )
+        use = AggregateUse(
+            ft_node,
+            ft_node.aggregate,
+            self.model.variable_of[id(complement)],
+        )
+        # Fig. 5 pattern: NT + connection marker + FT ("book with the
+        # lowest price") — detected from the raw tree shape.
+        raw_parent = ft_node.parent
+        if (
+            raw_parent is not None
+            and token_type(raw_parent) == TokenType.CM
+            and token_parent(ft_node) is not None
+            and token_type(token_parent(ft_node)) == TokenType.NT
+        ):
+            use.with_marker = True
+        self.aggregates.append(use)
+        return use
+
+    def collect_order(self):
+        for node in self.root.preorder():
+            if token_type(node) != TokenType.OBT:
+                continue
+            keys = [
+                child
+                for child in token_children(node)
+                if token_type(child) in (TokenType.NT, TokenType.FT)
+            ]
+            if keys:
+                for key in keys:
+                    operand = self._operand(key)
+                    if operand[0] == "var":
+                        operand = ("var", self._resolve_order_variable(operand[1]))
+                    self.order_keys.append((operand, node.descending))
+            elif self.return_operands:
+                self.order_keys.append((self.return_operands[0], node.descending))
+
+    def _resolve_order_variable(self, variable):
+        """A bare sort key ("sorted by title") co-refers with the
+        returned variable of the same name when one exists."""
+        if any(
+            relation is not variable
+            for relation in self.model.directly_related_variables(variable)
+        ):
+            return variable
+        for operand in self.return_operands:
+            if (
+                operand[0] == "var"
+                and operand[1] is not variable
+                and operand[1].lemma == variable.lemma
+                and operand[1].implicit == variable.implicit
+            ):
+                # Drop the redundant variable entirely.
+                self.consumed.add(variable.name)
+                return operand[1]
+        return variable
+
+    # -- aggregate planning (Figs. 5 and 6) -------------------------------------------------
+
+    def plan_aggregates(self):
+        for use in self.aggregates:
+            if use.with_marker:
+                self._plan_with_marker(use)
+            else:
+                self._plan_scoped(use)
+
+    def _plan_with_marker(self, use):
+        """Fig. 5: equate a fresh related variable with a global aggregate."""
+        variable = use.variable
+        anchor = self.model.variable_of[id(token_parent(use.ft_node))]
+        use.let_name = self.fresh_let_name()
+        inner = ast.FLWOR(
+            [
+                ast.ForClause([(variable.name, self.var_path(variable))]),
+                ast.ReturnClause(ast.VarRef(variable.name)),
+            ]
+        )
+        self.lets.append((use.let_name, inner))
+        self.consumed.add(variable.name)
+
+        var2new = self.fresh_variable(variable)
+        use.equated_variable = var2new
+        self._add_to_group_of(anchor, var2new)
+        self.conditions.append(
+            Condition(("outer-var", var2new), "=", ("agg", use))
+        )
+        self.notes.append(
+            f"Fig.5 rule: ${var2new.name} ({variable.lemma}) related to "
+            f"${anchor.name}, equated with {use.function}(${use.let_name})"
+        )
+
+    def _plan_scoped(self, use):
+        """Fig. 6: nesting scope by core relationship."""
+        variable = use.variable
+        core = self.model.core_variable_related_to(variable)
+        if core is None and not variable.is_core:
+            core = self._fallback_core(variable)
+        if core is not None and core is not variable:
+            self._plan_outer_scope(use, variable, core)
+        else:
+            self._plan_inner_scope(use, variable)
+
+    def _fallback_core(self, variable):
+        """Fig. 6's fallback: a variable ``var`` attaches to and is
+        directly related to; else any related variable."""
+        related = self.model.directly_related_variables(variable)
+        usable = [
+            candidate for candidate in related
+            if candidate.name not in self.consumed
+        ]
+        if usable:
+            return usable[0]
+        group = [
+            member
+            for member in self.model.group_of(variable)
+            if member is not variable and member.name not in self.consumed
+        ]
+        return group[0] if group else None
+
+    def _plan_outer_scope(self, use, variable, core):
+        """var is not a core: nest var inside, value-join a core copy."""
+        core_copy = self.fresh_variable(core)
+        use.let_name = self.fresh_let_name()
+        inner_conditions = [
+            ast.FunctionCall(
+                "mqf", [ast.VarRef(variable.name), ast.VarRef(core_copy.name)]
+            ),
+            ast.Comparison(
+                "=", ast.VarRef(core_copy.name), ast.VarRef(core.name)
+            ),
+        ]
+        for condition in self.conditions:
+            if condition.inner:
+                continue
+            involved = condition.variables()
+            if involved and all(v is variable for v in involved):
+                condition.inner = True
+                inner_conditions.append(self.render_condition(condition))
+        inner = ast.FLWOR(
+            [
+                ast.ForClause(
+                    [
+                        (core_copy.name, self.var_path(core)),
+                        (variable.name, self.var_path(variable)),
+                    ]
+                ),
+                ast.WhereClause(ast.And(inner_conditions)),
+                ast.ReturnClause(ast.VarRef(variable.name)),
+            ]
+        )
+        self.lets.append((use.let_name, inner))
+        self.consumed.add(variable.name)
+        self.notes.append(
+            f"Fig.6 outer scope: {use.function}(${variable.name}) grouped by "
+            f"core ${core.name} via copy ${core_copy.name}"
+        )
+
+    def _plan_inner_scope(self, use, variable):
+        """var is the core (or nothing else exists): pull the related
+        predicates inside the let."""
+        use.let_name = self.fresh_let_name()
+        pulled = [variable]
+        for member in self.model.group_of(variable):
+            if member is variable or member.name in self.consumed:
+                continue
+            if self._used_outside_conditions(member):
+                continue
+            pulled.append(member)
+        bindings = [
+            (member.name, self.var_path(member)) for member in pulled
+        ]
+        inner_conditions = []
+        if len(pulled) >= 2:
+            inner_conditions.append(
+                ast.FunctionCall(
+                    "mqf", [ast.VarRef(member.name) for member in pulled]
+                )
+            )
+        for condition in self.conditions:
+            if condition.inner:
+                continue
+            involved = condition.variables()
+            if involved and all(v in pulled for v in involved):
+                condition.inner = True
+                inner_conditions.append(self.render_condition(condition))
+        clauses = [ast.ForClause(bindings)]
+        if inner_conditions:
+            clauses.append(
+                ast.WhereClause(
+                    ast.And(inner_conditions)
+                    if len(inner_conditions) > 1
+                    else inner_conditions[0]
+                )
+            )
+        clauses.append(ast.ReturnClause(ast.VarRef(variable.name)))
+        self.lets.append((use.let_name, ast.FLWOR(clauses)))
+        for member in pulled:
+            self.consumed.add(member.name)
+        self.notes.append(
+            f"Fig.6 inner scope: {use.function}(${variable.name}) with "
+            f"{len(pulled)} variable(s) nested"
+        )
+
+    def _used_outside_conditions(self, variable):
+        """Is this variable needed outside the aggregate (returned,
+        ordered, or compared against other groups)?"""
+        for operand in self.return_operands:
+            if operand[0] == "var" and operand[1] is variable:
+                return True
+        for operand, _descending in self.order_keys:
+            if operand[0] == "var" and operand[1] is variable:
+                return True
+        for condition in self.conditions:
+            involved = condition.variables()
+            if variable in involved and any(v is not variable for v in involved):
+                return True
+        return False
+
+    def _add_to_group_of(self, anchor, variable):
+        for index, group in enumerate(self.model.related_groups):
+            if anchor in group:
+                self.extra_group_members.setdefault(index, []).append(variable)
+                return
+        self.model.related_groups.append([anchor, variable])
+
+    # -- rendering -------------------------------------------------------------------------------
+
+    _DISTINCT_MODIFIERS = {"distinct", "different", "unique"}
+
+    def _wants_distinct(self, variable):
+        """"Return every distinct publisher": dedupe the whole answer."""
+        from repro.core.semantics import modifier_signature
+
+        return any(
+            modifier in self._DISTINCT_MODIFIERS
+            for node in variable.nodes
+            for modifier in modifier_signature(node)
+        )
+
+    def render_operand(self, operand):
+        kind, payload = operand
+        if kind in ("var", "outer-var"):
+            return ast.VarRef(payload.name)
+        if kind == "lit":
+            return ast.Literal(payload)
+        if kind == "agg":
+            return ast.FunctionCall(payload.function, [ast.VarRef(payload.let_name)])
+        raise TranslationError(f"unknown operand kind {kind!r}")
+
+    def render_condition(self, condition):
+        if condition.op == "contains":
+            rendered = ast.FunctionCall(
+                "contains",
+                [
+                    self.render_operand(condition.left),
+                    self.render_operand(condition.right),
+                ],
+            )
+        else:
+            rendered = ast.Comparison(
+                condition.op,
+                self.render_operand(condition.left),
+                self.render_operand(condition.right),
+            )
+        if condition.negated:
+            return ast.Not(rendered)
+        return rendered
+
+    # -- assembly -----------------------------------------------------------------------------------
+
+    def outer_variables(self):
+        ordered = []
+        for variable in self.model.variables:
+            if variable.name not in self.consumed:
+                ordered.append(variable)
+        for members in self.extra_group_members.values():
+            for variable in members:
+                if variable.name not in self.consumed and variable not in ordered:
+                    ordered.append(variable)
+        return ordered
+
+    def mqf_clauses(self):
+        clauses = []
+        for index, group in enumerate(self.model.related_groups):
+            members = [
+                member for member in group if member.name not in self.consumed
+            ]
+            for extra in self.extra_group_members.get(index, ()):
+                if extra.name not in self.consumed and extra not in members:
+                    members.append(extra)
+            if len(members) >= 2:
+                clauses.append(
+                    ast.FunctionCall(
+                        "mqf", [ast.VarRef(member.name) for member in members]
+                    )
+                )
+        return clauses
+
+    def assemble(self):
+        outer = self.outer_variables()
+        clauses = []
+        if outer:
+            clauses.append(
+                ast.ForClause(
+                    [(variable.name, self.var_path(variable)) for variable in outer]
+                )
+            )
+        for name, inner in self.lets:
+            clauses.append(ast.LetClause(name, inner))
+        conjuncts = self.mqf_clauses()
+        for condition in self.conditions:
+            if not condition.inner:
+                conjuncts.append(self.render_condition(condition))
+        if conjuncts:
+            clauses.append(
+                ast.WhereClause(
+                    ast.And(conjuncts) if len(conjuncts) > 1 else conjuncts[0]
+                )
+            )
+        if self.order_keys:
+            clauses.append(
+                ast.OrderByClause(
+                    [
+                        (self.render_operand(operand), descending)
+                        for operand, descending in self.order_keys
+                    ]
+                )
+            )
+        returns = [self.render_operand(operand) for operand in self.return_operands]
+        if self.translator.wrap_results:
+            return_expr = ast.ElementConstructor(
+                self.translator.result_tag, returns
+            )
+        elif len(returns) == 1:
+            return_expr = returns[0]
+        else:
+            return_expr = ast.Sequence(returns)
+        clauses.append(ast.ReturnClause(return_expr))
+        if not outer and not self.lets:
+            raise TranslationError("the query binds no variables")
+        query = ast.FLWOR(clauses)
+        if (
+            len(self.return_operands) == 1
+            and self.return_operands[0][0] == "var"
+            and self._wants_distinct(self.return_operands[0][1])
+        ):
+            return ast.FunctionCall("distinct-values", [query])
+        return query
+
+    # -- reporting ------------------------------------------------------------------------------------
+
+    def bindings_table(self):
+        """Rows like the paper's Table 3 (variable bindings)."""
+        rows = []
+        for variable in self.model.variables:
+            rows.append(
+                {
+                    "variable": f"${variable.name}" + ("*" if variable.is_core else ""),
+                    "content": variable.lemma,
+                    "nodes": [node.node_id for node in variable.nodes],
+                    "tags": list(getattr(variable, "tags", [])),
+                    "consumed": variable.name in self.consumed,
+                }
+            )
+        for use in self.aggregates:
+            rows.append(
+                {
+                    "variable": f"$cv{self.aggregates.index(use) + 1}",
+                    "content": f"{use.function}(${use.let_name})",
+                    "nodes": [use.ft_node.node_id],
+                    "tags": [],
+                    "consumed": False,
+                }
+            )
+        return rows

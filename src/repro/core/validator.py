@@ -1,0 +1,333 @@
+"""Parse-tree validation and interactive feedback (Sec. 4).
+
+Checks a classified parse tree against the grammar NaLIX supports
+(Table 6), inserts implicit name tokens (Def. 11), expands name tokens
+against the database vocabulary, and generates the query-specific error
+and warning messages that drive the paper's interactive reformulation
+loop.
+
+A tree that passes (no errors) is annotated and ready for translation:
+
+* every NT carries ``tags`` — the database element/attribute names it
+  matched (a disjunction when several match);
+* implicit NTs are inserted as parents of the VTs that needed them,
+  flagged ``implicit`` and carrying ``implicit_value``;
+* pronouns and other soft spots produce warnings, not errors.
+"""
+
+from __future__ import annotations
+
+from repro.core.enums import suggest_replacement
+from repro.core.feedback import Feedback
+from repro.core.semantics import token_children, token_parent
+from repro.core.token_types import TokenType, token_type
+from repro.nlp.categories import Category
+from repro.nlp.parse_tree import ParseNode
+
+
+class Validator:
+    """Validates classified parse trees against one database."""
+
+    def __init__(self, database, expander):
+        self.database = database
+        self.expander = expander
+
+    # -- public API ----------------------------------------------------------
+
+    def validate(self, root):
+        """Validate and annotate ``root``; returns a :class:`Feedback`.
+
+        The tree is modified in place (implicit NT insertion, tag
+        annotation). Callers should only translate when ``feedback.ok``.
+        """
+        feedback = Feedback()
+        self._check_command(root, feedback)
+        self._check_unknown_terms(root, feedback)
+        self._insert_implicit_name_tokens(root, feedback)
+        self._expand_name_tokens(root, feedback)
+        self._check_values(root, feedback)
+        self._check_operators(root, feedback)
+        self._check_order_by(root, feedback)
+        self._check_pronouns(root, feedback)
+        self._check_grammar(root, feedback)
+        root.assign_ids()
+        return feedback
+
+    def _check_grammar(self, root, feedback):
+        """Advisory Table 6 check: unlicensed attachments are warnings
+        (the targeted checks above already reject the hard failures),
+        pointing the user at the part of the query that may be read
+        differently than intended."""
+        from repro.core.grammar import check_grammar
+        from repro.core.token_types import TokenType
+
+        if token_type(root) != TokenType.CMT:
+            return  # already an error from _check_command
+        for violation in check_grammar(root):
+            feedback.warning(
+                "grammar",
+                violation.reason + ".",
+                suggestion="Rephrase that part of the query if the results "
+                "look wrong.",
+                node=violation.node,
+            )
+
+    # -- individual checks ---------------------------------------------------------
+
+    def _check_command(self, root, feedback):
+        if token_type(root) != TokenType.CMT:
+            feedback.error(
+                "no-command",
+                "The query must start with a command NaLIX understands "
+                "(for example Return, Find, or List) or a wh-question word.",
+                suggestion='Begin the query with "Return ..." or "Find ...".',
+            )
+            return
+        returnable = [
+            child
+            for child in token_children(root)
+            if token_type(child) in (TokenType.NT, TokenType.FT, TokenType.VT)
+        ]
+        if not returnable:
+            feedback.error(
+                "empty-return",
+                f'The command "{root.text}" is not followed by anything '
+                "to return.",
+                suggestion="Name the elements you want, e.g. "
+                '"Return the title of every book".',
+            )
+
+    def _check_unknown_terms(self, root, feedback):
+        for node in root.preorder():
+            if token_type(node) != TokenType.UNKNOWN:
+                continue
+            replacement = suggest_replacement(node.lemma)
+            if node.lemma in ("or", "nor", "but"):
+                suggestion = (
+                    "NaLIX does not support disjunction yet; split the "
+                    "request into two separate queries."
+                )
+            elif replacement:
+                suggestion = f'Try replacing "{node.text}" with "{replacement}".'
+            else:
+                suggestion = f'Try rephrasing the query without "{node.text}".'
+            feedback.error(
+                "unknown-term",
+                f'NaLIX cannot understand the term "{node.text}" '
+                "in this query.",
+                suggestion=suggestion,
+                node=node,
+            )
+
+    # -- implicit name tokens (Def. 11) -----------------------------------------------
+
+    def _insert_implicit_name_tokens(self, root, feedback):
+        for vt in list(root.preorder()):
+            if token_type(vt) != TokenType.VT:
+                continue
+            if self._needs_implicit_nt(vt):
+                self._insert_implicit_nt(vt, feedback)
+
+    def _needs_implicit_nt(self, vt):
+        """Def. 11, with the value-driven refinement described in
+        DESIGN.md.
+
+        "Adjacent to a RNP" is judged on the raw tree: a VT directly
+        under an NT node ("the director is Ron Howard", apposition or
+        copula) needs no implicit NT, while one reached through a
+        connection marker ("movies directed by Ron Howard") does —
+        matching where the paper's Figure 2 inserts node 11.
+        """
+        raw_parent = vt.parent
+        if raw_parent is None:
+            return True
+        raw_kind = token_type(raw_parent)
+        if raw_kind == TokenType.NT:
+            return False  # "the director is Ron Howard"
+        if raw_kind == TokenType.CMT:
+            return False  # returned literal; flagged elsewhere
+        parent = token_parent(vt)
+        if parent is None:
+            return True
+        kind = token_type(parent)
+        if kind == TokenType.CMT:
+            return False
+        if raw_kind == TokenType.OT or kind == TokenType.OT:
+            # "... after 1991": compatible if the NT above the OT can
+            # itself carry this value; otherwise the value names an
+            # implicit element ([year] here).
+            grandparent = token_parent(parent)
+            if grandparent is not None and token_type(grandparent) in (
+                TokenType.NT,
+                TokenType.FT,
+            ):
+                return not self._value_compatible(grandparent, vt)
+            # OT between a subject NT/VT and this VT ("is the same as").
+            siblings = [
+                child
+                for child in token_children(parent)
+                if child is not vt
+                and token_type(child) in (TokenType.NT, TokenType.FT, TokenType.VT)
+            ]
+            return not siblings
+        return True  # VT under a bare connection marker
+
+    def _value_compatible(self, nt, vt):
+        """Can elements named like ``nt`` hold the exact value of ``vt``?"""
+        if token_type(nt) == TokenType.FT:
+            return True  # comparisons against aggregates are numeric
+        tags = set(self.expander.expand(nt.lemma))
+        if not tags:
+            return False
+        value_tags = set(self.expander.value_tags(vt.value))
+        if tags & value_tags:
+            return True
+        # Inequalities over numbers are compatible with numeric elements
+        # even when the exact literal is absent from the database.
+        if isinstance(vt.value, (int, float)):
+            return any(
+                self._tag_is_numeric(tag) for tag in tags
+            )
+        return False
+
+    def _tag_is_numeric(self, tag):
+        nodes = self.database.nodes_with_tag(tag)
+        probe = nodes[: 5]
+        if not probe:
+            return False
+        for node in probe:
+            text = node.string_value().strip()
+            try:
+                float(text)
+            except ValueError:
+                return False
+        return True
+
+    def _insert_implicit_nt(self, vt, feedback):
+        tags = self.expander.value_tags(vt.value)
+        if not tags and isinstance(vt.value, (int, float)):
+            tags = sorted(
+                tag
+                for tag in self.database.tags()
+                if self._tag_is_numeric(tag)
+            )
+        if not tags:
+            feedback.error(
+                "unknown-value",
+                f'No element or attribute in the database has the value '
+                f'"{vt.value}".',
+                suggestion="Check the spelling of the value, or quote it "
+                "exactly as it appears in the database.",
+                node=vt,
+            )
+            return
+        implicit = ParseNode(
+            f"[{'|'.join(tags).replace('@', '')}]",
+            tags[0].lstrip("@"),
+            Category.NOUN,
+            vt.index,
+        )
+        implicit.token_type = TokenType.NT
+        implicit.implicit = True
+        implicit.implicit_value = vt.value
+        implicit.tags = list(tags)
+        parent = vt.parent
+        position = parent.children.index(vt)
+        parent.children[position] = implicit
+        implicit.parent = parent
+        implicit.attach(vt)
+
+    # -- term expansion --------------------------------------------------------------------
+
+    def _expand_name_tokens(self, root, feedback):
+        for node in root.preorder():
+            if token_type(node) != TokenType.NT or node.implicit:
+                continue
+            tags = self.expander.expand(node.lemma)
+            node.tags = tags
+            if not tags:
+                known = ", ".join(
+                    tag for tag in self.database.tags()[:12] if not tag.startswith("@")
+                )
+                feedback.error(
+                    "unknown-name",
+                    f'No element or attribute in the database matches '
+                    f'"{node.text}".',
+                    suggestion=f"Elements available include: {known}.",
+                    node=node,
+                )
+
+    # -- value sanity -------------------------------------------------------------------------
+
+    def _check_values(self, root, feedback):
+        for node in root.preorder():
+            if token_type(node) != TokenType.VT:
+                continue
+            parent = token_parent(node)
+            if parent is not None and token_type(parent) == TokenType.CMT:
+                feedback.error(
+                    "returned-value",
+                    f'"{node.text}" looks like a value, but the query asks '
+                    "to return it directly.",
+                    suggestion="Name the kind of element you want instead, "
+                    'e.g. "Return the movie whose title is ..."',
+                    node=node,
+                )
+
+    def _check_operators(self, root, feedback):
+        for node in root.preorder():
+            if token_type(node) != TokenType.OT:
+                continue
+            operands = [
+                child
+                for child in token_children(node)
+                if token_type(child)
+                in (TokenType.NT, TokenType.VT, TokenType.FT)
+            ]
+            parent = token_parent(node)
+            parent_is_operand = parent is not None and token_type(parent) in (
+                TokenType.NT,
+                TokenType.FT,
+            )
+            if not operands or (len(operands) < 2 and not parent_is_operand):
+                feedback.error(
+                    "dangling-operator",
+                    f'The comparison "{node.text}" is missing something to '
+                    "compare.",
+                    suggestion="State both sides of the comparison, e.g. "
+                    '"... where the price of the book is greater than 50".',
+                    node=node,
+                )
+
+    def _check_order_by(self, root, feedback):
+        for node in root.preorder():
+            if token_type(node) != TokenType.OBT:
+                continue
+            keys = [
+                child
+                for child in token_children(node)
+                if token_type(child) in (TokenType.NT, TokenType.FT)
+            ]
+            if not keys:
+                feedback.warning(
+                    "implied-sort-key",
+                    f'"{node.text}" does not name a sort key; the returned '
+                    "elements themselves will be used.",
+                    suggestion='Name the key explicitly, e.g. "sorted by '
+                    'title".',
+                    node=node,
+                )
+
+    def _check_pronouns(self, root, feedback):
+        for node in root.preorder():
+            if token_type(node) == TokenType.PM or (
+                node.category == Category.PRONOUN
+            ):
+                feedback.warning(
+                    "pronoun",
+                    f'The pronoun "{node.text}" may be resolved incorrectly '
+                    "(anaphora resolution is approximate).",
+                    suggestion="Repeat the element name instead of the "
+                    "pronoun if results look wrong.",
+                    node=node,
+                )

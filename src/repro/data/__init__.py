@@ -1,0 +1,14 @@
+"""Datasets used by examples, tests and the evaluation harness.
+
+* :func:`movies_document` — the paper's Figure 1 movie database;
+* :func:`bib_document` — the W3C XQuery Use Cases "bib.xml" sample;
+* :func:`generate_dblp` — a deterministic DBLP-like sub-collection with
+  the same shape as the paper's experimental data set (all books, plus
+  twice as many articles).
+"""
+
+from repro.data.bib import bib_document
+from repro.data.dblp import DblpConfig, generate_dblp
+from repro.data.movies import movies_document
+
+__all__ = ["DblpConfig", "bib_document", "generate_dblp", "movies_document"]

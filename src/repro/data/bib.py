@@ -1,0 +1,63 @@
+"""The W3C XQuery Use Cases "bib.xml" sample document.
+
+This is the document the XMP use-case queries were written against; the
+paper adapted those queries to a DBLP sub-collection, but the original
+bib sample remains useful for examples and tests (it has prices, which
+DBLP lacks).
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import Document, ElementNode
+
+_BOOKS = [
+    {
+        "year": "1994",
+        "title": "TCP/IP Illustrated",
+        "authors": [("Stevens", "W.")],
+        "publisher": "Addison-Wesley",
+        "price": "65.95",
+    },
+    {
+        "year": "1992",
+        "title": "Advanced Programming in the Unix environment",
+        "authors": [("Stevens", "W.")],
+        "publisher": "Addison-Wesley",
+        "price": "65.95",
+    },
+    {
+        "year": "2000",
+        "title": "Data on the Web",
+        "authors": [("Abiteboul", "Serge"), ("Buneman", "Peter"),
+                    ("Suciu", "Dan")],
+        "publisher": "Morgan Kaufmann Publishers",
+        "price": "39.95",
+    },
+    {
+        "year": "1999",
+        "title": "The Economics of Technology and Content for Digital TV",
+        "editors": [("Gerbarg", "Darcy", "CITI")],
+        "publisher": "Kluwer Academic Publishers",
+        "price": "129.95",
+    },
+]
+
+
+def bib_document(name="bib.xml"):
+    """Build the bib.xml sample as a :class:`Document`."""
+    root = ElementNode("bib")
+    for entry in _BOOKS:
+        book = root.append_element("book", attributes={"year": entry["year"]})
+        book.append_element("title", entry["title"])
+        for last, first in entry.get("authors", []):
+            author = book.append_element("author")
+            author.append_element("last", last)
+            author.append_element("first", first)
+        for last, first, affiliation in entry.get("editors", []):
+            editor = book.append_element("editor")
+            editor.append_element("last", last)
+            editor.append_element("first", first)
+            editor.append_element("affiliation", affiliation)
+        book.append_element("publisher", entry["publisher"])
+        book.append_element("price", entry["price"])
+    return Document(root, name=name)

@@ -1,0 +1,150 @@
+"""Deterministic DBLP-like sub-collection generator.
+
+The paper's experimental data set was "a sub-collection of DBLP, which
+included all the elements on books in DBLP and twice as many elements on
+articles" (1.44 MB, 73 142 nodes), with ``year`` standing in for the
+XMP use case's ``price``. That exact cut is not recoverable, so this
+module generates a collection with the same shape and the same tag
+vocabulary, sized by configuration (the default is laptop-test sized;
+``DblpConfig.paper_scale()`` approximates the original node count).
+
+Every run with the same config is bit-for-bit identical (seeded PRNG),
+and a handful of fixed anchor entries guarantee that each XMP task has a
+non-empty answer (Addison-Wesley books after 1991, an author "Suciu",
+a book title containing "XML", ...).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.data.names import (
+    FIRST_NAMES,
+    JOURNALS,
+    LAST_NAMES,
+    PUBLISHERS,
+    TITLE_ADJECTIVES,
+    TITLE_TOPICS,
+)
+from repro.xmlstore.model import Document, ElementNode
+
+
+class DblpConfig:
+    """Size and seed of the generated collection."""
+
+    def __init__(self, books=120, articles=None, seed=7):
+        self.books = books
+        self.articles = articles if articles is not None else 2 * books
+        self.seed = seed
+
+    @classmethod
+    def paper_scale(cls):
+        """Approximates the paper's 73k-node collection."""
+        return cls(books=2400, articles=4800, seed=7)
+
+    def __repr__(self):
+        return f"DblpConfig(books={self.books}, articles={self.articles}, seed={self.seed})"
+
+
+# Anchor entries that the XMP tasks rely on (always present).
+_ANCHOR_BOOKS = [
+    {
+        "title": "Data on the Web",
+        "authors": ["Serge Abiteboul", "Peter Buneman", "Dan Suciu"],
+        "publisher": "Morgan Kaufmann",
+        "year": 2000,
+    },
+    {
+        "title": "TCP/IP Illustrated",
+        "authors": ["Walter Stevens"],
+        "publisher": "Addison-Wesley",
+        "year": 1994,
+    },
+    {
+        "title": "Advanced Programming in the Unix Environment",
+        "authors": ["Walter Stevens"],
+        "publisher": "Addison-Wesley",
+        "year": 1992,
+    },
+    {
+        "title": "Principles of XML Query Processing",
+        "authors": ["Yunyao Li", "Huahai Yang"],
+        "publisher": "Addison-Wesley",
+        "year": 1998,
+    },
+    {
+        "title": "Foundations of Databases",
+        "authors": ["Serge Abiteboul", "Richard Hull", "Victor Vianu"],
+        "publisher": "Addison-Wesley",
+        "year": 1995,
+    },
+]
+
+
+def _person_name(rng):
+    return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+
+
+def _title(rng):
+    return f"{rng.choice(TITLE_ADJECTIVES)} {rng.choice(TITLE_TOPICS)}"
+
+
+def _append_book(root, title, authors, publisher, year):
+    book = root.append_element("book")
+    for author in authors:
+        book.append_element("author", author)
+    book.append_element("title", title)
+    book.append_element("publisher", publisher)
+    book.append_element("year", year)
+    return book
+
+
+def _append_article(root, title, authors, journal, year, pages):
+    article = root.append_element("article")
+    for author in authors:
+        article.append_element("author", author)
+    article.append_element("title", title)
+    article.append_element("journal", journal)
+    article.append_element("year", year)
+    article.append_element("pages", pages)
+    return article
+
+
+def generate_dblp(config=None, name="dblp.xml"):
+    """Generate the collection; returns an indexed :class:`Document`."""
+    config = config or DblpConfig()
+    rng = random.Random(config.seed)
+    root = ElementNode("dblp")
+
+    for anchor in _ANCHOR_BOOKS[: max(0, config.books)]:
+        _append_book(
+            root,
+            anchor["title"],
+            anchor["authors"],
+            anchor["publisher"],
+            anchor["year"],
+        )
+    for index in range(max(0, config.books - len(_ANCHOR_BOOKS))):
+        author_count = rng.choice((1, 1, 1, 2, 2, 3))
+        title = _title(rng)
+        if index % 17 == 0:
+            title += " with XML"
+        _append_book(
+            root,
+            title,
+            [_person_name(rng) for _ in range(author_count)],
+            rng.choice(PUBLISHERS),
+            rng.randint(1985, 2005),
+        )
+    for index in range(config.articles):
+        author_count = rng.choice((1, 2, 2, 3))
+        start = rng.randint(1, 900)
+        _append_article(
+            root,
+            _title(rng),
+            [_person_name(rng) for _ in range(author_count)],
+            rng.choice(JOURNALS),
+            rng.randint(1985, 2005),
+            f"{start}-{start + rng.randint(8, 40)}",
+        )
+    return Document(root, name=name)

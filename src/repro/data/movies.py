@@ -1,0 +1,39 @@
+"""The movie database of the paper's Figure 1.
+
+Node layout matches the figure: movies grouped under ``year`` elements,
+each movie carrying ``title`` and ``director`` children — deliberately
+*not* the layout a schema designer would pick, to show that Schema-Free
+XQuery's ``mqf`` does not care.
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import Document, ElementNode, TextNode
+
+_FIGURE_1 = [
+    ("2000", [
+        ("How the Grinch Stole Christmas", "Ron Howard"),
+        ("Traffic", "Steven Soderbergh"),
+    ]),
+    ("2001", [
+        ("A Beautiful Mind", "Ron Howard"),
+        ("Tribute", "Ron Howard"),
+        ("The Lord of the Rings", "Peter Jackson"),
+    ]),
+]
+
+
+def movies_document(name="movie.xml", entries=None):
+    """Build the Figure 1 document (or one from custom ``entries``).
+
+    ``entries``: list of ``(year, [(title, director), ...])`` pairs.
+    """
+    root = ElementNode("movies")
+    for year_text, movies in entries if entries is not None else _FIGURE_1:
+        year = root.append_element("year")
+        year.append(TextNode(str(year_text)))
+        for title, director in movies:
+            movie = year.append_element("movie")
+            movie.append_element("title", title)
+            movie.append_element("director", director)
+    return Document(root, name=name)

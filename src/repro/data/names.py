@@ -1,0 +1,53 @@
+"""Name and word pools for the synthetic DBLP generator."""
+
+FIRST_NAMES = [
+    "Alan", "Barbara", "Carlos", "Diane", "Edward", "Fiona", "George",
+    "Helen", "Ivan", "Julia", "Kenneth", "Laura", "Michael", "Nina",
+    "Oscar", "Patricia", "Quentin", "Rachel", "Samuel", "Teresa",
+    "Ulrich", "Victoria", "Walter", "Xavier", "Yvonne", "Zachary",
+    "Serge", "Peter", "Dan", "Jennifer", "Hector", "Yunyao", "Huahai",
+]
+
+LAST_NAMES = [
+    "Adams", "Brown", "Chen", "Davis", "Evans", "Fischer", "Garcia",
+    "Hansen", "Ito", "Johnson", "Kim", "Larsen", "Miller", "Nguyen",
+    "Olsen", "Peterson", "Quinn", "Rossi", "Schmidt", "Tanaka",
+    "Ueda", "Vogel", "Wang", "Xu", "Yamamoto", "Zhang", "Abiteboul",
+    "Buneman", "Suciu", "Widom", "Ullman", "Jagadish", "Stonebraker",
+]
+
+TITLE_ADJECTIVES = [
+    "Advanced", "Practical", "Modern", "Foundations of", "Principles of",
+    "Efficient", "Scalable", "Distributed", "Declarative", "Adaptive",
+    "Incremental", "Probabilistic", "Approximate", "Parallel", "Secure",
+]
+
+TITLE_TOPICS = [
+    "Database Systems", "Query Processing", "XML Retrieval",
+    "Information Integration", "Data Mining", "Transaction Management",
+    "Stream Processing", "Schema Matching", "Index Structures",
+    "Query Optimization", "Data Warehousing", "Semistructured Data",
+    "Natural Language Interfaces", "Keyword Search", "Web Services",
+    "Data Provenance", "Access Control", "Sensor Networks",
+]
+
+PUBLISHERS = [
+    "Addison-Wesley",
+    "Morgan Kaufmann",
+    "Springer",
+    "Prentice Hall",
+    "MIT Press",
+    "Cambridge University Press",
+    "O'Reilly",
+    "Kluwer Academic Publishers",
+]
+
+JOURNALS = [
+    "ACM Transactions on Database Systems",
+    "The VLDB Journal",
+    "IEEE Transactions on Knowledge and Data Engineering",
+    "Information Systems",
+    "SIGMOD Record",
+    "Journal of the ACM",
+    "Data and Knowledge Engineering",
+]

@@ -1,0 +1,18 @@
+"""Native XML database substrate (the paper's Timber stand-in).
+
+A :class:`Database` holds one or more parsed XML documents and maintains
+the indexes the query layers need:
+
+* a **tag index** (element/attribute name -> preorder-sorted node list),
+* an **inverted value index** (word -> nodes whose direct text contains
+  it) used by the keyword-search baseline and by value-predicate
+  pushdown in the XQuery planner,
+* **vocabulary statistics** used by NaLIX's term expansion to check that
+  a name token actually names something in the database.
+"""
+
+from repro.database.indexes import TagIndex, ValueIndex
+from repro.database.statistics import DatabaseStatistics
+from repro.database.store import Database
+
+__all__ = ["Database", "DatabaseStatistics", "TagIndex", "ValueIndex"]

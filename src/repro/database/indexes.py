@@ -1,0 +1,126 @@
+"""Index structures over a set of XML documents.
+
+All node lists are kept sorted by preorder id (documents are scanned in
+preorder, so insertion order is already sorted), which the structural
+algorithms (MQF join, Meet) rely on for their binary-search steps.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.xmlstore.model import AttributeNode, ElementNode, TextNode
+
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[-.'][A-Za-z0-9]+)*")
+
+
+def tokenize_value(text):
+    """Split a text value into lowercase index terms."""
+    return [match.group(0).lower() for match in _WORD_RE.finditer(text)]
+
+
+def direct_text(node):
+    """The text directly inside ``node`` (not from nested elements)."""
+    if isinstance(node, AttributeNode):
+        return node.value
+    if isinstance(node, ElementNode):
+        return "".join(
+            child.text for child in node.children if isinstance(child, TextNode)
+        )
+    return ""
+
+
+class TagIndex:
+    """Maps element tags and ``@attribute`` names to their nodes."""
+
+    def __init__(self):
+        self._by_tag = {}
+
+    def add(self, node):
+        self._by_tag.setdefault(node.tag, []).append(node)
+
+    def nodes(self, tag):
+        """Return the preorder-sorted nodes with the given tag ([] if none)."""
+        return self._by_tag.get(tag, [])
+
+    def tags(self):
+        return sorted(self._by_tag)
+
+    def count(self, tag):
+        return len(self._by_tag.get(tag, ()))
+
+    def __contains__(self, tag):
+        return tag in self._by_tag
+
+
+class ValueIndex:
+    """Inverted index from lowercase terms to the nodes containing them.
+
+    A term points at the *element or attribute* whose direct text contains
+    it (not at ancestors), matching how keyword-search systems over XML
+    anchor matches at the finest node. An exact-value map supports the
+    equality predicates the XQuery planner pushes down.
+    """
+
+    def __init__(self):
+        self._by_term = {}
+        self._by_exact_value = {}
+
+    def add(self, node, text):
+        for term in sorted(set(tokenize_value(text))):
+            self._by_term.setdefault(term, []).append(node)
+        normalized = text.strip().lower()
+        if normalized:
+            self._by_exact_value.setdefault(normalized, []).append(node)
+
+    def nodes_with_term(self, term):
+        """Nodes whose direct text contains ``term`` (case-insensitive)."""
+        return list(self._by_term.get(term.lower(), ()))
+
+    def nodes_with_phrase(self, phrase):
+        """Nodes whose direct text contains ``phrase`` as a substring
+        (case-insensitive), found via the term postings."""
+        terms = tokenize_value(phrase)
+        if not terms:
+            return []
+        candidate_lists = [self.nodes_with_term(term) for term in terms]
+        if any(not lst for lst in candidate_lists):
+            return []
+        smallest = min(candidate_lists, key=len)
+        other_ids = [
+            {node.node_id for node in lst}
+            for lst in candidate_lists
+            if lst is not smallest
+        ]
+        needle = phrase.strip().lower()
+        return [
+            node
+            for node in smallest
+            if all(node.node_id in ids for ids in other_ids)
+            and needle in direct_text(node).lower()
+        ]
+
+    def nodes_with_exact_value(self, value):
+        """Nodes whose entire direct text equals ``value`` (case-insensitive,
+        surrounding whitespace ignored)."""
+        return list(self._by_exact_value.get(str(value).strip().lower(), ()))
+
+    def terms(self):
+        return sorted(self._by_term)
+
+    def __contains__(self, term):
+        return term.lower() in self._by_term
+
+
+def build_indexes(documents):
+    """Build ``(tag_index, value_index)`` over ``documents``."""
+    tag_index = TagIndex()
+    value_index = ValueIndex()
+    for document in documents:
+        for node in document.nodes:
+            if isinstance(node, (ElementNode, AttributeNode)):
+                tag_index.add(node)
+                text = direct_text(node)
+                if text.strip():
+                    value_index.add(node, text)
+    return tag_index, value_index

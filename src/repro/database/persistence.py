@@ -1,0 +1,75 @@
+"""Saving and loading databases to/from a directory on disk.
+
+The format is deliberately boring: one pretty-printed XML file per
+document plus a small ``manifest.txt`` mapping file names back to
+document names (document names may contain characters that are unsafe
+in file names).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from repro.database.store import Database
+from repro.xmlstore.serializer import serialize
+
+MANIFEST_NAME = "manifest.txt"
+
+
+def _safe_filename(name, taken):
+    base = re.sub(r"[^A-Za-z0-9._-]+", "_", name) or "document"
+    if not base.endswith(".xml"):
+        base += ".xml"
+    candidate = base
+    counter = 1
+    while candidate in taken:
+        counter += 1
+        candidate = f"{base[:-4]}_{counter}.xml"
+    return candidate
+
+
+def save_database(database, directory):
+    """Write every document of ``database`` under ``directory``.
+
+    Returns the manifest: a list of (file name, document name) pairs.
+    """
+    os.makedirs(directory, exist_ok=True)
+    manifest = []
+    taken = set()
+    for name, document in database.documents.items():
+        filename = _safe_filename(name, taken)
+        taken.add(filename)
+        path = os.path.join(directory, filename)
+        # Compact form: pretty-printing would inject whitespace into
+        # mixed-content elements and break lossless round-tripping.
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(serialize(document.root))
+        manifest.append((filename, name))
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        for filename, name in manifest:
+            handle.write(f"{filename}\t{name}\n")
+    return manifest
+
+
+def load_database(directory):
+    """Rebuild a :class:`Database` from a directory written by
+    :func:`save_database` (or any directory of XML files)."""
+    database = Database()
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                filename, _, name = line.partition("\t")
+                database.load_file(
+                    os.path.join(directory, filename), name=name or filename
+                )
+        return database
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".xml"):
+            database.load_file(os.path.join(directory, entry), name=entry)
+    return database

@@ -1,0 +1,50 @@
+"""Summary statistics over a database's structure and vocabulary.
+
+NaLIX uses these to (a) check whether a name token names anything in the
+database (Sec. 4, "Term Expansion" / error generation) and (b) pick the
+disjunction of matching names when several tags match a name token.
+"""
+
+from __future__ import annotations
+
+
+class DatabaseStatistics:
+    """Tag-level statistics computed once per database load."""
+
+    def __init__(self, tag_index, value_index, documents):
+        self.tag_counts = {tag: tag_index.count(tag) for tag in tag_index.tags()}
+        self.node_count = sum(document.node_count() for document in documents)
+        self.document_count = len(documents)
+        self._parent_tags = {}
+        self._child_tags = {}
+        for document in documents:
+            for element in document.iter_elements():
+                if element.parent is not None:
+                    parent_tag = element.parent.tag
+                    self._parent_tags.setdefault(element.tag, set()).add(parent_tag)
+                    self._child_tags.setdefault(parent_tag, set()).add(element.tag)
+                for attribute in element.attributes:
+                    self._parent_tags.setdefault(attribute.tag, set()).add(element.tag)
+                    self._child_tags.setdefault(element.tag, set()).add(attribute.tag)
+
+    def tags(self):
+        return sorted(self.tag_counts)
+
+    def has_tag(self, tag):
+        return tag in self.tag_counts
+
+    def parent_tags(self, tag):
+        """Tags observed as a parent of ``tag`` anywhere in the data."""
+        return sorted(self._parent_tags.get(tag, ()))
+
+    def child_tags(self, tag):
+        """Tags observed as a child (or attribute) of ``tag``."""
+        return sorted(self._child_tags.get(tag, ()))
+
+    def summary(self):
+        """A small dict used by reports and examples."""
+        return {
+            "documents": self.document_count,
+            "nodes": self.node_count,
+            "distinct_tags": len(self.tag_counts),
+        }

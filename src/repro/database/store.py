@@ -1,0 +1,95 @@
+"""The document store: the public face of the database substrate."""
+
+from __future__ import annotations
+
+from repro.database.indexes import build_indexes
+from repro.database.statistics import DatabaseStatistics
+from repro.xmlstore.model import Document
+from repro.xmlstore.parser import parse_document
+
+
+class Database:
+    """A collection of XML documents with shared indexes.
+
+    This plays the role of Timber in the paper: it owns the storage and
+    serves structural scans. The query engine (``repro.xquery``) and the
+    keyword baseline (``repro.keyword_search``) both run against it.
+
+    Typical use::
+
+        db = Database()
+        db.load_text(xml_string, name="movies.xml")
+        nodes = db.nodes_with_tag("director")
+    """
+
+    def __init__(self, documents=None):
+        self.documents = {}
+        self.tag_index = None
+        self.value_index = None
+        self.statistics = None
+        for document in documents or []:
+            self.documents[document.name] = document
+        self._rebuild()
+
+    # -- loading -----------------------------------------------------------
+
+    def load_document(self, document):
+        """Register an already-parsed :class:`Document`."""
+        if not isinstance(document, Document):
+            raise TypeError("expected a repro.xmlstore.Document")
+        self.documents[document.name] = document
+        self._rebuild()
+        return document
+
+    def load_text(self, xml_text, name="doc"):
+        """Parse ``xml_text`` and register it under ``name``."""
+        return self.load_document(parse_document(xml_text, name=name))
+
+    def load_file(self, path, name=None):
+        """Parse the XML file at ``path``."""
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        return self.load_text(text, name=name or str(path))
+
+    def _rebuild(self):
+        documents = list(self.documents.values())
+        self.tag_index, self.value_index = build_indexes(documents)
+        self.statistics = DatabaseStatistics(
+            self.tag_index, self.value_index, documents
+        )
+
+    # -- lookup ------------------------------------------------------------
+
+    def document(self, name=None):
+        """Return the named document; with one document loaded, the name
+        may be omitted (matching the paper's single-document queries)."""
+        if name is None or name not in self.documents:
+            if name is None and len(self.documents) == 1:
+                return next(iter(self.documents.values()))
+            if name is None:
+                raise KeyError("database holds several documents; name one")
+            raise KeyError(f"no document named {name!r}")
+        return self.documents[name]
+
+    def nodes_with_tag(self, tag):
+        """All elements (or ``@attr`` nodes) with this tag, in preorder."""
+        return self.tag_index.nodes(tag)
+
+    def has_tag(self, tag):
+        return tag in self.tag_index
+
+    def tags(self):
+        return self.tag_index.tags()
+
+    def nodes_with_value(self, value):
+        """Nodes whose text equals ``value``; falls back to phrase search."""
+        nodes = self.value_index.nodes_with_exact_value(value)
+        if nodes:
+            return nodes
+        return self.value_index.nodes_with_phrase(str(value))
+
+    def node_count(self):
+        return sum(document.node_count() for document in self.documents.values())
+
+    def __repr__(self):
+        return f"Database({len(self.documents)} documents, {self.node_count()} nodes)"

@@ -1,0 +1,27 @@
+"""The paper's experimental evaluation, as a runnable harness.
+
+Reproduces the Sec. 5 user study: 18 participants, 9 search tasks
+adapted from the XQuery Use Cases "XMP" set, a within-subject design
+with NaLIX and a keyword-search block ordered by Latin squares, a 5-min
+per-task limit and a harmonic-mean >= 0.5 passing criterion.
+
+Human participants are simulated (see DESIGN.md's substitution notes):
+each participant is a seeded stochastic process choosing phrasings from
+per-task pools of valid, mis-specified and invalid variants, revising
+after NaLIX feedback.
+"""
+
+from repro.evaluation.metrics import harmonic_mean, precision_recall
+from repro.evaluation.report import StudyReport
+from repro.evaluation.study import Study, StudyConfig
+from repro.evaluation.tasks import TASKS, SearchTask
+
+__all__ = [
+    "SearchTask",
+    "Study",
+    "StudyConfig",
+    "StudyReport",
+    "TASKS",
+    "harmonic_mean",
+    "precision_recall",
+]

@@ -1,0 +1,65 @@
+"""Latin-square task orderings for the within-subject design.
+
+The paper: "each participant was asked to accomplish 9 search tasks in
+a random order determined by a pair of orthogonal 9 by 9 Latin
+Squares." We use the cyclic construction L_k[i][j] = (i + k*j) mod n
+with strides k in {1, 2}: both are Latin squares for odd n, the pair is
+orthogonal (the cell pair determines (i, j) uniquely), and — unlike the
+row-shift construction — the two squares' rows are *different* task
+orderings, so 18 participants get 18 distinct orders.
+"""
+
+from __future__ import annotations
+
+
+def cyclic_latin_square(order, multiplier=1):
+    """The Latin square L[i][j] = (i + multiplier*j) mod order."""
+    if order <= 0:
+        raise ValueError("order must be positive")
+    if multiplier % order == 0:
+        raise ValueError("multiplier must be non-zero modulo order")
+    return [
+        [(row + multiplier * column) % order for column in range(order)]
+        for row in range(order)
+    ]
+
+
+def orthogonal_pair(order):
+    """A pair of orthogonal Latin squares (odd order)."""
+    if order % 2 == 0:
+        raise ValueError("this construction needs an odd order")
+    return cyclic_latin_square(order, 1), cyclic_latin_square(order, 2)
+
+
+def is_latin_square(square):
+    order = len(square)
+    expected = set(range(order))
+    for row in square:
+        if set(row) != expected:
+            return False
+    for column in range(order):
+        if {row[column] for row in square} != expected:
+            return False
+    return True
+
+
+def are_orthogonal(square_a, square_b):
+    order = len(square_a)
+    pairs = {
+        (square_a[i][j], square_b[i][j])
+        for i in range(order)
+        for j in range(order)
+    }
+    return len(pairs) == order * order
+
+
+def task_orders(task_count, participant_count):
+    """Per-participant task orders from the orthogonal pair.
+
+    Participants cycle through the rows of the two squares (first all
+    rows of square one, then square two, then repeat), matching how a
+    pair of 9x9 squares covers 18 participants.
+    """
+    square_one, square_two = orthogonal_pair(task_count)
+    rows = square_one + square_two
+    return [rows[participant % len(rows)] for participant in range(participant_count)]

@@ -1,0 +1,134 @@
+"""Search-quality metrics, following the paper's counting rules.
+
+"Since the expected results were sometimes complex, with multiple
+elements (attributes) of interest, we considered each element and
+attribute value as an independent value for the purposes of precision
+and recall computation." — every returned node is therefore expanded to
+its *leaf items* (text-carrying elements and attributes), and precision/
+recall are computed over those item sets. Atomic results (counts,
+minima) are compared as multisets of values. When a task asks for
+sorted output, matching is order-sensitive (longest common subsequence),
+per the paper's "unless the task specifically asked the results be
+sorted".
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import AttributeNode, ElementNode, Node, TextNode
+from repro.xquery.values import string_value
+
+
+def leaf_items(item):
+    """The independent (id, value) items contributed by one result item.
+
+    * An element with element children expands to its leaf descendants;
+    * a text-carrying element or attribute contributes itself;
+    * an atomic value contributes a value-only item.
+    """
+    if isinstance(item, AttributeNode):
+        return [("node", item.node_id, item.value.strip())]
+    if isinstance(item, ElementNode):
+        leaves = []
+        children = item.child_elements()
+        for attribute in item.attributes:
+            leaves.append(("node", attribute.node_id, attribute.value.strip()))
+        if children:
+            for child in children:
+                leaves.extend(leaf_items(child))
+        else:
+            leaves.append(("node", item.node_id, item.string_value().strip()))
+        return leaves
+    if isinstance(item, TextNode):
+        return [("node", item.parent.node_id, item.text.strip())]
+    return [("value", None, string_value(item))]
+
+
+def _expand(items):
+    expanded = []
+    for item in items:
+        expanded.extend(leaf_items(item))
+    return expanded
+
+
+def _multiset(items):
+    counts = {}
+    for kind, node_id, value in items:
+        key = (kind, node_id if kind == "node" else None, value)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def _intersection_size(counts_a, counts_b):
+    return sum(min(count, counts_b.get(key, 0)) for key, count in counts_a.items())
+
+
+def _lcs_length(sequence_a, sequence_b):
+    rows = len(sequence_a)
+    cols = len(sequence_b)
+    if rows == 0 or cols == 0:
+        return 0
+    previous = [0] * (cols + 1)
+    for i in range(1, rows + 1):
+        current = [0] * (cols + 1)
+        for j in range(1, cols + 1):
+            if sequence_a[i - 1] == sequence_b[j - 1]:
+                current[j] = previous[j - 1] + 1
+            else:
+                current[j] = max(previous[j], current[j - 1])
+        previous = current
+    return previous[cols]
+
+
+def precision_recall(returned, gold, ordered=False):
+    """Precision and recall of ``returned`` against ``gold``.
+
+    Both are lists of result items (nodes or atomics). Returns a
+    ``(precision, recall)`` pair in [0, 1]. Empty gold with empty result
+    is a perfect score; empty result against non-empty gold is (0, 0).
+    """
+    returned_items = _expand(returned)
+    gold_items = _expand(gold)
+    if not gold_items and not returned_items:
+        return (1.0, 1.0)
+    if not returned_items:
+        return (0.0, 0.0)
+    if not gold_items:
+        return (0.0, 1.0)
+    if ordered:
+        returned_values = [value for _, __, value in returned_items]
+        gold_values = [value for _, __, value in gold_items]
+        matched = _lcs_length(returned_values, gold_values)
+        return (matched / len(returned_values), matched / len(gold_values))
+    counts_returned = _multiset(returned_items)
+    counts_gold = _multiset(gold_items)
+    # Node identity matches directly; value-only items match any gold
+    # item with the same value (aggregates have no node identity).
+    matched = _intersection_size(counts_returned, counts_gold)
+    matched += _value_only_matches(counts_returned, counts_gold)
+    total_returned = sum(counts_returned.values())
+    total_gold = sum(counts_gold.values())
+    return (min(1.0, matched / total_returned), min(1.0, matched / total_gold))
+
+
+def _value_only_matches(counts_returned, counts_gold):
+    """Match ('value', None, v) items against gold items by value."""
+    matched = 0
+    gold_by_value = {}
+    for (kind, node_id, value), count in counts_gold.items():
+        gold_by_value.setdefault(value, 0)
+        gold_by_value[value] += count
+    for (kind, node_id, value), count in counts_returned.items():
+        if kind != "value":
+            continue
+        direct = counts_gold.get((kind, None, value), 0)
+        available = gold_by_value.get(value, 0) - direct
+        if available > 0:
+            matched += min(count, available)
+    return matched
+
+
+def harmonic_mean(precision, recall):
+    """The paper's passing criterion statistic (F1)."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

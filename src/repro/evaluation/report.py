@@ -1,0 +1,124 @@
+"""Aggregation of study results into the paper's figures and table.
+
+* :meth:`StudyReport.figure11` — avg. time and avg. iterations per task
+  (NaLIX block);
+* :meth:`StudyReport.figure12` — avg. precision/recall per task, NaLIX
+  vs. keyword search;
+* :meth:`StudyReport.table7` — avg. precision/recall over all queries,
+  over correctly specified queries, and over correctly specified+parsed
+  queries, with the query counts.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.tasks import TASKS
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+class StudyReport:
+    """Formats a :class:`~repro.evaluation.study.StudyResults`."""
+
+    def __init__(self, results):
+        self.results = results
+        self.task_ids = [task.task_id for task in TASKS]
+
+    # -- Figure 11 ------------------------------------------------------------
+
+    def figure11(self):
+        """Rows: task -> (avg seconds, avg iterations, max iterations)."""
+        rows = {}
+        for task_id in self.task_ids:
+            records = self.results.by_task("nalix", task_id)
+            rows[task_id] = {
+                "avg_seconds": _mean(r.seconds for r in records),
+                "avg_iterations": _mean(r.iterations for r in records),
+                "max_iterations": max((r.iterations for r in records), default=0),
+                "min_iterations": min((r.iterations for r in records), default=0),
+            }
+        return rows
+
+    # -- Figure 12 --------------------------------------------------------------
+
+    def figure12(self):
+        """Rows: task -> P/R for both systems."""
+        rows = {}
+        for task_id in self.task_ids:
+            nalix = self.results.by_task("nalix", task_id)
+            keyword = self.results.by_task("keyword", task_id)
+            rows[task_id] = {
+                "nalix_precision": _mean(r.precision for r in nalix),
+                "nalix_recall": _mean(r.recall for r in nalix),
+                "keyword_precision": _mean(r.precision for r in keyword),
+                "keyword_recall": _mean(r.recall for r in keyword),
+            }
+        return rows
+
+    # -- Table 7 -----------------------------------------------------------------
+
+    def table7(self):
+        """The paper's three-row summary over accepted NaLIX queries."""
+        records = [r for r in self.results.by_system("nalix") if r.accepted]
+        specified = [r for r in records if r.specified_correctly]
+        parsed = [r for r in specified if r.parsed_correctly]
+        return {
+            "all queries": self._row(records),
+            "all queries specified correctly": self._row(specified),
+            "all queries specified and parsed correctly": self._row(parsed),
+        }
+
+    @staticmethod
+    def _row(records):
+        return {
+            "avg_precision": _mean(r.precision for r in records),
+            "avg_recall": _mean(r.recall for r in records),
+            "total_queries": len(records),
+        }
+
+    # -- rendering ------------------------------------------------------------------
+
+    def render_figure11(self):
+        lines = [
+            "Figure 11 — query formulation effort per task (NaLIX block)",
+            f"{'task':<6}{'avg time (s)':>14}{'avg iters':>12}{'max iters':>12}",
+        ]
+        for task_id, row in self.figure11().items():
+            lines.append(
+                f"{task_id:<6}{row['avg_seconds']:>14.1f}"
+                f"{row['avg_iterations']:>12.2f}{row['max_iterations']:>12d}"
+            )
+        return "\n".join(lines)
+
+    def render_figure12(self):
+        lines = [
+            "Figure 12 — search quality per task, NaLIX vs keyword search",
+            f"{'task':<6}{'NaLIX P':>9}{'NaLIX R':>9}{'KW P':>9}{'KW R':>9}",
+        ]
+        for task_id, row in self.figure12().items():
+            lines.append(
+                f"{task_id:<6}{row['nalix_precision']:>9.3f}"
+                f"{row['nalix_recall']:>9.3f}"
+                f"{row['keyword_precision']:>9.3f}"
+                f"{row['keyword_recall']:>9.3f}"
+            )
+        return "\n".join(lines)
+
+    def render_table7(self):
+        lines = [
+            "Table 7 — average precision and recall (NaLIX block)",
+            f"{'subset':<46}{'avg P':>8}{'avg R':>8}{'queries':>9}",
+        ]
+        for label, row in self.table7().items():
+            lines.append(
+                f"{label:<46}{row['avg_precision']:>8.1%}"
+                f"{row['avg_recall']:>8.1%}{row['total_queries']:>9d}"
+            )
+        return "\n".join(lines)
+
+    def render(self):
+        return "\n\n".join(
+            [self.render_figure11(), self.render_figure12(), self.render_table7()]
+        )

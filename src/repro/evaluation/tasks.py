@@ -1,0 +1,323 @@
+"""The nine XMP search tasks, adapted to the DBLP collection.
+
+The paper used the "XMP" use-case set (W3C XQuery Use Cases) with the
+exclusions listed in its footnote 7 (Q2, Q5, Q12; Q11's second
+sub-task), against a DBLP sub-collection where ``year`` replaces
+``price``. Each task here carries:
+
+* the elaborated task description shown to (simulated) participants;
+* a gold-result function (the "correct schema-aware XQuery" equivalent,
+  computed directly over the document);
+* a pool of natural-language phrasings: correct ones, mis-specified
+  ones (accepted by NaLIX but not matching the task description — the
+  paper's "failed to write a query that matched the exact task
+  description"), and invalid ones (rejected with feedback, e.g. the
+  "as" constructions of the paper's Query 1);
+* keyword-query variants for the baseline block.
+
+Phrasing labels: ``specified`` — does the phrasing match the task
+description; ``parsed`` — does the parse/translation preserve the
+intent (False models the paper's Minipar mis-parses, e.g. the
+", including their year and title" conjunction loss).
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import ElementNode
+
+
+class Phrasing:
+    """One natural-language phrasing variant of a task."""
+
+    def __init__(self, text, specified=True, parsed=True, valid=True):
+        self.text = text
+        self.specified = specified
+        self.parsed = parsed
+        self.valid = valid  # expected to be accepted by NaLIX
+
+    def __repr__(self):
+        flags = []
+        if not self.valid:
+            flags.append("invalid")
+        if not self.specified:
+            flags.append("misspec")
+        if not self.parsed:
+            flags.append("misparse")
+        return f"Phrasing({self.text[:32]!r}, {'+'.join(flags) or 'good'})"
+
+
+class SearchTask:
+    """One task of the study."""
+
+    def __init__(self, task_id, description, gold, phrasings,
+                 keyword_queries, ordered=False):
+        self.task_id = task_id
+        self.description = description
+        self._gold = gold
+        self.phrasings = phrasings
+        self.keyword_queries = keyword_queries
+        self.ordered = ordered
+
+    def gold(self, database):
+        return self._gold(database.document())
+
+    def good_phrasings(self):
+        return [p for p in self.phrasings if p.valid and p.specified and p.parsed]
+
+    def __repr__(self):
+        return f"SearchTask({self.task_id})"
+
+
+# -- gold helpers ------------------------------------------------------------------
+
+
+def _books(document):
+    return document.root.child_elements("book")
+
+
+def _articles(document):
+    return document.root.child_elements("article")
+
+
+def _child_text(element, tag):
+    children = element.child_elements(tag)
+    return children[0].string_value().strip() if children else ""
+
+
+def _child(element, tag):
+    children = element.child_elements(tag)
+    return children[0] if children else None
+
+
+def _gold_q1(document):
+    gold = []
+    for book in _books(document):
+        year = _child_text(book, "year")
+        if _child_text(book, "publisher") == "Addison-Wesley" and year and int(
+            year
+        ) > 1991:
+            gold.extend([_child(book, "year"), _child(book, "title")])
+    return [node for node in gold if node is not None]
+
+
+def _gold_q3(document):
+    gold = []
+    for book in _books(document):
+        gold.append(_child(book, "title"))
+        gold.extend(book.child_elements("author"))
+    return [node for node in gold if node is not None]
+
+
+def _gold_q4(document):
+    gold = []
+    for article in _articles(document):
+        gold.extend(article.child_elements("author"))
+        gold.append(_child(article, "title"))
+    return [node for node in gold if node is not None]
+
+
+def _gold_q6(document):
+    """Title plus the first two authors of each book (XMP Q6)."""
+    gold = []
+    for book in _books(document):
+        gold.append(_child(book, "title"))
+        gold.extend(book.child_elements("author")[:2])
+    return [node for node in gold if node is not None]
+
+
+def _gold_q7(document):
+    titles = [_child(book, "title") for book in _books(document)]
+    titles = [node for node in titles if node is not None]
+    return sorted(titles, key=lambda node: node.string_value().casefold())
+
+
+def _gold_q8(document):
+    gold = []
+    for book in _books(document):
+        if "suciu" in book.string_value().casefold():
+            gold.append(book)
+    return gold
+
+
+def _gold_q9(document):
+    gold = []
+    for element in document.root.children:
+        if not isinstance(element, ElementNode):
+            continue
+        title = _child(element, "title")
+        if title is not None and "xml" in title.string_value().casefold():
+            gold.append(title)
+    return gold
+
+
+def _gold_q10(document):
+    """For each publisher element, the number of books it published."""
+    counts = {}
+    for book in _books(document):
+        name = _child_text(book, "publisher")
+        counts[name] = counts.get(name, 0) + 1
+    gold = []
+    for book in _books(document):
+        publisher = _child(book, "publisher")
+        if publisher is not None:
+            gold.append(counts[publisher.string_value().strip()])
+    return gold
+
+
+def _gold_q11(document):
+    gold = []
+    for article in _articles(document):
+        year = _child_text(article, "year")
+        if year and int(year) > 2000:
+            gold.extend([_child(article, "title"), _child(article, "journal")])
+    return [node for node in gold if node is not None]
+
+
+# -- the task list ------------------------------------------------------------------------
+
+TASKS = [
+    SearchTask(
+        "Q1",
+        "List the year and title of each book published by Addison-Wesley "
+        "after 1991.",
+        _gold_q1,
+        [
+            Phrasing("Return the year and title of every book published by "
+                     "Addison-Wesley after 1991."),
+            Phrasing("Find the year and the title of each book published by "
+                     "Addison-Wesley after 1991."),
+            Phrasing("List books published by Addison-Wesley after 1991.",
+                     specified=False),
+            Phrasing("List books published by Addison-Wesley after 1991, "
+                     "including their year and title.", parsed=False),
+            Phrasing("Show books that appeared at Addison-Wesley as of 1991.",
+                     valid=False),
+        ],
+        ["book Addison-Wesley 1991 year title", "Addison-Wesley book year"],
+    ),
+    SearchTask(
+        "Q3",
+        "List the title and all the authors of each book.",
+        _gold_q3,
+        [
+            Phrasing("Return the title and the authors of every book."),
+            Phrasing("Find the title and the authors of each book."),
+            Phrasing("List every book with title and authors.", specified=False),
+            Phrasing("Return the title of every book.", specified=False),
+            Phrasing("Return title as well as authors of all books.",
+                     valid=False),
+        ],
+        ["book title author", "title author"],
+    ),
+    SearchTask(
+        "Q4",
+        "List the authors and the title of each article.",
+        _gold_q4,
+        [
+            Phrasing("Return the authors and the title of every article."),
+            Phrasing("Find the authors and the title of each article."),
+            Phrasing("List every article with authors and title.",
+                     specified=False),
+            Phrasing("Return the authors of every article.", specified=False),
+            Phrasing("Return the authors of articles as title groups.",
+                     valid=False),
+        ],
+        ["article author title", "author article"],
+    ),
+    SearchTask(
+        "Q6",
+        "For each book, list its title and its first two authors.",
+        _gold_q6,
+        [
+            Phrasing("Return the title and the authors of every book.",
+                     specified=True),
+            Phrasing("Find the title and the authors of each book.",
+                     specified=True),
+            Phrasing("List books with title and authors.", specified=False),
+            Phrasing("Return the title and the first two authors of every "
+                     "book.", valid=False),
+        ],
+        ["book title author", "book author"],
+    ),
+    SearchTask(
+        "Q7",
+        "List the title of each book, in alphabetic order of the titles.",
+        _gold_q7,
+        [
+            Phrasing("Return the title of every book, sorted by title."),
+            Phrasing("List the title of each book in alphabetical order of "
+                     "the title."),
+            Phrasing("Return every book sorted by title.", specified=False),
+            Phrasing("Return the titles of books as an alphabetic list.",
+                     valid=False),
+        ],
+        ["book title sorted", "title alphabetic order"],
+        ordered=True,
+    ),
+    SearchTask(
+        "Q8",
+        'Find each book in which the name "Suciu" occurs.',
+        _gold_q8,
+        [
+            Phrasing('Find every book where the author of the book contains '
+                     '"Suciu".'),
+            Phrasing('Return every book where the author of the book '
+                     'contains "Suciu".'),
+            Phrasing('Find the book of "Suciu".', specified=False),
+            Phrasing('Find books mentioning "Suciu" somewhere inside.',
+                     valid=False),
+        ],
+        ['book "Suciu"', "Suciu"],
+    ),
+    SearchTask(
+        "Q9",
+        'List each title that contains the word "XML".',
+        _gold_q9,
+        [
+            Phrasing('Return every title that contains "XML".'),
+            Phrasing('Find the titles containing "XML".'),
+            Phrasing('Return every book where the title of the book contains '
+                     '"XML".', specified=False),
+            Phrasing('Return titles such that "XML" shows up.', valid=False),
+        ],
+        ['title "XML"', "XML title"],
+    ),
+    SearchTask(
+        "Q10",
+        "For each publisher, find the number of books it published.",
+        _gold_q10,
+        [
+            Phrasing("Return the number of books published by each "
+                     "publisher."),
+            Phrasing("Return the number of books of every publisher."),
+            Phrasing("Return the number of books.", specified=False),
+            Phrasing("Count books per publisher as totals.", valid=False),
+        ],
+        ["publisher number books", "publisher book count"],
+    ),
+    SearchTask(
+        "Q11",
+        "List the title and the journal of each article published after "
+        "2000.",
+        _gold_q11,
+        [
+            Phrasing("Return the title and the journal of every article "
+                     "published after 2000."),
+            Phrasing("Find the title and the journal of each article "
+                     "published after 2000."),
+            Phrasing("List articles published after 2000.", specified=False),
+            Phrasing("Return the title of every article published after "
+                     "2000.", specified=False),
+            Phrasing("Return articles as title and journal after 2000.",
+                     valid=False),
+        ],
+        ["article 2000 title journal", "article journal 2000"],
+    ),
+]
+
+
+def task_by_id(task_id):
+    for task in TASKS:
+        if task.task_id == task_id:
+            return task
+    raise KeyError(task_id)

@@ -1,0 +1,117 @@
+"""Simulated study participants.
+
+Each participant is a seeded stochastic process standing in for one of
+the paper's 18 recruits ("familiar with keyword search, little knowledge
+of any formal query language"). The model captures the behaviours the
+paper reports:
+
+* an initial phrasing is drawn from the task's pool — skilled users are
+  likelier to start with a phrasing inside NaLIX's linguistic coverage;
+* feedback teaches: after a rejection with an error message, the odds of
+  choosing an acceptable phrasing rise sharply (the paper: "through such
+  interactive query formulation process, a user will gradually learn the
+  linguistic coverage of the system");
+* poor results also teach: after passing the criterion with a weak score
+  the user may revise once more, preferring better-specified phrasings;
+* each iteration costs time with a floor of about 50 seconds (the paper
+  observes that floor: reading, thinking, typing);
+* in the keyword block, users try the task's keyword variants.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class Participant:
+    """One simulated participant."""
+
+    def __init__(self, participant_id, seed):
+        self.participant_id = participant_id
+        self.rng = random.Random(seed)
+        # Skill in [0, 1]: affects initial phrasing choice and speed.
+        self.skill = self.rng.uniform(0.2, 0.95)
+        self.typing_speed = self.rng.uniform(0.8, 1.3)
+
+    # -- phrasing choice -------------------------------------------------------
+
+    def choose_phrasing(self, task, attempt, tried, had_error_feedback,
+                        had_poor_results):
+        """Pick the next phrasing for ``task``.
+
+        ``tried`` are phrasings already used (not repeated while
+        alternatives remain). Returns a Phrasing.
+        """
+        pool = [p for p in task.phrasings if p not in tried]
+        if not pool:
+            pool = list(task.phrasings)
+
+        good_weight = 0.2 + 0.35 * self.skill
+        if had_error_feedback:
+            good_weight = min(0.97, good_weight + 0.38)
+        if had_poor_results:
+            good_weight = min(0.97, good_weight + 0.32)
+        if attempt > 1:
+            good_weight = min(0.97, good_weight + 0.12 * (attempt - 1))
+
+        good = [p for p in pool if p.valid and p.specified and p.parsed]
+        weak = [p for p in pool if p.valid and not (p.specified and p.parsed)]
+        invalid = [p for p in pool if not p.valid]
+
+        roll = self.rng.random()
+        if good and (roll < good_weight or not (weak or invalid)):
+            return self.rng.choice(good)
+        if weak and (roll < good_weight + 0.75 * (1 - good_weight) or not invalid):
+            return self.rng.choice(weak)
+        if invalid:
+            return self.rng.choice(invalid)
+        return self.rng.choice(pool)
+
+    def choose_keyword_query(self, task, attempt):
+        queries = task.keyword_queries
+        index = min(attempt - 1, len(queries) - 1)
+        return queries[index]
+
+    # -- timing model -----------------------------------------------------------
+
+    def attempt_seconds(self, attempt, sentence):
+        """Seconds spent on one attempt (read, think, type, submit).
+
+        The first attempt includes reading and understanding the task
+        description; later attempts include reading feedback and
+        revising. There is a hard floor near 50 s on the first attempt,
+        matching the paper's observation.
+        """
+        base = 27.0 if attempt == 1 else 11.0
+        typing = 0.36 * len(sentence) / self.typing_speed
+        thinking = self.rng.uniform(5.0, 17.0) * (1.3 - 0.5 * self.skill)
+        total = base + typing + thinking
+        if attempt == 1:
+            total = max(total, 47.0 + self.rng.uniform(0.0, 6.0))
+        return total
+
+    def review_seconds(self):
+        """Time spent inspecting returned results."""
+        return self.rng.uniform(3.0, 10.0)
+
+    # -- stopping rule -----------------------------------------------------------
+
+    def satisfied(self, score, passing_threshold):
+        """Stop after a passing attempt? Better scores satisfy more."""
+        if score < passing_threshold:
+            return False
+        if score >= 0.95:
+            return True
+        # The paper: participants who reached the criterion could choose
+        # to move on or revise; most moved on.
+        keep_probability = 0.62 + 0.33 * score
+        return self.rng.random() < keep_probability
+
+
+def make_participants(count, seed):
+    """The study cohort, deterministically derived from ``seed``."""
+    master = random.Random(seed)
+    return [
+        Participant(index + 1, master.randrange(1_000_000_000))
+        for index in range(count)
+    ]

@@ -1,0 +1,14 @@
+"""Keyword search over XML (the paper's baseline interface).
+
+Implements nearest-concept keyword queries in the style of the Meet
+operator (Schmidt, Kersten & Windhouwer, ICDE 2001), which the paper's
+user study used as the comparison system: each keyword matches element
+names and text values; the *meet* of a keyword combination is the
+deepest lowest-common-ancestor node, i.e. the most specific element
+relating all the keywords.
+"""
+
+from repro.keyword_search.engine import KeywordSearchEngine
+from repro.keyword_search.meet import meet_nodes, nearest_concepts
+
+__all__ = ["KeywordSearchEngine", "meet_nodes", "nearest_concepts"]

@@ -1,0 +1,71 @@
+"""Keyword-query front end over the meet operator.
+
+Splits a keyword query into terms (quoted phrases stay whole), matches
+each term against element/attribute names and text values, folds the
+meet operator over the match sets, and returns the nearest-concept
+elements. This is the system the paper's participants used in the
+keyword-search block of the study.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.keyword_search.meet import nearest_concepts
+from repro.nlp.morphology import pluralize, singularize
+
+_STOPWORDS = {
+    "the", "a", "an", "of", "in", "on", "by", "with", "for", "and", "or",
+    "to", "all", "every", "each", "that", "which", "is", "are", "was",
+    "were", "find", "list", "return", "show", "me",
+}
+
+_TERM_RE = re.compile(r'"([^"]+)"|(\S+)')
+
+
+class KeywordSearchEngine:
+    """Nearest-concept keyword search against one database."""
+
+    def __init__(self, database, result_limit=50):
+        self.database = database
+        self.result_limit = result_limit
+
+    def split_terms(self, query):
+        """Terms of a keyword query; quoted phrases are single terms."""
+        terms = []
+        for quoted, bare in _TERM_RE.findall(query):
+            term = quoted or bare
+            cleaned = term.strip().strip(",.;:!?")
+            if not cleaned:
+                continue
+            if not quoted and cleaned.lower() in _STOPWORDS:
+                continue
+            terms.append(cleaned)
+        return terms
+
+    def match_nodes(self, term):
+        """Nodes a term matches: by tag name, then by text value."""
+        lowered = term.lower()
+        matches = {}
+        for form in {lowered, singularize(lowered), pluralize(lowered)}:
+            for node in self.database.nodes_with_tag(form):
+                matches[node.node_id] = node
+            for node in self.database.nodes_with_tag("@" + form):
+                matches[node.node_id] = node
+        for node in self.database.value_index.nodes_with_phrase(term):
+            matches[node.node_id] = node
+        return [matches[key] for key in sorted(matches)]
+
+    def search(self, query):
+        """Run a keyword query; returns nearest-concept element nodes."""
+        terms = self.split_terms(query)
+        if not terms:
+            return []
+        node_sets = [self.match_nodes(term) for term in terms]
+        if len(node_sets) == 1:
+            return node_sets[0][: self.result_limit]
+        concepts = nearest_concepts(node_sets)
+        # A meet at the document root relates nothing: it means the
+        # keywords only co-occur at the whole-document level.
+        concepts = [node for node in concepts if node.parent is not None]
+        return concepts[: self.result_limit]

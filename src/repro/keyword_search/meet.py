@@ -1,0 +1,62 @@
+"""The meet operator: nearest-concept computation over node sets.
+
+``meet(A, B)`` pairs each node of A with its structurally nearest node
+of B (deepest LCA); the meets are the LCA nodes themselves. The n-ary
+form folds left: ``meet(meet(A, B), C)``. Results are ranked by depth —
+deeper meets relate the keywords more specifically.
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import lowest_common_ancestor
+from repro.xquery.mqf import CandidateSet
+
+
+def meet_nodes(set_a, set_b):
+    """All meet nodes of two node sets, deduplicated.
+
+    For every node of each set, the deepest LCA reachable with the other
+    set is a meet (computed via the preorder-neighbour argument used by
+    the MQF join).
+    """
+    candidates_a = CandidateSet(set_a)
+    candidates_b = CandidateSet(set_b)
+    meets = {}
+    for node, other_set in ((a, candidates_b) for a in candidates_a):
+        best = None
+        for other in other_set.neighbours(node):
+            lca = lowest_common_ancestor(node, other)
+            if best is None or lca.depth > best.depth:
+                best = lca
+        if best is not None:
+            meets[best.node_id] = best
+    for node in candidates_b:
+        best = None
+        for other in candidates_a.neighbours(node):
+            lca = lowest_common_ancestor(node, other)
+            if best is None or lca.depth > best.depth:
+                best = lca
+        if best is not None:
+            meets[best.node_id] = best
+    return [meets[key] for key in sorted(meets)]
+
+
+def nearest_concepts(node_sets, limit=None):
+    """Fold the meet operator across several keyword node sets.
+
+    Returns meet nodes ranked by depth (deepest first, document order as
+    a tiebreak). Empty input sets shortcut to no results — a keyword
+    with no match means the combination cannot be related.
+    """
+    node_sets = [list(node_set) for node_set in node_sets]
+    if not node_sets or any(not node_set for node_set in node_sets):
+        return []
+    current = node_sets[0]
+    for node_set in node_sets[1:]:
+        current = meet_nodes(current, node_set)
+        if not current:
+            return []
+    ranked = sorted(current, key=lambda node: (-node.depth, node.node_id))
+    if limit is not None:
+        ranked = ranked[:limit]
+    return ranked

@@ -1,0 +1,29 @@
+"""Dependency parsing for query English (the paper's Minipar stand-in).
+
+The pipeline is: :mod:`tokenizer` (quotation-aware word splitting) ->
+:mod:`chunker` (multi-word expression and proper-noun merging, driven by
+a caller-supplied vocabulary) -> :mod:`tagger` (lexicon + morphology
+category assignment) -> :mod:`dependency` (deterministic attachment
+rules producing a :class:`~repro.nlp.parse_tree.ParseNode` tree).
+
+The parser is *generic*: it has its own closed-class lexicon and
+morphology, and accepts extra vocabulary (multi-word phrases with their
+syntactic categories) from the application — this is how NaLIX's
+enumerated phrase sets ("the same as", "the number of", ...) reach the
+parser, just as Minipar consults its lexicon.
+"""
+
+from repro.nlp.categories import Category
+from repro.nlp.dependency import DependencyParser
+from repro.nlp.errors import ParseFailure
+from repro.nlp.parse_tree import ParseNode
+from repro.nlp.tokenizer import Word, tokenize_sentence
+
+__all__ = [
+    "Category",
+    "DependencyParser",
+    "ParseFailure",
+    "ParseNode",
+    "Word",
+    "tokenize_sentence",
+]

@@ -1,0 +1,53 @@
+"""Syntactic categories used across the NLP pipeline.
+
+These are coarse, parser-level categories (what Minipar's grammatical
+classes give NaLIX), not NaLIX token types: the mapping from categories
+to token types (CMT, NT, VT, ...) is the job of
+:mod:`repro.core.classifier`.
+"""
+
+
+class Category:
+    """Namespace of category constants."""
+
+    COMMAND = "COMMAND"          # imperative query verb: return, list, find
+    WH = "WH"                    # wh-phrase: what, which, who (query-initial)
+    NOUN = "NOUN"                # common noun (potential name token)
+    VALUE = "VALUE"              # quoted string, number, or proper-noun run
+    PREP = "PREP"                # preposition (potential connection marker)
+    VERB = "VERB"                # non-command verb (relates two nouns)
+    FUNCTION = "FUNCTION"        # "the number of", "lowest", ... (aggregates)
+    COMPARATIVE = "COMPARATIVE"  # "the same as", "greater than", "after", ...
+    ORDER = "ORDER"              # "sorted by", "in alphabetical order", ...
+    QUANTIFIER = "QUANTIFIER"    # every, each, all, some, any
+    DETERMINER = "DETERMINER"    # the, a, an, this, those
+    ADJECTIVE = "ADJECTIVE"      # plain adjective (modifier marker)
+    NEGATION = "NEGATION"        # not, never
+    CONJUNCTION = "CONJUNCTION"  # and
+    PRONOUN = "PRONOUN"          # it, they, their, its
+    AUXILIARY = "AUXILIARY"      # is, are, has, have, do, been ...
+    SUBORDINATOR = "SUBORDINATOR"  # where, that/who/which introducing clauses
+    BOUNDARY = "BOUNDARY"        # comma and other clause punctuation
+    UNKNOWN = "UNKNOWN"          # a word the lexicon cannot place
+
+    ALL = (
+        COMMAND,
+        WH,
+        NOUN,
+        VALUE,
+        PREP,
+        VERB,
+        FUNCTION,
+        COMPARATIVE,
+        ORDER,
+        QUANTIFIER,
+        DETERMINER,
+        ADJECTIVE,
+        NEGATION,
+        CONJUNCTION,
+        PRONOUN,
+        AUXILIARY,
+        SUBORDINATOR,
+        BOUNDARY,
+        UNKNOWN,
+    )

@@ -1,0 +1,146 @@
+"""Chunking: merge tagged words into multi-word parse units.
+
+Three merges happen here, in order:
+
+1. **Vocabulary phrases** — longest-first matching of the application's
+   multi-word phrases ("the same as", "the number of", "sorted by") over
+   *lemmatised* words, so "is the same as" matches the stored
+   "be the same as".
+2. **Participle + by** — "directed by", "published by": a relation verb
+   immediately followed by "by" becomes one verbal connector chunk.
+3. **Proper-name runs** — consecutive VALUE words merge ("Ron Howard").
+"""
+
+from __future__ import annotations
+
+from repro.nlp.categories import Category
+
+
+class Chunk:
+    """A maximal parse unit: one or more tagged words."""
+
+    __slots__ = ("tagged_words", "category", "lemma")
+
+    def __init__(self, tagged_words, category, lemma=None):
+        self.tagged_words = tagged_words
+        self.category = category
+        self.lemma = lemma or " ".join(tw.lemma for tw in tagged_words)
+
+    @property
+    def text(self):
+        return " ".join(tw.text for tw in self.tagged_words)
+
+    @property
+    def index(self):
+        return self.tagged_words[0].word.index
+
+    @property
+    def quoted(self):
+        return len(self.tagged_words) == 1 and self.tagged_words[0].word.quoted
+
+    def __repr__(self):
+        return f"Chunk({self.text!r}, {self.category})"
+
+
+def build_chunks(tagged_words, phrase_vocabulary=None):
+    """Merge ``tagged_words`` into chunks.
+
+    ``phrase_vocabulary`` maps lemma phrases (space-separated, length >= 2)
+    to categories; single-word vocabulary is handled by the tagger.
+    """
+    phrases = _index_phrases(phrase_vocabulary or {})
+    chunks = []
+    position = 0
+    while position < len(tagged_words):
+        match = _match_phrase(tagged_words, position, phrases)
+        if match is not None:
+            length, category, lemma = match
+            chunks.append(
+                Chunk(tagged_words[position : position + length], category, lemma)
+            )
+            position += length
+            continue
+        chunks.append(Chunk([tagged_words[position]], tagged_words[position].category))
+        position += 1
+    chunks = _merge_participle_by(chunks)
+    chunks = _merge_value_runs(chunks)
+    return chunks
+
+
+def _index_phrases(phrase_vocabulary):
+    """Group phrases by first lemma for quick candidate lookup."""
+    by_first = {}
+    for phrase, category in phrase_vocabulary.items():
+        parts = tuple(phrase.split())
+        if len(parts) < 2:
+            continue
+        by_first.setdefault(parts[0], []).append((parts, category, phrase))
+    for candidates in by_first.values():
+        candidates.sort(key=lambda item: -len(item[0]))
+    return by_first
+
+
+def _match_phrase(tagged_words, position, phrases):
+    first = tagged_words[position]
+    if first.word.quoted:
+        return None
+    for parts, category, phrase in phrases.get(first.lemma, ()):
+        if position + len(parts) > len(tagged_words):
+            continue
+        window = tagged_words[position : position + len(parts)]
+        if any(tw.word.quoted for tw in window):
+            continue
+        if all(tw.lemma == part for tw, part in zip(window, parts)):
+            return (len(parts), category, phrase)
+    return None
+
+
+def _merge_participle_by(chunks):
+    """"directed" + "by" -> one VERB chunk "directed by"."""
+    merged = []
+    position = 0
+    while position < len(chunks):
+        current = chunks[position]
+        nxt = chunks[position + 1] if position + 1 < len(chunks) else None
+        if (
+            current.category == Category.VERB
+            and nxt is not None
+            and nxt.category == Category.PREP
+            and nxt.lemma == "by"
+        ):
+            merged.append(
+                Chunk(
+                    current.tagged_words + nxt.tagged_words,
+                    Category.VERB,
+                    current.lemma + " by",
+                )
+            )
+            position += 2
+            continue
+        merged.append(current)
+        position += 1
+    return merged
+
+
+def _merge_value_runs(chunks):
+    """Merge consecutive unquoted VALUE chunks: "Ron" "Howard" -> one."""
+    merged = []
+    for chunk in chunks:
+        if (
+            merged
+            and chunk.category == Category.VALUE
+            and merged[-1].category == Category.VALUE
+            and not chunk.quoted
+            and not merged[-1].quoted
+        ):
+            last = merged.pop()
+            merged.append(
+                Chunk(
+                    last.tagged_words + chunk.tagged_words,
+                    Category.VALUE,
+                    last.lemma + " " + chunk.lemma,
+                )
+            )
+        else:
+            merged.append(chunk)
+    return merged

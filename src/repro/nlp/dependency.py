@@ -1,0 +1,443 @@
+"""Deterministic dependency parser for query English.
+
+The parser consumes the chunk stream left to right, maintaining a small
+attachment state (current clause anchor, the last noun head, an open
+complement slot, the clause's subject). The rules are tuned to the query
+genre — an imperative or wh root, noun phrases, "of"/"with" chains,
+participle connectors, comparatives, and subordinate "where" clauses —
+and produce trees with the same shapes as the paper's Figures 2, 3
+and 10.
+
+The parser is intentionally *not* a general English grammar: like the
+paper's use of Minipar, it occasionally mis-attaches (and NaLIX's
+validator then reports what it could not use). That behaviour is part of
+what the reproduction models.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.categories import Category
+from repro.nlp.chunker import build_chunks
+from repro.nlp.errors import ParseFailure
+from repro.nlp.parse_tree import ParseNode
+from repro.nlp.tagger import tag_words
+from repro.nlp.tokenizer import tokenize_sentence
+
+_NP_CATEGORIES = (Category.NOUN, Category.FUNCTION, Category.VALUE,
+                  Category.PRONOUN)
+
+# Verbs/prepositions that, after a comma, extend the command's return
+# list ("..., including their year and title").
+_RETURN_EXTENDERS = {"include", "with", "along with", "as well as"}
+
+
+class DependencyParser:
+    """Parses sentences into :class:`ParseNode` trees.
+
+    ``vocabulary`` maps lemma phrases to :class:`Category` values; NaLIX
+    supplies its enumerated phrase sets through it. Single-word entries
+    override the tagger, multi-word entries drive the chunker.
+    """
+
+    def __init__(self, vocabulary=None):
+        vocabulary = dict(vocabulary or {})
+        self.word_vocabulary = {
+            phrase: category
+            for phrase, category in vocabulary.items()
+            if " " not in phrase
+        }
+        self.phrase_vocabulary = {
+            phrase: category
+            for phrase, category in vocabulary.items()
+            if " " in phrase
+        }
+
+    def parse(self, sentence):
+        """Parse ``sentence``; raises :class:`ParseFailure` when no tree
+        can be built (empty input, no recognisable structure)."""
+        words = tokenize_sentence(sentence)
+        if not words:
+            raise ParseFailure("the query is empty", sentence=sentence)
+        tagged = tag_words(words, self.word_vocabulary)
+        chunks = build_chunks(tagged, self.phrase_vocabulary)
+        tree = _TreeBuilder(sentence, chunks).build()
+        return tree.assign_ids()
+
+
+class _TreeBuilder:
+    """One-pass attachment state machine over the chunk stream."""
+
+    def __init__(self, sentence, chunks):
+        self.sentence = sentence
+        self.chunks = chunks
+        self.position = 0
+        self.root = None
+        self.clause_anchor = None
+        self.slot = None            # CM/OT/FT/OBT node awaiting complement
+        self.last_noun = None       # most recent noun-like head
+        self.last_np_node = None    # most recent attached NP-ish node
+        self.subject_head = None    # current clause subject (for OT lifting)
+        self.in_subclause = False
+        self.pending_modifiers = []
+        self.pending_negation = None
+        self.copula_pending = False
+        self.copula_noun = None
+        self.have_context = False
+        self.after_boundary = False
+        self.coordination_parent = None
+        self.coordination_first = None
+
+    # -- helpers ------------------------------------------------------------
+
+    def _node(self, chunk, category=None):
+        return ParseNode(
+            chunk.text,
+            chunk.lemma,
+            category or chunk.category,
+            chunk.index,
+            quoted=chunk.quoted,
+        )
+
+    def _peek(self, offset=1):
+        index = self.position + offset
+        if index < len(self.chunks):
+            return self.chunks[index]
+        return None
+
+    def _attach_modifiers(self, head):
+        for modifier in self.pending_modifiers:
+            head.attach(modifier)
+        self.pending_modifiers = []
+
+    def _ensure_root(self, chunk):
+        """Queries must open with a command/wh chunk; otherwise a
+        placeholder root is created for the validator to reject."""
+        if self.root is not None:
+            return
+        placeholder = ParseNode("", "", Category.UNKNOWN, -1)
+        self.root = placeholder
+        self.clause_anchor = placeholder
+
+    # -- main loop --------------------------------------------------------------
+
+    def build(self):
+        while self.position < len(self.chunks):
+            chunk = self.chunks[self.position]
+            handler = _HANDLERS.get(chunk.category, _TreeBuilder._on_unknown)
+            handler(self, chunk)
+            if chunk.category != Category.BOUNDARY:
+                self.after_boundary = False
+            self.position += 1
+        if self.root is None:
+            raise ParseFailure(
+                "no query structure recognised", sentence=self.sentence
+            )
+        # Leftover modifiers with no head dangle from the root as markers.
+        for modifier in self.pending_modifiers:
+            self.root.attach(modifier)
+        self.pending_modifiers = []
+        return self.root
+
+    # -- handlers, one per category ------------------------------------------------
+
+    def _on_command(self, chunk):
+        if self.root is None:
+            node = self._node(chunk, Category.COMMAND)
+            self.root = node
+            self.clause_anchor = node
+            return
+        # A mid-sentence command verb behaves like a return extender.
+        self._on_verb(chunk)
+
+    def _on_wh(self, chunk):
+        if self.root is None:
+            node = self._node(chunk, Category.WH)
+            self.root = node
+            self.clause_anchor = node
+            return
+        self._attach_marker(chunk)
+
+    def _on_noun(self, chunk):
+        self._ensure_root(chunk)
+        head = self._node(chunk)
+        self._attach_modifiers(head)
+        parent = self._np_parent()
+        parent.attach(head)
+        if self.coordination_first is not None:
+            head.conjunct_of = self.coordination_first
+            self.coordination_first = None
+            self.coordination_parent = None
+        self.last_noun = head
+        self.last_np_node = head
+        if (
+            self.in_subclause
+            and self.subject_head is None
+            and parent is self.clause_anchor
+        ):
+            self.subject_head = head
+        self.copula_pending = False
+        self.have_context = False
+
+    def _on_function(self, chunk):
+        if self.root is None and self.position == 0:
+            # "How many movies ..." — the aggregate phrase itself opens
+            # the question; give it an implicit Return root.
+            implicit_root = ParseNode("", "return", Category.COMMAND, -1)
+            self.root = implicit_root
+            self.clause_anchor = implicit_root
+        self._ensure_root(chunk)
+        node = self._node(chunk)
+        self._attach_modifiers(node)
+        parent = self._np_parent()
+        parent.attach(node)
+        if self.coordination_first is not None:
+            node.conjunct_of = self.coordination_first
+            self.coordination_first = None
+            self.coordination_parent = None
+        if (
+            self.in_subclause
+            and self.subject_head is None
+            and parent is self.clause_anchor
+        ):
+            self.subject_head = node
+        self.slot = node
+        self.last_np_node = node
+        self.copula_pending = False
+
+    def _on_value(self, chunk):
+        self._ensure_root(chunk)
+        node = self._node(chunk)
+        self._attach_modifiers(node)
+        if self.slot is not None:
+            self.slot.attach(node)
+            self.slot = None
+        elif self.copula_pending and self.copula_noun is not None:
+            self.copula_noun.attach(node)
+            self.copula_pending = False
+        elif self.coordination_parent is not None:
+            self.coordination_parent.attach(node)
+            node.conjunct_of = self.coordination_first
+            self.coordination_parent = None
+            self.coordination_first = None
+        elif self.last_noun is not None:
+            self.last_noun.attach(node)
+        else:
+            self.clause_anchor.attach(node)
+            if self.in_subclause and self.subject_head is None:
+                self.subject_head = node
+        self.last_np_node = node
+
+    def _np_parent(self):
+        """Where the next noun-phrase head belongs."""
+        if self.slot is not None:
+            slot = self.slot
+            self.slot = None
+            return slot
+        if self.coordination_parent is not None:
+            return self.coordination_parent
+        if self.have_context and self.last_noun is not None:
+            return self.last_noun
+        if self.copula_pending and self.copula_noun is not None:
+            return self.copula_noun
+        return self.clause_anchor
+
+    def _on_prep(self, chunk):
+        self._ensure_root(chunk)
+        node = self._node(chunk)
+        if self.after_boundary and chunk.lemma in _RETURN_EXTENDERS:
+            self.root.attach(node)
+            self.last_noun = None
+        elif self.slot is not None:
+            self.slot.attach(node)
+        elif self.last_noun is not None:
+            self.last_noun.attach(node)
+        else:
+            self.clause_anchor.attach(node)
+        self.slot = node
+
+    def _on_verb(self, chunk):
+        self._ensure_root(chunk)
+        node = self._node(chunk)
+        if self.pending_negation is not None:
+            node.attach(self.pending_negation)
+            self.pending_negation = None
+        if self.after_boundary and chunk.lemma.split()[0] in _RETURN_EXTENDERS:
+            self.root.attach(node)
+            self.last_noun = None
+        elif self.last_noun is not None:
+            self.last_noun.attach(node)
+        else:
+            self.clause_anchor.attach(node)
+        self.slot = node
+        self.have_context = False
+        self.copula_pending = False
+
+    def _on_comparative(self, chunk):
+        self._ensure_root(chunk)
+        node = self._node(chunk, Category.COMPARATIVE)
+        if self.pending_negation is not None:
+            node.attach(self.pending_negation)
+            self.pending_negation = None
+        if self.in_subclause and self.subject_head is not None:
+            subject = self.subject_head
+            self.clause_anchor.attach(node)
+            subject.reattach_to(node)
+            self.subject_head = None
+        elif self.last_noun is not None:
+            self.last_noun.attach(node)
+        else:
+            self.clause_anchor.attach(node)
+        self.slot = node
+        self.copula_pending = False
+
+    def _on_order(self, chunk):
+        self._ensure_root(chunk)
+        node = self._node(chunk)
+        self.root.attach(node)
+        self.slot = node
+        self.copula_pending = False
+
+    def _on_quantifier(self, chunk):
+        self.pending_modifiers.append(self._node(chunk))
+
+    def _on_determiner(self, chunk):
+        nxt = self._peek()
+        if chunk.lemma in ("that", "which") and nxt is not None and nxt.category in (
+            Category.AUXILIARY,
+            Category.VERB,
+            Category.COMPARATIVE,
+        ):
+            self._on_subordinator(chunk)
+            return
+        self.pending_modifiers.append(self._node(chunk))
+
+    def _on_adjective(self, chunk):
+        self.pending_modifiers.append(self._node(chunk))
+
+    def _on_negation(self, chunk):
+        self.pending_negation = self._node(chunk)
+
+    def _on_conjunction(self, chunk):
+        if chunk.lemma != "and":
+            # Disjunction and contrast are outside the supported grammar;
+            # leave an unknown node for the validator to report.
+            self._on_unknown(chunk)
+            return
+        if self.last_np_node is not None and self.last_np_node.category in (
+            Category.NOUN,
+            Category.FUNCTION,
+        ):
+            self.coordination_parent = self.last_np_node.parent
+            self.coordination_first = self.last_np_node
+        else:
+            # Predicate-level "and": start a fresh predicate.
+            self.subject_head = None
+            self.last_noun = None
+            self.coordination_parent = None
+            self.coordination_first = None
+        self.slot = None
+        self.copula_pending = False
+        self.have_context = False
+
+    def _on_pronoun(self, chunk):
+        if chunk.lemma == "whose" and self.last_noun is not None:
+            # "movie whose director ..." — a possessive connector.
+            self._on_prep(chunk)
+            return
+        if chunk.lemma in ("their", "its", "his", "her", "whose", "my", "our",
+                           "your"):
+            self.pending_modifiers.append(self._node(chunk))
+            return
+        # A personal pronoun stands where a noun would (with a warning
+        # issued downstream by the validator).
+        self._on_noun(chunk)
+
+    def _on_auxiliary(self, chunk):
+        self._ensure_root(chunk)
+        if chunk.lemma == "be" and self._copula_is_predicate():
+            # In a subordinate clause, a copula linking the subject to a
+            # value is an equality operator: "where the director of each
+            # movie is Ron Howard". (When the copula is part of a phrase
+            # like "is the same as", the chunker has already merged it.)
+            self._on_comparative(chunk)
+            return
+        node = self._node(chunk)
+        # Auxiliaries are general markers: attach for provenance, but
+        # nothing ever hangs off them.
+        (self.last_noun or self.clause_anchor).attach(node)
+        if chunk.lemma == "have":
+            self.have_context = True
+        elif chunk.lemma == "be":
+            self.copula_pending = True
+            self.copula_noun = self.subject_head or self.last_noun
+        return
+
+    def _copula_is_predicate(self):
+        """Does this 'be' equate the clause subject with a value?"""
+        if not self.in_subclause or self.subject_head is None:
+            return False
+        offset = 1
+        while True:
+            nxt = self._peek(offset)
+            if nxt is None:
+                return False
+            if nxt.category in (Category.DETERMINER, Category.ADJECTIVE,
+                                Category.QUANTIFIER, Category.NEGATION):
+                offset += 1
+                continue
+            return nxt.category == Category.VALUE
+
+    def _on_subordinator(self, chunk):
+        self._ensure_root(chunk)
+        node = self._node(chunk)
+        (self.last_noun or self.clause_anchor).attach(node)
+        if chunk.lemma in ("where", "when", "while", "whereby"):
+            self.in_subclause = True
+            self.subject_head = None
+            self.last_noun = None
+        self.slot = None
+        self.copula_pending = False
+        self.have_context = False
+
+    def _on_boundary(self, chunk):
+        self.after_boundary = True
+        self.copula_pending = False
+        self.have_context = False
+        self.slot = None
+
+    def _on_unknown(self, chunk):
+        self._ensure_root(chunk)
+        node = self._node(chunk, Category.UNKNOWN)
+        if self.slot is not None:
+            self.slot.attach(node)
+        elif self.last_noun is not None:
+            self.last_noun.attach(node)
+        else:
+            self.clause_anchor.attach(node)
+
+    def _attach_marker(self, chunk):
+        node = self._node(chunk)
+        (self.last_noun or self.clause_anchor).attach(node)
+
+
+_HANDLERS = {
+    Category.COMMAND: _TreeBuilder._on_command,
+    Category.WH: _TreeBuilder._on_wh,
+    Category.NOUN: _TreeBuilder._on_noun,
+    Category.FUNCTION: _TreeBuilder._on_function,
+    Category.VALUE: _TreeBuilder._on_value,
+    Category.PREP: _TreeBuilder._on_prep,
+    Category.VERB: _TreeBuilder._on_verb,
+    Category.COMPARATIVE: _TreeBuilder._on_comparative,
+    Category.ORDER: _TreeBuilder._on_order,
+    Category.QUANTIFIER: _TreeBuilder._on_quantifier,
+    Category.DETERMINER: _TreeBuilder._on_determiner,
+    Category.ADJECTIVE: _TreeBuilder._on_adjective,
+    Category.NEGATION: _TreeBuilder._on_negation,
+    Category.CONJUNCTION: _TreeBuilder._on_conjunction,
+    Category.PRONOUN: _TreeBuilder._on_pronoun,
+    Category.AUXILIARY: _TreeBuilder._on_auxiliary,
+    Category.SUBORDINATOR: _TreeBuilder._on_subordinator,
+    Category.BOUNDARY: _TreeBuilder._on_boundary,
+    Category.UNKNOWN: _TreeBuilder._on_unknown,
+}

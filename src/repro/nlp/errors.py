@@ -1,0 +1,18 @@
+"""Errors raised by the NLP substrate."""
+
+
+class NLPError(Exception):
+    """Base class for NLP-layer errors."""
+
+
+class ParseFailure(NLPError):
+    """The dependency parser could not build a tree for the sentence.
+
+    The paper's Minipar also fails on a fraction of well-formed queries
+    (~88% precision / ~80% recall on SUSANNE); this exception is the
+    analogous failure mode and is surfaced to NaLIX's feedback layer.
+    """
+
+    def __init__(self, message, sentence=None):
+        super().__init__(message)
+        self.sentence = sentence

@@ -1,0 +1,243 @@
+"""Closed-class lexicon and open-class word lists for the tagger.
+
+The closed classes (determiners, prepositions, pronouns, auxiliaries,
+conjunctions) are small and exhaustive for query English. The open-class
+lists carry the verbs and adjectives that show up in database queries;
+unknown lowercase words default to NOUN (queries are mostly about
+things), and unknown capitalised words to VALUE.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.categories import Category
+
+DETERMINERS = {"the", "a", "an", "this", "that", "these", "those"}
+
+QUANTIFIERS = {"every", "each", "all", "any", "some", "no"}
+
+PREPOSITIONS = {
+    "of",
+    "in",
+    "on",
+    "at",
+    "by",
+    "with",
+    "from",
+    "for",
+    "to",
+    "about",
+    "under",
+    "over",
+    "between",
+    "within",
+    "into",
+    "as",
+    "per",
+    "during",
+    "through",
+    "without",
+}
+
+PRONOUNS = {
+    "it",
+    "its",
+    "they",
+    "them",
+    "their",
+    "theirs",
+    "he",
+    "she",
+    "him",
+    "her",
+    "his",
+    "hers",
+    "we",
+    "us",
+    "our",
+    "you",
+    "your",
+    "i",
+    "me",
+    "my",
+    "whose",
+    "whom",
+}
+
+AUXILIARIES = {
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "being",
+    "am",
+    "has",
+    "have",
+    "had",
+    "having",
+    "do",
+    "does",
+    "did",
+    "will",
+    "would",
+    "shall",
+    "should",
+    "can",
+    "could",
+    "may",
+    "might",
+    "must",
+    "there",  # existential "are there": carries no content in queries
+}
+
+CONJUNCTIONS = {"and", "or", "but", "nor"}
+
+NEGATIONS = {"not", "never", "n't"}
+
+SUBORDINATORS = {"where", "that", "which", "who", "when", "while", "whereby"}
+
+WH_WORDS = {"what", "which", "who", "whom", "whose", "how", "when", "where"}
+
+# Verbs commonly relating two entities in database queries (open class,
+# extensible). Stored as lemmas; the tagger lemmatises before lookup.
+RELATION_VERBS = {
+    "direct",
+    "publish",
+    "write",
+    "author",
+    "edit",
+    "produce",
+    "release",
+    "contain",
+    "include",
+    "have",
+    "belong",
+    "appear",
+    "occur",
+    "mention",
+    "cost",
+    "sell",
+    "buy",
+    "star",
+    "feature",
+    "cite",
+    "reference",
+    "review",
+    "win",
+    "make",
+    "create",
+    "record",
+    "perform",
+    "own",
+    "work",
+    "teach",
+    "study",
+    "supervise",
+    "manage",
+}
+
+PLAIN_ADJECTIVES = {
+    "many",
+    "few",
+    "fewer",
+    "several",
+    "more",
+    "most",
+    "less",
+    "top",
+    "new",
+    "old",
+    "recent",
+    "first",
+    "second",
+    "third",
+    "last",
+    "good",
+    "bad",
+    "long",
+    "short",
+    "big",
+    "small",
+    "famous",
+    "popular",
+    "different",
+    "distinct",
+    "unique",
+    "same",
+    "other",
+    "alphabetic",
+    "alphabetical",
+    "ascending",
+    "descending",
+    "expensive",
+    "cheap",
+}
+
+# Common nouns guaranteed to be nouns even when they could be read as
+# verbs ("title", "price"); keeps the tagger from mis-tagging heads.
+COMMON_NOUNS = {
+    "book",
+    "article",
+    "author",
+    "editor",
+    "title",
+    "price",
+    "year",
+    "publisher",
+    "movie",
+    "film",
+    "director",
+    "actor",
+    "name",
+    "number",
+    "element",
+    "document",
+    "database",
+    "entry",
+    "item",
+    "record",
+    "result",
+    "list",
+    "page",
+    "journal",
+    "volume",
+    "issue",
+    "isbn",
+    "genre",
+    "rating",
+    "review",
+    "section",
+    "chapter",
+    "person",
+    "people",
+    "city",
+    "country",
+    "date",
+    "month",
+    "day",
+    "award",
+    "study",
+    "work",
+}
+
+
+def closed_class_category(word):
+    """Category for a closed-class word, or None."""
+    if word in DETERMINERS:
+        return Category.DETERMINER
+    if word in QUANTIFIERS:
+        return Category.QUANTIFIER
+    if word in NEGATIONS:
+        return Category.NEGATION
+    if word in AUXILIARIES:
+        return Category.AUXILIARY
+    if word in CONJUNCTIONS:
+        return Category.CONJUNCTION
+    if word in PRONOUNS:
+        return Category.PRONOUN
+    if word in SUBORDINATORS:
+        return Category.SUBORDINATOR
+    if word in PREPOSITIONS:
+        return Category.PREP
+    return None

@@ -1,0 +1,219 @@
+"""Light-weight English morphology: lemmas for nouns and verbs.
+
+Covers regular inflection plus the irregulars that actually occur in
+database queries. Used by the tagger to normalise words before lexicon
+lookup, and by NaLIX's term expansion to match name tokens against
+database tag names ("movies" -> tag ``movie``).
+"""
+
+from __future__ import annotations
+
+_IRREGULAR_NOUNS = {
+    # -ies words whose stem ends in -ie (the "+ies -> y" rule is wrong).
+    "movies": "movie",
+    "cookies": "cookie",
+    "ties": "tie",
+    "pies": "pie",
+    "prices": "price",
+    "children": "child",
+    "people": "person",
+    "men": "man",
+    "women": "woman",
+    "feet": "foot",
+    "teeth": "tooth",
+    "mice": "mouse",
+    "geese": "goose",
+    "indices": "index",
+    "matrices": "matrix",
+    "appendices": "appendix",
+    "criteria": "criterion",
+    "phenomena": "phenomenon",
+    "data": "data",
+    "series": "series",
+    "species": "species",
+    "theses": "thesis",
+    "analyses": "analysis",
+}
+
+_IRREGULAR_VERBS = {
+    "is": "be",
+    "are": "be",
+    "was": "be",
+    "were": "be",
+    "been": "be",
+    "being": "be",
+    "am": "be",
+    "has": "have",
+    "had": "have",
+    "having": "have",
+    "does": "do",
+    "did": "do",
+    "done": "do",
+    "doing": "do",
+    "wrote": "write",
+    "written": "write",
+    "gave": "give",
+    "given": "give",
+    "made": "make",
+    "sold": "sell",
+    "bought": "buy",
+    "found": "find",
+    "got": "get",
+    "gotten": "get",
+    "went": "go",
+    "gone": "go",
+    "came": "come",
+    "took": "take",
+    "taken": "take",
+    "won": "win",
+    "held": "hold",
+    "shown": "show",
+    "showed": "show",
+    "cost": "cost",
+}
+
+# Words that end in s but are singular (so noun lemmatisation leaves them).
+_S_SINGULARS = {
+    "this",
+    "thus",
+    "less",
+    "is",
+    "was",
+    "has",
+    "does",
+    "its",
+    "his",
+    "us",
+    "plus",
+    "minus",
+    "address",
+    "press",
+    "class",
+    "access",
+    "business",
+    "analysis",
+    "thesis",
+    "status",
+    "always",
+    "perhaps",
+    "across",
+}
+
+_VOWELS = set("aeiou")
+
+# -ing forms whose stems the suffix rules get wrong.
+_ING_EXCEPTIONS = {
+    "including": "include",
+    "containing": "contain",
+    "starring": "star",
+    "having": "have",
+    "being": "be",
+    "writing": "write",
+    "citing": "cite",
+    "pricing": "price",
+    "naming": "name",
+    "using": "use",
+    "making": "make",
+    "taking": "take",
+    "giving": "give",
+}
+
+# -ed forms whose stems the suffix rules get wrong.
+_ED_EXCEPTIONS = {
+    "edited": "edit",
+    "united": "unite",
+    "cited": "cite",
+    "titled": "title",
+    "priced": "price",
+    "released": "release",
+    "included": "include",
+    "contained": "contain",
+    "joined": "join",
+    "earned": "earn",
+    "owned": "own",
+    "starred": "star",
+    "appeared": "appear",
+    "named": "name",
+    "used": "use",
+}
+
+
+def singularize(word):
+    """Best-effort singular form of a noun (input assumed lowercase)."""
+    if word in _IRREGULAR_NOUNS:
+        return _IRREGULAR_NOUNS[word]
+    if word in _S_SINGULARS or len(word) <= 3 or not word.endswith("s"):
+        return word
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("ves") and len(word) > 4:
+        return word[:-3] + "f"
+    if word.endswith(("ses", "xes", "zes", "ches", "shes")):
+        return word[:-2]
+    if word.endswith("ss") or word.endswith("us"):
+        return word
+    return word[:-1]
+
+
+def pluralize(word):
+    """Best-effort plural form (inverse of :func:`singularize`)."""
+    for plural, singular in _IRREGULAR_NOUNS.items():
+        if singular == word:
+            return plural
+    if word.endswith("y") and len(word) > 1 and word[-2] not in _VOWELS:
+        return word[:-1] + "ies"
+    if word.endswith(("s", "x", "z", "ch", "sh")):
+        return word + "es"
+    return word + "s"
+
+
+def verb_lemma(word):
+    """Best-effort base form of a verb (input assumed lowercase)."""
+    if word in _IRREGULAR_VERBS:
+        return _IRREGULAR_VERBS[word]
+    if word.endswith("ies") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("ied") and len(word) > 4:
+        return word[:-3] + "y"
+    if word.endswith("ing") and len(word) > 4:
+        if word in _ING_EXCEPTIONS:
+            return _ING_EXCEPTIONS[word]
+        stem = word[:-3]
+        if stem.endswith(("at", "et", "ut", "is", "ar", "or", "ag", "uc", "as",
+                          "ud", "iv")):
+            return stem + "e"
+        return _undouble(stem)
+    if word.endswith("ed") and len(word) > 3:
+        if word in _ED_EXCEPTIONS:
+            return _ED_EXCEPTIONS[word]
+        stem = word[:-2]
+        if stem.endswith(("at", "et", "ut", "is", "ar", "or", "ag", "uc", "as")):
+            # produced -> produce, stored -> store, managed -> manage ...
+            return stem + "e"
+        return _undouble(stem)
+    if word.endswith(("ses", "xes", "zes", "ches", "shes")) and len(word) > 4:
+        return word[:-2]
+    if word.endswith("s") and not word.endswith("ss") and len(word) > 3:
+        return word[:-1]
+    return word
+
+
+def _undouble(stem):
+    """Undo consonant doubling: planned -> plan, running -> run."""
+    if (
+        len(stem) >= 3
+        and stem[-1] == stem[-2]
+        and stem[-1] not in _VOWELS
+        and stem[-1] not in "sl"
+    ):
+        return stem[:-1]
+    return stem
+
+
+def is_past_participle_shape(word):
+    """Heuristic: does this look like a past/past-participle form?"""
+    return word.endswith("ed") or word in {
+        lemma_form
+        for lemma_form in _IRREGULAR_VERBS
+        if lemma_form.endswith(("en", "ne", "wn", "ld", "st"))
+    } or word in ("written", "given", "shown", "sold", "made", "held", "won")

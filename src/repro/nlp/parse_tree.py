@@ -1,0 +1,88 @@
+"""Dependency parse tree structure.
+
+A :class:`ParseNode` is one word or merged multi-word chunk with a
+syntactic category, attached under its governor. Node ids follow
+sentence order, matching how the paper numbers parse-tree nodes in its
+Figures 2, 3 and 10.
+"""
+
+from __future__ import annotations
+
+
+class ParseNode:
+    """One node of the dependency tree."""
+
+    def __init__(self, text, lemma, category, index, quoted=False):
+        self.text = text
+        self.lemma = lemma
+        self.category = category
+        self.index = index          # position of the chunk in the sentence
+        self.quoted = quoted
+        self.parent = None
+        self.children = []
+        self.conjunct_of = None     # coordination partner (first conjunct)
+        self.node_id = None         # assigned by assign_ids()
+
+    # -- construction -------------------------------------------------------
+
+    def attach(self, child):
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def detach(self):
+        if self.parent is not None:
+            self.parent.children.remove(self)
+            self.parent = None
+        return self
+
+    def reattach_to(self, new_parent):
+        self.detach()
+        new_parent.attach(self)
+        return self
+
+    # -- traversal ------------------------------------------------------------
+
+    def preorder(self):
+        yield self
+        for child in self.children:
+            yield from child.preorder()
+
+    def descendants(self):
+        for child in self.children:
+            yield from child.preorder()
+
+    def ancestors(self):
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def find(self, predicate):
+        return [node for node in self.preorder() if predicate(node)]
+
+    def assign_ids(self):
+        """Number nodes by sentence position, 1-based (paper style)."""
+        ordered = sorted(self.preorder(), key=lambda node: node.index)
+        for number, node in enumerate(ordered, start=1):
+            node.node_id = number
+        return self
+
+    # -- rendering ---------------------------------------------------------------
+
+    def to_indented_string(self, level=0, parts=None):
+        own_buffer = parts is None
+        if own_buffer:
+            parts = []
+        label = f"{self.text} [{self.category}]"
+        if self.node_id is not None:
+            label += f" ({self.node_id})"
+        parts.append("  " * level + label)
+        for child in sorted(self.children, key=lambda node: node.index):
+            child.to_indented_string(level + 1, parts)
+        if own_buffer:
+            return "\n".join(parts)
+        return None
+
+    def __repr__(self):
+        return f"ParseNode({self.text!r}, {self.category})"

@@ -1,0 +1,111 @@
+"""Per-word category assignment: lexicon lookup plus morphology.
+
+Tagging order (first match wins):
+
+1. quoted spans and numbers are VALUE;
+2. caller vocabulary (single words — multi-word phrases are matched by
+   the chunker);
+3. the closed-class lexicon;
+4. known common nouns and relation verbs (after lemmatisation);
+5. plain adjectives;
+6. capitalised mid-sentence words are VALUE (proper names);
+7. everything else defaults to NOUN — queries are about things, and an
+   unknown open-class word is almost always a database element name.
+"""
+
+from __future__ import annotations
+
+from repro.nlp.categories import Category
+from repro.nlp.lexicon import (
+    COMMON_NOUNS,
+    PLAIN_ADJECTIVES,
+    RELATION_VERBS,
+    WH_WORDS,
+    closed_class_category,
+)
+from repro.nlp.morphology import singularize, verb_lemma
+
+
+class TaggedWord:
+    """A word with its category and lemma."""
+
+    __slots__ = ("word", "category", "lemma")
+
+    def __init__(self, word, category, lemma):
+        self.word = word
+        self.category = category
+        self.lemma = lemma
+
+    @property
+    def text(self):
+        return self.word.text
+
+    def __repr__(self):
+        return f"TaggedWord({self.text!r}, {self.category}, {self.lemma!r})"
+
+
+def tag_words(words, vocabulary=None):
+    """Tag a token list; ``vocabulary`` maps single-word lemmas to
+    categories supplied by the application (NaLIX's enum sets)."""
+    vocabulary = vocabulary or {}
+    tagged = []
+    for word in words:
+        tagged.append(_tag_one(word, tagged, vocabulary))
+    return tagged
+
+
+def _tag_one(word, tagged_so_far, vocabulary):
+    if word.quoted or word.is_number:
+        return TaggedWord(word, Category.VALUE, word.text)
+    if word.is_punct:
+        return TaggedWord(word, Category.BOUNDARY, word.text)
+
+    lower = word.lower
+    possessive = lower.endswith("'s")
+    if possessive:
+        lower = lower[:-2]
+
+    if lower in vocabulary:
+        return TaggedWord(word, vocabulary[lower], lower)
+
+    # Sentence-initial wh-words start a query ("Which books ...").
+    if not tagged_so_far and lower in WH_WORDS:
+        return TaggedWord(word, Category.WH, lower)
+
+    closed = closed_class_category(lower)
+    if closed is not None:
+        # Auxiliaries are lemmatised ("is" -> "be") so multi-word phrases
+        # stored with base forms ("be the same as") match all inflections.
+        lemma = verb_lemma(lower) if closed == Category.AUXILIARY else lower
+        return TaggedWord(word, closed, lemma)
+
+    noun_lemma = singularize(lower)
+    if noun_lemma in vocabulary:
+        return TaggedWord(word, vocabulary[noun_lemma], noun_lemma)
+    if noun_lemma in COMMON_NOUNS:
+        return TaggedWord(word, Category.NOUN, noun_lemma)
+
+    verb = verb_lemma(lower)
+    if verb in RELATION_VERBS and verb != lower:
+        # Inflected relation verb: "directed", "publishes", "written".
+        return TaggedWord(word, Category.VERB, verb)
+    if verb in RELATION_VERBS and _looks_verbal(word, tagged_so_far):
+        return TaggedWord(word, Category.VERB, verb)
+
+    if lower in PLAIN_ADJECTIVES:
+        return TaggedWord(word, Category.ADJECTIVE, lower)
+
+    if word.is_capitalized() and tagged_so_far:
+        return TaggedWord(word, Category.VALUE, word.text)
+
+    return TaggedWord(word, Category.NOUN, noun_lemma)
+
+
+def _looks_verbal(word, tagged_so_far):
+    """Base-form relation verbs are verbs after auxiliaries or relative
+    pronouns ("that have", "who direct"), nouns otherwise ("the work")."""
+    if not tagged_so_far:
+        return False
+    previous = tagged_so_far[-1]
+    return previous.category in (Category.AUXILIARY, Category.SUBORDINATOR,
+                                 Category.PRONOUN)

@@ -1,0 +1,93 @@
+"""Sentence tokenizer: words, numbers, quoted strings, punctuation.
+
+Quoted spans (single, double, or typographic quotes) become single
+:class:`Word` tokens flagged ``quoted=True`` — they are literal values
+and must never be split or interpreted ("Gone with the Wind" is one
+value token, not a PP attachment puzzle).
+"""
+
+from __future__ import annotations
+
+import re
+
+_QUOTE_PAIRS = {'"': '"', "'": "'", "“": "”", "‘": "’"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(?:\.\d+)?)
+  | (?P<word>[A-Za-z]+(?:[-'][A-Za-z]+)*)
+  | (?P<punct>[,;:.!?()])
+    """,
+    re.VERBOSE,
+)
+
+
+class Word:
+    """One surface token."""
+
+    __slots__ = ("text", "index", "quoted", "is_number", "is_punct")
+
+    def __init__(self, text, index, quoted=False, is_number=False, is_punct=False):
+        self.text = text
+        self.index = index
+        self.quoted = quoted
+        self.is_number = is_number
+        self.is_punct = is_punct
+
+    @property
+    def lower(self):
+        return self.text.lower()
+
+    def is_capitalized(self):
+        return bool(self.text) and self.text[0].isupper() and not self.is_punct
+
+    def __repr__(self):
+        flags = "q" if self.quoted else ("n" if self.is_number else "")
+        return f"Word({self.text!r}{',' + flags if flags else ''})"
+
+
+def tokenize_sentence(sentence):
+    """Split ``sentence`` into :class:`Word` tokens.
+
+    An apostrophe inside a word is kept ("author's" stays one token; the
+    tagger strips possessives). An unterminated quote falls back to
+    treating the quote character as punctuation.
+    """
+    words = []
+    position = 0
+    length = len(sentence)
+    while position < length:
+        ch = sentence[position]
+        if ch.isspace():
+            position += 1
+            continue
+        if ch in _QUOTE_PAIRS:
+            closing = _QUOTE_PAIRS[ch]
+            end = sentence.find(closing, position + 1)
+            # A plain apostrophe is only a quote if it wraps a span that
+            # does not look like a contraction (e.g. 'Tolkien's' inside).
+            if ch == "'" and (end < 0 or end == position + 1):
+                end = -1
+            if end > position:
+                words.append(
+                    Word(sentence[position + 1 : end], len(words), quoted=True)
+                )
+                position = end + 1
+                continue
+            position += 1
+            continue
+        match = _TOKEN_RE.match(sentence, position)
+        if match is None:
+            position += 1
+            continue
+        text = match.group(0)
+        words.append(
+            Word(
+                text,
+                len(words),
+                is_number=match.lastgroup == "number",
+                is_punct=match.lastgroup == "punct",
+            )
+        )
+        position = match.end()
+    return words

@@ -1,0 +1,14 @@
+"""Term expansion (the paper's WordNet + domain-ontology stand-in).
+
+NaLIX's Sec. 4 "Term Expansion" step maps each name token onto the
+element/attribute names actually present in the database, via a generic
+thesaurus plus any available domain ontology. This package ships a
+curated thesaurus for the bibliographic and movie domains the paper
+evaluates on, a morphological matcher, and the expansion API the
+validator calls.
+"""
+
+from repro.ontology.expansion import TermExpander
+from repro.ontology.thesaurus import Thesaurus, default_thesaurus
+
+__all__ = ["TermExpander", "Thesaurus", "default_thesaurus"]

@@ -1,0 +1,76 @@
+"""Mapping name tokens onto database element/attribute names.
+
+Matching cascade (Sec. 4, "Term Expansion"): exact tag match ->
+morphological match (singular/plural) -> synonym match through the
+thesaurus -> substring match for compound tags (``booktitle`` for
+"title"). Several matches yield a disjunction, exactly as the paper
+prescribes ("the disjunctive form of the names is regarded as the
+corresponding name").
+"""
+
+from __future__ import annotations
+
+from repro.nlp.morphology import pluralize, singularize
+from repro.ontology.thesaurus import default_thesaurus
+
+
+class TermExpander:
+    """Expands a name-token word to the matching database names."""
+
+    def __init__(self, database, thesaurus=None):
+        self.database = database
+        self.thesaurus = thesaurus or default_thesaurus()
+
+    def _tags(self):
+        return self.database.tags()
+
+    def expand(self, word):
+        """Return the matching tags for ``word``, best tier first.
+
+        The result is a list of tag names (possibly with ``@`` prefixes
+        for attributes); empty when nothing in the database matches.
+        """
+        word = word.lower().strip()
+        if not word:
+            return []
+        tags = self._tags()
+        bare = {tag.lstrip("@"): tag for tag in tags}
+
+        # Morphological forms are tried in order and the first matching
+        # form wins: "movies" must name the ``movie`` elements, not a
+        # ``movies`` wrapper element that also happens to exist.
+        exact = self._first_form_match(word, bare)
+        if exact:
+            return [exact]
+
+        synonym_matches = set()
+        for synonym in self.thesaurus.synonyms(singularize(word)):
+            match = self._first_form_match(synonym, bare)
+            if match:
+                synonym_matches.add(match)
+        if synonym_matches:
+            return sorted(synonym_matches)
+
+        stem = singularize(word)
+        compound = sorted(
+            tag
+            for plain, tag in bare.items()
+            if len(stem) >= 4 and (stem in plain or plain in stem) and plain != stem
+        )
+        return compound
+
+    @staticmethod
+    def _first_form_match(word, bare):
+        for form in (singularize(word), word, pluralize(word)):
+            if form in bare:
+                return bare[form]
+        return None
+
+    def has_match(self, word):
+        return bool(self.expand(word))
+
+    def value_tags(self, value):
+        """Tags of elements whose value equals ``value`` — how implicit
+        name tokens (Def. 11) find their element names."""
+        nodes = self.database.nodes_with_value(str(value))
+        return sorted({node.tag for node in nodes})

@@ -1,0 +1,70 @@
+"""A small synonym thesaurus (WordNet substitute).
+
+Synonym sets are symmetric: registering one set makes every member a
+synonym of every other. The default instance covers the vocabulary of
+the paper's evaluation domains (DBLP bibliography, movies) and common
+database-speak; applications can register domain ontologies on top.
+"""
+
+from __future__ import annotations
+
+_DEFAULT_SYNSETS = [
+    # bibliographic
+    {"book", "publication", "monograph", "volume"},
+    {"article", "paper", "publication"},
+    {"author", "writer", "creator"},
+    {"editor", "reviser"},
+    {"title", "name", "heading"},
+    {"publisher", "press", "publishing house"},
+    {"year", "date"},
+    {"price", "cost", "amount"},
+    {"journal", "periodical", "magazine"},
+    {"page", "pages"},
+    {"isbn", "identifier"},
+    # movies
+    {"movie", "film", "picture", "motion picture"},
+    {"director", "filmmaker"},
+    {"actor", "performer", "star", "cast member"},
+    {"genre", "category", "kind", "type"},
+    {"rating", "score", "grade"},
+    # generic
+    {"person", "people", "individual"},
+    {"company", "corporation", "firm"},
+    {"city", "town"},
+    {"country", "nation"},
+    {"number", "count", "quantity"},
+]
+
+
+class Thesaurus:
+    """Symmetric synonym storage with union-on-overlap semantics."""
+
+    def __init__(self, synsets=None):
+        self._synonyms = {}
+        for synset in synsets if synsets is not None else _DEFAULT_SYNSETS:
+            self.add_synset(synset)
+
+    def add_synset(self, words):
+        """Register a set of mutual synonyms (merges into existing sets)."""
+        words = {word.lower() for word in words}
+        group = set(words)
+        for word in words:
+            group |= self._synonyms.get(word, set())
+        for word in group:
+            self._synonyms[word] = set(group)
+
+    def synonyms(self, word):
+        """All synonyms of ``word``, including itself."""
+        word = word.lower()
+        return set(self._synonyms.get(word, set())) | {word}
+
+    def are_synonyms(self, first, second):
+        return second.lower() in self.synonyms(first)
+
+    def words(self):
+        return sorted(self._synonyms)
+
+
+def default_thesaurus():
+    """The built-in thesaurus used by NaLIX unless one is injected."""
+    return Thesaurus()

@@ -1,0 +1,40 @@
+"""In-memory XML substrate: node model, parser, serializer.
+
+This package is the storage-model foundation of the reproduction. It
+provides an ordered, parent-linked XML tree whose nodes carry preorder
+identifiers and depths, which is what the structural machinery upstream
+(LCA computation, the MQF structural join, the Meet keyword baseline)
+operates on.
+
+The parser is written from scratch (no ``xml.etree`` dependency) and
+covers the XML subset any realistic bibliographic/movie document uses:
+elements, attributes, character data, CDATA, comments, processing
+instructions, the XML declaration, and the five predefined entities plus
+numeric character references.
+"""
+
+from repro.xmlstore.errors import XMLParseError
+from repro.xmlstore.model import (
+    AttributeNode,
+    Document,
+    ElementNode,
+    Node,
+    TextNode,
+    lowest_common_ancestor,
+)
+from repro.xmlstore.parser import parse_document, parse_fragment
+from repro.xmlstore.serializer import serialize, to_pretty_string
+
+__all__ = [
+    "AttributeNode",
+    "Document",
+    "ElementNode",
+    "Node",
+    "TextNode",
+    "XMLParseError",
+    "lowest_common_ancestor",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "to_pretty_string",
+]

@@ -1,0 +1,23 @@
+"""Errors raised by the XML substrate."""
+
+
+class XMLError(Exception):
+    """Base class for all errors raised by :mod:`repro.xmlstore`."""
+
+
+class XMLParseError(XMLError):
+    """Raised when a document is not well-formed.
+
+    Carries the character ``position`` in the input (0-based) and the
+    1-based ``line``/``column`` derived from it, so error messages can
+    point at the offending character.
+    """
+
+    def __init__(self, message, position=None, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}, column {column}"
+        super().__init__(f"{message}{location}")
+        self.position = position
+        self.line = line
+        self.column = column

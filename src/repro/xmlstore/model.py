@@ -1,0 +1,257 @@
+"""Ordered, parent-linked XML tree model.
+
+The model deliberately mirrors what a native XML database (Timber, in the
+paper) keeps per node: a preorder identifier, the preorder identifier of
+the last node in its subtree, and its depth. Those three integers are
+enough to answer every structural question the upper layers ask
+(ancestor/descendant tests in O(1), LCA by parent walking, subtree range
+scans), which is what makes the MQF structural join and the Meet operator
+efficient.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base class of all tree nodes.
+
+    Attributes:
+        parent: The parent :class:`ElementNode`, or ``None`` for a root.
+        node_id: Preorder position in the document, assigned by
+            :meth:`Document.reindex`. ``-1`` until indexed.
+        depth: Distance from the document root (root has depth 0).
+        subtree_end: The largest ``node_id`` in this node's subtree;
+            equals ``node_id`` for leaves.
+    """
+
+    __slots__ = ("parent", "node_id", "depth", "subtree_end")
+
+    def __init__(self):
+        self.parent = None
+        self.node_id = -1
+        self.depth = -1
+        self.subtree_end = -1
+
+    def is_ancestor_of(self, other):
+        """Return True if this node is a proper ancestor of ``other``."""
+        return self.node_id < other.node_id <= self.subtree_end
+
+    def is_descendant_of(self, other):
+        """Return True if this node is a proper descendant of ``other``."""
+        return other.is_ancestor_of(self)
+
+    def ancestors(self):
+        """Yield proper ancestors, nearest first."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def root(self):
+        """Return the topmost node reachable through parent links."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+
+class TextNode(Node):
+    """A run of character data inside an element."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text):
+        super().__init__()
+        self.text = text
+
+    def string_value(self):
+        return self.text
+
+    def __repr__(self):
+        snippet = self.text if len(self.text) <= 24 else self.text[:21] + "..."
+        return f"TextNode({snippet!r})"
+
+
+class AttributeNode(Node):
+    """An attribute. Modelled as a node so queries can return attributes.
+
+    Attribute nodes take part in the preorder numbering (immediately after
+    their owner element, before its children), so structural predicates
+    treat them like very shallow children — the convention Timber and the
+    XPath data model share.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name, value):
+        super().__init__()
+        self.name = name
+        self.value = value
+
+    def string_value(self):
+        return self.value
+
+    @property
+    def tag(self):
+        """Attributes answer to ``tag`` so tag indexes can cover them."""
+        return "@" + self.name
+
+    def __repr__(self):
+        return f"AttributeNode({self.name}={self.value!r})"
+
+
+class ElementNode(Node):
+    """An element with ordered children and attributes."""
+
+    __slots__ = ("tag", "attributes", "children")
+
+    def __init__(self, tag, attributes=None, children=None):
+        super().__init__()
+        self.tag = tag
+        self.attributes = []
+        self.children = []
+        for name, value in (attributes or {}).items():
+            self.set_attribute(name, value)
+        for child in children or []:
+            self.append(child)
+
+    # -- construction -----------------------------------------------------
+
+    def append(self, child):
+        """Attach ``child`` (element or text node) as the last child."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def append_element(self, tag, text=None, attributes=None):
+        """Convenience: create, attach and return a child element."""
+        element = ElementNode(tag, attributes=attributes)
+        if text is not None:
+            element.append(TextNode(str(text)))
+        return self.append(element)
+
+    def set_attribute(self, name, value):
+        """Set (or replace) an attribute; returns the attribute node."""
+        for existing in self.attributes:
+            if existing.name == name:
+                existing.value = str(value)
+                return existing
+        attribute = AttributeNode(name, str(value))
+        attribute.parent = self
+        self.attributes.append(attribute)
+        return attribute
+
+    def get_attribute(self, name, default=None):
+        for attribute in self.attributes:
+            if attribute.name == name:
+                return attribute.value
+        return default
+
+    # -- navigation -------------------------------------------------------
+
+    def child_elements(self, tag=None):
+        """Return child elements, optionally filtered by tag."""
+        return [
+            child
+            for child in self.children
+            if isinstance(child, ElementNode) and (tag is None or child.tag == tag)
+        ]
+
+    def iter_descendants(self):
+        """Yield all descendant nodes (elements, attributes, text) in preorder."""
+        for attribute in self.attributes:
+            yield attribute
+        for child in self.children:
+            yield child
+            if isinstance(child, ElementNode):
+                yield from child.iter_descendants()
+
+    def iter_descendant_elements(self):
+        for child in self.children:
+            if isinstance(child, ElementNode):
+                yield child
+                yield from child.iter_descendant_elements()
+
+    def string_value(self):
+        """Concatenated text of all descendant text nodes (XPath semantics)."""
+        parts = []
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, TextNode):
+                parts.append(node.text)
+            elif isinstance(node, ElementNode):
+                stack.extend(reversed(node.children))
+        return "".join(parts)
+
+    def __repr__(self):
+        return f"ElementNode(<{self.tag}> id={self.node_id})"
+
+
+class Document:
+    """A rooted XML document with preorder numbering.
+
+    Build a tree of :class:`ElementNode`/:class:`TextNode`, hand the root
+    to the constructor, and the document indexes it. After any structural
+    mutation, call :meth:`reindex` before relying on node ids again.
+    """
+
+    def __init__(self, root, name="doc"):
+        if not isinstance(root, ElementNode):
+            raise TypeError("document root must be an ElementNode")
+        self.root = root
+        self.name = name
+        self.nodes = []
+        self.reindex()
+
+    def reindex(self):
+        """(Re)assign preorder ids, depths and subtree extents."""
+        self.nodes = []
+        self._number(self.root, 0)
+        return self
+
+    def _number(self, node, depth):
+        node.node_id = len(self.nodes)
+        node.depth = depth
+        self.nodes.append(node)
+        if isinstance(node, ElementNode):
+            for attribute in node.attributes:
+                attribute.node_id = len(self.nodes)
+                attribute.depth = depth + 1
+                attribute.subtree_end = attribute.node_id
+                self.nodes.append(attribute)
+            for child in node.children:
+                self._number(child, depth + 1)
+        node.subtree_end = len(self.nodes) - 1
+
+    def node_count(self):
+        return len(self.nodes)
+
+    def iter_elements(self):
+        """Yield every element in the document in preorder."""
+        for node in self.nodes:
+            if isinstance(node, ElementNode):
+                yield node
+
+    def __repr__(self):
+        return f"Document({self.name!r}, {self.node_count()} nodes)"
+
+
+def lowest_common_ancestor(a, b):
+    """Return the lowest common ancestor of two nodes in the same document.
+
+    Attribute and text nodes are treated as children of their owner
+    element. The LCA of a node with itself is the node.
+    """
+    if a is b:
+        return a
+    while a.depth > b.depth:
+        a = a.parent
+    while b.depth > a.depth:
+        b = b.parent
+    while a is not b:
+        a = a.parent
+        b = b.parent
+        if a is None or b is None:
+            raise ValueError("nodes do not share a root")
+    return a

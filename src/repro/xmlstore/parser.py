@@ -1,0 +1,238 @@
+"""A from-scratch, dependency-free XML parser.
+
+Supports the subset of XML 1.0 that real bibliographic/movie documents
+use: elements, attributes (single- or double-quoted), character data,
+CDATA sections, comments, processing instructions, the XML declaration,
+an (ignored) DOCTYPE, the five predefined entities, and decimal/hex
+character references. Namespace prefixes are kept verbatim as part of
+tag names.
+
+Whitespace-only text between elements is dropped by default (the
+databases we model are data-centric, not document-centric); pass
+``keep_whitespace=True`` to preserve it.
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.errors import XMLParseError
+from repro.xmlstore.model import Document, ElementNode, TextNode
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character scanner with position tracking for error reporting."""
+
+    def __init__(self, text):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def error(self, message):
+        line = self.text.count("\n", 0, self.pos) + 1
+        last_newline = self.text.rfind("\n", 0, self.pos)
+        column = self.pos - last_newline
+        return XMLParseError(message, position=self.pos, line=line, column=column)
+
+    def at_end(self):
+        return self.pos >= self.length
+
+    def peek(self, offset=0):
+        index = self.pos + offset
+        if index < self.length:
+            return self.text[index]
+        return ""
+
+    def startswith(self, prefix):
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count=1):
+        self.pos += count
+
+    def skip_whitespace(self):
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, literal):
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_until(self, terminator):
+        index = self.text.find(terminator, self.pos)
+        if index < 0:
+            raise self.error(f"unterminated construct; expected {terminator!r}")
+        chunk = self.text[self.pos : index]
+        self.pos = index + len(terminator)
+        return chunk
+
+    def read_name(self):
+        if self.at_end() or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected a name")
+        start = self.pos
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+
+def _decode_entities(text, scanner):
+    """Resolve entity and character references in ``text``."""
+    if "&" not in text:
+        return text
+    parts = []
+    pos = 0
+    while True:
+        amp = text.find("&", pos)
+        if amp < 0:
+            parts.append(text[pos:])
+            break
+        parts.append(text[pos:amp])
+        semi = text.find(";", amp)
+        if semi < 0:
+            raise scanner.error("unterminated entity reference")
+        entity = text[amp + 1 : semi]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            parts.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            parts.append(chr(int(entity[1:])))
+        elif entity in _PREDEFINED_ENTITIES:
+            parts.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            raise scanner.error(f"unknown entity &{entity};")
+        pos = semi + 1
+    return "".join(parts)
+
+
+def _parse_attributes(scanner):
+    attributes = {}
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/", "?", ""):
+            return attributes
+        name = scanner.read_name()
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        raw = scanner.read_until(quote)
+        if name in attributes:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        attributes[name] = _decode_entities(raw, scanner)
+
+
+def _skip_misc(scanner):
+    """Skip whitespace, comments, PIs, XML declaration and DOCTYPE."""
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.startswith("<!DOCTYPE"):
+            # Consume through the matching '>', honouring an internal subset.
+            depth = 0
+            while not scanner.at_end():
+                ch = scanner.peek()
+                scanner.advance()
+                if ch == "[":
+                    depth += 1
+                elif ch == "]":
+                    depth -= 1
+                elif ch == ">" and depth <= 0:
+                    break
+            else:
+                raise scanner.error("unterminated DOCTYPE")
+        else:
+            return
+
+
+def _parse_element(scanner, keep_whitespace):
+    scanner.expect("<")
+    tag = scanner.read_name()
+    attributes = _parse_attributes(scanner)
+    element = ElementNode(tag, attributes=attributes)
+    scanner.skip_whitespace()
+    if scanner.startswith("/>"):
+        scanner.advance(2)
+        return element
+    scanner.expect(">")
+    _parse_content(scanner, element, keep_whitespace)
+    closing = scanner.read_name()
+    if closing != tag:
+        raise scanner.error(f"mismatched end tag </{closing}>; expected </{tag}>")
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    return element
+
+
+def _parse_content(scanner, element, keep_whitespace):
+    text_parts = []
+
+    def flush_text():
+        if not text_parts:
+            return
+        text = "".join(text_parts)
+        text_parts.clear()
+        if keep_whitespace or text.strip():
+            element.append(TextNode(text))
+
+    while True:
+        if scanner.at_end():
+            raise scanner.error(f"unterminated element <{element.tag}>")
+        if scanner.startswith("</"):
+            flush_text()
+            scanner.advance(2)
+            return
+        if scanner.startswith("<!--"):
+            scanner.advance(4)
+            scanner.read_until("-->")
+        elif scanner.startswith("<![CDATA["):
+            scanner.advance(9)
+            text_parts.append(scanner.read_until("]]>"))
+        elif scanner.startswith("<?"):
+            scanner.advance(2)
+            scanner.read_until("?>")
+        elif scanner.peek() == "<":
+            flush_text()
+            element.append(_parse_element(scanner, keep_whitespace))
+        else:
+            start = scanner.pos
+            next_tag = scanner.text.find("<", start)
+            if next_tag < 0:
+                raise scanner.error(f"unterminated element <{element.tag}>")
+            raw = scanner.text[start:next_tag]
+            scanner.pos = next_tag
+            text_parts.append(_decode_entities(raw, scanner))
+
+
+def parse_fragment(text, keep_whitespace=False):
+    """Parse ``text`` and return the root :class:`ElementNode`."""
+    scanner = _Scanner(text)
+    _skip_misc(scanner)
+    if scanner.peek() != "<":
+        raise scanner.error("document must start with an element")
+    root = _parse_element(scanner, keep_whitespace)
+    _skip_misc(scanner)
+    if not scanner.at_end():
+        raise scanner.error("content after document root")
+    return root
+
+
+def parse_document(text, name="doc", keep_whitespace=False):
+    """Parse ``text`` into an indexed :class:`Document`."""
+    return Document(parse_fragment(text, keep_whitespace=keep_whitespace), name=name)

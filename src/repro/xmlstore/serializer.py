@@ -1,0 +1,86 @@
+"""XML serialization: compact and pretty-printed forms.
+
+``serialize`` produces a string that round-trips through
+:func:`repro.xmlstore.parser.parse_fragment` back to an equivalent tree;
+the property-based tests in ``tests/xmlstore`` verify this invariant.
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import ElementNode, TextNode
+
+
+def escape_text(text):
+    """Escape character data for element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text):
+    """Escape an attribute value for a double-quoted attribute."""
+    return (
+        text.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+    )
+
+
+def _open_tag(element):
+    parts = [element.tag]
+    for attribute in element.attributes:
+        parts.append(f'{attribute.name}="{escape_attribute(attribute.value)}"')
+    return "<" + " ".join(parts)
+
+
+def serialize(node, parts=None):
+    """Serialize an element (or text node) to a compact string."""
+    own_buffer = parts is None
+    if own_buffer:
+        parts = []
+    if isinstance(node, TextNode):
+        parts.append(escape_text(node.text))
+    elif isinstance(node, ElementNode):
+        open_tag = _open_tag(node)
+        if node.children:
+            parts.append(open_tag + ">")
+            for child in node.children:
+                serialize(child, parts)
+            parts.append(f"</{node.tag}>")
+        else:
+            parts.append(open_tag + "/>")
+    else:
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+    if own_buffer:
+        return "".join(parts)
+    return None
+
+
+def to_pretty_string(node, indent="  ", _level=0, parts=None):
+    """Serialize with indentation for human inspection.
+
+    Elements whose content is a single text node are kept on one line
+    (``<title>Traffic</title>``); mixed or element content is indented.
+    """
+    own_buffer = parts is None
+    if own_buffer:
+        parts = []
+    pad = indent * _level
+    if isinstance(node, TextNode):
+        parts.append(f"{pad}{escape_text(node.text)}\n")
+    elif isinstance(node, ElementNode):
+        open_tag = _open_tag(node)
+        if not node.children:
+            parts.append(f"{pad}{open_tag}/>\n")
+        elif len(node.children) == 1 and isinstance(node.children[0], TextNode):
+            text = escape_text(node.children[0].text)
+            parts.append(f"{pad}{open_tag}>{text}</{node.tag}>\n")
+        else:
+            parts.append(f"{pad}{open_tag}>\n")
+            for child in node.children:
+                to_pretty_string(child, indent, _level + 1, parts)
+            parts.append(f"{pad}</{node.tag}>\n")
+    else:
+        raise TypeError(f"cannot serialize {type(node).__name__}")
+    if own_buffer:
+        return "".join(parts)
+    return None

@@ -1,0 +1,70 @@
+"""Schema-Free XQuery engine (the paper's target query language).
+
+Implements the FLWOR subset NaLIX emits — nested FLWOR expressions in
+``let``, aggregates, quantifiers, ``order by``, value joins — plus the
+``mqf`` (meaningful query focus) function of Schema-Free XQuery
+(Li, Yu & Jagadish, VLDB 2004), which relates elements by structural
+proximity without schema knowledge.
+
+The engine has three faces:
+
+* :mod:`repro.xquery.ast` — the expression tree, with a ``to_text()``
+  serializer so every generated query is a readable XQuery string;
+* :mod:`repro.xquery.parser` — a lexer + recursive-descent parser from
+  query text back to the AST (queries round-trip);
+* :mod:`repro.xquery.evaluator` — evaluation against a
+  :class:`repro.database.Database`, with a conjunctive planner
+  (:mod:`repro.xquery.plan`) that turns ``for``/``where``/``mqf``
+  patterns into index scans and structural joins.
+"""
+
+from repro.xquery.ast import (
+    And,
+    Comparison,
+    DocSource,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    LetClause,
+    Literal,
+    Not,
+    Or,
+    OrderByClause,
+    PathExpr,
+    Quantified,
+    ReturnClause,
+    Sequence,
+    Step,
+    VarRef,
+    WhereClause,
+)
+from repro.xquery.errors import XQueryError, XQueryParseError, XQueryTypeError
+from repro.xquery.evaluator import Evaluator, evaluate_query
+from repro.xquery.parser import parse_xquery
+
+__all__ = [
+    "And",
+    "Comparison",
+    "DocSource",
+    "Evaluator",
+    "FLWOR",
+    "ForClause",
+    "FunctionCall",
+    "LetClause",
+    "Literal",
+    "Not",
+    "Or",
+    "OrderByClause",
+    "PathExpr",
+    "Quantified",
+    "ReturnClause",
+    "Sequence",
+    "Step",
+    "VarRef",
+    "WhereClause",
+    "XQueryError",
+    "XQueryParseError",
+    "XQueryTypeError",
+    "evaluate_query",
+    "parse_xquery",
+]

@@ -1,0 +1,402 @@
+"""Abstract syntax for the Schema-Free XQuery subset NaLIX generates.
+
+Every node knows how to serialize itself (``to_text``), so the
+translator's output is always a legible XQuery string like the paper's
+Figure 9, and the string round-trips through :mod:`repro.xquery.parser`.
+Equality is structural, which the round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+
+class Expr:
+    """Base class for all expressions."""
+
+    def to_text(self):
+        raise NotImplementedError
+
+    def children(self):
+        """Direct sub-expressions (used by generic tree walks)."""
+        return []
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.to_text()))
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.to_text()})"
+
+
+class Literal(Expr):
+    """A string or numeric constant."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def to_text(self):
+        if isinstance(self.value, str):
+            escaped = self.value.replace('"', '""')
+            return f'"{escaped}"'
+        if isinstance(self.value, float) and self.value.is_integer():
+            return str(int(self.value))
+        return str(self.value)
+
+
+class VarRef(Expr):
+    """A variable reference, e.g. ``$v1``."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def to_text(self):
+        return f"${self.name}"
+
+
+class DocSource(Expr):
+    """``doc("name")`` — the root of a named document."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def to_text(self):
+        return f'doc("{self.name}")'
+
+
+class Step:
+    """One path step: an axis plus a node test.
+
+    Axes: ``child`` (``/``), ``descendant`` (``//``), ``attribute``
+    (``/@``), ``text`` (``/text()``). The node test is a tag name, ``*``,
+    a ``|``-separated alternation (``title|booktitle`` — how NaLIX encodes
+    a name token that matched several database names, Sec. 4), or for the
+    attribute axis an attribute name.
+    """
+
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    ATTRIBUTE = "attribute"
+    TEXT = "text"
+
+    def __init__(self, axis, test="*"):
+        self.axis = axis
+        self.test = test
+
+    def to_text(self):
+        test = f"({self.test})" if "|" in self.test else self.test
+        if self.axis == Step.CHILD:
+            return f"/{test}"
+        if self.axis == Step.DESCENDANT:
+            return f"//{test}"
+        if self.axis == Step.ATTRIBUTE:
+            return f"/@{test}"
+        return "/text()"
+
+    def matches_tags(self):
+        """The set of tags this step's name test accepts, or None for *."""
+        if self.test == "*":
+            return None
+        return set(self.test.split("|"))
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Step)
+            and self.axis == other.axis
+            and self.test == other.test
+        )
+
+    def __hash__(self):
+        return hash((self.axis, self.test))
+
+    def __repr__(self):
+        return f"Step({self.to_text()})"
+
+
+class PathExpr(Expr):
+    """``start`` followed by steps, e.g. ``doc("m")//movie/title``."""
+
+    def __init__(self, start, steps):
+        self.start = start
+        self.steps = list(steps)
+
+    def to_text(self):
+        return self.start.to_text() + "".join(step.to_text() for step in self.steps)
+
+    def children(self):
+        return [self.start]
+
+    def last_tag(self):
+        """The final name test, or None (used by the planner)."""
+        if self.steps:
+            last = self.steps[-1]
+            if last.axis == Step.ATTRIBUTE:
+                return "@" + last.test
+            if last.axis != Step.TEXT:
+                return last.test
+        return None
+
+
+class Sequence(Expr):
+    """A comma sequence ``(a, b, c)``."""
+
+    def __init__(self, items):
+        self.items = list(items)
+
+    def to_text(self):
+        return "(" + ", ".join(item.to_text() for item in self.items) + ")"
+
+    def children(self):
+        return list(self.items)
+
+
+class Comparison(Expr):
+    """A general comparison with existential sequence semantics."""
+
+    OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+    def __init__(self, op, left, right):
+        if op not in Comparison.OPS:
+            raise ValueError(f"unsupported comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def to_text(self):
+        return f"{self.left.to_text()} {self.op} {self.right.to_text()}"
+
+    def children(self):
+        return [self.left, self.right]
+
+
+class And(Expr):
+    """Conjunction of two or more conditions."""
+
+    def __init__(self, items):
+        self.items = list(items)
+
+    def to_text(self):
+        return " and ".join(_parenthesize_bool(item) for item in self.items)
+
+    def children(self):
+        return list(self.items)
+
+
+class Or(Expr):
+    """Disjunction of two or more conditions."""
+
+    def __init__(self, items):
+        self.items = list(items)
+
+    def to_text(self):
+        return " or ".join(_parenthesize_bool(item) for item in self.items)
+
+    def children(self):
+        return list(self.items)
+
+
+class Not(Expr):
+    """``not(...)`` — also reachable as FunctionCall("not", ...)."""
+
+    def __init__(self, operand):
+        self.operand = operand
+
+    def to_text(self):
+        return f"not({self.operand.to_text()})"
+
+    def children(self):
+        return [self.operand]
+
+
+class FunctionCall(Expr):
+    """A built-in call: count, sum, avg, min, max, mqf, contains, ..."""
+
+    def __init__(self, name, args):
+        self.name = name
+        self.args = list(args)
+
+    def to_text(self):
+        inner = ", ".join(arg.to_text() for arg in self.args)
+        return f"{self.name}({inner})"
+
+    def children(self):
+        return list(self.args)
+
+
+class Quantified(Expr):
+    """``some|every $v in source satisfies condition``."""
+
+    def __init__(self, kind, var, source, condition):
+        if kind not in ("some", "every"):
+            raise ValueError("quantifier kind must be 'some' or 'every'")
+        self.kind = kind
+        self.var = var
+        self.source = source
+        self.condition = condition
+
+    def to_text(self):
+        return (
+            f"{self.kind} ${self.var} in {self.source.to_text()} "
+            f"satisfies ({self.condition.to_text()})"
+        )
+
+    def children(self):
+        return [self.source, self.condition]
+
+
+class ElementConstructor(Expr):
+    """``<tag>{ expr }</tag>`` — simple computed content constructor."""
+
+    def __init__(self, tag, content_items):
+        self.tag = tag
+        self.content_items = list(content_items)
+
+    def to_text(self):
+        inner = ", ".join(item.to_text() for item in self.content_items)
+        return f"<{self.tag}>{{ {inner} }}</{self.tag}>"
+
+    def children(self):
+        return list(self.content_items)
+
+
+# -- FLWOR clauses ----------------------------------------------------------
+
+
+class Clause:
+    """Base class for FLWOR clauses."""
+
+    def to_text(self):
+        raise NotImplementedError
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.to_text()))
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.to_text()})"
+
+
+class ForClause(Clause):
+    """``for $v1 in e1, $v2 in e2, ...``"""
+
+    def __init__(self, bindings):
+        self.bindings = list(bindings)
+
+    def to_text(self):
+        inner = ", ".join(f"${var} in {expr.to_text()}" for var, expr in self.bindings)
+        return f"for {inner}"
+
+
+class LetClause(Clause):
+    """``let $v := expr`` — expr may be a brace-wrapped nested FLWOR."""
+
+    def __init__(self, var, expr):
+        self.var = var
+        self.expr = expr
+
+    def to_text(self):
+        if isinstance(self.expr, FLWOR):
+            return f"let ${self.var} := {{ {self.expr.to_text()} }}"
+        return f"let ${self.var} := {self.expr.to_text()}"
+
+
+class WhereClause(Clause):
+    def __init__(self, condition):
+        self.condition = condition
+
+    def to_text(self):
+        return f"where {self.condition.to_text()}"
+
+
+class OrderByClause(Clause):
+    def __init__(self, keys):
+        """``keys``: list of (expr, descending: bool)."""
+        self.keys = list(keys)
+
+    def to_text(self):
+        rendered = []
+        for expr, descending in self.keys:
+            rendered.append(expr.to_text() + (" descending" if descending else ""))
+        return "order by " + ", ".join(rendered)
+
+
+class ReturnClause(Clause):
+    def __init__(self, expr):
+        self.expr = expr
+
+    def to_text(self):
+        return f"return {self.expr.to_text()}"
+
+
+class FLWOR(Expr):
+    """A full FLWOR expression: ordered clauses ending in ``return``."""
+
+    def __init__(self, clauses):
+        self.clauses = list(clauses)
+        if not self.clauses or not isinstance(self.clauses[-1], ReturnClause):
+            raise ValueError("FLWOR must end with a return clause")
+
+    def to_text(self):
+        return " ".join(clause.to_text() for clause in self.clauses)
+
+    def to_pretty_text(self, indent="  ", level=0):
+        """Multi-line rendering in the style of the paper's Figure 9."""
+        pad = indent * level
+        lines = []
+        for clause in self.clauses:
+            if isinstance(clause, LetClause) and isinstance(clause.expr, FLWOR):
+                lines.append(f"{pad}let ${clause.var} := {{")
+                lines.append(clause.expr.to_pretty_text(indent, level + 1))
+                lines.append(f"{pad}}}")
+            else:
+                lines.append(pad + clause.to_text())
+        return "\n".join(lines)
+
+    def children(self):
+        result = []
+        for clause in self.clauses:
+            if isinstance(clause, ForClause):
+                result.extend(expr for _, expr in clause.bindings)
+            elif isinstance(clause, LetClause):
+                result.append(clause.expr)
+            elif isinstance(clause, WhereClause):
+                result.append(clause.condition)
+            elif isinstance(clause, OrderByClause):
+                result.extend(expr for expr, _ in clause.keys)
+            elif isinstance(clause, ReturnClause):
+                result.append(clause.expr)
+        return result
+
+    def for_bindings(self):
+        bindings = []
+        for clause in self.clauses:
+            if isinstance(clause, ForClause):
+                bindings.extend(clause.bindings)
+        return bindings
+
+    def where_condition(self):
+        for clause in self.clauses:
+            if isinstance(clause, WhereClause):
+                return clause.condition
+        return None
+
+    def return_expr(self):
+        return self.clauses[-1].expr
+
+
+def _parenthesize_bool(expr):
+    if isinstance(expr, (And, Or)):
+        return f"({expr.to_text()})"
+    return expr.to_text()
+
+
+def doc_path(document_name, tag):
+    """Shorthand for ``doc("name")//tag`` used throughout the translator."""
+    if tag.startswith("@"):
+        return PathExpr(
+            DocSource(document_name), [Step(Step.DESCENDANT, "*"),
+                                       Step(Step.ATTRIBUTE, tag[1:])]
+        )
+    return PathExpr(DocSource(document_name), [Step(Step.DESCENDANT, tag)])

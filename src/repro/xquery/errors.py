@@ -1,0 +1,22 @@
+"""Errors raised by the XQuery engine."""
+
+
+class XQueryError(Exception):
+    """Base class for all query-engine errors."""
+
+
+class XQueryParseError(XQueryError):
+    """The query text is not in the supported XQuery subset."""
+
+    def __init__(self, message, position=None):
+        suffix = f" (at offset {position})" if position is not None else ""
+        super().__init__(message + suffix)
+        self.position = position
+
+
+class XQueryTypeError(XQueryError):
+    """An operation was applied to values of the wrong kind."""
+
+
+class XQueryEvaluationError(XQueryError):
+    """A runtime failure (unknown variable, unknown function, ...)."""

@@ -1,0 +1,181 @@
+"""Built-in function library for the XQuery subset.
+
+``mqf`` is special-cased by the evaluator (it needs candidate
+populations, not just argument values) and therefore does not appear
+here. Everything else is a plain sequence -> sequence function.
+"""
+
+from __future__ import annotations
+
+from repro.xquery.errors import XQueryEvaluationError, XQueryTypeError
+from repro.xquery.values import atomize, atomize_sequence, string_value
+
+
+def _numeric_atoms(sequence, function_name):
+    atoms = []
+    for atom in atomize_sequence(sequence):
+        if isinstance(atom, bool) or not isinstance(atom, (int, float)):
+            number = _try_number(atom)
+            if number is None:
+                raise XQueryTypeError(
+                    f"{function_name}() requires numeric values, got {atom!r}"
+                )
+            atom = number
+        atoms.append(atom)
+    return atoms
+
+
+def _try_number(value):
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def fn_count(sequence):
+    return [len(sequence)]
+
+
+def fn_sum(sequence):
+    return [sum(_numeric_atoms(sequence, "sum"))]
+
+
+def fn_avg(sequence):
+    atoms = _numeric_atoms(sequence, "avg")
+    if not atoms:
+        return []
+    return [sum(atoms) / len(atoms)]
+
+
+def fn_min(sequence):
+    atoms = atomize_sequence(sequence)
+    if not atoms:
+        return []
+    numbers = [atom for atom in atoms if isinstance(atom, (int, float))]
+    if len(numbers) == len(atoms):
+        return [min(numbers)]
+    return [min(str(atom).casefold() for atom in atoms)]
+
+
+def fn_max(sequence):
+    atoms = atomize_sequence(sequence)
+    if not atoms:
+        return []
+    numbers = [atom for atom in atoms if isinstance(atom, (int, float))]
+    if len(numbers) == len(atoms):
+        return [max(numbers)]
+    return [max(str(atom).casefold() for atom in atoms)]
+
+
+def fn_empty(sequence):
+    return [not sequence]
+
+
+def fn_exists(sequence):
+    return [bool(sequence)]
+
+
+def fn_string(sequence):
+    if not sequence:
+        return [""]
+    return [string_value(sequence[0])]
+
+
+def fn_number(sequence):
+    if not sequence:
+        return []
+    atom = atomize(sequence[0])
+    if isinstance(atom, (int, float)) and not isinstance(atom, bool):
+        return [atom]
+    number = _try_number(str(atom))
+    if number is None:
+        raise XQueryTypeError(f"number() cannot convert {atom!r}")
+    return [number]
+
+
+def fn_distinct_values(sequence):
+    seen = set()
+    result = []
+    for atom in atomize_sequence(sequence):
+        key = str(atom).casefold() if isinstance(atom, str) else atom
+        if key not in seen:
+            seen.add(key)
+            result.append(atom)
+    return result
+
+
+def fn_contains(haystack, needle):
+    hay = string_value(haystack[0]) if haystack else ""
+    sub = string_value(needle[0]) if needle else ""
+    return [sub.casefold() in hay.casefold()]
+
+
+def fn_starts_with(haystack, prefix):
+    hay = string_value(haystack[0]) if haystack else ""
+    pre = string_value(prefix[0]) if prefix else ""
+    return [hay.casefold().startswith(pre.casefold())]
+
+
+def fn_ends_with(haystack, suffix):
+    hay = string_value(haystack[0]) if haystack else ""
+    suf = string_value(suffix[0]) if suffix else ""
+    return [hay.casefold().endswith(suf.casefold())]
+
+
+def fn_string_length(sequence):
+    if not sequence:
+        return [0]
+    return [len(string_value(sequence[0]))]
+
+
+def fn_concat(*argument_sequences):
+    return [
+        "".join(
+            string_value(seq[0]) if seq else "" for seq in argument_sequences
+        )
+    ]
+
+
+_SINGLE_ARGUMENT = {
+    "count": fn_count,
+    "sum": fn_sum,
+    "avg": fn_avg,
+    "min": fn_min,
+    "max": fn_max,
+    "empty": fn_empty,
+    "exists": fn_exists,
+    "string": fn_string,
+    "number": fn_number,
+    "distinct-values": fn_distinct_values,
+    "string-length": fn_string_length,
+}
+
+_TWO_ARGUMENT = {
+    "contains": fn_contains,
+    "starts-with": fn_starts_with,
+    "ends-with": fn_ends_with,
+}
+
+
+def call_builtin(name, argument_sequences):
+    """Dispatch a built-in by name; raises for unknown names/arity."""
+    if name in _SINGLE_ARGUMENT:
+        if len(argument_sequences) != 1:
+            raise XQueryEvaluationError(f"{name}() takes exactly one argument")
+        return _SINGLE_ARGUMENT[name](argument_sequences[0])
+    if name in _TWO_ARGUMENT:
+        if len(argument_sequences) != 2:
+            raise XQueryEvaluationError(f"{name}() takes exactly two arguments")
+        return _TWO_ARGUMENT[name](*argument_sequences)
+    if name == "concat":
+        if len(argument_sequences) < 2:
+            raise XQueryEvaluationError("concat() takes two or more arguments")
+        return fn_concat(*argument_sequences)
+    raise XQueryEvaluationError(f"unknown function {name}()")
+
+
+def is_aggregate(name):
+    """True for the aggregates NaLIX maps function tokens onto."""
+    return name in ("count", "sum", "avg", "min", "max")

@@ -1,0 +1,74 @@
+"""Tokenizer for the supported XQuery subset."""
+
+from __future__ import annotations
+
+import re
+
+from repro.xquery.errors import XQueryParseError
+
+
+class Token:
+    """A lexical token with kind, text and source offset."""
+
+    __slots__ = ("kind", "text", "position")
+
+    def __init__(self, kind, text, position):
+        self.kind = kind
+        self.text = text
+        self.position = position
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r})"
+
+
+KEYWORDS = {
+    "for",
+    "let",
+    "where",
+    "order",
+    "by",
+    "return",
+    "in",
+    "some",
+    "every",
+    "satisfies",
+    "and",
+    "or",
+    "ascending",
+    "descending",
+    "doc",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>"(?:[^"]|"")*")
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<var>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_.\-]*)
+  | (?P<symbol>:=|!=|<=|>=|//|[(){},=<>/@|*])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text):
+    """Tokenize ``text``; raises :class:`XQueryParseError` on junk."""
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise XQueryParseError(
+                f"unexpected character {text[position]!r}", position=position
+            )
+        position = match.end()
+        if match.lastgroup == "ws":
+            continue
+        value = match.group(0)
+        kind = match.lastgroup
+        if kind == "name" and value in KEYWORDS:
+            kind = "keyword"
+        tokens.append(Token(kind, value, match.start()))
+    tokens.append(Token("eof", "", len(text)))
+    return tokens

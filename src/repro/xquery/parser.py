@@ -1,0 +1,312 @@
+"""Recursive-descent parser from XQuery text to the AST.
+
+The grammar covers exactly what the NaLIX translator emits (and what the
+paper's worked examples show), so any generated query round-trips:
+``parse_xquery(expr.to_text()) == expr``.
+
+Grammar sketch::
+
+    query      := flwor | or_expr
+    flwor      := (for_clause | let_clause)* where? orderby? return
+    for_clause := 'for' '$'name 'in' expr (',' '$'name 'in' expr)*
+    let_clause := 'let' '$'name ':=' ('{' flwor '}' | expr)
+    or_expr    := and_expr ('or' and_expr)*
+    and_expr   := comparison ('and' comparison)*
+    comparison := value (('='|'!='|'<'|'<='|'>'|'>=') value)?
+    value      := quantified | flwor-at-expr | primary path-steps*
+    primary    := literal | '$'name | 'doc' '(' string ')'
+                | name '(' args ')' | '(' expr (',' expr)* ')'
+                | '<' name '>' '{' args '}' '<' '/' name '>'
+"""
+
+from __future__ import annotations
+
+from repro.xquery import ast
+from repro.xquery.errors import XQueryParseError
+from repro.xquery.lexer import tokenize
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token utilities ---------------------------------------------------
+
+    def peek(self, offset=0):
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def at(self, kind, text=None):
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def advance(self):
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def expect(self, kind, text=None):
+        token = self.peek()
+        if not self.at(kind, text):
+            wanted = text or kind
+            raise XQueryParseError(
+                f"expected {wanted!r}, found {token.text or 'end of query'!r}",
+                position=token.position,
+            )
+        return self.advance()
+
+    def error(self, message):
+        return XQueryParseError(message, position=self.peek().position)
+
+    # -- entry points --------------------------------------------------------
+
+    def parse_query(self):
+        expr = self.parse_expr()
+        if not self.at("eof"):
+            raise self.error(f"unexpected trailing input {self.peek().text!r}")
+        return expr
+
+    def parse_expr(self):
+        if self.at("keyword", "for") or self.at("keyword", "let"):
+            return self.parse_flwor()
+        return self.parse_or()
+
+    # -- FLWOR ---------------------------------------------------------------
+
+    def parse_flwor(self):
+        clauses = []
+        while True:
+            if self.at("keyword", "for"):
+                clauses.append(self.parse_for_clause())
+            elif self.at("keyword", "let"):
+                clauses.append(self.parse_let_clause())
+            else:
+                break
+        if self.at("keyword", "where"):
+            self.advance()
+            clauses.append(ast.WhereClause(self.parse_or()))
+        if self.at("keyword", "order"):
+            clauses.append(self.parse_order_by())
+        self.expect("keyword", "return")
+        clauses.append(ast.ReturnClause(self.parse_or()))
+        return ast.FLWOR(clauses)
+
+    def parse_for_clause(self):
+        self.expect("keyword", "for")
+        bindings = [self.parse_for_binding()]
+        while self.at("symbol", ","):
+            self.advance()
+            bindings.append(self.parse_for_binding())
+        return ast.ForClause(bindings)
+
+    def parse_for_binding(self):
+        var = self.expect("var").text[1:]
+        self.expect("keyword", "in")
+        return (var, self.parse_or())
+
+    def parse_let_clause(self):
+        self.expect("keyword", "let")
+        var = self.expect("var").text[1:]
+        self.expect("symbol", ":=")
+        if self.at("symbol", "{"):
+            self.advance()
+            expr = self.parse_flwor()
+            self.expect("symbol", "}")
+        else:
+            expr = self.parse_or()
+        return ast.LetClause(var, expr)
+
+    def parse_order_by(self):
+        self.expect("keyword", "order")
+        self.expect("keyword", "by")
+        keys = [self.parse_order_key()]
+        while self.at("symbol", ","):
+            self.advance()
+            keys.append(self.parse_order_key())
+        return ast.OrderByClause(keys)
+
+    def parse_order_key(self):
+        expr = self.parse_or()
+        descending = False
+        if self.at("keyword", "descending"):
+            descending = True
+            self.advance()
+        elif self.at("keyword", "ascending"):
+            self.advance()
+        return (expr, descending)
+
+    # -- boolean / comparison layers ------------------------------------------
+
+    def parse_or(self):
+        items = [self.parse_and()]
+        while self.at("keyword", "or"):
+            self.advance()
+            items.append(self.parse_and())
+        if len(items) == 1:
+            return items[0]
+        return ast.Or(items)
+
+    def parse_and(self):
+        items = [self.parse_comparison()]
+        while self.at("keyword", "and"):
+            self.advance()
+            items.append(self.parse_comparison())
+        if len(items) == 1:
+            return items[0]
+        return ast.And(items)
+
+    def parse_comparison(self):
+        left = self.parse_value()
+        token = self.peek()
+        if token.kind == "symbol" and token.text in ast.Comparison.OPS:
+            self.advance()
+            right = self.parse_value()
+            return ast.Comparison(token.text, left, right)
+        return left
+
+    # -- values and paths -------------------------------------------------------
+
+    def parse_value(self):
+        if self.at("keyword", "some") or self.at("keyword", "every"):
+            return self.parse_quantified()
+        if self.at("keyword", "for") or self.at("keyword", "let"):
+            return self.parse_flwor()
+        primary = self.parse_primary()
+        steps = self.parse_steps()
+        if steps:
+            return ast.PathExpr(primary, steps)
+        return primary
+
+    def parse_quantified(self):
+        kind = self.advance().text
+        var = self.expect("var").text[1:]
+        self.expect("keyword", "in")
+        source = self.parse_value()
+        self.expect("keyword", "satisfies")
+        if self.at("symbol", "("):
+            self.advance()
+            condition = self.parse_or()
+            self.expect("symbol", ")")
+        else:
+            condition = self.parse_comparison()
+        return ast.Quantified(kind, var, source, condition)
+
+    def parse_primary(self):
+        token = self.peek()
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(token.text[1:-1].replace('""', '"'))
+        if token.kind == "number":
+            self.advance()
+            if "." in token.text:
+                return ast.Literal(float(token.text))
+            return ast.Literal(int(token.text))
+        if token.kind == "var":
+            self.advance()
+            return ast.VarRef(token.text[1:])
+        if token.kind == "keyword" and token.text == "doc":
+            self.advance()
+            self.expect("symbol", "(")
+            name = self.expect("string").text[1:-1]
+            self.expect("symbol", ")")
+            return ast.DocSource(name)
+        if token.kind == "name":
+            return self.parse_function_call()
+        if self.at("symbol", "("):
+            self.advance()
+            items = [self.parse_or()]
+            while self.at("symbol", ","):
+                self.advance()
+                items.append(self.parse_or())
+            self.expect("symbol", ")")
+            if len(items) == 1:
+                return items[0]
+            return ast.Sequence(items)
+        if self.at("symbol", "<"):
+            return self.parse_element_constructor()
+        raise self.error(f"unexpected token {token.text or 'end of query'!r}")
+
+    def parse_function_call(self):
+        name = self.expect("name").text
+        self.expect("symbol", "(")
+        args = []
+        if not self.at("symbol", ")"):
+            args.append(self.parse_or())
+            while self.at("symbol", ","):
+                self.advance()
+                args.append(self.parse_or())
+        self.expect("symbol", ")")
+        if name == "not" and len(args) == 1:
+            return ast.Not(args[0])
+        return ast.FunctionCall(name, args)
+
+    def parse_element_constructor(self):
+        self.expect("symbol", "<")
+        tag = self.expect("name").text
+        self.expect("symbol", ">")
+        self.expect("symbol", "{")
+        items = [self.parse_or()]
+        while self.at("symbol", ","):
+            self.advance()
+            items.append(self.parse_or())
+        self.expect("symbol", "}")
+        self.expect("symbol", "<")
+        self.expect("symbol", "/")
+        closing = self.expect("name").text
+        if closing != tag:
+            raise self.error(f"mismatched constructor tags <{tag}>...</{closing}>")
+        self.expect("symbol", ">")
+        return ast.ElementConstructor(tag, items)
+
+    def parse_steps(self):
+        steps = []
+        while True:
+            if self.at("symbol", "//"):
+                self.advance()
+                steps.append(ast.Step(ast.Step.DESCENDANT, self.parse_name_test()))
+            elif self.at("symbol", "/"):
+                self.advance()
+                if self.at("symbol", "@"):
+                    self.advance()
+                    steps.append(
+                        ast.Step(ast.Step.ATTRIBUTE, self.expect("name").text)
+                    )
+                elif self.at("name", "text") and self.peek(1).text == "(":
+                    self.advance()
+                    self.expect("symbol", "(")
+                    self.expect("symbol", ")")
+                    steps.append(ast.Step(ast.Step.TEXT))
+                else:
+                    steps.append(ast.Step(ast.Step.CHILD, self.parse_name_test()))
+            else:
+                return steps
+
+    def parse_name_test(self):
+        if self.at("symbol", "("):
+            self.advance()
+            names = [self._step_name()]
+            while self.at("symbol", "|"):
+                self.advance()
+                names.append(self._step_name())
+            self.expect("symbol", ")")
+            return "|".join(names)
+        return self._step_name()
+
+    def _step_name(self):
+        if self.at("symbol", "@"):
+            self.advance()
+            return "@" + self.expect("name").text
+        if self.at("symbol", "*"):
+            self.advance()
+            return "*"
+        token = self.peek()
+        if token.kind in ("name", "keyword"):
+            self.advance()
+            return token.text
+        raise self.error(f"expected a name test, found {token.text!r}")
+
+
+def parse_xquery(text):
+    """Parse XQuery ``text`` into an AST expression."""
+    return _Parser(tokenize(text)).parse_query()

@@ -1,0 +1,166 @@
+"""The engine's value model: sequences, atomization, comparison.
+
+Every expression evaluates to a Python list (an XQuery *sequence*) of
+items; an item is either a tree node (:class:`ElementNode`,
+:class:`AttributeNode`, :class:`TextNode`) or an atomic value
+(``str``, ``int``, ``float``, ``bool``).
+
+Design notes (documented deviations, matching what NaLIX needs):
+
+* Atomizing a node yields a number when its entire text looks numeric,
+  otherwise its string value — untyped-atomic behaviour with numeric
+  sniffing, as schema-less XML databases do.
+* String equality is case-insensitive and whitespace-trimmed, because the
+  natural-language front end cannot ask users for exact capitalisation
+  ("Addison-Wesley" must match "addison-wesley").
+* Ordering comparisons are numeric when both sides are numeric, else
+  lexicographic on the casefolded strings.
+"""
+
+from __future__ import annotations
+
+from repro.xmlstore.model import AttributeNode, ElementNode, Node, TextNode
+from repro.xquery.errors import XQueryTypeError
+
+
+def is_node(item):
+    return isinstance(item, Node)
+
+
+def string_value(item):
+    """The string value of any item."""
+    if isinstance(item, (ElementNode, AttributeNode, TextNode)):
+        return item.string_value()
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    if isinstance(item, float) and item.is_integer():
+        return str(int(item))
+    return str(item)
+
+
+def _parse_number(text):
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def atomize(item):
+    """Convert an item to its atomic value (number if it looks numeric).
+
+    An element with its own character data atomizes to that *direct*
+    text: in the paper's Figure 1, ``<year>2000 <movie>...`` groups
+    movies under a year whose value is "2000", and comparisons must see
+    that value, not the concatenation with every nested title. Elements
+    without direct text (pure containers like ``<book>``) atomize to the
+    full descendant text, which is what makes container-level value
+    joins ("$book_copy = $book") behave as identity-by-content.
+    """
+    if isinstance(item, bool) or isinstance(item, (int, float)):
+        return item
+    if isinstance(item, str):
+        return item
+    if is_node(item):
+        if isinstance(item, ElementNode):
+            direct = "".join(
+                child.text
+                for child in item.children
+                if isinstance(child, TextNode)
+            ).strip()
+            text = direct if direct else string_value(item).strip()
+        else:
+            text = string_value(item).strip()
+        number = _parse_number(text)
+        if number is not None:
+            return number
+        return text
+    raise XQueryTypeError(f"cannot atomize {type(item).__name__}")
+
+
+def atomize_sequence(sequence):
+    return [atomize(item) for item in sequence]
+
+
+def effective_boolean_value(sequence):
+    """XQuery effective boolean value of a sequence."""
+    if not sequence:
+        return False
+    first = sequence[0]
+    if is_node(first):
+        return True
+    if len(sequence) > 1:
+        raise XQueryTypeError("effective boolean value of a multi-atomic sequence")
+    if isinstance(first, bool):
+        return first
+    if isinstance(first, (int, float)):
+        return first != 0
+    if isinstance(first, str):
+        return bool(first)
+    return True
+
+
+def _comparable_pair(left, right):
+    """Coerce two atomics into comparable forms.
+
+    Returns a (left, right, numeric) triple. When exactly one side is
+    numeric, the other is re-parsed as a number if possible, else both
+    become strings.
+    """
+    left_num = left if isinstance(left, (int, float)) and not isinstance(left, bool) else None
+    right_num = right if isinstance(right, (int, float)) and not isinstance(right, bool) else None
+    if left_num is None and isinstance(left, str):
+        left_num = _parse_number(left.strip())
+    if right_num is None and isinstance(right, str):
+        right_num = _parse_number(right.strip())
+    if left_num is not None and right_num is not None:
+        return left_num, right_num, True
+    return _normalize_string(left), _normalize_string(right), False
+
+
+def _normalize_string(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value).strip().casefold()
+
+
+def compare_atomic(op, left, right):
+    """Compare two atomic values under the rules in the module docstring."""
+    left, right, _numeric = _comparable_pair(left, right)
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise XQueryTypeError(f"unknown comparison operator {op!r}")
+
+
+def general_compare(op, left_sequence, right_sequence):
+    """Existential comparison: true if any pair of atomized items holds."""
+    left_atoms = atomize_sequence(left_sequence)
+    right_atoms = atomize_sequence(right_sequence)
+    for left in left_atoms:
+        for right in right_atoms:
+            if compare_atomic(op, left, right):
+                return True
+    return False
+
+
+def sort_key(sequence):
+    """A total-order key for 'order by': (emptiness, type rank, value)."""
+    if not sequence:
+        return (0, 0, 0)
+    atom = atomize(sequence[0])
+    if isinstance(atom, bool):
+        return (1, 1, int(atom))
+    if isinstance(atom, (int, float)):
+        return (1, 2, atom)
+    return (1, 3, str(atom).casefold())

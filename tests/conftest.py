@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.data import DblpConfig, bib_document, generate_dblp, movies_document
+from repro.database.store import Database
+
+
+@pytest.fixture(scope="session")
+def movie_database():
+    database = Database()
+    database.load_document(movies_document())
+    return database
+
+
+@pytest.fixture(scope="session")
+def bib_database():
+    database = Database()
+    database.load_document(bib_document())
+    return database
+
+
+@pytest.fixture(scope="session")
+def small_dblp_database():
+    database = Database()
+    database.load_document(generate_dblp(DblpConfig(books=30, articles=40)))
+    return database
+
+
+@pytest.fixture(scope="session")
+def movie_nalix(movie_database):
+    return NaLIX(movie_database)
+
+
+@pytest.fixture(scope="session")
+def dblp_nalix(small_dblp_database):
+    return NaLIX(small_dblp_database)

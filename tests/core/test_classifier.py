@@ -1,0 +1,112 @@
+"""Unit tests for token classification (Tables 1 and 2)."""
+
+import pytest
+
+from repro.core.classifier import classify_tree
+from repro.core.enums import parser_vocabulary
+from repro.core.token_types import TokenType, token_type
+from repro.nlp.dependency import DependencyParser
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return DependencyParser(parser_vocabulary())
+
+
+def classified(parser, sentence):
+    return classify_tree(parser.parse(sentence))
+
+
+def types_of(tree, text):
+    return [token_type(n) for n in tree.preorder() if n.text == text]
+
+
+class TestTokenTypes:
+    def test_command_token(self, parser):
+        tree = classified(parser, "Return every movie.")
+        assert token_type(tree) == TokenType.CMT
+
+    def test_name_tokens(self, parser):
+        tree = classified(parser, "Return the title of every movie.")
+        assert types_of(tree, "title") == [TokenType.NT]
+        assert types_of(tree, "movie") == [TokenType.NT]
+
+    def test_value_token_with_parsed_literal(self, parser):
+        tree = classified(parser, "Return every book published after 1991.")
+        vt = next(n for n in tree.preorder() if n.text == "1991")
+        assert token_type(vt) == TokenType.VT
+        assert vt.value == 1991
+
+    def test_quoted_value_stays_string(self, parser):
+        tree = classified(parser, 'Return every book whose year is "1991".')
+        vt = next(n for n in tree.preorder() if token_type(n) == TokenType.VT)
+        assert vt.value == "1991"
+
+    def test_operator_token_payload(self, parser):
+        tree = classified(parser, "Return every book published after 1991.")
+        ot = next(n for n in tree.preorder() if token_type(n) == TokenType.OT)
+        assert ot.operator == ">"
+
+    def test_function_token_payload(self, parser):
+        tree = classified(parser, "Return the number of movies.")
+        ft = next(n for n in tree.preorder() if token_type(n) == TokenType.FT)
+        assert ft.aggregate == "count"
+
+    def test_min_function(self, parser):
+        tree = classified(parser, "Return the lowest price of every book.")
+        ft = next(n for n in tree.preorder() if token_type(n) == TokenType.FT)
+        assert ft.aggregate == "min"
+
+    def test_order_by_token(self, parser):
+        tree = classified(
+            parser, "Return the title of every book, sorted by title."
+        )
+        obt = next(n for n in tree.preorder() if token_type(n) == TokenType.OBT)
+        assert obt.descending is False
+
+    def test_descending_order(self, parser):
+        tree = classified(
+            parser,
+            "Return the title of every book, in descending order of year.",
+        )
+        obt = next(n for n in tree.preorder() if token_type(n) == TokenType.OBT)
+        assert obt.descending is True
+
+    def test_quantifier_token(self, parser):
+        tree = classified(parser, "Return every movie.")
+        assert types_of(tree, "every") == [TokenType.QT]
+
+    def test_negation_token(self, parser):
+        tree = classified(
+            parser, "Return every book whose year is not greater than 1991."
+        )
+        assert any(
+            token_type(n) == TokenType.NEG for n in tree.preorder()
+        )
+
+
+class TestMarkers:
+    def test_connection_markers(self, parser):
+        tree = classified(parser, "Return the title of every movie.")
+        assert types_of(tree, "of") == [TokenType.CM]
+
+    def test_verb_is_connection_marker(self, parser):
+        tree = classified(parser, "Return every movie directed by Ron Howard.")
+        assert types_of(tree, "directed by") == [TokenType.CM]
+
+    def test_modifier_markers(self, parser):
+        tree = classified(parser, "Return the new movie.")
+        assert types_of(tree, "the") == [TokenType.MM]
+        assert types_of(tree, "new") == [TokenType.MM]
+
+    def test_pronoun_marker(self, parser):
+        tree = classified(parser, "Return every book and their titles.")
+        assert TokenType.PM in {token_type(n) for n in tree.preorder()}
+
+    def test_unknown_preposition(self, parser):
+        tree = classified(
+            parser,
+            "Return every director who has directed as many movies as "
+            "has Ron Howard.",
+        )
+        assert TokenType.UNKNOWN in {token_type(n) for n in tree.preorder()}

@@ -1,0 +1,64 @@
+"""Unit tests for the enumerated phrase sets."""
+
+from repro.core.enums import (
+    COMMAND_PHRASES,
+    CONNECTION_PREPOSITIONS,
+    FUNCTION_PHRASES,
+    OPERATOR_PHRASES,
+    ORDER_PHRASES,
+    parser_vocabulary,
+    suggest_replacement,
+)
+from repro.nlp.categories import Category
+
+
+class TestEnumContents:
+    def test_paper_examples_present(self):
+        assert "return" in COMMAND_PHRASES
+        assert OPERATOR_PHRASES["the same as"] == "="
+        assert FUNCTION_PHRASES["the number of"] == "count"
+        assert "sorted by" in ORDER_PHRASES
+
+    def test_as_deliberately_absent(self):
+        # The paper's Query 1 depends on "as" being out of vocabulary.
+        assert "as" not in CONNECTION_PREPOSITIONS
+        assert "as" not in OPERATOR_PHRASES
+
+    def test_operator_symbols_valid(self):
+        assert set(OPERATOR_PHRASES.values()) <= {
+            "=", "!=", "<", "<=", ">", ">=", "contains",
+        }
+
+    def test_function_names_are_aggregates(self):
+        assert set(FUNCTION_PHRASES.values()) <= {
+            "count", "sum", "avg", "min", "max",
+        }
+
+    def test_sets_stay_small(self):
+        # The paper: "we have kept these small — each set has about a
+        # dozen elements". Allow some headroom but prevent bloat.
+        assert len(COMMAND_PHRASES) <= 20
+        assert len(CONNECTION_PREPOSITIONS) <= 15
+
+
+class TestParserVocabulary:
+    def test_categories(self):
+        vocabulary = parser_vocabulary()
+        assert vocabulary["return"] == Category.COMMAND
+        assert vocabulary["the number of"] == Category.FUNCTION
+        assert vocabulary["be the same as"] == Category.COMPARATIVE
+        assert vocabulary["sorted by"] == Category.ORDER
+
+    def test_wh_words_excluded(self):
+        vocabulary = parser_vocabulary()
+        assert "what" not in vocabulary
+
+
+class TestSuggestions:
+    def test_as_suggests_operator_phrase(self):
+        suggestion = suggest_replacement("as")
+        assert suggestion is not None
+        assert "as" in suggestion.split()
+
+    def test_unknown_word_no_suggestion(self):
+        assert suggest_replacement("zebra") is None

@@ -1,0 +1,109 @@
+"""Tests for reproduction extensions beyond the paper's core feature set
+(distinct results, sum/avg aggregates end-to-end, negation semantics)."""
+
+import pytest
+
+
+class TestDistinctResults:
+    def test_distinct_publishers(self, dblp_nalix, small_dblp_database):
+        result = dblp_nalix.ask("Return every distinct publisher.")
+        assert result.ok, result.render_feedback()
+        assert result.xquery_text.startswith("distinct-values(")
+        gold = {
+            node.string_value()
+            for node in small_dblp_database.nodes_with_tag("publisher")
+        }
+        assert set(result.values()) == gold
+        assert len(result.values()) == len(gold)
+
+    def test_different_synonym(self, dblp_nalix):
+        result = dblp_nalix.ask("Return every different journal.")
+        assert result.ok
+        assert len(result.values()) == len(set(result.values()))
+
+    def test_plain_query_keeps_duplicates(self, dblp_nalix,
+                                          small_dblp_database):
+        result = dblp_nalix.ask("Return every publisher.")
+        assert result.ok
+        assert len(result.items) == len(
+            small_dblp_database.nodes_with_tag("publisher")
+        )
+
+
+class TestMoreAggregates:
+    def test_global_average(self, dblp_nalix, small_dblp_database):
+        """"the average of the years" (no grouping noun) is global."""
+        result = dblp_nalix.ask("Return the average of the years.")
+        assert result.ok, result.render_feedback()
+        years = [
+            float(node.string_value())
+            for node in small_dblp_database.nodes_with_tag("year")
+        ]
+        expected = sum(years) / len(years)
+        assert len(result.values()) == 1
+        assert abs(float(result.values()[0]) - expected) < 1e-6
+
+    def test_global_sum(self, bib_database):
+        from repro.core.interface import NaLIX
+
+        nalix = NaLIX(bib_database)
+        result = nalix.ask("Return the sum of the prices.")
+        assert result.ok, result.render_feedback()
+        expected = sum(
+            float(node.string_value())
+            for node in bib_database.nodes_with_tag("price")
+        )
+        assert abs(float(result.values()[0]) - expected) < 1e-6
+
+    def test_global_max(self, dblp_nalix, small_dblp_database):
+        result = dblp_nalix.ask("Return the latest year.")
+        assert result.ok, result.render_feedback()
+        years = [
+            int(node.string_value())
+            for node in small_dblp_database.nodes_with_tag("year")
+        ]
+        assert len(result.values()) == 1
+        assert int(float(result.values()[0])) == max(years)
+
+    def test_grouped_aggregate_follows_fig6(self, dblp_nalix,
+                                            small_dblp_database):
+        """"the latest year of every article" groups per article (the
+        paper's Fig. 6 outer-scope rule), yielding one value each."""
+        result = dblp_nalix.ask("Return the latest year of every article.")
+        assert result.ok, result.render_feedback()
+        articles = small_dblp_database.document().root.child_elements(
+            "article"
+        )
+        assert len(result.values()) == len(articles)
+        gold = sorted(
+            int(article.child_elements("year")[0].string_value())
+            for article in articles
+        )
+        assert sorted(int(float(v)) for v in result.values()) == gold
+
+
+class TestNegationSemantics:
+    def test_not_greater_than(self, dblp_nalix, small_dblp_database):
+        result = dblp_nalix.ask(
+            "Return every book whose year is not greater than 1991."
+        )
+        assert result.ok, result.render_feedback()
+        gold = sum(
+            1
+            for book in small_dblp_database.document().root.child_elements(
+                "book"
+            )
+            if int(book.child_elements("year")[0].string_value()) <= 1991
+        )
+        assert len(result.nodes()) == gold
+
+    def test_negation_complements_positive(self, dblp_nalix,
+                                           small_dblp_database):
+        positive = dblp_nalix.ask("Return every book published after 1991.")
+        negative = dblp_nalix.ask(
+            "Return every book whose year is not greater than 1991."
+        )
+        total = len(
+            small_dblp_database.document().root.child_elements("book")
+        )
+        assert len(positive.nodes()) + len(negative.nodes()) == total

@@ -1,0 +1,57 @@
+"""Unit tests for the feedback message machinery."""
+
+from repro.core.feedback import Feedback, Message
+
+
+class TestMessage:
+    def test_render_error(self):
+        message = Message(Message.ERROR, "code", "Something is wrong.",
+                          suggestion="Fix it.")
+        rendered = message.render()
+        assert rendered == "Error: Something is wrong. Suggestion: Fix it."
+
+    def test_render_warning_without_suggestion(self):
+        message = Message(Message.WARNING, "code", "Heads up.")
+        assert message.render() == "Warning: Heads up."
+
+    def test_repr(self):
+        message = Message(Message.ERROR, "code", "text")
+        assert "code" in repr(message)
+
+
+class TestFeedback:
+    def test_empty_is_ok(self):
+        assert Feedback().ok
+
+    def test_warning_keeps_ok(self):
+        feedback = Feedback()
+        feedback.warning("w", "heads up")
+        assert feedback.ok
+        assert len(feedback.warnings) == 1
+
+    def test_error_breaks_ok(self):
+        feedback = Feedback()
+        feedback.error("e", "bad")
+        assert not feedback.ok
+        assert len(feedback.errors) == 1
+
+    def test_messages_keep_order(self):
+        feedback = Feedback()
+        feedback.error("one", "first")
+        feedback.warning("two", "second")
+        feedback.error("three", "third")
+        assert [m.code for m in feedback.messages] == ["one", "two", "three"]
+
+    def test_render_joins_lines(self):
+        feedback = Feedback()
+        feedback.error("a", "first")
+        feedback.warning("b", "second")
+        lines = feedback.render().splitlines()
+        assert lines[0].startswith("Error:")
+        assert lines[1].startswith("Warning:")
+
+    def test_node_attached(self):
+        feedback = Feedback()
+        sentinel = object()
+        feedback.error("a", "first", node=sentinel)
+        assert feedback.errors[0].node is sentinel

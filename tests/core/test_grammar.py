@@ -1,0 +1,71 @@
+"""Unit tests for the Table 6 grammar checker."""
+
+import pytest
+
+from repro.core.grammar import check_grammar, conforms
+from repro.evaluation.tasks import TASKS
+
+
+def classified(nalix, sentence):
+    tree = nalix.classify(nalix.parse(sentence))
+    nalix.validate(tree)
+    return tree
+
+
+class TestConformingQueries:
+    @pytest.mark.parametrize(
+        "sentence",
+        [
+            "Return every movie.",
+            "Return the title of every movie.",
+            "Return every movie directed by Ron Howard.",
+            "Return the title of every movie, sorted by title.",
+            "Return the number of movies directed by each director.",
+            "Return every director, where the number of movies directed by "
+            "the director is the same as the number of movies directed by "
+            "Ron Howard.",
+        ],
+    )
+    def test_valid_queries_conform(self, movie_nalix, sentence):
+        assert conforms(classified(movie_nalix, sentence))
+
+    def test_all_accepted_task_phrasings_conform(self, dblp_nalix):
+        for task in TASKS:
+            for phrasing in task.phrasings:
+                if not phrasing.valid:
+                    continue
+                tree = classified(dblp_nalix, phrasing.text)
+                assert conforms(tree), (task.task_id, phrasing.text)
+
+
+class TestViolations:
+    def test_missing_command_violates_q_production(self, movie_nalix):
+        tree = classified(movie_nalix, "movies directed by Ron Howard")
+        violations = check_grammar(tree)
+        assert violations
+        assert "command" in violations[0].reason
+
+    def test_synthetic_bad_attachment(self, movie_nalix):
+        tree = classified(movie_nalix, "Return the title of every movie.")
+        # Force an OBT under an NT — not licensed by line 8.
+        from repro.nlp.categories import Category
+        from repro.nlp.parse_tree import ParseNode
+        from repro.core.token_types import TokenType
+
+        bad = ParseNode("sorted by", "sorted by", Category.ORDER, 99)
+        bad.token_type = TokenType.OBT
+        title = next(n for n in tree.preorder() if n.lemma == "title")
+        title.attach(bad)
+        violations = check_grammar(tree)
+        assert any("sort phrase" in v.reason for v in violations)
+
+    def test_unknown_nodes_skipped(self, movie_nalix):
+        tree = classified(
+            movie_nalix,
+            "Return every director who has directed as many movies as has "
+            "Ron Howard.",
+        )
+        # The "as" nodes are UNKNOWN; the checker leaves them to the
+        # validator's unknown-term error rather than piling on.
+        for violation in check_grammar(tree):
+            assert violation.node.text != "as"

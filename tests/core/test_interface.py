@@ -1,0 +1,95 @@
+"""Unit tests for the NaLIX interface facade."""
+
+import pytest
+
+from repro.core.interface import NaLIX, QueryResult
+
+
+class TestAsk:
+    def test_successful_query(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return the title of every movie directed by Ron Howard."
+        )
+        assert result.ok
+        assert sorted(result.values()) == [
+            "A Beautiful Mind",
+            "How the Grinch Stole Christmas",
+            "Tribute",
+        ]
+
+    def test_rejected_query_has_feedback(self, movie_nalix):
+        result = movie_nalix.ask("Return the isbn of every movie.")
+        assert not result.ok
+        assert result.errors
+        assert result.xquery_text is None
+
+    def test_parse_failure_is_feedback_not_exception(self, movie_nalix):
+        result = movie_nalix.ask("")
+        assert not result.ok
+        assert any(m.code == "parse-failure" for m in result.errors)
+
+    def test_warnings_do_not_reject(self, movie_nalix):
+        result = movie_nalix.ask("Return every movie and their titles.")
+        assert result.ok
+        assert result.warnings
+
+    def test_translation_without_evaluation(self, movie_nalix):
+        result = movie_nalix.ask("Return every movie.", evaluate=False)
+        assert result.ok
+        assert result.items == []
+        assert result.xquery_text
+
+    def test_timings_recorded(self, movie_nalix):
+        result = movie_nalix.ask("Return every movie.")
+        assert result.translation_seconds > 0
+        assert result.evaluation_seconds > 0
+
+    def test_emitted_text_is_reparsed(self, movie_nalix):
+        """ask() evaluates the serialized text, so text is the contract."""
+        result = movie_nalix.ask("Return the title of every movie.")
+        assert result.ok
+        from repro.xquery.parser import parse_xquery
+
+        assert parse_xquery(result.xquery_text).to_text() == result.xquery_text
+
+
+class TestQueryResult:
+    def test_nodes_deduplicated(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return the director of every movie directed by Ron Howard."
+        )
+        assert result.ok
+        nodes = result.nodes()
+        assert len(nodes) == len({id(node) for node in nodes})
+
+    def test_distinct_items_keeps_atomics(self, dblp_nalix):
+        result = dblp_nalix.ask(
+            "Return the number of books published by each publisher."
+        )
+        assert result.ok
+        items = result.distinct_items()
+        assert items
+        assert all(not hasattr(item, "node_id") or True for item in items)
+        # One count per publisher element, duplicates included.
+        assert len(items) == len(result.items)
+
+    def test_repr_mentions_status(self, movie_nalix):
+        ok = movie_nalix.ask("Return every movie.")
+        bad = movie_nalix.ask("Return the isbn of every movie.")
+        assert "ok" in repr(ok)
+        assert "rejected" in repr(bad)
+
+
+class TestMultipleDomains:
+    def test_same_pipeline_on_bibliography(self, bib_database):
+        nalix = NaLIX(bib_database)
+        result = nalix.ask(
+            'Return the title of every book published by "Addison-Wesley".'
+        )
+        assert result.ok
+        assert len(result.values()) == 2
+
+    def test_wh_question(self, movie_nalix):
+        result = movie_nalix.ask("What is the title of every movie?")
+        assert result.ok
+        assert len(result.values()) == 5

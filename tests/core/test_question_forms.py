@@ -1,0 +1,63 @@
+"""Tests for question-shaped inputs (wh-words, "how many", copulas)."""
+
+import pytest
+
+
+class TestWhQuestions:
+    def test_what_are(self, movie_nalix):
+        result = movie_nalix.ask("What are the titles of the movies?")
+        assert result.ok, result.render_feedback()
+        assert len(result.values()) == 5
+
+    def test_which(self, movie_nalix):
+        result = movie_nalix.ask("Which movies are directed by Ron Howard?")
+        assert result.ok
+        assert len(result.nodes()) == 3
+
+    def test_year_constraint(self, movie_nalix):
+        result = movie_nalix.ask(
+            "What are the titles of the movies of the year 2000?"
+        )
+        assert result.ok
+        assert sorted(result.values()) == [
+            "How the Grinch Stole Christmas",
+            "Traffic",
+        ]
+
+
+class TestHowMany:
+    def test_how_many_global(self, movie_nalix):
+        result = movie_nalix.ask("How many movies are there?")
+        assert result.ok, result.render_feedback()
+        assert result.values() == ["5"]
+
+    def test_how_many_constrained(self, movie_nalix):
+        result = movie_nalix.ask(
+            "How many movies are directed by Ron Howard?"
+        )
+        assert result.ok, result.render_feedback()
+        assert set(result.values()) == {"3"}
+
+    def test_how_many_uses_count(self, movie_nalix):
+        result = movie_nalix.ask("How many movies are there?", evaluate=False)
+        assert "count(" in result.xquery_text
+
+
+class TestGroupingLayoutValues:
+    """The Figure 1 layout nests movies under year elements whose value
+    is the year's direct text — atomization must see '2000', not the
+    concatenation with every nested title."""
+
+    def test_year_equality(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return the title of every movie of the year 2001."
+        )
+        assert result.ok
+        assert len(result.values()) == 3
+
+    def test_year_inequality(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return the title of every movie of a year after 2000."
+        )
+        assert result.ok, result.render_feedback()
+        assert len(result.values()) == 3

@@ -1,0 +1,153 @@
+"""Unit tests for the semantic analysis (Defs. 1-10).
+
+The reference points are the paper's own analyses of Queries 2 and 3.
+"""
+
+import pytest
+
+from repro.core.semantics import (
+    analyze,
+    directly_related,
+    equivalent_name_tokens,
+    find_core_tokens,
+    modifier_signature,
+    token_children,
+    token_parent,
+)
+from repro.core.token_types import TokenType, token_type
+
+QUERY_2 = (
+    "Return every director, where the number of movies directed by the "
+    "director is the same as the number of movies directed by Ron Howard."
+)
+
+
+def prepared(nalix, sentence):
+    tree = nalix.classify(nalix.parse(sentence))
+    feedback = nalix.validate(tree)
+    assert feedback.ok, feedback.render()
+    return tree
+
+
+def nts(tree, lemma=None):
+    return [
+        node
+        for node in tree.preorder()
+        if token_type(node) == TokenType.NT
+        and (lemma is None or node.lemma == lemma)
+    ]
+
+
+class TestStructuralHelpers:
+    def test_token_children_see_through_markers(self, movie_nalix):
+        tree = prepared(movie_nalix, "Return the title of every movie.")
+        title = nts(tree, "title")[0]
+        children = token_children(title)
+        assert [child.lemma for child in children] == ["movie"]
+
+    def test_token_parent_skips_markers(self, movie_nalix):
+        tree = prepared(movie_nalix, "Return the title of every movie.")
+        movie = nts(tree, "movie")[0]
+        assert token_parent(movie).lemma == "title"
+
+    def test_directly_related_through_cm(self, movie_nalix):
+        tree = prepared(movie_nalix, "Return the title of every movie.")
+        title, movie = nts(tree, "title")[0], nts(tree, "movie")[0]
+        assert directly_related(title, movie)
+
+    def test_directly_related_through_verb(self, movie_nalix):
+        tree = prepared(
+            movie_nalix, "Return every movie directed by Ron Howard."
+        )
+        movie = nts(tree, "movie")[0]
+        implicit = [n for n in nts(tree) if n.implicit][0]
+        assert directly_related(movie, implicit)
+
+
+class TestEquivalence:
+    def test_same_word_equivalent(self, movie_nalix):
+        tree = prepared(movie_nalix, QUERY_2)
+        directors = [n for n in nts(tree, "director") if not n.implicit]
+        assert len(directors) == 2
+        assert equivalent_name_tokens(directors[0], directors[1])
+
+    def test_implicit_not_equivalent_to_explicit(self, movie_nalix):
+        tree = prepared(movie_nalix, QUERY_2)
+        explicit = [n for n in nts(tree, "director") if not n.implicit][0]
+        implicit = [n for n in nts(tree) if n.implicit][0]
+        assert not equivalent_name_tokens(explicit, implicit)
+
+    def test_articles_vacuous_for_signature(self, movie_nalix):
+        tree = prepared(
+            movie_nalix, "Return the movie and every new movie."
+        )
+        movies = nts(tree, "movie")
+        signatures = [modifier_signature(node) for node in movies]
+        assert signatures[0] == frozenset()
+        assert signatures[1] == frozenset({"new"})
+
+
+class TestCoreTokens:
+    def test_query2_cores_are_directors(self, movie_nalix):
+        tree = prepared(movie_nalix, QUERY_2)
+        cores = find_core_tokens(tree)
+        assert {node.lemma for node in cores} == {"director"}
+        # Both explicit mentions plus the implicit one (Def. 3 (ii)).
+        assert len(cores) == 3
+
+    def test_no_cores_without_operator(self, movie_nalix):
+        tree = prepared(movie_nalix, "Return the title of every movie.")
+        assert find_core_tokens(tree) == []
+
+
+class TestVariableBinding:
+    def test_query2_variables(self, movie_nalix):
+        tree = prepared(movie_nalix, QUERY_2)
+        model = analyze(tree)
+        directors = [v for v in model.variables if v.lemma == "director"]
+        movies = [v for v in model.variables if v.lemma == "movie"]
+        # Paper Table 3: $v1 (nodes 2,7), $v4 (implicit 11); $v2, $v3.
+        assert len(directors) == 2
+        assert len(movies) == 2
+        explicit = next(v for v in directors if not v.implicit)
+        assert len(explicit.nodes) == 2
+        assert all(v.is_core for v in directors)
+
+    def test_repeated_mention_binds_once(self, movie_nalix):
+        tree = prepared(
+            movie_nalix,
+            "Return the title of every movie, where the director of the "
+            "movie is Ron Howard.",
+        )
+        model = analyze(tree)
+        movies = [v for v in model.variables if v.lemma == "movie"]
+        assert len(movies) == 1
+        assert len(movies[0].nodes) == 2
+
+
+class TestRelatedGroups:
+    def test_query2_groups(self, movie_nalix):
+        tree = prepared(movie_nalix, QUERY_2)
+        model = analyze(tree)
+        groups = [
+            {variable.lemma + ("!" if variable.implicit else "")
+             for variable in group}
+            for group in model.related_groups
+        ]
+        assert {"director", "movie"} in groups
+        assert {"director!", "movie"} in groups
+
+    def test_no_core_means_one_group(self, movie_nalix):
+        tree = prepared(movie_nalix, "Return the title of every movie.")
+        model = analyze(tree)
+        assert len(model.related_groups) == 1
+
+    def test_core_variable_related_to(self, movie_nalix):
+        tree = prepared(movie_nalix, QUERY_2)
+        model = analyze(tree)
+        movie_variable = next(
+            v for v in model.variables if v.lemma == "movie"
+        )
+        core = model.core_variable_related_to(movie_variable)
+        assert core is not None
+        assert core.lemma == "director"

@@ -1,0 +1,62 @@
+"""Unit tests for the interactive session layer."""
+
+import pytest
+
+from repro.core.session import QuerySession
+
+
+@pytest.fixture()
+def session(movie_nalix):
+    return QuerySession(movie_nalix)
+
+
+class TestSession:
+    def test_first_try_success_zero_iterations(self, session):
+        result = session.submit("Return the title of every movie.")
+        assert result.ok
+        assert session.iterations == 0
+        assert session.succeeded
+
+    def test_reformulation_counts(self, session):
+        first = session.submit(
+            "Return every director who has directed as many movies as has "
+            "Ron Howard."
+        )
+        assert not first.ok
+        assert not session.succeeded
+        second = session.submit(
+            "Return every director, where the number of movies directed by "
+            "the director is the same as the number of movies directed by "
+            "Ron Howard."
+        )
+        assert second.ok
+        assert session.iterations == 1
+        assert session.succeeded
+
+    def test_suggestions_surface(self, session):
+        session.submit(
+            "Return every director who has directed as many movies as has "
+            "Ron Howard."
+        )
+        suggestions = session.suggestions()
+        assert any("the same as" in s for s in suggestions)
+
+    def test_transcript_contains_both_sides(self, session):
+        session.submit("Return the isbn of every movie.")
+        session.submit("Return the title of every movie.")
+        transcript = session.transcript()
+        assert "[1] user:" in transcript
+        assert "nalix: Error" in transcript
+        assert "result(s)" in transcript
+
+    def test_reset(self, session):
+        session.submit("Return the title of every movie.")
+        session.reset()
+        assert session.turns == []
+        assert session.last_turn is None
+        assert not session.succeeded
+
+    def test_empty_session(self, session):
+        assert session.iterations == 0
+        assert session.suggestions() == []
+        assert session.transcript() == ""

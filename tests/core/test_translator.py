@@ -1,0 +1,151 @@
+"""Unit tests for the translation to Schema-Free XQuery (Sec. 3.2)."""
+
+import pytest
+
+from repro.xquery.parser import parse_xquery
+
+
+def translation(nalix, sentence):
+    result = nalix.ask(sentence, evaluate=False)
+    assert result.ok, result.render_feedback()
+    return result.xquery_text
+
+
+class TestBasicMapping:
+    def test_single_variable_return(self, movie_nalix):
+        text = translation(movie_nalix, "Return every movie.")
+        assert "for $v1 in" in text
+        assert "//movie" in text
+        assert text.endswith("return $v1")
+
+    def test_related_nts_share_mqf(self, movie_nalix):
+        text = translation(movie_nalix, "Return the title of every movie.")
+        assert "mqf($v1, $v2)" in text
+
+    def test_value_predicate(self, movie_nalix):
+        text = translation(
+            movie_nalix,
+            'Return every movie whose title is "Traffic".',
+        )
+        assert '$v2 = "Traffic"' in text
+
+    def test_implicit_nt_predicate(self, movie_nalix):
+        text = translation(
+            movie_nalix, "Return every movie directed by Ron Howard."
+        )
+        assert "//director" in text
+        assert '= "Ron Howard"' in text
+
+    def test_inequality_operator(self, dblp_nalix):
+        text = translation(
+            dblp_nalix, "Return every book published after 1991."
+        )
+        assert "> 1991" in text
+
+    def test_negated_operator(self, dblp_nalix):
+        text = translation(
+            dblp_nalix,
+            "Return every book whose year is not greater than 1991.",
+        )
+        assert "not(" in text
+
+    def test_contains_condition(self, dblp_nalix):
+        text = translation(
+            dblp_nalix,
+            'Return every title that contains "XML".',
+        )
+        assert 'contains($v1, "XML")' in text
+
+    def test_multiple_returns_as_sequence(self, dblp_nalix):
+        text = translation(
+            dblp_nalix, "Return the title and the author of every book."
+        )
+        assert "return ($v1, $v2)" in text
+
+    def test_order_by(self, dblp_nalix):
+        text = translation(
+            dblp_nalix, "Return the title of every book, sorted by title."
+        )
+        assert "order by $v1" in text
+
+    def test_order_by_descending(self, dblp_nalix):
+        text = translation(
+            dblp_nalix,
+            "Return the title of every book, in descending order of year.",
+        )
+        assert "order by $v3 descending" in text or "descending" in text
+
+    def test_generated_text_parses(self, dblp_nalix):
+        text = translation(
+            dblp_nalix,
+            "Return the year and title of every book published by "
+            "Addison-Wesley after 1991.",
+        )
+        assert parse_xquery(text).to_text() == text
+
+
+class TestValueJoins:
+    def test_join_condition_between_groups(self, dblp_nalix):
+        text = translation(
+            dblp_nalix,
+            "Return the title of every book, where the year of the book is "
+            "the same as the year of an article.",
+        )
+        assert text.count("mqf(") == 2
+        assert "$v3 = $v5" in text or "= $v" in text
+
+
+class TestAggregates:
+    def test_global_count(self, dblp_nalix):
+        text = translation(dblp_nalix, "Return the total number of books.")
+        assert "let $vars1 :=" in text
+        assert "return count($vars1)" in text
+
+    def test_grouped_count_outer_scope(self, dblp_nalix):
+        text = translation(
+            dblp_nalix,
+            "Return the number of books published by each publisher.",
+        )
+        # Fig. 6 outer scope: fresh publisher copy value-joined inside.
+        assert "let $vars1 :=" in text
+        assert "mqf(" in text
+        assert "return count($vars1)" in text
+        inner = text.split("{")[1].split("}")[0]
+        assert "//publisher" in inner
+        assert "//book" in inner
+
+    def test_min_aggregate(self, dblp_nalix):
+        text = translation(dblp_nalix, "Return the lowest year for each book.")
+        assert "min($vars1)" in text
+
+    def test_fig5_with_marker(self, bib_database):
+        from repro.core.interface import NaLIX
+
+        nalix = NaLIX(bib_database)
+        result = nalix.ask("Return the book with the lowest price.")
+        assert result.ok, result.render_feedback()
+        text = result.xquery_text
+        # Fig. 5: a fresh price variable equated with the global minimum.
+        assert "min($vars1)" in text
+        assert "= min($vars1)" in text
+        values = result.values()
+        assert len(values) == 1
+        assert "Data on the Web" in values[0]  # the cheapest book
+
+
+class TestBindingsTable:
+    def test_rows_have_expected_fields(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return the title of every movie.", evaluate=False
+        )
+        rows = result.translation.bindings_table
+        assert all(
+            {"variable", "content", "nodes", "tags"} <= set(row) for row in rows
+        )
+
+    def test_notes_describe_aggregate_planning(self, dblp_nalix):
+        result = dblp_nalix.ask(
+            "Return the number of books published by each publisher.",
+            evaluate=False,
+        )
+        assert any("Fig.6" in note for note in result.translation.notes)

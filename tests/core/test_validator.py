@@ -1,0 +1,142 @@
+"""Unit tests for parse-tree validation and feedback (Sec. 4)."""
+
+import pytest
+
+from repro.core.token_types import TokenType, token_type
+
+
+def validated(nalix, sentence):
+    tree = nalix.classify(nalix.parse(sentence))
+    feedback = nalix.validate(tree)
+    return tree, feedback
+
+
+def error_codes(feedback):
+    return {message.code for message in feedback.errors}
+
+
+class TestCommandChecks:
+    def test_missing_command(self, movie_nalix):
+        _, feedback = validated(movie_nalix, "movies by Ron Howard")
+        assert "no-command" in error_codes(feedback)
+
+    def test_empty_return(self, movie_nalix):
+        _, feedback = validated(movie_nalix, "Return.")
+        assert "empty-return" in error_codes(feedback)
+
+    def test_valid_query_passes(self, movie_nalix):
+        _, feedback = validated(
+            movie_nalix, "Return the title of every movie."
+        )
+        assert feedback.ok
+
+
+class TestUnknownTerms:
+    def test_as_reported_with_suggestion(self, movie_nalix):
+        _, feedback = validated(
+            movie_nalix,
+            "Return every director who has directed as many movies as has "
+            "Ron Howard.",
+        )
+        unknown = [m for m in feedback.errors if m.code == "unknown-term"]
+        assert unknown
+        assert any("the same as" in (m.suggestion or "") for m in unknown)
+
+    def test_unknown_name_lists_vocabulary(self, movie_nalix):
+        _, feedback = validated(movie_nalix, "Return the isbn of every movie.")
+        messages = [m for m in feedback.errors if m.code == "unknown-name"]
+        assert messages
+        assert "movie" in messages[0].suggestion
+
+
+class TestImplicitNameTokens:
+    def test_value_behind_connector_gets_implicit_nt(self, movie_nalix):
+        tree, feedback = validated(
+            movie_nalix, "Return every movie directed by Ron Howard."
+        )
+        assert feedback.ok
+        implicit = [
+            n for n in tree.preorder()
+            if token_type(n) == TokenType.NT and n.implicit
+        ]
+        assert len(implicit) == 1
+        assert implicit[0].tags == ["director"]
+        assert implicit[0].implicit_value == "Ron Howard"
+
+    def test_implicit_nt_is_parent_of_vt(self, movie_nalix):
+        tree, _ = validated(
+            movie_nalix, "Return every movie directed by Ron Howard."
+        )
+        vt = next(n for n in tree.preorder() if token_type(n) == TokenType.VT)
+        assert vt.parent.implicit
+
+    def test_copula_value_needs_no_implicit_nt(self, movie_nalix):
+        tree, feedback = validated(
+            movie_nalix,
+            "Return every movie whose director is Ron Howard.",
+        )
+        assert feedback.ok
+        assert not any(
+            n.implicit for n in tree.preorder()
+            if token_type(n) == TokenType.NT
+        )
+
+    def test_inequality_value_resolves_by_type(self, dblp_nalix):
+        tree, feedback = validated(
+            dblp_nalix, "Return every book published after 1991."
+        )
+        assert feedback.ok
+        implicit = [
+            n for n in tree.preorder()
+            if token_type(n) == TokenType.NT and n.implicit
+        ]
+        assert len(implicit) == 1
+        assert "year" in implicit[0].tags
+
+    def test_unknown_value_reported(self, movie_nalix):
+        _, feedback = validated(
+            movie_nalix, "Return every movie directed by Jean Smith."
+        )
+        assert "unknown-value" in error_codes(feedback)
+
+
+class TestWarnings:
+    def test_pronoun_warning(self, movie_nalix):
+        _, feedback = validated(
+            movie_nalix, "Return every movie and their titles."
+        )
+        assert feedback.ok
+        assert any(m.code == "pronoun" for m in feedback.warnings)
+
+    def test_implied_sort_key_warning(self, dblp_nalix):
+        _, feedback = validated(
+            dblp_nalix,
+            "Return the title of every book, in alphabetical order.",
+        )
+        assert feedback.ok
+        assert any(m.code == "implied-sort-key" for m in feedback.warnings)
+
+
+class TestOperatorChecks:
+    def test_dangling_operator(self, movie_nalix):
+        _, feedback = validated(
+            movie_nalix, "Return every movie greater than."
+        )
+        assert "dangling-operator" in error_codes(feedback)
+
+    def test_returned_value_flagged(self, movie_nalix):
+        _, feedback = validated(movie_nalix, 'Return "Traffic".')
+        assert "returned-value" in error_codes(feedback)
+
+
+class TestTermExpansionAnnotations:
+    def test_tags_attached_to_nts(self, movie_nalix):
+        tree, _ = validated(movie_nalix, "Return the title of every film.")
+        film = next(n for n in tree.preorder() if n.text == "film")
+        assert film.tags == ["movie"]
+
+    def test_feedback_render_format(self, movie_nalix):
+        _, feedback = validated(movie_nalix, "Return the isbn of every movie.")
+        rendered = feedback.render()
+        assert rendered.startswith("Error:")
+        assert "Suggestion:" in rendered

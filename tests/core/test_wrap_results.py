@@ -1,0 +1,59 @@
+"""Tests for composite result construction (wrap_results).
+
+The paper lists "composite result construction" as future work; this
+reproduction supports it: each binding tuple is wrapped in a
+``<result>`` element, the output convention of the XMP use cases.
+"""
+
+import pytest
+
+from repro.core.interface import NaLIX
+
+
+@pytest.fixture(scope="module")
+def wrapping_nalix(small_dblp_database):
+    return NaLIX(small_dblp_database, wrap_results=True)
+
+
+class TestWrapResults:
+    def test_xquery_uses_constructor(self, wrapping_nalix):
+        result = wrapping_nalix.ask(
+            "Return the title and the author of every book.", evaluate=False
+        )
+        assert result.ok
+        assert "<result>{" in result.xquery_text
+        assert "}</result>" in result.xquery_text
+
+    def test_results_are_result_elements(self, wrapping_nalix):
+        result = wrapping_nalix.ask(
+            "Return the title and the author of every book."
+        )
+        assert result.ok
+        assert result.items
+        assert all(item.tag == "result" for item in result.items)
+
+    def test_result_contains_both_fields(self, wrapping_nalix,
+                                         small_dblp_database):
+        result = wrapping_nalix.ask(
+            "Return the title and the author of every book."
+        )
+        first = result.items[0]
+        child_tags = {child.tag for child in first.child_elements()}
+        assert child_tags == {"title", "author"}
+
+    def test_single_return_also_wrapped(self, wrapping_nalix):
+        result = wrapping_nalix.ask("Return the title of every book.")
+        assert result.ok
+        assert all(item.tag == "result" for item in result.items)
+
+    def test_wrapped_text_roundtrips(self, wrapping_nalix):
+        from repro.xquery.parser import parse_xquery
+
+        result = wrapping_nalix.ask(
+            "Return the title and the author of every book.", evaluate=False
+        )
+        assert parse_xquery(result.xquery_text).to_text() == result.xquery_text
+
+    def test_default_interface_not_wrapped(self, dblp_nalix):
+        result = dblp_nalix.ask("Return the title of every book.")
+        assert all(item.tag == "title" for item in result.items)

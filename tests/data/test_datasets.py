@@ -1,0 +1,107 @@
+"""Unit tests for the datasets."""
+
+from repro.data import DblpConfig, bib_document, generate_dblp, movies_document
+from repro.xmlstore.serializer import serialize
+
+
+class TestMovies:
+    def test_figure1_shape(self):
+        document = movies_document()
+        years = document.root.child_elements("year")
+        assert len(years) == 2
+        movies = [m for y in years for m in y.child_elements("movie")]
+        assert len(movies) == 5
+
+    def test_figure1_contents(self):
+        document = movies_document()
+        directors = [
+            node.string_value()
+            for node in document.iter_elements()
+            if node.tag == "director"
+        ]
+        assert directors.count("Ron Howard") == 3
+        assert "Steven Soderbergh" in directors
+        assert "Peter Jackson" in directors
+
+    def test_custom_entries(self):
+        document = movies_document(
+            entries=[("1999", [("The Matrix", "Wachowski")])]
+        )
+        assert document.root.child_elements("year")[0].child_elements(
+            "movie"
+        )[0].child_elements("title")[0].string_value() == "The Matrix"
+
+
+class TestBib:
+    def test_books_and_prices(self):
+        document = bib_document()
+        books = document.root.child_elements("book")
+        assert len(books) == 4
+        assert all(book.get_attribute("year") for book in books)
+        assert all(book.child_elements("price") for book in books)
+
+    def test_editor_book_present(self):
+        document = bib_document()
+        assert any(
+            book.child_elements("editor")
+            for book in document.root.child_elements("book")
+        )
+
+
+class TestDblpGenerator:
+    def test_shape_matches_paper(self):
+        document = generate_dblp(DblpConfig(books=50, articles=100))
+        books = document.root.child_elements("book")
+        articles = document.root.child_elements("article")
+        assert len(books) == 50
+        assert len(articles) == 100  # twice as many articles as books
+
+    def test_default_is_twice_articles(self):
+        config = DblpConfig(books=30)
+        assert config.articles == 60
+
+    def test_deterministic(self):
+        first = generate_dblp(DblpConfig(books=20, articles=20, seed=5))
+        second = generate_dblp(DblpConfig(books=20, articles=20, seed=5))
+        assert serialize(first.root) == serialize(second.root)
+
+    def test_seed_changes_content(self):
+        first = generate_dblp(DblpConfig(books=20, articles=20, seed=5))
+        second = generate_dblp(DblpConfig(books=20, articles=20, seed=6))
+        assert serialize(first.root) != serialize(second.root)
+
+    def test_anchor_entries_present(self):
+        document = generate_dblp(DblpConfig(books=10, articles=0))
+        titles = {
+            node.string_value()
+            for node in document.iter_elements()
+            if node.tag == "title"
+        }
+        assert "Data on the Web" in titles
+        assert "TCP/IP Illustrated" in titles
+
+    def test_task_answers_nonempty(self):
+        document = generate_dblp()
+        text = serialize(document.root)
+        assert "Suciu" in text
+        assert "Addison-Wesley" in text
+        assert "XML" in text
+
+    def test_book_fields(self):
+        document = generate_dblp(DblpConfig(books=10, articles=5))
+        for book in document.root.child_elements("book"):
+            assert book.child_elements("author")
+            assert book.child_elements("title")
+            assert book.child_elements("publisher")
+            assert book.child_elements("year")
+
+    def test_article_fields(self):
+        document = generate_dblp(DblpConfig(books=5, articles=10))
+        for article in document.root.child_elements("article"):
+            assert article.child_elements("journal")
+            assert article.child_elements("pages")
+
+    def test_paper_scale_config(self):
+        config = DblpConfig.paper_scale()
+        assert config.books == 2400
+        assert config.articles == 4800

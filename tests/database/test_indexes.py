@@ -1,0 +1,103 @@
+"""Unit tests for tag and value indexes."""
+
+from repro.database.indexes import build_indexes, direct_text, tokenize_value
+from repro.xmlstore.parser import parse_document
+
+
+def sample_document():
+    return parse_document(
+        """
+        <bib>
+          <book year="1994"><title>TCP/IP Illustrated</title>
+            <author>Walter Stevens</author></book>
+          <book year="2000"><title>Data on the Web</title>
+            <author>Dan Suciu</author></book>
+        </bib>
+        """,
+        name="bib",
+    )
+
+
+class TestTokenize:
+    def test_simple_words(self):
+        assert tokenize_value("Data on the Web") == ["data", "on", "the", "web"]
+
+    def test_hyphen_and_apostrophe_kept(self):
+        assert tokenize_value("Addison-Wesley O'Reilly") == [
+            "addison-wesley",
+            "o'reilly",
+        ]
+
+    def test_numbers(self):
+        assert tokenize_value("year 1994!") == ["year", "1994"]
+
+    def test_empty(self):
+        assert tokenize_value("   ") == []
+
+
+class TestDirectText:
+    def test_element_direct_text_excludes_children(self):
+        document = sample_document()
+        book = document.root.child_elements("book")[0]
+        assert direct_text(book) == ""
+        title = book.child_elements("title")[0]
+        assert direct_text(title) == "TCP/IP Illustrated"
+
+    def test_attribute_direct_text(self):
+        document = sample_document()
+        book = document.root.child_elements("book")[0]
+        assert direct_text(book.attributes[0]) == "1994"
+
+
+class TestTagIndex:
+    def test_counts(self):
+        tag_index, _ = build_indexes([sample_document()])
+        assert tag_index.count("book") == 2
+        assert tag_index.count("title") == 2
+        assert tag_index.count("missing") == 0
+
+    def test_attribute_tags_indexed(self):
+        tag_index, _ = build_indexes([sample_document()])
+        assert tag_index.count("@year") == 2
+        assert "@year" in tag_index
+
+    def test_nodes_sorted_preorder(self):
+        tag_index, _ = build_indexes([sample_document()])
+        ids = [node.node_id for node in tag_index.nodes("title")]
+        assert ids == sorted(ids)
+
+    def test_tags_listing(self):
+        tag_index, _ = build_indexes([sample_document()])
+        assert "book" in tag_index.tags()
+        assert "@year" in tag_index.tags()
+
+
+class TestValueIndex:
+    def test_term_lookup_case_insensitive(self):
+        _, value_index = build_indexes([sample_document()])
+        assert len(value_index.nodes_with_term("SUCIU")) == 1
+
+    def test_exact_value(self):
+        _, value_index = build_indexes([sample_document()])
+        nodes = value_index.nodes_with_exact_value("Data on the Web")
+        assert len(nodes) == 1
+        assert nodes[0].tag == "title"
+
+    def test_exact_value_trims_and_lowercases(self):
+        _, value_index = build_indexes([sample_document()])
+        assert value_index.nodes_with_exact_value("  data on the web ")
+
+    def test_phrase_lookup(self):
+        _, value_index = build_indexes([sample_document()])
+        assert len(value_index.nodes_with_phrase("on the Web")) == 1
+        assert value_index.nodes_with_phrase("web the on") == []
+
+    def test_attribute_values_indexed(self):
+        _, value_index = build_indexes([sample_document()])
+        nodes = value_index.nodes_with_exact_value("1994")
+        assert [node.tag for node in nodes] == ["@year"]
+
+    def test_missing_term(self):
+        _, value_index = build_indexes([sample_document()])
+        assert value_index.nodes_with_term("zebra") == []
+        assert "zebra" not in value_index

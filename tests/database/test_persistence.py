@@ -1,0 +1,69 @@
+"""Unit tests for database save/load."""
+
+from repro.data import movies_document
+from repro.database.persistence import load_database, save_database
+from repro.database.store import Database
+from repro.xmlstore.serializer import serialize
+
+
+class TestRoundTrip:
+    def test_single_document(self, tmp_path):
+        database = Database()
+        database.load_document(movies_document())
+        save_database(database, tmp_path)
+
+        loaded = load_database(tmp_path)
+        assert set(loaded.documents) == {"movie.xml"}
+        assert serialize(loaded.document().root) == serialize(
+            database.document().root
+        )
+
+    def test_multiple_documents(self, tmp_path):
+        database = Database()
+        database.load_text("<a><x>1</x></a>", name="one.xml")
+        database.load_text("<b><y>2</y></b>", name="two.xml")
+        save_database(database, tmp_path)
+        loaded = load_database(tmp_path)
+        assert set(loaded.documents) == {"one.xml", "two.xml"}
+        assert loaded.has_tag("x")
+        assert loaded.has_tag("y")
+
+    def test_queries_work_after_reload(self, tmp_path):
+        from repro.xquery.evaluator import evaluate_query
+
+        database = Database()
+        database.load_document(movies_document())
+        save_database(database, tmp_path)
+        loaded = load_database(tmp_path)
+        result = evaluate_query(
+            loaded,
+            'for $m in doc("movie.xml")//movie, $d in doc("movie.xml")'
+            '//director where mqf($m, $d) and $d = "Ron Howard" '
+            "return $m/title",
+        )
+        assert len(result) == 3
+
+
+class TestFilenames:
+    def test_unsafe_names_sanitised(self, tmp_path):
+        database = Database()
+        database.load_text("<a/>", name="weird name/with:stuff")
+        manifest = save_database(database, tmp_path)
+        filename, original = manifest[0]
+        assert "/" not in filename
+        assert original == "weird name/with:stuff"
+        loaded = load_database(tmp_path)
+        assert "weird name/with:stuff" in loaded.documents
+
+    def test_collision_suffixes(self, tmp_path):
+        database = Database()
+        database.load_text("<a/>", name="doc one")
+        database.load_text("<b/>", name="doc:one")
+        manifest = save_database(database, tmp_path)
+        filenames = [filename for filename, _ in manifest]
+        assert len(set(filenames)) == 2
+
+    def test_directory_without_manifest(self, tmp_path):
+        (tmp_path / "plain.xml").write_text("<r><c>x</c></r>", encoding="utf-8")
+        loaded = load_database(tmp_path)
+        assert loaded.has_tag("c")

@@ -1,0 +1,47 @@
+"""Unit tests for database statistics."""
+
+from repro.database.store import Database
+
+
+def make_database():
+    database = Database()
+    database.load_text(
+        '<bib><book year="1994"><title>X</title></book>'
+        "<article><title>Y</title></article></bib>",
+        name="bib",
+    )
+    return database
+
+
+class TestStatistics:
+    def test_tag_counts(self):
+        stats = make_database().statistics
+        assert stats.tag_counts["book"] == 1
+        assert stats.tag_counts["title"] == 2
+
+    def test_attribute_counted(self):
+        stats = make_database().statistics
+        assert stats.tag_counts["@year"] == 1
+
+    def test_parent_tags(self):
+        stats = make_database().statistics
+        assert stats.parent_tags("title") == ["article", "book"]
+        assert stats.parent_tags("@year") == ["book"]
+        assert stats.parent_tags("bib") == []
+
+    def test_child_tags(self):
+        stats = make_database().statistics
+        assert "title" in stats.child_tags("book")
+        assert "@year" in stats.child_tags("book")
+
+    def test_summary(self):
+        stats = make_database().statistics
+        summary = stats.summary()
+        assert summary["documents"] == 1
+        assert summary["distinct_tags"] == len(stats.tags())
+        assert summary["nodes"] > 5
+
+    def test_has_tag(self):
+        stats = make_database().statistics
+        assert stats.has_tag("book")
+        assert not stats.has_tag("movie")

@@ -1,0 +1,78 @@
+"""Unit tests for the document store."""
+
+import pytest
+
+from repro.database.store import Database
+from repro.xmlstore.parser import parse_document
+
+
+class TestLoading:
+    def test_load_text(self):
+        database = Database()
+        database.load_text("<a><b>x</b></a>", name="t")
+        assert database.has_tag("b")
+
+    def test_load_document(self):
+        database = Database()
+        database.load_document(parse_document("<a/>", name="d"))
+        assert "d" in database.documents
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a><b>x</b></a>", encoding="utf-8")
+        database = Database()
+        database.load_file(path)
+        assert database.has_tag("b")
+
+    def test_load_rejects_non_document(self):
+        database = Database()
+        with pytest.raises(TypeError):
+            database.load_document("<a/>")
+
+    def test_indexes_rebuilt_on_second_load(self):
+        database = Database()
+        database.load_text("<a><b>x</b></a>", name="one")
+        database.load_text("<c><d>y</d></c>", name="two")
+        assert database.has_tag("b")
+        assert database.has_tag("d")
+
+
+class TestLookup:
+    def test_single_document_default(self):
+        database = Database()
+        database.load_text("<a/>", name="only")
+        assert database.document().name == "only"
+
+    def test_named_document(self):
+        database = Database()
+        database.load_text("<a/>", name="one")
+        database.load_text("<b/>", name="two")
+        assert database.document("two").root.tag == "b"
+
+    def test_ambiguous_document_raises(self):
+        database = Database()
+        database.load_text("<a/>", name="one")
+        database.load_text("<b/>", name="two")
+        with pytest.raises(KeyError):
+            database.document()
+
+    def test_unknown_name_raises(self):
+        database = Database()
+        database.load_text("<a/>", name="one")
+        with pytest.raises(KeyError):
+            database.document("nope")
+
+    def test_nodes_with_tag(self, movie_database):
+        assert len(movie_database.nodes_with_tag("movie")) == 5
+        assert movie_database.nodes_with_tag("nothing") == []
+
+    def test_nodes_with_value_exact(self, movie_database):
+        nodes = movie_database.nodes_with_value("Traffic")
+        assert [node.tag for node in nodes] == ["title"]
+
+    def test_nodes_with_value_phrase_fallback(self, movie_database):
+        nodes = movie_database.nodes_with_value("Grinch Stole")
+        assert len(nodes) == 1
+
+    def test_node_count(self, movie_database):
+        assert movie_database.node_count() == 30

@@ -1,0 +1,61 @@
+"""Unit tests for the Latin-square ordering machinery."""
+
+import pytest
+
+from repro.evaluation.latin import (
+    are_orthogonal,
+    cyclic_latin_square,
+    is_latin_square,
+    orthogonal_pair,
+    task_orders,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("order", [3, 5, 7, 9])
+    def test_cyclic_squares_are_latin(self, order):
+        assert is_latin_square(cyclic_latin_square(order, 1))
+        assert is_latin_square(cyclic_latin_square(order, 2))
+
+    @pytest.mark.parametrize("order", [3, 5, 9])
+    def test_pair_is_orthogonal(self, order):
+        first, second = orthogonal_pair(order)
+        assert are_orthogonal(first, second)
+
+    def test_even_order_rejected(self):
+        with pytest.raises(ValueError):
+            orthogonal_pair(4)
+
+    def test_bad_multiplier_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_latin_square(5, 0)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            cyclic_latin_square(0)
+
+
+class TestTaskOrders:
+    def test_paper_protocol_shape(self):
+        orders = task_orders(9, 18)
+        assert len(orders) == 18
+        for order in orders:
+            assert sorted(order) == list(range(9))
+
+    def test_all_orders_distinct_for_18(self):
+        orders = task_orders(9, 18)
+        assert len({tuple(order) for order in orders}) == 18
+
+    def test_positions_balanced(self):
+        """Across the 18 participants each task appears at each position
+        exactly twice (two 9x9 squares)."""
+        orders = task_orders(9, 18)
+        for position in range(9):
+            tasks_at_position = [order[position] for order in orders]
+            for task in range(9):
+                assert tasks_at_position.count(task) == 2
+
+    def test_more_participants_cycle(self):
+        orders = task_orders(9, 20)
+        assert len(orders) == 20
+        assert orders[18] == orders[0]

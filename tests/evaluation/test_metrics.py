@@ -1,0 +1,123 @@
+"""Unit tests for the precision/recall metrics (the paper's counting)."""
+
+from repro.evaluation.metrics import harmonic_mean, leaf_items, precision_recall
+from repro.xmlstore.parser import parse_document
+
+
+def sample():
+    return parse_document(
+        '<bib><book year="1994"><title>A</title><author>X</author>'
+        "<author>Y</author></book>"
+        "<book year=\"2000\"><title>B</title><author>Z</author></book></bib>"
+    )
+
+
+class TestLeafItems:
+    def test_leaf_element(self):
+        document = sample()
+        title = next(n for n in document.iter_elements() if n.tag == "title")
+        items = leaf_items(title)
+        assert len(items) == 1
+        assert items[0][2] == "A"
+
+    def test_container_expands_to_leaves(self):
+        document = sample()
+        book = document.root.child_elements("book")[0]
+        items = leaf_items(book)
+        values = sorted(item[2] for item in items)
+        assert values == ["1994", "A", "X", "Y"]
+
+    def test_attribute_item(self):
+        document = sample()
+        book = document.root.child_elements("book")[0]
+        items = leaf_items(book.attributes[0])
+        assert items[0][2] == "1994"
+
+    def test_atomic_item(self):
+        assert leaf_items(42)[0] == ("value", None, "42")
+
+
+class TestPrecisionRecall:
+    def test_perfect_match(self):
+        document = sample()
+        titles = [n for n in document.iter_elements() if n.tag == "title"]
+        assert precision_recall(titles, titles) == (1.0, 1.0)
+
+    def test_partial_recall(self):
+        """The paper's example: all right elements but 3 of 4 attributes
+        -> recall 75%."""
+        document = sample()
+        book = document.root.child_elements("book")[0]
+        title, author_x, author_y = book.child_elements()
+        gold = [title, author_x, author_y, book.attributes[0]]
+        returned = [title, author_x, author_y]
+        precision, recall = precision_recall(returned, gold)
+        assert precision == 1.0
+        assert recall == 0.75
+
+    def test_superset_hurts_precision(self):
+        document = sample()
+        book = document.root.child_elements("book")[0]
+        gold = book.child_elements("title")
+        precision, recall = precision_recall([book], gold)
+        assert recall == 1.0
+        assert precision == 0.25  # 1 of the 4 leaf values requested
+
+    def test_empty_both_perfect(self):
+        assert precision_recall([], []) == (1.0, 1.0)
+
+    def test_empty_returned(self):
+        document = sample()
+        titles = [n for n in document.iter_elements() if n.tag == "title"]
+        assert precision_recall([], titles) == (0.0, 0.0)
+
+    def test_atomic_values_match_by_value(self):
+        assert precision_recall([3, 5], [3, 5]) == (1.0, 1.0)
+        precision, recall = precision_recall([3, 5], [3, 4])
+        assert precision == 0.5
+        assert recall == 0.5
+
+    def test_atomic_multiset_counting(self):
+        precision, recall = precision_recall([3, 3], [3])
+        assert precision == 0.5
+        assert recall == 1.0
+
+    def test_value_matches_node_gold(self):
+        document = sample()
+        title = next(n for n in document.iter_elements() if n.tag == "title")
+        precision, recall = precision_recall(["A"], [title])
+        assert precision == 1.0
+        assert recall == 1.0
+
+
+class TestOrderedMatching:
+    def test_correct_order_full_score(self):
+        document = sample()
+        titles = sorted(
+            (n for n in document.iter_elements() if n.tag == "title"),
+            key=lambda n: n.string_value(),
+        )
+        assert precision_recall(titles, titles, ordered=True) == (1.0, 1.0)
+
+    def test_wrong_order_penalised(self):
+        document = sample()
+        titles = sorted(
+            (n for n in document.iter_elements() if n.tag == "title"),
+            key=lambda n: n.string_value(),
+        )
+        precision, recall = precision_recall(
+            list(reversed(titles)), titles, ordered=True
+        )
+        assert precision == 0.5
+        assert recall == 0.5
+
+
+class TestHarmonicMean:
+    def test_zero(self):
+        assert harmonic_mean(0.0, 0.0) == 0.0
+
+    def test_perfect(self):
+        assert harmonic_mean(1.0, 1.0) == 1.0
+
+    def test_f1(self):
+        assert abs(harmonic_mean(0.5, 1.0) - 2 / 3) < 1e-12

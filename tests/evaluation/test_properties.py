@@ -1,0 +1,69 @@
+"""Property-based tests for the evaluation metrics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.evaluation.metrics import harmonic_mean, precision_recall
+
+_atoms = st.one_of(
+    st.integers(min_value=0, max_value=9),
+    st.sampled_from(["a", "b", "c", "d"]),
+)
+_sequences = st.lists(_atoms, max_size=10)
+
+
+@given(_sequences, _sequences)
+@settings(max_examples=150)
+def test_precision_recall_bounded(returned, gold):
+    precision, recall = precision_recall(returned, gold)
+    assert 0.0 <= precision <= 1.0
+    assert 0.0 <= recall <= 1.0
+
+
+@given(_sequences)
+@settings(max_examples=100)
+def test_identical_sequences_are_perfect(items):
+    assert precision_recall(items, items) == (1.0, 1.0)
+
+
+@given(
+    _sequences.filter(bool),
+    _sequences.filter(bool),
+)
+@settings(max_examples=150)
+def test_swapping_swaps_precision_and_recall(returned, gold):
+    """Symmetry holds whenever both sides are non-empty (the empty edges
+    use the study's deliberate (0, 0)-for-empty-results convention)."""
+    precision, recall = precision_recall(returned, gold)
+    swapped_precision, swapped_recall = precision_recall(gold, returned)
+    assert precision == swapped_recall
+    assert recall == swapped_precision
+
+
+@given(_sequences, _sequences)
+@settings(max_examples=100)
+def test_ordered_never_beats_unordered(returned, gold):
+    """Order-sensitive matching (LCS) can only lose matches."""
+    precision, recall = precision_recall(returned, gold)
+    ordered_precision, ordered_recall = precision_recall(
+        returned, gold, ordered=True
+    )
+    assert ordered_precision <= precision + 1e-12
+    assert ordered_recall <= recall + 1e-12
+
+
+@given(st.floats(0, 1), st.floats(0, 1))
+@settings(max_examples=150)
+def test_harmonic_mean_properties(precision, recall):
+    mean = harmonic_mean(precision, recall)
+    assert 0.0 <= mean <= 1.0
+    assert mean <= max(precision, recall) + 1e-12
+    assert mean >= 0.0 if min(precision, recall) == 0 else mean >= 0.0
+    if precision == recall:
+        assert abs(mean - precision) < 1e-12
+
+
+@given(st.floats(0.01, 1), st.floats(0.01, 1))
+@settings(max_examples=100)
+def test_harmonic_mean_below_arithmetic(precision, recall):
+    mean = harmonic_mean(precision, recall)
+    assert mean <= (precision + recall) / 2 + 1e-12

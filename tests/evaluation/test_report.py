@@ -1,0 +1,91 @@
+"""Unit tests for report aggregation, on hand-built study results."""
+
+import pytest
+
+from repro.evaluation.report import StudyReport
+from repro.evaluation.study import StudyConfig, StudyResults, TaskRecord
+from repro.evaluation.tasks import TASKS
+
+
+def record(participant, task_id, system, precision, recall, iterations=0,
+           seconds=60.0, specified=True, parsed=True, accepted=True):
+    rec = TaskRecord(participant, task_id, system)
+    rec.precision = precision
+    rec.recall = recall
+    rec.iterations = iterations
+    rec.seconds = seconds
+    rec.specified_correctly = specified
+    rec.parsed_correctly = parsed
+    rec.accepted = accepted
+    return rec
+
+
+@pytest.fixture()
+def results():
+    built = StudyResults(StudyConfig(participants=2))
+    for participant in (1, 2):
+        for task in TASKS:
+            built.records.append(
+                record(participant, task.task_id, "nalix", 0.9, 1.0,
+                       iterations=participant - 1,
+                       seconds=50.0 + participant * 10)
+            )
+            built.records.append(
+                record(participant, task.task_id, "keyword", 0.3, 0.5)
+            )
+    return built
+
+
+class TestFigure11:
+    def test_averages(self, results):
+        rows = StudyReport(results).figure11()
+        for row in rows.values():
+            assert row["avg_seconds"] == pytest.approx(65.0)
+            assert row["avg_iterations"] == pytest.approx(0.5)
+            assert row["max_iterations"] == 1
+            assert row["min_iterations"] == 0
+
+
+class TestFigure12:
+    def test_per_system_means(self, results):
+        rows = StudyReport(results).figure12()
+        for row in rows.values():
+            assert row["nalix_precision"] == pytest.approx(0.9)
+            assert row["nalix_recall"] == pytest.approx(1.0)
+            assert row["keyword_precision"] == pytest.approx(0.3)
+            assert row["keyword_recall"] == pytest.approx(0.5)
+
+
+class TestTable7:
+    def test_subsets(self, results):
+        # Mark one record mis-specified and one mis-parsed.
+        nalix_records = results.by_system("nalix")
+        nalix_records[0].specified_correctly = False
+        nalix_records[1].parsed_correctly = False
+        table = StudyReport(results).table7()
+        assert table["all queries"]["total_queries"] == 18
+        assert table["all queries specified correctly"]["total_queries"] == 17
+        assert (
+            table["all queries specified and parsed correctly"][
+                "total_queries"
+            ]
+            == 16
+        )
+
+    def test_unaccepted_records_excluded(self, results):
+        nalix_records = results.by_system("nalix")
+        nalix_records[0].accepted = False
+        table = StudyReport(results).table7()
+        assert table["all queries"]["total_queries"] == 17
+
+
+class TestRendering:
+    def test_figure11_layout(self, results):
+        text = StudyReport(results).render_figure11()
+        assert text.splitlines()[0].startswith("Figure 11")
+        assert len(text.splitlines()) == 2 + 9
+
+    def test_table7_percentages(self, results):
+        text = StudyReport(results).render_table7()
+        assert "90.0%" in text
+        assert "100.0%" in text

@@ -1,0 +1,107 @@
+"""Integration tests for the study runner (scaled-down cohort)."""
+
+import pytest
+
+from repro.data import DblpConfig
+from repro.evaluation.report import StudyReport
+from repro.evaluation.study import Study, StudyConfig
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    config = StudyConfig(
+        participants=4, seed=77, dblp=DblpConfig(books=40, articles=60)
+    )
+    return Study(config).run()
+
+
+class TestProtocol:
+    def test_record_count(self, small_results):
+        # participants x 9 tasks x 2 systems.
+        assert len(small_results.records) == 4 * 9 * 2
+
+    def test_each_cell_present(self, small_results):
+        for system in ("nalix", "keyword"):
+            for task_id in ("Q1", "Q3", "Q4", "Q6", "Q7", "Q8", "Q9", "Q10",
+                            "Q11"):
+                assert len(small_results.by_task(system, task_id)) == 4
+
+    def test_deterministic(self):
+        config = StudyConfig(
+            participants=2, seed=5, dblp=DblpConfig(books=20, articles=20)
+        )
+        first = Study(config).run()
+        second = Study(config).run()
+        assert [
+            (r.task_id, r.iterations, r.precision, r.recall)
+            for r in first.records
+        ] == [
+            (r.task_id, r.iterations, r.precision, r.recall)
+            for r in second.records
+        ]
+
+    def test_time_limit_respected(self, small_results):
+        config_limit = 300.0
+        for record in small_results.records:
+            # One attempt may run past the limit (it was started inside).
+            assert record.seconds < config_limit + 120.0
+
+    def test_nalix_records_accepted(self, small_results):
+        accepted = [r for r in small_results.by_system("nalix") if r.accepted]
+        assert len(accepted) == len(small_results.by_system("nalix"))
+
+
+class TestQualityShape:
+    def test_nalix_beats_keyword_overall(self, small_results):
+        def mean_f(records):
+            return sum(r.harmonic for r in records) / len(records)
+
+        assert mean_f(small_results.by_system("nalix")) > mean_f(
+            small_results.by_system("keyword")
+        )
+
+    def test_misparse_injection_marks_records(self):
+        config = StudyConfig(
+            participants=6, seed=11, misparse_rate=1.0,
+            dblp=DblpConfig(books=20, articles=20),
+        )
+        results = Study(config).run()
+        nalix_records = results.by_system("nalix")
+        assert any(not r.parsed_correctly for r in nalix_records)
+
+    def test_zero_misparse_rate(self):
+        config = StudyConfig(
+            participants=2, seed=11, misparse_rate=0.0,
+            dblp=DblpConfig(books=20, articles=20),
+        )
+        results = Study(config).run()
+        specified = [
+            r for r in results.by_system("nalix") if r.specified_correctly
+        ]
+        assert all(r.parsed_correctly for r in specified)
+
+
+class TestReport:
+    def test_figure11_rows(self, small_results):
+        rows = StudyReport(small_results).figure11()
+        assert set(rows) == {
+            "Q1", "Q3", "Q4", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11",
+        }
+        for row in rows.values():
+            assert row["avg_seconds"] > 0
+
+    def test_figure12_rows(self, small_results):
+        rows = StudyReport(small_results).figure12()
+        for row in rows.values():
+            assert 0.0 <= row["nalix_precision"] <= 1.0
+            assert 0.0 <= row["keyword_recall"] <= 1.0
+
+    def test_table7_totals(self, small_results):
+        table = StudyReport(small_results).table7()
+        assert table["all queries"]["total_queries"] == 4 * 9
+
+    def test_render_is_printable(self, small_results):
+        text = StudyReport(small_results).render()
+        assert "Figure 11" in text
+        assert "Figure 12" in text
+        assert "Table 7" in text

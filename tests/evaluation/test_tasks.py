@@ -1,0 +1,82 @@
+"""Tests for the XMP task definitions against the live system.
+
+These are the evaluation harness's own acceptance tests: every task
+must have non-empty gold, at least one correct phrasing that the real
+NaLIX accepts with high quality, and its invalid phrasings must really
+be rejected.
+"""
+
+import pytest
+
+from repro.evaluation.metrics import harmonic_mean, precision_recall
+from repro.evaluation.tasks import TASKS, task_by_id
+
+
+class TestTaskTable:
+    def test_nine_tasks(self):
+        assert len(TASKS) == 9
+        assert [task.task_id for task in TASKS] == [
+            "Q1", "Q3", "Q4", "Q6", "Q7", "Q8", "Q9", "Q10", "Q11",
+        ]
+
+    def test_task_by_id(self):
+        assert task_by_id("Q7").ordered
+        with pytest.raises(KeyError):
+            task_by_id("Q2")
+
+    def test_every_task_has_phrasing_varieties(self):
+        for task in TASKS:
+            assert task.good_phrasings(), task.task_id
+            assert any(not p.valid for p in task.phrasings), task.task_id
+            assert task.keyword_queries, task.task_id
+
+
+class TestGold:
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.task_id)
+    def test_gold_nonempty(self, task, small_dblp_database):
+        assert task.gold(small_dblp_database)
+
+
+class TestPhrasingsAgainstSystem:
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.task_id)
+    def test_good_phrasings_accepted_with_quality(self, task, dblp_nalix,
+                                                  small_dblp_database):
+        gold = task.gold(small_dblp_database)
+        for phrasing in task.good_phrasings():
+            result = dblp_nalix.ask(phrasing.text)
+            assert result.ok, f"{task.task_id}: {result.render_feedback()}"
+            precision, recall = precision_recall(
+                result.distinct_items(), gold, ordered=task.ordered
+            )
+            score = harmonic_mean(precision, recall)
+            assert score >= 0.8, (
+                f"{task.task_id} {phrasing.text!r}: P={precision:.2f} "
+                f"R={recall:.2f}"
+            )
+
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.task_id)
+    def test_invalid_phrasings_rejected(self, task, dblp_nalix):
+        for phrasing in task.phrasings:
+            if phrasing.valid:
+                continue
+            result = dblp_nalix.ask(phrasing.text)
+            assert not result.ok, f"{task.task_id}: {phrasing.text!r}"
+            assert result.errors
+
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.task_id)
+    def test_misspecified_phrasings_accepted_but_imperfect(
+        self, task, dblp_nalix, small_dblp_database
+    ):
+        gold = task.gold(small_dblp_database)
+        for phrasing in task.phrasings:
+            if not phrasing.valid or phrasing.specified:
+                continue
+            result = dblp_nalix.ask(phrasing.text)
+            assert result.ok, f"{task.task_id}: {result.render_feedback()}"
+            precision, recall = precision_recall(
+                result.distinct_items(), gold, ordered=task.ordered
+            )
+            assert harmonic_mean(precision, recall) < 0.999, (
+                f"{task.task_id} {phrasing.text!r} scored perfectly but is "
+                "labelled mis-specified"
+            )

@@ -1,0 +1,87 @@
+"""Unit tests for the simulated participants."""
+
+from repro.evaluation.tasks import TASKS
+from repro.evaluation.users import Participant, make_participants
+
+
+class TestCohort:
+    def test_deterministic(self):
+        first = make_participants(5, seed=1)
+        second = make_participants(5, seed=1)
+        assert [p.skill for p in first] == [p.skill for p in second]
+
+    def test_seed_changes_cohort(self):
+        first = make_participants(5, seed=1)
+        second = make_participants(5, seed=2)
+        assert [p.skill for p in first] != [p.skill for p in second]
+
+    def test_skill_in_range(self):
+        for participant in make_participants(20, seed=3):
+            assert 0.0 <= participant.skill <= 1.0
+
+
+class TestPhrasingChoice:
+    def test_feedback_teaches(self):
+        """After error feedback, good phrasings are chosen more often."""
+        task = TASKS[0]
+
+        def good_rate(had_feedback):
+            hits = 0
+            for seed in range(300):
+                participant = Participant(1, seed)
+                phrasing = participant.choose_phrasing(
+                    task, 2, [], had_feedback, False
+                )
+                if phrasing.valid and phrasing.specified and phrasing.parsed:
+                    hits += 1
+            return hits / 300
+
+        assert good_rate(True) > good_rate(False)
+
+    def test_tried_phrasings_not_repeated(self):
+        task = TASKS[0]
+        participant = Participant(1, 7)
+        tried = list(task.phrasings[:-1])
+        for _ in range(20):
+            choice = participant.choose_phrasing(task, 2, tried, True, False)
+            assert choice is task.phrasings[-1]
+
+    def test_keyword_queries_advance(self):
+        task = TASKS[0]
+        participant = Participant(1, 7)
+        assert participant.choose_keyword_query(task, 1) == task.keyword_queries[0]
+        assert participant.choose_keyword_query(task, 2) == task.keyword_queries[-1]
+        # Attempts past the pool stay on the last query.
+        assert participant.choose_keyword_query(task, 9) == task.keyword_queries[-1]
+
+
+class TestTiming:
+    def test_first_attempt_floor(self):
+        """The paper observes a ~50 s floor for the first attempt."""
+        for seed in range(50):
+            participant = Participant(1, seed)
+            assert participant.attempt_seconds(1, "Return every book.") >= 47.0
+
+    def test_revisions_faster(self):
+        participant = Participant(1, 11)
+        sentence = "Return the title of every book."
+        first = sum(participant.attempt_seconds(1, sentence) for _ in range(30))
+        later = sum(participant.attempt_seconds(2, sentence) for _ in range(30))
+        assert later < first
+
+
+class TestStoppingRule:
+    def test_below_threshold_never_satisfied(self):
+        participant = Participant(1, 13)
+        assert not participant.satisfied(0.4, 0.5)
+
+    def test_high_score_always_satisfied(self):
+        participant = Participant(1, 13)
+        assert participant.satisfied(0.99, 0.5)
+
+    def test_middling_score_sometimes_revised(self):
+        decisions = set()
+        for seed in range(200):
+            participant = Participant(1, seed)
+            decisions.add(participant.satisfied(0.6, 0.5))
+        assert decisions == {True, False}

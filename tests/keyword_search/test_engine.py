@@ -1,0 +1,79 @@
+"""Unit tests for the keyword-search engine (the study's baseline)."""
+
+import pytest
+
+from repro.keyword_search.engine import KeywordSearchEngine
+
+
+@pytest.fixture()
+def engine(movie_database):
+    return KeywordSearchEngine(movie_database)
+
+
+class TestTermSplitting:
+    def test_stopwords_removed(self, engine):
+        assert engine.split_terms("find all the movies of Ron") == [
+            "movies",
+            "Ron",
+        ]
+
+    def test_quoted_phrases_kept_whole(self, engine):
+        terms = engine.split_terms('movie "Gone with the Wind"')
+        assert terms == ["movie", "Gone with the Wind"]
+
+    def test_quoted_stopwords_kept(self, engine):
+        assert engine.split_terms('"the"') == ["the"]
+
+    def test_punctuation_stripped(self, engine):
+        assert engine.split_terms("title, director.") == ["title", "director"]
+
+
+class TestMatching:
+    def test_tag_name_match(self, engine):
+        nodes = engine.match_nodes("directors")
+        assert len(nodes) == 5
+        assert all(node.tag == "director" for node in nodes)
+
+    def test_value_match(self, engine):
+        nodes = engine.match_nodes("Traffic")
+        assert [node.tag for node in nodes] == ["title"]
+
+    def test_value_and_tag_union(self, engine):
+        # "year" matches the year elements (tag) only.
+        assert len(engine.match_nodes("year")) == 2
+
+    def test_no_match(self, engine):
+        assert engine.match_nodes("zebra") == []
+
+
+class TestSearch:
+    def test_single_term_returns_matches(self, engine):
+        results = engine.search("directors")
+        assert len(results) == 5
+
+    def test_two_terms_meet_at_movie(self, engine):
+        results = engine.search("title director")
+        assert {node.tag for node in results} == {"movie"}
+
+    def test_value_constrained_search(self, engine):
+        results = engine.search('director "Traffic"')
+        assert results
+        assert results[0].tag == "movie"
+        assert "Soderbergh" in results[0].string_value()
+
+    def test_root_meets_excluded(self, engine):
+        results = engine.search("Traffic Tribute")
+        # The two titles only co-occur at year/root level; the root is
+        # filtered, year-level meets may remain.
+        assert all(node.parent is not None for node in results)
+
+    def test_no_results_for_unmatched_term(self, engine):
+        assert engine.search("movie zebra") == []
+
+    def test_result_limit(self, movie_database):
+        engine = KeywordSearchEngine(movie_database, result_limit=2)
+        assert len(engine.search("directors")) <= 2
+
+    def test_empty_query(self, engine):
+        assert engine.search("") == []
+        assert engine.search("the of") == []

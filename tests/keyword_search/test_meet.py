@@ -1,0 +1,66 @@
+"""Unit tests for the meet operator."""
+
+from repro.data import movies_document
+from repro.keyword_search.meet import meet_nodes, nearest_concepts
+
+
+def nodes_by_tag(document, tag):
+    return [node for node in document.iter_elements() if node.tag == tag]
+
+
+class TestMeetNodes:
+    def test_title_director_meets_are_movies(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        directors = nodes_by_tag(document, "director")
+        meets = meet_nodes(titles, directors)
+        assert {node.tag for node in meets} == {"movie"}
+        assert len(meets) == 5
+
+    def test_meet_with_self_set(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        meets = meet_nodes(titles, titles)
+        # Nearest other title shares a year group (or the root).
+        assert all(node.tag in ("year", "movies") for node in meets)
+
+    def test_empty_sets(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        assert meet_nodes(titles, []) == []
+        assert meet_nodes([], []) == []
+
+
+class TestNearestConcepts:
+    def test_fold_three_sets(self):
+        document = movies_document()
+        sets = [
+            nodes_by_tag(document, "title"),
+            nodes_by_tag(document, "director"),
+            nodes_by_tag(document, "year"),
+        ]
+        concepts = nearest_concepts(sets)
+        assert concepts
+        assert all(node.tag in ("year", "movies") for node in concepts)
+
+    def test_deepest_first(self):
+        document = movies_document()
+        sets = [
+            nodes_by_tag(document, "title"),
+            nodes_by_tag(document, "director"),
+        ]
+        concepts = nearest_concepts(sets)
+        depths = [node.depth for node in concepts]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_empty_set_short_circuits(self):
+        document = movies_document()
+        assert nearest_concepts([nodes_by_tag(document, "title"), []]) == []
+
+    def test_limit(self):
+        document = movies_document()
+        sets = [
+            nodes_by_tag(document, "title"),
+            nodes_by_tag(document, "director"),
+        ]
+        assert len(nearest_concepts(sets, limit=2)) == 2

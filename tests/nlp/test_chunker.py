@@ -1,0 +1,82 @@
+"""Unit tests for the chunker (MWE + proper-name merging)."""
+
+from repro.nlp.categories import Category
+from repro.nlp.chunker import build_chunks
+from repro.nlp.tagger import tag_words
+from repro.nlp.tokenizer import tokenize_sentence
+
+PHRASES = {
+    "the number of": Category.FUNCTION,
+    "be the same as": Category.COMPARATIVE,
+    "the same as": Category.COMPARATIVE,
+    "sorted by": Category.ORDER,
+    "more than": Category.COMPARATIVE,
+}
+
+
+def chunks(sentence):
+    tagged = tag_words(tokenize_sentence(sentence), {})
+    return build_chunks(tagged, PHRASES)
+
+
+def lemmas(sentence):
+    return [chunk.lemma for chunk in chunks(sentence)]
+
+
+class TestPhraseMatching:
+    def test_the_number_of(self):
+        assert "the number of" in lemmas("the number of movies")
+
+    def test_copula_phrase_matches_inflections(self):
+        for copula in ("is", "are", "was"):
+            merged = lemmas(f"the title {copula} the same as the name")
+            assert "be the same as" in merged
+
+    def test_longest_match_wins(self):
+        # "be the same as" (4 words) must beat "the same as" (3 words).
+        merged = lemmas("is the same as")
+        assert merged == ["be the same as"]
+
+    def test_no_match_across_quotes(self):
+        tagged = tag_words(
+            tokenize_sentence('titled "the number of" exactly'), {}
+        )
+        merged = build_chunks(tagged, PHRASES)
+        quoted = next(chunk for chunk in merged if chunk.quoted)
+        # The quoted span stays a VALUE; the phrase rule must not claim it.
+        assert quoted.category == Category.VALUE
+
+    def test_partial_phrase_not_merged(self):
+        assert "the number of" not in lemmas("the number grows")
+
+
+class TestParticipleBy:
+    def test_directed_by_merges(self):
+        merged = lemmas("movies directed by Ron")
+        assert "direct by" in merged
+
+    def test_published_by_merges(self):
+        assert "publish by" in lemmas("books published by Addison")
+
+    def test_category_is_verb(self):
+        result = chunks("movies directed by Ron")
+        verb = next(c for c in result if c.lemma == "direct by")
+        assert verb.category == Category.VERB
+
+
+class TestValueRuns:
+    def test_proper_name_run_merges(self):
+        result = chunks("movies directed by Ron Howard")
+        values = [c for c in result if c.category == Category.VALUE]
+        assert len(values) == 1
+        assert values[0].text == "Ron Howard"
+
+    def test_quoted_values_not_merged_with_neighbours(self):
+        result = chunks('the title "Traffic" Howard')
+        values = [c for c in result if c.category == Category.VALUE]
+        assert len(values) == 2
+
+    def test_chunk_index_is_first_word(self):
+        result = chunks("movies directed by Ron Howard")
+        value = next(c for c in result if c.category == Category.VALUE)
+        assert value.index == 3

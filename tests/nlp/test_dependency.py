@@ -1,0 +1,164 @@
+"""Unit tests for the dependency parser's attachment rules.
+
+The expectations mirror the tree shapes of the paper's Figures 2, 3
+and 10; more end-to-end checks live in tests/core/test_paper_examples.
+"""
+
+import pytest
+
+from repro.core.enums import parser_vocabulary
+from repro.nlp.categories import Category
+from repro.nlp.dependency import DependencyParser
+from repro.nlp.errors import ParseFailure
+
+
+@pytest.fixture(scope="module")
+def parser():
+    return DependencyParser(parser_vocabulary())
+
+
+def find(tree, text):
+    matches = [node for node in tree.preorder() if node.text == text]
+    assert matches, f"no node {text!r} in tree:\n{tree.to_indented_string()}"
+    return matches[0]
+
+
+class TestRoot:
+    def test_command_is_root(self, parser):
+        tree = parser.parse("Return every movie.")
+        assert tree.category == Category.COMMAND
+        assert tree.lemma == "return"
+
+    def test_wh_root(self, parser):
+        tree = parser.parse("What is the title of the movie?")
+        assert tree.category == Category.WH
+
+    def test_missing_command_gives_placeholder(self, parser):
+        tree = parser.parse("movies directed by Ron Howard")
+        assert tree.category == Category.UNKNOWN
+
+    def test_empty_raises(self, parser):
+        with pytest.raises(ParseFailure):
+            parser.parse("   ")
+
+
+class TestNounPhrases:
+    def test_object_attaches_to_root(self, parser):
+        tree = parser.parse("Return every movie.")
+        movie = find(tree, "movie")
+        assert movie.parent is tree
+
+    def test_of_chain(self, parser):
+        tree = parser.parse("Return the title of the movie.")
+        title = find(tree, "title")
+        of = find(tree, "of")
+        movie = find(tree, "movie")
+        assert of.parent is title
+        assert movie.parent is of
+
+    def test_modifiers_attach_to_noun(self, parser):
+        tree = parser.parse("Return every new movie.")
+        movie = find(tree, "movie")
+        children = {child.text for child in movie.children}
+        assert {"every", "new"} <= children
+
+    def test_coordination_shares_parent(self, parser):
+        tree = parser.parse("Return the year and title of every book.")
+        year = find(tree, "year")
+        title = find(tree, "title")
+        assert year.parent is tree
+        assert title.parent is tree
+        assert title.conjunct_of is year
+
+
+class TestVerbsAndValues:
+    def test_participle_connector(self, parser):
+        tree = parser.parse("Return every movie directed by Ron Howard.")
+        movie = find(tree, "movie")
+        directed = find(tree, "directed by")
+        value = find(tree, "Ron Howard")
+        assert directed.parent is movie
+        assert value.parent is directed
+
+    def test_copula_value_attaches_to_noun(self, parser):
+        tree = parser.parse("Return every movie whose director is Ron Howard.")
+        director = find(tree, "director")
+        value = find(tree, "Ron Howard")
+        assert value.parent is director
+
+    def test_whose_connects(self, parser):
+        tree = parser.parse("Return every movie whose director is Ron Howard.")
+        movie = find(tree, "movie")
+        whose = find(tree, "whose")
+        assert whose.parent is movie
+
+
+class TestClauses:
+    def test_where_clause_comparative_lifts_subject(self, parser):
+        tree = parser.parse(
+            "Return the director, where the title of the movie is the same "
+            'as the title of a book.'
+        )
+        comparative = next(
+            node
+            for node in tree.preorder()
+            if node.category == Category.COMPARATIVE
+        )
+        assert comparative.parent is tree
+        operand_texts = {child.text for child in comparative.children}
+        assert "title" in operand_texts
+        assert len([c for c in comparative.children
+                    if c.category == Category.NOUN]) == 2
+
+    def test_copula_predicate_in_where_clause(self, parser):
+        tree = parser.parse(
+            "Return every movie, where the director of the movie is "
+            "Ron Howard."
+        )
+        comparatives = [
+            node
+            for node in tree.preorder()
+            if node.category == Category.COMPARATIVE
+        ]
+        assert len(comparatives) == 1
+        texts = {child.text for child in comparatives[0].children}
+        assert "director" in texts
+        assert "Ron Howard" in texts
+
+    def test_return_extender_after_comma(self, parser):
+        tree = parser.parse(
+            "List books published by Addison-Wesley, including their year "
+            "and title."
+        )
+        including = find(tree, "including")
+        assert including.parent is tree
+        year = find(tree, "year")
+        title = find(tree, "title")
+        assert year.parent is including
+        assert title.parent is including
+
+
+class TestOrderAndFunctions:
+    def test_order_phrase_attaches_to_root(self, parser):
+        tree = parser.parse("Return the title of every book, sorted by title.")
+        order = next(
+            node for node in tree.preorder() if node.category == Category.ORDER
+        )
+        assert order.parent is tree
+        assert order.children[0].text == "title"
+
+    def test_function_takes_noun_complement(self, parser):
+        tree = parser.parse("Return the number of movies.")
+        function = next(
+            node
+            for node in tree.preorder()
+            if node.category == Category.FUNCTION
+        )
+        assert function.parent is tree
+        assert function.children[0].text == "movies"
+
+    def test_node_ids_follow_sentence_order(self, parser):
+        tree = parser.parse("Return the title of every movie.")
+        ordered = sorted(tree.preorder(), key=lambda node: node.index)
+        ids = [node.node_id for node in ordered if node.node_id]
+        assert ids == sorted(ids)

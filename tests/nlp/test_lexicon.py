@@ -1,0 +1,66 @@
+"""Unit tests for the closed-class lexicon."""
+
+from repro.nlp.categories import Category
+from repro.nlp.lexicon import (
+    AUXILIARIES,
+    CONJUNCTIONS,
+    DETERMINERS,
+    PREPOSITIONS,
+    PRONOUNS,
+    QUANTIFIERS,
+    closed_class_category,
+)
+
+
+class TestClosedClassLookup:
+    def test_determiners(self):
+        assert closed_class_category("the") == Category.DETERMINER
+        assert closed_class_category("an") == Category.DETERMINER
+
+    def test_quantifiers(self):
+        assert closed_class_category("every") == Category.QUANTIFIER
+        assert closed_class_category("each") == Category.QUANTIFIER
+
+    def test_prepositions(self):
+        assert closed_class_category("of") == Category.PREP
+        assert closed_class_category("as") == Category.PREP
+
+    def test_pronouns(self):
+        assert closed_class_category("their") == Category.PRONOUN
+
+    def test_auxiliaries(self):
+        assert closed_class_category("is") == Category.AUXILIARY
+        assert closed_class_category("there") == Category.AUXILIARY
+
+    def test_conjunctions(self):
+        assert closed_class_category("and") == Category.CONJUNCTION
+
+    def test_negation(self):
+        assert closed_class_category("not") == Category.NEGATION
+
+    def test_subordinators(self):
+        assert closed_class_category("where") == Category.SUBORDINATOR
+
+    def test_open_class_returns_none(self):
+        assert closed_class_category("movie") is None
+        assert closed_class_category("frobnicate") is None
+
+    def test_priority_determiner_over_subordinator(self):
+        # "that" is in both sets; the lexicon resolves to determiner and
+        # the parser re-reads it from context.
+        assert closed_class_category("that") == Category.DETERMINER
+
+
+class TestSetSanity:
+    def test_sets_disjoint_enough(self):
+        # A word in several sets is resolved by lookup order; make sure
+        # the truly load-bearing words live in exactly one set.
+        for word in ("of", "by", "with"):
+            assert word in PREPOSITIONS
+            assert word not in DETERMINERS | QUANTIFIERS | PRONOUNS
+
+    def test_core_membership(self):
+        assert {"the", "a", "an"} <= DETERMINERS
+        assert {"every", "each", "all"} <= QUANTIFIERS
+        assert {"is", "are", "has"} <= AUXILIARIES
+        assert "and" in CONJUNCTIONS

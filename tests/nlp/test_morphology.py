@@ -1,0 +1,88 @@
+"""Unit tests for morphology (singularize/pluralize/verb lemmas)."""
+
+import pytest
+
+from repro.nlp.morphology import pluralize, singularize, verb_lemma
+
+
+class TestSingularize:
+    @pytest.mark.parametrize(
+        "plural,singular",
+        [
+            ("books", "book"),
+            ("movies", "movie"),
+            ("titles", "title"),
+            ("directors", "director"),
+            ("stories", "story"),
+            ("boxes", "box"),
+            ("churches", "church"),
+            ("wolves", "wolf"),
+            ("children", "child"),
+            ("people", "person"),
+            ("series", "series"),
+            ("analyses", "analysis"),
+            ("prices", "price"),
+        ],
+    )
+    def test_plural_to_singular(self, plural, singular):
+        assert singularize(plural) == singular
+
+    @pytest.mark.parametrize(
+        "word", ["book", "this", "class", "status", "is", "press", "always"]
+    )
+    def test_non_plurals_untouched(self, word):
+        assert singularize(word) == word
+
+
+class TestPluralize:
+    @pytest.mark.parametrize(
+        "singular,plural",
+        [
+            ("book", "books"),
+            ("movie", "movies"),
+            ("story", "stories"),
+            ("box", "boxes"),
+            ("church", "churches"),
+            ("child", "children"),
+        ],
+    )
+    def test_singular_to_plural(self, singular, plural):
+        assert pluralize(singular) == plural
+
+    @pytest.mark.parametrize(
+        "word", ["book", "movie", "story", "box", "director", "title"]
+    )
+    def test_roundtrip(self, word):
+        assert singularize(pluralize(word)) == word
+
+
+class TestVerbLemma:
+    @pytest.mark.parametrize(
+        "form,lemma",
+        [
+            ("directed", "direct"),
+            ("published", "publish"),
+            ("written", "write"),
+            ("wrote", "write"),
+            ("is", "be"),
+            ("are", "be"),
+            ("was", "be"),
+            ("has", "have"),
+            ("does", "do"),
+            ("directs", "direct"),
+            ("publishes", "publish"),
+            ("including", "include"),
+            ("containing", "contain"),
+            ("planned", "plan"),
+            ("edited", "edit"),
+            ("produced", "produce"),
+            ("sold", "sell"),
+            ("contains", "contain"),
+        ],
+    )
+    def test_inflections(self, form, lemma):
+        assert verb_lemma(form) == lemma
+
+    def test_base_forms_untouched(self):
+        assert verb_lemma("direct") == "direct"
+        assert verb_lemma("go") == "go"

@@ -1,0 +1,77 @@
+"""Unit tests for the ParseNode structure."""
+
+from repro.nlp.categories import Category
+from repro.nlp.parse_tree import ParseNode
+
+
+def node(text, index, category=Category.NOUN):
+    return ParseNode(text, text.lower(), category, index)
+
+
+class TestStructure:
+    def test_attach_sets_parent(self):
+        root = node("Return", 0, Category.COMMAND)
+        child = root.attach(node("movie", 1))
+        assert child.parent is root
+        assert root.children == [child]
+
+    def test_detach(self):
+        root = node("Return", 0, Category.COMMAND)
+        child = root.attach(node("movie", 1))
+        child.detach()
+        assert child.parent is None
+        assert root.children == []
+
+    def test_reattach(self):
+        root = node("Return", 0, Category.COMMAND)
+        first = root.attach(node("movie", 1))
+        second = root.attach(node("title", 2))
+        second.reattach_to(first)
+        assert second.parent is first
+        assert root.children == [first]
+
+
+class TestTraversal:
+    def build(self):
+        root = node("Return", 0, Category.COMMAND)
+        movie = root.attach(node("movie", 2))
+        movie.attach(node("every", 1, Category.QUANTIFIER))
+        movie.attach(node("of", 3, Category.PREP))
+        return root, movie
+
+    def test_preorder(self):
+        root, movie = self.build()
+        texts = [n.text for n in root.preorder()]
+        assert texts == ["Return", "movie", "every", "of"]
+
+    def test_descendants_excludes_self(self):
+        root, _ = self.build()
+        assert all(n is not root for n in root.descendants())
+
+    def test_ancestors(self):
+        root, movie = self.build()
+        leaf = movie.children[0]
+        assert [n.text for n in leaf.ancestors()] == ["movie", "Return"]
+
+    def test_find(self):
+        root, _ = self.build()
+        hits = root.find(lambda n: n.category == Category.QUANTIFIER)
+        assert [n.text for n in hits] == ["every"]
+
+
+class TestIdsAndRendering:
+    def test_assign_ids_by_sentence_order(self):
+        root = node("Return", 0, Category.COMMAND)
+        movie = root.attach(node("movie", 2))
+        movie.attach(node("every", 1, Category.QUANTIFIER))
+        root.assign_ids()
+        by_text = {n.text: n.node_id for n in root.preorder()}
+        assert by_text == {"Return": 1, "every": 2, "movie": 3}
+
+    def test_indented_rendering(self):
+        root = node("Return", 0, Category.COMMAND)
+        root.attach(node("movie", 1))
+        rendered = root.to_indented_string()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("Return")
+        assert lines[1].startswith("  movie")

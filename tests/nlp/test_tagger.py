@@ -1,0 +1,98 @@
+"""Unit tests for the rule-based tagger."""
+
+from repro.nlp.categories import Category
+from repro.nlp.tagger import tag_words
+from repro.nlp.tokenizer import tokenize_sentence
+
+
+def tag(sentence, vocabulary=None):
+    return tag_words(tokenize_sentence(sentence), vocabulary or {})
+
+
+def categories(sentence, vocabulary=None):
+    return [tw.category for tw in tag(sentence, vocabulary)]
+
+
+class TestClosedClasses:
+    def test_determiners_and_quantifiers(self):
+        assert categories("the every") == [
+            Category.DETERMINER,
+            Category.QUANTIFIER,
+        ]
+
+    def test_prepositions(self):
+        assert categories("of by with") == [Category.PREP] * 3
+
+    def test_auxiliaries_lemmatized_to_be(self):
+        tagged = tag("is")
+        assert tagged[0].category == Category.AUXILIARY
+        assert tagged[0].lemma == "be"
+
+    def test_pronouns(self):
+        assert categories("it their") == [Category.PRONOUN] * 2
+
+    def test_subordinators(self):
+        # Mid-sentence "where" introduces a clause; sentence-initially it
+        # would be a wh-word instead.
+        assert categories("books where")[1] == Category.SUBORDINATOR
+
+    def test_negation(self):
+        assert categories("not") == [Category.NEGATION]
+
+
+class TestOpenClasses:
+    def test_common_nouns_lemmatized(self):
+        tagged = tag("movies")
+        assert tagged[0].category == Category.NOUN
+        assert tagged[0].lemma == "movie"
+
+    def test_unknown_lowercase_defaults_to_noun(self):
+        assert categories("flibbertigibbet") == [Category.NOUN]
+
+    def test_inflected_relation_verb(self):
+        tagged = tag("movies directed")
+        assert tagged[1].category == Category.VERB
+        assert tagged[1].lemma == "direct"
+
+    def test_base_relation_verb_needs_verbal_context(self):
+        # "the work" is a noun; "that have" precedes a verb reading.
+        assert categories("the work")[1] == Category.NOUN
+        assert categories("books that have")[2] == Category.AUXILIARY
+
+    def test_adjectives(self):
+        assert categories("new")[0] == Category.ADJECTIVE
+
+
+class TestValues:
+    def test_quoted_is_value(self):
+        tagged = tag('the title "Data on the Web"')
+        assert tagged[-1].category == Category.VALUE
+
+    def test_numbers_are_values(self):
+        tagged = tag("after 1991")
+        assert tagged[-1].category == Category.VALUE
+
+    def test_capitalized_mid_sentence_is_value(self):
+        tagged = tag("directed by Ron")
+        assert tagged[-1].category == Category.VALUE
+
+    def test_sentence_initial_capital_not_value(self):
+        tagged = tag("Movies directed by Ron")
+        assert tagged[0].category == Category.NOUN
+
+
+class TestVocabularyOverrides:
+    def test_single_word_vocabulary(self):
+        tagged = tag("return", {"return": Category.COMMAND})
+        assert tagged[0].category == Category.COMMAND
+
+    def test_vocabulary_applies_to_lemma(self):
+        tagged = tag("films", {"film": Category.NOUN})
+        assert tagged[0].lemma == "film"
+
+    def test_wh_word_sentence_initial(self):
+        assert categories("what books")[0] == Category.WH
+
+    def test_possessive_stripped(self):
+        tagged = tag("the author's name")
+        assert tagged[1].lemma == "author"

@@ -1,0 +1,60 @@
+"""Unit tests for the sentence tokenizer."""
+
+from repro.nlp.tokenizer import tokenize_sentence
+
+
+def texts(sentence):
+    return [word.text for word in tokenize_sentence(sentence)]
+
+
+class TestBasics:
+    def test_simple_words(self):
+        assert texts("Return every movie") == ["Return", "every", "movie"]
+
+    def test_punctuation_tokens(self):
+        words = tokenize_sentence("movies, sorted by title.")
+        assert [w.text for w in words if w.is_punct] == [",", "."]
+
+    def test_numbers(self):
+        words = tokenize_sentence("after 1991 and 3.5 stars")
+        numbers = [w.text for w in words if w.is_number]
+        assert numbers == ["1991", "3.5"]
+
+    def test_indexes_sequential(self):
+        words = tokenize_sentence("a b c")
+        assert [w.index for w in words] == [0, 1, 2]
+
+    def test_empty(self):
+        assert tokenize_sentence("") == []
+        assert tokenize_sentence("   ") == []
+
+
+class TestQuotes:
+    def test_double_quoted_phrase_is_single_token(self):
+        words = tokenize_sentence('the title is "Gone with the Wind"')
+        quoted = [w for w in words if w.quoted]
+        assert len(quoted) == 1
+        assert quoted[0].text == "Gone with the Wind"
+
+    def test_typographic_quotes(self):
+        words = tokenize_sentence("the title is “Data on the Web”")
+        quoted = [w for w in words if w.quoted]
+        assert quoted[0].text == "Data on the Web"
+
+    def test_unterminated_quote_does_not_crash(self):
+        words = tokenize_sentence('the title is "Broken')
+        assert any(w.text == "title" for w in words)
+
+    def test_apostrophe_inside_word_kept(self):
+        words = tokenize_sentence("the author's book")
+        assert any(w.text == "author's" for w in words)
+
+
+class TestHyphensAndCase:
+    def test_hyphenated_word_is_one_token(self):
+        assert "Addison-Wesley" in texts("published by Addison-Wesley")
+
+    def test_capitalization_detection(self):
+        words = tokenize_sentence("by Ron Howard")
+        assert words[1].is_capitalized()
+        assert not words[0].is_capitalized()

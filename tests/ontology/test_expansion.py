@@ -1,0 +1,67 @@
+"""Unit tests for term expansion against a database vocabulary."""
+
+import pytest
+
+from repro.database.store import Database
+from repro.ontology.expansion import TermExpander
+from repro.ontology.thesaurus import Thesaurus
+
+
+@pytest.fixture()
+def expander():
+    database = Database()
+    database.load_text(
+        '<bib><book year="1994"><booktitle>X</booktitle>'
+        "<author>A</author><price>9.99</price></book></bib>",
+        name="bib",
+    )
+    return TermExpander(database)
+
+
+class TestExpansion:
+    def test_exact_match(self, expander):
+        assert expander.expand("book") == ["book"]
+
+    def test_plural_matches_singular_tag(self, expander):
+        assert expander.expand("books") == ["book"]
+
+    def test_attribute_match(self, expander):
+        assert expander.expand("year") == ["@year"]
+
+    def test_synonym_match(self, expander):
+        assert expander.expand("cost") == ["price"]
+        assert expander.expand("writer") == ["author"]
+
+    def test_compound_match(self, expander):
+        # "title" is not a tag, but "booktitle" contains it.
+        assert expander.expand("title") == ["booktitle"]
+
+    def test_no_match(self, expander):
+        assert expander.expand("zebra") == []
+        assert not expander.has_match("zebra")
+
+    def test_empty_word(self, expander):
+        assert expander.expand("  ") == []
+
+    def test_exact_beats_synonym(self):
+        database = Database()
+        database.load_text("<a><price>1</price><cost>2</cost></a>", name="d")
+        expander = TermExpander(database)
+        assert expander.expand("price") == ["price"]
+
+    def test_custom_thesaurus(self):
+        database = Database()
+        database.load_text("<a><flick>1</flick></a>", name="d")
+        expander = TermExpander(
+            database, thesaurus=Thesaurus([{"movie", "flick"}])
+        )
+        assert expander.expand("movie") == ["flick"]
+
+
+class TestValueTags:
+    def test_value_tags(self, expander):
+        assert expander.value_tags("1994") == ["@year"]
+        assert expander.value_tags("A") == ["author"]
+
+    def test_value_tags_missing(self, expander):
+        assert expander.value_tags("nothing here") == []

@@ -1,0 +1,45 @@
+"""Unit tests for the thesaurus (WordNet substitute)."""
+
+from repro.ontology.thesaurus import Thesaurus, default_thesaurus
+
+
+class TestSynsets:
+    def test_symmetry(self):
+        thesaurus = Thesaurus([{"movie", "film"}])
+        assert thesaurus.are_synonyms("movie", "film")
+        assert thesaurus.are_synonyms("film", "movie")
+
+    def test_word_is_own_synonym(self):
+        thesaurus = Thesaurus([])
+        assert thesaurus.are_synonyms("book", "book")
+        assert thesaurus.synonyms("book") == {"book"}
+
+    def test_case_insensitive(self):
+        thesaurus = Thesaurus([{"Movie", "FILM"}])
+        assert thesaurus.are_synonyms("movie", "film")
+
+    def test_overlapping_synsets_merge(self):
+        thesaurus = Thesaurus([{"a", "b"}, {"b", "c"}])
+        assert thesaurus.are_synonyms("a", "c")
+
+    def test_add_synset_after_construction(self):
+        thesaurus = Thesaurus([])
+        thesaurus.add_synset({"cpu", "processor"})
+        assert thesaurus.are_synonyms("cpu", "processor")
+
+    def test_non_synonyms(self):
+        thesaurus = default_thesaurus()
+        assert not thesaurus.are_synonyms("movie", "book")
+
+
+class TestDefaultThesaurus:
+    def test_paper_domains_covered(self):
+        thesaurus = default_thesaurus()
+        assert thesaurus.are_synonyms("movie", "film")
+        assert thesaurus.are_synonyms("author", "writer")
+        assert thesaurus.are_synonyms("price", "cost")
+        assert thesaurus.are_synonyms("year", "date")
+
+    def test_words_listing(self):
+        thesaurus = default_thesaurus()
+        assert "movie" in thesaurus.words()

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, load_database, main
+
+
+class TestLoadDatabase:
+    def test_builtin_datasets(self):
+        assert load_database("movies").has_tag("movie")
+        assert load_database("bib").has_tag("price")
+        assert load_database("dblp", books=10).has_tag("article")
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "d.xml"
+        path.write_text("<a><b>x</b></a>", encoding="utf-8")
+        assert load_database(str(path)).has_tag("b")
+
+
+class TestCommands:
+    def test_query_success(self, capsys):
+        code = main(
+            ["query", "--data", "movies",
+             "Return the title of every movie directed by Ron Howard."]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Tribute" in output
+        assert "XQuery:" in output
+
+    def test_query_quiet(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "--quiet",
+             "Return the title of every movie."]
+        )
+        assert code == 0
+        assert "XQuery:" not in capsys.readouterr().out
+
+    def test_query_rejection_exit_code(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "Return the isbn of every movie."]
+        )
+        assert code == 1
+        assert "Error" in capsys.readouterr().out
+
+    def test_xquery_command(self, capsys):
+        code = main(
+            ["xquery", 'for $t in doc("bib.xml")//title return $t']
+        )
+        assert code == 0
+        assert "TCP/IP Illustrated" in capsys.readouterr().out
+
+    def test_xquery_error_exit_code(self, capsys):
+        code = main(["xquery", "this is not xquery"])
+        assert code == 1
+
+    def test_tasks_command(self, capsys):
+        code = main(["tasks", "--books", "40"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert output.count("P=") == 9
+
+    def test_study_command(self, capsys):
+        code = main(
+            ["study", "--participants", "2", "--books", "20", "--seed", "3"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Figure 11" in output
+        assert "Table 7" in output
+
+    def test_generate_to_file(self, tmp_path, capsys):
+        out = tmp_path / "dblp.xml"
+        code = main(["generate", "--books", "5", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        from repro.database.store import Database
+
+        database = Database()
+        database.load_file(out)
+        assert database.has_tag("book")
+
+    def test_generate_to_stdout(self, capsys):
+        code = main(["generate", "--books", "5"])
+        assert code == 0
+        assert "<dblp>" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("query", "repl", "xquery", "tasks", "study",
+                        "generate"):
+            args = parser.parse_args(
+                [command] + (["x"] if command in ("query", "xquery") else [])
+            )
+            assert args.command == command

@@ -1,0 +1,46 @@
+"""Smoke tests: every example application runs end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, monkeypatch, capsys, argv=None):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    monkeypatch.setattr(sys, "argv", [str(path)] + (argv or []))
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, monkeypatch, capsys):
+        output = run_example("quickstart", monkeypatch, capsys)
+        assert "Ron Howard" in output
+        assert "XQuery:" in output
+
+    def test_interactive_session(self, monkeypatch, capsys):
+        output = run_example("interactive_session", monkeypatch, capsys)
+        assert "the same as" in output      # the suggestion
+        assert "Ron Howard" in output       # the final answer
+
+    def test_dblp_queries(self, monkeypatch, capsys):
+        output = run_example("dblp_queries", monkeypatch, capsys)
+        assert output.count("NaLIX:") == 9
+        assert output.count("keyword:") == 9
+
+    def test_xquery_console(self, monkeypatch, capsys):
+        output = run_example("xquery_console", monkeypatch, capsys)
+        assert "TCP/IP Illustrated" in output
+
+    @pytest.mark.slow
+    def test_user_study_demo(self, monkeypatch, capsys):
+        output = run_example("user_study_demo", monkeypatch, capsys)
+        assert "Figure 11" in output
+        assert "Table 7" in output

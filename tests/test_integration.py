@@ -1,0 +1,178 @@
+"""Cross-module integration tests: full flows through the whole stack."""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.data import DblpConfig, generate_dblp
+from repro.database.store import Database
+from repro.evaluation.metrics import precision_recall
+from repro.keyword_search.engine import KeywordSearchEngine
+from repro.xquery.evaluator import evaluate_query
+
+
+class TestEndToEndAgainstGold:
+    """NL answers must equal answers computed directly in Python."""
+
+    def test_addison_wesley_titles(self, small_dblp_database, dblp_nalix):
+        document = small_dblp_database.document()
+        gold = {
+            book.child_elements("title")[0].string_value()
+            for book in document.root.child_elements("book")
+            if book.child_elements("publisher")[0].string_value()
+            == "Addison-Wesley"
+        }
+        result = dblp_nalix.ask(
+            "Return the title of every book published by Addison-Wesley."
+        )
+        assert result.ok
+        assert set(result.values()) == gold
+
+    def test_count_matches_python(self, small_dblp_database, dblp_nalix):
+        document = small_dblp_database.document()
+        gold = len(document.root.child_elements("article"))
+        result = dblp_nalix.ask("Return the total number of articles.")
+        assert result.ok
+        assert result.values() == [str(gold)]
+
+    def test_year_filter_matches_python(self, small_dblp_database,
+                                        dblp_nalix):
+        document = small_dblp_database.document()
+        gold = sum(
+            1
+            for book in document.root.child_elements("book")
+            if int(book.child_elements("year")[0].string_value()) > 2000
+        )
+        result = dblp_nalix.ask("Return every book published after 2000.")
+        assert result.ok
+        assert len(result.nodes()) == gold
+
+    def test_grouped_counts_match_python(self, small_dblp_database,
+                                         dblp_nalix):
+        document = small_dblp_database.document()
+        by_publisher = {}
+        for book in document.root.child_elements("book"):
+            name = book.child_elements("publisher")[0].string_value()
+            by_publisher[name] = by_publisher.get(name, 0) + 1
+        result = dblp_nalix.ask(
+            "Return the number of books published by each publisher."
+        )
+        assert result.ok
+        counts = sorted(int(v) for v in result.values())
+        gold = sorted(
+            by_publisher[
+                book.child_elements("publisher")[0].string_value()
+            ]
+            for book in document.root.child_elements("book")
+        )
+        assert counts == gold
+
+
+class TestNaLIXVsKeyword:
+    def test_nl_beats_keywords_on_structured_task(self, small_dblp_database):
+        nalix = NaLIX(small_dblp_database)
+        keyword = KeywordSearchEngine(small_dblp_database)
+        document = small_dblp_database.document()
+        gold = []
+        for book in document.root.child_elements("book"):
+            if book.child_elements("publisher")[0].string_value() == (
+                "Addison-Wesley"
+            ):
+                gold.append(book.child_elements("title")[0])
+
+        nl = nalix.ask(
+            "Return the title of every book published by Addison-Wesley."
+        )
+        nl_p, nl_r = precision_recall(nl.distinct_items(), gold)
+        kw_p, kw_r = precision_recall(
+            keyword.search("title book Addison-Wesley"), gold
+        )
+        assert nl_p >= kw_p
+        assert nl_r >= kw_r
+
+
+class TestMultiDocumentDatabase:
+    def test_doc_function_selects_document(self):
+        database = Database()
+        database.load_text("<a><x>1</x></a>", name="one.xml")
+        database.load_text("<b><x>2</x></b>", name="two.xml")
+        first = evaluate_query(database, 'for $x in doc("one.xml")//x return $x')
+        second = evaluate_query(database, 'for $x in doc("two.xml")//x return $x')
+        assert [n.string_value() for n in first] == ["1"]
+        assert [n.string_value() for n in second] == ["2"]
+
+    def test_nalix_on_named_document(self):
+        database = Database()
+        database.load_text(
+            "<movies><movie><title>A</title><director>D</director></movie>"
+            "</movies>",
+            name="movies.xml",
+        )
+        database.load_text("<other><thing>x</thing></other>", name="o.xml")
+        nalix = NaLIX(database, document_name="movies.xml")
+        result = nalix.ask("Return the title of every movie.")
+        assert result.ok
+        assert result.values() == ["A"]
+
+
+class TestFeedbackLoop:
+    def test_two_turn_reformulation(self, movie_nalix):
+        """The Sec. 4 interaction: reject with suggestion, then accept."""
+        first = movie_nalix.ask(
+            "Return every director who has directed as many movies as has "
+            "Ron Howard."
+        )
+        assert not first.ok
+        suggestion = next(
+            m.suggestion for m in first.errors if m.code == "unknown-term"
+        )
+        assert "the same as" in suggestion
+
+        second = movie_nalix.ask(
+            "Return every director, where the number of movies directed by "
+            "the director is the same as the number of movies directed by "
+            "Ron Howard."
+        )
+        assert second.ok
+        assert sorted(set(second.values())) == ["Ron Howard"]
+
+    def test_multi_sentence_rejected_with_guidance(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return every movie. Return every director."
+        )
+        assert not result.ok
+        assert any(m.code == "multi-sentence" for m in result.errors)
+
+    def test_abbreviations_not_multi_sentence(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return every movie directed by Ron Howard."
+        )
+        assert result.ok
+
+    def test_disjunction_guidance(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return every movie directed by Ron Howard or Peter Jackson."
+        )
+        assert not result.ok
+        assert any(
+            "split" in (m.suggestion or "") for m in result.errors
+        )
+
+
+class TestScale:
+    def test_larger_collection_still_fast(self):
+        import time
+
+        database = Database()
+        database.load_document(
+            generate_dblp(DblpConfig(books=600, articles=1200))
+        )
+        nalix = NaLIX(database)
+        started = time.perf_counter()
+        result = nalix.ask(
+            "Return the year and title of every book published by "
+            "Addison-Wesley after 1991."
+        )
+        elapsed = time.perf_counter() - started
+        assert result.ok
+        assert result.values()
+        assert elapsed < 5.0

@@ -1,0 +1,165 @@
+"""Unit tests for the XML node model."""
+
+import pytest
+
+from repro.xmlstore.model import (
+    Document,
+    ElementNode,
+    TextNode,
+    lowest_common_ancestor,
+)
+
+
+def build_sample():
+    root = ElementNode("movies")
+    year = root.append_element("year", "2000")
+    movie = year.append_element("movie")
+    movie.append_element("title", "Traffic")
+    movie.append_element("director", "Steven Soderbergh")
+    return Document(root, name="m")
+
+
+class TestConstruction:
+    def test_append_element_sets_parent(self):
+        root = ElementNode("a")
+        child = root.append_element("b")
+        assert child.parent is root
+        assert root.child_elements() == [child]
+
+    def test_append_element_with_text(self):
+        root = ElementNode("a")
+        child = root.append_element("b", "hello")
+        assert child.string_value() == "hello"
+
+    def test_set_attribute_and_get(self):
+        element = ElementNode("a")
+        element.set_attribute("year", 1994)
+        assert element.get_attribute("year") == "1994"
+        assert element.get_attribute("missing") is None
+        assert element.get_attribute("missing", "x") == "x"
+
+    def test_set_attribute_replaces(self):
+        element = ElementNode("a")
+        element.set_attribute("k", "1")
+        element.set_attribute("k", "2")
+        assert element.get_attribute("k") == "2"
+        assert len(element.attributes) == 1
+
+    def test_attribute_tag_has_at_prefix(self):
+        element = ElementNode("a")
+        attribute = element.set_attribute("year", "1994")
+        assert attribute.tag == "@year"
+
+    def test_document_requires_element_root(self):
+        with pytest.raises(TypeError):
+            Document(TextNode("x"))
+
+
+class TestNumbering:
+    def test_preorder_ids_are_sequential(self):
+        document = build_sample()
+        ids = [node.node_id for node in document.nodes]
+        assert ids == list(range(len(ids)))
+
+    def test_root_is_node_zero(self):
+        document = build_sample()
+        assert document.root.node_id == 0
+        assert document.root.depth == 0
+
+    def test_depths_increase_by_one(self):
+        document = build_sample()
+        for node in document.nodes:
+            if node.parent is not None:
+                assert node.depth == node.parent.depth + 1
+
+    def test_subtree_end_covers_descendants(self):
+        document = build_sample()
+        root = document.root
+        assert root.subtree_end == document.node_count() - 1
+
+    def test_attributes_get_ids(self):
+        root = ElementNode("a", attributes={"k": "v"})
+        document = Document(root)
+        attribute = root.attributes[0]
+        assert attribute.node_id == 1
+        assert attribute.depth == 1
+
+    def test_reindex_after_mutation(self):
+        document = build_sample()
+        document.root.append_element("extra")
+        document.reindex()
+        assert document.nodes[-1].tag == "extra"
+
+
+class TestStructuralPredicates:
+    def test_ancestor_descendant(self):
+        document = build_sample()
+        root = document.root
+        title = next(
+            node for node in document.iter_elements() if node.tag == "title"
+        )
+        assert root.is_ancestor_of(title)
+        assert title.is_descendant_of(root)
+        assert not title.is_ancestor_of(root)
+
+    def test_not_own_ancestor(self):
+        document = build_sample()
+        assert not document.root.is_ancestor_of(document.root)
+
+    def test_ancestors_nearest_first(self):
+        document = build_sample()
+        title = next(
+            node for node in document.iter_elements() if node.tag == "title"
+        )
+        tags = [node.tag for node in title.ancestors()]
+        assert tags == ["movie", "year", "movies"]
+
+    def test_root_method(self):
+        document = build_sample()
+        title = next(
+            node for node in document.iter_elements() if node.tag == "title"
+        )
+        assert title.root() is document.root
+
+
+class TestLCA:
+    def test_lca_of_siblings_is_parent(self):
+        document = build_sample()
+        movie = next(
+            node for node in document.iter_elements() if node.tag == "movie"
+        )
+        title, director = movie.child_elements()
+        assert lowest_common_ancestor(title, director) is movie
+
+    def test_lca_with_self(self):
+        document = build_sample()
+        assert lowest_common_ancestor(document.root, document.root) is document.root
+
+    def test_lca_ancestor_descendant(self):
+        document = build_sample()
+        title = next(
+            node for node in document.iter_elements() if node.tag == "title"
+        )
+        assert lowest_common_ancestor(document.root, title) is document.root
+
+    def test_lca_different_trees_raises(self):
+        one = build_sample()
+        other = build_sample()
+        with pytest.raises(ValueError):
+            lowest_common_ancestor(one.root, other.root.child_elements()[0])
+
+
+class TestStringValue:
+    def test_element_string_value_concatenates(self):
+        root = ElementNode("a")
+        root.append(TextNode("x"))
+        child = root.append_element("b", "y")
+        root.append(TextNode("z"))
+        assert root.string_value() == "xyz"
+        assert child.string_value() == "y"
+
+    def test_iter_descendants_includes_attributes(self):
+        root = ElementNode("a", attributes={"k": "v"})
+        root.append_element("b")
+        kinds = [type(node).__name__ for node in root.iter_descendants()]
+        assert kinds == ["AttributeNode", "ElementNode"]

@@ -1,0 +1,115 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.xmlstore.errors import XMLParseError
+from repro.xmlstore.model import ElementNode, TextNode
+from repro.xmlstore.parser import parse_document, parse_fragment
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        root = parse_fragment("<a/>")
+        assert root.tag == "a"
+        assert root.children == []
+
+    def test_element_with_text(self):
+        root = parse_fragment("<a>hello</a>")
+        assert root.string_value() == "hello"
+
+    def test_nested_elements(self):
+        root = parse_fragment("<a><b><c>x</c></b></a>")
+        assert root.child_elements()[0].child_elements()[0].string_value() == "x"
+
+    def test_attributes_double_quoted(self):
+        root = parse_fragment('<a k="v" j="w"/>')
+        assert root.get_attribute("k") == "v"
+        assert root.get_attribute("j") == "w"
+
+    def test_attributes_single_quoted(self):
+        root = parse_fragment("<a k='v'/>")
+        assert root.get_attribute("k") == "v"
+
+    def test_mixed_content(self):
+        root = parse_fragment("<a>x<b>y</b>z</a>", keep_whitespace=True)
+        kinds = [type(child).__name__ for child in root.children]
+        assert kinds == ["TextNode", "ElementNode", "TextNode"]
+
+    def test_whitespace_dropped_by_default(self):
+        root = parse_fragment("<a>\n  <b>x</b>\n</a>")
+        assert all(isinstance(child, ElementNode) for child in root.children)
+
+    def test_whitespace_kept_on_request(self):
+        root = parse_fragment("<a>\n  <b>x</b>\n</a>", keep_whitespace=True)
+        assert any(isinstance(child, TextNode) for child in root.children)
+
+
+class TestEntitiesAndSpecials:
+    def test_predefined_entities(self):
+        root = parse_fragment("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert root.string_value() == "<>&'\""
+
+    def test_numeric_character_references(self):
+        root = parse_fragment("<a>&#65;&#x42;</a>")
+        assert root.string_value() == "AB"
+
+    def test_entities_in_attributes(self):
+        root = parse_fragment('<a k="x &amp; y"/>')
+        assert root.get_attribute("k") == "x & y"
+
+    def test_cdata(self):
+        root = parse_fragment("<a><![CDATA[<not parsed> & raw]]></a>")
+        assert root.string_value() == "<not parsed> & raw"
+
+    def test_comments_ignored(self):
+        root = parse_fragment("<a><!-- comment --><b/></a>")
+        assert [child.tag for child in root.child_elements()] == ["b"]
+
+    def test_processing_instructions_ignored(self):
+        root = parse_fragment("<a><?php echo ?><b/></a>")
+        assert [child.tag for child in root.child_elements()] == ["b"]
+
+    def test_xml_declaration_and_doctype(self):
+        text = '<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a ANY>]><a/>'
+        assert parse_fragment(text).tag == "a"
+
+    def test_namespace_prefix_kept_verbatim(self):
+        root = parse_fragment("<ns:a><ns:b/></ns:a>")
+        assert root.tag == "ns:a"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "just text",
+            "<a>",
+            "<a></b>",
+            "<a><b></a></b>",
+            "<a k=v/>",
+            '<a k="v" k="w"/>',
+            "<a>&bogus;</a>",
+            "<a/><b/>",
+            "<a><!-- unterminated</a>",
+        ],
+    )
+    def test_malformed_raises(self, text):
+        with pytest.raises(XMLParseError):
+            parse_fragment(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_fragment("<a>\n<b></c>\n</a>")
+        assert excinfo.value.line == 2
+
+
+class TestDocumentParsing:
+    def test_parse_document_indexes(self):
+        document = parse_document("<a><b>x</b></a>", name="t")
+        assert document.name == "t"
+        assert document.node_count() == 3  # a, b, text
+
+    def test_parse_document_counts_attributes(self):
+        document = parse_document('<a k="v"/>')
+        assert document.node_count() == 2

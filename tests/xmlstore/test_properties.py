@@ -1,0 +1,131 @@
+"""Property-based tests for the XML substrate (hypothesis).
+
+Invariants:
+
+* serialize -> parse is the identity on trees (round-trip);
+* preorder numbering: ids strictly increase in document order, subtree
+  ranges nest, and ``is_ancestor_of`` agrees with parent-chain walking;
+* the LCA is a common ancestor of maximal depth.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlstore.model import Document, ElementNode, TextNode, lowest_common_ancestor
+from repro.xmlstore.parser import parse_fragment
+from repro.xmlstore.serializer import serialize
+
+_tags = st.sampled_from(["a", "b", "c", "item", "node", "x1"])
+_texts = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r", categories=("L", "N", "P", "Zs")
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: s.strip())
+
+
+@st.composite
+def elements(draw, depth=0):
+    element = ElementNode(draw(_tags))
+    for name in draw(st.lists(_tags, max_size=2, unique=True)):
+        element.set_attribute(name, draw(_texts))
+    if depth < 3:
+        for child_kind in draw(st.lists(st.booleans(), max_size=3)):
+            if child_kind:
+                element.append(draw(elements(depth=depth + 1)))
+            else:
+                element.append(TextNode(draw(_texts)))
+    return element
+
+
+def _merge_adjacent_text(element):
+    """Parsing merges adjacent text runs; normalise before comparing."""
+    merged = []
+    for child in element.children:
+        if (
+            isinstance(child, TextNode)
+            and merged
+            and isinstance(merged[-1], TextNode)
+        ):
+            merged[-1] = TextNode(merged[-1].text + child.text)
+        else:
+            if isinstance(child, ElementNode):
+                _merge_adjacent_text(child)
+            merged.append(child)
+    element.children = merged
+    return element
+
+
+def _tree_equal(left, right):
+    if isinstance(left, TextNode) or isinstance(right, TextNode):
+        return (
+            isinstance(left, TextNode)
+            and isinstance(right, TextNode)
+            and left.text == right.text
+        )
+    if left.tag != right.tag:
+        return False
+    left_attrs = {(a.name, a.value) for a in left.attributes}
+    right_attrs = {(a.name, a.value) for a in right.attributes}
+    if left_attrs != right_attrs:
+        return False
+    if len(left.children) != len(right.children):
+        return False
+    return all(
+        _tree_equal(lc, rc) for lc, rc in zip(left.children, right.children)
+    )
+
+
+@given(elements())
+@settings(max_examples=60)
+def test_serialize_parse_roundtrip(element):
+    reparsed = parse_fragment(serialize(element), keep_whitespace=True)
+    assert _tree_equal(_merge_adjacent_text(element), reparsed)
+
+
+@given(elements())
+@settings(max_examples=60)
+def test_preorder_ids_strictly_increase(element):
+    document = Document(element)
+    ids = [node.node_id for node in document.nodes]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == len(ids)
+
+
+@given(elements())
+@settings(max_examples=60)
+def test_subtree_ranges_nest(element):
+    document = Document(element)
+    for node in document.nodes:
+        assert node.node_id <= node.subtree_end
+        if node.parent is not None:
+            assert node.parent.node_id < node.node_id
+            assert node.subtree_end <= node.parent.subtree_end
+
+
+@given(elements())
+@settings(max_examples=60)
+def test_ancestor_predicate_matches_parent_chain(element):
+    document = Document(element)
+    nodes = document.nodes
+    for node in nodes[:: max(1, len(nodes) // 8)]:
+        chain = set(map(id, node.ancestors()))
+        for other in nodes[:: max(1, len(nodes) // 8)]:
+            assert other.is_ancestor_of(node) == (id(other) in chain)
+
+
+@given(elements(), st.data())
+@settings(max_examples=60)
+def test_lca_is_deepest_common_ancestor(element, data):
+    document = Document(element)
+    nodes = document.nodes
+    a = data.draw(st.sampled_from(nodes))
+    b = data.draw(st.sampled_from(nodes))
+    lca = lowest_common_ancestor(a, b)
+    ancestors_a = {id(n) for n in a.ancestors()} | {id(a)}
+    ancestors_b = {id(n) for n in b.ancestors()} | {id(b)}
+    common = ancestors_a & ancestors_b
+    assert id(lca) in common
+    for node in [a, b, *a.ancestors(), *b.ancestors()]:
+        if id(node) in common:
+            assert node.depth <= lca.depth

@@ -1,0 +1,63 @@
+"""Unit tests for serialization."""
+
+from repro.xmlstore.model import ElementNode, TextNode
+from repro.xmlstore.parser import parse_fragment
+from repro.xmlstore.serializer import (
+    escape_attribute,
+    escape_text,
+    serialize,
+    to_pretty_string,
+)
+
+
+class TestEscaping:
+    def test_escape_text(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute('say "hi"') == "say &quot;hi&quot;"
+
+
+class TestSerialize:
+    def test_empty_element_self_closes(self):
+        assert serialize(ElementNode("a")) == "<a/>"
+
+    def test_text_content(self):
+        root = ElementNode("a")
+        root.append(TextNode("x<y"))
+        assert serialize(root) == "<a>x&lt;y</a>"
+
+    def test_attributes(self):
+        root = ElementNode("a", attributes={"k": 'v"w'})
+        assert serialize(root) == '<a k="v&quot;w"/>'
+
+    def test_roundtrip_simple(self):
+        text = '<a k="v"><b>x &amp; y</b><c/></a>'
+        assert serialize(parse_fragment(text)) == text
+
+    def test_roundtrip_nested(self):
+        text = "<bib><book year=\"1994\"><title>TCP/IP</title></book></bib>"
+        reparsed = parse_fragment(serialize(parse_fragment(text)))
+        assert reparsed.child_elements()[0].get_attribute("year") == "1994"
+
+
+class TestPretty:
+    def test_leaf_on_one_line(self):
+        root = ElementNode("a")
+        root.append_element("b", "x")
+        pretty = to_pretty_string(root)
+        assert "<b>x</b>" in pretty
+
+    def test_indentation(self):
+        root = ElementNode("a")
+        child = root.append_element("b")
+        child.append_element("c", "y")
+        pretty = to_pretty_string(root)
+        assert "\n  <b>" in pretty
+        assert "\n    <c>y</c>" in pretty
+
+    def test_pretty_parses_back(self):
+        root = ElementNode("a")
+        root.append_element("b", "x & y")
+        reparsed = parse_fragment(to_pretty_string(root))
+        assert reparsed.child_elements()[0].string_value() == "x & y"

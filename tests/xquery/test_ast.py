@@ -1,0 +1,125 @@
+"""Unit tests for AST construction, equality and serialization."""
+
+from repro.xquery import ast
+from repro.xquery.ast import doc_path
+
+
+class TestLiterals:
+    def test_string_quoting(self):
+        assert ast.Literal("x").to_text() == '"x"'
+
+    def test_embedded_quote_escaped(self):
+        assert ast.Literal('a"b').to_text() == '"a""b"'
+
+    def test_integer(self):
+        assert ast.Literal(1991).to_text() == "1991"
+
+    def test_whole_float_prints_as_int(self):
+        assert ast.Literal(1991.0).to_text() == "1991"
+
+    def test_fractional_float(self):
+        assert ast.Literal(3.5).to_text() == "3.5"
+
+
+class TestEquality:
+    def test_structural_equality(self):
+        first = ast.Comparison("=", ast.VarRef("a"), ast.Literal(1))
+        second = ast.Comparison("=", ast.VarRef("a"), ast.Literal(1))
+        assert first == second
+
+    def test_inequality_of_different_ops(self):
+        first = ast.Comparison("=", ast.VarRef("a"), ast.Literal(1))
+        second = ast.Comparison("<", ast.VarRef("a"), ast.Literal(1))
+        assert first != second
+
+    def test_hashable(self):
+        expr = ast.FunctionCall("count", [ast.VarRef("v")])
+        assert {expr: 1}[expr] == 1
+
+
+class TestRendering:
+    def test_and_parenthesizes_nested_or(self):
+        condition = ast.And(
+            [
+                ast.Or([ast.VarRef("a"), ast.VarRef("b")]),
+                ast.VarRef("c"),
+            ]
+        )
+        assert condition.to_text() == "($a or $b) and $c"
+
+    def test_not_wraps(self):
+        assert ast.Not(ast.VarRef("a")).to_text() == "not($a)"
+
+    def test_quantified(self):
+        expr = ast.Quantified(
+            "some",
+            "x",
+            ast.VarRef("seq"),
+            ast.Comparison("=", ast.VarRef("x"), ast.Literal(1)),
+        )
+        assert expr.to_text() == "some $x in $seq satisfies ($x = 1)"
+
+    def test_element_constructor(self):
+        expr = ast.ElementConstructor("result", [ast.VarRef("a")])
+        assert expr.to_text() == "<result>{ $a }</result>"
+
+    def test_alternation_step(self):
+        step = ast.Step(ast.Step.DESCENDANT, "title|booktitle")
+        assert step.to_text() == "//(title|booktitle)"
+
+    def test_order_by_multiple_keys(self):
+        clause = ast.OrderByClause(
+            [(ast.VarRef("a"), False), (ast.VarRef("b"), True)]
+        )
+        assert clause.to_text() == "order by $a, $b descending"
+
+
+class TestDocPath:
+    def test_element_tag(self):
+        assert doc_path("m.xml", "movie").to_text() == 'doc("m.xml")//movie'
+
+    def test_attribute_tag(self):
+        assert doc_path("m.xml", "@year").to_text() == 'doc("m.xml")//*/@year'
+
+    def test_last_tag(self):
+        assert doc_path("m", "movie").last_tag() == "movie"
+        assert doc_path("m", "@year").last_tag() == "@year"
+
+
+class TestFLWORHelpers:
+    def test_for_bindings_across_clauses(self):
+        flwor = ast.FLWOR(
+            [
+                ast.ForClause([("a", doc_path("d", "x"))]),
+                ast.ForClause([("b", doc_path("d", "y"))]),
+                ast.ReturnClause(ast.VarRef("a")),
+            ]
+        )
+        assert [name for name, _ in flwor.for_bindings()] == ["a", "b"]
+
+    def test_where_condition_none(self):
+        flwor = ast.FLWOR(
+            [
+                ast.ForClause([("a", doc_path("d", "x"))]),
+                ast.ReturnClause(ast.VarRef("a")),
+            ]
+        )
+        assert flwor.where_condition() is None
+
+    def test_pretty_text_indents_nested_let(self):
+        inner = ast.FLWOR(
+            [
+                ast.ForClause([("b", doc_path("d", "y"))]),
+                ast.ReturnClause(ast.VarRef("b")),
+            ]
+        )
+        flwor = ast.FLWOR(
+            [
+                ast.ForClause([("a", doc_path("d", "x"))]),
+                ast.LetClause("v", inner),
+                ast.ReturnClause(ast.VarRef("a")),
+            ]
+        )
+        pretty = flwor.to_pretty_text()
+        assert "let $v := {" in pretty
+        assert "\n  for $b" in pretty

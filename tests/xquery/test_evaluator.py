@@ -1,0 +1,233 @@
+"""Unit/integration tests for the XQuery evaluator (planned path)."""
+
+import pytest
+
+from repro.database.store import Database
+from repro.xquery.errors import XQueryEvaluationError
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.values import string_value
+
+
+def values(items):
+    return [string_value(item) for item in items]
+
+
+@pytest.fixture(scope="module")
+def db(bib_database):
+    return bib_database
+
+
+class TestPaths:
+    def test_descendant_scan(self, db):
+        result = evaluate_query(db, 'for $t in doc("bib.xml")//title return $t')
+        assert len(result) == 4
+
+    def test_child_step_from_variable(self, db):
+        result = evaluate_query(
+            db, 'for $b in doc("bib.xml")//book return $b/title'
+        )
+        assert len(result) == 4
+
+    def test_attribute_step(self, db):
+        result = evaluate_query(
+            db, 'for $b in doc("bib.xml")//book return $b/@year'
+        )
+        assert sorted(values(result)) == ["1992", "1994", "1999", "2000"]
+
+    def test_descendant_from_variable(self, db):
+        result = evaluate_query(
+            db, 'for $b in doc("bib.xml")//book return $b//last'
+        )
+        assert len(result) == 6
+
+    def test_root_included_in_descendant_scan(self, db):
+        result = evaluate_query(db, 'for $r in doc("bib.xml")//bib return $r')
+        assert len(result) == 1
+
+    def test_star_scan(self, db):
+        result = evaluate_query(db, 'for $e in doc("bib.xml")//* return $e')
+        assert len(result) == len(list(db.document().iter_elements()))
+
+    def test_missing_tag_empty(self, db):
+        assert evaluate_query(db, 'for $x in doc("bib.xml")//zebra return $x') == []
+
+    def test_unknown_document_falls_back_to_single(self, db):
+        result = evaluate_query(db, 'for $t in doc("other.xml")//title return $t')
+        assert len(result) == 4
+
+
+class TestWhere:
+    def test_value_predicate(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where $b/publisher = '
+            '"Addison-Wesley" return $b/title',
+        )
+        assert len(result) == 2
+
+    def test_numeric_predicate_on_attribute(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where $b/@year > 1993 '
+            "return $b/title",
+        )
+        assert len(result) == 3
+
+    def test_conjunction(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where $b/@year > 1993 and '
+            '$b/publisher = "Addison-Wesley" return $b/title',
+        )
+        assert values(result) == ["TCP/IP Illustrated"]
+
+    def test_disjunction(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where $b/@year = 1992 or '
+            "$b/@year = 1994 return $b/title",
+        )
+        assert len(result) == 2
+
+    def test_negation(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where not($b/publisher = '
+            '"Addison-Wesley") return $b/title',
+        )
+        assert len(result) == 2
+
+    def test_contains(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where contains($b/title, "web") '
+            "return $b/title",
+        )
+        assert values(result) == ["Data on the Web"]
+
+    def test_value_join(self, db):
+        result = evaluate_query(
+            db,
+            'for $a in doc("bib.xml")//book, $b in doc("bib.xml")//book '
+            "where $a/price = $b/price and $a/@year != $b/@year "
+            "return $a/title",
+        )
+        # The two Stevens books share a price.
+        assert len(result) == 2
+
+
+class TestMqfInQueries:
+    def test_mqf_relates_book_parts(self, db):
+        result = evaluate_query(
+            db,
+            'for $t in doc("bib.xml")//title, $p in doc("bib.xml")//price '
+            'where mqf($t, $p) and $p < 40 return $t',
+        )
+        assert values(result) == ["Data on the Web"]
+
+    def test_mqf_three_way(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book, $t in doc("bib.xml")//title, '
+            '$p in doc("bib.xml")//publisher where mqf($b, $t, $p) and '
+            '$p = "Addison-Wesley" return $t',
+        )
+        assert len(result) == 2
+
+
+class TestLetAndAggregates:
+    def test_global_aggregate(self, db):
+        result = evaluate_query(
+            db,
+            'let $prices := { for $p in doc("bib.xml")//price return $p } '
+            "return count($prices)",
+        )
+        assert result == [4]
+
+    def test_aggregate_comparison(self, db):
+        result = evaluate_query(
+            db,
+            'let $prices := { for $p in doc("bib.xml")//price return $p } '
+            'for $b in doc("bib.xml")//book, $p in doc("bib.xml")//price '
+            "where mqf($b, $p) and $p = max($prices) return $b/title",
+        )
+        assert values(result) == [
+            "The Economics of Technology and Content for Digital TV"
+        ]
+
+    def test_let_over_outer_variable(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book '
+            "let $authors := { for $a in $b//author return $a } "
+            "where count($authors) >= 3 return $b/title",
+        )
+        assert values(result) == ["Data on the Web"]
+
+
+class TestQuantifiersOrderingConstruction:
+    def test_some_quantifier(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where some $a in $b//author '
+            'satisfies ($a/last = "Suciu") return $b/title',
+        )
+        assert values(result) == ["Data on the Web"]
+
+    def test_every_quantifier(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where every $a in $b//author '
+            'satisfies ($a/last = "Stevens") return $b/title',
+        )
+        # Books with no author satisfy 'every' vacuously.
+        assert len(result) == 3
+
+    def test_order_by_ascending(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book order by $b/title return $b/title',
+        )
+        texts = values(result)
+        assert texts == sorted(texts, key=str.casefold)
+
+    def test_order_by_descending(self, db):
+        result = evaluate_query(
+            db,
+            'for $p in doc("bib.xml")//price order by $p descending return $p',
+        )
+        numbers = [float(v) for v in values(result)]
+        assert numbers == sorted(numbers, reverse=True)
+
+    def test_element_constructor(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where $b/@year = 2000 '
+            "return <result>{ $b/title }</result>",
+        )
+        assert len(result) == 1
+        assert result[0].tag == "result"
+        assert result[0].string_value() == "Data on the Web"
+
+    def test_sequence_return(self, db):
+        result = evaluate_query(
+            db,
+            'for $b in doc("bib.xml")//book where $b/@year = 2000 '
+            "return ($b/title, $b/publisher)",
+        )
+        assert values(result) == ["Data on the Web",
+                                  "Morgan Kaufmann Publishers"]
+
+
+class TestErrors:
+    def test_unbound_variable(self, db):
+        with pytest.raises(XQueryEvaluationError):
+            evaluate_query(db, 'for $a in doc("bib.xml")//book return $other')
+
+    def test_mqf_requires_variables(self, db):
+        with pytest.raises(XQueryEvaluationError):
+            evaluate_query(
+                db,
+                'for $a in doc("bib.xml")//book where mqf($a, doc("bib.xml")'
+                "//title) return $a",
+            )

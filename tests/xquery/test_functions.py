@@ -1,0 +1,124 @@
+"""Unit tests for the built-in function library."""
+
+import pytest
+
+from repro.xmlstore.model import ElementNode, TextNode
+from repro.xquery.errors import XQueryEvaluationError, XQueryTypeError
+from repro.xquery.functions import call_builtin, is_aggregate
+
+
+def element(text):
+    node = ElementNode("e")
+    node.append(TextNode(str(text)))
+    return node
+
+
+class TestAggregates:
+    def test_count(self):
+        assert call_builtin("count", [[1, 2, 3]]) == [3]
+        assert call_builtin("count", [[]]) == [0]
+
+    def test_sum(self):
+        assert call_builtin("sum", [[element(1), element(2)]]) == [3.0]
+        assert call_builtin("sum", [[]]) == [0]
+
+    def test_avg(self):
+        assert call_builtin("avg", [[element(2), element(4)]]) == [3.0]
+        assert call_builtin("avg", [[]]) == []
+
+    def test_min_max_numeric(self):
+        values = [[element(5), element(1), element(3)]]
+        assert call_builtin("min", values) == [1.0]
+        assert call_builtin("max", values) == [5.0]
+
+    def test_min_max_strings(self):
+        values = [[element("pear"), element("Apple")]]
+        assert call_builtin("min", values) == ["apple"]
+        assert call_builtin("max", values) == ["pear"]
+
+    def test_min_empty(self):
+        assert call_builtin("min", [[]]) == []
+
+    def test_sum_rejects_non_numeric(self):
+        with pytest.raises(XQueryTypeError):
+            call_builtin("sum", [[element("abc")]])
+
+    def test_is_aggregate(self):
+        assert is_aggregate("count")
+        assert is_aggregate("min")
+        assert not is_aggregate("contains")
+
+
+class TestPredicatesAndConversions:
+    def test_empty_exists(self):
+        assert call_builtin("empty", [[]]) == [True]
+        assert call_builtin("exists", [[1]]) == [True]
+
+    def test_string(self):
+        assert call_builtin("string", [[element("x")]]) == ["x"]
+        assert call_builtin("string", [[]]) == [""]
+
+    def test_number(self):
+        assert call_builtin("number", [[element("42")]]) == [42.0]
+
+    def test_number_rejects_text(self):
+        with pytest.raises(XQueryTypeError):
+            call_builtin("number", [[element("abc")]])
+
+    def test_distinct_values(self):
+        values = [[element("A"), element("a"), element("b")]]
+        assert call_builtin("distinct-values", values) == ["A", "b"]
+
+    def test_contains(self):
+        assert call_builtin(
+            "contains", [[element("Data on the Web")], ["WEB"]]
+        ) == [True]
+        assert call_builtin(
+            "contains", [[element("Data")], ["xml"]]
+        ) == [False]
+
+    def test_contains_empty_haystack(self):
+        assert call_builtin("contains", [[], ["x"]]) == [False]
+
+
+class TestDispatchErrors:
+    def test_unknown_function(self):
+        with pytest.raises(XQueryEvaluationError):
+            call_builtin("frobnicate", [[]])
+
+    def test_wrong_arity(self):
+        with pytest.raises(XQueryEvaluationError):
+            call_builtin("count", [[], []])
+        with pytest.raises(XQueryEvaluationError):
+            call_builtin("contains", [[]])
+
+
+class TestStringFunctions:
+    def test_starts_with(self):
+        assert call_builtin(
+            "starts-with", [[element("Data on the Web")], ["data"]]
+        ) == [True]
+        assert call_builtin(
+            "starts-with", [[element("Data")], ["Web"]]
+        ) == [False]
+
+    def test_ends_with(self):
+        assert call_builtin(
+            "ends-with", [[element("Data on the Web")], ["WEB"]]
+        ) == [True]
+
+    def test_string_length(self):
+        assert call_builtin("string-length", [[element("abc")]]) == [3]
+        assert call_builtin("string-length", [[]]) == [0]
+
+    def test_concat(self):
+        assert call_builtin(
+            "concat", [[element("a")], [element("b")], [element("c")]]
+        ) == ["abc"]
+
+    def test_concat_arity(self):
+        with pytest.raises(XQueryEvaluationError):
+            call_builtin("concat", [[element("a")]])
+
+    def test_concat_empty_argument(self):
+        assert call_builtin("concat", [[element("a")], []]) == ["a"]

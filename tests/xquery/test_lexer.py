@@ -1,0 +1,65 @@
+"""Unit tests for the XQuery lexer."""
+
+import pytest
+
+from repro.xquery.errors import XQueryParseError
+from repro.xquery.lexer import tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)][:-1]  # drop eof
+
+
+def texts(text):
+    return [token.text for token in tokenize(text)][:-1]
+
+
+class TestTokenKinds:
+    def test_keywords(self):
+        assert kinds("for let where return in") == ["keyword"] * 5
+
+    def test_variables(self):
+        assert kinds("$v1 $vars2") == ["var", "var"]
+
+    def test_strings(self):
+        assert kinds('"hello world"') == ["string"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize('"say ""hi"""')
+        assert tokens[0].text == '"say ""hi"""'
+
+    def test_numbers(self):
+        assert kinds("42 3.14") == ["number", "number"]
+
+    def test_names(self):
+        assert kinds("title booktitle distinct-values") == ["name"] * 3
+
+    def test_symbols(self):
+        assert texts(":= != <= >= // / @ | ( ) { } , = < > *") == [
+            ":=", "!=", "<=", ">=", "//", "/", "@", "|", "(", ")",
+            "{", "}", ",", "=", "<", ">", "*",
+        ]
+
+    def test_path_expression(self):
+        assert texts('doc("m")//movie/title') == [
+            "doc", "(", '"m"', ")", "//", "movie", "/", "title",
+        ]
+
+    def test_whitespace_ignored(self):
+        assert kinds("  for\n\t$v  ") == ["keyword", "var"]
+
+    def test_eof_token(self):
+        tokens = tokenize("$v")
+        assert tokens[-1].kind == "eof"
+
+    def test_positions(self):
+        tokens = tokenize("for $v")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 4
+
+
+class TestLexerErrors:
+    @pytest.mark.parametrize("text", ["#", "`", "$"])
+    def test_junk_raises(self, text):
+        with pytest.raises(XQueryParseError):
+            tokenize(text)

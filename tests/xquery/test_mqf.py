@@ -1,0 +1,189 @@
+"""Unit tests for the MQF / MLCAS structural machinery.
+
+The ground truth throughout is the paper's Sec. 2 example: in the
+Figure 1 movie database, ``mqf(director, title)`` must pair each title
+with the director *of the same movie*, never with a director of a
+different movie, and never through the document root.
+"""
+
+from repro.data import movies_document
+from repro.xquery.mqf import (
+    CandidateSet,
+    anchor,
+    meaningful_pairs,
+    meaningfully_related,
+    mqf_join,
+    mqf_predicate,
+)
+
+
+def nodes_by_tag(document, tag):
+    return [node for node in document.iter_elements() if node.tag == tag]
+
+
+class TestAnchor:
+    def test_anchor_of_title_among_directors_is_movie(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        directors = CandidateSet(nodes_by_tag(document, "director"))
+        for title in titles:
+            anchored = anchor(title, directors)
+            assert anchored.tag == "movie"
+            assert anchored is title.parent
+
+    def test_anchor_empty_set_is_none(self):
+        document = movies_document()
+        title = nodes_by_tag(document, "title")[0]
+        assert anchor(title, CandidateSet([])) is None
+
+    def test_anchor_excludes_self(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        candidates = CandidateSet(titles)
+        anchored = anchor(titles[0], candidates)
+        # Nearest other title shares only the year (or root) ancestor.
+        assert anchored.tag in ("year", "movies")
+
+
+class TestPairwiseMeaningfulness:
+    def test_same_movie_pair_is_meaningful(self):
+        document = movies_document()
+        titles = CandidateSet(nodes_by_tag(document, "title"))
+        directors = CandidateSet(nodes_by_tag(document, "director"))
+        for movie in nodes_by_tag(document, "movie"):
+            title = movie.child_elements("title")[0]
+            director = movie.child_elements("director")[0]
+            assert meaningfully_related(title, director, titles, directors)
+
+    def test_cross_movie_pair_is_not_meaningful(self):
+        document = movies_document()
+        titles = CandidateSet(nodes_by_tag(document, "title"))
+        directors = CandidateSet(nodes_by_tag(document, "director"))
+        movies = nodes_by_tag(document, "movie")
+        title = movies[0].child_elements("title")[0]
+        director = movies[1].child_elements("director")[0]
+        assert not meaningfully_related(title, director, titles, directors)
+
+    def test_node_with_itself_is_meaningful(self):
+        document = movies_document()
+        titles = CandidateSet(nodes_by_tag(document, "title"))
+        title = nodes_by_tag(document, "title")[0]
+        assert meaningfully_related(title, title, titles, titles)
+
+    def test_ancestor_descendant_is_meaningful(self):
+        document = movies_document()
+        movies = CandidateSet(nodes_by_tag(document, "movie"))
+        titles = CandidateSet(nodes_by_tag(document, "title"))
+        movie = nodes_by_tag(document, "movie")[0]
+        title = movie.child_elements("title")[0]
+        assert meaningfully_related(movie, title, movies, titles)
+
+
+class TestMeaningfulPairs:
+    def test_title_director_pairs_match_movies(self):
+        document = movies_document()
+        titles = CandidateSet(nodes_by_tag(document, "title"))
+        directors = CandidateSet(nodes_by_tag(document, "director"))
+        pairs = meaningful_pairs(titles, directors)
+        assert len(pairs) == 5
+        for title, director in pairs:
+            assert title.parent is director.parent
+
+    def test_pairs_agree_with_predicate(self):
+        document = movies_document()
+        titles = CandidateSet(nodes_by_tag(document, "title"))
+        directors = CandidateSet(nodes_by_tag(document, "director"))
+        pairs = {
+            (title.node_id, director.node_id)
+            for title, director in meaningful_pairs(titles, directors)
+        }
+        brute = {
+            (title.node_id, director.node_id)
+            for title in titles
+            for director in directors
+            if meaningfully_related(title, director, titles, directors)
+        }
+        assert pairs == brute
+
+    def test_population_distinct_from_candidates(self):
+        """Filtering candidates must not change who the competitors are."""
+        document = movies_document()
+        all_directors = nodes_by_tag(document, "director")
+        ron = [d for d in all_directors if d.string_value() == "Ron Howard"]
+        movies = nodes_by_tag(document, "movie")
+        pairs = meaningful_pairs(
+            CandidateSet(movies),
+            CandidateSet(ron),
+            CandidateSet(movies),
+            CandidateSet(all_directors),
+        )
+        # Exactly Ron Howard's three movies.
+        assert len(pairs) == 3
+        for movie, director in pairs:
+            assert director.parent is movie
+
+    def test_without_population_filtering_overmatches(self):
+        """Using filtered candidate sets as the competitor populations is
+        wrong: with both sides filtered to nodes from *different* movies,
+        their anchors collapse to the root and the pair spuriously
+        becomes "meaningful". This is why the planner passes the
+        unfiltered populations explicitly."""
+        from repro.xmlstore.parser import parse_document
+
+        document = parse_document(
+            "<db><m><d>A</d><t>T1</t></m><m><d>B</d><t>T2</t></m></db>"
+        )
+        directors = [n for n in document.iter_elements() if n.tag == "d"]
+        titles = [n for n in document.iter_elements() if n.tag == "t"]
+        director_a = [directors[0]]  # belongs to the first movie
+        title_2 = [titles[1]]        # belongs to the second movie
+
+        honest = meaningful_pairs(
+            CandidateSet(title_2),
+            CandidateSet(director_a),
+            CandidateSet(titles),
+            CandidateSet(directors),
+        )
+        assert honest == []
+
+        cheating = meaningful_pairs(
+            CandidateSet(title_2), CandidateSet(director_a)
+        )
+        assert len(cheating) == 1
+
+
+class TestMultiwayJoin:
+    def test_three_way_join(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        directors = nodes_by_tag(document, "director")
+        movies = nodes_by_tag(document, "movie")
+        tuples = mqf_join([titles, movies, directors])
+        assert len(tuples) == 5
+        for title, movie, director in tuples:
+            assert title.parent is movie
+            assert director.parent is movie
+
+    def test_single_set(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        assert mqf_join([titles]) == [(t,) for t in titles]
+
+    def test_empty_input(self):
+        assert mqf_join([]) == []
+        assert mqf_join([[], []]) == []
+
+    def test_predicate_form(self):
+        document = movies_document()
+        titles = nodes_by_tag(document, "title")
+        directors = nodes_by_tag(document, "director")
+        title_set = CandidateSet(titles)
+        director_set = CandidateSet(directors)
+        movie = nodes_by_tag(document, "movie")[0]
+        good = [movie.child_elements("title")[0],
+                movie.child_elements("director")[0]]
+        assert mqf_predicate(good, [title_set, director_set])
+        other = nodes_by_tag(document, "movie")[1]
+        bad = [movie.child_elements("title")[0],
+               other.child_elements("director")[0]]
+        assert not mqf_predicate(bad, [title_set, director_set])

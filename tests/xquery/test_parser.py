@@ -1,0 +1,136 @@
+"""Unit tests for the XQuery parser and AST round-tripping."""
+
+import pytest
+
+from repro.xquery import ast
+from repro.xquery.errors import XQueryParseError
+from repro.xquery.parser import parse_xquery
+
+ROUNDTRIP_QUERIES = [
+    'for $v in doc("m")//movie return $v',
+    'for $v in doc("m")//movie, $d in doc("m")//director where mqf($v, $d) '
+    'return $v',
+    'for $b in doc("bib")//book where $b/@year > 1991 return $b/title',
+    'for $b in doc("bib")//book order by $b/title return $b',
+    'for $b in doc("bib")//book order by $b/title descending return $b',
+    'let $vars1 := { for $p in doc("bib")//price return $p } '
+    'return avg($vars1)',
+    'for $b in doc("bib")//book where some $a in $b//author satisfies '
+    '($a = "X") return $b',
+    'for $b in doc("bib")//book where not($b/title = "X") return $b',
+    'for $t in doc("d")//(title|booktitle) return $t',
+    'for $b in doc("bib")//book where $b/title = "X" and $b/@year = 1991 '
+    'return ($b/title, $b/@year)',
+    'for $b in doc("bib")//book where contains($b/title, "XML") return $b',
+    'for $v1 in doc("m")//director let $vars1 := { for $v2 in doc("m")//movie '
+    'where mqf($v2, $v1) return $v2 } where count($vars1) >= 2 return $v1',
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("query", ROUNDTRIP_QUERIES)
+    def test_text_roundtrip(self, query):
+        parsed = parse_xquery(query)
+        assert parse_xquery(parsed.to_text()) == parsed
+
+    @pytest.mark.parametrize("query", ROUNDTRIP_QUERIES)
+    def test_pretty_text_parses(self, query):
+        parsed = parse_xquery(query)
+        if isinstance(parsed, ast.FLWOR):
+            assert parse_xquery(parsed.to_pretty_text()) == parsed
+
+
+class TestStructure:
+    def test_for_bindings(self):
+        parsed = parse_xquery(
+            'for $a in doc("d")//x, $b in doc("d")//y return $a'
+        )
+        assert [var for var, _ in parsed.for_bindings()] == ["a", "b"]
+
+    def test_where_condition_flattens(self):
+        parsed = parse_xquery(
+            'for $a in doc("d")//x where $a = 1 and $a = 2 and $a = 3 '
+            "return $a"
+        )
+        condition = parsed.where_condition()
+        assert isinstance(condition, ast.And)
+        assert len(condition.items) == 3
+
+    def test_or_precedence(self):
+        parsed = parse_xquery(
+            'for $a in doc("d")//x where $a = 1 or $a = 2 and $a = 3 '
+            "return $a"
+        )
+        condition = parsed.where_condition()
+        assert isinstance(condition, ast.Or)
+        assert isinstance(condition.items[1], ast.And)
+
+    def test_nested_let_flwor(self):
+        parsed = parse_xquery(
+            'let $v := { for $x in doc("d")//y return $x } return count($v)'
+        )
+        let_clause = parsed.clauses[0]
+        assert isinstance(let_clause, ast.LetClause)
+        assert isinstance(let_clause.expr, ast.FLWOR)
+
+    def test_path_steps(self):
+        parsed = parse_xquery('for $a in doc("d")//x/y/@z return $a')
+        path = parsed.for_bindings()[0][1]
+        assert [step.axis for step in path.steps] == [
+            ast.Step.DESCENDANT,
+            ast.Step.CHILD,
+            ast.Step.ATTRIBUTE,
+        ]
+
+    def test_alternation_tags(self):
+        parsed = parse_xquery('for $a in doc("d")//(x|y) return $a')
+        path = parsed.for_bindings()[0][1]
+        assert path.steps[0].matches_tags() == {"x", "y"}
+
+    def test_star_test(self):
+        parsed = parse_xquery('for $a in doc("d")//* return $a')
+        path = parsed.for_bindings()[0][1]
+        assert path.steps[0].matches_tags() is None
+
+    def test_not_function_becomes_not_node(self):
+        parsed = parse_xquery('for $a in doc("d")//x where not($a = 1) return $a')
+        assert isinstance(parsed.where_condition(), ast.Not)
+
+    def test_element_constructor(self):
+        parsed = parse_xquery(
+            'for $a in doc("d")//x return <result>{ $a }</result>'
+        )
+        constructor = parsed.return_expr()
+        assert isinstance(constructor, ast.ElementConstructor)
+        assert constructor.tag == "result"
+
+    def test_string_literal_unescaping(self):
+        parsed = parse_xquery('for $a in doc("d")//x where $a = "a""b" return $a')
+        assert parsed.where_condition().right.value == 'a"b'
+
+    def test_numeric_literals(self):
+        parsed = parse_xquery('for $a in doc("d")//x where $a = 3.5 return $a')
+        assert parsed.where_condition().right.value == 3.5
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "",
+            "for $a return $a",
+            'for $a in doc("d")//x',
+            'for $a in doc("d")//x return',
+            'let $v = 1 return $v',
+            'for $a in doc("d")//x where return $a',
+            'for $a in doc("d")//x return $a extra',
+            '<a>{ $v }</b>',
+        ],
+    )
+    def test_bad_queries_raise(self, query):
+        with pytest.raises(XQueryParseError):
+            parse_xquery(query)
+
+    def test_flwor_requires_return(self):
+        with pytest.raises(ValueError):
+            ast.FLWOR([ast.ForClause([("a", ast.Literal(1))])])

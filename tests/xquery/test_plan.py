@@ -1,0 +1,154 @@
+"""Unit tests for the conjunctive planner."""
+
+import pytest
+
+from repro.xquery import ast
+from repro.xquery.errors import XQueryEvaluationError
+from repro.xquery.parser import parse_xquery
+from repro.xquery.plan import (
+    build_plan,
+    enumerate_tuples,
+    flatten_conjuncts,
+    free_variables,
+    is_plannable,
+)
+
+
+def flwor(text):
+    return parse_xquery(text)
+
+
+class TestFreeVariables:
+    def test_simple(self):
+        expr = parse_xquery('for $a in doc("d")//x where $a = $b return $a')
+        assert free_variables(expr) == {"a", "b"}
+
+    def test_nested_flwor(self):
+        expr = parse_xquery(
+            'let $v := { for $x in doc("d")//y where $x = $outer return $x } '
+            "return count($v)"
+        )
+        assert "outer" in free_variables(expr)
+
+    def test_quantifier_variable(self):
+        expr = parse_xquery(
+            'for $a in doc("d")//x where some $q in $a//y satisfies '
+            "($q = 1) return $a"
+        )
+        assert "q" in free_variables(expr)
+
+
+class TestFlattenConjuncts:
+    def test_none(self):
+        assert flatten_conjuncts(None) == []
+
+    def test_nested_and(self):
+        condition = ast.And(
+            [
+                ast.And([ast.Literal(1), ast.Literal(2)]),
+                ast.Literal(3),
+            ]
+        )
+        assert len(flatten_conjuncts(condition)) == 3
+
+    def test_or_is_single_conjunct(self):
+        condition = ast.Or([ast.Literal(1), ast.Literal(2)])
+        assert flatten_conjuncts(condition) == [condition]
+
+
+class TestPlannable:
+    def test_standard_shape(self):
+        assert is_plannable(
+            flwor('for $a in doc("d")//x where $a = 1 return $a')
+        )
+
+    def test_with_lets(self):
+        assert is_plannable(
+            flwor(
+                'for $a in doc("d")//x let $v := count($a) where $v = 1 '
+                "return $a"
+            )
+        )
+
+    def test_let_before_for_not_plannable(self):
+        assert not is_plannable(
+            flwor('let $v := 1 for $a in doc("d")//x return $a')
+        )
+
+    def test_let_only_not_plannable(self):
+        assert not is_plannable(flwor("let $v := 1 return $v"))
+
+
+class TestBuildPlan:
+    def test_classification(self):
+        query = flwor(
+            'for $a in doc("d")//x, $b in doc("d")//y '
+            'let $v := count($a) '
+            'where mqf($a, $b) and $a = "k" and $a = $b and count($v) = 1 '
+            "return $a"
+        )
+        plan = build_plan(query, ["v"], set())
+        assert len(plan.mqf_groups) == 1
+        assert plan.mqf_groups[0].variables == ["a", "b"]
+        assert len(plan.single_var_predicates["a"]) == 1
+        # $a = $b crosses variables; count($v) touches a let var.
+        assert len(plan.residual_conjuncts) == 2
+
+    def test_outer_variable_predicate_is_single_var(self):
+        query = flwor(
+            'for $a in doc("d")//x where $a = $outer return $a'
+        )
+        plan = build_plan(query, [], {"outer"})
+        assert len(plan.single_var_predicates["a"]) == 1
+
+    def test_second_mqf_sharing_vars_becomes_extra(self):
+        query = flwor(
+            'for $a in doc("d")//x, $b in doc("d")//y, $c in doc("d")//z '
+            "where mqf($a, $b) and mqf($b, $c) return $a"
+        )
+        plan = build_plan(query, [], set())
+        assert len(plan.mqf_groups) == 1
+        assert len(plan.extra_mqf_conjuncts) == 1
+
+
+class TestEnumerateTuples:
+    def test_cross_product_of_singleton_streams(self):
+        query = flwor(
+            'for $a in doc("d")//x, $b in doc("d")//y return $a'
+        )
+        plan = build_plan(query, [], set())
+        tuples = enumerate_tuples(
+            plan, {"a": [1, 2], "b": [10]}, {"a": [1, 2], "b": [10]}
+        )
+        assert tuples == [{"a": 1, "b": 10}, {"a": 2, "b": 10}]
+
+    def test_cross_product_guard(self):
+        query = flwor(
+            'for $a in doc("d")//x, $b in doc("d")//y return $a'
+        )
+        plan = build_plan(query, [], set())
+        big = list(range(4000))
+        with pytest.raises(XQueryEvaluationError):
+            enumerate_tuples(plan, {"a": big, "b": big}, {"a": big, "b": big})
+
+    def test_mqf_over_non_nodes_rejected(self):
+        query = flwor(
+            'for $a in doc("d")//x, $b in doc("d")//y where mqf($a, $b) '
+            "return $a"
+        )
+        plan = build_plan(query, [], set())
+        with pytest.raises(XQueryEvaluationError):
+            enumerate_tuples(plan, {"a": [1], "b": [2]},
+                             {"a": [1], "b": [2]})
+
+    def test_dependent_bindings_not_plannable(self):
+        assert not is_plannable(
+            flwor('for $b in doc("d")//book, $a in $b//author return $a')
+        )
+
+    def test_independent_bindings_plannable(self):
+        assert is_plannable(
+            flwor(
+                'for $b in doc("d")//book, $a in doc("d")//author return $a'
+            )
+        )

@@ -1,0 +1,110 @@
+"""Property-based tests for the query engine.
+
+The central invariant: for every query in the generated family, the
+**planned** evaluation (index scans + MQF structural join) returns
+exactly the same multiset of results as the **naive** nested-loop
+reference semantics, on randomly generated movie-catalog documents.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.database.store import Database
+from repro.xmlstore.model import Document, ElementNode
+from repro.xquery.evaluator import evaluate_query
+from repro.xquery.values import string_value
+
+_titles = st.sampled_from(["T1", "T2", "T3", "T4", "T5"])
+_directors = st.sampled_from(["Ann", "Bob", "Cho", "Dee"])
+_years = st.sampled_from(["1999", "2000", "2001"])
+
+
+@st.composite
+def movie_documents(draw):
+    """Random catalogs: year groups, movies with title+director, and
+    occasionally nested double features (structure variety for mqf)."""
+    root = ElementNode("movies")
+    for year_text in draw(st.lists(_years, min_size=1, max_size=3)):
+        year = root.append_element("year", year_text)
+        for _ in range(draw(st.integers(0, 3))):
+            movie = year.append_element("movie")
+            movie.append_element("title", draw(_titles))
+            movie.append_element("director", draw(_directors))
+            if draw(st.booleans()):
+                extra = movie.append_element("movie")
+                extra.append_element("title", draw(_titles))
+                extra.append_element("director", draw(_directors))
+    return Document(root, name="m.xml")
+
+
+QUERIES = [
+    'for $t in doc("m.xml")//title return $t',
+    'for $m in doc("m.xml")//movie, $d in doc("m.xml")//director '
+    "where mqf($m, $d) return ($m/title, $d)",
+    'for $t in doc("m.xml")//title, $d in doc("m.xml")//director '
+    'where mqf($t, $d) and $d = "Ann" return $t',
+    'for $y in doc("m.xml")//year, $m in doc("m.xml")//movie '
+    "where mqf($y, $m) return $m/title",
+    'for $m in doc("m.xml")//movie where $m/title = "T1" return $m/director',
+    'for $d in doc("m.xml")//director '
+    'let $vars := { for $d2 in doc("m.xml")//director, '
+    '$m in doc("m.xml")//movie where mqf($m, $d2) and $d2 = $d return $m } '
+    "where count($vars) >= 1 return $d",
+    'for $t in doc("m.xml")//title order by $t return $t',
+    'for $m in doc("m.xml")//movie where some $t in $m//title satisfies '
+    '($t = "T1") return $m/director',
+]
+
+
+def _signature(items):
+    return sorted(
+        (string_value(item), getattr(item, "node_id", None)) for item in items
+    )
+
+
+@given(movie_documents(), st.sampled_from(QUERIES))
+@settings(max_examples=80, deadline=None)
+def test_planned_matches_naive(document, query):
+    database = Database()
+    database.load_document(document)
+    planned = evaluate_query(database, query, use_planner=True)
+    naive = evaluate_query(database, query, use_planner=False)
+    assert _signature(planned) == _signature(naive)
+
+
+@given(movie_documents())
+@settings(max_examples=40, deadline=None)
+def test_mqf_pairs_are_symmetric(document):
+    """mqf($a,$b) and mqf($b,$a) return the same relation."""
+    database = Database()
+    database.load_document(document)
+    forward = evaluate_query(
+        database,
+        'for $m in doc("m.xml")//movie, $d in doc("m.xml")//director '
+        "where mqf($m, $d) return ($m, $d)",
+    )
+    backward = evaluate_query(
+        database,
+        'for $d in doc("m.xml")//director, $m in doc("m.xml")//movie '
+        "where mqf($d, $m) return ($m, $d)",
+    )
+    assert _signature(forward) == _signature(backward)
+
+
+@given(movie_documents())
+@settings(max_examples=40, deadline=None)
+def test_mqf_subset_of_cross_product(document):
+    database = Database()
+    database.load_document(document)
+    joined = evaluate_query(
+        database,
+        'for $t in doc("m.xml")//title, $d in doc("m.xml")//director '
+        "where mqf($t, $d) return ($t, $d)",
+    )
+    cross = evaluate_query(
+        database,
+        'for $t in doc("m.xml")//title, $d in doc("m.xml")//director '
+        "return ($t, $d)",
+    )
+    joined_ids = {tuple(x.node_id for x in pair) for pair in zip(joined[::2], joined[1::2])}
+    cross_ids = {tuple(x.node_id for x in pair) for pair in zip(cross[::2], cross[1::2])}
+    assert joined_ids <= cross_ids

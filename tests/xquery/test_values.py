@@ -1,0 +1,119 @@
+"""Unit tests for the value model (atomization, EBV, comparison)."""
+
+import pytest
+
+from repro.xmlstore.model import ElementNode, TextNode
+from repro.xquery.errors import XQueryTypeError
+from repro.xquery.values import (
+    atomize,
+    compare_atomic,
+    effective_boolean_value,
+    general_compare,
+    sort_key,
+    string_value,
+)
+
+
+def element(text):
+    node = ElementNode("e")
+    node.append(TextNode(text))
+    return node
+
+
+class TestAtomize:
+    def test_numeric_text_becomes_number(self):
+        assert atomize(element("1991")) == 1991.0
+
+    def test_float_text(self):
+        assert atomize(element("65.95")) == 65.95
+
+    def test_plain_text_stays_string(self):
+        assert atomize(element("Traffic")) == "Traffic"
+
+    def test_whitespace_trimmed(self):
+        assert atomize(element("  42 ")) == 42.0
+
+    def test_atomics_pass_through(self):
+        assert atomize(5) == 5
+        assert atomize("x") == "x"
+        assert atomize(True) is True
+
+
+class TestEffectiveBooleanValue:
+    def test_empty_is_false(self):
+        assert effective_boolean_value([]) is False
+
+    def test_node_is_true(self):
+        assert effective_boolean_value([element("")]) is True
+
+    def test_boolean_passthrough(self):
+        assert effective_boolean_value([False]) is False
+        assert effective_boolean_value([True]) is True
+
+    def test_zero_is_false(self):
+        assert effective_boolean_value([0]) is False
+        assert effective_boolean_value([0.5]) is True
+
+    def test_empty_string_false(self):
+        assert effective_boolean_value([""]) is False
+        assert effective_boolean_value(["x"]) is True
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(XQueryTypeError):
+            effective_boolean_value([1, 2])
+
+
+class TestComparison:
+    def test_numeric_comparison(self):
+        assert compare_atomic(">", 2000, 1991)
+        assert not compare_atomic("<", 2000, 1991)
+
+    def test_string_number_coercion(self):
+        assert compare_atomic("=", "1991", 1991)
+        assert compare_atomic(">", "2000", 1991)
+
+    def test_case_insensitive_string_equality(self):
+        assert compare_atomic("=", "Addison-Wesley", "addison-wesley")
+
+    def test_string_whitespace_trimmed(self):
+        assert compare_atomic("=", " Traffic ", "Traffic")
+
+    def test_inequality_ops(self):
+        assert compare_atomic("!=", "a", "b")
+        assert compare_atomic("<=", 1, 1)
+        assert compare_atomic(">=", 2, 1)
+
+    def test_general_compare_is_existential(self):
+        left = [element("Traffic"), element("Tribute")]
+        assert general_compare("=", left, ["tribute"])
+        assert not general_compare("=", left, ["nothing"])
+
+    def test_general_compare_empty_is_false(self):
+        assert not general_compare("=", [], ["x"])
+        assert not general_compare("=", ["x"], [])
+
+
+class TestSortKey:
+    def test_empty_sorts_first(self):
+        assert sort_key([]) < sort_key([element("a")])
+
+    def test_numbers_before_strings(self):
+        assert sort_key([element("5")]) < sort_key([element("abc")])
+
+    def test_numeric_order(self):
+        assert sort_key([2]) < sort_key([10])
+
+    def test_string_case_insensitive(self):
+        assert sort_key(["Apple"]) == sort_key(["apple"])
+
+
+class TestStringValue:
+    def test_node(self):
+        assert string_value(element("x")) == "x"
+
+    def test_float_integer_formatting(self):
+        assert string_value(3.0) == "3"
+        assert string_value(3.5) == "3.5"
+
+    def test_boolean(self):
+        assert string_value(True) == "true"
