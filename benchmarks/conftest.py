@@ -2,7 +2,16 @@
 
 The expensive artifacts (the DBLP database and the full 18-participant
 study run) are session-scoped so each bench module reuses them.
+
+At session end, a snapshot of the process metrics registry (pipeline
+stage-latency histograms, validator/evaluator/planner counters) is
+written next to this file as ``BENCH_METRICS.json`` so benchmark result
+entries carry per-stage data, not just end-to-end numbers.
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
@@ -10,6 +19,24 @@ from repro.core.interface import NaLIX
 from repro.data import generate_dblp, movies_document
 from repro.database.store import Database
 from repro.evaluation.study import Study, StudyConfig
+from repro.obs.metrics import METRICS
+
+_METRICS_SNAPSHOT_PATH = pathlib.Path(__file__).parent / "BENCH_METRICS.json"
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the metrics registry alongside the benchmark results."""
+    snapshot = METRICS.snapshot()
+    if not snapshot["counters"].get("pipeline.queries"):
+        return  # nothing ran through the pipeline; keep the last dump
+    payload = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "exitstatus": int(exitstatus),
+        "metrics": snapshot,
+    }
+    _METRICS_SNAPSHOT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
 
 @pytest.fixture(scope="session")

@@ -91,7 +91,6 @@ def test_feedback_ablation(benchmark):
     paper's interactive reformulation design.
     """
     from repro.evaluation.study import Study, StudyConfig
-    from repro.evaluation.users import Participant
 
     class NoFeedbackStudy(Study):
         def _run_nalix_cell(self, participant, task):

@@ -6,12 +6,18 @@ Subcommands::
     python -m repro repl    [--data ...]          # interactive loop
     python -m repro xquery  [--data ...] "QUERY"  # raw Schema-Free XQuery
     python -m repro tasks   [--books N]           # run the 9 XMP tasks
+    python -m repro stats   [--books N]           # per-stage latency/failures
     python -m repro study   [--participants N] [--seed S]
     python -m repro generate [--books N] [--seed S] [--out FILE]
 
 Each command builds its database from the named built-in dataset (or an
 XML file path) and prints human-readable output; exit status is non-zero
 when a query is rejected.
+
+Observability flags (see README.md "Observability"): ``--trace`` prints
+the span tree of each query, ``--metrics`` dumps the process metrics
+registry as JSON on exit, and ``--audit-log PATH`` appends one JSONL
+record per query.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ import sys
 from repro.core.interface import NaLIX
 from repro.data import DblpConfig, bib_document, generate_dblp, movies_document
 from repro.database.store import Database
+from repro.obs.audit import STAGES, AuditLog
+from repro.obs.metrics import METRICS
 from repro.xquery.errors import XQueryError
 from repro.xquery.evaluator import evaluate_query
 from repro.xquery.values import string_value
@@ -41,9 +49,23 @@ def load_database(spec, books=120, seed=7):
     return database
 
 
-def _print_result(result, show_xquery=True):
+def _open_audit_log(args):
+    path = getattr(args, "audit_log", None)
+    if not path:
+        return None
+    try:
+        with open(path, "a", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot open audit log {path!r}: {exc}")
+    return AuditLog(path, actor="cli")
+
+
+def _print_result(result, show_xquery=True, show_trace=False):
     if not result.ok:
         print(result.render_feedback())
+        if show_trace and result.trace is not None:
+            print(result.trace.render())
         return False
     if show_xquery:
         print("XQuery:", result.xquery_text)
@@ -55,19 +77,37 @@ def _print_result(result, show_xquery=True):
         print(" ", value)
     if len(values) > 50:
         print(f"  ... and {len(values) - 50} more")
+    if show_trace and result.trace is not None:
+        print(result.trace.render())
     return True
+
+
+def _finish(args, audit, exit_code):
+    """Shared teardown: close the audit log, honour ``--metrics``."""
+    if audit is not None:
+        audit.close()
+        print(f"audit log: {audit.path}")
+    if getattr(args, "metrics", False):
+        print(METRICS.to_json())
+    return exit_code
 
 
 def cmd_query(args):
     database = load_database(args.data, books=args.books, seed=args.seed)
-    nalix = NaLIX(database)
-    ok = _print_result(nalix.ask(args.sentence), show_xquery=not args.quiet)
-    return 0 if ok else 1
+    audit = _open_audit_log(args)
+    nalix = NaLIX(database, audit_log=audit)
+    ok = _print_result(
+        nalix.ask(args.sentence),
+        show_xquery=not args.quiet,
+        show_trace=args.trace,
+    )
+    return _finish(args, audit, 0 if ok else 1)
 
 
 def cmd_repl(args):
     database = load_database(args.data, books=args.books, seed=args.seed)
-    nalix = NaLIX(database)
+    audit = _open_audit_log(args)
+    nalix = NaLIX(database, audit_log=audit)
     print(database)
     print("Type an English query (empty line to quit).")
     while True:
@@ -77,8 +117,10 @@ def cmd_repl(args):
             break
         if not line:
             break
-        _print_result(nalix.ask(line), show_xquery=not args.quiet)
-    return 0
+        _print_result(
+            nalix.ask(line), show_xquery=not args.quiet, show_trace=args.trace
+        )
+    return _finish(args, audit, 0)
 
 
 def cmd_xquery(args):
@@ -101,7 +143,8 @@ def cmd_tasks(args):
     from repro.evaluation.tasks import TASKS
 
     database = load_database("dblp", books=args.books, seed=args.seed)
-    nalix = NaLIX(database)
+    audit = _open_audit_log(args)
+    nalix = NaLIX(database, audit_log=audit)
     failures = 0
     for task in TASKS:
         gold = task.gold(database)
@@ -121,7 +164,82 @@ def cmd_tasks(args):
         )
         if score < 0.5:
             failures += 1
-    return 1 if failures else 0
+    return _finish(args, audit, 1 if failures else 0)
+
+
+def cmd_stats(args):
+    """Replay the XMP task phrasings; print a per-stage breakdown."""
+    from repro.evaluation.tasks import TASKS
+
+    database = load_database("dblp", books=args.books, seed=args.seed)
+    audit = _open_audit_log(args)
+    nalix = NaLIX(database, audit_log=audit)
+
+    stage_stats = {
+        name: {"calls": 0, "seconds": [], "errors": 0} for name in STAGES
+    }
+    status_counts = {"ok": 0, "rejected": 0, "failed": 0}
+    category_counts = {}
+    ask_seconds = []
+
+    queries = 0
+    for task in TASKS:
+        phrasings = (
+            task.good_phrasings() if args.good_only else task.phrasings
+        )
+        for phrasing in phrasings:
+            result = nalix.ask(phrasing.text)
+            queries += 1
+            status_counts[result.status] += 1
+            ask_seconds.append(result.total_seconds)
+            for message in result.errors:
+                category_counts[message.code] = (
+                    category_counts.get(message.code, 0) + 1
+                )
+            for span in result.trace.iter_spans():
+                if span.name not in stage_stats:
+                    continue
+                entry = stage_stats[span.name]
+                entry["calls"] += 1
+                entry["seconds"].append(span.duration_seconds)
+                if span.status != "ok":
+                    entry["errors"] += 1
+
+    print(
+        f"repro stats — {len(TASKS)} tasks, {queries} queries "
+        f"(dblp, {args.books} books)\n"
+    )
+    header = (
+        f"{'stage':<14}{'calls':>7}{'mean ms':>10}{'p95 ms':>10}"
+        f"{'max ms':>10}{'errors':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in STAGES:
+        entry = stage_stats[name]
+        if not entry["calls"]:
+            continue
+        timings = sorted(entry["seconds"])
+        mean = sum(timings) / len(timings)
+        p95 = timings[min(len(timings) - 1, int(0.95 * len(timings)))]
+        print(
+            f"{name:<14}{entry['calls']:>7}{mean * 1000:>10.2f}"
+            f"{p95 * 1000:>10.2f}{timings[-1] * 1000:>10.2f}"
+            f"{entry['errors']:>8}"
+        )
+    if ask_seconds:
+        total_mean = sum(ask_seconds) / len(ask_seconds)
+        print(f"\nend-to-end mean: {total_mean * 1000:.2f} ms/query")
+    print(
+        "status: "
+        + "  ".join(f"{key}={value}" for key, value in status_counts.items())
+    )
+    if category_counts:
+        print("failures by category:")
+        for code in sorted(category_counts, key=category_counts.get,
+                           reverse=True):
+            print(f"  {code:<24}{category_counts[code]:>4}")
+    return _finish(args, audit, 0)
 
 
 def cmd_study(args):
@@ -133,9 +251,13 @@ def cmd_study(args):
         seed=args.seed,
         dblp=DblpConfig(books=args.books, seed=args.seed),
     )
-    results = Study(config).run()
+    audit = _open_audit_log(args)
+    study = Study(config)
+    if audit is not None:
+        study.nalix.audit_log = audit
+    results = study.run()
     print(StudyReport(results).render())
-    return 0
+    return _finish(args, audit, 0)
 
 
 def cmd_generate(args):
@@ -163,6 +285,16 @@ def _add_data_options(parser, default_data="movies"):
     parser.add_argument("--seed", type=int, default=7, help="generator seed")
 
 
+def _add_obs_options(parser, trace=False):
+    if trace:
+        parser.add_argument("--trace", action="store_true",
+                            help="print the span tree of each query")
+    parser.add_argument("--metrics", action="store_true",
+                        help="dump the metrics registry as JSON on exit")
+    parser.add_argument("--audit-log", metavar="PATH",
+                        help="append one JSONL audit record per query")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -172,6 +304,7 @@ def build_parser():
 
     query = commands.add_parser("query", help="run one English query")
     _add_data_options(query)
+    _add_obs_options(query, trace=True)
     query.add_argument("--quiet", action="store_true",
                        help="hide the generated XQuery")
     query.add_argument("sentence", help="the English query")
@@ -179,6 +312,7 @@ def build_parser():
 
     repl = commands.add_parser("repl", help="interactive query loop")
     _add_data_options(repl)
+    _add_obs_options(repl, trace=True)
     repl.add_argument("--quiet", action="store_true")
     repl.set_defaults(handler=cmd_repl)
 
@@ -190,12 +324,26 @@ def build_parser():
     tasks = commands.add_parser("tasks", help="run the 9 XMP study tasks")
     tasks.add_argument("--books", type=int, default=120)
     tasks.add_argument("--seed", type=int, default=7)
+    _add_obs_options(tasks)
     tasks.set_defaults(handler=cmd_tasks)
+
+    stats = commands.add_parser(
+        "stats",
+        help="replay the XMP task phrasings; report per-stage "
+        "latency and failure counts",
+    )
+    stats.add_argument("--books", type=int, default=120)
+    stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--good-only", action="store_true",
+                       help="replay only the known-good phrasings")
+    _add_obs_options(stats)
+    stats.set_defaults(handler=cmd_stats)
 
     study = commands.add_parser("study", help="run the simulated user study")
     study.add_argument("--participants", type=int, default=18)
     study.add_argument("--seed", type=int, default=2006)
     study.add_argument("--books", type=int, default=120)
+    _add_obs_options(study)
     study.set_defaults(handler=cmd_study)
 
     generate = commands.add_parser("generate", help="emit a DBLP-like XML file")

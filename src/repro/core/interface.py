@@ -9,26 +9,59 @@ Wires the full pipeline of the paper's Sec. 3–4 together::
 :class:`QueryResult` that either carries results or carries the feedback
 messages a user (or the simulated participants of the evaluation
 harness) would see and react to.
+
+Every ``ask`` call builds a :class:`repro.obs.spans.Trace` with one span
+per pipeline stage and attaches it to ``QueryResult.trace``; the span
+tree is the single source of truth for the result's per-stage
+``*_seconds`` properties and for the ``pipeline.*`` metrics.
 """
 
 from __future__ import annotations
 
-import time
+import re
 
 from repro.core.classifier import classify_tree
-from repro.core.enums import parser_vocabulary
+from repro.core.enums import COMMAND_PHRASES, parser_vocabulary
 from repro.core.errors import TranslationError
 from repro.core.feedback import Feedback
 from repro.core.translator import Translator
 from repro.core.validator import Validator
 from repro.nlp.dependency import DependencyParser
 from repro.nlp.errors import ParseFailure
+from repro.obs.metrics import METRICS
+from repro.obs.spans import Span, Trace, activate_trace
 from repro.ontology.expansion import TermExpander
 from repro.xmlstore.model import Node
 from repro.xquery.errors import XQueryError
 from repro.xquery.evaluator import Evaluator
 from repro.xquery.parser import parse_xquery
 from repro.xquery.values import string_value
+
+_SENTENCE_SPLIT_RE = re.compile(r"[.!?]\s+")
+
+#: Error codes that mean the *system* failed on an accepted query, as
+#: opposed to the query being rejected back to the user with feedback.
+_FAILURE_CODES = frozenset({"translation-failure", "evaluation-failure"})
+
+#: Pipeline stage span names, in execution order.
+_STAGES = ("parse", "classify", "validate", "translate",
+           "xquery-parse", "evaluate")
+
+# Metrics resolved once: _record runs after every query, so it must not
+# rebuild metric names per call.
+_QUERIES = METRICS.counter("pipeline.queries")
+_STATUS_COUNTERS = {
+    status: METRICS.counter(f"pipeline.status.{status}")
+    for status in ("ok", "rejected", "failed")
+}
+_STAGE_HISTOGRAMS = {
+    stage: METRICS.histogram(f"pipeline.stage.{stage}.seconds")
+    for stage in _STAGES
+}
+_STAGE_ERROR_COUNTERS = {
+    stage: METRICS.counter(f"pipeline.stage.{stage}.errors")
+    for stage in _STAGES
+}
 
 
 class QueryResult:
@@ -42,12 +75,25 @@ class QueryResult:
         self.translation = None
         self.xquery_text = None
         self.items = []             # raw evaluation output
-        self.translation_seconds = 0.0
-        self.evaluation_seconds = 0.0
+        self.trace = None           # repro.obs.spans.Trace, set by ask()
 
     @property
     def ok(self):
         return self.accepted
+
+    @property
+    def status(self):
+        """Audit status: ``ok`` | ``rejected`` | ``failed``.
+
+        ``rejected`` — the input was turned back with feedback before a
+        query was produced (parse/validation stage); ``failed`` — a
+        well-formed query died in translation or evaluation.
+        """
+        if self.accepted:
+            return "ok"
+        if any(message.code in _FAILURE_CODES for message in self.errors):
+            return "failed"
+        return "rejected"
 
     @property
     def warnings(self):
@@ -56,6 +102,38 @@ class QueryResult:
     @property
     def errors(self):
         return self.feedback.errors
+
+    # -- per-stage timings (derived from the trace) --------------------------
+
+    def stage_seconds(self, name):
+        """Wall time of the named pipeline stage (0.0 when it never ran)."""
+        if self.trace is None:
+            return 0.0
+        return self.trace.stage_seconds(name)
+
+    @property
+    def parse_seconds(self):
+        return self.stage_seconds("parse")
+
+    @property
+    def validation_seconds(self):
+        return self.stage_seconds("classify") + self.stage_seconds("validate")
+
+    @property
+    def translation_seconds(self):
+        return self.stage_seconds("translate")
+
+    @property
+    def evaluation_seconds(self):
+        return self.stage_seconds("xquery-parse") + self.stage_seconds(
+            "evaluate"
+        )
+
+    @property
+    def total_seconds(self):
+        return self.trace.total_seconds() if self.trace is not None else 0.0
+
+    # -- results -------------------------------------------------------------
 
     def nodes(self):
         """Distinct result nodes, in document order of first appearance."""
@@ -107,13 +185,9 @@ def _looks_multi_sentence(sentence):
     opens with a command word, so abbreviations ("W. Stevens") and
     punctuation inside values never trigger it.
     """
-    import re
-
-    from repro.core.enums import COMMAND_PHRASES
-
     parts = [
         part.strip()
-        for part in re.split(r"[.!?]\s+", sentence.strip())
+        for part in _SENTENCE_SPLIT_RE.split(sentence.strip())
         if part.strip()
     ]
     if len(parts) <= 1:
@@ -134,10 +208,14 @@ class NaLIX:
             print(result.values())
         else:
             print(result.render_feedback())   # rephrasing suggestions
+
+    ``audit_log`` (any object with a ``record(result)`` method, normally
+    a :class:`repro.obs.audit.AuditLog`) receives every finished
+    :class:`QueryResult`.
     """
 
     def __init__(self, database, document_name=None, thesaurus=None,
-                 use_planner=True, wrap_results=False):
+                 use_planner=True, wrap_results=False, audit_log=None):
         self.database = database
         self.document_name = document_name or next(iter(database.documents), "doc")
         self.parser = DependencyParser(parser_vocabulary())
@@ -147,6 +225,7 @@ class NaLIX:
             database, self.document_name, wrap_results=wrap_results
         )
         self.evaluator = Evaluator(database, use_planner=use_planner)
+        self.audit_log = audit_log
 
     # -- pipeline stages (each usable on its own for tests/benches) ------------------
 
@@ -167,6 +246,17 @@ class NaLIX:
     def ask(self, sentence, evaluate=True):
         """Run the full pipeline; never raises on user-input problems."""
         result = QueryResult(sentence)
+        trace = Trace()
+        result.trace = trace
+        with trace.span("ask") as root, activate_trace(trace):
+            self._run_pipeline(sentence, evaluate, result, trace)
+            if not result.ok:
+                root.status = Span.ERROR
+            root.set("status", result.status)
+        self._record(result)
+        return result
+
+    def _run_pipeline(self, sentence, evaluate, result, trace):
         if _looks_multi_sentence(sentence):
             # Multi-sentence queries are the paper's future work; reject
             # with guidance rather than silently mis-reading them.
@@ -176,48 +266,60 @@ class NaLIX:
                 suggestion="Ask one question at a time; NaLIX does not "
                 "support multi-sentence queries yet.",
             )
-            return result
-        started = time.perf_counter()
-        try:
-            tree = self.parse(sentence)
-        except ParseFailure as failure:
-            result.feedback.error(
-                "parse-failure",
-                f"NaLIX could not parse the sentence: {failure}.",
-                suggestion="State the query as a single imperative "
-                'sentence, e.g. "Return the title of every book."',
-            )
-            return result
+            return
 
-        self.classify(tree)
+        with trace.span("parse") as span:
+            try:
+                tree = self.parse(sentence)
+            except ParseFailure as failure:
+                span.status = Span.ERROR
+                result.feedback.error(
+                    "parse-failure",
+                    f"NaLIX could not parse the sentence: {failure}.",
+                    suggestion="State the query as a single imperative "
+                    'sentence, e.g. "Return the title of every book."',
+                )
+                return
+
+        with trace.span("classify"):
+            self.classify(tree)
         result.parse_tree = tree
-        feedback = self.validate(tree)
-        result.feedback = feedback
-        if not feedback.ok:
-            return result
 
-        try:
-            translation = self.translate(tree)
-        except TranslationError as error:
-            result.feedback.error(
-                "translation-failure",
-                f"NaLIX could not map the query to XQuery: {error}.",
-                suggestion="Simplify the query, or split it into smaller "
-                "questions.",
-            )
-            return result
+        with trace.span("validate") as span:
+            feedback = self.validate(tree)
+            result.feedback = feedback
+            if not feedback.ok:
+                span.status = Span.ERROR
+                span.set("errors", len(feedback.errors))
+                return
+            if feedback.warnings:
+                span.set("warnings", len(feedback.warnings))
+
+        with trace.span("translate") as span:
+            try:
+                translation = self.translate(tree)
+            except TranslationError as error:
+                span.status = Span.ERROR
+                result.feedback.error(
+                    "translation-failure",
+                    f"NaLIX could not map the query to XQuery: {error}.",
+                    suggestion="Simplify the query, or split it into smaller "
+                    "questions.",
+                )
+                return
         result.translation = translation
         result.xquery_text = translation.text
-        result.translation_seconds = time.perf_counter() - started
         result.accepted = True
 
         if evaluate:
-            started = time.perf_counter()
             try:
                 # Re-parse the serialized text: the emitted query string is
                 # the contract, exactly as NaLIX hands text to Timber.
-                expr = parse_xquery(result.xquery_text)
-                result.items = self.evaluator.run(expr)
+                with trace.span("xquery-parse"):
+                    expr = parse_xquery(result.xquery_text)
+                with trace.span("evaluate") as span:
+                    result.items = self.evaluator.run(expr)
+                    span.set("items", len(result.items))
             except XQueryError as error:
                 result.accepted = False
                 result.feedback.error(
@@ -226,5 +328,20 @@ class NaLIX:
                     suggestion="Add conditions that relate the query's "
                     "elements to each other.",
                 )
-            result.evaluation_seconds = time.perf_counter() - started
-        return result
+
+    def _record(self, result):
+        """Report one finished query to metrics and the audit log."""
+        _QUERIES.inc()
+        _STATUS_COUNTERS[result.status].inc()
+        trace = result.trace
+        if trace is not None and trace.roots:
+            for span in trace.roots[0].children:
+                histogram = _STAGE_HISTOGRAMS.get(span.name)
+                if histogram is not None:
+                    histogram.observe(span.duration_seconds)
+                    if span.status == Span.ERROR:
+                        _STAGE_ERROR_COUNTERS[span.name].inc()
+        for message in result.errors:
+            METRICS.inc(f"pipeline.error.{message.code}")
+        if self.audit_log is not None:
+            self.audit_log.record(result)

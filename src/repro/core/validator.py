@@ -23,6 +23,11 @@ from repro.core.semantics import token_children, token_parent
 from repro.core.token_types import TokenType, token_type
 from repro.nlp.categories import Category
 from repro.nlp.parse_tree import ParseNode
+from repro.obs.metrics import METRICS
+
+_VALIDATIONS = METRICS.counter("validator.validations")
+_IMPLICIT_NTS = METRICS.counter("validator.implicit_nt_inserted")
+_EXPANSIONS = METRICS.counter("validator.term_expansions")
 
 
 class Validator:
@@ -51,6 +56,11 @@ class Validator:
         self._check_pronouns(root, feedback)
         self._check_grammar(root, feedback)
         root.assign_ids()
+        _VALIDATIONS.inc()
+        for message in feedback.errors:
+            METRICS.inc(f"validator.error.{message.code}")
+        for message in feedback.warnings:
+            METRICS.inc(f"validator.warning.{message.code}")
         return feedback
 
     def _check_grammar(self, root, feedback):
@@ -59,7 +69,6 @@ class Validator:
         pointing the user at the part of the query that may be read
         differently than intended."""
         from repro.core.grammar import check_grammar
-        from repro.core.token_types import TokenType
 
         if token_type(root) != TokenType.CMT:
             return  # already an error from _check_command
@@ -231,6 +240,7 @@ class Validator:
         implicit.implicit = True
         implicit.implicit_value = vt.value
         implicit.tags = list(tags)
+        _IMPLICIT_NTS.inc()
         parent = vt.parent
         position = parent.children.index(vt)
         parent.children[position] = implicit
@@ -245,6 +255,10 @@ class Validator:
                 continue
             tags = self.expander.expand(node.lemma)
             node.tags = tags
+            if len(tags) > 1:
+                # A name token matching several element/attribute names
+                # becomes a disjunction (Sec. 4's term expansion).
+                _EXPANSIONS.inc()
             if not tags:
                 known = ", ".join(
                     tag for tag in self.database.tags()[:12] if not tag.startswith("@")

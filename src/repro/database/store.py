@@ -4,8 +4,14 @@ from __future__ import annotations
 
 from repro.database.indexes import build_indexes
 from repro.database.statistics import DatabaseStatistics
+from repro.obs.metrics import METRICS
 from repro.xmlstore.model import Document
 from repro.xmlstore.parser import parse_document
+
+# Resolved once: nodes_with_tag sits on the scan hot path, so the
+# per-call cost must stay one attribute increment.
+_TAG_LOOKUPS = METRICS.counter("database.index.tag_lookups")
+_VALUE_LOOKUPS = METRICS.counter("database.index.value_lookups")
 
 
 class Database:
@@ -57,6 +63,9 @@ class Database:
         self.statistics = DatabaseStatistics(
             self.tag_index, self.value_index, documents
         )
+        METRICS.set_gauge("database.documents", len(documents))
+        METRICS.set_gauge("database.nodes", self.node_count())
+        METRICS.set_gauge("database.tags", len(self.tag_index.tags()))
 
     # -- lookup ------------------------------------------------------------
 
@@ -73,6 +82,7 @@ class Database:
 
     def nodes_with_tag(self, tag):
         """All elements (or ``@attr`` nodes) with this tag, in preorder."""
+        _TAG_LOOKUPS.inc()
         return self.tag_index.nodes(tag)
 
     def has_tag(self, tag):
@@ -83,6 +93,7 @@ class Database:
 
     def nodes_with_value(self, value):
         """Nodes whose text equals ``value``; falls back to phrase search."""
+        _VALUE_LOOKUPS.inc()
         nodes = self.value_index.nodes_with_exact_value(value)
         if nodes:
             return nodes

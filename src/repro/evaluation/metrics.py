@@ -14,7 +14,7 @@ sorted".
 
 from __future__ import annotations
 
-from repro.xmlstore.model import AttributeNode, ElementNode, Node, TextNode
+from repro.xmlstore.model import AttributeNode, ElementNode, TextNode
 from repro.xquery.values import string_value
 
 

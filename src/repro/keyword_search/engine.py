@@ -13,6 +13,11 @@ import re
 
 from repro.keyword_search.meet import nearest_concepts
 from repro.nlp.morphology import pluralize, singularize
+from repro.obs.metrics import METRICS
+
+_SEARCHES = METRICS.counter("keyword_search.queries")
+_TERMS = METRICS.histogram("keyword_search.terms")
+_RESULTS = METRICS.histogram("keyword_search.results")
 
 _STOPWORDS = {
     "the", "a", "an", "of", "in", "on", "by", "with", "for", "and", "or",
@@ -29,6 +34,7 @@ class KeywordSearchEngine:
     def __init__(self, database, result_limit=50):
         self.database = database
         self.result_limit = result_limit
+        METRICS.set_gauge("keyword_search.index_nodes", database.node_count())
 
     def split_terms(self, query):
         """Terms of a keyword query; quoted phrases are single terms."""
@@ -58,14 +64,20 @@ class KeywordSearchEngine:
 
     def search(self, query):
         """Run a keyword query; returns nearest-concept element nodes."""
+        _SEARCHES.inc()
         terms = self.split_terms(query)
+        _TERMS.observe(len(terms))
         if not terms:
+            _RESULTS.observe(0)
             return []
         node_sets = [self.match_nodes(term) for term in terms]
         if len(node_sets) == 1:
-            return node_sets[0][: self.result_limit]
-        concepts = nearest_concepts(node_sets)
-        # A meet at the document root relates nothing: it means the
-        # keywords only co-occur at the whole-document level.
-        concepts = [node for node in concepts if node.parent is not None]
-        return concepts[: self.result_limit]
+            results = node_sets[0][: self.result_limit]
+        else:
+            concepts = nearest_concepts(node_sets)
+            # A meet at the document root relates nothing: it means the
+            # keywords only co-occur at the whole-document level.
+            concepts = [node for node in concepts if node.parent is not None]
+            results = concepts[: self.result_limit]
+        _RESULTS.observe(len(results))
+        return results

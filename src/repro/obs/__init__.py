@@ -1,0 +1,41 @@
+"""Observability: tracing, metrics, and query auditing.
+
+Three small, dependency-free layers that the rest of the system reports
+into (none of them import other ``repro`` packages, so every subsystem
+may instrument itself freely):
+
+* :mod:`repro.obs.spans` — per-query hierarchical wall-time tracing.
+  ``NaLIX.ask`` builds one :class:`Trace` per query and attaches it to
+  ``QueryResult.trace``; the span tree doubles as the timing source for
+  the result's ``*_seconds`` properties.
+* :mod:`repro.obs.metrics` — a process-wide registry of named counters,
+  gauges, and histograms (``METRICS``), with ``snapshot()`` /
+  ``reset()`` and JSON export.
+* :mod:`repro.obs.audit` — an optional JSONL audit trail recording one
+  line per query (sentence, status, error categories, emitted XQuery,
+  per-stage timings).
+
+See the "Observability" sections of README.md and DESIGN.md for the
+metric naming scheme and the CLI surface (``--trace``, ``--metrics``,
+``--audit-log``, and the ``stats`` subcommand).
+"""
+
+from repro.obs.audit import AuditLog, audit_entry, read_audit_log
+from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, Trace, activate_trace, current_trace, span
+
+__all__ = [
+    "METRICS",
+    "AuditLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Trace",
+    "activate_trace",
+    "audit_entry",
+    "current_trace",
+    "read_audit_log",
+    "span",
+]

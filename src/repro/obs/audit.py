@@ -1,0 +1,90 @@
+"""JSONL query audit trail.
+
+One line per query, modelled on production NLQ audit tables: what was
+asked, what the system decided (``ok`` / ``rejected`` / ``failed``),
+which error categories fired, the emitted XQuery text, the result
+count, and per-stage wall times taken from the query's trace.
+
+The log is append-only and flushed per record, so a crash loses at most
+the in-flight query.  ``audit_entry`` is duck-typed over
+``QueryResult`` (this module imports nothing from the rest of the
+package), and :func:`read_audit_log` round-trips the file back into
+dicts for analysis.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+#: Pipeline stage span names recorded per audit entry.
+STAGES = ("parse", "classify", "validate", "translate",
+          "xquery-parse", "evaluate")
+
+
+def audit_entry(result, actor=None):
+    """Build the audit record (a plain dict) for one query result."""
+    entry = {
+        "timestamp": time.time(),
+        "sentence": result.sentence,
+        "status": result.status,
+        "errors": [message.code for message in result.errors],
+        "warnings": [message.code for message in result.warnings],
+        "xquery": result.xquery_text,
+        "results": len(result.items),
+    }
+    trace = getattr(result, "trace", None)
+    if trace is not None:
+        entry["total_seconds"] = trace.total_seconds()
+        entry["stage_seconds"] = {
+            stage: seconds
+            for stage in STAGES
+            if (seconds := trace.stage_seconds(stage)) > 0.0
+        }
+    if actor is not None:
+        entry["actor"] = actor
+    return entry
+
+
+class AuditLog:
+    """Append-only JSONL writer; usable as a context manager."""
+
+    def __init__(self, path, actor=None):
+        self.path = path
+        self.actor = actor
+        self._handle = None
+
+    def record(self, result):
+        """Append one audit line for ``result`` and flush."""
+        entry = audit_entry(result, actor=self.actor)
+        if self._handle is None:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        json.dump(entry, self._handle, sort_keys=True)
+        self._handle.write("\n")
+        self._handle.flush()
+        return entry
+
+    def close(self):
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.close()
+
+    def __repr__(self):
+        return f"AuditLog({self.path!r})"
+
+
+def read_audit_log(path):
+    """Parse a JSONL audit file back into a list of dicts."""
+    entries = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries

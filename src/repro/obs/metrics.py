@@ -1,0 +1,199 @@
+"""Process-wide metrics: named counters, gauges, and histograms.
+
+All instrumentation reports into the module-level :data:`METRICS`
+registry.  Names are dotted paths grouped by subsystem — the full
+naming scheme is documented in README.md; the prefixes in use are
+``pipeline.*``, ``validator.*``, ``evaluator.*``, ``planner.*``,
+``database.*``, ``keyword_search.*``, and ``xmlstore.*``.
+
+``reset()`` zeroes every metric **in place** (it does not discard the
+objects), so modules may resolve a metric once at import time and hold
+the reference on their hot path::
+
+    _TAG_LOOKUPS = METRICS.counter("database.index.tag_lookups")
+    ...
+    _TAG_LOOKUPS.inc()          # one attribute increment per call
+
+Histograms keep running count/total/min/max plus a bounded sample of
+observed values for percentile estimates, so long-running processes
+never grow without bound.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def reset(self):
+        self.value = 0
+
+    def __repr__(self):
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        self.value = value
+
+    def reset(self):
+        self.value = 0
+
+    def __repr__(self):
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A distribution of observed values.
+
+    Keeps exact count/total/min/max and the first ``SAMPLE_LIMIT``
+    observations for percentile estimates.
+    """
+
+    SAMPLE_LIMIT = 2048
+
+    __slots__ = ("name", "count", "total", "min", "max", "_sample")
+
+    def __init__(self, name):
+        self.name = name
+        self.reset()
+
+    def reset(self):
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._sample = []
+
+    def observe(self, value):
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if len(self._sample) < Histogram.SAMPLE_LIMIT:
+            self._sample.append(value)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction):
+        """Sample percentile (``fraction`` in [0, 1]); 0.0 when empty."""
+        if not self._sample:
+            return 0.0
+        ordered = sorted(self._sample)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def summary(self):
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+        }
+
+    def __repr__(self):
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Create-on-first-use registry of named metrics."""
+
+    def __init__(self):
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    # -- access (create on demand) -----------------------------------------
+
+    def counter(self, name):
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name):
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name):
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # -- convenience writers ------------------------------------------------
+
+    def inc(self, name, amount=1):
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name, value):
+        self.gauge(name).set(value)
+
+    def observe(self, name, value):
+        self.histogram(name).observe(value)
+
+    # -- export --------------------------------------------------------------
+
+    def snapshot(self):
+        """Plain-dict view of every metric, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self):
+        """Zero every metric in place (references stay valid)."""
+        for group in (self._counters, self._gauges, self._histograms):
+            for metric in group.values():
+                metric.reset()
+
+    def __repr__(self):
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, "
+            f"{len(self._histograms)} histograms)"
+        )
+
+
+#: The process-wide registry all built-in instrumentation reports into.
+METRICS = MetricsRegistry()

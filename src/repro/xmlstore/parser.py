@@ -14,6 +14,7 @@ databases we model are data-centric, not document-centric); pass
 
 from __future__ import annotations
 
+from repro.obs.metrics import METRICS
 from repro.xmlstore.errors import XMLParseError
 from repro.xmlstore.model import Document, ElementNode, TextNode
 
@@ -235,4 +236,11 @@ def parse_fragment(text, keep_whitespace=False):
 
 def parse_document(text, name="doc", keep_whitespace=False):
     """Parse ``text`` into an indexed :class:`Document`."""
-    return Document(parse_fragment(text, keep_whitespace=keep_whitespace), name=name)
+    document = Document(
+        parse_fragment(text, keep_whitespace=keep_whitespace), name=name
+    )
+    METRICS.inc("xmlstore.parse.documents")
+    METRICS.observe("xmlstore.parse.characters", len(text))
+    METRICS.observe("xmlstore.parse.nodes", document.node_count())
+    METRICS.set_gauge("xmlstore.parse.last_nodes", document.node_count())
+    return document

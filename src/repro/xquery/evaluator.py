@@ -15,6 +15,7 @@ compare them on random small documents.
 
 from __future__ import annotations
 
+from repro.obs.metrics import METRICS
 from repro.xmlstore.model import AttributeNode, ElementNode, TextNode
 from repro.xquery import ast
 from repro.xquery.errors import XQueryEvaluationError
@@ -29,6 +30,13 @@ from repro.xquery.values import (
     is_node,
     sort_key,
 )
+
+_FLWOR_PLANNED = METRICS.counter("evaluator.flwor.planned")
+_FLWOR_NAIVE = METRICS.counter("evaluator.flwor.naive")
+_LET_CACHE_HITS = METRICS.counter("evaluator.let_cache.hits")
+_LET_CACHE_MISSES = METRICS.counter("evaluator.let_cache.misses")
+_CANDIDATES = METRICS.histogram("planner.candidates_per_variable")
+_MISSING = object()
 
 
 class Environment:
@@ -248,7 +256,9 @@ class Evaluator:
 
     def _eval_flwor(self, flwor, env):
         if self.use_planner and is_plannable(flwor):
+            _FLWOR_PLANNED.inc()
             return self._eval_flwor_planned(flwor, env)
+        _FLWOR_NAIVE.inc()
         return self._eval_flwor_naive(flwor, env)
 
     def _eval_flwor_naive(self, flwor, env):
@@ -318,6 +328,7 @@ class Evaluator:
                     )
                 ]
             candidates[var] = filtered
+            _CANDIDATES.observe(len(filtered))
 
         tuples = enumerate_tuples(plan, candidates, populations)
         population_sets = {
@@ -342,9 +353,12 @@ class Evaluator:
                         for name in key_vars
                     )
                     cache = let_caches[index]
-                    if key not in cache:
-                        cache[key] = self.evaluate(clause.expr, current)
-                    value = cache[key]
+                    value = cache.get(key, _MISSING)
+                    if value is _MISSING:
+                        _LET_CACHE_MISSES.inc()
+                        value = cache[key] = self.evaluate(clause.expr, current)
+                    else:
+                        _LET_CACHE_HITS.inc()
                 else:
                     value = self.evaluate(clause.expr, current)
                 current = current.child({clause.var: value})

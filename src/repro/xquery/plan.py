@@ -24,12 +24,17 @@ the ablation benchmark.
 
 from __future__ import annotations
 
+from repro.obs.metrics import METRICS
 from repro.xquery import ast
 from repro.xquery.errors import XQueryEvaluationError
 from repro.xquery.mqf import CandidateSet, mqf_join
 from repro.xquery.values import is_node
 
 CROSS_PRODUCT_LIMIT = 10_000_000
+
+_MQF_JOINS = METRICS.counter("planner.mqf.joins")
+_MQF_CANDIDATES = METRICS.histogram("planner.mqf.candidates")
+_MQF_TUPLES = METRICS.histogram("planner.mqf.tuples")
 
 
 def free_variables(expr):
@@ -197,6 +202,11 @@ def enumerate_tuples(plan, candidates, populations):
             [candidates[var] for var in group.variables],
             [populations[var] for var in group.variables],
         )
+        _MQF_JOINS.inc()
+        _MQF_CANDIDATES.observe(
+            sum(len(candidates[var]) for var in group.variables)
+        )
+        _MQF_TUPLES.observe(len(tuples))
         streams.append((group.variables, tuples))
         grouped |= set(group.variables)
     for var in plan.for_vars:

@@ -1,8 +1,6 @@
 """Tests for reproduction extensions beyond the paper's core feature set
 (distinct results, sum/avg aggregates end-to-end, negation semantics)."""
 
-import pytest
-
 
 class TestDistinctResults:
     def test_distinct_publishers(self, dblp_nalix, small_dblp_database):

@@ -1,8 +1,6 @@
 """Unit tests for the NaLIX interface facade."""
 
-import pytest
-
-from repro.core.interface import NaLIX, QueryResult
+from repro.core.interface import NaLIX
 
 
 class TestAsk:

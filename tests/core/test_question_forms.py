@@ -1,7 +1,5 @@
 """Tests for question-shaped inputs (wh-words, "how many", copulas)."""
 
-import pytest
-
 
 class TestWhQuestions:
     def test_what_are(self, movie_nalix):

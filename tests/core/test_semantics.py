@@ -3,8 +3,6 @@
 The reference points are the paper's own analyses of Queries 2 and 3.
 """
 
-import pytest
-
 from repro.core.semantics import (
     analyze,
     directly_related,

@@ -1,7 +1,5 @@
 """Unit tests for the translation to Schema-Free XQuery (Sec. 3.2)."""
 
-import pytest
-
 from repro.xquery.parser import parse_xquery
 
 

@@ -1,7 +1,5 @@
 """Unit tests for parse-tree validation and feedback (Sec. 4)."""
 
-import pytest
-
 from repro.core.token_types import TokenType, token_type
 
 

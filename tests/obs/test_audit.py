@@ -1,0 +1,93 @@
+"""Audit trail: JSONL round-trip and record content."""
+
+import json
+
+from repro.core.errors import TranslationError
+from repro.core.interface import NaLIX
+from repro.obs.audit import AuditLog, audit_entry, read_audit_log
+
+
+class TestAuditLog:
+    def test_one_record_per_query_round_trip(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path), actor="tests") as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            nalix.ask("Return the title of every movie.")
+            nalix.ask("Return the isbn of every movie.")
+            nalix.ask("")
+        entries = read_audit_log(str(path))
+        assert len(entries) == 3
+        assert [entry["status"] for entry in entries] == [
+            "ok", "rejected", "rejected",
+        ]
+        assert all(entry["actor"] == "tests" for entry in entries)
+
+    def test_ok_record_fields(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            nalix.ask("Return the title of every movie.")
+        (entry,) = read_audit_log(str(path))
+        assert entry["sentence"] == "Return the title of every movie."
+        assert entry["status"] == "ok"
+        assert entry["errors"] == []
+        assert entry["xquery"].startswith("for $")
+        assert entry["results"] > 0
+        assert entry["timestamp"] > 0
+        assert entry["total_seconds"] > 0
+        stage_seconds = entry["stage_seconds"]
+        for stage in ("parse", "validate", "translate", "evaluate"):
+            assert stage_seconds[stage] > 0
+
+    def test_rejected_record_carries_error_categories(
+        self, movie_database, tmp_path
+    ):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            nalix.ask("Return the isbn of every movie.")
+        (entry,) = read_audit_log(str(path))
+        assert entry["status"] == "rejected"
+        assert "unknown-name" in entry["errors"]
+        assert entry["xquery"] is None
+        assert "translate" not in entry["stage_seconds"]
+
+    def test_failed_record(self, movie_database, tmp_path, monkeypatch):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+
+            def explode(tree):
+                raise TranslationError("forced for the test")
+
+            monkeypatch.setattr(nalix.translator, "translate", explode)
+            nalix.ask("Return every movie.")
+        (entry,) = read_audit_log(str(path))
+        assert entry["status"] == "failed"
+        assert entry["errors"] == ["translation-failure"]
+
+    def test_records_append_across_log_instances(
+        self, movie_database, tmp_path
+    ):
+        path = tmp_path / "audit.jsonl"
+        for _ in range(2):
+            with AuditLog(str(path)) as audit:
+                NaLIX(movie_database, audit_log=audit).ask(
+                    "Return every movie."
+                )
+        assert len(read_audit_log(str(path))) == 2
+
+    def test_lines_are_single_json_objects(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            NaLIX(movie_database, audit_log=audit).ask("Return every movie.")
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 1
+        assert isinstance(json.loads(lines[0]), dict)
+
+    def test_audit_entry_without_trace(self, movie_database):
+        result = NaLIX(movie_database).ask("Return every movie.")
+        result.trace = None
+        entry = audit_entry(result)
+        assert entry["status"] == "ok"
+        assert "stage_seconds" not in entry

@@ -1,0 +1,155 @@
+"""Unit tests for the metrics registry and its pipeline integration."""
+
+import json
+
+from repro.core.interface import NaLIX
+from repro.obs.metrics import METRICS, MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_create_and_increment(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b")
+        registry.inc("a.b", 4)
+        assert registry.counter("a.b").value == 5
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 3)
+        registry.set_gauge("g", 11)
+        assert registry.gauge("g").value == 11
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1.0, 2.0, 3.0, 10.0):
+            registry.observe("h", value)
+        summary = registry.histogram("h").summary()
+        assert summary["count"] == 4
+        assert summary["mean"] == 4.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["p50"] == 3.0
+
+    def test_histogram_sample_is_bounded(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        for value in range(histogram.SAMPLE_LIMIT + 100):
+            histogram.observe(float(value))
+        assert histogram.count == histogram.SAMPLE_LIMIT + 100
+        assert len(histogram._sample) == histogram.SAMPLE_LIMIT
+
+    def test_snapshot_and_json_export(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.set_gauge("g", 2)
+        registry.observe("h", 1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 1}
+        assert snapshot["gauges"] == {"g": 2}
+        assert snapshot["histograms"]["h"]["count"] == 1
+        assert json.loads(registry.to_json()) == snapshot
+
+    def test_reset_zeroes_in_place(self):
+        """reset() keeps metric object identity so modules may hold
+        references resolved at import time."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        histogram = registry.histogram("h")
+        histogram.observe(4.0)
+        registry.reset()
+        assert counter.value == 0
+        assert histogram.count == 0
+        assert registry.counter("c") is counter
+        counter.inc()
+        assert registry.snapshot()["counters"]["c"] == 1
+
+
+class TestPipelineMetrics:
+    def test_ask_counts_queries_and_stage_latencies(self, movie_nalix):
+        before = METRICS.counter("pipeline.queries").value
+        before_ok = METRICS.counter("pipeline.status.ok").value
+        stage = METRICS.histogram("pipeline.stage.translate.seconds")
+        stage_before = stage.count
+        result = movie_nalix.ask("Return every movie.")
+        assert result.ok
+        assert METRICS.counter("pipeline.queries").value == before + 1
+        assert METRICS.counter("pipeline.status.ok").value == before_ok + 1
+        assert stage.count == stage_before + 1
+
+    def test_validator_error_categories_counted(self, movie_nalix):
+        unknown = METRICS.counter("validator.error.unknown-name")
+        before = unknown.value
+        rejected_before = METRICS.counter("pipeline.status.rejected").value
+        result = movie_nalix.ask("Return the isbn of every movie.")
+        assert not result.ok
+        assert unknown.value == before + 1
+        assert (
+            METRICS.counter("pipeline.status.rejected").value
+            == rejected_before + 1
+        )
+
+    def test_validator_warning_categories_counted(self, movie_nalix):
+        pronoun = METRICS.counter("validator.warning.pronoun")
+        before = pronoun.value
+        result = movie_nalix.ask("Return every movie and their titles.")
+        assert result.ok
+        assert pronoun.value > before
+
+    def test_implicit_nt_insertions_counted(self, movie_nalix):
+        counter = METRICS.counter("validator.implicit_nt_inserted")
+        before = counter.value
+        result = movie_nalix.ask(
+            'Return every movie directed by "Ron Howard".'
+        )
+        assert result.ok
+        assert counter.value > before
+
+    def test_let_cache_and_planner_metrics_move(self, dblp_nalix):
+        planned = METRICS.counter("evaluator.flwor.planned")
+        before = planned.value
+        result = dblp_nalix.ask(
+            "Return the number of books published by each publisher."
+        )
+        assert result.ok
+        assert planned.value > before
+
+    def test_index_lookups_counted(self, movie_database):
+        lookups = METRICS.counter("database.index.tag_lookups")
+        before = lookups.value
+        movie_database.nodes_with_tag("movie")
+        assert lookups.value == before + 1
+
+    def test_database_gauges_set(self, movie_database):
+        # The session fixture built at least this database already.
+        assert METRICS.gauge("database.nodes").value > 0
+        assert METRICS.gauge("database.documents").value >= 1
+
+    def test_keyword_search_metrics(self, movie_database):
+        from repro.keyword_search.engine import KeywordSearchEngine
+
+        searches = METRICS.counter("keyword_search.queries")
+        before = searches.value
+        engine = KeywordSearchEngine(movie_database)
+        engine.search("Ron Howard movie")
+        assert searches.value == before + 1
+        assert METRICS.gauge("keyword_search.index_nodes").value > 0
+
+    def test_xmlstore_parse_metrics(self):
+        from repro.xmlstore.parser import parse_document
+
+        parsed = METRICS.counter("xmlstore.parse.documents")
+        before = parsed.value
+        document = parse_document("<a><b>x</b></a>")
+        assert parsed.value == before + 1
+        assert METRICS.gauge("xmlstore.parse.last_nodes").value == (
+            document.node_count()
+        )
+
+    def test_new_nalix_failure_code_counters(self, movie_database):
+        nalix = NaLIX(movie_database)
+        counter = METRICS.counter("pipeline.error.parse-failure")
+        before = counter.value
+        result = nalix.ask("")
+        assert result.status == "rejected"
+        assert counter.value == before + 1

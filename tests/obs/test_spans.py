@@ -1,0 +1,114 @@
+"""Unit tests for the span/trace layer."""
+
+import time
+
+import pytest
+
+from repro.obs.spans import Span, Trace, activate_trace, current_trace, span
+
+
+class TestSpan:
+    def test_duration_measured(self):
+        trace = Trace()
+        with trace.span("work"):
+            time.sleep(0.002)
+        root = trace.roots[0]
+        assert root.ended_at is not None
+        assert root.duration_seconds >= 0.002
+
+    def test_nesting(self):
+        trace = Trace()
+        with trace.span("outer"):
+            with trace.span("inner-1"):
+                pass
+            with trace.span("inner-2"):
+                with trace.span("leaf"):
+                    pass
+        assert [root.name for root in trace.roots] == ["outer"]
+        outer = trace.roots[0]
+        assert [child.name for child in outer.children] == ["inner-1", "inner-2"]
+        assert outer.children[1].children[0].name == "leaf"
+
+    def test_sibling_roots(self):
+        trace = Trace()
+        with trace.span("first"):
+            pass
+        with trace.span("second"):
+            pass
+        assert [root.name for root in trace.roots] == ["first", "second"]
+
+    def test_error_status_on_exception(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    raise ValueError("boom")
+        outer = trace.roots[0]
+        assert outer.status == Span.ERROR
+        assert outer.children[0].status == Span.ERROR
+        assert outer.ended_at is not None
+
+    def test_explicit_status_and_attributes(self):
+        trace = Trace()
+        with trace.span("stage", kind="test") as current:
+            current.set("items", 7)
+            current.status = Span.ERROR
+        stage = trace.roots[0]
+        assert stage.status == Span.ERROR
+        assert stage.attributes == {"kind": "test", "items": 7}
+
+    def test_nested_durations_bounded_by_parent(self):
+        trace = Trace()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                time.sleep(0.002)
+        outer = trace.roots[0]
+        inner = outer.children[0]
+        assert inner.duration_seconds <= outer.duration_seconds
+
+    def test_find_and_stage_seconds(self):
+        trace = Trace()
+        with trace.span("outer"):
+            with trace.span("stage"):
+                pass
+            with trace.span("stage"):
+                pass
+        assert trace.find("stage") is trace.roots[0].children[0]
+        assert trace.find("missing") is None
+        both = sum(
+            child.duration_seconds for child in trace.roots[0].children
+        )
+        assert trace.stage_seconds("stage") == pytest.approx(both)
+
+    def test_to_dict_and_render(self):
+        trace = Trace()
+        with trace.span("outer") as outer:
+            outer.set("n", 1)
+            with trace.span("inner"):
+                pass
+        tree = trace.to_dict()["spans"][0]
+        assert tree["name"] == "outer"
+        assert tree["attributes"] == {"n": 1}
+        assert tree["children"][0]["name"] == "inner"
+        rendered = trace.render()
+        assert "outer" in rendered
+        assert "└─ inner" in rendered
+        assert "ms" in rendered
+
+
+class TestContextTrace:
+    def test_module_level_span_attaches_to_active_trace(self):
+        trace = Trace()
+        with activate_trace(trace):
+            assert current_trace() is trace
+            with span("stage") as current:
+                current.set("x", 1)
+        assert current_trace() is None
+        assert trace.roots[0].name == "stage"
+        assert trace.roots[0].attributes == {"x": 1}
+
+    def test_module_level_span_is_noop_without_trace(self):
+        assert current_trace() is None
+        with span("stage") as current:
+            current.set("ignored", True)  # must not raise
+        assert current.duration_seconds == 0.0

@@ -1,0 +1,130 @@
+"""ask() tracing: span tree shape, timings, and per-failure-mode status."""
+
+import pytest
+
+from repro.core.errors import TranslationError
+from repro.core.interface import NaLIX
+from repro.obs.spans import Span
+from repro.xquery.errors import XQueryEvaluationError
+
+
+def stage_names(trace):
+    (root,) = trace.roots
+    return [child.name for child in root.children]
+
+
+class TestSuccessTrace:
+    def test_full_stage_tree(self, movie_nalix):
+        result = movie_nalix.ask("Return the title of every movie.")
+        assert result.ok
+        (root,) = result.trace.roots
+        assert root.name == "ask"
+        assert root.status == Span.OK
+        assert root.attributes["status"] == "ok"
+        assert stage_names(result.trace) == [
+            "parse", "classify", "validate", "translate",
+            "xquery-parse", "evaluate",
+        ]
+        assert all(child.status == Span.OK for child in root.children)
+
+    def test_stage_durations_sum_to_total(self, movie_nalix):
+        result = movie_nalix.ask("Return the title of every movie.")
+        (root,) = result.trace.roots
+        stages = sum(child.duration_seconds for child in root.children)
+        assert stages <= root.duration_seconds
+        # The stages cover the ask span up to bookkeeping noise.
+        assert stages == pytest.approx(root.duration_seconds, rel=0.25)
+
+    def test_timing_properties_derived_from_spans(self, movie_nalix):
+        result = movie_nalix.ask("Return the title of every movie.")
+        assert result.parse_seconds == result.stage_seconds("parse")
+        assert result.translation_seconds == result.stage_seconds("translate")
+        assert result.evaluation_seconds == pytest.approx(
+            result.stage_seconds("xquery-parse")
+            + result.stage_seconds("evaluate")
+        )
+        assert result.validation_seconds > 0
+        assert result.total_seconds >= (
+            result.parse_seconds + result.translation_seconds
+        )
+
+    def test_translation_seconds_excludes_parse_time(self, movie_nalix):
+        """The pre-obs interface folded parse/classify/validate time into
+        translation_seconds; it must now be the translate stage only."""
+        result = movie_nalix.ask("Return the title of every movie.")
+        (root,) = result.trace.roots
+        translate = root.find("translate")
+        assert result.translation_seconds == translate.duration_seconds
+        assert result.translation_seconds < root.duration_seconds
+
+    def test_no_evaluation_spans_when_not_evaluating(self, movie_nalix):
+        result = movie_nalix.ask("Return every movie.", evaluate=False)
+        assert result.ok
+        assert stage_names(result.trace) == [
+            "parse", "classify", "validate", "translate",
+        ]
+        assert result.evaluation_seconds == 0.0
+
+
+class TestFailureTraces:
+    def test_parse_failure(self, movie_nalix):
+        result = movie_nalix.ask("")
+        assert result.status == "rejected"
+        (root,) = result.trace.roots
+        assert root.status == Span.ERROR
+        assert root.attributes["status"] == "rejected"
+        assert stage_names(result.trace) == ["parse"]
+        assert root.find("parse").status == Span.ERROR
+
+    def test_multi_sentence_rejection_has_bare_root(self, movie_nalix):
+        result = movie_nalix.ask("Return every movie. Return every title.")
+        assert result.status == "rejected"
+        (root,) = result.trace.roots
+        assert root.status == Span.ERROR
+        assert root.children == []
+
+    def test_validation_rejection(self, movie_nalix):
+        result = movie_nalix.ask("Return the isbn of every movie.")
+        assert result.status == "rejected"
+        assert stage_names(result.trace) == ["parse", "classify", "validate"]
+        validate = result.trace.find("validate")
+        assert validate.status == Span.ERROR
+        assert validate.attributes["errors"] >= 1
+        assert result.translation_seconds == 0.0
+
+    def test_translation_failure(self, movie_database, monkeypatch):
+        nalix = NaLIX(movie_database)
+
+        def explode(tree):
+            raise TranslationError("forced for the test")
+
+        monkeypatch.setattr(nalix.translator, "translate", explode)
+        result = nalix.ask("Return every movie.")
+        assert result.status == "failed"
+        assert stage_names(result.trace) == [
+            "parse", "classify", "validate", "translate",
+        ]
+        assert result.trace.find("translate").status == Span.ERROR
+        assert any(m.code == "translation-failure" for m in result.errors)
+
+    def test_evaluation_failure(self, movie_database, monkeypatch):
+        nalix = NaLIX(movie_database)
+
+        def explode(expr):
+            raise XQueryEvaluationError("forced for the test")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        result = nalix.ask("Return every movie.")
+        assert result.status == "failed"
+        assert not result.ok
+        evaluate = result.trace.find("evaluate")
+        assert evaluate is not None
+        assert evaluate.status == Span.ERROR
+        assert any(m.code == "evaluation-failure" for m in result.errors)
+
+    def test_status_vocabulary(self, movie_nalix):
+        assert movie_nalix.ask("Return every movie.").status == "ok"
+        assert (
+            movie_nalix.ask("Return the isbn of every movie.").status
+            == "rejected"
+        )

@@ -86,6 +86,75 @@ class TestCommands:
         assert "<dblp>" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_query_trace_prints_span_tree(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "--trace",
+             "Return the title of every movie."]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "ask" in output
+        assert "├─ parse" in output
+        assert "└─ evaluate" in output
+        assert "[ok]" in output
+
+    def test_query_metrics_dump(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "--metrics",
+             "Return the title of every movie."]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert '"pipeline.queries"' in output
+        assert '"pipeline.stage.translate.seconds"' in output
+
+    def test_query_audit_log(self, tmp_path, capsys):
+        from repro.obs.audit import read_audit_log
+
+        path = tmp_path / "audit.jsonl"
+        code = main(
+            ["query", "--data", "movies", "--audit-log", str(path),
+             "Return the title of every movie."]
+        )
+        assert code == 0
+        (entry,) = read_audit_log(str(path))
+        assert entry["status"] == "ok"
+        assert entry["actor"] == "cli"
+
+    def test_stats_command(self, capsys):
+        code = main(["stats", "--books", "10"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "stage" in output
+        assert "parse" in output
+        assert "evaluate" in output
+        assert "status: ok=" in output
+        assert "rejected=" in output
+        assert "failures by category:" in output
+
+    def test_stats_good_only(self, capsys):
+        code = main(["stats", "--books", "10", "--good-only"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "rejected=0" in output
+
+    def test_tasks_audit_log(self, tmp_path, capsys):
+        from repro.obs.audit import read_audit_log
+
+        path = tmp_path / "audit.jsonl"
+        code = main(
+            ["tasks", "--books", "20", "--audit-log", str(path)]
+        )
+        assert code == 0
+        entries = read_audit_log(str(path))
+        assert len(entries) == 9
+        assert all(
+            entry["status"] in {"ok", "rejected", "failed"}
+            for entry in entries
+        )
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -93,8 +162,8 @@ class TestParser:
 
     def test_all_commands_registered(self):
         parser = build_parser()
-        for command in ("query", "repl", "xquery", "tasks", "study",
-                        "generate"):
+        for command in ("query", "repl", "xquery", "tasks", "stats",
+                        "study", "generate"):
             args = parser.parse_args(
                 [command] + (["x"] if command in ("query", "xquery") else [])
             )

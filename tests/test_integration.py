@@ -1,7 +1,5 @@
 """Cross-module integration tests: full flows through the whole stack."""
 
-import pytest
-
 from repro.core.interface import NaLIX
 from repro.data import DblpConfig, generate_dblp
 from repro.database.store import Database

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.database.store import Database
 from repro.xquery.errors import XQueryEvaluationError
 from repro.xquery.evaluator import evaluate_query
 from repro.xquery.values import string_value

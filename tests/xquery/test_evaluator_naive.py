@@ -3,7 +3,6 @@ clause shapes only it handles."""
 
 import pytest
 
-from repro.database.store import Database
 from repro.xquery.evaluator import evaluate_query
 from repro.xquery.values import string_value
 
