@@ -18,6 +18,11 @@ Observability flags (see README.md "Observability"): ``--trace`` prints
 the span tree of each query, ``--metrics`` dumps the process metrics
 registry as JSON on exit, and ``--audit-log PATH`` appends one JSONL
 record per query.
+
+Resilience flags (see README.md "Resilience"): ``--timeout SECONDS``
+runs each query under the default budget with the given deadline, and
+``--inject-fault STAGE[:N|:p=P,seed=S]`` (repeatable) arms the
+deterministic fault-injection harness for chaos testing.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from repro.data import DblpConfig, bib_document, generate_dblp, movies_document
 from repro.database.store import Database
 from repro.obs.audit import STAGES, AuditLog
 from repro.obs.metrics import METRICS
+from repro.resilience.faults import FaultPlan
 from repro.xquery.errors import XQueryError
 from repro.xquery.evaluator import evaluate_query
 from repro.xquery.values import string_value
@@ -92,12 +98,22 @@ def _finish(args, audit, exit_code):
     return exit_code
 
 
+def _build_fault_plan(args):
+    specs = getattr(args, "inject_fault", None)
+    if not specs:
+        return None
+    try:
+        return FaultPlan([FaultPlan.parse_spec(spec) for spec in specs])
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
+
+
 def cmd_query(args):
     database = load_database(args.data, books=args.books, seed=args.seed)
     audit = _open_audit_log(args)
-    nalix = NaLIX(database, audit_log=audit)
+    nalix = NaLIX(database, audit_log=audit, fault_plan=_build_fault_plan(args))
     ok = _print_result(
-        nalix.ask(args.sentence),
+        nalix.ask(args.sentence, timeout=args.timeout),
         show_xquery=not args.quiet,
         show_trace=args.trace,
     )
@@ -107,7 +123,7 @@ def cmd_query(args):
 def cmd_repl(args):
     database = load_database(args.data, books=args.books, seed=args.seed)
     audit = _open_audit_log(args)
-    nalix = NaLIX(database, audit_log=audit)
+    nalix = NaLIX(database, audit_log=audit, fault_plan=_build_fault_plan(args))
     print(database)
     print("Type an English query (empty line to quit).")
     while True:
@@ -118,7 +134,9 @@ def cmd_repl(args):
         if not line:
             break
         _print_result(
-            nalix.ask(line), show_xquery=not args.quiet, show_trace=args.trace
+            nalix.ask(line, timeout=args.timeout),
+            show_xquery=not args.quiet,
+            show_trace=args.trace,
         )
     return _finish(args, audit, 0)
 
@@ -178,7 +196,7 @@ def cmd_stats(args):
     stage_stats = {
         name: {"calls": 0, "seconds": [], "errors": 0} for name in STAGES
     }
-    status_counts = {"ok": 0, "rejected": 0, "failed": 0}
+    status_counts = {"ok": 0, "degraded": 0, "rejected": 0, "failed": 0}
     category_counts = {}
     ask_seconds = []
 
@@ -239,6 +257,15 @@ def cmd_stats(args):
         for code in sorted(category_counts, key=category_counts.get,
                            reverse=True):
             print(f"  {code:<24}{category_counts[code]:>4}")
+    resilience = {
+        name: value
+        for name, value in METRICS.snapshot()["counters"].items()
+        if name.startswith("resilience.") and value
+    }
+    if resilience:
+        print("resilience counters:")
+        for name in sorted(resilience):
+            print(f"  {name:<40}{resilience[name]:>6}")
     return _finish(args, audit, 0)
 
 
@@ -285,6 +312,18 @@ def _add_data_options(parser, default_data="movies"):
     parser.add_argument("--seed", type=int, default=7, help="generator seed")
 
 
+def _add_resilience_options(parser):
+    parser.add_argument(
+        "--timeout", type=float, metavar="SECONDS",
+        help="run each query under the default budget with this deadline",
+    )
+    parser.add_argument(
+        "--inject-fault", action="append", metavar="SPEC",
+        help="inject a deterministic fault: STAGE, STAGE:N, or "
+        "STAGE:p=FLOAT[,seed=INT] (repeatable)",
+    )
+
+
 def _add_obs_options(parser, trace=False):
     if trace:
         parser.add_argument("--trace", action="store_true",
@@ -305,6 +344,7 @@ def build_parser():
     query = commands.add_parser("query", help="run one English query")
     _add_data_options(query)
     _add_obs_options(query, trace=True)
+    _add_resilience_options(query)
     query.add_argument("--quiet", action="store_true",
                        help="hide the generated XQuery")
     query.add_argument("sentence", help="the English query")
@@ -313,6 +353,7 @@ def build_parser():
     repl = commands.add_parser("repl", help="interactive query loop")
     _add_data_options(repl)
     _add_obs_options(repl, trace=True)
+    _add_resilience_options(repl)
     repl.add_argument("--quiet", action="store_true")
     repl.set_defaults(handler=cmd_repl)
 

@@ -14,6 +14,19 @@ Every ``ask`` call builds a :class:`repro.obs.spans.Trace` with one span
 per pipeline stage and attaches it to ``QueryResult.trace``; the span
 tree is the single source of truth for the result's per-stage
 ``*_seconds`` properties and for the ``pipeline.*`` metrics.
+
+Resilience (see DESIGN.md "Resilience"): ``ask`` may carry a
+:class:`repro.resilience.QueryBudget` (or a plain ``timeout``); the
+engine checks it cooperatively and raises ``BudgetExceeded`` when a
+query overruns. Failures on the evaluation path walk a graceful-
+degradation ladder — planned FLWOR → naive FLWOR → bounded keyword
+search over the query's name/value tokens — and a degraded answer is
+visibly marked (``status == "degraded"``, a ``degraded-answer``
+warning, per-hop spans and metrics), never silently wrong.  ``ask``
+never raises: unexpected exceptions become ``internal-error`` feedback,
+and every outcome carries an ``error_class`` from the
+``REJECTED``/``DEGRADED``/``EXHAUSTED``/``INTERNAL`` taxonomy plus a
+``retryable`` flag.
 """
 
 from __future__ import annotations
@@ -25,14 +38,26 @@ from repro.core.enums import COMMAND_PHRASES, parser_vocabulary
 from repro.core.errors import TranslationError
 from repro.core.feedback import Feedback
 from repro.core.translator import Translator
+from repro.core.token_types import TokenType, token_type
 from repro.core.validator import Validator
+from repro.keyword_search.engine import KeywordSearchEngine
 from repro.nlp.dependency import DependencyParser
 from repro.nlp.errors import ParseFailure
 from repro.obs.metrics import METRICS
 from repro.obs.spans import Span, Trace, activate_trace
 from repro.ontology.expansion import TermExpander
+from repro.resilience.budget import (
+    QueryBudget,
+    activate_budget,
+    check_deadline,
+)
+from repro.resilience.errors import (
+    classify_codes,
+    describe_failure,
+    is_retryable,
+)
+from repro.resilience.faults import FaultPlan
 from repro.xmlstore.model import Node
-from repro.xquery.errors import XQueryError
 from repro.xquery.evaluator import Evaluator
 from repro.xquery.parser import parse_xquery
 from repro.xquery.values import string_value
@@ -41,7 +66,9 @@ _SENTENCE_SPLIT_RE = re.compile(r"[.!?]\s+")
 
 #: Error codes that mean the *system* failed on an accepted query, as
 #: opposed to the query being rejected back to the user with feedback.
-_FAILURE_CODES = frozenset({"translation-failure", "evaluation-failure"})
+_FAILURE_CODES = frozenset({"translation-failure", "evaluation-failure",
+                            "budget-exhausted", "internal-error",
+                            "injected-fault"})
 
 #: Pipeline stage span names, in execution order.
 _STAGES = ("parse", "classify", "validate", "translate",
@@ -52,8 +79,15 @@ _STAGES = ("parse", "classify", "validate", "translate",
 _QUERIES = METRICS.counter("pipeline.queries")
 _STATUS_COUNTERS = {
     status: METRICS.counter(f"pipeline.status.{status}")
-    for status in ("ok", "rejected", "failed")
+    for status in ("ok", "degraded", "rejected", "failed")
 }
+#: Degradation-ladder hops, in fallback order.
+_DEGRADATION_HOPS = ("naive-flwor", "keyword-search")
+_DEGRADED_COUNTERS = {
+    hop: METRICS.counter(f"resilience.degraded.{hop}")
+    for hop in _DEGRADATION_HOPS
+}
+_DEGRADATION_EXHAUSTED = METRICS.counter("resilience.degraded.exhausted")
 _STAGE_HISTOGRAMS = {
     stage: METRICS.histogram(f"pipeline.stage.{stage}.seconds")
     for stage in _STAGES
@@ -76,6 +110,9 @@ class QueryResult:
         self.xquery_text = None
         self.items = []             # raw evaluation output
         self.trace = None           # repro.obs.spans.Trace, set by ask()
+        self.budget = None          # the QueryBudget the query ran under
+        self.degraded = False       # served by a fallback hop, not exactly
+        self.degradation_path = []  # fallback hops attempted, in order
 
     @property
     def ok(self):
@@ -83,17 +120,35 @@ class QueryResult:
 
     @property
     def status(self):
-        """Audit status: ``ok`` | ``rejected`` | ``failed``.
+        """Audit status: ``ok`` | ``degraded`` | ``rejected`` | ``failed``.
 
-        ``rejected`` — the input was turned back with feedback before a
-        query was produced (parse/validation stage); ``failed`` — a
-        well-formed query died in translation or evaluation.
+        ``degraded`` — an approximate answer was served by a fallback
+        hop; ``rejected`` — the input was turned back with feedback
+        before a query was produced (parse/validation stage);
+        ``failed`` — a well-formed query died in translation or
+        evaluation (including budget exhaustion).
         """
         if self.accepted:
-            return "ok"
+            return "degraded" if self.degraded else "ok"
         if any(message.code in _FAILURE_CODES for message in self.errors):
             return "failed"
         return "rejected"
+
+    @property
+    def error_class(self):
+        """Taxonomy class of the outcome (None for an exact success).
+
+        One of ``rejected`` / ``degraded`` / ``exhausted`` /
+        ``internal`` (see :mod:`repro.resilience.errors`).
+        """
+        if self.accepted:
+            return "degraded" if self.degraded else None
+        return classify_codes(message.code for message in self.errors)
+
+    @property
+    def retryable(self):
+        """True when retrying (possibly with a larger budget) makes sense."""
+        return is_retryable(self.error_class)
 
     @property
     def warnings(self):
@@ -212,10 +267,19 @@ class NaLIX:
     ``audit_log`` (any object with a ``record(result)`` method, normally
     a :class:`repro.obs.audit.AuditLog`) receives every finished
     :class:`QueryResult`.
+
+    Resilience knobs: ``budget`` is a default
+    :class:`repro.resilience.QueryBudget` applied to every ``ask``
+    (per-call ``budget=``/``timeout=`` override it); ``fault_plan`` is
+    a :class:`repro.resilience.FaultPlan` (or anything
+    ``FaultPlan.coerce`` accepts) whose faults fire inside the pipeline
+    stages; ``degrade=False`` disables the fallback ladder, turning
+    evaluation failures directly into errors.
     """
 
     def __init__(self, database, document_name=None, thesaurus=None,
-                 use_planner=True, wrap_results=False, audit_log=None):
+                 use_planner=True, wrap_results=False, audit_log=None,
+                 budget=None, fault_plan=None, degrade=True):
         self.database = database
         self.document_name = document_name or next(iter(database.documents), "doc")
         self.parser = DependencyParser(parser_vocabulary())
@@ -225,7 +289,12 @@ class NaLIX:
             database, self.document_name, wrap_results=wrap_results
         )
         self.evaluator = Evaluator(database, use_planner=use_planner)
+        self.naive_evaluator = Evaluator(database, use_planner=False)
+        self.keyword_engine = KeywordSearchEngine(database)
         self.audit_log = audit_log
+        self.budget = budget
+        self.fault_plan = FaultPlan.coerce(fault_plan)
+        self.degrade = degrade
 
     # -- pipeline stages (each usable on its own for tests/benches) ------------------
 
@@ -243,17 +312,44 @@ class NaLIX:
 
     # -- the interactive entry point ------------------------------------------------------
 
-    def ask(self, sentence, evaluate=True):
-        """Run the full pipeline; never raises on user-input problems."""
+    def ask(self, sentence, evaluate=True, budget=None, timeout=None):
+        """Run the full pipeline; never raises.
+
+        ``budget`` (a :class:`repro.resilience.QueryBudget`) bounds the
+        query's work; ``timeout`` is a convenience that builds the
+        default budget with the given wall-clock deadline in seconds.
+        An explicit ``budget`` wins over ``timeout``; with neither, the
+        interface-level default budget (if any) applies.
+        """
         result = QueryResult(sentence)
         trace = Trace()
         result.trace = trace
-        with trace.span("ask") as root, activate_trace(trace):
-            self._run_pipeline(sentence, evaluate, result, trace)
-            if not result.ok:
-                root.status = Span.ERROR
-            root.set("status", result.status)
-        self._record(result)
+        spec = budget
+        if spec is None and timeout is not None:
+            spec = QueryBudget.default(deadline_seconds=timeout)
+        if spec is None:
+            spec = self.budget
+        result.budget = spec
+        meter = spec.start() if spec is not None else None
+        try:
+            with trace.span("ask") as root, activate_trace(trace), \
+                    activate_budget(meter):
+                try:
+                    self._run_pipeline(sentence, evaluate, result, trace)
+                except Exception as error:
+                    # Faults and budget trips outside the evaluation
+                    # stages, plus genuine bugs: classify, never crash.
+                    result.accepted = False
+                    self._note_failure(result, error)
+                if not result.ok:
+                    root.status = Span.ERROR
+                root.set("status", result.status)
+                if meter is not None:
+                    for key, value in meter.snapshot().items():
+                        root.set(f"budget.{key}", value)
+        finally:
+            trace.finish_open_spans()
+            self._record(result)
         return result
 
     def _run_pipeline(self, sentence, evaluate, result, trace):
@@ -270,6 +366,8 @@ class NaLIX:
 
         with trace.span("parse") as span:
             try:
+                self._fire_fault("parse")
+                check_deadline()
                 tree = self.parse(sentence)
             except ParseFailure as failure:
                 span.status = Span.ERROR
@@ -282,10 +380,13 @@ class NaLIX:
                 return
 
         with trace.span("classify"):
+            self._fire_fault("classify")
             self.classify(tree)
         result.parse_tree = tree
 
         with trace.span("validate") as span:
+            self._fire_fault("validate")
+            check_deadline()
             feedback = self.validate(tree)
             result.feedback = feedback
             if not feedback.ok:
@@ -297,6 +398,8 @@ class NaLIX:
 
         with trace.span("translate") as span:
             try:
+                self._fire_fault("translate")
+                check_deadline()
                 translation = self.translate(tree)
             except TranslationError as error:
                 span.status = Span.ERROR
@@ -312,22 +415,120 @@ class NaLIX:
         result.accepted = True
 
         if evaluate:
-            try:
-                # Re-parse the serialized text: the emitted query string is
-                # the contract, exactly as NaLIX hands text to Timber.
-                with trace.span("xquery-parse"):
-                    expr = parse_xquery(result.xquery_text)
-                with trace.span("evaluate") as span:
-                    result.items = self.evaluator.run(expr)
-                    span.set("items", len(result.items))
-            except XQueryError as error:
+            self._evaluate_with_degradation(result, trace)
+
+    # -- evaluation and the graceful-degradation ladder ----------------------
+
+    def _fire_fault(self, stage):
+        if self.fault_plan is not None:
+            self.fault_plan.fire(stage)
+
+    def _evaluate_with_degradation(self, result, trace):
+        """Evaluate the translated query, degrading instead of failing.
+
+        The ladder: the configured evaluator (planned FLWOR by
+        default), then naive FLWOR, then bounded keyword search over
+        the query's name/value tokens. Each hop runs in its own span
+        and counts a ``resilience.degraded.*`` metric; a degraded
+        answer carries a ``degraded-answer`` warning so it is visibly
+        approximate, never silently wrong.
+        """
+        try:
+            # Re-parse the serialized text: the emitted query string is
+            # the contract, exactly as NaLIX hands text to Timber.
+            with trace.span("xquery-parse"):
+                self._fire_fault("xquery-parse")
+                expr = parse_xquery(result.xquery_text)
+        except Exception as error:
+            # Without an AST the FLWOR hops are unreachable; jump
+            # straight to the keyword rung.
+            if self.degrade:
+                self._degrade_to_keyword(result, trace, error)
+            else:
                 result.accepted = False
-                result.feedback.error(
-                    "evaluation-failure",
-                    f"The generated query could not be evaluated: {error}.",
-                    suggestion="Add conditions that relate the query's "
-                    "elements to each other.",
+                self._note_failure(result, error)
+            return
+
+        try:
+            with trace.span("evaluate") as span:
+                self._fire_fault("evaluate")
+                result.items = self.evaluator.run(expr)
+                span.set("items", len(result.items))
+            return
+        except Exception as error:
+            primary = error
+        if not self.degrade:
+            result.accepted = False
+            self._note_failure(result, primary)
+            return
+
+        if self.evaluator.use_planner:
+            result.degradation_path.append("naive-flwor")
+            try:
+                check_deadline()
+                with trace.span("evaluate-naive") as span:
+                    span.set("degraded_from", type(primary).__name__)
+                    result.items = self.naive_evaluator.run(expr)
+                    span.set("items", len(result.items))
+                self._mark_degraded(result, "naive-flwor", primary)
+                return
+            except Exception:
+                pass  # fall through to the keyword rung; report `primary`
+        self._degrade_to_keyword(result, trace, primary)
+
+    def _degrade_to_keyword(self, result, trace, primary):
+        """Last rung: bounded keyword search over name/value tokens."""
+        result.degradation_path.append("keyword-search")
+        try:
+            check_deadline()
+            with trace.span("evaluate-keyword") as span:
+                span.set("degraded_from", type(primary).__name__)
+                terms = self._keyword_terms(result)
+                span.set("terms", len(terms))
+                result.items = (
+                    self.keyword_engine.search(" ".join(terms))
+                    if terms
+                    else []
                 )
+                span.set("items", len(result.items))
+            self._mark_degraded(result, "keyword-search", primary)
+        except Exception:
+            _DEGRADATION_EXHAUSTED.inc()
+            result.items = []
+            result.accepted = False
+            self._note_failure(result, primary)
+
+    def _keyword_terms(self, result):
+        """The query's name/value tokens, for the keyword-search rung."""
+        tree = result.parse_tree
+        if tree is None:
+            return self.keyword_engine.split_terms(result.sentence)
+        terms = []
+        for node in tree.preorder():
+            if token_type(node) in (TokenType.NT, TokenType.VT):
+                # Implicit NT insertions are rendered "[name]"; the
+                # keyword index knows only the bare element name.
+                text = node.text.strip("[]")
+                terms.append(f'"{text}"' if node.quoted else text)
+        return terms
+
+    def _mark_degraded(self, result, hop, primary):
+        result.degraded = True
+        result.accepted = True
+        _DEGRADED_COUNTERS[hop].inc()
+        code, _, _ = describe_failure(primary)
+        result.feedback.warning(
+            "degraded-answer",
+            f"The exact query could not be completed ({code}: {primary}); "
+            f"showing approximate results from {hop}.",
+            suggestion="Narrow the query or raise the budget/timeout to "
+            "get an exact answer.",
+        )
+
+    def _note_failure(self, result, error):
+        """Turn an evaluation-path exception into classified feedback."""
+        code, text, suggestion = describe_failure(error)
+        result.feedback.error(code, text, suggestion=suggestion)
 
     def _record(self, result):
         """Report one finished query to metrics and the audit log."""

@@ -14,6 +14,7 @@ import re
 from repro.keyword_search.meet import nearest_concepts
 from repro.nlp.morphology import pluralize, singularize
 from repro.obs.metrics import METRICS
+from repro.resilience.budget import charge, check_deadline
 
 _SEARCHES = METRICS.counter("keyword_search.queries")
 _TERMS = METRICS.histogram("keyword_search.terms")
@@ -70,7 +71,12 @@ class KeywordSearchEngine:
         if not terms:
             _RESULTS.observe(0)
             return []
-        node_sets = [self.match_nodes(term) for term in terms]
+        node_sets = []
+        for term in terms:
+            check_deadline()
+            matches = self.match_nodes(term)
+            charge("materialized_nodes", len(matches))
+            node_sets.append(matches)
         if len(node_sets) == 1:
             results = node_sets[0][: self.result_limit]
         else:

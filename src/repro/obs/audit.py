@@ -17,9 +17,11 @@ from __future__ import annotations
 import json
 import time
 
-#: Pipeline stage span names recorded per audit entry.
+#: Pipeline stage span names recorded per audit entry.  The two
+#: ``evaluate-*`` stages are the graceful-degradation hops; they only
+#: appear in traces of degraded queries.
 STAGES = ("parse", "classify", "validate", "translate",
-          "xquery-parse", "evaluate")
+          "xquery-parse", "evaluate", "evaluate-naive", "evaluate-keyword")
 
 
 def audit_entry(result, actor=None):
@@ -33,6 +35,13 @@ def audit_entry(result, actor=None):
         "xquery": result.xquery_text,
         "results": len(result.items),
     }
+    error_class = getattr(result, "error_class", None)
+    if error_class is not None:
+        entry["error_class"] = error_class
+        entry["retryable"] = bool(getattr(result, "retryable", False))
+    degradation_path = getattr(result, "degradation_path", None)
+    if degradation_path:
+        entry["degradation_path"] = list(degradation_path)
     trace = getattr(result, "trace", None)
     if trace is not None:
         entry["total_seconds"] = trace.total_seconds()

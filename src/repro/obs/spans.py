@@ -56,8 +56,16 @@ class Span:
 
     def __exit__(self, exc_type, exc_value, traceback):
         self.finish(Span.ERROR if exc_type is not None else None)
-        if self._stack is not None:
-            self._stack.pop()
+        stack = self._stack
+        if stack is not None:
+            # An exception may have skipped the close of spans opened
+            # inside this block: finish those descendants (innermost
+            # first) so failed traces never contain open spans, then
+            # pop this span itself.
+            if self in stack:
+                while stack[-1] is not self:
+                    stack.pop().finish()
+                stack.pop()
             self._stack = None
         return False
 
@@ -178,6 +186,18 @@ class Trace:
             if found is not None:
                 return found
         return None
+
+    def finish_open_spans(self):
+        """Close any spans still on the open stack (innermost first).
+
+        Safety net for exception paths that bypass a span's ``with``
+        block (a helper that opened a span and raised before closing
+        it): guarantees every span in a finished trace has an end time,
+        so ``--trace`` output and audited stage timings are complete
+        even when evaluation raised.
+        """
+        while self._stack:
+            self._stack.pop().finish()
 
     def stage_seconds(self, name):
         """Total duration of every span named ``name`` in the trace."""

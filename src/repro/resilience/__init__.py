@@ -1,0 +1,56 @@
+"""Resilience layer: budgets, error taxonomy, and fault injection.
+
+Three cooperating pieces keep the interactive pipeline deployable:
+
+* :mod:`repro.resilience.budget` — per-query resource budgets
+  (deadline, MQF candidate tuples, materialized nodes, FLWOR
+  iterations) checked cooperatively at engine loop boundaries;
+* :mod:`repro.resilience.errors` — the typed failure taxonomy
+  (``REJECTED`` / ``DEGRADED`` / ``EXHAUSTED`` / ``INTERNAL``) with
+  retryability flags, surfaced on ``QueryResult``;
+* :mod:`repro.resilience.faults` — a deterministic fault-injection
+  harness used by the chaos test suite and the ``--inject-fault`` CLI
+  flag.
+
+The graceful-degradation ladder itself (planned FLWOR → naive FLWOR →
+bounded keyword search) lives in :mod:`repro.core.interface`, which
+consumes all three pieces.
+"""
+
+from repro.resilience.budget import (
+    BudgetMeter,
+    QueryBudget,
+    activate_budget,
+    active_meter,
+    charge,
+    check_deadline,
+)
+from repro.resilience.errors import (
+    BudgetExceeded,
+    ErrorClass,
+    InjectedFault,
+    ResilienceError,
+    classify_codes,
+    describe_failure,
+    is_retryable,
+)
+from repro.resilience.faults import FAULT_STAGES, FaultPlan, FaultSpec
+
+__all__ = [
+    "BudgetExceeded",
+    "BudgetMeter",
+    "ErrorClass",
+    "FAULT_STAGES",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "QueryBudget",
+    "ResilienceError",
+    "activate_budget",
+    "active_meter",
+    "charge",
+    "check_deadline",
+    "classify_codes",
+    "describe_failure",
+    "is_retryable",
+]

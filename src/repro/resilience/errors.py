@@ -1,0 +1,154 @@
+"""Typed error taxonomy for pipeline failures.
+
+Every way a query can fail maps onto one of four classes, so callers
+(and the audit log) can decide what to do next without string-matching
+messages:
+
+``REJECTED``
+    The *user's input* was turned back with feedback (paper Sec. 4):
+    parse failures, validation errors, unsupported constructs. Retrying
+    the identical query is pointless — the user must rephrase.
+``DEGRADED``
+    The exact query could not be served but an approximate answer was
+    (naive re-evaluation or keyword search). Retrying with a larger
+    budget may produce the exact answer.
+``EXHAUSTED``
+    The query ran out of budget (deadline, candidate tuples,
+    materialized nodes, FLWOR iterations) before producing an answer.
+    Retryable with a larger budget or a narrower query.
+``INTERNAL``
+    The system failed on an accepted query: translation/evaluation
+    bugs, injected faults, unexpected exceptions. Retryable in the
+    sense that the failure is not the user's fault.
+
+:func:`classify_codes` maps feedback error codes onto the taxonomy;
+unknown codes default to ``REJECTED`` because every code the validator
+emits is, by construction, user-actionable feedback.
+"""
+
+from __future__ import annotations
+
+
+class ErrorClass:
+    """Namespace of failure-class constants."""
+
+    REJECTED = "rejected"
+    DEGRADED = "degraded"
+    EXHAUSTED = "exhausted"
+    INTERNAL = "internal"
+
+    ALL = (REJECTED, DEGRADED, EXHAUSTED, INTERNAL)
+
+
+#: Failure classes worth retrying (possibly with a larger budget).
+RETRYABLE_CLASSES = frozenset(
+    {ErrorClass.DEGRADED, ErrorClass.EXHAUSTED, ErrorClass.INTERNAL}
+)
+
+#: Feedback error codes signalling budget exhaustion.
+EXHAUSTED_CODES = frozenset({"budget-exhausted"})
+
+#: Feedback error codes signalling a system-side failure.
+INTERNAL_CODES = frozenset(
+    {"translation-failure", "evaluation-failure", "internal-error",
+     "injected-fault"}
+)
+
+
+def classify_codes(codes):
+    """Map an iterable of feedback error codes to one failure class.
+
+    Exhaustion dominates (it explains *why* evaluation failed), then
+    internal failures; anything else is user-fixable feedback. Returns
+    None for an empty iterable.
+    """
+    codes = list(codes)
+    if not codes:
+        return None
+    if any(code in EXHAUSTED_CODES for code in codes):
+        return ErrorClass.EXHAUSTED
+    if any(code in INTERNAL_CODES for code in codes):
+        return ErrorClass.INTERNAL
+    return ErrorClass.REJECTED
+
+
+def is_retryable(error_class):
+    """True when a failure of ``error_class`` is worth retrying."""
+    return error_class in RETRYABLE_CLASSES
+
+
+class ResilienceError(Exception):
+    """Base class for errors raised by the resilience layer itself."""
+
+    #: Default taxonomy class; subclasses override.
+    error_class = ErrorClass.INTERNAL
+    retryable = True
+
+
+class BudgetExceeded(ResilienceError):
+    """A query overran one resource of its :class:`QueryBudget`.
+
+    ``resource`` is one of ``deadline`` / ``candidate_tuples`` /
+    ``materialized_nodes`` / ``flwor_iterations``; ``limit`` the budget
+    cap and ``spent`` the amount consumed when the check fired.
+    """
+
+    error_class = ErrorClass.EXHAUSTED
+    retryable = True
+
+    def __init__(self, resource, limit, spent):
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        if resource == "deadline":
+            detail = f"deadline of {limit:.3g}s exceeded ({spent:.3g}s elapsed)"
+        else:
+            detail = f"{resource} budget of {limit} exceeded ({spent} spent)"
+        super().__init__(detail)
+
+
+class InjectedFault(ResilienceError):
+    """A deterministic fault raised by the chaos harness."""
+
+    error_class = ErrorClass.INTERNAL
+    retryable = True
+
+    def __init__(self, stage, message=None):
+        self.stage = stage
+        super().__init__(message or f"injected fault at stage {stage!r}")
+
+
+def describe_failure(error):
+    """Feedback ``(code, text, suggestion)`` for an evaluation-path error.
+
+    Keeps the legacy ``evaluation-failure`` wording for XQuery engine
+    errors so existing feedback-driven callers keep working; budget and
+    injected failures get their own codes.
+    """
+    if isinstance(error, BudgetExceeded):
+        return (
+            "budget-exhausted",
+            f"The query ran out of budget: {error}.",
+            "Narrow the query, or retry with a larger budget or timeout.",
+        )
+    if isinstance(error, InjectedFault):
+        return (
+            "injected-fault",
+            f"A fault was injected for testing: {error}.",
+            "This failure was requested by the chaos harness.",
+        )
+    from repro.xquery.errors import XQueryError
+
+    if isinstance(error, XQueryError):
+        return (
+            "evaluation-failure",
+            f"The generated query could not be evaluated: {error}.",
+            "Add conditions that relate the query's elements to each other.",
+        )
+    return (
+        "internal-error",
+        f"NaLIX hit an unexpected internal error: "
+        f"{type(error).__name__}: {error}.",
+        "This is a system bug, not a problem with the query; retrying "
+        "may succeed.",
+    )

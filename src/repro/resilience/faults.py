@@ -1,0 +1,161 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultPlan` holds :class:`FaultSpec` triggers keyed by pipeline
+stage.  ``NaLIX`` fires :meth:`FaultPlan.fire` at the top of every stage
+span; when a spec triggers, an :class:`InjectedFault` (or a caller-
+supplied exception) is raised *inside* the stage, exercising exactly the
+error path a real failure of that stage would take.
+
+Triggers are deterministic: either fire on the Nth call to the stage
+(``at_call``, 1-based; the default fires on every call) or fire with a
+probability driven by a seeded ``random.Random`` — the same plan run
+against the same query sequence always injects the same faults, which
+is what lets the chaos suite assert exact outcomes.
+
+CLI syntax (``--inject-fault``), parsed by :meth:`FaultPlan.parse_spec`::
+
+    STAGE                 fire on every call of STAGE
+    STAGE:N               fire on the Nth call only
+    STAGE:p=0.5,seed=42   fire with probability 0.5 (seeded)
+
+Every fired fault increments the ``resilience.faults.injected`` counter
+and a per-stage ``resilience.faults.injected.<stage>`` counter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.obs.metrics import METRICS
+from repro.resilience.errors import InjectedFault
+
+#: Pipeline stages with an injection point, in execution order.
+FAULT_STAGES = ("parse", "classify", "validate", "translate",
+                "xquery-parse", "evaluate")
+
+_INJECTED = METRICS.counter("resilience.faults.injected")
+
+
+class FaultSpec:
+    """One trigger: which stage, when, and what to raise."""
+
+    def __init__(self, stage, at_call=None, probability=None, seed=0,
+                 exception=None, message=None):
+        if stage not in FAULT_STAGES:
+            raise ValueError(
+                f"unknown fault stage {stage!r}; expected one of "
+                f"{', '.join(FAULT_STAGES)}"
+            )
+        if at_call is not None and at_call < 1:
+            raise ValueError("at_call is 1-based and must be >= 1")
+        if probability is not None and not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        self.stage = stage
+        self.at_call = at_call
+        self.probability = probability
+        self.seed = seed
+        self.exception = exception
+        self.message = message
+        self._calls = 0
+        self._rng = random.Random(seed) if probability is not None else None
+
+    def should_fire(self):
+        """Advance this spec's call count; True when the fault triggers."""
+        self._calls += 1
+        if self.at_call is not None:
+            return self._calls == self.at_call
+        if self.probability is not None:
+            return self._rng.random() < self.probability
+        return True
+
+    def make_exception(self):
+        if self.exception is not None:
+            # A class raises a fresh instance; an instance raises as-is.
+            if isinstance(self.exception, type):
+                return self.exception(
+                    self.message or f"injected fault at stage {self.stage!r}"
+                )
+            return self.exception
+        return InjectedFault(self.stage, self.message)
+
+    def reset(self):
+        """Rewind the call counter and reseed the RNG (for reuse)."""
+        self._calls = 0
+        if self.probability is not None:
+            self._rng = random.Random(self.seed)
+
+    def __repr__(self):
+        trigger = (
+            f"at_call={self.at_call}" if self.at_call is not None
+            else f"p={self.probability}, seed={self.seed}"
+            if self.probability is not None
+            else "always"
+        )
+        return f"FaultSpec({self.stage!r}, {trigger})"
+
+
+class FaultPlan:
+    """A set of fault specs consulted at every pipeline injection point."""
+
+    def __init__(self, specs=()):
+        self.specs = list(specs)
+
+    @classmethod
+    def coerce(cls, value):
+        """Accept a plan, a spec list, a single spec, or a CLI string."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, FaultSpec):
+            return cls([value])
+        if isinstance(value, str):
+            return cls([cls.parse_spec(value)])
+        return cls(list(value))
+
+    @staticmethod
+    def parse_spec(text):
+        """Parse one ``--inject-fault`` argument into a :class:`FaultSpec`."""
+        stage, _, options = text.partition(":")
+        stage = stage.strip()
+        options = options.strip()
+        if not options:
+            return FaultSpec(stage)
+        if options.isdigit():
+            return FaultSpec(stage, at_call=int(options))
+        probability = None
+        seed = 0
+        for part in options.split(","):
+            key, _, value = part.partition("=")
+            key = key.strip()
+            try:
+                if key == "p":
+                    probability = float(value)
+                elif key == "seed":
+                    seed = int(value)
+                else:
+                    raise ValueError
+            except ValueError:
+                raise ValueError(
+                    f"bad fault option {part!r}; expected STAGE, STAGE:N, "
+                    "or STAGE:p=FLOAT[,seed=INT]"
+                ) from None
+        if probability is None:
+            raise ValueError(f"fault spec {text!r} sets no trigger")
+        return FaultSpec(stage, probability=probability, seed=seed)
+
+    def fire(self, stage):
+        """Raise the configured fault when a spec for ``stage`` triggers."""
+        for spec in self.specs:
+            if spec.stage == stage and spec.should_fire():
+                _INJECTED.inc()
+                METRICS.inc(f"resilience.faults.injected.{stage}")
+                raise spec.make_exception()
+
+    def reset(self):
+        for spec in self.specs:
+            spec.reset()
+
+    def __bool__(self):
+        return bool(self.specs)
+
+    def __repr__(self):
+        return f"FaultPlan({self.specs!r})"

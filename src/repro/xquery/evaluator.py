@@ -16,6 +16,8 @@ compare them on random small documents.
 from __future__ import annotations
 
 from repro.obs.metrics import METRICS
+from repro.obs.spans import span
+from repro.resilience.budget import charge, check_deadline
 from repro.xmlstore.model import AttributeNode, ElementNode, TextNode
 from repro.xquery import ast
 from repro.xquery.errors import XQueryEvaluationError
@@ -76,9 +78,18 @@ class Evaluator:
     # -- public API ---------------------------------------------------------
 
     def run(self, query, env=None):
-        """Evaluate query text or an AST; returns a sequence (list)."""
+        """Evaluate query text or an AST; returns a sequence (list).
+
+        Runs inside an ``evaluator.run`` span (a no-op without an
+        active trace); the ``with`` block guarantees the span is
+        finished even when evaluation raises, so traces of failed
+        queries stay complete.
+        """
         expr = parse_xquery(query) if isinstance(query, str) else query
-        return self.evaluate(expr, env or Environment())
+        with span("evaluator.run", planner=self.use_planner) as current:
+            items = self.evaluate(expr, env or Environment())
+            current.set("items", len(items))
+        return items
 
     # -- dispatch -------------------------------------------------------------
 
@@ -163,6 +174,7 @@ class Evaluator:
                 if single_document or node.root() is document.root:
                     nodes.append(node)
         nodes.sort(key=lambda node: node.node_id)
+        charge("materialized_nodes", len(nodes))
         return nodes
 
     def _apply_steps(self, nodes, steps):
@@ -211,6 +223,7 @@ class Evaluator:
                     if isinstance(child, TextNode):
                         emit(child)
         result.sort(key=lambda node: node.node_id)
+        charge("materialized_nodes", len(result))
         return result
 
     # -- functions and quantifiers -----------------------------------------
@@ -255,6 +268,7 @@ class Evaluator:
     # -- FLWOR ---------------------------------------------------------------
 
     def _eval_flwor(self, flwor, env):
+        check_deadline()
         if self.use_planner and is_plannable(flwor):
             _FLWOR_PLANNED.inc()
             return self._eval_flwor_planned(flwor, env)
@@ -270,6 +284,7 @@ class Evaluator:
                     expanded = []
                     for current in stream:
                         items = self.evaluate(source, current)
+                        charge("flwor_iterations", len(items))
                         population = CandidateSet(
                             [item for item in items if is_node(item)]
                         )
@@ -331,6 +346,7 @@ class Evaluator:
             _CANDIDATES.observe(len(filtered))
 
         tuples = enumerate_tuples(plan, candidates, populations)
+        charge("flwor_iterations", len(tuples))
         population_sets = {
             var: CandidateSet([item for item in populations[var] if is_node(item)])
             for var in plan.for_vars

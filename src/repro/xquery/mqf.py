@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 
+from repro.resilience.budget import charge, check_deadline
 from repro.xmlstore.model import lowest_common_ancestor
 
 
@@ -191,8 +192,11 @@ def mqf_join(candidate_lists, population_lists=None):
             anchored = anchors_i.get(node.node_id)
             if anchored is None:
                 continue
-            for partner in by_anchor.get(anchored, ()):
-                result.append((node, partner))
+            partners = by_anchor.get(anchored, ())
+            if partners:
+                charge("candidate_tuples", len(partners))
+                for partner in partners:
+                    result.append((node, partner))
         return result
 
     _, start_i, start_j = min(
@@ -205,6 +209,7 @@ def mqf_join(candidate_lists, population_lists=None):
     ]
     joined = {start_i, start_j}
     while len(joined) < arity and tuples:
+        check_deadline()
         _, via, new = min(
             (estimate(s, j), s, j)
             for s in joined
@@ -228,6 +233,7 @@ def mqf_join(candidate_lists, population_lists=None):
                     record = dict(partial)
                     record[new] = node
                     extended.append(record)
+        charge("candidate_tuples", len(extended))
         tuples = extended
         joined.add(new)
     if len(joined) < arity:

@@ -25,6 +25,7 @@ the ablation benchmark.
 from __future__ import annotations
 
 from repro.obs.metrics import METRICS
+from repro.resilience.budget import charge, check_deadline
 from repro.xquery import ast
 from repro.xquery.errors import XQueryEvaluationError
 from repro.xquery.mqf import CandidateSet, mqf_join
@@ -224,12 +225,14 @@ def enumerate_tuples(plan, candidates, populations):
 
     combined = [{}]
     for variables, tuples in streams:
+        check_deadline()
         extended = []
         for bindings in combined:
             for row in tuples:
                 merged = dict(bindings)
                 merged.update(zip(variables, row))
                 extended.append(merged)
+        charge("candidate_tuples", len(extended))
         combined = extended
         if not combined:
             break

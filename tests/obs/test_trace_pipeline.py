@@ -108,7 +108,9 @@ class TestFailureTraces:
         assert any(m.code == "translation-failure" for m in result.errors)
 
     def test_evaluation_failure(self, movie_database, monkeypatch):
-        nalix = NaLIX(movie_database)
+        # degrade=False turns evaluation failures directly into errors
+        # (the degradation ladder has its own tests under tests/resilience).
+        nalix = NaLIX(movie_database, degrade=False)
 
         def explode(expr):
             raise XQueryEvaluationError("forced for the test")
@@ -121,6 +123,43 @@ class TestFailureTraces:
         assert evaluate is not None
         assert evaluate.status == Span.ERROR
         assert any(m.code == "evaluation-failure" for m in result.errors)
+
+    def test_evaluation_failure_degrades_by_default(
+        self, movie_database, monkeypatch
+    ):
+        nalix = NaLIX(movie_database)
+
+        def explode(expr):
+            raise XQueryEvaluationError("forced for the test")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        result = nalix.ask("Return every movie.")
+        assert result.ok
+        assert result.status == "degraded"
+        assert result.degradation_path == ["naive-flwor"]
+        assert any(m.code == "degraded-answer" for m in result.warnings)
+
+    def test_spans_closed_when_evaluation_raises(
+        self, movie_database, monkeypatch
+    ):
+        """Spans opened inside a failing stage are finished, never left
+        open — the --trace output and audited stage timings stay
+        complete on exception paths."""
+        nalix = NaLIX(movie_database, degrade=False)
+
+        def explode(expr):
+            from repro.obs.spans import current_trace
+
+            current_trace().span("inner-work")  # opened, never closed
+            raise XQueryEvaluationError("forced for the test")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        result = nalix.ask("Return every movie.")
+        assert result.status == "failed"
+        assert result.trace.find("inner-work") is not None
+        assert all(
+            span.ended_at is not None for span in result.trace.iter_spans()
+        )
 
     def test_status_vocabulary(self, movie_nalix):
         assert movie_nalix.ask("Return every movie.").status == "ok"

@@ -1,0 +1,143 @@
+"""QueryBudget / BudgetMeter semantics and the ask() budget plumbing."""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.resilience.budget import (
+    QueryBudget,
+    activate_budget,
+    active_meter,
+    charge,
+    check_deadline,
+)
+from repro.resilience.errors import BudgetExceeded, ErrorClass
+
+
+class TestQueryBudget:
+    def test_default_budget_values(self):
+        budget = QueryBudget.default()
+        assert budget.deadline_seconds == QueryBudget.DEFAULT_DEADLINE_SECONDS
+        assert (
+            budget.max_candidate_tuples
+            == QueryBudget.DEFAULT_MAX_CANDIDATE_TUPLES
+        )
+        assert (
+            budget.max_materialized_nodes
+            == QueryBudget.DEFAULT_MAX_MATERIALIZED_NODES
+        )
+        assert (
+            budget.max_flwor_iterations
+            == QueryBudget.DEFAULT_MAX_FLWOR_ITERATIONS
+        )
+
+    def test_default_with_custom_deadline(self):
+        budget = QueryBudget.default(deadline_seconds=1.5)
+        assert budget.deadline_seconds == 1.5
+        assert budget.max_candidate_tuples is not None
+
+    def test_unlimited_by_default(self):
+        budget = QueryBudget()
+        meter = budget.start()
+        meter.charge("candidate_tuples", 10**9)
+        meter.check_deadline()  # no deadline, never raises
+
+    def test_to_dict_and_repr(self):
+        budget = QueryBudget(deadline_seconds=2.0, max_candidate_tuples=10)
+        assert budget.to_dict()["deadline_seconds"] == 2.0
+        assert "max_candidate_tuples=10" in repr(budget)
+
+
+class TestBudgetMeter:
+    def test_charge_past_limit_raises(self):
+        meter = QueryBudget(max_candidate_tuples=5).start()
+        meter.charge("candidate_tuples", 5)
+        with pytest.raises(BudgetExceeded) as info:
+            meter.charge("candidate_tuples", 1)
+        error = info.value
+        assert error.resource == "candidate_tuples"
+        assert error.limit == 5
+        assert error.spent == 6
+        assert error.error_class == ErrorClass.EXHAUSTED
+        assert error.retryable
+
+    def test_deadline_exceeded(self):
+        meter = QueryBudget(deadline_seconds=0.0).start()
+        with pytest.raises(BudgetExceeded) as info:
+            meter.check_deadline()
+        assert info.value.resource == "deadline"
+
+    def test_implicit_deadline_check_in_charge(self):
+        meter = QueryBudget(deadline_seconds=0.0).start()
+        with pytest.raises(BudgetExceeded) as info:
+            for _ in range(1000):  # > the implicit check interval
+                meter.charge("flwor_iterations", 1)
+        assert info.value.resource == "deadline"
+
+    def test_snapshot_reports_spending(self):
+        meter = QueryBudget().start()
+        meter.charge("materialized_nodes", 7)
+        snapshot = meter.snapshot()
+        assert snapshot["materialized_nodes"] == 7
+        assert snapshot["elapsed_seconds"] >= 0.0
+
+
+class TestContextPlumbing:
+    def test_helpers_are_noops_without_meter(self):
+        assert active_meter() is None
+        charge("candidate_tuples", 10**9)  # no active meter: no-op
+        check_deadline()
+
+    def test_activation_restores_previous_state(self):
+        meter = QueryBudget().start()
+        with activate_budget(meter):
+            assert active_meter() is meter
+            charge("flwor_iterations", 3)
+        assert active_meter() is None
+        assert meter.spent["flwor_iterations"] == 3
+
+
+class TestAskBudget:
+    def test_timeout_builds_default_budget(self, movie_database):
+        nalix = NaLIX(movie_database)
+        result = nalix.ask("Return every movie.", timeout=30.0)
+        assert result.ok
+        assert result.budget.deadline_seconds == 30.0
+        assert (
+            result.budget.max_candidate_tuples
+            == QueryBudget.DEFAULT_MAX_CANDIDATE_TUPLES
+        )
+
+    def test_zero_timeout_exhausts(self, movie_database):
+        nalix = NaLIX(movie_database)
+        result = nalix.ask("Return every movie.", timeout=0.0)
+        assert not result.ok
+        assert result.status == "failed"
+        assert result.error_class == ErrorClass.EXHAUSTED
+        assert result.retryable
+        assert any(m.code == "budget-exhausted" for m in result.errors)
+
+    def test_explicit_budget_wins_over_timeout(self, movie_database):
+        nalix = NaLIX(movie_database)
+        budget = QueryBudget(deadline_seconds=60.0)
+        result = nalix.ask(
+            "Return every movie.", budget=budget, timeout=0.0
+        )
+        assert result.ok
+        assert result.budget is budget
+
+    def test_interface_default_budget(self, movie_database):
+        nalix = NaLIX(movie_database, budget=QueryBudget(deadline_seconds=0.0))
+        result = nalix.ask("Return every movie.")
+        assert result.error_class == ErrorClass.EXHAUSTED
+
+    def test_budget_spending_on_root_span(self, movie_database):
+        nalix = NaLIX(movie_database)
+        result = nalix.ask("Return every movie.", timeout=30.0)
+        (root,) = result.trace.roots
+        assert "budget.elapsed_seconds" in root.attributes
+        assert root.attributes["budget.materialized_nodes"] > 0
+
+    def test_no_budget_by_default(self, movie_nalix):
+        result = movie_nalix.ask("Return every movie.")
+        assert result.ok
+        assert result.budget is None

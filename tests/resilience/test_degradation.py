@@ -1,0 +1,176 @@
+"""The graceful-degradation ladder, including the MQF blowup scenario."""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.database.store import Database
+from repro.obs.audit import AuditLog, read_audit_log
+from repro.obs.metrics import METRICS
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import ErrorClass
+from repro.xquery.errors import XQueryEvaluationError
+
+
+@pytest.fixture(scope="module")
+def wide_movie_database():
+    """A synthetic document whose title/movie extents drive ``mqf_join``
+    into many candidate tuples — the adversarial-phrasing blowup."""
+    movies = "".join(
+        f"<movie><title>Movie {i}</title><year>{1980 + i}</year></movie>"
+        for i in range(60)
+    )
+    database = Database()
+    database.load_text(f"<collection>{movies}</collection>", name="movie.xml")
+    return database
+
+
+#: Caps chosen so the planned path trips on candidate tuples and the
+#: naive retry trips on iterations, forcing the keyword rung.
+TIGHT_BUDGET = QueryBudget(
+    deadline_seconds=5.0,
+    max_candidate_tuples=10,
+    max_flwor_iterations=10,
+)
+
+
+class TestMqfBlowup:
+    def test_blowup_degrades_to_keyword_search_within_deadline(
+        self, wide_movie_database
+    ):
+        nalix = NaLIX(wide_movie_database)
+        result = nalix.ask(
+            "Return the title of every movie.", budget=TIGHT_BUDGET
+        )
+        assert result.ok
+        assert result.status == "degraded"
+        assert result.error_class == ErrorClass.DEGRADED
+        assert result.retryable
+        # Both FLWOR hops were exhausted before the keyword rung served.
+        assert result.degradation_path == ["naive-flwor", "keyword-search"]
+        assert result.items  # a visibly-degraded answer, not an error
+        assert result.total_seconds < TIGHT_BUDGET.deadline_seconds
+        (warning,) = [
+            m for m in result.warnings if m.code == "degraded-answer"
+        ]
+        assert "budget-exhausted" in warning.text
+
+    def test_blowup_without_degradation_is_exhausted(
+        self, wide_movie_database
+    ):
+        nalix = NaLIX(wide_movie_database, degrade=False)
+        result = nalix.ask(
+            "Return the title of every movie.", budget=TIGHT_BUDGET
+        )
+        assert result.status == "failed"
+        assert result.error_class == ErrorClass.EXHAUSTED
+        assert result.retryable
+        assert any(m.code == "budget-exhausted" for m in result.errors)
+
+    def test_blowup_is_audited_with_degradation_path(
+        self, wide_movie_database, tmp_path
+    ):
+        audit_path = tmp_path / "audit.jsonl"
+        nalix = NaLIX(
+            wide_movie_database, audit_log=AuditLog(str(audit_path))
+        )
+        nalix.ask("Return the title of every movie.", budget=TIGHT_BUDGET)
+        nalix.audit_log.close()
+        (entry,) = read_audit_log(str(audit_path))
+        assert entry["status"] == "degraded"
+        assert entry["error_class"] == "degraded"
+        assert entry["retryable"] is True
+        assert entry["degradation_path"] == ["naive-flwor", "keyword-search"]
+        assert "evaluate-keyword" in entry["stage_seconds"]
+
+
+class TestDegradationLadder:
+    def test_planner_failure_falls_back_to_naive(
+        self, movie_database, monkeypatch
+    ):
+        nalix = NaLIX(movie_database)
+
+        def explode(expr):
+            raise XQueryEvaluationError("planned path down")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        before = METRICS.counter("resilience.degraded.naive-flwor").value
+        result = nalix.ask("Return the title of every movie.")
+        assert result.status == "degraded"
+        assert result.degradation_path == ["naive-flwor"]
+        # The naive hop computes the exact same answer set here.
+        assert sorted(result.values()) == sorted(
+            NaLIX(movie_database).ask(
+                "Return the title of every movie."
+            ).values()
+        )
+        assert (
+            METRICS.counter("resilience.degraded.naive-flwor").value
+            == before + 1
+        )
+
+    def test_naive_evaluator_skips_redundant_naive_hop(
+        self, movie_database, monkeypatch
+    ):
+        nalix = NaLIX(movie_database, use_planner=False)
+
+        def explode(expr):
+            raise XQueryEvaluationError("naive path down")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        result = nalix.ask("Return the title of every movie.")
+        assert result.status == "degraded"
+        assert result.degradation_path == ["keyword-search"]
+
+    def test_degraded_status_counter(self, movie_database, monkeypatch):
+        nalix = NaLIX(movie_database)
+
+        def explode(expr):
+            raise XQueryEvaluationError("down")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        before = METRICS.counter("pipeline.status.degraded").value
+        nalix.ask("Return every movie.")
+        assert (
+            METRICS.counter("pipeline.status.degraded").value == before + 1
+        )
+
+    def test_keyword_rung_uses_name_and_value_tokens(
+        self, movie_database, monkeypatch
+    ):
+        nalix = NaLIX(movie_database)
+
+        def explode(expr):
+            raise XQueryEvaluationError("down")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        monkeypatch.setattr(nalix.naive_evaluator, "run", explode)
+        result = nalix.ask(
+            'Return the title of every movie directed by "Ron Howard".'
+        )
+        assert result.status == "degraded"
+        assert result.degradation_path[-1] == "keyword-search"
+        keyword_span = result.trace.find("evaluate-keyword")
+        assert keyword_span is not None
+        assert keyword_span.attributes["terms"] >= 3  # title, movie, value
+        assert result.items
+
+    def test_exhausted_ladder_reports_primary_failure(
+        self, movie_database, monkeypatch
+    ):
+        nalix = NaLIX(movie_database)
+
+        def explode(*args, **kwargs):
+            raise XQueryEvaluationError("everything down")
+
+        monkeypatch.setattr(nalix.evaluator, "run", explode)
+        monkeypatch.setattr(nalix.naive_evaluator, "run", explode)
+        monkeypatch.setattr(nalix.keyword_engine, "search", explode)
+        before = METRICS.counter("resilience.degraded.exhausted").value
+        result = nalix.ask("Return every movie.")
+        assert result.status == "failed"
+        assert result.error_class == ErrorClass.INTERNAL
+        assert any(m.code == "evaluation-failure" for m in result.errors)
+        assert (
+            METRICS.counter("resilience.degraded.exhausted").value
+            == before + 1
+        )

@@ -1,0 +1,86 @@
+"""The failure taxonomy and its surfacing on QueryResult."""
+
+from repro.resilience.errors import (
+    BudgetExceeded,
+    ErrorClass,
+    InjectedFault,
+    classify_codes,
+    describe_failure,
+    is_retryable,
+)
+from repro.xquery.errors import XQueryEvaluationError
+
+
+class TestClassifyCodes:
+    def test_empty_is_none(self):
+        assert classify_codes([]) is None
+
+    def test_validation_codes_are_rejected(self):
+        assert classify_codes(["unknown-name"]) == ErrorClass.REJECTED
+        assert classify_codes(["parse-failure"]) == ErrorClass.REJECTED
+
+    def test_system_codes_are_internal(self):
+        assert classify_codes(["translation-failure"]) == ErrorClass.INTERNAL
+        assert classify_codes(["evaluation-failure"]) == ErrorClass.INTERNAL
+        assert classify_codes(["internal-error"]) == ErrorClass.INTERNAL
+        assert classify_codes(["injected-fault"]) == ErrorClass.INTERNAL
+
+    def test_exhaustion_dominates(self):
+        assert (
+            classify_codes(["evaluation-failure", "budget-exhausted"])
+            == ErrorClass.EXHAUSTED
+        )
+
+    def test_internal_dominates_rejected(self):
+        assert (
+            classify_codes(["unknown-name", "internal-error"])
+            == ErrorClass.INTERNAL
+        )
+
+
+class TestRetryability:
+    def test_flags(self):
+        assert not is_retryable(ErrorClass.REJECTED)
+        assert is_retryable(ErrorClass.DEGRADED)
+        assert is_retryable(ErrorClass.EXHAUSTED)
+        assert is_retryable(ErrorClass.INTERNAL)
+        assert not is_retryable(None)
+
+
+class TestDescribeFailure:
+    def test_budget_exceeded(self):
+        code, text, suggestion = describe_failure(
+            BudgetExceeded("candidate_tuples", 10, 12)
+        )
+        assert code == "budget-exhausted"
+        assert "candidate_tuples" in text
+        assert suggestion
+
+    def test_injected_fault(self):
+        code, text, _ = describe_failure(InjectedFault("evaluate"))
+        assert code == "injected-fault"
+        assert "evaluate" in text
+
+    def test_xquery_error_keeps_legacy_code(self):
+        code, text, _ = describe_failure(XQueryEvaluationError("boom"))
+        assert code == "evaluation-failure"
+        assert "boom" in text
+
+    def test_unexpected_exception_is_internal(self):
+        code, text, _ = describe_failure(ZeroDivisionError("oops"))
+        assert code == "internal-error"
+        assert "ZeroDivisionError" in text
+
+
+class TestQueryResultSurface:
+    def test_exact_success_has_no_error_class(self, movie_nalix):
+        result = movie_nalix.ask("Return every movie.")
+        assert result.ok
+        assert result.error_class is None
+        assert not result.retryable
+
+    def test_rejected_query_is_not_retryable(self, movie_nalix):
+        result = movie_nalix.ask("Return the isbn of every movie.")
+        assert result.status == "rejected"
+        assert result.error_class == ErrorClass.REJECTED
+        assert not result.retryable

@@ -1,0 +1,145 @@
+"""Chaos suite: deterministic fault injection at every pipeline stage.
+
+Proves the acceptance contract of the resilience layer: a fault at any
+of the six pipeline stages yields a *classified* QueryResult (never an
+unhandled exception), a complete span tree, and an audit-log entry.
+"""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.obs.audit import AuditLog, read_audit_log
+from repro.obs.metrics import METRICS
+from repro.resilience.errors import ErrorClass
+from repro.resilience.faults import FAULT_STAGES, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+SENTENCE = "Return the title of every movie."
+
+
+class TestFaultAtEveryStage:
+    @pytest.mark.parametrize("stage", FAULT_STAGES)
+    def test_fault_yields_classified_result(
+        self, stage, movie_database, tmp_path
+    ):
+        audit_path = tmp_path / "audit.jsonl"
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=FaultPlan([FaultSpec(stage)]),
+            audit_log=AuditLog(str(audit_path)),
+        )
+        result = nalix.ask(SENTENCE)  # must not raise
+
+        # A classified outcome, never an unhandled crash.
+        assert result.status in ("degraded", "failed")
+        assert result.error_class in (
+            ErrorClass.DEGRADED, ErrorClass.INTERNAL
+        )
+        assert result.retryable
+
+        # The two evaluation-side stages degrade to a fallback answer;
+        # the earlier stages fail with the injected-fault code.
+        if stage in ("xquery-parse", "evaluate"):
+            assert result.status == "degraded"
+            assert result.degradation_path
+            assert any(
+                m.code == "degraded-answer" for m in result.warnings
+            )
+        else:
+            assert result.status == "failed"
+            assert any(m.code == "injected-fault" for m in result.errors)
+
+        # A complete span tree: every span finished, the root errored
+        # stage marked.
+        spans = list(result.trace.iter_spans())
+        assert spans
+        assert all(span.ended_at is not None for span in spans)
+        assert result.trace.find(stage) is not None
+
+        # An audit record with the classification.
+        nalix.audit_log.close()
+        (entry,) = read_audit_log(str(audit_path))
+        assert entry["sentence"] == SENTENCE
+        assert entry["status"] == result.status
+        assert entry["error_class"] == result.error_class
+        assert entry["retryable"] == result.retryable
+
+    def test_fault_counters(self, movie_database):
+        before = METRICS.counter("resilience.faults.injected").value
+        nalix = NaLIX(movie_database, fault_plan=[FaultSpec("validate")])
+        nalix.ask(SENTENCE)
+        assert METRICS.counter("resilience.faults.injected").value == before + 1
+        assert METRICS.counter("resilience.faults.injected.validate").value >= 1
+
+
+class TestTriggers:
+    def test_at_call_fires_on_nth_call_only(self, movie_database):
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=[FaultSpec("evaluate", at_call=2)],
+            degrade=False,
+        )
+        assert nalix.ask(SENTENCE).status == "ok"
+        assert nalix.ask(SENTENCE).status == "failed"
+        assert nalix.ask(SENTENCE).status == "ok"
+
+    def test_probability_is_deterministic_per_seed(self, movie_database):
+        def outcomes():
+            nalix = NaLIX(
+                movie_database,
+                fault_plan=[FaultSpec("evaluate", probability=0.5, seed=42)],
+                degrade=False,
+            )
+            return [nalix.ask(SENTENCE).status for _ in range(8)]
+
+        first, second = outcomes(), outcomes()
+        assert first == second
+        assert "failed" in first and "ok" in first
+
+    def test_reset_rewinds_triggers(self, movie_database):
+        plan = FaultPlan([FaultSpec("evaluate", at_call=1)])
+        nalix = NaLIX(movie_database, fault_plan=plan, degrade=False)
+        assert nalix.ask(SENTENCE).status == "failed"
+        assert nalix.ask(SENTENCE).status == "ok"
+        plan.reset()
+        assert nalix.ask(SENTENCE).status == "failed"
+
+    def test_custom_exception_class(self, movie_database):
+        plan = FaultPlan([FaultSpec("evaluate", exception=MemoryError)])
+        nalix = NaLIX(movie_database, fault_plan=plan, degrade=False)
+        result = nalix.ask(SENTENCE)
+        assert result.status == "failed"
+        assert result.error_class == ErrorClass.INTERNAL
+        assert any(m.code == "internal-error" for m in result.errors)
+
+
+class TestSpecParsing:
+    def test_bare_stage(self):
+        spec = FaultPlan.parse_spec("evaluate")
+        assert spec.stage == "evaluate"
+        assert spec.at_call is None and spec.probability is None
+
+    def test_nth_call(self):
+        spec = FaultPlan.parse_spec("translate:3")
+        assert spec.stage == "translate" and spec.at_call == 3
+
+    def test_probability_with_seed(self):
+        spec = FaultPlan.parse_spec("parse:p=0.25,seed=9")
+        assert spec.probability == 0.25 and spec.seed == 9
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse_spec("frobnicate")
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse_spec("evaluate:q=1")
+
+    def test_coerce_accepts_string_spec_and_plan(self):
+        plan = FaultPlan.coerce("evaluate:2")
+        assert isinstance(plan, FaultPlan)
+        assert FaultPlan.coerce(plan) is plan
+        assert FaultPlan.coerce(None) is None
+        single = FaultPlan.coerce(FaultSpec("parse"))
+        assert single.specs[0].stage == "parse"

@@ -150,9 +150,60 @@ class TestObservabilityFlags:
         entries = read_audit_log(str(path))
         assert len(entries) == 9
         assert all(
-            entry["status"] in {"ok", "rejected", "failed"}
+            entry["status"] in {"ok", "degraded", "rejected", "failed"}
             for entry in entries
         )
+
+
+class TestResilienceFlags:
+    def test_inject_fault_at_evaluate_degrades(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "--inject-fault", "evaluate",
+             "--trace", "Return the title of every movie."]
+        )
+        output = capsys.readouterr().out
+        assert code == 0  # a degraded answer is still an answer
+        assert "approximate results" in output
+        assert "evaluate-naive" in output
+
+    def test_inject_fault_at_parse_fails_cleanly(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "--inject-fault", "parse",
+             "Return the title of every movie."]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "injected" in output
+
+    def test_inject_fault_bad_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--data", "movies", "--inject-fault", "nope",
+                 "Return every movie."]
+            )
+
+    def test_timeout_flag(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "--timeout", "30",
+             "Return the title of every movie."]
+        )
+        assert code == 0
+        code = main(
+            ["query", "--data", "movies", "--timeout", "0",
+             "Return the title of every movie."]
+        )
+        assert code == 1
+        assert "budget" in capsys.readouterr().out
+
+    def test_stats_resilience_counters(self, capsys, monkeypatch):
+        from repro.obs.metrics import METRICS
+
+        METRICS.counter("resilience.faults.injected").inc()
+        code = main(["stats", "--books", "10", "--good-only"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "resilience counters:" in output
+        assert "resilience.faults.injected" in output
 
 
 class TestParser:
