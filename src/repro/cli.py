@@ -3,10 +3,11 @@
 Subcommands::
 
     python -m repro query   [--data movies|bib|dblp|FILE] "SENTENCE"
+    python -m repro explain [--data ...] [--json] "SENTENCE"
     python -m repro repl    [--data ...]          # interactive loop
     python -m repro xquery  [--data ...] "QUERY"  # raw Schema-Free XQuery
     python -m repro tasks   [--books N]           # run the 9 XMP tasks
-    python -m repro stats   [--books N]           # per-stage latency/failures
+    python -m repro stats   [--books N] [--format table|json|prom|chrome]
     python -m repro study   [--participants N] [--seed S]
     python -m repro generate [--books N] [--seed S] [--out FILE]
 
@@ -17,7 +18,11 @@ when a query is rejected.
 Observability flags (see README.md "Observability"): ``--trace`` prints
 the span tree of each query, ``--metrics`` dumps the process metrics
 registry as JSON on exit, and ``--audit-log PATH`` appends one JSONL
-record per query.
+record per query.  ``explain`` (or ``query --explain``) renders the
+full word → token → clause lineage report plus per-operator plan
+statistics; ``stats --format prom|chrome|json`` exports metrics in the
+Prometheus text format, traces as Chrome trace-event JSON (load in
+chrome://tracing or Perfetto), or a plain JSON snapshot.
 
 Resilience flags (see README.md "Resilience"): ``--timeout SECONDS``
 runs each query under the default budget with the given deadline, and
@@ -34,6 +39,8 @@ from repro.core.interface import NaLIX
 from repro.data import DblpConfig, bib_document, generate_dblp, movies_document
 from repro.database.store import Database
 from repro.obs.audit import STAGES, AuditLog
+from repro.obs.explain import explain
+from repro.obs.export import LATENCIES, chrome_trace_json, prometheus_text
 from repro.obs.metrics import METRICS
 from repro.resilience.faults import FaultPlan
 from repro.xquery.errors import XQueryError
@@ -112,12 +119,28 @@ def cmd_query(args):
     database = load_database(args.data, books=args.books, seed=args.seed)
     audit = _open_audit_log(args)
     nalix = NaLIX(database, audit_log=audit, fault_plan=_build_fault_plan(args))
+    result = nalix.ask(args.sentence, timeout=args.timeout)
     ok = _print_result(
-        nalix.ask(args.sentence, timeout=args.timeout),
+        result,
         show_xquery=not args.quiet,
         show_trace=args.trace,
     )
+    if args.explain:
+        print()
+        print(explain(result).render_text())
     return _finish(args, audit, 0 if ok else 1)
+
+
+def cmd_explain(args):
+    """Full provenance report: word -> token -> clause lineage + plan."""
+    database = load_database(args.data, books=args.books, seed=args.seed)
+    audit = _open_audit_log(args)
+    nalix = NaLIX(database, audit_log=audit)
+    result = nalix.ask(args.sentence, evaluate=not args.no_evaluate,
+                       timeout=args.timeout)
+    report = explain(result)
+    print(report.to_json() if args.json else report.render_text())
+    return _finish(args, audit, 0 if result.ok else 1)
 
 
 def cmd_repl(args):
@@ -185,8 +208,26 @@ def cmd_tasks(args):
     return _finish(args, audit, 1 if failures else 0)
 
 
+def _emit(text, out):
+    """Write to ``--out PATH`` (with a note) or stdout."""
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(text)} bytes to {out}")
+    else:
+        sys.stdout.write(text)
+
+
 def cmd_stats(args):
-    """Replay the XMP task phrasings; print a per-stage breakdown."""
+    """Replay the XMP task phrasings; report per-stage statistics.
+
+    ``--format table`` (default) prints the human-readable breakdown;
+    ``json`` dumps the metrics snapshot + sliding latency windows;
+    ``prom`` emits Prometheus text exposition; ``chrome`` emits Chrome
+    trace-event JSON of every replayed query (one thread lane each).
+    """
+    import json as json_module
+
     from repro.evaluation.tasks import TASKS
 
     database = load_database("dblp", books=args.books, seed=args.seed)
@@ -199,6 +240,7 @@ def cmd_stats(args):
     status_counts = {"ok": 0, "degraded": 0, "rejected": 0, "failed": 0}
     category_counts = {}
     ask_seconds = []
+    traces = []
 
     queries = 0
     for task in TASKS:
@@ -210,6 +252,7 @@ def cmd_stats(args):
             queries += 1
             status_counts[result.status] += 1
             ask_seconds.append(result.total_seconds)
+            traces.append(result.trace)
             for message in result.errors:
                 category_counts[message.code] = (
                     category_counts.get(message.code, 0) + 1
@@ -223,13 +266,40 @@ def cmd_stats(args):
                 if span.status != "ok":
                     entry["errors"] += 1
 
+    out = getattr(args, "out", None)
+    if args.format == "prom":
+        _emit(
+            prometheus_text(
+                METRICS.snapshot(), extra_lines=LATENCIES.prometheus_lines()
+            ),
+            out,
+        )
+        return _finish(args, audit, 0)
+    if args.format == "chrome":
+        _emit(chrome_trace_json(traces, indent=2) + "\n", out)
+        return _finish(args, audit, 0)
+    if args.format == "json":
+        _emit(
+            json_module.dumps(
+                {
+                    "metrics": METRICS.snapshot(),
+                    "latency_windows": LATENCIES.snapshot(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            out,
+        )
+        return _finish(args, audit, 0)
+
     print(
         f"repro stats — {len(TASKS)} tasks, {queries} queries "
         f"(dblp, {args.books} books)\n"
     )
     header = (
-        f"{'stage':<14}{'calls':>7}{'mean ms':>10}{'p95 ms':>10}"
-        f"{'max ms':>10}{'errors':>8}"
+        f"{'stage':<14}{'calls':>7}{'mean ms':>10}{'p50 ms':>10}"
+        f"{'p95 ms':>10}{'p99 ms':>10}{'max ms':>10}{'errors':>8}"
     )
     print(header)
     print("-" * len(header))
@@ -238,11 +308,15 @@ def cmd_stats(args):
         if not entry["calls"]:
             continue
         timings = sorted(entry["seconds"])
+
+        def pick(fraction, ordered=timings):
+            return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
         mean = sum(timings) / len(timings)
-        p95 = timings[min(len(timings) - 1, int(0.95 * len(timings)))]
         print(
             f"{name:<14}{entry['calls']:>7}{mean * 1000:>10.2f}"
-            f"{p95 * 1000:>10.2f}{timings[-1] * 1000:>10.2f}"
+            f"{pick(0.50) * 1000:>10.2f}{pick(0.95) * 1000:>10.2f}"
+            f"{pick(0.99) * 1000:>10.2f}{timings[-1] * 1000:>10.2f}"
             f"{entry['errors']:>8}"
         )
     if ask_seconds:
@@ -347,8 +421,24 @@ def build_parser():
     _add_resilience_options(query)
     query.add_argument("--quiet", action="store_true",
                        help="hide the generated XQuery")
+    query.add_argument("--explain", action="store_true",
+                       help="print the full provenance/plan report")
     query.add_argument("sentence", help="the English query")
     query.set_defaults(handler=cmd_query)
+
+    explain_parser = commands.add_parser(
+        "explain",
+        help="show word -> token -> clause lineage and plan statistics",
+    )
+    _add_data_options(explain_parser)
+    _add_obs_options(explain_parser)
+    explain_parser.add_argument("--json", action="store_true",
+                                help="emit the report as JSON")
+    explain_parser.add_argument("--no-evaluate", action="store_true",
+                                help="skip evaluation (no plan statistics)")
+    explain_parser.add_argument("--timeout", type=float, metavar="SECONDS")
+    explain_parser.add_argument("sentence", help="the English query")
+    explain_parser.set_defaults(handler=cmd_explain)
 
     repl = commands.add_parser("repl", help="interactive query loop")
     _add_data_options(repl)
@@ -377,6 +467,11 @@ def build_parser():
     stats.add_argument("--seed", type=int, default=7)
     stats.add_argument("--good-only", action="store_true",
                        help="replay only the known-good phrasings")
+    stats.add_argument("--format", choices=("table", "json", "prom", "chrome"),
+                       default="table",
+                       help="output format (default: human-readable table)")
+    stats.add_argument("--out", metavar="PATH",
+                       help="write the export to a file instead of stdout")
     _add_obs_options(stats)
     stats.set_defaults(handler=cmd_stats)
 

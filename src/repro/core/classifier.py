@@ -29,11 +29,32 @@ def classify_tree(root):
 
     * ``token_type`` — a :class:`TokenType` constant;
     * ``operator`` (OT), ``aggregate`` (FT), ``descending`` (OBT),
-      ``value`` (VT: str, int or float), ``implicit`` (NT) as relevant.
+      ``value`` (VT: str, int or float), ``implicit`` (NT) as relevant;
+    * ``classification_rule`` — the Table 1/2 rule that assigned the
+      type, carried into ``QueryResult.provenance`` for the explain
+      engine.
     """
     for node in root.preorder():
         _classify_node(node)
     return root
+
+
+#: Human-readable classification rules (the provenance vocabulary).
+_RULES = {
+    TokenType.CMT: "Table 1: command phrase -> RETURN clause",
+    TokenType.OBT: "Table 1: order phrase -> ORDER BY clause",
+    TokenType.FT: "Table 1: function phrase -> aggregate function",
+    TokenType.OT: "Table 1: operator phrase -> comparison operator",
+    TokenType.VT: "Table 1: value -> literal in a predicate",
+    TokenType.NT: "Table 1: noun -> basic variable (name token)",
+    TokenType.QT: "Table 1: quantifier word",
+    TokenType.NEG: "Table 1: negation word -> not()",
+    TokenType.CM: "Table 2: connection marker (attachment only)",
+    TokenType.MM: "Table 2: modifier marker",
+    TokenType.PM: "Table 2: pronoun marker",
+    TokenType.GM: "Table 2: general marker (no semantics)",
+    TokenType.UNKNOWN: "outside the Tables 1-2 vocabulary",
+}
 
 
 def _classify_node(node):
@@ -95,6 +116,7 @@ def _classify_node(node):
         node.token_type = TokenType.GM
     else:
         node.token_type = TokenType.UNKNOWN
+    node.classification_rule = _RULES[node.token_type]
 
 
 def _parse_literal(node):

@@ -10,17 +10,25 @@ from __future__ import annotations
 
 
 class Message:
-    """One error or warning."""
+    """One error or warning.
+
+    ``production`` names the grammar production (Table 6) or paper
+    definition whose check generated the message; it is carried into
+    ``QueryResult.provenance`` so the explain engine can cite the exact
+    rule that fired.
+    """
 
     ERROR = "error"
     WARNING = "warning"
 
-    def __init__(self, kind, code, text, suggestion=None, node=None):
+    def __init__(self, kind, code, text, suggestion=None, node=None,
+                 production=None):
         self.kind = kind
         self.code = code
         self.text = text
         self.suggestion = suggestion
         self.node = node
+        self.production = production
 
     def render(self):
         prefix = "Error" if self.kind == Message.ERROR else "Warning"
@@ -39,11 +47,15 @@ class Feedback:
     def __init__(self):
         self.messages = []
 
-    def error(self, code, text, suggestion=None, node=None):
-        self.messages.append(Message(Message.ERROR, code, text, suggestion, node))
+    def error(self, code, text, suggestion=None, node=None, production=None):
+        self.messages.append(
+            Message(Message.ERROR, code, text, suggestion, node, production)
+        )
 
-    def warning(self, code, text, suggestion=None, node=None):
-        self.messages.append(Message(Message.WARNING, code, text, suggestion, node))
+    def warning(self, code, text, suggestion=None, node=None, production=None):
+        self.messages.append(
+            Message(Message.WARNING, code, text, suggestion, node, production)
+        )
 
     @property
     def errors(self):

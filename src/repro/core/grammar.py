@@ -25,11 +25,12 @@ from repro.core.token_types import TokenType, token_type
 
 
 class GrammarViolation:
-    """One unlicensed attachment."""
+    """One unlicensed attachment, with the production it violates."""
 
-    def __init__(self, node, reason):
+    def __init__(self, node, reason, production=None):
         self.node = node
         self.reason = reason
+        self.production = production
 
     def __repr__(self):
         return f"GrammarViolation({self.node.text!r}: {self.reason})"
@@ -66,6 +67,20 @@ _ALLOWED_PARENTS = {
     TokenType.NEG: {TokenType.OT, TokenType.NT, TokenType.CMT},
 }
 
+#: The Table 6 production each token type's attachment is licensed by —
+#: quoted in validator provenance so feedback cites the grammar line
+#: that failed, not just the word.
+PRODUCTIONS = {
+    TokenType.CMT: "Table 6 #1: Q -> RETURN PREDICATE* ORDER_BY?",
+    TokenType.NT: "Table 6 #9: RNP -> NT | QT+RNP | FT+RNP | RNP and RNP",
+    TokenType.VT: "Table 6 #11: GVT -> VT | GVT and GVT",
+    TokenType.FT: "Table 6 #9: RNP -> FT+RNP",
+    TokenType.OT: "Table 6 #10: GOT -> OT | NEG+OT | GOT and GOT",
+    TokenType.OBT: "Table 6 #8: ORDER_BY -> OBT+RNP",
+    TokenType.QT: "Table 6 #9: RNP -> QT+RNP",
+    TokenType.NEG: "Table 6 #10: GOT -> NEG+OT",
+}
+
 _HUMAN_NAMES = {
     TokenType.CMT: "command",
     TokenType.NT: "name",
@@ -89,7 +104,9 @@ def check_grammar(root):
     if root_type != TokenType.CMT:
         violations.append(
             GrammarViolation(
-                root, "the query does not start with a command (Q -> RETURN)"
+                root,
+                "the query does not start with a command (Q -> RETURN)",
+                production=PRODUCTIONS[TokenType.CMT],
             )
         )
     for node in root.preorder():
@@ -112,6 +129,7 @@ def check_grammar(root):
                     node,
                     f'the {_HUMAN_NAMES[kind]} "{node.text}" cannot be '
                     f"{attached} in the supported grammar",
+                    production=PRODUCTIONS.get(kind),
                 )
             )
     return violations

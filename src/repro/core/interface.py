@@ -43,7 +43,14 @@ from repro.core.validator import Validator
 from repro.keyword_search.engine import KeywordSearchEngine
 from repro.nlp.dependency import DependencyParser
 from repro.nlp.errors import ParseFailure
+from repro.obs.export import LATENCIES
 from repro.obs.metrics import METRICS
+from repro.obs.plan_stats import PlanStatsCollection, activate_plan_stats
+from repro.obs.provenance import (
+    QueryProvenance,
+    token_records_from_tree,
+    validation_records_from_feedback,
+)
 from repro.obs.spans import Span, Trace, activate_trace
 from repro.ontology.expansion import TermExpander
 from repro.resilience.budget import (
@@ -110,6 +117,8 @@ class QueryResult:
         self.xquery_text = None
         self.items = []             # raw evaluation output
         self.trace = None           # repro.obs.spans.Trace, set by ask()
+        self.provenance = None      # repro.obs.provenance.QueryProvenance
+        self.plan_stats = None      # repro.obs.plan_stats.PlanStatsCollection
         self.budget = None          # the QueryBudget the query ran under
         self.degraded = False       # served by a fallback hop, not exactly
         self.degradation_path = []  # fallback hops attempted, in order
@@ -324,6 +333,9 @@ class NaLIX:
         result = QueryResult(sentence)
         trace = Trace()
         result.trace = trace
+        result.provenance = QueryProvenance(sentence)
+        plan_stats = PlanStatsCollection()
+        result.plan_stats = plan_stats
         spec = budget
         if spec is None and timeout is not None:
             spec = QueryBudget.default(deadline_seconds=timeout)
@@ -333,7 +345,7 @@ class NaLIX:
         meter = spec.start() if spec is not None else None
         try:
             with trace.span("ask") as root, activate_trace(trace), \
-                    activate_budget(meter):
+                    activate_plan_stats(plan_stats), activate_budget(meter):
                 try:
                     self._run_pipeline(sentence, evaluate, result, trace)
                 except Exception as error:
@@ -349,6 +361,7 @@ class NaLIX:
                         root.set(f"budget.{key}", value)
         finally:
             trace.finish_open_spans()
+            plan_stats.finish_open_operators()
             self._record(result)
         return result
 
@@ -389,6 +402,13 @@ class NaLIX:
             check_deadline()
             feedback = self.validate(tree)
             result.feedback = feedback
+            # Token ids exist (and implicit NTs are inserted) only after
+            # validation, so provenance is harvested here — for rejected
+            # queries too, so explain can show why the grammar said no.
+            result.provenance.tokens = token_records_from_tree(tree)
+            result.provenance.validations = validation_records_from_feedback(
+                feedback
+            )
             if not feedback.ok:
                 span.status = Span.ERROR
                 span.set("errors", len(feedback.errors))
@@ -412,6 +432,7 @@ class NaLIX:
                 return
         result.translation = translation
         result.xquery_text = translation.text
+        result.provenance.clauses = list(translation.provenance)
         result.accepted = True
 
         if evaluate:
@@ -536,7 +557,9 @@ class NaLIX:
         _STATUS_COUNTERS[result.status].inc()
         trace = result.trace
         if trace is not None and trace.roots:
+            LATENCIES.observe("total", trace.total_seconds())
             for span in trace.roots[0].children:
+                LATENCIES.observe(span.name, span.duration_seconds)
                 histogram = _STAGE_HISTOGRAMS.get(span.name)
                 if histogram is not None:
                     histogram.observe(span.duration_seconds)

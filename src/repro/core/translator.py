@@ -22,19 +22,52 @@ from __future__ import annotations
 from repro.core.errors import TranslationError
 from repro.core.semantics import analyze, token_children, token_parent
 from repro.core.token_types import TokenType, token_type
+from repro.obs.provenance import ClauseRecord
 from repro.xquery import ast
 from repro.xquery.ast import doc_path
 
+#: Translation-pattern names quoted in clause provenance.
+PATTERN_BINDING = "Sec. 3.2.2: variable binding (Defs. 1/8)"
+PATTERN_VALUE = "Fig. 4: value predicate (NT + VT)"
+PATTERN_IMPLICIT_VALUE = "Fig. 4: value predicate over implicit NT (Def. 11)"
+PATTERN_COMPARISON = "Fig. 4: comparison (GOT pattern)"
+PATTERN_IMPLICIT_COMPARISON = (
+    "Fig. 4: comparison over implicit NT (Table 6 #6)"
+)
+PATTERN_ORDER_BY = "Fig. 4: order-by clause (OBT + RNP)"
+PATTERN_RETURN = "Fig. 4: return clause (CMT)"
+PATTERN_MQF = "Defs. 4-6: related variables joined by mqf()"
+PATTERN_FIG5_LET = (
+    "Fig. 5: marker semantics (NT + CM + FT) -> global aggregate let"
+)
+PATTERN_FIG5_EQUATION = (
+    "Fig. 5: fresh related variable equated with the global aggregate"
+)
+PATTERN_FIG6_OUTER = (
+    "Fig. 6: outer nesting scope (aggregate grouped by core via value join)"
+)
+PATTERN_FIG6_INNER = (
+    "Fig. 6: inner nesting scope (related predicates pulled into the let)"
+)
+
 
 class Condition:
-    """One where-clause conjunct before rendering."""
+    """One where-clause conjunct before rendering.
 
-    def __init__(self, left, op, right, negated=False):
+    ``sources`` are the parse-tree token nodes the conjunct was derived
+    from and ``pattern`` the Fig. 4/5 rule that derived it — both feed
+    the clause-provenance records of the explain engine.
+    """
+
+    def __init__(self, left, op, right, negated=False, sources=None,
+                 pattern=PATTERN_COMPARISON):
         self.left = left          # operand triple: ("var", Variable) etc.
         self.op = op
         self.right = right
         self.negated = negated
         self.inner = False        # moved inside an aggregate's let-FLWOR
+        self.sources = list(sources) if sources else []
+        self.pattern = pattern
 
     def variables(self):
         result = []
@@ -57,13 +90,19 @@ class AggregateUse:
 
 
 class TranslationResult:
-    """Everything the interface and the worked-example bench need."""
+    """Everything the interface and the worked-example bench need.
 
-    def __init__(self, query, model, bindings_table, notes):
+    ``provenance`` is the list of :class:`~repro.obs.provenance.
+    ClauseRecord` entries — one per emitted clause/conjunct, citing the
+    source tokens and the translation pattern that produced it.
+    """
+
+    def __init__(self, query, model, bindings_table, notes, provenance=None):
         self.query = query
         self.model = model
         self.bindings_table = bindings_table
         self.notes = notes
+        self.provenance = provenance if provenance is not None else []
 
     @property
     def text(self):
@@ -120,6 +159,9 @@ class _TranslationState:
         self.lets = []             # (name, FLWOR)
         self.notes = []
         self.handled_ots = set()
+        self.clause_provenance = []    # ClauseRecord, in clause order
+        self.let_provenance = {}       # let name -> (pattern, [nodes])
+        self.order_sources = []        # [nodes], parallel to order_keys
 
     # -- variable helpers ---------------------------------------------------------
 
@@ -152,6 +194,30 @@ class _TranslationState:
         self.let_counter += 1
         return f"vars{self.let_counter}"
 
+    # -- provenance helpers ---------------------------------------------------
+
+    def _record_clause(self, clause, fragment, pattern, nodes):
+        """Append one clause-provenance record (deduplicated sources)."""
+        ids, words = [], []
+        for node in nodes:
+            node_id = getattr(node, "node_id", None)
+            if node_id is None or node_id in ids:
+                continue
+            ids.append(node_id)
+            words.append(node.text)
+        self.clause_provenance.append(
+            ClauseRecord(clause, fragment, pattern, ids, words)
+        )
+
+    def _operand_nodes(self, operand):
+        """The parse-tree nodes behind one rendered operand."""
+        kind, payload = operand
+        if kind in ("var", "outer-var"):
+            return list(payload.nodes)
+        if kind == "agg":
+            return [payload.ft_node]
+        return []
+
     # -- main ------------------------------------------------------------------------
 
     def run(self):
@@ -161,7 +227,8 @@ class _TranslationState:
         self.plan_aggregates()
         query = self.assemble()
         return TranslationResult(
-            query, self.model, self.bindings_table(), self.notes
+            query, self.model, self.bindings_table(), self.notes,
+            provenance=self.clause_provenance,
         )
 
     # -- collection passes --------------------------------------------------------------
@@ -193,6 +260,8 @@ class _TranslationState:
                         ("var", self.model.variable_of[id(nt)]),
                         "=",
                         ("lit", child.value),
+                        sources=[nt, child],
+                        pattern=PATTERN_VALUE,
                     )
                 )
             elif kind == TokenType.OT:
@@ -220,6 +289,12 @@ class _TranslationState:
                             ("var", self.model.variable_of[id(node)]),
                             "=",
                             ("lit", node.implicit_value),
+                            sources=[node] + [
+                                child
+                                for child in token_children(node)
+                                if token_type(child) == TokenType.VT
+                            ],
+                            pattern=PATTERN_IMPLICIT_VALUE,
                         )
                     )
             elif kind == TokenType.NT and not node.implicit:
@@ -230,6 +305,8 @@ class _TranslationState:
                                 ("var", self.model.variable_of[id(node)]),
                                 "=",
                                 ("lit", child.value),
+                                sources=[node, child],
+                                pattern=PATTERN_VALUE,
                             )
                         )
 
@@ -268,7 +345,11 @@ class _TranslationState:
         if len(operands) >= 2:
             left, right = operands[0], operands[1]
             self.conditions.append(
-                Condition(self._operand(left), op, self._operand(right), negated)
+                Condition(
+                    self._operand(left), op, self._operand(right), negated,
+                    sources=[ot, left, right],
+                    pattern=PATTERN_COMPARISON,
+                )
             )
             return
         if len(operands) == 1:
@@ -281,6 +362,12 @@ class _TranslationState:
                         op,
                         ("lit", operand.implicit_value),
                         negated,
+                        sources=[ot, operand] + [
+                            child
+                            for child in token_children(operand)
+                            if token_type(child) == TokenType.VT
+                        ],
+                        pattern=PATTERN_IMPLICIT_COMPARISON,
                     )
                 )
                 return
@@ -291,6 +378,8 @@ class _TranslationState:
                         op,
                         self._operand(operand),
                         negated,
+                        sources=[parent_operand, ot, operand],
+                        pattern=PATTERN_COMPARISON,
                     )
                 )
                 return
@@ -360,8 +449,10 @@ class _TranslationState:
                     if operand[0] == "var":
                         operand = ("var", self._resolve_order_variable(operand[1]))
                     self.order_keys.append((operand, node.descending))
+                    self.order_sources.append([node, key])
             elif self.return_operands:
                 self.order_keys.append((self.return_operands[0], node.descending))
+                self.order_sources.append([node])
 
     def _resolve_order_variable(self, variable):
         """A bare sort key ("sorted by title") co-refers with the
@@ -404,13 +495,21 @@ class _TranslationState:
             ]
         )
         self.lets.append((use.let_name, inner))
+        self.let_provenance[use.let_name] = (
+            PATTERN_FIG5_LET,
+            [use.ft_node] + list(variable.nodes) + list(anchor.nodes),
+        )
         self.consumed.add(variable.name)
 
         var2new = self.fresh_variable(variable)
         use.equated_variable = var2new
         self._add_to_group_of(anchor, var2new)
         self.conditions.append(
-            Condition(("outer-var", var2new), "=", ("agg", use))
+            Condition(
+                ("outer-var", var2new), "=", ("agg", use),
+                sources=[use.ft_node] + list(variable.nodes),
+                pattern=PATTERN_FIG5_EQUATION,
+            )
         )
         self.notes.append(
             f"Fig.5 rule: ${var2new.name} ({variable.lemma}) related to "
@@ -457,6 +556,9 @@ class _TranslationState:
                 "=", ast.VarRef(core_copy.name), ast.VarRef(core.name)
             ),
         ]
+        let_nodes = (
+            [use.ft_node] + list(variable.nodes) + list(core.nodes)
+        )
         for condition in self.conditions:
             if condition.inner:
                 continue
@@ -464,6 +566,7 @@ class _TranslationState:
             if involved and all(v is variable for v in involved):
                 condition.inner = True
                 inner_conditions.append(self.render_condition(condition))
+                let_nodes.extend(condition.sources)
         inner = ast.FLWOR(
             [
                 ast.ForClause(
@@ -477,6 +580,7 @@ class _TranslationState:
             ]
         )
         self.lets.append((use.let_name, inner))
+        self.let_provenance[use.let_name] = (PATTERN_FIG6_OUTER, let_nodes)
         self.consumed.add(variable.name)
         self.notes.append(
             f"Fig.6 outer scope: {use.function}(${variable.name}) grouped by "
@@ -504,6 +608,9 @@ class _TranslationState:
                     "mqf", [ast.VarRef(member.name) for member in pulled]
                 )
             )
+        let_nodes = [use.ft_node]
+        for member in pulled:
+            let_nodes.extend(member.nodes)
         for condition in self.conditions:
             if condition.inner:
                 continue
@@ -511,6 +618,7 @@ class _TranslationState:
             if involved and all(v in pulled for v in involved):
                 condition.inner = True
                 inner_conditions.append(self.render_condition(condition))
+                let_nodes.extend(condition.sources)
         clauses = [ast.ForClause(bindings)]
         if inner_conditions:
             clauses.append(
@@ -522,6 +630,7 @@ class _TranslationState:
             )
         clauses.append(ast.ReturnClause(ast.VarRef(variable.name)))
         self.lets.append((use.let_name, ast.FLWOR(clauses)))
+        self.let_provenance[use.let_name] = (PATTERN_FIG6_INNER, let_nodes)
         for member in pulled:
             self.consumed.add(member.name)
         self.notes.append(
@@ -633,12 +742,45 @@ class _TranslationState:
                     [(variable.name, self.var_path(variable)) for variable in outer]
                 )
             )
+            for variable in outer:
+                self._record_clause(
+                    "for",
+                    f"${variable.name} in {self.var_path(variable).to_text()}",
+                    PATTERN_BINDING,
+                    variable.nodes,
+                )
         for name, inner in self.lets:
             clauses.append(ast.LetClause(name, inner))
+            pattern, nodes = self.let_provenance.get(
+                name, (PATTERN_BINDING, [])
+            )
+            self._record_clause(
+                "let", f"let ${name} := {inner.to_text()}", pattern, nodes
+            )
         conjuncts = self.mqf_clauses()
+        for conjunct in conjuncts:
+            mqf_nodes = []
+            for variable in self.outer_variables():
+                if any(
+                    isinstance(arg, ast.VarRef) and arg.name == variable.name
+                    for arg in conjunct.args
+                ):
+                    mqf_nodes.extend(variable.nodes)
+            self._record_clause(
+                "where", conjunct.to_text(), PATTERN_MQF, mqf_nodes
+            )
         for condition in self.conditions:
             if not condition.inner:
                 conjuncts.append(self.render_condition(condition))
+                nodes = list(condition.sources)
+                for operand in (condition.left, condition.right):
+                    nodes.extend(self._operand_nodes(operand))
+                self._record_clause(
+                    "where",
+                    self.render_condition(condition).to_text(),
+                    condition.pattern,
+                    nodes,
+                )
         if conjuncts:
             clauses.append(
                 ast.WhereClause(
@@ -654,7 +796,30 @@ class _TranslationState:
                     ]
                 )
             )
+            for index, (operand, descending) in enumerate(self.order_keys):
+                nodes = (
+                    list(self.order_sources[index])
+                    if index < len(self.order_sources)
+                    else []
+                )
+                nodes.extend(self._operand_nodes(operand))
+                self._record_clause(
+                    "order by",
+                    self.render_operand(operand).to_text()
+                    + (" descending" if descending else ""),
+                    PATTERN_ORDER_BY,
+                    nodes,
+                )
         returns = [self.render_operand(operand) for operand in self.return_operands]
+        return_nodes = [self.root]
+        for operand in self.return_operands:
+            return_nodes.extend(self._operand_nodes(operand))
+        self._record_clause(
+            "return",
+            ", ".join(rendered.to_text() for rendered in returns),
+            PATTERN_RETURN,
+            return_nodes,
+        )
         if self.translator.wrap_results:
             return_expr = ast.ElementConstructor(
                 self.translator.result_tag, returns

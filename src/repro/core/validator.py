@@ -29,6 +29,23 @@ _VALIDATIONS = METRICS.counter("validator.validations")
 _IMPLICIT_NTS = METRICS.counter("validator.implicit_nt_inserted")
 _EXPANSIONS = METRICS.counter("validator.term_expansions")
 
+#: Grammar production / paper definition quoted per feedback code (the
+#: validator's provenance vocabulary; Table 6 numbering).
+_PRODUCTION_Q = "Table 6 #1: Q -> RETURN PREDICATE* ORDER_BY?"
+_PRODUCTION_RETURN = "Table 6 #2: RETURN -> CMT + (RNP | GVT | PREDICATE)"
+_PRODUCTION_PREDICATE = (
+    "Table 6 #3-7: PREDICATE -> QT? + (RNP|GVT) + GOT + (RNP|GVT)"
+)
+_PRODUCTION_IMPLICIT_NT = (
+    "Def. 11 + Table 6 #6: PREDICATE -> GOT? + [NT] + GVT"
+)
+_PRODUCTION_ORDER_BY = "Table 6 #8: ORDER_BY -> OBT + RNP"
+_PRODUCTION_VOCABULARY = "Tables 1-2: term vocabulary"
+_PRODUCTION_EXPANSION = (
+    "Sec. 4: name-token expansion against the database vocabulary"
+)
+_PRODUCTION_PRONOUN = "Table 2: pronoun marker (approximate anaphora)"
+
 
 class Validator:
     """Validates classified parse trees against one database."""
@@ -79,6 +96,7 @@ class Validator:
                 suggestion="Rephrase that part of the query if the results "
                 "look wrong.",
                 node=violation.node,
+                production=violation.production,
             )
 
     # -- individual checks ---------------------------------------------------------
@@ -90,6 +108,7 @@ class Validator:
                 "The query must start with a command NaLIX understands "
                 "(for example Return, Find, or List) or a wh-question word.",
                 suggestion='Begin the query with "Return ..." or "Find ...".',
+                production=_PRODUCTION_Q,
             )
             return
         returnable = [
@@ -104,6 +123,7 @@ class Validator:
                 "to return.",
                 suggestion="Name the elements you want, e.g. "
                 '"Return the title of every book".',
+                production=_PRODUCTION_RETURN,
             )
 
     def _check_unknown_terms(self, root, feedback):
@@ -126,6 +146,7 @@ class Validator:
                 "in this query.",
                 suggestion=suggestion,
                 node=node,
+                production=_PRODUCTION_VOCABULARY,
             )
 
     # -- implicit name tokens (Def. 11) -----------------------------------------------
@@ -228,6 +249,7 @@ class Validator:
                 suggestion="Check the spelling of the value, or quote it "
                 "exactly as it appears in the database.",
                 node=vt,
+                production=_PRODUCTION_IMPLICIT_NT,
             )
             return
         implicit = ParseNode(
@@ -237,6 +259,9 @@ class Validator:
             vt.index,
         )
         implicit.token_type = TokenType.NT
+        implicit.classification_rule = (
+            "Def. 11: implicit name token inserted for an unattached value"
+        )
         implicit.implicit = True
         implicit.implicit_value = vt.value
         implicit.tags = list(tags)
@@ -269,6 +294,7 @@ class Validator:
                     f'"{node.text}".',
                     suggestion=f"Elements available include: {known}.",
                     node=node,
+                    production=_PRODUCTION_EXPANSION,
                 )
 
     # -- value sanity -------------------------------------------------------------------------
@@ -286,6 +312,7 @@ class Validator:
                     suggestion="Name the kind of element you want instead, "
                     'e.g. "Return the movie whose title is ..."',
                     node=node,
+                    production=_PRODUCTION_RETURN,
                 )
 
     def _check_operators(self, root, feedback):
@@ -311,6 +338,7 @@ class Validator:
                     suggestion="State both sides of the comparison, e.g. "
                     '"... where the price of the book is greater than 50".',
                     node=node,
+                    production=_PRODUCTION_PREDICATE,
                 )
 
     def _check_order_by(self, root, feedback):
@@ -330,6 +358,7 @@ class Validator:
                     suggestion='Name the key explicitly, e.g. "sorted by '
                     'title".',
                     node=node,
+                    production=_PRODUCTION_ORDER_BY,
                 )
 
     def _check_pronouns(self, root, feedback):
@@ -344,4 +373,5 @@ class Validator:
                     suggestion="Repeat the element name instead of the "
                     "pronoun if results look wrong.",
                     node=node,
+                    production=_PRODUCTION_PRONOUN,
                 )

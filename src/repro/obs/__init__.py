@@ -1,41 +1,95 @@
-"""Observability: tracing, metrics, and query auditing.
+"""Observability: tracing, metrics, auditing, provenance, and export.
 
-Three small, dependency-free layers that the rest of the system reports
-into (none of them import other ``repro`` packages, so every subsystem
-may instrument itself freely):
+Small, dependency-free layers that the rest of the system reports into
+(none of them import other ``repro`` packages, so every subsystem may
+instrument itself freely):
 
 * :mod:`repro.obs.spans` — per-query hierarchical wall-time tracing.
   ``NaLIX.ask`` builds one :class:`Trace` per query and attaches it to
   ``QueryResult.trace``; the span tree doubles as the timing source for
   the result's ``*_seconds`` properties.
-* :mod:`repro.obs.metrics` — a process-wide registry of named counters,
-  gauges, and histograms (``METRICS``), with ``snapshot()`` /
-  ``reset()`` and JSON export.
+* :mod:`repro.obs.metrics` — a thread-safe process-wide registry of
+  named counters, gauges, and histograms (``METRICS``), with
+  ``snapshot()`` / ``reset()``, exact sample percentiles, and JSON
+  export.
 * :mod:`repro.obs.audit` — an optional JSONL audit trail recording one
   line per query (sentence, status, error categories, emitted XQuery,
-  per-stage timings).
+  per-stage timings, provenance summary), with size-based rotation.
+* :mod:`repro.obs.provenance` — word → token → clause provenance
+  records carried on ``QueryResult.provenance``.
+* :mod:`repro.obs.plan_stats` — per-operator plan statistics (rows
+  in/out, mqf cardinalities, let-cache hits, wall time per node).
+* :mod:`repro.obs.explain` — renders provenance + plan stats + trace as
+  a lineage report (text and JSON).
+* :mod:`repro.obs.export` — standard wire formats: Chrome trace-event
+  JSON, the Prometheus text exposition format, and the sliding-window
+  latency tracker ``LATENCIES``.
 
-See the "Observability" sections of README.md and DESIGN.md for the
-metric naming scheme and the CLI surface (``--trace``, ``--metrics``,
-``--audit-log``, and the ``stats`` subcommand).
+See the "Observability" and "Explain" sections of README.md and
+DESIGN.md for the metric naming scheme and the CLI surface
+(``--trace``, ``--metrics``, ``--audit-log``, ``--explain``, and the
+``explain`` / ``stats`` subcommands).
 """
 
 from repro.obs.audit import AuditLog, audit_entry, read_audit_log
+from repro.obs.explain import Explanation, explain
+from repro.obs.export import (
+    LATENCIES,
+    LatencyWindow,
+    chrome_trace,
+    chrome_trace_events,
+    chrome_trace_json,
+    prometheus_text,
+)
 from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.plan_stats import (
+    OperatorStats,
+    PlanStatsCollection,
+    activate_plan_stats,
+    current_plan_stats,
+    operator,
+)
+from repro.obs.provenance import (
+    ClauseRecord,
+    QueryProvenance,
+    TokenRecord,
+    ValidationRecord,
+    token_records_from_tree,
+    validation_records_from_feedback,
+)
 from repro.obs.spans import Span, Trace, activate_trace, current_trace, span
 
 __all__ = [
+    "LATENCIES",
     "METRICS",
     "AuditLog",
+    "ClauseRecord",
     "Counter",
+    "Explanation",
     "Gauge",
     "Histogram",
+    "LatencyWindow",
     "MetricsRegistry",
+    "OperatorStats",
+    "PlanStatsCollection",
+    "QueryProvenance",
     "Span",
+    "TokenRecord",
     "Trace",
+    "ValidationRecord",
+    "activate_plan_stats",
     "activate_trace",
     "audit_entry",
+    "chrome_trace",
+    "chrome_trace_events",
+    "chrome_trace_json",
+    "current_plan_stats",
     "current_trace",
+    "explain",
+    "operator",
+    "prometheus_text",
     "read_audit_log",
     "span",
+    "token_records_from_tree",
+    "validation_records_from_feedback",
 ]

@@ -15,6 +15,7 @@ dicts for analysis.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 #: Pipeline stage span names recorded per audit entry.  The two
@@ -50,28 +51,54 @@ def audit_entry(result, actor=None):
             for stage in STAGES
             if (seconds := trace.stage_seconds(stage)) > 0.0
         }
+    provenance = getattr(result, "provenance", None)
+    if provenance is not None:
+        summary = provenance.summary()
+        if summary:
+            entry["provenance"] = summary
     if actor is not None:
         entry["actor"] = actor
     return entry
 
 
 class AuditLog:
-    """Append-only JSONL writer; usable as a context manager."""
+    """Append-only JSONL writer; usable as a context manager.
 
-    def __init__(self, path, actor=None):
+    ``max_bytes`` (optional) turns on size-based rotation: when
+    appending a record would grow the file past the limit, the current
+    file is renamed to ``<path>.1`` (replacing any previous rollover)
+    and a fresh file is started — the simplest rotation that bounds
+    disk use at roughly twice ``max_bytes``.
+    """
+
+    def __init__(self, path, actor=None, max_bytes=None):
         self.path = path
         self.actor = actor
+        self.max_bytes = max_bytes
         self._handle = None
 
     def record(self, result):
         """Append one audit line for ``result`` and flush."""
         entry = audit_entry(result, actor=self.actor)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        if self.max_bytes is not None:
+            self._rotate_if_needed(len(line.encode("utf-8")))
         if self._handle is None:
             self._handle = open(self.path, "a", encoding="utf-8")
-        json.dump(entry, self._handle, sort_keys=True)
-        self._handle.write("\n")
+        self._handle.write(line)
         self._handle.flush()
         return entry
+
+    def _rotate_if_needed(self, incoming_bytes):
+        if self._handle is not None:
+            current = self._handle.tell()
+        elif os.path.exists(self.path):
+            current = os.path.getsize(self.path)
+        else:
+            current = 0
+        if current and current + incoming_bytes > self.max_bytes:
+            self.close()
+            os.replace(self.path, self.path + ".1")
 
     def close(self):
         if self._handle is not None:

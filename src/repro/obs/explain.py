@@ -1,0 +1,170 @@
+"""The explain engine: render a query's provenance as a lineage report.
+
+Given a finished ``QueryResult`` (duck-typed — this module imports
+nothing from ``repro.core``), :func:`explain` builds an
+:class:`Explanation` that renders the full word → token → clause story:
+
+1. how every word was classified (Tables 1–2 rules);
+2. what the validator found, with the Table 6 production per finding;
+3. which tokens produced which XQuery clause (Fig. 4 direct mapping,
+   Fig. 5 marker semantics, Fig. 6 nesting scopes);
+4. the emitted FLWOR;
+5. the executed plan with per-operator row counts, cache hits and wall
+   times (``EXPLAIN ANALYZE`` style);
+6. per-stage wall times from the trace.
+
+``render_text(timings=False)`` omits every wall-clock number, giving a
+deterministic report — that is what the golden-file tests pin down.
+``to_dict()`` is the JSON twin used by ``--json`` and the audit trail.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Pipeline stages rendered in the timing section, in execution order.
+_STAGES = ("parse", "classify", "validate", "translate", "xquery-parse",
+           "evaluate", "evaluate-naive", "evaluate-keyword")
+
+
+class Explanation:
+    """A rendered view over one query's provenance, plan, and trace."""
+
+    def __init__(self, result):
+        self.result = result
+        self.provenance = getattr(result, "provenance", None)
+        self.plan_stats = getattr(result, "plan_stats", None)
+        self.trace = getattr(result, "trace", None)
+
+    # -- JSON ---------------------------------------------------------------
+
+    def to_dict(self, timings=True):
+        result = self.result
+        entry = {
+            "sentence": result.sentence,
+            "status": getattr(result, "status", None),
+            "xquery": getattr(result, "xquery_text", None),
+        }
+        if self.provenance is not None:
+            entry["provenance"] = self.provenance.to_dict()
+        if self.plan_stats:
+            entry["plan"] = self.plan_stats.to_dict()
+        if timings and self.trace is not None:
+            entry["stage_seconds"] = {
+                stage: seconds
+                for stage in _STAGES
+                if (seconds := self.trace.stage_seconds(stage)) > 0.0
+            }
+            entry["total_seconds"] = self.trace.total_seconds()
+        degradation = getattr(result, "degradation_path", None)
+        if degradation:
+            entry["degradation_path"] = list(degradation)
+        return entry
+
+    def to_json(self, timings=True, indent=2):
+        return json.dumps(self.to_dict(timings=timings), indent=indent)
+
+    # -- text ---------------------------------------------------------------
+
+    def render_text(self, timings=True):
+        sections = [self._header()]
+        if self.provenance is not None and self.provenance.tokens:
+            sections.append(self._token_section())
+            if self.provenance.validations:
+                sections.append(self._validation_section())
+            if self.provenance.clauses:
+                sections.append(self._lineage_section())
+        xquery = self._xquery_section()
+        if xquery:
+            sections.append(xquery)
+        if self.plan_stats:
+            sections.append(self._plan_section(timings))
+        if timings and self.trace is not None:
+            sections.append(self._timing_section())
+        return "\n\n".join(sections)
+
+    def _header(self):
+        result = self.result
+        lines = [f"EXPLAIN {result.sentence!r}"]
+        status = getattr(result, "status", None)
+        if status is not None:
+            lines.append(f"status: {status}")
+        degradation = getattr(result, "degradation_path", None)
+        if degradation:
+            lines.append(f"degradation path: {' -> '.join(degradation)}")
+        return "\n".join(lines)
+
+    def _token_section(self):
+        lines = ["Token classification (Tables 1-2):"]
+        for token in self.provenance.tokens:
+            node_id = "?" if token.node_id is None else token.node_id
+            line = (
+                f"  ({node_id:>2}) {token.word:<22} "
+                f"{token.token_type:<8} {token.rule}"
+            )
+            if token.detail:
+                line += f"  [{token.detail}]"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def _validation_section(self):
+        lines = ["Validator findings (Sec. 4 / Table 6):"]
+        for record in self.provenance.validations:
+            where = ""
+            if record.word is not None:
+                where = f' at "{record.word}"'
+                if record.node_id is not None:
+                    where += f" ({record.node_id})"
+            lines.append(
+                f"  {record.kind:<8} {record.code}{where}"
+            )
+            lines.append(f"           production: {record.production}")
+        return "\n".join(lines)
+
+    def _lineage_section(self):
+        lines = ["Clause lineage (Figs. 4-6):"]
+        for clause in self.provenance.clauses:
+            lines.append(f"  {clause.clause:<9} {clause.fragment}")
+            cited = ", ".join(
+                f"{word}({node_id})"
+                for word, node_id in zip(clause.words, clause.token_ids)
+            )
+            source = f"from {cited}" if cited else "from no source token"
+            lines.append(f"           <- {source}  [{clause.pattern}]")
+        return "\n".join(lines)
+
+    def _xquery_section(self):
+        translation = getattr(self.result, "translation", None)
+        text = None
+        if translation is not None:
+            text = getattr(translation, "pretty_text", None)
+        if text is None:
+            text = getattr(self.result, "xquery_text", None)
+        if not text:
+            return None
+        indented = "\n".join("  " + line for line in text.splitlines())
+        return f"XQuery:\n{indented}"
+
+    def _plan_section(self, timings):
+        rendered = self.plan_stats.render(timings=timings)
+        indented = "\n".join("  " + line for line in rendered.splitlines())
+        return f"Plan (per-operator statistics):\n{indented}"
+
+    def _timing_section(self):
+        lines = ["Stage timings:"]
+        for stage in _STAGES:
+            seconds = self.trace.stage_seconds(stage)
+            if seconds > 0.0:
+                lines.append(f"  {stage:<16}{seconds * 1000:>9.2f} ms")
+        lines.append(
+            f"  {'total':<16}{self.trace.total_seconds() * 1000:>9.2f} ms"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"Explanation({self.result.sentence[:40]!r})"
+
+
+def explain(result):
+    """Build the :class:`Explanation` for a finished query result."""
+    return Explanation(result)

@@ -1,0 +1,241 @@
+"""Standard-format exporters for traces and metrics.
+
+Three dependency-free exporters turn the bespoke observability objects
+into wire formats real tooling accepts:
+
+* :func:`chrome_trace_events` / :func:`chrome_trace` — Chrome
+  trace-event JSON.  Save it to a file and load it in
+  ``chrome://tracing`` or https://ui.perfetto.dev to see a query's span
+  tree on a timeline (one complete ``"ph": "X"`` event per span).
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (version 0.0.4) for a metrics-registry snapshot: counters become
+  ``*_total`` counter samples, gauges become gauges, histograms become
+  summaries with ``quantile`` labels plus ``_sum``/``_count``.
+* :class:`LatencyWindow` — a sliding window of the last N observations
+  per key with exact p50/p95/p99, feeding both the ``stats`` CLI and
+  the Prometheus output (recent latency, not lifetime latency).
+
+The module-level :data:`LATENCIES` window receives per-stage and
+end-to-end latencies from every ``NaLIX.ask`` call, mirroring how
+:data:`repro.obs.metrics.METRICS` receives the lifetime aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from collections import deque
+
+_METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT_RE = re.compile(r"^[0-9]")
+
+#: Prefix for every exported metric name.
+METRIC_PREFIX = "repro"
+
+
+# -- Chrome trace-event JSON -----------------------------------------------
+
+
+def chrome_trace_events(trace, pid=1, tid=1):
+    """Flatten a :class:`~repro.obs.spans.Trace` into trace events.
+
+    One complete event (``"ph": "X"``) per span; timestamps are the
+    span's ``perf_counter`` readings in microseconds, so events from
+    traces captured in the same process share a consistent timeline.
+    Open spans (a trace captured mid-flight) are skipped.
+    """
+    events = []
+    for span in trace.iter_spans():
+        if span.ended_at is None:
+            continue
+        event = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "X",
+            "ts": span.started_at * 1e6,
+            "dur": (span.ended_at - span.started_at) * 1e6,
+            "pid": pid,
+            "tid": tid,
+        }
+        args = dict(span.attributes)
+        if span.status != "ok":
+            args["status"] = span.status
+        if args:
+            event["args"] = {
+                key: _jsonable(value) for key, value in args.items()
+            }
+        events.append(event)
+    return events
+
+
+def chrome_trace(traces, process_name="repro"):
+    """The full trace-event JSON document for one trace or a list."""
+    if not isinstance(traces, (list, tuple)):
+        traces = [traces]
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+    for index, trace in enumerate(traces, start=1):
+        events.extend(chrome_trace_events(trace, pid=1, tid=index))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(traces, process_name="repro", indent=None):
+    return json.dumps(
+        chrome_trace(traces, process_name=process_name), indent=indent
+    )
+
+
+def _jsonable(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# -- Prometheus text exposition format -------------------------------------
+
+
+def prometheus_metric_name(name, suffix=""):
+    """Sanitize a dotted metric name into a legal Prometheus name."""
+    flat = _METRIC_NAME_RE.sub("_", name.replace(".", "_"))
+    if _LEADING_DIGIT_RE.match(flat):
+        flat = "_" + flat
+    return f"{METRIC_PREFIX}_{flat}{suffix}"
+
+
+def _format_value(value):
+    if value is None:
+        return "0"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(snapshot, extra_lines=None):
+    """Render a ``MetricsRegistry.snapshot()`` as exposition text.
+
+    ``extra_lines`` (pre-rendered exposition lines, e.g. from
+    :meth:`LatencyWindow.prometheus_lines`) are appended verbatim.  The
+    output ends with a newline, as the format requires.
+    """
+    lines = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = prometheus_metric_name(name, "_total")
+        lines.append(f"# HELP {metric} Counter {name}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = prometheus_metric_name(name)
+        lines.append(f"# HELP {metric} Gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, summary in snapshot.get("histograms", {}).items():
+        metric = prometheus_metric_name(name)
+        lines.append(f"# HELP {metric} Histogram {name}")
+        lines.append(f"# TYPE {metric} summary")
+        for quantile in ("0.5", "0.95", "0.99"):
+            key = "p" + quantile.replace("0.", "").ljust(2, "0")
+            lines.append(
+                f'{metric}{{quantile="{quantile}"}} '
+                f"{_format_value(summary.get(key))}"
+            )
+        lines.append(
+            f"{metric}_sum {_format_value(summary.get('total', 0.0))}"
+        )
+        lines.append(f"{metric}_count {_format_value(summary.get('count', 0))}")
+    if extra_lines:
+        lines.extend(extra_lines)
+    return "\n".join(lines) + "\n"
+
+
+# -- sliding-window latency tracking ---------------------------------------
+
+
+class LatencyWindow:
+    """Exact percentiles over the last ``window`` observations per key.
+
+    Thread-safe: ``NaLIX.ask`` may be called from concurrent threads.
+    Keys are free-form (the pipeline uses the stage span names plus
+    ``total`` for end-to-end latency).
+    """
+
+    def __init__(self, window=256):
+        self.window = window
+        self._samples = {}
+        self._lock = threading.Lock()
+
+    def observe(self, key, seconds):
+        with self._lock:
+            samples = self._samples.get(key)
+            if samples is None:
+                samples = self._samples[key] = deque(maxlen=self.window)
+            samples.append(seconds)
+
+    def reset(self):
+        with self._lock:
+            self._samples.clear()
+
+    def quantiles(self, key):
+        """``{count, mean, p50, p95, p99}`` for one key (zeros if empty)."""
+        with self._lock:
+            samples = list(self._samples.get(key, ()))
+        if not samples:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0}
+        ordered = sorted(samples)
+        count = len(ordered)
+
+        def pick(fraction):
+            return ordered[min(count - 1, int(fraction * count))]
+
+        return {
+            "count": count,
+            "mean": sum(ordered) / count,
+            "p50": pick(0.50),
+            "p95": pick(0.95),
+            "p99": pick(0.99),
+        }
+
+    def snapshot(self):
+        with self._lock:
+            keys = sorted(self._samples)
+        return {key: self.quantiles(key) for key in keys}
+
+    def prometheus_lines(self):
+        """Exposition lines: one summary per key over the recent window."""
+        lines = []
+        for key, quantiles in self.snapshot().items():
+            metric = prometheus_metric_name(f"window.{key}.seconds")
+            lines.append(
+                f"# HELP {metric} Sliding-window latency for {key} "
+                f"(last {self.window} observations)"
+            )
+            lines.append(f"# TYPE {metric} summary")
+            for label, field in (("0.5", "p50"), ("0.95", "p95"),
+                                 ("0.99", "p99")):
+                lines.append(
+                    f'{metric}{{quantile="{label}"}} '
+                    f"{_format_value(quantiles[field])}"
+                )
+            lines.append(
+                f"{metric}_sum "
+                f"{_format_value(quantiles['mean'] * quantiles['count'])}"
+            )
+            lines.append(f"{metric}_count {quantiles['count']}")
+        return lines
+
+    def __repr__(self):
+        return f"LatencyWindow({len(self._samples)} keys, n={self.window})"
+
+
+#: Process-wide sliding-window latency tracker fed by ``NaLIX.ask``.
+LATENCIES = LatencyWindow()

@@ -17,103 +17,134 @@ the reference on their hot path::
 Histograms keep running count/total/min/max plus a bounded sample of
 observed values for percentile estimates, so long-running processes
 never grow without bound.
+
+All mutation and the registry's ``snapshot()`` are guarded by per-metric
+locks: the CLI, the evaluation harness, and chaos tests run queries from
+worker threads while the stats exporter reads the registry concurrently,
+so lost updates and torn histogram summaries must be impossible, not
+just unlikely.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 
 
 class Counter:
-    """A monotonically increasing count."""
+    """A monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1):
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def reset(self):
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self):
         return f"Counter({self.name}={self.value})"
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins; thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def set(self, value):
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def reset(self):
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self):
         return f"Gauge({self.name}={self.value})"
 
 
 class Histogram:
-    """A distribution of observed values.
+    """A distribution of observed values (thread-safe).
 
     Keeps exact count/total/min/max and the first ``SAMPLE_LIMIT``
-    observations for percentile estimates.
+    observations; percentiles (p50/p95/p99) are computed exactly from
+    the retained samples, not estimated from buckets.
     """
 
     SAMPLE_LIMIT = 2048
 
-    __slots__ = ("name", "count", "total", "min", "max", "_sample")
+    __slots__ = ("name", "count", "total", "min", "max", "_sample", "_lock")
 
     def __init__(self, name):
         self.name = name
+        self._lock = threading.Lock()
         self.reset()
 
     def reset(self):
-        self.count = 0
-        self.total = 0.0
-        self.min = None
-        self.max = None
-        self._sample = []
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min = None
+            self.max = None
+            self._sample = []
 
     def observe(self, value):
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
-        if len(self._sample) < Histogram.SAMPLE_LIMIT:
-            self._sample.append(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if len(self._sample) < Histogram.SAMPLE_LIMIT:
+                self._sample.append(value)
 
     @property
     def mean(self):
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, fraction):
-        """Sample percentile (``fraction`` in [0, 1]); 0.0 when empty."""
-        if not self._sample:
+        """Exact sample percentile (``fraction`` in [0, 1]); 0.0 when empty."""
+        with self._lock:
+            sample = list(self._sample)
+        return self._percentile_of(sorted(sample), fraction)
+
+    @staticmethod
+    def _percentile_of(ordered, fraction):
+        if not ordered:
             return 0.0
-        ordered = sorted(self._sample)
         index = min(len(ordered) - 1, int(fraction * len(ordered)))
         return ordered[index]
 
     def summary(self):
+        """Consistent point-in-time summary (one lock acquisition)."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            low = self.min
+            high = self.max
+            ordered = sorted(self._sample)
         return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min if self.min is not None else 0.0,
-            "max": self.max if self.max is not None else 0.0,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
+            "count": count,
+            "total": total,
+            "mean": total / count if count else 0.0,
+            "min": low if low is not None else 0.0,
+            "max": high if high is not None else 0.0,
+            "p50": self._percentile_of(ordered, 0.50),
+            "p95": self._percentile_of(ordered, 0.95),
+            "p99": self._percentile_of(ordered, 0.99),
         }
 
     def __repr__(self):
@@ -127,25 +158,29 @@ class MetricsRegistry:
         self._counters = {}
         self._gauges = {}
         self._histograms = {}
+        self._lock = threading.Lock()
 
     # -- access (create on demand) -----------------------------------------
 
     def counter(self, name):
         metric = self._counters.get(name)
         if metric is None:
-            metric = self._counters[name] = Counter(name)
+            with self._lock:
+                metric = self._counters.setdefault(name, Counter(name))
         return metric
 
     def gauge(self, name):
         metric = self._gauges.get(name)
         if metric is None:
-            metric = self._gauges[name] = Gauge(name)
+            with self._lock:
+                metric = self._gauges.setdefault(name, Gauge(name))
         return metric
 
     def histogram(self, name):
         metric = self._histograms.get(name)
         if metric is None:
-            metric = self._histograms[name] = Histogram(name)
+            with self._lock:
+                metric = self._histograms.setdefault(name, Histogram(name))
         return metric
 
     # -- convenience writers ------------------------------------------------
@@ -162,19 +197,26 @@ class MetricsRegistry:
     # -- export --------------------------------------------------------------
 
     def snapshot(self):
-        """Plain-dict view of every metric, sorted by name."""
+        """Plain-dict view of every metric, sorted by name.
+
+        The metric dicts are copied under the registry lock (so a
+        concurrent create-on-first-use cannot resize them mid-iteration)
+        and each metric is then read through its own lock.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
         return {
             "counters": {
-                name: self._counters[name].value
-                for name in sorted(self._counters)
+                name: counters[name].value for name in sorted(counters)
             },
             "gauges": {
-                name: self._gauges[name].value
-                for name in sorted(self._gauges)
+                name: gauges[name].value for name in sorted(gauges)
             },
             "histograms": {
-                name: self._histograms[name].summary()
-                for name in sorted(self._histograms)
+                name: histograms[name].summary()
+                for name in sorted(histograms)
             },
         }
 

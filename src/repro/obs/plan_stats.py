@@ -1,0 +1,275 @@
+"""Per-operator plan statistics (``EXPLAIN ANALYZE`` for FLWORs).
+
+The evaluator and planner report one :class:`OperatorStats` node per
+plan operator — candidate scans, mqf structural joins, let evaluation
+(with cache hit counts), residual filtering, ordering, and the return
+projection — into whatever :class:`PlanStatsCollection` is active in
+the current context.  ``NaLIX.ask`` activates a collection per query
+and attaches it to ``QueryResult.plan_stats``; code running outside an
+active collection pays a single ContextVar read per operator
+(:func:`operator` returns a shared no-op).
+
+The design mirrors :mod:`repro.obs.spans` (a ContextVar plus an
+open-operator stack) but keeps *rows*, not just wall time: every
+operator records ``rows_in``/``rows_out`` and free-form attributes, and
+timing may be accumulated across a scattered hot loop with explicit
+``start()``/``stop()`` calls (used by the per-tuple let-cache path,
+whose work is interleaved with other operators).
+"""
+
+from __future__ import annotations
+
+import time
+from contextvars import ContextVar
+
+
+class OperatorStats:
+    """One plan operator: rows in/out, accumulated wall time, attributes."""
+
+    __slots__ = ("name", "detail", "rows_in", "rows_out", "seconds",
+                 "attributes", "children", "_stack", "_started")
+
+    def __init__(self, name, detail=""):
+        self.name = name
+        self.detail = detail
+        self.rows_in = None
+        self.rows_out = None
+        self.seconds = 0.0
+        self.attributes = {}
+        self.children = []
+        self._stack = None
+        self._started = None
+
+    # -- timing ------------------------------------------------------------
+
+    def start(self):
+        """Start (or resume) the clock; pairs with :meth:`stop`."""
+        self._started = time.perf_counter()
+
+    def stop(self):
+        """Accumulate elapsed time since the last :meth:`start`."""
+        if self._started is not None:
+            self.seconds += time.perf_counter() - self._started
+            self._started = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.stop()
+        stack = self._stack
+        if stack is not None:
+            if self in stack:
+                while stack[-1] is not self:
+                    stack.pop().stop()
+                stack.pop()
+            self._stack = None
+        return False
+
+    # -- data --------------------------------------------------------------
+
+    def set(self, key, value):
+        self.attributes[key] = value
+
+    def to_dict(self):
+        entry = {"operator": self.name, "seconds": self.seconds}
+        if self.detail:
+            entry["detail"] = self.detail
+        if self.rows_in is not None:
+            entry["rows_in"] = self.rows_in
+        if self.rows_out is not None:
+            entry["rows_out"] = self.rows_out
+        if self.attributes:
+            entry["attributes"] = dict(self.attributes)
+        if self.children:
+            entry["children"] = [child.to_dict() for child in self.children]
+        return entry
+
+    def render(self, prefix="", last=True, top=True, timings=True):
+        """One ``EXPLAIN ANALYZE``-style line per operator."""
+        connector = "" if top else ("└─ " if last else "├─ ")
+        parts = [self.name]
+        if self.detail:
+            parts.append(self.detail)
+        if self.rows_in is not None and self.rows_out is not None:
+            parts.append(f"rows={self.rows_in}→{self.rows_out}")
+        elif self.rows_out is not None:
+            parts.append(f"rows={self.rows_out}")
+        for key, value in self.attributes.items():
+            parts.append(f"{key}={value}")
+        if timings:
+            parts.append(f"({self.seconds * 1000:.2f} ms)")
+        lines = [prefix + connector + "  ".join(parts)]
+        child_prefix = prefix if top else prefix + ("   " if last else "│  ")
+        for index, child in enumerate(self.children):
+            lines.append(
+                child.render(
+                    prefix=child_prefix,
+                    last=index == len(self.children) - 1,
+                    top=False,
+                    timings=timings,
+                )
+            )
+        return "\n".join(lines)
+
+    def iter_operators(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_operators()
+
+    def find(self, name):
+        for node in self.iter_operators():
+            if node.name == name:
+                return node
+        return None
+
+    def __repr__(self):
+        return (
+            f"OperatorStats({self.name!r}, rows={self.rows_in}->"
+            f"{self.rows_out}, {self.seconds * 1000:.2f} ms)"
+        )
+
+
+class PlanStatsCollection:
+    """The per-query forest of operator stats (one tree per FLWOR).
+
+    ``max_operators`` bounds the tree: evaluators may recurse per tuple
+    (the naive path evaluates nested FLWORs in a loop), so past the cap
+    new operators become shared no-ops and ``truncated`` is set — the
+    cap is visible in renders, never silent.
+    """
+
+    __slots__ = ("roots", "_stack", "max_operators", "_count", "truncated")
+
+    def __init__(self, max_operators=512):
+        self.roots = []
+        self._stack = []
+        self.max_operators = max_operators
+        self._count = 0
+        self.truncated = False
+
+    def operator(self, name, detail=""):
+        """Open an operator node nested under the innermost open one."""
+        if self._count >= self.max_operators:
+            self.truncated = True
+            return _NOOP_OPERATOR
+        self._count += 1
+        node = OperatorStats(name, detail)
+        if self._stack:
+            self._stack[-1].children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        node._stack = self._stack
+        return node
+
+    def finish_open_operators(self):
+        """Stop any operators left open by an exception path."""
+        while self._stack:
+            self._stack.pop().stop()
+
+    def iter_operators(self):
+        for root in self.roots:
+            yield from root.iter_operators()
+
+    def find(self, name):
+        for root in self.roots:
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self):
+        data = {"operators": [root.to_dict() for root in self.roots]}
+        if self.truncated:
+            data["truncated"] = True
+        return data
+
+    def render(self, timings=True):
+        lines = [root.render(timings=timings) for root in self.roots]
+        if self.truncated:
+            lines.append(
+                f"... operator tree truncated at {self.max_operators} nodes"
+            )
+        return "\n".join(lines)
+
+    def __bool__(self):
+        return bool(self.roots)
+
+    def __repr__(self):
+        return (
+            f"PlanStatsCollection({sum(1 for _ in self.iter_operators())} "
+            "operators)"
+        )
+
+
+class _NoopOperator:
+    """Shared stand-in when no collection is active (attribute-free)."""
+
+    __slots__ = ()
+    name = "noop"
+    detail = ""
+    seconds = 0.0
+    children = ()
+    attributes = {}
+    rows_in = None
+    rows_out = None
+
+    def start(self):
+        pass
+
+    def stop(self):
+        pass
+
+    def set(self, key, value):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        return False
+
+    def __setattr__(self, key, value):
+        pass  # rows_in/rows_out assignments are discarded
+
+
+_NOOP_OPERATOR = _NoopOperator()
+_CURRENT_PLAN_STATS: ContextVar[PlanStatsCollection | None] = ContextVar(
+    "repro_obs_plan_stats", default=None
+)
+
+
+def current_plan_stats():
+    """The collection active in this context, or None."""
+    return _CURRENT_PLAN_STATS.get()
+
+
+class _PlanStatsActivation:
+    __slots__ = ("_collection", "_token")
+
+    def __init__(self, collection):
+        self._collection = collection
+        self._token = None
+
+    def __enter__(self):
+        self._token = _CURRENT_PLAN_STATS.set(self._collection)
+        return self._collection
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _CURRENT_PLAN_STATS.reset(self._token)
+        return False
+
+
+def activate_plan_stats(collection):
+    """Make ``collection`` the context's collector for the ``with`` block."""
+    return _PlanStatsActivation(collection)
+
+
+def operator(name, detail=""):
+    """Open an operator on the active collection; no-op without one."""
+    collection = _CURRENT_PLAN_STATS.get()
+    if collection is None:
+        return _NOOP_OPERATOR
+    return collection.operator(name, detail)

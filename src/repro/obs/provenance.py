@@ -1,0 +1,258 @@
+"""Query provenance: who produced what, all the way through the pipeline.
+
+NaLIX's value proposition (paper Sec. 4) is that a user can *see why*
+the system understood — or rejected — their English sentence.  This
+module holds the data carriers for that story:
+
+* :class:`TokenRecord` — one classified word/chunk: its text, the token
+  type it received, and the classification rule (Tables 1–2) that
+  assigned it;
+* :class:`ClauseRecord` — one emitted XQuery clause (or clause
+  fragment): its rendered text, the translation pattern that produced
+  it (Fig. 4 direct mapping, Fig. 5 marker semantics, Fig. 6 nesting
+  scope, ...), and the ids of the source tokens it cites;
+* :class:`ValidationRecord` — one validator error/warning together with
+  the grammar production (Table 6) or definition that fired;
+* :class:`QueryProvenance` — the per-query container carried on
+  ``QueryResult.provenance`` and rendered by :mod:`repro.obs.explain`.
+
+Like the rest of ``repro.obs``, this module imports nothing from other
+``repro`` packages: the builders duck-type over parse-tree nodes
+(``text`` / ``lemma`` / ``node_id`` / ``token_type`` / attributes set by
+the classifier), so the classifier, validator, and translator can feed
+it without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+
+class TokenRecord:
+    """One word (or merged chunk) and how it was classified."""
+
+    __slots__ = ("node_id", "word", "lemma", "token_type", "rule",
+                 "detail", "implicit")
+
+    def __init__(self, node_id, word, lemma, token_type, rule,
+                 detail=None, implicit=False):
+        self.node_id = node_id
+        self.word = word
+        self.lemma = lemma
+        self.token_type = token_type
+        self.rule = rule
+        self.detail = detail        # operator / aggregate / literal / ...
+        self.implicit = implicit
+
+    def to_dict(self):
+        entry = {
+            "node_id": self.node_id,
+            "word": self.word,
+            "token_type": self.token_type,
+            "rule": self.rule,
+        }
+        if self.lemma != self.word:
+            entry["lemma"] = self.lemma
+        if self.detail is not None:
+            entry["detail"] = self.detail
+        if self.implicit:
+            entry["implicit"] = True
+        return entry
+
+    def __repr__(self):
+        return (
+            f"TokenRecord({self.node_id}, {self.word!r}, "
+            f"{self.token_type})"
+        )
+
+
+class ClauseRecord:
+    """One emitted clause (or conjunct) and the tokens that produced it."""
+
+    __slots__ = ("clause", "fragment", "pattern", "token_ids", "words")
+
+    def __init__(self, clause, fragment, pattern, token_ids, words):
+        self.clause = clause        # for | let | where | order-by | return
+        self.fragment = fragment    # the rendered XQuery text
+        self.pattern = pattern      # the paper rule that produced it
+        self.token_ids = list(token_ids)
+        self.words = list(words)
+
+    def to_dict(self):
+        return {
+            "clause": self.clause,
+            "fragment": self.fragment,
+            "pattern": self.pattern,
+            "token_ids": list(self.token_ids),
+            "words": list(self.words),
+        }
+
+    def __repr__(self):
+        return f"ClauseRecord({self.clause}, {self.fragment!r})"
+
+
+class ValidationRecord:
+    """One validator finding and the grammar production that fired."""
+
+    __slots__ = ("kind", "code", "production", "node_id", "word")
+
+    def __init__(self, kind, code, production, node_id=None, word=None):
+        self.kind = kind            # error | warning
+        self.code = code
+        self.production = production
+        self.node_id = node_id
+        self.word = word
+
+    def to_dict(self):
+        entry = {
+            "kind": self.kind,
+            "code": self.code,
+            "production": self.production,
+        }
+        if self.node_id is not None:
+            entry["node_id"] = self.node_id
+        if self.word is not None:
+            entry["word"] = self.word
+        return entry
+
+    def __repr__(self):
+        return f"ValidationRecord({self.kind}, {self.code})"
+
+
+#: Classifier rules may leave these extra attributes on parse nodes;
+#: they become ``TokenRecord.detail`` (e.g. the comparison operator an
+#: OT mapped to, or the aggregate function behind an FT).
+_DETAIL_ATTRIBUTES = ("operator", "aggregate", "value", "descending")
+
+
+def token_records_from_tree(root):
+    """Build :class:`TokenRecord` entries for every classified node.
+
+    ``root`` is a classified (and normally validated) parse tree; nodes
+    are visited in sentence order so the report reads like the query.
+    Only duck-typed attributes are touched, keeping this module free of
+    ``repro.core`` imports.
+    """
+    records = []
+    nodes = sorted(root.preorder(), key=lambda node: node.index)
+    for node in nodes:
+        token_type = getattr(node, "token_type", None)
+        if token_type is None:
+            continue
+        detail = None
+        for attribute in _DETAIL_ATTRIBUTES:
+            value = getattr(node, attribute, None)
+            if value is not None and value is not False:
+                detail = f"{attribute}={value!r}"
+                break
+        implicit = bool(getattr(node, "implicit", False))
+        if implicit:
+            implicit_value = getattr(node, "implicit_value", None)
+            detail = f"implicit NT for value {implicit_value!r}"
+        records.append(
+            TokenRecord(
+                getattr(node, "node_id", None),
+                node.text,
+                node.lemma,
+                token_type,
+                getattr(node, "classification_rule", "unclassified"),
+                detail=detail,
+                implicit=implicit,
+            )
+        )
+    return records
+
+
+def validation_records_from_feedback(feedback):
+    """Build :class:`ValidationRecord` entries from a Feedback object."""
+    records = []
+    for message in getattr(feedback, "messages", []):
+        node = getattr(message, "node", None)
+        records.append(
+            ValidationRecord(
+                message.kind,
+                message.code,
+                getattr(message, "production", None) or "Sec. 4 check",
+                node_id=getattr(node, "node_id", None) if node else None,
+                word=node.text if node is not None else None,
+            )
+        )
+    return records
+
+
+class QueryProvenance:
+    """Everything known about how one query was understood."""
+
+    def __init__(self, sentence):
+        self.sentence = sentence
+        self.tokens = []            # [TokenRecord]
+        self.clauses = []           # [ClauseRecord]
+        self.validations = []       # [ValidationRecord]
+
+    # -- lineage -----------------------------------------------------------
+
+    def clauses_citing(self, node_id):
+        """The clause records that cite the given source token."""
+        return [
+            clause for clause in self.clauses if node_id in clause.token_ids
+        ]
+
+    def lineage(self):
+        """Word → token → clause rows, one per classified token.
+
+        Each row is ``(TokenRecord, [ClauseRecord])``; marker tokens
+        usually map to no clause (their semantics is attachment shape).
+        """
+        return [
+            (token, self.clauses_citing(token.node_id))
+            for token in self.tokens
+        ]
+
+    def uncited_clauses(self):
+        """Clause records citing no token (should be empty)."""
+        return [clause for clause in self.clauses if not clause.token_ids]
+
+    # -- summaries ---------------------------------------------------------
+
+    def summary(self):
+        """Compact dict for audit records: counts, patterns, productions.
+
+        Empty (``{}``) when nothing was harvested — e.g. a query that
+        failed before classification — so callers can skip the key.
+        """
+        if not self.tokens and not self.clauses and not self.validations:
+            return {}
+        token_counts = {}
+        for token in self.tokens:
+            token_counts[token.token_type] = (
+                token_counts.get(token.token_type, 0) + 1
+            )
+        patterns = []
+        for clause in self.clauses:
+            if clause.pattern not in patterns:
+                patterns.append(clause.pattern)
+        productions = []
+        for record in self.validations:
+            if record.production not in productions:
+                productions.append(record.production)
+        summary = {"tokens": token_counts, "clauses": len(self.clauses)}
+        if patterns:
+            summary["patterns"] = patterns
+        if productions:
+            summary["productions"] = productions
+        return summary
+
+    def to_dict(self):
+        return {
+            "sentence": self.sentence,
+            "tokens": [token.to_dict() for token in self.tokens],
+            "clauses": [clause.to_dict() for clause in self.clauses],
+            "validations": [
+                record.to_dict() for record in self.validations
+            ],
+        }
+
+    def __repr__(self):
+        return (
+            f"QueryProvenance({len(self.tokens)} tokens, "
+            f"{len(self.clauses)} clauses, "
+            f"{len(self.validations)} validations)"
+        )

@@ -16,6 +16,7 @@ compare them on random small documents.
 from __future__ import annotations
 
 from repro.obs.metrics import METRICS
+from repro.obs.plan_stats import operator
 from repro.obs.spans import span
 from repro.resilience.budget import charge, check_deadline
 from repro.xmlstore.model import AttributeNode, ElementNode, TextNode
@@ -276,6 +277,12 @@ class Evaluator:
         return self._eval_flwor_naive(flwor, env)
 
     def _eval_flwor_naive(self, flwor, env):
+        with operator("flwor", detail="naive") as op:
+            result = self._eval_flwor_naive_inner(flwor, env)
+            op.rows_out = len(result)
+        return result
+
+    def _eval_flwor_naive_inner(self, flwor, env):
         stream = [env]
         pending_order = None
         for clause in flwor.clauses[:-1]:
@@ -317,6 +324,12 @@ class Evaluator:
         return result
 
     def _eval_flwor_planned(self, flwor, env):
+        with operator("flwor", detail="planned") as flwor_op:
+            result = self._eval_flwor_planned_inner(flwor, env)
+            flwor_op.rows_out = len(result)
+        return result
+
+    def _eval_flwor_planned_inner(self, flwor, env):
         let_clauses = [
             clause for clause in flwor.clauses if isinstance(clause, ast.LetClause)
         ]
@@ -327,22 +340,32 @@ class Evaluator:
         candidates = {}
         populations = {}
         for var, source in flwor.for_bindings():
-            items = self.evaluate(source, env)
-            populations[var] = items
-            filtered = items
-            for predicate in plan.single_var_predicates[var]:
-                population = CandidateSet([item for item in items if is_node(item)])
-                filtered = [
-                    item
-                    for item in filtered
-                    if effective_boolean_value(
-                        self.evaluate(
-                            predicate,
-                            env.child({var: [item]}, {var: population}),
-                        )
+            with operator("scan", detail=f"${var}") as op:
+                items = self.evaluate(source, env)
+                op.rows_in = len(items)
+                populations[var] = items
+                filtered = items
+                for predicate in plan.single_var_predicates[var]:
+                    population = CandidateSet(
+                        [item for item in items if is_node(item)]
                     )
-                ]
-            candidates[var] = filtered
+                    filtered = [
+                        item
+                        for item in filtered
+                        if effective_boolean_value(
+                            self.evaluate(
+                                predicate,
+                                env.child({var: [item]}, {var: population}),
+                            )
+                        )
+                    ]
+                candidates[var] = filtered
+                op.rows_out = len(filtered)
+                if plan.single_var_predicates[var]:
+                    op.set(
+                        "pushed_predicates",
+                        len(plan.single_var_predicates[var]),
+                    )
             _CANDIDATES.observe(len(filtered))
 
         tuples = enumerate_tuples(plan, candidates, populations)
@@ -352,6 +375,18 @@ class Evaluator:
             for var in plan.for_vars
         }
 
+        # Let and residual-filter work is interleaved per tuple, so their
+        # operators accumulate time via start()/stop() across the loop.
+        let_ops = []
+        for index, clause in enumerate(let_clauses):
+            with operator("let", detail=f"${clause.var}") as op:
+                pass
+            let_ops.append(op)
+        with operator("filter", detail="residual predicates") as filter_op:
+            pass
+        let_hits = [0] * len(let_clauses)
+        let_misses = [0] * len(let_clauses)
+
         let_caches = [{} for _ in let_clauses]
         stream = []
         for bindings in tuples:
@@ -360,6 +395,8 @@ class Evaluator:
                 {var: population_sets[var] for var in bindings},
             )
             for index, clause in enumerate(let_clauses):
+                let_op = let_ops[index]
+                let_op.start()
                 key_vars = let_cache_plans[index]
                 if key_vars is not None:
                     key = tuple(
@@ -372,25 +409,49 @@ class Evaluator:
                     value = cache.get(key, _MISSING)
                     if value is _MISSING:
                         _LET_CACHE_MISSES.inc()
+                        let_misses[index] += 1
                         value = cache[key] = self.evaluate(clause.expr, current)
                     else:
                         _LET_CACHE_HITS.inc()
+                        let_hits[index] += 1
                 else:
+                    let_misses[index] += 1
                     value = self.evaluate(clause.expr, current)
                 current = current.child({clause.var: value})
-            if all(
+                let_op.stop()
+            filter_op.start()
+            kept = all(
                 effective_boolean_value(self.evaluate(conjunct, current))
                 for conjunct in plan.residual_conjuncts
-            ):
+            )
+            filter_op.stop()
+            if kept:
                 stream.append(current)
+
+        for index in range(len(let_clauses)):
+            let_op = let_ops[index]
+            let_op.rows_in = len(tuples)
+            let_op.rows_out = let_misses[index]
+            let_op.set("cache_hits", let_hits[index])
+            let_op.set(
+                "cached", let_cache_plans[index] is not None
+            )
+        filter_op.rows_in = len(tuples)
+        filter_op.rows_out = len(stream)
+        filter_op.set("predicates", len(plan.residual_conjuncts))
 
         for clause in flwor.clauses:
             if isinstance(clause, ast.OrderByClause):
-                stream = self._order_stream(stream, clause)
+                with operator("order-by") as op:
+                    op.rows_in = op.rows_out = len(stream)
+                    stream = self._order_stream(stream, clause)
         result = []
         return_expr = flwor.return_expr()
-        for current in stream:
-            result.extend(self.evaluate(return_expr, current))
+        with operator("return") as op:
+            op.rows_in = len(stream)
+            for current in stream:
+                result.extend(self.evaluate(return_expr, current))
+            op.rows_out = len(result)
         return result
 
     def _plan_let_caching(self, let_clauses, plan):

@@ -25,6 +25,7 @@ the ablation benchmark.
 from __future__ import annotations
 
 from repro.obs.metrics import METRICS
+from repro.obs.plan_stats import operator
 from repro.resilience.budget import charge, check_deadline
 from repro.xquery import ast
 from repro.xquery.errors import XQueryEvaluationError
@@ -199,10 +200,22 @@ def enumerate_tuples(plan, candidates, populations):
                 raise XQueryEvaluationError(
                     f"mqf argument ${var} must range over nodes"
                 )
-        tuples = mqf_join(
-            [candidates[var] for var in group.variables],
-            [populations[var] for var in group.variables],
-        )
+        with operator(
+            "mqf-join",
+            detail=", ".join(f"${var}" for var in group.variables),
+        ) as op:
+            tuples = mqf_join(
+                [candidates[var] for var in group.variables],
+                [populations[var] for var in group.variables],
+            )
+            op.rows_in = sum(
+                len(candidates[var]) for var in group.variables
+            )
+            op.rows_out = len(tuples)
+            op.set(
+                "population",
+                sum(len(populations[var]) for var in group.variables),
+            )
         _MQF_JOINS.inc()
         _MQF_CANDIDATES.observe(
             sum(len(candidates[var]) for var in group.variables)

@@ -91,3 +91,64 @@ class TestAuditLog:
         entry = audit_entry(result)
         assert entry["status"] == "ok"
         assert "stage_seconds" not in entry
+
+    def test_entry_carries_provenance_summary(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            nalix.ask("Return the title of every movie.")
+            nalix.ask("")  # parse failure: nothing harvested
+        ok_entry, failed_entry = read_audit_log(str(path))
+        provenance = ok_entry["provenance"]
+        assert provenance["tokens"]["NT"] == 2
+        assert provenance["clauses"] > 0
+        assert any("Fig. 4" in pattern for pattern in provenance["patterns"])
+        assert "provenance" not in failed_entry
+
+
+class TestRotation:
+    def _fill(self, audit, nalix, queries):
+        for _ in range(queries):
+            nalix.ask("Return every movie.")
+
+    def test_rotates_at_max_bytes(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path), max_bytes=2000) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            self._fill(audit, nalix, 8)
+        rolled = tmp_path / "audit.jsonl.1"
+        assert rolled.exists(), "rotation never happened"
+        # Every line in both files is intact JSON: rotation only ever
+        # happens between records, never mid-line.
+        for part in (path, rolled):
+            for line in part.read_text(encoding="utf-8").splitlines():
+                json.loads(line)
+        assert path.stat().st_size <= 2000
+        assert rolled.stat().st_size <= 2000
+
+    def test_rollover_replaces_previous_backup(self, movie_database,
+                                               tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path), max_bytes=1200) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            self._fill(audit, nalix, 12)
+        files = sorted(entry.name for entry in tmp_path.iterdir())
+        assert files == ["audit.jsonl", "audit.jsonl.1"]
+
+    def test_rotation_considers_preexisting_file(self, movie_database,
+                                                 tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text("x" * 5000 + "\n", encoding="utf-8")
+        with AuditLog(str(path), max_bytes=2000) as audit:
+            NaLIX(movie_database, audit_log=audit).ask("Return every movie.")
+        assert (tmp_path / "audit.jsonl.1").exists()
+        entries = read_audit_log(str(path))
+        assert len(entries) == 1
+
+    def test_no_rotation_without_max_bytes(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            self._fill(audit, nalix, 8)
+        assert not (tmp_path / "audit.jsonl.1").exists()
+        assert len(read_audit_log(str(path))) == 8

@@ -1,0 +1,203 @@
+"""Exporter wire-format validity: Chrome trace JSON and Prometheus text.
+
+The Prometheus tests validate the exposition output with a small
+line-by-line parser implementing the text-format 0.0.4 rules (HELP/TYPE
+comments, legal metric names, float-parseable sample values) rather
+than string-matching a handful of expected lines, so any malformed
+line anywhere in the dump fails the test.
+"""
+
+import json
+import re
+
+from repro.obs.export import (
+    LatencyWindow,
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_metric_name,
+    prometheus_text,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Trace
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>\S+))?$"
+)
+_LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+
+
+def parse_prometheus_text(text):
+    """Parse exposition text; raises AssertionError on malformed lines.
+
+    Returns ``{metric_name: {"type": ..., "samples": [(labels, value)]}}``
+    keyed by the base metric name declared in ``# TYPE`` lines.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    metrics = {}
+    current = None
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name = line.split(" ", 3)[2]
+            assert _NAME_RE.match(name), f"bad HELP name: {name}"
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert _NAME_RE.match(name), f"bad TYPE name: {name}"
+            assert kind in ("counter", "gauge", "summary", "histogram",
+                            "untyped"), f"bad metric type: {kind}"
+            assert name not in metrics, f"duplicate TYPE for {name}"
+            current = metrics[name] = {"type": kind, "samples": []}
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"malformed sample line: {line}"
+        name = match.group("name")
+        labels = {}
+        if match.group("labels"):
+            for pair in match.group("labels").split(","):
+                assert _LABEL_RE.match(pair), f"bad label pair: {pair}"
+                key, value = pair.split("=", 1)
+                labels[key] = value.strip('"')
+        value = float(match.group("value"))  # must parse as a float
+        assert current is not None, f"sample before any TYPE line: {line}"
+        base = metrics.get(name.removesuffix("_sum").removesuffix("_count"),
+                           metrics.get(name))
+        assert base is not None, f"sample {name} missing a TYPE declaration"
+        base["samples"].append((labels, value))
+    return metrics
+
+
+class TestPrometheusText:
+    def test_snapshot_renders_parseable_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("pipeline.queries").inc(3)
+        registry.gauge("db.documents").set(2)
+        histogram = registry.histogram("pipeline.total.seconds")
+        for value in (0.01, 0.02, 0.03, 0.5):
+            histogram.observe(value)
+        text = prometheus_text(registry.snapshot())
+        metrics = parse_prometheus_text(text)
+        counter = metrics["repro_pipeline_queries_total"]
+        assert counter["type"] == "counter"
+        assert counter["samples"] == [({}, 3.0)]
+        gauge = metrics["repro_db_documents"]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"] == [({}, 2.0)]
+        summary = metrics["repro_pipeline_total_seconds"]
+        assert summary["type"] == "summary"
+        quantiles = {
+            labels["quantile"]: value
+            for labels, value in summary["samples"]
+            if "quantile" in labels
+        }
+        assert set(quantiles) == {"0.5", "0.95", "0.99"}
+        assert quantiles["0.5"] == 0.03
+        plain = {
+            labels_value[1]
+            for labels_value in summary["samples"]
+            if not labels_value[0]
+        }
+        assert plain == {0.56, 4.0}  # _sum and _count
+
+    def test_live_pipeline_dump_is_valid(self, movie_nalix):
+        """The real registry + window dump passes the format parser."""
+        movie_nalix.ask("Return the title of every movie.")
+        from repro.obs.export import LATENCIES
+        from repro.obs.metrics import METRICS
+
+        text = prometheus_text(
+            METRICS.snapshot(), extra_lines=LATENCIES.prometheus_lines()
+        )
+        metrics = parse_prometheus_text(text)
+        assert "repro_pipeline_queries_total" in metrics
+        assert "repro_window_total_seconds" in metrics
+        for entry in metrics.values():
+            assert entry["samples"], "TYPE declared without samples"
+
+    def test_metric_name_sanitization(self):
+        assert (prometheus_metric_name("pipeline.total.seconds")
+                == "repro_pipeline_total_seconds")
+        assert (prometheus_metric_name("weird-name!", "_total")
+                == "repro_weird_name__total")
+        assert prometheus_metric_name("9lives").startswith("repro__9lives")
+
+
+class TestChromeTrace:
+    def _traced_query(self, nalix):
+        result = nalix.ask("Return the title of every movie.")
+        assert result.trace is not None
+        return result.trace
+
+    def test_one_complete_event_per_closed_span(self, movie_nalix):
+        trace = self._traced_query(movie_nalix)
+        document = chrome_trace(trace)
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert events[0]["args"] == {"name": "repro"}
+        complete = [event for event in events if event["ph"] == "X"]
+        closed = [span for span in trace.iter_spans()
+                  if span.ended_at is not None]
+        assert len(complete) == len(closed)
+        for event in complete:
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0.0
+            assert event["pid"] == 1
+
+    def test_json_round_trips(self, movie_nalix):
+        trace = self._traced_query(movie_nalix)
+        parsed = json.loads(chrome_trace_json([trace, trace]))
+        assert parsed["displayTimeUnit"] == "ms"
+        tids = {event["tid"] for event in parsed["traceEvents"]
+                if event["ph"] == "X"}
+        assert tids == {1, 2}
+
+    def test_open_spans_skipped(self):
+        trace = Trace()
+        with trace.span("closed"):
+            pass
+        trace.span("open")  # left open deliberately
+        events = chrome_trace(trace)["traceEvents"]
+        names = [event["name"] for event in events if event["ph"] == "X"]
+        assert names == ["closed"]
+
+    def test_non_jsonable_attributes_coerced(self):
+        trace = Trace()
+        with trace.span("s") as span:
+            span.attributes["path"] = object()
+        document = chrome_trace_json(trace)
+        event = json.loads(document)["traceEvents"][1]
+        assert isinstance(event["args"]["path"], str)
+
+
+class TestLatencyWindow:
+    def test_sliding_window_drops_old_samples(self):
+        window = LatencyWindow(window=4)
+        for value in (10.0, 10.0, 10.0, 10.0, 1.0, 2.0, 3.0, 4.0):
+            window.observe("ask", value)
+        quantiles = window.quantiles("ask")
+        assert quantiles["count"] == 4
+        assert quantiles["p50"] == 3.0
+        assert quantiles["p99"] == 4.0
+        assert quantiles["mean"] == 2.5
+
+    def test_empty_key_returns_zeros(self):
+        window = LatencyWindow()
+        assert window.quantiles("missing")["count"] == 0
+
+    def test_prometheus_lines_parse(self):
+        window = LatencyWindow(window=8)
+        for value in (0.1, 0.2, 0.3):
+            window.observe("stage.parse", value)
+        text = "\n".join(window.prometheus_lines()) + "\n"
+        metrics = parse_prometheus_text(text)
+        summary = metrics["repro_window_stage_parse_seconds"]
+        assert summary["type"] == "summary"
+        counts = [value for labels, value in summary["samples"]
+                  if not labels]
+        assert 3.0 in counts

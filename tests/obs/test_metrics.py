@@ -1,6 +1,7 @@
 """Unit tests for the metrics registry and its pipeline integration."""
 
 import json
+import threading
 
 from repro.core.interface import NaLIX
 from repro.obs.metrics import METRICS, MetricsRegistry
@@ -29,6 +30,22 @@ class TestRegistry:
         assert summary["min"] == 1.0
         assert summary["max"] == 10.0
         assert summary["p50"] == 3.0
+
+    def test_histogram_exact_percentiles_and_total(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):  # 1..100
+            registry.observe("h", float(value))
+        summary = registry.histogram("h").summary()
+        assert summary["total"] == 5050.0
+        assert summary["p50"] == 51.0
+        assert summary["p95"] == 96.0
+        assert summary["p99"] == 100.0
+
+    def test_histogram_percentiles_small_sample(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 7.0)
+        summary = registry.histogram("h").summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 7.0
 
     def test_histogram_sample_is_bounded(self):
         registry = MetricsRegistry()
@@ -63,6 +80,78 @@ class TestRegistry:
         assert registry.counter("c") is counter
         counter.inc()
         assert registry.snapshot()["counters"]["c"] == 1
+
+
+class TestThreadSafety:
+    """Concurrency regression: lost updates under contended writers."""
+
+    THREADS = 8
+    ITERATIONS = 2000
+
+    def _run_threads(self, target):
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker():
+            barrier.wait()
+            target()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        self._run_threads(lambda: [counter.inc()
+                                   for _ in range(self.ITERATIONS)])
+        assert counter.value == self.THREADS * self.ITERATIONS
+
+    def test_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("h")
+        self._run_threads(lambda: [histogram.observe(1.0)
+                                   for _ in range(self.ITERATIONS)])
+        assert histogram.count == self.THREADS * self.ITERATIONS
+        assert histogram.summary()["total"] == float(
+            self.THREADS * self.ITERATIONS
+        )
+
+    def test_create_on_demand_yields_one_metric(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create():
+            seen.append(registry.counter("shared"))
+
+        self._run_threads(create)
+        assert len(set(map(id, seen))) == 1
+
+    def test_snapshot_during_writes_is_consistent(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        snapshots = []
+
+        def reader():
+            while not stop.is_set():
+                snapshots.append(registry.snapshot())
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for index in range(5000):
+                registry.inc("writes")
+                registry.observe("h", float(index))
+        finally:
+            stop.set()
+            thread.join()
+        assert registry.snapshot()["counters"]["writes"] == 5000
+        for snapshot in snapshots:
+            count = snapshot["counters"].get("writes", 0)
+            assert 0 <= count <= 5000
 
 
 class TestPipelineMetrics:

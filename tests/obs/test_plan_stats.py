@@ -1,0 +1,147 @@
+"""Per-operator plan statistics: unit behaviour and pipeline integration."""
+
+import json
+
+from repro.obs.plan_stats import (
+    OperatorStats,
+    PlanStatsCollection,
+    activate_plan_stats,
+    current_plan_stats,
+    operator,
+)
+
+
+class TestOperatorStats:
+    def test_nesting_and_rows(self):
+        collection = PlanStatsCollection()
+        with collection.operator("flwor", detail="planned") as flwor:
+            with collection.operator("scan", detail="$v1") as scan:
+                scan.rows_in = 10
+                scan.rows_out = 4
+            flwor.rows_out = 4
+        assert [root.name for root in collection.roots] == ["flwor"]
+        assert collection.roots[0].children[0].rows_in == 10
+        assert collection.find("scan").detail == "$v1"
+
+    def test_start_stop_accumulates_across_loop(self):
+        """The let-cache pattern: closed once, resumed per tuple."""
+        collection = PlanStatsCollection()
+        with collection.operator("let") as let_op:
+            pass
+        assert let_op.seconds >= 0.0
+        before = let_op.seconds
+        for _ in range(3):
+            let_op.start()
+            let_op.stop()
+        assert let_op.seconds >= before
+        let_op.stop()  # stop without start is harmless
+
+    def test_exit_closes_abandoned_children(self):
+        collection = PlanStatsCollection()
+        outer = collection.operator("outer")
+        outer.start()
+        collection.operator("inner").start()  # never explicitly closed
+        outer.__exit__(None, None, None)
+        assert collection._stack == []
+
+    def test_render_and_to_dict(self):
+        root = OperatorStats("mqf-join", detail="$v1, $v2")
+        root.rows_in = 12
+        root.rows_out = 3
+        root.set("population", 2)
+        child = OperatorStats("scan")
+        child.rows_out = 12
+        root.children.append(child)
+        text = root.render(timings=False)
+        assert "mqf-join  $v1, $v2  rows=12→3  population=2" in text
+        assert "└─ scan  rows=12" in text
+        assert "ms" not in text
+        entry = root.to_dict()
+        assert entry["attributes"] == {"population": 2}
+        assert entry["children"][0]["operator"] == "scan"
+        json.dumps(entry)  # must be JSON-serializable
+
+    def test_render_includes_timings_by_default(self):
+        root = OperatorStats("scan")
+        assert "ms)" in root.render()
+
+
+class TestAmbientCollection:
+    def test_noop_outside_active_collection(self):
+        assert current_plan_stats() is None
+        with operator("scan") as op:
+            op.rows_in = 5
+            op.set("key", "value")
+        assert op.rows_in is None
+        assert op.attributes == {}
+
+    def test_activation_scopes_the_collector(self):
+        collection = PlanStatsCollection()
+        with activate_plan_stats(collection):
+            assert current_plan_stats() is collection
+            with operator("scan") as op:
+                op.rows_out = 1
+        assert current_plan_stats() is None
+        assert collection.roots[0] is op
+
+    def test_truncation_is_visible(self):
+        collection = PlanStatsCollection(max_operators=2)
+        for _ in range(4):
+            with collection.operator("scan"):
+                pass
+        assert collection.truncated
+        assert len(collection.roots) == 2
+        assert collection.to_dict()["truncated"] is True
+        assert "truncated at 2" in collection.render()
+
+    def test_not_truncated_by_default(self):
+        collection = PlanStatsCollection()
+        with collection.operator("scan"):
+            pass
+        assert "truncated" not in collection.to_dict()
+
+
+class TestPipelineIntegration:
+    def test_ask_attaches_plan_stats(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return every movie where its year is after 1994."
+        )
+        assert result.ok
+        stats = result.plan_stats
+        assert stats is not None and bool(stats)
+        names = {op.name for op in stats.iter_operators()}
+        assert {"flwor", "scan", "return"} <= names
+        flwor = stats.find("flwor")
+        assert flwor.detail in ("planned", "naive")
+        scan = stats.find("scan")
+        assert scan.rows_in is not None and scan.rows_in >= scan.rows_out
+        ret = stats.find("return")
+        assert ret.rows_out == len(result.items)
+
+    def test_structural_join_cardinalities(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return the title of every movie whose director is Ron Howard."
+        )
+        assert result.ok
+        join = result.plan_stats.find("mqf-join")
+        assert join is not None
+        assert join.rows_in >= join.rows_out
+        assert join.attributes.get("population", 0) >= 1
+
+    def test_let_cache_hits_surface(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return every director, where the number of movies directed "
+            "by the director is the same as the number of movies directed "
+            "by Ron Howard."
+        )
+        assert result.ok
+        lets = [op for op in result.plan_stats.iter_operators()
+                if op.name == "let"]
+        assert lets, "aggregate query should evaluate let clauses"
+        assert any(op.attributes.get("cache_hits", 0) > 0 for op in lets)
+
+    def test_failed_parse_leaves_empty_stats(self, movie_nalix):
+        result = movie_nalix.ask("")
+        assert not result.ok
+        assert result.plan_stats is not None
+        assert not bool(result.plan_stats)

@@ -155,6 +155,106 @@ class TestObservabilityFlags:
         )
 
 
+class TestExplainCommands:
+    def test_explain_prints_lineage(self, capsys):
+        code = main(
+            ["explain", "--data", "movies",
+             "Return the title of every movie directed by Ron Howard."]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "EXPLAIN" in output
+        assert "Clause lineage (Figs. 4-6):" in output
+        assert "Table 1:" in output
+        assert "XQuery" in output
+        assert "Plan (per-operator statistics):" in output
+
+    def test_explain_rejected_shows_production(self, capsys):
+        code = main(
+            ["explain", "--data", "movies",
+             "Return the isbn of every movie."]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "status: rejected" in output
+        assert "production:" in output
+
+    def test_explain_json(self, capsys):
+        import json
+
+        code = main(
+            ["explain", "--data", "movies", "--json",
+             "Return the title of every movie."]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert report["provenance"]["tokens"]
+        assert report["provenance"]["clauses"]
+        assert report["plan"]["operators"]
+
+    def test_explain_no_evaluate_skips_plan(self, capsys):
+        code = main(
+            ["explain", "--data", "movies", "--no-evaluate",
+             "Return the title of every movie."]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "Plan (per-operator statistics):" not in output
+
+    def test_query_explain_flag(self, capsys):
+        code = main(
+            ["query", "--data", "movies", "--explain",
+             "Return the title of every movie."]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "XQuery:" in output          # the normal result block ...
+        assert "lineage" in output          # ... plus the explain report
+
+    def test_stats_format_prom(self, capsys):
+        code = main(["stats", "--books", "10", "--format", "prom"])
+        output = capsys.readouterr().out
+        assert code == 0
+        from tests.obs.test_export import parse_prometheus_text
+
+        metrics = parse_prometheus_text(output)
+        assert "repro_pipeline_queries_total" in metrics
+        assert "repro_window_total_seconds" in metrics
+
+    def test_stats_format_chrome_to_file(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(
+            ["stats", "--books", "10", "--good-only",
+             "--format", "chrome", "--out", str(out)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        document = json.loads(out.read_text(encoding="utf-8"))
+        events = document["traceEvents"]
+        assert events[0]["ph"] == "M"
+        assert sum(1 for event in events if event["ph"] == "X") > 0
+
+    def test_stats_format_json(self, capsys):
+        import json
+
+        code = main(["stats", "--books", "10", "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["counters"]["pipeline.queries"] > 0
+        assert "total" in payload["latency_windows"]
+
+    def test_stats_table_has_percentiles(self, capsys):
+        code = main(["stats", "--books", "10"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "p50" in output
+        assert "p95" in output
+        assert "p99" in output
+
+
 class TestResilienceFlags:
     def test_inject_fault_at_evaluate_degrades(self, capsys):
         code = main(
