@@ -9,10 +9,13 @@ DESIGN.md "Benchmark artifacts"):
 * ``BENCH_METRICS.json`` — a snapshot of the process metrics registry
   (pipeline stage-latency histograms, validator/evaluator/planner
   counters), so benchmark entries carry per-stage data;
-* ``BENCH_RESULTS.json`` — a stable per-task latency table: each of the
-  nine study tasks' reference phrasing is run ``_BENCH_REPEATS`` times
-  through a fresh DBLP pipeline, recording end-to-end mean/p95 plus the
-  per-stage mean breakdown taken from each run's trace.
+* ``BENCH_RESULTS.json`` — a stable per-task latency table produced by
+  :func:`repro.evaluation.bench.collect_task_results` (the same
+  collector the ``repro bench-check`` regression watchdog uses): each
+  of the nine study tasks' reference phrasing is run
+  ``DEFAULT_REPEATS`` times through a fresh DBLP pipeline, recording
+  end-to-end mean/p95, the raw per-run samples, and the per-stage
+  breakdown taken from each run's trace.
 """
 
 import json
@@ -24,55 +27,12 @@ import pytest
 from repro.core.interface import NaLIX
 from repro.data import generate_dblp, movies_document
 from repro.database.store import Database
+from repro.evaluation.bench import collect_task_results
 from repro.evaluation.study import Study, StudyConfig
-from repro.evaluation.tasks import TASKS
 from repro.obs.metrics import METRICS
 
 _METRICS_SNAPSHOT_PATH = pathlib.Path(__file__).parent / "BENCH_METRICS.json"
 _RESULTS_PATH = pathlib.Path(__file__).parent / "BENCH_RESULTS.json"
-_BENCH_REPEATS = 5
-_STAGES = ("parse", "classify", "validate", "translate",
-           "xquery-parse", "evaluate")
-
-
-def _percentile(ordered, fraction):
-    return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
-
-
-def _collect_task_results():
-    """Per-task latency rows (mean/p95 + per-stage means from traces)."""
-    database = Database()
-    database.load_document(generate_dblp())
-    nalix = NaLIX(database)
-    tasks = {}
-    for task in TASKS:
-        phrasing = task.good_phrasings()[0]
-        samples = []
-        stage_totals = {}
-        status = None
-        for _ in range(_BENCH_REPEATS):
-            result = nalix.ask(phrasing.text)
-            status = result.status
-            samples.append(result.total_seconds)
-            for stage in _STAGES:
-                seconds = result.stage_seconds(stage)
-                if seconds > 0.0:
-                    stage_totals[stage] = (
-                        stage_totals.get(stage, 0.0) + seconds
-                    )
-        ordered = sorted(samples)
-        tasks[task.task_id] = {
-            "sentence": phrasing.text,
-            "status": status,
-            "runs": len(samples),
-            "mean_seconds": sum(samples) / len(samples),
-            "p95_seconds": _percentile(ordered, 0.95),
-            "stage_mean_seconds": {
-                stage: stage_totals[stage] / len(samples)
-                for stage in sorted(stage_totals)
-            },
-        }
-    return tasks
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -88,11 +48,8 @@ def pytest_sessionfinish(session, exitstatus):
     _METRICS_SNAPSHOT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    results = {
-        "timestamp": payload["timestamp"],
-        "repeats": _BENCH_REPEATS,
-        "tasks": _collect_task_results(),
-    }
+    results = {"timestamp": payload["timestamp"]}
+    results.update(collect_task_results())
     _RESULTS_PATH.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -8,6 +8,8 @@ Subcommands::
     python -m repro xquery  [--data ...] "QUERY"  # raw Schema-Free XQuery
     python -m repro tasks   [--books N]           # run the 9 XMP tasks
     python -m repro stats   [--books N] [--format table|json|prom|chrome]
+    python -m repro profile [--hz N] [--repeat N] "SENTENCE"
+    python -m repro bench-check [--baseline FILE] [--handicap STAGE=F]
     python -m repro study   [--participants N] [--seed S]
     python -m repro generate [--books N] [--seed S] [--out FILE]
 
@@ -28,6 +30,14 @@ Resilience flags (see README.md "Resilience"): ``--timeout SECONDS``
 runs each query under the default budget with the given deadline, and
 ``--inject-fault STAGE[:N|:p=P,seed=S]`` (repeatable) arms the
 deterministic fault-injection harness for chaos testing.
+
+Profiling & memory (see README.md "Profiling"): ``query --profile``
+samples the query's stacks into a ``flamegraph.pl``-compatible
+collapsed-stack file, the ``profile`` subcommand re-asks a query N
+times and emits collapsed or speedscope output, ``--memory`` turns on
+per-stage tracemalloc accounting, and ``bench-check`` compares a fresh
+benchmark run against the committed ``benchmarks/BENCH_RESULTS.json``
+baseline (nonzero exit on regression).
 """
 
 from __future__ import annotations
@@ -41,7 +51,16 @@ from repro.database.store import Database
 from repro.obs.audit import STAGES, AuditLog
 from repro.obs.explain import explain
 from repro.obs.export import LATENCIES, chrome_trace_json, prometheus_text
+from repro.obs.memory import activate_memory_tracking
 from repro.obs.metrics import METRICS
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    ProfileSpec,
+    collapsed_text,
+    merge_profiles,
+    speedscope_document,
+)
+from repro.obs.quantiles import nearest_rank
 from repro.resilience.faults import FaultPlan
 from repro.xquery.errors import XQueryError
 from repro.xquery.evaluator import evaluate_query
@@ -115,11 +134,45 @@ def _build_fault_plan(args):
         raise SystemExit(f"repro: {error}")
 
 
+def _profile_spec_from(args):
+    if not getattr(args, "profile", False):
+        return None
+    try:
+        return ProfileSpec(hz=args.profile_hz)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
+
+
+def _write_profile(profiler, out):
+    """Write one query's collapsed stacks; print the span attribution."""
+    out = out or "profile.collapsed"
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(profiler.collapsed_text())
+    print(
+        f"profile: {len(profiler.samples)} samples @ {profiler.hz:g} Hz "
+        f"-> {out}"
+    )
+    counts = profiler.span_sample_counts()
+    if counts:
+        print(
+            "profile spans: "
+            + "  ".join(
+                f"{name}={counts[name]}"
+                for name in sorted(counts, key=counts.get, reverse=True)
+            )
+        )
+
+
 def cmd_query(args):
     database = load_database(args.data, books=args.books, seed=args.seed)
     audit = _open_audit_log(args)
     nalix = NaLIX(database, audit_log=audit, fault_plan=_build_fault_plan(args))
-    result = nalix.ask(args.sentence, timeout=args.timeout)
+    result = nalix.ask(
+        args.sentence,
+        timeout=args.timeout,
+        profile=_profile_spec_from(args),
+        memory=args.memory,
+    )
     ok = _print_result(
         result,
         show_xquery=not args.quiet,
@@ -128,6 +181,8 @@ def cmd_query(args):
     if args.explain:
         print()
         print(explain(result).render_text())
+    if result.profile is not None:
+        _write_profile(result.profile, args.profile_out)
     return _finish(args, audit, 0 if ok else 1)
 
 
@@ -137,7 +192,7 @@ def cmd_explain(args):
     audit = _open_audit_log(args)
     nalix = NaLIX(database, audit_log=audit)
     result = nalix.ask(args.sentence, evaluate=not args.no_evaluate,
-                       timeout=args.timeout)
+                       timeout=args.timeout, memory=args.memory)
     report = explain(result)
     print(report.to_json() if args.json else report.render_text())
     return _finish(args, audit, 0 if result.ok else 1)
@@ -157,7 +212,7 @@ def cmd_repl(args):
         if not line:
             break
         _print_result(
-            nalix.ask(line, timeout=args.timeout),
+            nalix.ask(line, timeout=args.timeout, memory=args.memory),
             show_xquery=not args.quiet,
             show_trace=args.trace,
         )
@@ -190,7 +245,7 @@ def cmd_tasks(args):
     for task in TASKS:
         gold = task.gold(database)
         phrasing = task.good_phrasings()[0]
-        result = nalix.ask(phrasing.text)
+        result = nalix.ask(phrasing.text, memory=args.memory)
         if not result.ok:
             print(f"{task.task_id}: REJECTED — {phrasing.text}")
             failures += 1
@@ -218,6 +273,134 @@ def _emit(text, out):
         sys.stdout.write(text)
 
 
+def cmd_profile(args):
+    """Re-ask one query N times under the sampling profiler.
+
+    A single ask usually lasts a few milliseconds — too short for a
+    dense flamegraph — so this command merges the samples of
+    ``--repeat`` runs into one collapsed-stack (or speedscope)
+    document.  The span-attribution summary goes to stderr so the
+    collapsed output on stdout stays pipeable into ``flamegraph.pl``.
+    """
+    import json as json_module
+
+    database = load_database(args.data, books=args.books, seed=args.seed)
+    nalix = NaLIX(database)
+    try:
+        spec = ProfileSpec(hz=args.hz)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
+    repeats = max(1, args.repeat)
+    profilers = []
+    result = None
+    for _ in range(repeats):
+        result = nalix.ask(args.sentence, profile=spec, memory=args.memory)
+        profilers.append(result.profile)
+    samples = merge_profiles(profilers)
+    if args.format == "speedscope":
+        document = speedscope_document(
+            samples, 1.0 / args.hz, name=args.sentence
+        )
+        text = json_module.dumps(document, indent=2) + "\n"
+    else:
+        text = collapsed_text(samples)
+    _emit(text, args.out)
+    counts = {}
+    for profiler in profilers:
+        if profiler is None:
+            continue
+        for name, value in profiler.span_sample_counts().items():
+            counts[name] = counts.get(name, 0) + value
+    print(
+        f"profile: {len(samples)} samples over {repeats} run(s) "
+        f"@ {args.hz:g} Hz",
+        file=sys.stderr,
+    )
+    if counts:
+        print(
+            "span samples: "
+            + "  ".join(
+                f"{name}={counts[name]}"
+                for name in sorted(counts, key=counts.get, reverse=True)
+            ),
+            file=sys.stderr,
+        )
+    if args.memory and result is not None and result.memory is not None:
+        rss = result.memory.peak_rss_bytes / (1024.0 * 1024.0)
+        print(f"peak rss: {rss:.1f} MiB", file=sys.stderr)
+    return 0 if result is not None and result.ok else 1
+
+
+def cmd_bench_check(args):
+    """The perf-regression watchdog: fresh run vs committed baseline."""
+    import json as json_module
+
+    from repro.obs.regression import (
+        Tolerance,
+        apply_handicaps,
+        compare_results,
+        load_results,
+        parse_handicap,
+    )
+
+    try:
+        baseline = load_results(args.baseline)
+    except (OSError, ValueError) as error:
+        raise SystemExit(
+            f"repro: cannot load baseline {args.baseline!r}: {error}"
+        )
+    if args.current:
+        try:
+            current = load_results(args.current)
+        except (OSError, ValueError) as error:
+            raise SystemExit(
+                f"repro: cannot load results {args.current!r}: {error}"
+            )
+    else:
+        from repro.evaluation.bench import collect_task_results
+
+        print(
+            f"bench-check: running {args.repeats} repeat(s) per task "
+            f"(dblp, {args.books} books)...",
+            file=sys.stderr,
+        )
+        current = collect_task_results(
+            repeats=args.repeats, books=args.books, seed=args.seed
+        )
+    handicaps = {}
+    for spec in args.handicap or ():
+        try:
+            stage, factor = parse_handicap(spec)
+        except ValueError as error:
+            raise SystemExit(f"repro: {error}")
+        handicaps[stage] = factor
+    if handicaps:
+        current = apply_handicaps(current, handicaps)
+    if args.save_current:
+        with open(args.save_current, "w", encoding="utf-8") as handle:
+            json_module.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"saved current run to {args.save_current}", file=sys.stderr)
+    try:
+        tolerance = Tolerance(
+            rel_warn=args.warn,
+            rel_fail=args.fail,
+            mad_factor=args.mad_factor,
+            min_samples=args.min_samples,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
+    report = compare_results(baseline, current, tolerance)
+    if args.json:
+        _emit(report.to_json() + "\n", args.out)
+    else:
+        _emit(report.render_text(verbose=args.verbose) + "\n", args.out)
+    if args.github:
+        for line in report.github_annotations():
+            print(line)
+    return report.exit_code
+
+
 def cmd_stats(args):
     """Replay the XMP task phrasings; report per-stage statistics.
 
@@ -235,12 +418,16 @@ def cmd_stats(args):
     nalix = NaLIX(database, audit_log=audit)
 
     stage_stats = {
-        name: {"calls": 0, "seconds": [], "errors": 0} for name in STAGES
+        name: {"calls": 0, "seconds": [], "errors": 0, "alloc_bytes": []}
+        for name in STAGES
     }
     status_counts = {"ok": 0, "degraded": 0, "rejected": 0, "failed": 0}
     category_counts = {}
     ask_seconds = []
     traces = []
+    sentences = []
+    peak_rss = 0
+    query_allocs = []
 
     queries = 0
     for task in TASKS:
@@ -248,11 +435,12 @@ def cmd_stats(args):
             task.good_phrasings() if args.good_only else task.phrasings
         )
         for phrasing in phrasings:
-            result = nalix.ask(phrasing.text)
+            result = nalix.ask(phrasing.text, memory=args.memory)
             queries += 1
             status_counts[result.status] += 1
             ask_seconds.append(result.total_seconds)
             traces.append(result.trace)
+            sentences.append(phrasing.text)
             for message in result.errors:
                 category_counts[message.code] = (
                     category_counts.get(message.code, 0) + 1
@@ -265,6 +453,16 @@ def cmd_stats(args):
                 entry["seconds"].append(span.duration_seconds)
                 if span.status != "ok":
                     entry["errors"] += 1
+            memory = result.memory
+            if memory is not None:
+                peak_rss = max(peak_rss, memory.peak_rss_bytes)
+                if memory.alloc_bytes is not None:
+                    query_allocs.append(memory.alloc_bytes)
+                for stage_name, stage_memory in memory.stages.items():
+                    if stage_name in stage_stats:
+                        stage_stats[stage_name]["alloc_bytes"].append(
+                            stage_memory["alloc_bytes"]
+                        )
 
     out = getattr(args, "out", None)
     if args.format == "prom":
@@ -276,7 +474,9 @@ def cmd_stats(args):
         )
         return _finish(args, audit, 0)
     if args.format == "chrome":
-        _emit(chrome_trace_json(traces, indent=2) + "\n", out)
+        _emit(
+            chrome_trace_json(traces, indent=2, names=sentences) + "\n", out
+        )
         return _finish(args, audit, 0)
     if args.format == "json":
         _emit(
@@ -301,6 +501,8 @@ def cmd_stats(args):
         f"{'stage':<14}{'calls':>7}{'mean ms':>10}{'p50 ms':>10}"
         f"{'p95 ms':>10}{'p99 ms':>10}{'max ms':>10}{'errors':>8}"
     )
+    if args.memory:
+        header += f"{'alloc KiB':>11}"
     print(header)
     print("-" * len(header))
     for name in STAGES:
@@ -308,20 +510,31 @@ def cmd_stats(args):
         if not entry["calls"]:
             continue
         timings = sorted(entry["seconds"])
-
-        def pick(fraction, ordered=timings):
-            return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
-
         mean = sum(timings) / len(timings)
-        print(
+        row = (
             f"{name:<14}{entry['calls']:>7}{mean * 1000:>10.2f}"
-            f"{pick(0.50) * 1000:>10.2f}{pick(0.95) * 1000:>10.2f}"
-            f"{pick(0.99) * 1000:>10.2f}{timings[-1] * 1000:>10.2f}"
+            f"{nearest_rank(timings, 0.50) * 1000:>10.2f}"
+            f"{nearest_rank(timings, 0.95) * 1000:>10.2f}"
+            f"{nearest_rank(timings, 0.99) * 1000:>10.2f}"
+            f"{timings[-1] * 1000:>10.2f}"
             f"{entry['errors']:>8}"
         )
+        if args.memory:
+            allocs = entry["alloc_bytes"]
+            mean_alloc = sum(allocs) / len(allocs) / 1024.0 if allocs else 0.0
+            row += f"{mean_alloc:>11.1f}"
+        print(row)
     if ask_seconds:
         total_mean = sum(ask_seconds) / len(ask_seconds)
         print(f"\nend-to-end mean: {total_mean * 1000:.2f} ms/query")
+    if args.memory:
+        mean_alloc = (
+            sum(query_allocs) / len(query_allocs) if query_allocs else 0.0
+        )
+        print(
+            f"memory: peak rss {peak_rss / (1024.0 * 1024.0):.1f} MiB, "
+            f"mean alloc {mean_alloc / 1024.0:.1f} KiB/query"
+        )
     print(
         "status: "
         + "  ".join(f"{key}={value}" for key, value in status_counts.items())
@@ -356,7 +569,13 @@ def cmd_study(args):
     study = Study(config)
     if audit is not None:
         study.nalix.audit_log = audit
-    results = study.run()
+    if args.memory:
+        # The study drives its own asks, so tracking is turned on for
+        # every query via the ContextVar activation instead.
+        with activate_memory_tracking(True):
+            results = study.run()
+    else:
+        results = study.run()
     print(StudyReport(results).render())
     return _finish(args, audit, 0)
 
@@ -406,6 +625,9 @@ def _add_obs_options(parser, trace=False):
                         help="dump the metrics registry as JSON on exit")
     parser.add_argument("--audit-log", metavar="PATH",
                         help="append one JSONL audit record per query")
+    parser.add_argument("--memory", action="store_true",
+                        help="account per-stage allocations (tracemalloc) "
+                        "for each query")
 
 
 def build_parser():
@@ -423,6 +645,14 @@ def build_parser():
                        help="hide the generated XQuery")
     query.add_argument("--explain", action="store_true",
                        help="print the full provenance/plan report")
+    query.add_argument("--profile", action="store_true",
+                       help="sample stacks during the query and write a "
+                       "collapsed-stack file")
+    query.add_argument("--profile-hz", type=float, default=DEFAULT_HZ,
+                       metavar="HZ", help="profiler sampling rate")
+    query.add_argument("--profile-out", metavar="PATH",
+                       help="collapsed-stack output path "
+                       "(default: profile.collapsed)")
     query.add_argument("sentence", help="the English query")
     query.set_defaults(handler=cmd_query)
 
@@ -474,6 +704,71 @@ def build_parser():
                        help="write the export to a file instead of stdout")
     _add_obs_options(stats)
     stats.set_defaults(handler=cmd_stats)
+
+    profile = commands.add_parser(
+        "profile",
+        help="sample a query's stacks into flamegraph/speedscope input",
+    )
+    _add_data_options(profile)
+    profile.add_argument("--hz", type=float, default=DEFAULT_HZ,
+                         help="sampling rate (default: %(default)s)")
+    profile.add_argument("--repeat", type=int, default=20, metavar="N",
+                         help="re-ask the query N times to densify samples")
+    profile.add_argument("--format", choices=("collapsed", "speedscope"),
+                         default="collapsed",
+                         help="output format (default: collapsed stacks)")
+    profile.add_argument("--memory", action="store_true",
+                         help="also track per-stage allocations")
+    profile.add_argument("--out", metavar="PATH",
+                         help="write the profile to a file instead of stdout")
+    profile.add_argument("sentence", help="the English query")
+    profile.set_defaults(handler=cmd_profile)
+
+    bench_check = commands.add_parser(
+        "bench-check",
+        help="compare a fresh benchmark run against the committed baseline",
+    )
+    bench_check.add_argument("--baseline",
+                             default="benchmarks/BENCH_RESULTS.json",
+                             metavar="PATH",
+                             help="baseline results (default: %(default)s)")
+    bench_check.add_argument("--current", metavar="PATH",
+                             help="ingest a saved results file instead of "
+                             "running the benchmark tasks")
+    bench_check.add_argument("--repeats", type=int, default=5,
+                             help="repeats per task for the fresh run")
+    bench_check.add_argument("--books", type=int, default=120)
+    bench_check.add_argument("--seed", type=int, default=7)
+    bench_check.add_argument("--warn", type=float, default=0.25,
+                             metavar="FRACTION",
+                             help="relative slowdown that warns "
+                             "(default: %(default)s)")
+    bench_check.add_argument("--fail", type=float, default=1.0,
+                             metavar="FRACTION",
+                             help="relative slowdown that fails "
+                             "(default: %(default)s)")
+    bench_check.add_argument("--mad-factor", type=float, default=4.0,
+                             help="noise guard: tolerate this many MADs of "
+                             "the current samples")
+    bench_check.add_argument("--min-samples", type=int, default=3,
+                             help="skip comparisons with fewer runs")
+    bench_check.add_argument("--handicap", action="append",
+                             metavar="STAGE=FACTOR",
+                             help="synthetically slow a stage of the current "
+                             "run (gate self-test; repeatable)")
+    bench_check.add_argument("--save-current", metavar="PATH",
+                             help="also write the current run's results JSON")
+    bench_check.add_argument("--json", action="store_true",
+                             help="emit the report as JSON")
+    bench_check.add_argument("--verbose", action="store_true",
+                             help="list every comparison, not just "
+                             "warnings and failures")
+    bench_check.add_argument("--github", action="store_true",
+                             help="emit ::warning/::error workflow "
+                             "annotation lines")
+    bench_check.add_argument("--out", metavar="PATH",
+                             help="write the report to a file")
+    bench_check.set_defaults(handler=cmd_bench_check)
 
     study = commands.add_parser("study", help="run the simulated user study")
     study.add_argument("--participants", type=int, default=18)

@@ -44,8 +44,14 @@ from repro.keyword_search.engine import KeywordSearchEngine
 from repro.nlp.dependency import DependencyParser
 from repro.nlp.errors import ParseFailure
 from repro.obs.export import LATENCIES
+from repro.obs.memory import MemorySpec, MemoryTracker, current_memory_spec
 from repro.obs.metrics import METRICS
 from repro.obs.plan_stats import PlanStatsCollection, activate_plan_stats
+from repro.obs.profiler import (
+    ProfileSpec,
+    SamplingProfiler,
+    current_profile_spec,
+)
 from repro.obs.provenance import (
     QueryProvenance,
     token_records_from_tree,
@@ -103,6 +109,9 @@ _STAGE_ERROR_COUNTERS = {
     stage: METRICS.counter(f"pipeline.stage.{stage}.errors")
     for stage in _STAGES
 }
+_PEAK_RSS_GAUGE = METRICS.gauge("pipeline.memory.peak_rss_bytes")
+_ALLOC_HISTOGRAM = METRICS.histogram("pipeline.memory.alloc_bytes")
+_PROFILED_QUERIES = METRICS.counter("pipeline.profiled_queries")
 
 
 class QueryResult:
@@ -119,6 +128,8 @@ class QueryResult:
         self.trace = None           # repro.obs.spans.Trace, set by ask()
         self.provenance = None      # repro.obs.provenance.QueryProvenance
         self.plan_stats = None      # repro.obs.plan_stats.PlanStatsCollection
+        self.profile = None         # repro.obs.profiler.SamplingProfiler
+        self.memory = None          # repro.obs.memory.MemoryTracker
         self.budget = None          # the QueryBudget the query ran under
         self.degraded = False       # served by a fallback hop, not exactly
         self.degradation_path = []  # fallback hops attempted, in order
@@ -321,7 +332,8 @@ class NaLIX:
 
     # -- the interactive entry point ------------------------------------------------------
 
-    def ask(self, sentence, evaluate=True, budget=None, timeout=None):
+    def ask(self, sentence, evaluate=True, budget=None, timeout=None,
+            profile=None, memory=None):
         """Run the full pipeline; never raises.
 
         ``budget`` (a :class:`repro.resilience.QueryBudget`) bounds the
@@ -329,6 +341,18 @@ class NaLIX:
         default budget with the given wall-clock deadline in seconds.
         An explicit ``budget`` wins over ``timeout``; with neither, the
         interface-level default budget (if any) applies.
+
+        ``profile`` (``True``, an hz number, or a
+        :class:`repro.obs.profiler.ProfileSpec`) samples this query's
+        stack from a background thread and attaches the stopped
+        profiler as ``result.profile``; ``memory`` (``True`` or a
+        :class:`repro.obs.memory.MemorySpec`) accounts per-stage
+        tracemalloc deltas and top allocation sites on
+        ``result.memory``.  Both also honour their context-wide
+        activations (``activate_profiling`` /
+        ``activate_memory_tracking``), and both are exception-safe:
+        the sampler thread is stopped and tracemalloc released on
+        every path out of the query.
         """
         result = QueryResult(sentence)
         trace = Trace()
@@ -336,6 +360,18 @@ class NaLIX:
         result.provenance = QueryProvenance(sentence)
         plan_stats = PlanStatsCollection()
         result.plan_stats = plan_stats
+        profile_spec = (ProfileSpec.coerce(profile)
+                        if profile is not None and profile is not False
+                        else current_profile_spec())
+        memory_spec = (MemorySpec.coerce(memory)
+                       if memory is not None and memory is not False
+                       else current_memory_spec())
+        tracker = MemoryTracker.from_spec(memory_spec)
+        result.memory = tracker
+        profiler = None
+        if profile_spec is not None:
+            profiler = SamplingProfiler.from_spec(profile_spec, trace=trace)
+            result.profile = profiler
         spec = budget
         if spec is None and timeout is not None:
             spec = QueryBudget.default(deadline_seconds=timeout)
@@ -344,6 +380,9 @@ class NaLIX:
         result.budget = spec
         meter = spec.start() if spec is not None else None
         try:
+            tracker.start()
+            if profiler is not None:
+                profiler.start()
             with trace.span("ask") as root, activate_trace(trace), \
                     activate_plan_stats(plan_stats), activate_budget(meter):
                 try:
@@ -360,6 +399,9 @@ class NaLIX:
                     for key, value in meter.snapshot().items():
                         root.set(f"budget.{key}", value)
         finally:
+            if profiler is not None:
+                profiler.stop()
+            tracker.stop()
             trace.finish_open_spans()
             plan_stats.finish_open_operators()
             self._record(result)
@@ -377,7 +419,8 @@ class NaLIX:
             )
             return
 
-        with trace.span("parse") as span:
+        memory = result.memory
+        with trace.span("parse") as span, memory.stage(span):
             try:
                 self._fire_fault("parse")
                 check_deadline()
@@ -392,12 +435,12 @@ class NaLIX:
                 )
                 return
 
-        with trace.span("classify"):
+        with trace.span("classify") as span, memory.stage(span):
             self._fire_fault("classify")
             self.classify(tree)
         result.parse_tree = tree
 
-        with trace.span("validate") as span:
+        with trace.span("validate") as span, memory.stage(span):
             self._fire_fault("validate")
             check_deadline()
             feedback = self.validate(tree)
@@ -416,7 +459,7 @@ class NaLIX:
             if feedback.warnings:
                 span.set("warnings", len(feedback.warnings))
 
-        with trace.span("translate") as span:
+        with trace.span("translate") as span, memory.stage(span):
             try:
                 self._fire_fault("translate")
                 check_deadline()
@@ -454,10 +497,11 @@ class NaLIX:
         answer carries a ``degraded-answer`` warning so it is visibly
         approximate, never silently wrong.
         """
+        memory = result.memory
         try:
             # Re-parse the serialized text: the emitted query string is
             # the contract, exactly as NaLIX hands text to Timber.
-            with trace.span("xquery-parse"):
+            with trace.span("xquery-parse") as span, memory.stage(span):
                 self._fire_fault("xquery-parse")
                 expr = parse_xquery(result.xquery_text)
         except Exception as error:
@@ -471,7 +515,7 @@ class NaLIX:
             return
 
         try:
-            with trace.span("evaluate") as span:
+            with trace.span("evaluate") as span, memory.stage(span):
                 self._fire_fault("evaluate")
                 result.items = self.evaluator.run(expr)
                 span.set("items", len(result.items))
@@ -487,7 +531,8 @@ class NaLIX:
             result.degradation_path.append("naive-flwor")
             try:
                 check_deadline()
-                with trace.span("evaluate-naive") as span:
+                with trace.span("evaluate-naive") as span, \
+                        memory.stage(span):
                     span.set("degraded_from", type(primary).__name__)
                     result.items = self.naive_evaluator.run(expr)
                     span.set("items", len(result.items))
@@ -502,7 +547,8 @@ class NaLIX:
         result.degradation_path.append("keyword-search")
         try:
             check_deadline()
-            with trace.span("evaluate-keyword") as span:
+            with trace.span("evaluate-keyword") as span, \
+                    result.memory.stage(span):
                 span.set("degraded_from", type(primary).__name__)
                 terms = self._keyword_terms(result)
                 span.set("terms", len(terms))
@@ -565,6 +611,14 @@ class NaLIX:
                     histogram.observe(span.duration_seconds)
                     if span.status == Span.ERROR:
                         _STAGE_ERROR_COUNTERS[span.name].inc()
+        memory = result.memory
+        if memory is not None:
+            if memory.peak_rss_bytes:
+                _PEAK_RSS_GAUGE.set(memory.peak_rss_bytes)
+            if memory.alloc_bytes is not None:
+                _ALLOC_HISTOGRAM.observe(float(memory.alloc_bytes))
+        if result.profile is not None:
+            _PROFILED_QUERIES.inc()
         for message in result.errors:
             METRICS.inc(f"pipeline.error.{message.code}")
         if self.audit_log is not None:

@@ -1,0 +1,81 @@
+"""The benchmark collector shared by the bench harness and bench-check.
+
+One function, :func:`collect_task_results`, runs each of the nine study
+tasks' reference phrasing ``repeats`` times through a fresh (or
+caller-supplied) DBLP pipeline and produces the
+``BENCH_RESULTS.json`` task table: end-to-end mean/p95, the raw per-run
+samples (so the regression watchdog can compute a MAD guard), and the
+per-stage mean breakdown with per-stage samples.
+
+It used to live inside ``benchmarks/conftest.py``; it moved here so the
+``repro bench-check`` CLI can produce a fresh run with exactly the same
+measurement code that produced the committed baseline — comparing
+apples to apples is the whole point of the watchdog.
+"""
+
+from __future__ import annotations
+
+from repro.core.interface import NaLIX
+from repro.data import DblpConfig, generate_dblp
+from repro.database.store import Database
+from repro.evaluation.tasks import TASKS
+from repro.obs.quantiles import nearest_rank
+
+#: Pipeline stage span names recorded per task, in execution order.
+BENCH_STAGES = ("parse", "classify", "validate", "translate",
+                "xquery-parse", "evaluate")
+
+#: Repeats per task in the standard run (and the committed baseline).
+DEFAULT_REPEATS = 5
+
+
+def build_bench_nalix(books=120, seed=7):
+    """The standard benchmark pipeline: a fresh generated-DBLP NaLIX."""
+    database = Database()
+    database.load_document(generate_dblp(DblpConfig(books=books, seed=seed)))
+    return NaLIX(database)
+
+
+def collect_task_results(repeats=DEFAULT_REPEATS, books=120, seed=7,
+                         nalix=None):
+    """Per-task latency rows for the nine study tasks.
+
+    Returns the ``BENCH_RESULTS.json`` payload body::
+
+        {"repeats": N, "tasks": {task_id: {sentence, status, runs,
+         mean_seconds, p95_seconds, samples_seconds,
+         stage_mean_seconds, stage_samples_seconds}}}
+    """
+    if nalix is None:
+        nalix = build_bench_nalix(books=books, seed=seed)
+    tasks = {}
+    for task in TASKS:
+        phrasing = task.good_phrasings()[0]
+        samples = []
+        stage_samples = {}
+        status = None
+        for _ in range(repeats):
+            result = nalix.ask(phrasing.text)
+            status = result.status
+            samples.append(result.total_seconds)
+            for stage in BENCH_STAGES:
+                seconds = result.stage_seconds(stage)
+                if seconds > 0.0:
+                    stage_samples.setdefault(stage, []).append(seconds)
+        tasks[task.task_id] = {
+            "sentence": phrasing.text,
+            "status": status,
+            "runs": len(samples),
+            "mean_seconds": sum(samples) / len(samples),
+            "p95_seconds": nearest_rank(samples, 0.95),
+            "samples_seconds": list(samples),
+            "stage_mean_seconds": {
+                stage: sum(values) / len(values)
+                for stage, values in sorted(stage_samples.items())
+            },
+            "stage_samples_seconds": {
+                stage: list(values)
+                for stage, values in sorted(stage_samples.items())
+            },
+        }
+    return {"repeats": repeats, "tasks": tasks}

@@ -24,6 +24,19 @@ instrument itself freely):
 * :mod:`repro.obs.export` — standard wire formats: Chrome trace-event
   JSON, the Prometheus text exposition format, and the sliding-window
   latency tracker ``LATENCIES``.
+* :mod:`repro.obs.quantiles` — the shared nearest-rank percentile and
+  median-absolute-deviation helpers every latency summary goes through.
+* :mod:`repro.obs.profiler` — a dependency-free sampling profiler
+  (``sys._current_frames()`` walked from a daemon thread) attributing
+  collapsed stacks to the enclosing trace span; emits ``flamegraph.pl``
+  collapsed text and speedscope JSON.
+* :mod:`repro.obs.memory` — per-query memory accounting: peak RSS on
+  every query, opt-in tracemalloc per-stage deltas and top-N
+  allocation sites.
+* :mod:`repro.obs.regression` — the perf-regression watchdog comparing
+  a fresh benchmark run against the committed
+  ``benchmarks/BENCH_RESULTS.json`` baseline with a robust tolerance
+  rule (relative thresholds + MAD guard + min-sample floor).
 
 See the "Observability" and "Explain" sections of README.md and
 DESIGN.md for the metric naming scheme and the CLI surface
@@ -41,6 +54,13 @@ from repro.obs.export import (
     chrome_trace_json,
     prometheus_text,
 )
+from repro.obs.memory import (
+    MemorySpec,
+    MemoryTracker,
+    activate_memory_tracking,
+    current_memory_spec,
+    peak_rss_bytes,
+)
 from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.plan_stats import (
     OperatorStats,
@@ -49,6 +69,15 @@ from repro.obs.plan_stats import (
     current_plan_stats,
     operator,
 )
+from repro.obs.profiler import (
+    ProfileSpec,
+    SamplingProfiler,
+    activate_profiling,
+    collapsed_text,
+    current_profile_spec,
+    merge_profiles,
+    speedscope_document,
+)
 from repro.obs.provenance import (
     ClauseRecord,
     QueryProvenance,
@@ -56,6 +85,16 @@ from repro.obs.provenance import (
     ValidationRecord,
     token_records_from_tree,
     validation_records_from_feedback,
+)
+from repro.obs.quantiles import median, median_abs_deviation, nearest_rank
+from repro.obs.regression import (
+    Finding,
+    RegressionReport,
+    Tolerance,
+    apply_handicaps,
+    compare_results,
+    load_results,
+    parse_handicap,
 )
 from repro.obs.spans import Span, Trace, activate_trace, current_trace, span
 
@@ -66,30 +105,52 @@ __all__ = [
     "ClauseRecord",
     "Counter",
     "Explanation",
+    "Finding",
     "Gauge",
     "Histogram",
     "LatencyWindow",
+    "MemorySpec",
+    "MemoryTracker",
     "MetricsRegistry",
     "OperatorStats",
     "PlanStatsCollection",
+    "ProfileSpec",
     "QueryProvenance",
+    "RegressionReport",
+    "SamplingProfiler",
     "Span",
     "TokenRecord",
+    "Tolerance",
     "Trace",
     "ValidationRecord",
+    "activate_memory_tracking",
     "activate_plan_stats",
+    "activate_profiling",
     "activate_trace",
+    "apply_handicaps",
     "audit_entry",
     "chrome_trace",
     "chrome_trace_events",
     "chrome_trace_json",
+    "collapsed_text",
+    "compare_results",
+    "current_memory_spec",
     "current_plan_stats",
+    "current_profile_spec",
     "current_trace",
     "explain",
+    "load_results",
+    "median",
+    "median_abs_deviation",
+    "merge_profiles",
+    "nearest_rank",
     "operator",
+    "parse_handicap",
+    "peak_rss_bytes",
     "prometheus_text",
     "read_audit_log",
     "span",
+    "speedscope_document",
     "token_records_from_tree",
     "validation_records_from_feedback",
 ]

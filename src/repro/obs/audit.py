@@ -3,7 +3,9 @@
 One line per query, modelled on production NLQ audit tables: what was
 asked, what the system decided (``ok`` / ``rejected`` / ``failed``),
 which error categories fired, the emitted XQuery text, the result
-count, and per-stage wall times taken from the query's trace.
+count, per-stage wall times taken from the query's trace, and the
+query's memory account (``peak_rss_bytes`` always; ``alloc_bytes`` /
+``peak_alloc_bytes`` when the query ran with tracemalloc tracking on).
 
 The log is append-only and flushed per record, so a crash loses at most
 the in-flight query.  ``audit_entry`` is duck-typed over
@@ -43,6 +45,14 @@ def audit_entry(result, actor=None):
     degradation_path = getattr(result, "degradation_path", None)
     if degradation_path:
         entry["degradation_path"] = list(degradation_path)
+    memory = getattr(result, "memory", None)
+    if memory is not None:
+        # Peak RSS is recorded for every query; the traced-allocation
+        # total only exists when the query ran with memory tracking on.
+        entry["peak_rss_bytes"] = memory.peak_rss_bytes
+        if memory.alloc_bytes is not None:
+            entry["alloc_bytes"] = memory.alloc_bytes
+            entry["peak_alloc_bytes"] = memory.peak_alloc_bytes
     trace = getattr(result, "trace", None)
     if trace is not None:
         entry["total_seconds"] = trace.total_seconds()

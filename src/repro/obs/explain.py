@@ -11,7 +11,9 @@ nothing from ``repro.core``), :func:`explain` builds an
 4. the emitted FLWOR;
 5. the executed plan with per-operator row counts, cache hits and wall
    times (``EXPLAIN ANALYZE`` style);
-6. per-stage wall times from the trace.
+6. per-stage wall times from the trace;
+7. the memory account, when the query ran with tracking on: per-stage
+   allocation deltas and the top-N allocation sites by retained size.
 
 ``render_text(timings=False)`` omits every wall-clock number, giving a
 deterministic report — that is what the golden-file tests pin down.
@@ -35,6 +37,7 @@ class Explanation:
         self.provenance = getattr(result, "provenance", None)
         self.plan_stats = getattr(result, "plan_stats", None)
         self.trace = getattr(result, "trace", None)
+        self.memory = getattr(result, "memory", None)
 
     # -- JSON ---------------------------------------------------------------
 
@@ -56,6 +59,8 @@ class Explanation:
                 if (seconds := self.trace.stage_seconds(stage)) > 0.0
             }
             entry["total_seconds"] = self.trace.total_seconds()
+        if self.memory is not None and self.memory.tracked:
+            entry["memory"] = self.memory.to_dict()
         degradation = getattr(result, "degradation_path", None)
         if degradation:
             entry["degradation_path"] = list(degradation)
@@ -81,6 +86,8 @@ class Explanation:
             sections.append(self._plan_section(timings))
         if timings and self.trace is not None:
             sections.append(self._timing_section())
+        if self.memory is not None and self.memory.tracked:
+            sections.append(self._memory_section())
         return "\n\n".join(sections)
 
     def _header(self):
@@ -149,6 +156,36 @@ class Explanation:
         rendered = self.plan_stats.render(timings=timings)
         indented = "\n".join("  " + line for line in rendered.splitlines())
         return f"Plan (per-operator statistics):\n{indented}"
+
+    def _memory_section(self):
+        memory = self.memory
+        lines = ["Memory (tracemalloc deltas + peak RSS):"]
+        for stage in _STAGES:
+            stats = memory.stages.get(stage)
+            if stats is None:
+                continue
+            lines.append(
+                f"  {stage:<16}{stats['alloc_bytes'] / 1024.0:>10.1f} KiB "
+                f"(peak {stats['peak_alloc_bytes'] / 1024.0:.1f} KiB)"
+            )
+        if memory.alloc_bytes is not None:
+            lines.append(
+                f"  {'query total':<16}"
+                f"{memory.alloc_bytes / 1024.0:>10.1f} KiB "
+                f"(peak {memory.peak_alloc_bytes / 1024.0:.1f} KiB)"
+            )
+        lines.append(
+            f"  {'peak rss':<16}"
+            f"{memory.peak_rss_bytes / (1024.0 * 1024.0):>10.1f} MiB"
+        )
+        if memory.top_sites:
+            lines.append("  top allocation sites:")
+            for site in memory.top_sites:
+                lines.append(
+                    f"    {site['size_bytes'] / 1024.0:>9.1f} KiB  "
+                    f"{site['count']:>6}x  {site['site']}"
+                )
+        return "\n".join(lines)
 
     def _timing_section(self):
         lines = ["Stage timings:"]

@@ -27,6 +27,8 @@ import re
 import threading
 from collections import deque
 
+from repro.obs.quantiles import nearest_rank
+
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _LEADING_DIGIT_RE = re.compile(r"^[0-9]")
 
@@ -69,8 +71,16 @@ def chrome_trace_events(trace, pid=1, tid=1):
     return events
 
 
-def chrome_trace(traces, process_name="repro"):
-    """The full trace-event JSON document for one trace or a list."""
+def chrome_trace(traces, process_name="repro", names=None):
+    """The full trace-event JSON document for one trace or a list.
+
+    Each trace gets its own ``tid`` (so several queries exported
+    together render as separate Perfetto tracks instead of overlapping
+    on one) plus a ``thread_name`` metadata event.  ``names`` (optional,
+    parallel to ``traces``) labels each track — the ``stats --format
+    chrome`` exporter passes the query sentences, so the timeline reads
+    as one lane per query.
+    """
     if not isinstance(traces, (list, tuple)):
         traces = [traces]
     events = [
@@ -83,13 +93,28 @@ def chrome_trace(traces, process_name="repro"):
         }
     ]
     for index, trace in enumerate(traces, start=1):
+        label = None
+        if names is not None and index - 1 < len(names):
+            label = names[index - 1]
+        if not label:
+            label = f"query-{index}"
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": index,
+                "args": {"name": str(label)[:120]},
+            }
+        )
         events.extend(chrome_trace_events(trace, pid=1, tid=index))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def chrome_trace_json(traces, process_name="repro", indent=None):
+def chrome_trace_json(traces, process_name="repro", indent=None, names=None):
     return json.dumps(
-        chrome_trace(traces, process_name=process_name), indent=indent
+        chrome_trace(traces, process_name=process_name, names=names),
+        indent=indent,
     )
 
 
@@ -193,16 +218,12 @@ class LatencyWindow:
                     "p99": 0.0}
         ordered = sorted(samples)
         count = len(ordered)
-
-        def pick(fraction):
-            return ordered[min(count - 1, int(fraction * count))]
-
         return {
             "count": count,
             "mean": sum(ordered) / count,
-            "p50": pick(0.50),
-            "p95": pick(0.95),
-            "p99": pick(0.99),
+            "p50": nearest_rank(ordered, 0.50),
+            "p95": nearest_rank(ordered, 0.95),
+            "p99": nearest_rank(ordered, 0.99),
         }
 
     def snapshot(self):

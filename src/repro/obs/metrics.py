@@ -30,6 +30,8 @@ from __future__ import annotations
 import json
 import threading
 
+from repro.obs.quantiles import nearest_rank
+
 
 class Counter:
     """A monotonically increasing count (thread-safe)."""
@@ -119,14 +121,7 @@ class Histogram:
         """Exact sample percentile (``fraction`` in [0, 1]); 0.0 when empty."""
         with self._lock:
             sample = list(self._sample)
-        return self._percentile_of(sorted(sample), fraction)
-
-    @staticmethod
-    def _percentile_of(ordered, fraction):
-        if not ordered:
-            return 0.0
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
-        return ordered[index]
+        return nearest_rank(sample, fraction)
 
     def summary(self):
         """Consistent point-in-time summary (one lock acquisition)."""
@@ -142,9 +137,9 @@ class Histogram:
             "mean": total / count if count else 0.0,
             "min": low if low is not None else 0.0,
             "max": high if high is not None else 0.0,
-            "p50": self._percentile_of(ordered, 0.50),
-            "p95": self._percentile_of(ordered, 0.95),
-            "p99": self._percentile_of(ordered, 0.99),
+            "p50": nearest_rank(ordered, 0.50),
+            "p95": nearest_rank(ordered, 0.95),
+            "p99": nearest_rank(ordered, 0.99),
         }
 
     def __repr__(self):

@@ -1,0 +1,344 @@
+"""Perf-regression watchdog: compare a bench run against the baseline.
+
+The committed ``benchmarks/BENCH_RESULTS.json`` is the contract for how
+fast the nine study tasks are allowed to be; this module answers "did
+we get slower, and where" by comparing a fresh run (or any ingested
+results file of the same schema) against it, task by task and stage by
+stage.
+
+The tolerance rule is deliberately robust, because single wall-clock
+benchmark runs are noisy:
+
+* **relative threshold** — a comparison only *warns* past
+  ``rel_warn`` (default +25 %) and only *fails* past ``rel_fail``
+  (default +100 %, i.e. a 2× slowdown), so routine jitter passes;
+* **MAD guard** — the slack is at least ``mad_factor`` × the median
+  absolute deviation of the fresh run's samples: a task whose own
+  repeats scatter widely gets a proportionally wider tolerance instead
+  of flapping;
+* **min-sample floor** — fewer than ``min_samples`` fresh repeats can
+  never fail the gate (the row is reported as ``skip``), and neither
+  can stages below ``abs_floor_seconds`` (microsecond stages where a
+  cache miss doubles "latency").
+
+:func:`apply_handicaps` synthetically slows named stages of a results
+dict; it exists so the gate itself is testable — ``repro bench-check
+--handicap evaluate=3`` must exit non-zero, proving the watchdog would
+catch a real 3× evaluation regression.
+
+This module only transforms plain dicts (the JSON schema), so it
+imports nothing from the rest of the package; the collector that
+produces fresh runs lives in :mod:`repro.evaluation.bench`.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.quantiles import median_abs_deviation
+
+#: Verdicts, benign to fatal.
+PASS, SKIP, WARN, FAIL = "pass", "skip", "warn", "fail"
+
+
+class Tolerance:
+    """The robust tolerance rule for one comparison run."""
+
+    __slots__ = ("rel_warn", "rel_fail", "mad_factor", "min_samples",
+                 "abs_floor_seconds")
+
+    def __init__(self, rel_warn=0.25, rel_fail=1.00, mad_factor=4.0,
+                 min_samples=3, abs_floor_seconds=0.001):
+        if rel_fail < rel_warn:
+            raise ValueError(
+                f"rel_fail ({rel_fail}) must be >= rel_warn ({rel_warn})"
+            )
+        self.rel_warn = rel_warn
+        self.rel_fail = rel_fail
+        self.mad_factor = mad_factor
+        self.min_samples = min_samples
+        self.abs_floor_seconds = abs_floor_seconds
+
+    def to_dict(self):
+        return {
+            "rel_warn": self.rel_warn,
+            "rel_fail": self.rel_fail,
+            "mad_factor": self.mad_factor,
+            "min_samples": self.min_samples,
+            "abs_floor_seconds": self.abs_floor_seconds,
+        }
+
+    def __repr__(self):
+        return (
+            f"Tolerance(warn=+{self.rel_warn:.0%}, fail=+{self.rel_fail:.0%},"
+            f" mad_factor={self.mad_factor}, min_samples={self.min_samples})"
+        )
+
+
+class Finding:
+    """One (task, metric) comparison row."""
+
+    __slots__ = ("task", "metric", "baseline_seconds", "current_seconds",
+                 "verdict", "note")
+
+    def __init__(self, task, metric, baseline_seconds, current_seconds,
+                 verdict, note=""):
+        self.task = task
+        self.metric = metric
+        self.baseline_seconds = baseline_seconds
+        self.current_seconds = current_seconds
+        self.verdict = verdict
+        self.note = note
+
+    @property
+    def ratio(self):
+        if not self.baseline_seconds:
+            return 0.0
+        return self.current_seconds / self.baseline_seconds
+
+    def to_dict(self):
+        return {
+            "task": self.task,
+            "metric": self.metric,
+            "baseline_seconds": self.baseline_seconds,
+            "current_seconds": self.current_seconds,
+            "ratio": self.ratio,
+            "verdict": self.verdict,
+            "note": self.note,
+        }
+
+    def describe(self):
+        return (
+            f"{self.task} {self.metric}: "
+            f"{self.baseline_seconds * 1000:.2f} -> "
+            f"{self.current_seconds * 1000:.2f} ms "
+            f"({self.ratio:.2f}x) [{self.verdict}]"
+            + (f" {self.note}" if self.note else "")
+        )
+
+    def __repr__(self):
+        return f"Finding({self.describe()})"
+
+
+class RegressionReport:
+    """All findings of one baseline comparison, with verdict rollups."""
+
+    def __init__(self, findings, tolerance):
+        self.findings = findings
+        self.tolerance = tolerance
+
+    def by_verdict(self, verdict):
+        return [f for f in self.findings if f.verdict == verdict]
+
+    @property
+    def failures(self):
+        return self.by_verdict(FAIL)
+
+    @property
+    def warnings(self):
+        return self.by_verdict(WARN)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    @property
+    def exit_code(self):
+        return 1 if self.failures else 0
+
+    def to_dict(self):
+        return {
+            "ok": self.ok,
+            "tolerance": self.tolerance.to_dict(),
+            "counts": {
+                verdict: len(self.by_verdict(verdict))
+                for verdict in (PASS, SKIP, WARN, FAIL)
+            },
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self, verbose=False):
+        """Human-readable report; passes are summarized unless verbose."""
+        lines = [
+            f"bench-check: {len(self.findings)} comparisons "
+            f"({self.tolerance!r})"
+        ]
+        shown = (
+            self.findings if verbose
+            else [f for f in self.findings if f.verdict in (WARN, FAIL)]
+        )
+        for finding in shown:
+            lines.append("  " + finding.describe())
+        counts = {
+            verdict: len(self.by_verdict(verdict))
+            for verdict in (PASS, SKIP, WARN, FAIL)
+        }
+        lines.append(
+            "  " + "  ".join(f"{k}={v}" for k, v in counts.items())
+        )
+        lines.append(
+            "RESULT: " + ("PASS" if self.ok else "FAIL (perf regression)")
+        )
+        return "\n".join(lines)
+
+    def github_annotations(self):
+        """``::warning``/``::error`` lines for GitHub Actions logs."""
+        lines = []
+        for finding in self.warnings:
+            lines.append(f"::warning title=perf drift::{finding.describe()}")
+        for finding in self.failures:
+            lines.append(
+                f"::error title=perf regression::{finding.describe()}"
+            )
+        return lines
+
+    def __repr__(self):
+        return (
+            f"RegressionReport({len(self.findings)} findings, "
+            f"{'ok' if self.ok else 'FAIL'})"
+        )
+
+
+def _classify(baseline_seconds, current_seconds, samples, tolerance):
+    """Apply the tolerance rule to one pair of numbers."""
+    if baseline_seconds <= 0.0:
+        return SKIP, "no baseline value"
+    if (baseline_seconds < tolerance.abs_floor_seconds
+            and current_seconds < tolerance.abs_floor_seconds):
+        return PASS, "below absolute floor"
+    delta = current_seconds - baseline_seconds
+    guard = tolerance.mad_factor * median_abs_deviation(samples)
+    slack_warn = max(tolerance.rel_warn * baseline_seconds, guard,
+                     tolerance.abs_floor_seconds)
+    slack_fail = max(tolerance.rel_fail * baseline_seconds, guard,
+                     tolerance.abs_floor_seconds)
+    if delta > slack_fail:
+        return FAIL, ""
+    if delta > slack_warn:
+        return WARN, ""
+    return PASS, ""
+
+
+def compare_results(baseline, current, tolerance=None):
+    """Compare two ``BENCH_RESULTS.json``-schema dicts.
+
+    Per task present in both: end-to-end ``mean_seconds`` and
+    ``p95_seconds``, plus every stage in the baseline's
+    ``stage_mean_seconds``.  Tasks missing from the current run are
+    reported as ``skip`` (they cannot pass silently).
+    """
+    tolerance = tolerance or Tolerance()
+    findings = []
+    baseline_tasks = baseline.get("tasks", {})
+    current_tasks = current.get("tasks", {})
+    for task_id in sorted(baseline_tasks):
+        base = baseline_tasks[task_id]
+        cur = current_tasks.get(task_id)
+        if cur is None:
+            findings.append(
+                Finding(task_id, "mean_seconds",
+                        base.get("mean_seconds", 0.0), 0.0, SKIP,
+                        "task missing from current run")
+            )
+            continue
+        runs = cur.get("runs", len(cur.get("samples_seconds", ())))
+        samples = cur.get("samples_seconds", [])
+        if runs < tolerance.min_samples:
+            findings.append(
+                Finding(task_id, "mean_seconds",
+                        base.get("mean_seconds", 0.0),
+                        cur.get("mean_seconds", 0.0), SKIP,
+                        f"only {runs} samples "
+                        f"(min {tolerance.min_samples})")
+            )
+            continue
+        for metric in ("mean_seconds", "p95_seconds"):
+            if metric not in base or metric not in cur:
+                continue
+            verdict, note = _classify(base[metric], cur[metric], samples,
+                                      tolerance)
+            findings.append(
+                Finding(task_id, metric, base[metric], cur[metric],
+                        verdict, note)
+            )
+        base_stages = base.get("stage_mean_seconds", {})
+        cur_stages = cur.get("stage_mean_seconds", {})
+        stage_samples = cur.get("stage_samples_seconds", {})
+        for stage in sorted(base_stages):
+            if stage not in cur_stages:
+                findings.append(
+                    Finding(task_id, f"stage:{stage}", base_stages[stage],
+                            0.0, SKIP, "stage missing from current run")
+                )
+                continue
+            verdict, note = _classify(
+                base_stages[stage], cur_stages[stage],
+                stage_samples.get(stage, samples), tolerance,
+            )
+            findings.append(
+                Finding(task_id, f"stage:{stage}", base_stages[stage],
+                        cur_stages[stage], verdict, note)
+            )
+    return RegressionReport(findings, tolerance)
+
+
+# -- synthetic slowdowns (gate validation) ----------------------------------
+
+
+def parse_handicap(spec):
+    """Parse ``STAGE=FACTOR`` (e.g. ``evaluate=3``) into a pair."""
+    stage, separator, factor_text = spec.partition("=")
+    if not separator or not stage:
+        raise ValueError(
+            f"bad handicap {spec!r}: expected STAGE=FACTOR, "
+            f"e.g. evaluate=3"
+        )
+    try:
+        factor = float(factor_text)
+    except ValueError:
+        raise ValueError(f"bad handicap factor in {spec!r}") from None
+    if factor <= 0:
+        raise ValueError(f"handicap factor must be positive: {spec!r}")
+    return stage.strip(), factor
+
+
+def apply_handicaps(results, handicaps):
+    """Return a copy of ``results`` with stages synthetically slowed.
+
+    ``handicaps`` maps stage name -> multiplicative factor.  The extra
+    stage time is propagated into the task's end-to-end mean/p95 and
+    per-run samples, exactly as a real stage slowdown would surface.
+    """
+    slowed = json.loads(json.dumps(results))  # deep copy, JSON types only
+    for task in slowed.get("tasks", {}).values():
+        extra = 0.0
+        stages = task.get("stage_mean_seconds", {})
+        stage_samples = task.get("stage_samples_seconds", {})
+        for stage, factor in handicaps.items():
+            if stage not in stages:
+                continue
+            extra += (factor - 1.0) * stages[stage]
+            stages[stage] *= factor
+            if stage in stage_samples:
+                stage_samples[stage] = [
+                    value * factor for value in stage_samples[stage]
+                ]
+        if not extra:
+            continue
+        for metric in ("mean_seconds", "p95_seconds"):
+            if metric in task:
+                task[metric] += extra
+        if "samples_seconds" in task:
+            task["samples_seconds"] = [
+                value + extra for value in task["samples_seconds"]
+            ]
+    return slowed
+
+
+def load_results(path):
+    """Load a ``BENCH_RESULTS.json``-schema file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -152,3 +152,50 @@ class TestRotation:
             self._fill(audit, nalix, 8)
         assert not (tmp_path / "audit.jsonl.1").exists()
         assert len(read_audit_log(str(path))) == 8
+
+
+class TestMemoryColumns:
+    def test_every_entry_has_peak_rss(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            nalix.ask("Return every movie.")
+        (entry,) = read_audit_log(str(path))
+        assert entry["peak_rss_bytes"] > 0
+        # Allocation columns appear only for tracked queries.
+        assert "alloc_bytes" not in entry
+
+    def test_tracked_entries_carry_alloc_columns(
+        self, movie_database, tmp_path
+    ):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            nalix.ask("Return every movie.", memory=True)
+            nalix.ask("Return every movie.")
+        tracked, plain = read_audit_log(str(path))
+        assert isinstance(tracked["alloc_bytes"], int)
+        assert tracked["peak_alloc_bytes"] >= 0
+        assert "alloc_bytes" not in plain
+        assert plain["peak_rss_bytes"] >= tracked["peak_rss_bytes"] > 0
+
+    def test_memory_columns_survive_rotation(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path), max_bytes=2500) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            for _ in range(8):
+                nalix.ask("Return every movie.", memory=True)
+        rolled = tmp_path / "audit.jsonl.1"
+        assert rolled.exists(), "rotation never happened"
+        # Rotation keeps at most two files; every record that survived
+        # must still be intact JSON carrying the memory columns.
+        entries = []
+        for part in (rolled, path):
+            chunk = read_audit_log(str(part))
+            assert chunk, f"{part} rotated out empty"
+            entries.extend(chunk)
+        assert 2 <= len(entries) <= 8
+        for entry in entries:
+            assert entry["peak_rss_bytes"] > 0
+            assert isinstance(entry["alloc_bytes"], int)
+            assert entry["peak_alloc_bytes"] >= 0

@@ -96,7 +96,8 @@ class TestPrometheusText:
             if "quantile" in labels
         }
         assert set(quantiles) == {"0.5", "0.95", "0.99"}
-        assert quantiles["0.5"] == 0.03
+        # Nearest rank: p50 of four samples is the 2nd smallest.
+        assert quantiles["0.5"] == 0.02
         plain = {
             labels_value[1]
             for labels_value in summary["samples"]
@@ -171,8 +172,28 @@ class TestChromeTrace:
         with trace.span("s") as span:
             span.attributes["path"] = object()
         document = chrome_trace_json(trace)
-        event = json.loads(document)["traceEvents"][1]
+        events = json.loads(document)["traceEvents"]
+        (event,) = [entry for entry in events if entry["ph"] == "X"]
         assert isinstance(event["args"]["path"], str)
+
+    def test_thread_name_metadata_per_trace(self, movie_nalix):
+        first = self._traced_query(movie_nalix)
+        second = self._traced_query(movie_nalix)
+        document = chrome_trace(
+            [first, second], names=["first query", "second query"]
+        )
+        metadata = [event for event in document["traceEvents"]
+                    if event["ph"] == "M" and event["name"] == "thread_name"]
+        assert [(event["tid"], event["args"]["name"]) for event in metadata] \
+            == [(1, "first query"), (2, "second query")]
+
+    def test_thread_name_defaults_without_names(self, movie_nalix):
+        trace = self._traced_query(movie_nalix)
+        document = chrome_trace([trace, trace])
+        metadata = [event for event in document["traceEvents"]
+                    if event["ph"] == "M" and event["name"] == "thread_name"]
+        assert [event["args"]["name"] for event in metadata] \
+            == ["query-1", "query-2"]
 
 
 class TestLatencyWindow:
@@ -182,7 +203,8 @@ class TestLatencyWindow:
             window.observe("ask", value)
         quantiles = window.quantiles("ask")
         assert quantiles["count"] == 4
-        assert quantiles["p50"] == 3.0
+        # Nearest rank: p50 of [1, 2, 3, 4] is 2 (ceil(0.5 * 4) = rank 2).
+        assert quantiles["p50"] == 2.0
         assert quantiles["p99"] == 4.0
         assert quantiles["mean"] == 2.5
 

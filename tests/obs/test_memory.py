@@ -1,0 +1,195 @@
+"""Tests for per-query memory accounting."""
+
+import tracemalloc
+
+import pytest
+
+from repro.obs.memory import (
+    MemorySpec,
+    MemoryTracker,
+    activate_memory_tracking,
+    current_memory_spec,
+    peak_rss_bytes,
+)
+from repro.obs.spans import Trace
+
+
+class TestPeakRss:
+    def test_positive_and_monotonic(self):
+        first = peak_rss_bytes()
+        assert first > 0
+        blob = bytearray(4 * 1024 * 1024)
+        second = peak_rss_bytes()
+        del blob
+        assert second >= first
+
+
+class TestMemorySpec:
+    def test_coerce_falsy(self):
+        assert MemorySpec.coerce(None) is None
+        assert MemorySpec.coerce(False) is None
+
+    def test_coerce_true_and_passthrough(self):
+        assert MemorySpec.coerce(True).top_sites == 10
+        spec = MemorySpec(top_sites=3)
+        assert MemorySpec.coerce(spec) is spec
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            MemorySpec.coerce(42)
+
+
+class TestRssOnlyTracker:
+    def test_untracked_records_rss_but_no_allocs(self):
+        tracker = MemoryTracker.from_spec(None)
+        with tracker:
+            pass
+        assert tracker.tracked is False
+        assert tracker.peak_rss_bytes > 0
+        assert tracker.alloc_bytes is None
+        assert tracker.stages == {}
+        assert tracker.top_sites == []
+
+    def test_untracked_stage_is_noop(self):
+        tracker = MemoryTracker.from_spec(None).start()
+        trace = Trace()
+        with trace.span("parse") as span:
+            with tracker.stage(span):
+                pass
+        tracker.stop()
+        assert "alloc_bytes" not in span.attributes
+        assert tracker.stages == {}
+
+    def test_untracked_does_not_start_tracemalloc(self):
+        was_tracing = tracemalloc.is_tracing()
+        with MemoryTracker.from_spec(None):
+            assert tracemalloc.is_tracing() == was_tracing
+
+
+class TestTrackedTracker:
+    def test_records_query_totals_and_top_sites(self):
+        tracker = MemoryTracker.from_spec(MemorySpec(top_sites=5))
+        with tracker:
+            retained = [bytes(64) * 256 for _ in range(50)]
+        assert tracker.alloc_bytes is not None
+        assert tracker.alloc_bytes > 0
+        assert tracker.peak_alloc_bytes >= tracker.alloc_bytes
+        assert 0 < len(tracker.top_sites) <= 5
+        site = tracker.top_sites[0]
+        assert set(site) == {"site", "size_bytes", "count"}
+        del retained
+
+    def test_stage_deltas_land_on_spans_and_stages(self):
+        tracker = MemoryTracker.from_spec(MemorySpec())
+        trace = Trace()
+        retained = []
+        with tracker:
+            with trace.span("evaluate") as span:
+                with tracker.stage(span):
+                    retained.append(bytearray(256 * 1024))
+        assert span.attributes["alloc_bytes"] > 100 * 1024
+        assert span.attributes["peak_alloc_bytes"] >= \
+            span.attributes["alloc_bytes"]
+        entry = tracker.stages["evaluate"]
+        assert entry["calls"] == 1
+        assert entry["alloc_bytes"] == span.attributes["alloc_bytes"]
+        del retained
+
+    def test_transient_allocation_shows_in_peak_not_net(self):
+        tracker = MemoryTracker.from_spec(MemorySpec())
+        trace = Trace()
+        with tracker:
+            with trace.span("evaluate") as span:
+                with tracker.stage(span):
+                    scratch = bytearray(2 * 1024 * 1024)
+                    del scratch  # freed before the stage closes
+        assert span.attributes["peak_alloc_bytes"] > 1024 * 1024
+        assert span.attributes["alloc_bytes"] < 1024 * 1024
+        # The query-level peak watermark saw the transient too.
+        assert tracker.peak_alloc_bytes > 1024 * 1024
+
+    def test_stop_is_idempotent_and_releases_tracemalloc(self):
+        was_tracing = tracemalloc.is_tracing()
+        tracker = MemoryTracker.from_spec(MemorySpec())
+        tracker.start()
+        tracker.stop()
+        tracker.stop()
+        assert tracemalloc.is_tracing() == was_tracing
+
+    def test_to_dict_shape(self):
+        tracker = MemoryTracker.from_spec(MemorySpec())
+        trace = Trace()
+        with tracker:
+            with trace.span("parse") as span:
+                with tracker.stage(span):
+                    list(range(1000))
+        entry = tracker.to_dict()
+        assert entry["tracked"] is True
+        assert entry["peak_rss_bytes"] > 0
+        assert "alloc_bytes" in entry
+        assert "parse" in entry["stages"]
+
+
+class TestActivation:
+    def test_default_off(self):
+        assert current_memory_spec() is None
+
+    def test_scoped_activation(self):
+        with activate_memory_tracking(True) as spec:
+            assert current_memory_spec() is spec
+        assert current_memory_spec() is None
+
+    def test_ask_honours_activation(self, movie_nalix):
+        with activate_memory_tracking(True):
+            result = movie_nalix.ask("Return the title of every movie.")
+        assert result.memory is not None
+        assert result.memory.tracked
+        assert result.memory.alloc_bytes is not None
+        assert "parse" in result.memory.stages
+        assert "evaluate" in result.memory.stages
+
+
+class TestAskIntegration:
+    def test_every_ask_records_rss(self, movie_nalix):
+        result = movie_nalix.ask("Return the title of every movie.")
+        assert result.memory is not None
+        assert result.memory.tracked is False
+        assert result.memory.peak_rss_bytes > 0
+        assert result.memory.alloc_bytes is None
+
+    def test_memory_true_tracks_stages(self, movie_nalix):
+        result = movie_nalix.ask(
+            "Return the title of every movie.", memory=True
+        )
+        memory = result.memory
+        assert memory.tracked
+        assert memory.alloc_bytes is not None
+        for stage in ("parse", "classify", "validate", "translate",
+                      "xquery-parse", "evaluate"):
+            assert stage in memory.stages, stage
+        assert memory.top_sites
+
+    def test_explain_renders_memory_section(self, movie_nalix):
+        from repro.obs.explain import explain
+
+        result = movie_nalix.ask(
+            "Return the title of every movie.", memory=True
+        )
+        text = explain(result).render_text()
+        assert "Memory (tracemalloc deltas + peak RSS):" in text
+        assert "peak rss" in text
+        assert "top allocation sites:" in text
+        entry = explain(result).to_dict()
+        assert entry["memory"]["tracked"] is True
+
+    def test_audit_entry_memory_fields(self, movie_nalix):
+        from repro.obs.audit import audit_entry
+
+        plain = audit_entry(movie_nalix.ask("Return every movie."))
+        assert plain["peak_rss_bytes"] > 0
+        assert "alloc_bytes" not in plain
+        tracked = audit_entry(
+            movie_nalix.ask("Return every movie.", memory=True)
+        )
+        assert tracked["alloc_bytes"] is not None
+        assert tracked["peak_alloc_bytes"] >= 0

@@ -29,7 +29,8 @@ class TestRegistry:
         assert summary["mean"] == 4.0
         assert summary["min"] == 1.0
         assert summary["max"] == 10.0
-        assert summary["p50"] == 3.0
+        # Nearest rank: p50 of four samples is the 2nd smallest.
+        assert summary["p50"] == 2.0
 
     def test_histogram_exact_percentiles_and_total(self):
         registry = MetricsRegistry()
@@ -37,9 +38,9 @@ class TestRegistry:
             registry.observe("h", float(value))
         summary = registry.histogram("h").summary()
         assert summary["total"] == 5050.0
-        assert summary["p50"] == 51.0
-        assert summary["p95"] == 96.0
-        assert summary["p99"] == 100.0
+        assert summary["p50"] == 50.0
+        assert summary["p95"] == 95.0
+        assert summary["p99"] == 99.0
 
     def test_histogram_percentiles_small_sample(self):
         registry = MetricsRegistry()

@@ -1,0 +1,76 @@
+"""Tests for the shared nearest-rank / MAD helpers."""
+
+import pytest
+
+from repro.obs.quantiles import median, median_abs_deviation, nearest_rank
+
+
+class TestNearestRank:
+    def test_empty_returns_zero(self):
+        assert nearest_rank([], 0.5) == 0.0
+
+    def test_single_sample_is_every_percentile(self):
+        for fraction in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert nearest_rank([7.0], fraction) == 7.0
+
+    def test_does_not_sort_in_place(self):
+        samples = [3.0, 1.0, 2.0]
+        nearest_rank(samples, 0.5)
+        assert samples == [3.0, 1.0, 2.0]
+
+    def test_unsorted_input_handled(self):
+        assert nearest_rank([4.0, 1.0, 3.0, 2.0], 0.5) == 2.0
+
+    def test_exact_rank_boundary_small_sample(self):
+        # ceil(0.5 * 4) = 2 -> the 2nd smallest, NOT the 3rd: the old
+        # int(fraction * n) indexing read one element high whenever
+        # fraction * n was integral.
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0], 0.5) == 2.0
+
+    def test_textbook_definition_on_1_to_100(self):
+        samples = [float(value) for value in range(1, 101)]
+        assert nearest_rank(samples, 0.50) == 50.0
+        assert nearest_rank(samples, 0.95) == 95.0
+        assert nearest_rank(samples, 0.99) == 99.0
+        assert nearest_rank(samples, 1.00) == 100.0
+
+    def test_non_integral_rank_rounds_up(self):
+        # ceil(0.5 * 5) = 3 -> the true median of an odd-length list.
+        assert nearest_rank([1.0, 2.0, 3.0, 4.0, 5.0], 0.5) == 3.0
+
+    def test_zero_fraction_clamps_to_minimum(self):
+        assert nearest_rank([5.0, 1.0, 3.0], 0.0) == 1.0
+
+
+class TestMedian:
+    def test_odd_length(self):
+        assert median([5.0, 1.0, 3.0]) == 3.0
+
+    def test_even_length_takes_lower(self):
+        assert median([1.0, 2.0, 3.0, 4.0]) == 2.0
+
+    def test_empty(self):
+        assert median([]) == 0.0
+
+
+class TestMedianAbsDeviation:
+    def test_empty_and_single(self):
+        assert median_abs_deviation([]) == 0.0
+        assert median_abs_deviation([4.2]) == 0.0
+
+    def test_constant_samples_have_zero_spread(self):
+        assert median_abs_deviation([3.0, 3.0, 3.0]) == 0.0
+
+    def test_known_value(self):
+        # median = 3, |x - 3| = [2, 1, 0, 1, 2], MAD = 1.
+        assert median_abs_deviation([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+    def test_outlier_robustness(self):
+        # One wild outlier barely moves the MAD (unlike the stddev).
+        tight = median_abs_deviation([10.0, 11.0, 12.0, 13.0, 14.0])
+        spiked = median_abs_deviation([10.0, 11.0, 12.0, 13.0, 1000.0])
+        assert spiked <= 2 * tight + 1.0
+
+    @pytest.mark.parametrize("samples", [[1.0, 2.0], [0.5, 1.5, 2.5, 9.0]])
+    def test_non_negative(self, samples):
+        assert median_abs_deviation(samples) >= 0.0

@@ -1,0 +1,235 @@
+"""Tests for the perf-regression watchdog."""
+
+import json
+
+import pytest
+
+from repro.obs.regression import (
+    FAIL,
+    PASS,
+    SKIP,
+    WARN,
+    Finding,
+    Tolerance,
+    apply_handicaps,
+    compare_results,
+    load_results,
+    parse_handicap,
+)
+
+
+def make_results(mean=0.010, p95=0.012, runs=5, stages=None, jitter=0.0):
+    """A minimal two-task BENCH_RESULTS-schema dict."""
+    stages = stages or {"parse": 0.001, "evaluate": 0.008}
+    tasks = {}
+    for task_id in ("Q1", "Q2"):
+        samples = [mean + jitter * (i - runs // 2) for i in range(runs)]
+        tasks[task_id] = {
+            "sentence": f"sentence for {task_id}",
+            "status": "ok",
+            "runs": runs,
+            "mean_seconds": mean,
+            "p95_seconds": p95,
+            "samples_seconds": samples,
+            "stage_mean_seconds": dict(stages),
+            "stage_samples_seconds": {
+                stage: [value + jitter * (i - runs // 2)
+                        for i in range(runs)]
+                for stage, value in stages.items()
+            },
+        }
+    return {"repeats": runs, "tasks": tasks}
+
+
+class TestTolerance:
+    def test_defaults(self):
+        tolerance = Tolerance()
+        assert tolerance.rel_warn == 0.25
+        assert tolerance.rel_fail == 1.0
+
+    def test_fail_below_warn_rejected(self):
+        with pytest.raises(ValueError):
+            Tolerance(rel_warn=0.5, rel_fail=0.1)
+
+    def test_repr_readable(self):
+        assert "warn=+25%" in repr(Tolerance())
+
+
+class TestCompareResults:
+    def test_identical_results_pass(self):
+        results = make_results()
+        report = compare_results(results, results)
+        assert report.ok
+        assert report.exit_code == 0
+        assert not report.failures
+        assert all(f.verdict in (PASS, SKIP) for f in report.findings)
+
+    def test_gross_regression_fails(self):
+        baseline = make_results(mean=0.010, p95=0.012)
+        current = make_results(mean=0.030, p95=0.036,
+                               stages={"parse": 0.001, "evaluate": 0.026})
+        report = compare_results(baseline, current)
+        assert not report.ok
+        assert report.exit_code == 1
+        failed_metrics = {f.metric for f in report.failures}
+        assert "mean_seconds" in failed_metrics
+        assert "stage:evaluate" in failed_metrics
+
+    def test_mild_drift_warns_not_fails(self):
+        baseline = make_results(mean=0.010, p95=0.012,
+                                stages={"evaluate": 0.009})
+        current = make_results(mean=0.014, p95=0.0168,
+                               stages={"evaluate": 0.0126})
+        report = compare_results(baseline, current)
+        assert report.ok  # warnings do not gate
+        assert report.warnings
+
+    def test_mad_guard_widens_noisy_tolerance(self):
+        baseline = make_results(mean=0.010)
+        # +50% mean would normally warn, but the current run's own
+        # samples scatter by ±4 ms — the MAD guard absorbs the drift.
+        noisy = make_results(mean=0.015, p95=0.018, jitter=0.004)
+        quiet = make_results(mean=0.015, p95=0.018, jitter=0.0)
+        assert not compare_results(baseline, noisy).warnings
+        assert compare_results(baseline, quiet).warnings
+
+    def test_min_sample_floor_skips(self):
+        baseline = make_results()
+        current = make_results(mean=0.9, runs=2)
+        report = compare_results(baseline, current,
+                                 Tolerance(min_samples=3))
+        assert report.ok
+        assert all(f.verdict == SKIP for f in report.findings)
+
+    def test_missing_task_reported_as_skip(self):
+        baseline = make_results()
+        current = make_results()
+        del current["tasks"]["Q2"]
+        report = compare_results(baseline, current)
+        skips = report.by_verdict(SKIP)
+        assert any(f.task == "Q2" and "missing" in f.note for f in skips)
+
+    def test_microsecond_stages_pass_under_abs_floor(self):
+        baseline = make_results(stages={"classify": 0.00001})
+        current = make_results(stages={"classify": 0.00005})  # "5x slower"
+        report = compare_results(baseline, current)
+        classify = [f for f in report.findings
+                    if f.metric == "stage:classify"]
+        assert classify
+        assert all(f.verdict == PASS for f in classify)
+
+
+class TestReport:
+    def _failing_report(self):
+        baseline = make_results()
+        current = apply_handicaps(baseline, {"evaluate": 4.0})
+        return compare_results(baseline, current)
+
+    def test_render_text_shows_failures_and_result(self):
+        text = self._failing_report().render_text()
+        assert "RESULT: FAIL (perf regression)" in text
+        assert "[fail]" in text
+        assert "fail=" in text
+
+    def test_render_text_verbose_lists_passes(self):
+        report = self._failing_report()
+        assert len(report.render_text(verbose=True).splitlines()) > \
+            len(report.render_text().splitlines())
+
+    def test_json_round_trip(self):
+        report = self._failing_report()
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        assert payload["counts"][FAIL] > 0
+        assert payload["findings"]
+        assert payload["tolerance"]["rel_fail"] == 1.0
+
+    def test_github_annotations(self):
+        lines = self._failing_report().github_annotations()
+        assert lines
+        assert all(line.startswith(("::warning", "::error"))
+                   for line in lines)
+
+    def test_finding_describe(self):
+        finding = Finding("Q1", "mean_seconds", 0.0138, 0.0280, FAIL)
+        text = finding.describe()
+        assert "Q1 mean_seconds" in text
+        assert "2.03x" in text
+        assert "[fail]" in text
+
+
+class TestHandicaps:
+    def test_parse_handicap(self):
+        assert parse_handicap("evaluate=3") == ("evaluate", 3.0)
+        assert parse_handicap("parse=1.5") == ("parse", 1.5)
+
+    @pytest.mark.parametrize("spec", ["evaluate", "=3", "evaluate=x",
+                                      "evaluate=0", "evaluate=-1"])
+    def test_parse_handicap_rejects(self, spec):
+        with pytest.raises(ValueError):
+            parse_handicap(spec)
+
+    def test_apply_handicaps_slows_stage_and_totals(self):
+        results = make_results()
+        slowed = apply_handicaps(results, {"evaluate": 3.0})
+        original = results["tasks"]["Q1"]
+        task = slowed["tasks"]["Q1"]
+        assert task["stage_mean_seconds"]["evaluate"] == pytest.approx(
+            3.0 * original["stage_mean_seconds"]["evaluate"]
+        )
+        extra = 2.0 * original["stage_mean_seconds"]["evaluate"]
+        assert task["mean_seconds"] == pytest.approx(
+            original["mean_seconds"] + extra
+        )
+        assert task["samples_seconds"][0] == pytest.approx(
+            original["samples_seconds"][0] + extra
+        )
+
+    def test_apply_handicaps_does_not_mutate_input(self):
+        results = make_results()
+        before = json.dumps(results, sort_keys=True)
+        apply_handicaps(results, {"evaluate": 3.0})
+        assert json.dumps(results, sort_keys=True) == before
+
+    def test_unknown_stage_is_a_noop(self):
+        results = make_results()
+        slowed = apply_handicaps(results, {"nope": 9.0})
+        assert json.dumps(slowed, sort_keys=True) == \
+            json.dumps(results, sort_keys=True)
+
+    def test_handicapped_run_fails_the_gate(self):
+        baseline = make_results()
+        slowed = apply_handicaps(baseline, {"evaluate": 3.0})
+        report = compare_results(baseline, slowed)
+        assert report.exit_code == 1
+
+
+class TestLoadResults:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "results.json"
+        results = make_results()
+        path.write_text(json.dumps(results), encoding="utf-8")
+        assert load_results(str(path)) == results
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(OSError):
+            load_results(str(tmp_path / "nope.json"))
+
+
+class TestCommittedBaseline:
+    def test_baseline_has_watchdog_schema(self):
+        """The committed baseline must carry the fields the gate needs."""
+        results = load_results("benchmarks/BENCH_RESULTS.json")
+        assert len(results["tasks"]) == 9
+        for task in results["tasks"].values():
+            assert task["runs"] >= 3
+            assert len(task["samples_seconds"]) == task["runs"]
+            assert task["stage_mean_seconds"]
+            assert set(task["stage_samples_seconds"]) == \
+                set(task["stage_mean_seconds"])
+
+    def test_baseline_compares_clean_against_itself(self):
+        results = load_results("benchmarks/BENCH_RESULTS.json")
+        report = compare_results(results, results)
+        assert report.ok
+        assert not report.warnings

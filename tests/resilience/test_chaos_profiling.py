@@ -1,0 +1,83 @@
+"""Chaos suite: profiling and memory accounting under injected faults.
+
+The profiler's sampler thread and the memory tracker's tracemalloc
+refcount both straddle the query's exception paths; this suite proves a
+fault at any pipeline stage still yields a classified result with a
+stopped sampler, closed spans, finalized memory totals, and restored
+process-global state (thread switch interval, tracemalloc).
+"""
+
+import sys
+import threading
+import tracemalloc
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.resilience.errors import ErrorClass
+from repro.resilience.faults import FAULT_STAGES, FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.chaos
+
+SENTENCE = "Return the title of every movie."
+
+
+class TestProfiledChaos:
+    @pytest.mark.parametrize("stage", FAULT_STAGES)
+    def test_fault_with_profiling_and_memory(self, stage, movie_database):
+        switch_before = sys.getswitchinterval()
+        tracing_before = tracemalloc.is_tracing()
+        nalix = NaLIX(
+            movie_database, fault_plan=FaultPlan([FaultSpec(stage)])
+        )
+        result = nalix.ask(SENTENCE, profile=True, memory=True)
+
+        # Still a classified outcome, never an unhandled crash.
+        assert result.status in ("degraded", "failed")
+        assert result.error_class in (
+            ErrorClass.DEGRADED, ErrorClass.INTERNAL
+        )
+
+        # The sampler is stopped, its thread joined, and the thread
+        # switch interval restored — even though the stage raised.
+        profiler = result.profile
+        assert profiler is not None
+        assert not profiler.running
+        assert sys.getswitchinterval() == switch_before
+        assert not any(
+            thread.name == "repro-profiler" and thread.is_alive()
+            for thread in threading.enumerate()
+        )
+
+        # The memory account is finalized and tracemalloc released.
+        memory = result.memory
+        assert memory is not None
+        assert memory.alloc_bytes is not None
+        assert memory.peak_rss_bytes > 0
+        assert tracemalloc.is_tracing() == tracing_before
+
+        # The span tree is complete: nothing left open for the sampler
+        # or the stage measurements to dangle on.
+        spans = list(result.trace.iter_spans())
+        assert spans
+        assert all(span.ended_at is not None for span in spans)
+
+    def test_degraded_query_attributes_fallback_stage(self, movie_database):
+        """A degraded query's memory account covers the fallback stage."""
+        nalix = NaLIX(
+            movie_database, fault_plan=FaultPlan([FaultSpec("evaluate")])
+        )
+        result = nalix.ask(SENTENCE, memory=True)
+        assert result.status == "degraded"
+        assert "evaluate-naive" in result.memory.stages
+
+    def test_repeated_profiled_faults_leak_no_threads(self, movie_database):
+        thread_count = threading.active_count()
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=FaultPlan([FaultSpec("evaluate", probability=0.5,
+                                            seed=11)]),
+        )
+        for _ in range(10):
+            nalix.ask(SENTENCE, profile=True, memory=True)
+        assert threading.active_count() <= thread_count + 1

@@ -306,6 +306,208 @@ class TestResilienceFlags:
         assert "resilience.faults.injected" in output
 
 
+class TestProfilingFlags:
+    QUERY = (
+        "Return every director, where the number of movies directed by "
+        "the director is the same as the number of movies directed by "
+        "Ron Howard."
+    )
+
+    def test_query_profile_writes_collapsed_file(self, tmp_path, capsys):
+        out = tmp_path / "profile.collapsed"
+        code = main(
+            ["query", "--data", "movies", "--profile",
+             "--profile-out", str(out), self.QUERY]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert out.exists()
+        assert "profile:" in output
+        stages = {
+            "parse", "classify", "validate", "translate", "xquery-parse",
+            "evaluate", "evaluate-naive", "evaluate-keyword", "ask",
+            "(no-span)",
+        }
+        for line in out.read_text(encoding="utf-8").splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert count.isdigit()
+            assert stack.startswith("span:")
+            # The root frame is a span-attribution frame for a real
+            # pipeline stage (or the no-span bucket).
+            root = stack.split(";", 1)[0].removeprefix("span:")
+            assert root in stages
+
+    def test_query_profile_default_out(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            ["query", "--data", "movies", "--profile",
+             "Return the title of every movie."]
+        )
+        assert code == 0
+        assert (tmp_path / "profile.collapsed").exists()
+
+    def test_profile_subcommand_stdout_is_pipeable(self, capsys):
+        code = main(
+            ["profile", "--data", "movies", "--repeat", "5",
+             "--hz", "500", self.QUERY]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # Summary lines go to stderr; stdout carries only stack lines.
+        assert "profile:" in captured.err
+        for line in captured.out.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert count.isdigit()
+            assert stack.startswith("span:")
+
+    def test_profile_subcommand_speedscope(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "profile.speedscope.json"
+        code = main(
+            ["profile", "--data", "movies", "--repeat", "3",
+             "--format", "speedscope", "--out", str(out),
+             "Return the title of every movie."]
+        )
+        assert code == 0
+        document = json.loads(out.read_text(encoding="utf-8"))
+        assert document["$schema"].startswith("https://www.speedscope.app")
+        assert document["profiles"][0]["type"] == "sampled"
+
+    def test_profile_rejected_query_exit_code(self, capsys):
+        code = main(
+            ["profile", "--data", "movies", "--repeat", "1",
+             "Return the isbn of every movie."]
+        )
+        assert code == 1
+
+    def test_query_memory_flag(self, tmp_path, capsys):
+        from repro.obs.audit import read_audit_log
+
+        path = tmp_path / "audit.jsonl"
+        code = main(
+            ["query", "--data", "movies", "--memory",
+             "--audit-log", str(path),
+             "Return the title of every movie."]
+        )
+        assert code == 0
+        (entry,) = read_audit_log(str(path))
+        assert entry["alloc_bytes"] > 0
+        assert entry["peak_rss_bytes"] > 0
+
+    def test_stats_memory_columns(self, capsys):
+        code = main(["stats", "--books", "10", "--good-only", "--memory"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "alloc KiB" in output
+        assert "memory: peak rss" in output
+        assert "KiB/query" in output
+
+
+class TestBenchCheck:
+    BASELINE = {
+        "repeats": 5,
+        "tasks": {
+            "Q1": {
+                "sentence": "Return every book.",
+                "status": "ok",
+                "runs": 5,
+                "mean_seconds": 0.010,
+                "p95_seconds": 0.012,
+                "samples_seconds": [0.009, 0.010, 0.010, 0.011, 0.012],
+                "stage_mean_seconds": {"parse": 0.001, "evaluate": 0.008},
+                "stage_samples_seconds": {
+                    "parse": [0.001] * 5,
+                    "evaluate": [0.007, 0.008, 0.008, 0.008, 0.009],
+                },
+            },
+        },
+    }
+
+    def _write(self, tmp_path, name, payload):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return str(path)
+
+    def test_identical_results_pass(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", self.BASELINE)
+        code = main(
+            ["bench-check", "--baseline", baseline, "--current", baseline]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "RESULT: PASS" in output
+
+    def test_handicapped_stage_fails_gate(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", self.BASELINE)
+        code = main(
+            ["bench-check", "--baseline", baseline, "--current", baseline,
+             "--handicap", "evaluate=3"]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "RESULT: FAIL (perf regression)" in output
+        assert "stage:evaluate" in output
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        baseline = self._write(tmp_path, "baseline.json", self.BASELINE)
+        code = main(
+            ["bench-check", "--baseline", baseline, "--current", baseline,
+             "--handicap", "evaluate=3", "--json"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["ok"] is False
+        assert payload["counts"]["fail"] > 0
+
+    def test_github_annotations(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", self.BASELINE)
+        code = main(
+            ["bench-check", "--baseline", baseline, "--current", baseline,
+             "--handicap", "evaluate=3", "--github", "--out",
+             str(tmp_path / "report.txt")]
+        )
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "::error title=perf regression::" in output
+
+    def test_save_current(self, tmp_path, capsys):
+        import json
+
+        baseline = self._write(tmp_path, "baseline.json", self.BASELINE)
+        saved = tmp_path / "current.json"
+        code = main(
+            ["bench-check", "--baseline", baseline, "--current", baseline,
+             "--save-current", str(saved)]
+        )
+        assert code == 0
+        assert json.loads(saved.read_text(encoding="utf-8"))["tasks"]
+
+    def test_missing_baseline_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["bench-check", "--baseline", str(tmp_path / "nope.json")])
+
+    def test_bad_handicap_exits(self, tmp_path):
+        baseline = self._write(tmp_path, "baseline.json", self.BASELINE)
+        with pytest.raises(SystemExit):
+            main(
+                ["bench-check", "--baseline", baseline,
+                 "--current", baseline, "--handicap", "evaluate"]
+            )
+
+    def test_bad_tolerance_exits(self, tmp_path):
+        baseline = self._write(tmp_path, "baseline.json", self.BASELINE)
+        with pytest.raises(SystemExit):
+            main(
+                ["bench-check", "--baseline", baseline,
+                 "--current", baseline, "--warn", "2.0", "--fail", "0.5"]
+            )
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -314,8 +516,10 @@ class TestParser:
     def test_all_commands_registered(self):
         parser = build_parser()
         for command in ("query", "repl", "xquery", "tasks", "stats",
-                        "study", "generate"):
+                        "profile", "bench-check", "study", "generate"):
             args = parser.parse_args(
-                [command] + (["x"] if command in ("query", "xquery") else [])
+                [command]
+                + (["x"] if command in ("query", "xquery", "profile")
+                   else [])
             )
             assert args.command == command
