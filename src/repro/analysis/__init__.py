@@ -1,0 +1,47 @@
+"""``repro.analysis`` — the qlint static analyzer and pipeline linter.
+
+Two halves:
+
+* :func:`analyze_query` walks an XQuery AST (or text) and reports typed
+  findings — scope/binding, type/operator compatibility, ``mqf``
+  sanity, dead code — before the query reaches the evaluator.  Wired
+  always-on as a post-translation gate in
+  :mod:`repro.core.interface` and exposed as ``repro lint``.
+* :func:`check_pipeline_consistency` cross-checks the classification
+  lexicon, Table 6 grammar, and translator payload tables against each
+  other; :func:`ensure_pipeline_consistent` raises at import time of
+  the interface when they disagree.
+
+See DESIGN.md §8 for rule ids, the severity policy, and how to
+suppress or extend rules.
+"""
+
+from repro.analysis.analyzer import QueryAnalyzer, analyze_query
+from repro.analysis.consistency import (
+    PipelineInconsistency,
+    check_pipeline_consistency,
+    ensure_pipeline_consistent,
+)
+from repro.analysis.corpus import PAPER_EXAMPLES, iter_corpus
+from repro.analysis.findings import (
+    AnalysisReport,
+    Finding,
+    attach_clause_provenance,
+)
+from repro.analysis.rules import RULES, render_rule_table, severity_of
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "PAPER_EXAMPLES",
+    "PipelineInconsistency",
+    "QueryAnalyzer",
+    "RULES",
+    "analyze_query",
+    "attach_clause_provenance",
+    "check_pipeline_consistency",
+    "ensure_pipeline_consistent",
+    "iter_corpus",
+    "render_rule_table",
+    "severity_of",
+]

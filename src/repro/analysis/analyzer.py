@@ -1,0 +1,513 @@
+"""The XQuery static analyzer: scope, types, mqf sanity, dead code.
+
+Walks the FLWOR AST the translator emits (:mod:`repro.xquery.ast`) and
+reports typed findings *before* the query reaches the evaluator, so
+translator bugs surface as precise diagnostics instead of confusing
+runtime errors or silently wrong answers (paper Sec. 3.2's
+well-formedness claim, made checkable).
+
+Passes (rule ids in :mod:`repro.analysis.rules`):
+
+* **scope/binding** (QS...) — every variable reference resolves to an
+  in-scope ``for``/``let``/quantifier binding; no shadowing; no unused
+  or duplicate bindings.  Scoping follows XQuery: later bindings in one
+  ``for`` see earlier ones, a ``let``'s initializer sees everything
+  bound before it, quantifier variables are visible only in their
+  ``satisfies`` condition.
+* **type/operator compatibility** (QT...) — ordering comparisons do not
+  mix in non-numeric literals, aggregates receive sequence-typed
+  arguments, built-ins exist and are called with the right arity,
+  negation nesting is sane.
+* **mqf sanity** (QM...) — every ``mqf(...)`` names at least two
+  distinct bound variables (Defs. 4-6), no degenerate self-joins.
+* **dead code** (QD...) — predicates over literals that are statically
+  true/false, conjunctions that equate one single-item variable with
+  two different values, where-clauses that make the return unreachable.
+
+The analyzer never raises on malformed input: anything surprising
+becomes a finding.  ``analyze_query`` also accepts raw XQuery text.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.rules import RULES
+from repro.xquery import ast
+from repro.xquery.functions import builtin_arity, builtin_names, is_aggregate
+
+#: Comparison operators with ordering semantics (numeric intent in NaLIX).
+_ORDERING_OPS = frozenset({"<", "<=", ">", ">="})
+
+#: Expression kinds that denote sequences (legal aggregate arguments).
+_SEQUENCE_KINDS = (ast.VarRef, ast.PathExpr, ast.FLWOR, ast.Sequence,
+                   ast.FunctionCall)
+
+
+class _Binding:
+    """One in-scope variable: where it was bound and whether it's used."""
+
+    __slots__ = ("name", "kind", "path", "used")
+
+    def __init__(self, name, kind, path):
+        self.name = name
+        self.kind = kind        # "for" | "let" | "quantifier"
+        self.path = path
+        self.used = False
+
+    @property
+    def single_item(self):
+        """for/quantifier variables bind one item at a time."""
+        return self.kind in ("for", "quantifier")
+
+
+class _Scope:
+    """A lexical scope: a chain map of name -> _Binding."""
+
+    def __init__(self, parent=None):
+        self.parent = parent
+        self.bindings = {}
+
+    def lookup(self, name):
+        scope = self
+        while scope is not None:
+            binding = scope.bindings.get(name)
+            if binding is not None:
+                return binding
+            scope = scope.parent
+        return None
+
+    def bind(self, name, kind, path):
+        binding = _Binding(name, kind, path)
+        self.bindings[name] = binding
+        return binding
+
+
+class QueryAnalyzer:
+    """One analyzer configuration (suppressed rules, extra passes)."""
+
+    def __init__(self, suppress=(), extra_passes=()):
+        unknown = sorted(set(suppress) - set(RULES))
+        if unknown:
+            raise ValueError(f"unknown rule id(s): {', '.join(unknown)}")
+        self.suppress = frozenset(suppress)
+        self.extra_passes = list(extra_passes)
+
+    # -- entry point ---------------------------------------------------------
+
+    def analyze(self, expr):
+        """Analyze one AST (or XQuery text); returns an AnalysisReport."""
+        if isinstance(expr, str):
+            from repro.xquery.parser import parse_xquery
+
+            expr = parse_xquery(expr)
+        report = AnalysisReport(subject=expr.to_text())
+        self._report = report
+        self._expr(expr, _Scope(), "query")
+        for extra in self.extra_passes:
+            extra(expr, report)
+        return report
+
+    # -- finding emission ----------------------------------------------------
+
+    def _emit(self, rule_id, message, path, fragment=None):
+        if rule_id in self.suppress:
+            return
+        rule = RULES[rule_id]
+        self._report.add(
+            Finding(rule_id, rule.severity, message, path=path,
+                    fragment=fragment)
+        )
+
+    @staticmethod
+    def _fragment(expr):
+        text = expr.to_text()
+        return text if len(text) <= 120 else text[:117] + "..."
+
+    # -- generic expression walk ---------------------------------------------
+
+    def _expr(self, expr, scope, path):
+        if isinstance(expr, ast.FLWOR):
+            self._flwor(expr, scope, path)
+        elif isinstance(expr, ast.VarRef):
+            binding = scope.lookup(expr.name)
+            if binding is None:
+                self._emit(
+                    "QS001",
+                    f"variable ${expr.name} is referenced but never bound "
+                    "by an in-scope for/let",
+                    path, fragment=f"${expr.name}",
+                )
+            else:
+                binding.used = True
+        elif isinstance(expr, ast.PathExpr):
+            self._expr(expr.start, scope, path)
+        elif isinstance(expr, ast.Comparison):
+            self._expr(expr.left, scope, path)
+            self._expr(expr.right, scope, path)
+            self._check_comparison(expr, path)
+        elif isinstance(expr, ast.And):
+            for item in expr.items:
+                self._expr(item, scope, path)
+            self._check_conjunction(expr, scope, path)
+        elif isinstance(expr, ast.Or):
+            for item in expr.items:
+                self._expr(item, scope, path)
+        elif isinstance(expr, ast.Not):
+            self._check_negation(expr.operand, path)
+            self._expr(expr.operand, scope, path)
+        elif isinstance(expr, ast.FunctionCall):
+            self._function_call(expr, scope, path)
+        elif isinstance(expr, ast.Quantified):
+            self._quantified(expr, scope, path)
+        elif isinstance(expr, ast.Sequence):
+            for item in expr.items:
+                self._expr(item, scope, path)
+        elif isinstance(expr, ast.ElementConstructor):
+            for item in expr.content_items:
+                self._expr(item, scope, path)
+        # Literal / DocSource: nothing to check.
+
+    # -- FLWOR scope analysis -------------------------------------------------
+
+    def _flwor(self, flwor, scope, path):
+        inner = _Scope(scope)
+        declared = []
+        where_dead = False
+        for clause in flwor.clauses:
+            if isinstance(clause, ast.ForClause):
+                cpath = f"{path}/for"
+                seen_here = set()
+                for name, source in clause.bindings:
+                    self._expr(source, inner, cpath)
+                    if name in seen_here:
+                        self._emit(
+                            "QS004",
+                            f"the for clause binds ${name} twice",
+                            cpath, fragment=f"${name}",
+                        )
+                        continue
+                    seen_here.add(name)
+                    declared.append(
+                        self._bind(inner, name, "for", cpath)
+                    )
+            elif isinstance(clause, ast.LetClause):
+                cpath = f"{path}/let"
+                self._expr(clause.expr, inner, cpath)
+                declared.append(
+                    self._bind(inner, clause.var, "let", cpath)
+                )
+            elif isinstance(clause, ast.WhereClause):
+                cpath = f"{path}/where"
+                self._expr(clause.condition, inner, cpath)
+                if self._static_truth(clause.condition) is False:
+                    where_dead = True
+            elif isinstance(clause, ast.OrderByClause):
+                cpath = f"{path}/order-by"
+                for key, _descending in clause.keys:
+                    self._expr(key, inner, cpath)
+            elif isinstance(clause, ast.ReturnClause):
+                cpath = f"{path}/return"
+                self._expr(clause.expr, inner, cpath)
+        if where_dead:
+            self._emit(
+                "QD004",
+                "the where condition is statically false; the return "
+                "clause is unreachable",
+                f"{path}/where", fragment=self._fragment(flwor),
+            )
+        for binding in declared:
+            if not binding.used:
+                self._emit(
+                    "QS003",
+                    f"${binding.name} is bound but never referenced",
+                    binding.path, fragment=f"${binding.name}",
+                )
+
+    def _bind(self, scope, name, kind, path):
+        shadowed = scope.lookup(name)
+        if shadowed is not None:
+            self._emit(
+                "QS002",
+                f"${name} shadows the {shadowed.kind} binding at "
+                f"{shadowed.path}",
+                path, fragment=f"${name}",
+            )
+        return scope.bind(name, kind, path)
+
+    # -- quantifiers ----------------------------------------------------------
+
+    def _quantified(self, expr, scope, path):
+        qpath = f"{path}/{expr.kind}"
+        self._expr(expr.source, scope, qpath)
+        inner = _Scope(scope)
+        binding = self._bind(inner, expr.var, "quantifier", qpath)
+        self._expr(expr.condition, inner, qpath)
+        if not binding.used:
+            self._emit(
+                "QS003",
+                f"quantifier variable ${binding.name} is never used in "
+                "its satisfies condition",
+                qpath, fragment=f"${binding.name}",
+            )
+
+    # -- function calls (builtins, aggregates, mqf) ---------------------------
+
+    def _function_call(self, call, scope, path):
+        name = call.name
+        cpath = f"{path}/{name}()"
+        if name == "mqf":
+            self._check_mqf(call, cpath)
+        elif name == "not" and len(call.args) == 1:
+            self._check_negation(call.args[0], cpath)
+        arity = builtin_arity(name)
+        if arity is None:
+            self._emit(
+                "QT004",
+                f"unknown function {name}()",
+                cpath, fragment=self._fragment(call),
+            )
+        else:
+            low, high = arity
+            count = len(call.args)
+            if count < low or (high is not None and count > high):
+                expected = (
+                    f"exactly {low}" if high == low
+                    else f"at least {low}" if high is None
+                    else f"{low}-{high}"
+                )
+                self._emit(
+                    "QT003",
+                    f"{name}() takes {expected} argument(s), got {count}",
+                    cpath, fragment=self._fragment(call),
+                )
+        if is_aggregate(name):
+            for arg in call.args:
+                if isinstance(arg, ast.Literal):
+                    self._emit(
+                        "QT002",
+                        f"{name}() aggregates a sequence, but its argument "
+                        f"is the literal {arg.to_text()}",
+                        cpath, fragment=self._fragment(call),
+                    )
+                elif not isinstance(arg, _SEQUENCE_KINDS):
+                    self._emit(
+                        "QT002",
+                        f"{name}() aggregates a sequence, but its argument "
+                        f"is {type(arg).__name__}",
+                        cpath, fragment=self._fragment(call),
+                    )
+        for arg in call.args:
+            self._expr(arg, scope, cpath)
+
+    def _check_mqf(self, call, path):
+        if len(call.args) < 2:
+            self._emit(
+                "QM001",
+                f"mqf() relates variables and needs at least two "
+                f"arguments, got {len(call.args)}",
+                path, fragment=self._fragment(call),
+            )
+        names = []
+        for arg in call.args:
+            if isinstance(arg, ast.VarRef):
+                names.append(arg.name)
+            else:
+                self._emit(
+                    "QM002",
+                    f"mqf() argument {arg.to_text()} is not a variable "
+                    "reference",
+                    path, fragment=self._fragment(call),
+                )
+        if len(call.args) >= 2 and names:
+            if len(set(names)) < 2 or len(set(names)) < len(names):
+                repeated = sorted(
+                    {name for name in names if names.count(name) > 1}
+                )
+                detail = (
+                    f"${', $'.join(repeated)} repeated" if repeated
+                    else "fewer than two distinct variables"
+                )
+                self._emit(
+                    "QM003",
+                    f"mqf() is a degenerate self-join: {detail}",
+                    path, fragment=self._fragment(call),
+                )
+
+    # -- type/operator checks -------------------------------------------------
+
+    def _check_comparison(self, comparison, path):
+        truth = self._static_truth(comparison)
+        if truth is True:
+            self._emit(
+                "QD001",
+                f"{comparison.to_text()} is always true",
+                path, fragment=self._fragment(comparison),
+            )
+            return
+        if truth is False:
+            self._emit(
+                "QD002",
+                f"{comparison.to_text()} is always false",
+                path, fragment=self._fragment(comparison),
+            )
+            return
+        if comparison.op in _ORDERING_OPS:
+            for side in (comparison.left, comparison.right):
+                if (
+                    isinstance(side, ast.Literal)
+                    and isinstance(side.value, str)
+                    and _as_number(side.value) is None
+                ):
+                    self._emit(
+                        "QT001",
+                        f"ordering comparison {comparison.op} against the "
+                        f"non-numeric string {side.to_text()}",
+                        path, fragment=self._fragment(comparison),
+                    )
+
+    def _check_negation(self, operand, path):
+        if isinstance(operand, ast.Not) or (
+            isinstance(operand, ast.FunctionCall) and operand.name == "not"
+        ):
+            self._emit(
+                "QT005",
+                "double negation: not(not(...))",
+                path, fragment=self._fragment(operand),
+            )
+
+    # -- dead-code checks -----------------------------------------------------
+
+    def _check_conjunction(self, conjunction, scope, path):
+        """QD003: one And equates a single-item variable with two values.
+
+        Only fires for for/quantifier bindings: those are one item per
+        iteration, so ``$v = a and $v = b`` (a != b) cannot hold.  A
+        ``let`` variable is a sequence with existential comparison
+        semantics, where both conjuncts can be true at once.
+        """
+        equated = {}
+        for item in conjunction.items:
+            if not isinstance(item, ast.Comparison) or item.op != "=":
+                continue
+            pair = _var_literal_pair(item)
+            if pair is None:
+                continue
+            name, value = pair
+            binding = scope.lookup(name)
+            if binding is None or not binding.single_item:
+                continue
+            equated.setdefault(name, []).append(value)
+        for name, values in equated.items():
+            distinct = {_comparable(value) for value in values}
+            if len(distinct) > 1:
+                rendered = ", ".join(repr(value) for value in values)
+                self._emit(
+                    "QD003",
+                    f"${name} is equated with {len(distinct)} different "
+                    f"values in one conjunction ({rendered}); the "
+                    "predicate is unsatisfiable",
+                    path, fragment=self._fragment(conjunction),
+                )
+
+    def _static_truth(self, expr):
+        """True/False when the condition's value is decidable, else None."""
+        if isinstance(expr, ast.Comparison):
+            if not isinstance(expr.left, ast.Literal) or not isinstance(
+                expr.right, ast.Literal
+            ):
+                return None
+            return _compare_literals(expr.op, expr.left.value,
+                                     expr.right.value)
+        if isinstance(expr, ast.Not):
+            truth = self._static_truth(expr.operand)
+            return None if truth is None else not truth
+        if isinstance(expr, ast.And):
+            truths = [self._static_truth(item) for item in expr.items]
+            if any(truth is False for truth in truths):
+                return False
+            if all(truth is True for truth in truths):
+                return True
+            return None
+        if isinstance(expr, ast.Or):
+            truths = [self._static_truth(item) for item in expr.items]
+            if any(truth is True for truth in truths):
+                return True
+            if all(truth is False for truth in truths):
+                return False
+            return None
+        return None
+
+
+# -- literal helpers ----------------------------------------------------------
+
+
+def _as_number(value):
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value.strip())
+        except ValueError:
+            return None
+    return None
+
+
+def _comparable(value):
+    """Normalize a literal for cross-representation equality ("7" == 7)."""
+    number = _as_number(value)
+    if number is not None:
+        return number
+    return str(value).casefold()
+
+
+def _compare_literals(op, left, right):
+    """Decide a literal-vs-literal comparison; None when incomparable."""
+    left_num, right_num = _as_number(left), _as_number(right)
+    if left_num is not None and right_num is not None:
+        left, right = left_num, right_num
+    elif isinstance(left, str) and isinstance(right, str):
+        left, right = left.casefold(), right.casefold()
+    else:
+        # Mixed string/number: equality is decidable (False), ordering
+        # depends on the evaluator's coercion — stay silent.
+        if op == "=":
+            return False
+        if op == "!=":
+            return True
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        return None
+    return None
+
+
+def _var_literal_pair(comparison):
+    """``($name, literal_value)`` for var-vs-literal comparisons, or None."""
+    left, right = comparison.left, comparison.right
+    if isinstance(left, ast.VarRef) and isinstance(right, ast.Literal):
+        return (left.name, right.value)
+    if isinstance(right, ast.VarRef) and isinstance(left, ast.Literal):
+        return (right.name, left.value)
+    return None
+
+
+def analyze_query(expr, suppress=(), extra_passes=()):
+    """Analyze one AST or XQuery string; returns an AnalysisReport."""
+    return QueryAnalyzer(
+        suppress=suppress, extra_passes=extra_passes
+    ).analyze(expr)
+
+
+__all__ = ["QueryAnalyzer", "analyze_query", "builtin_names"]

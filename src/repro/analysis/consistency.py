@@ -1,0 +1,219 @@
+"""The pipeline consistency linter: do the tables agree with each other?
+
+NaLIX is table-driven — the Tables 1-2 classification lexicon
+(:mod:`repro.core.enums`), the Table 6 attachment grammar
+(:mod:`repro.core.grammar`), and the translator's pattern payloads all
+have to agree for the correctness story to hold.  This module
+cross-checks them (rule ids ``QP001``-``QP005``):
+
+* **QP001** — no lemma phrase is claimed by two classification tables
+  with conflicting token types (``parser_vocabulary()`` would silently
+  let the last table win);
+* **QP002** — every token type appears in *all three* grammar tables
+  (allowed parents, Table 6 production, human name);
+* **QP003** — every parent the grammar licenses is a token type some
+  classifier rule can actually produce;
+* **QP004** — every lexicon payload is executable: operator phrases map
+  onto the AST's comparison operators (or ``contains``), function
+  phrases onto real XQuery aggregates, order phrases onto booleans;
+* **QP005** — the classifier's provenance-rule table covers exactly the
+  known token types.
+
+``check_pipeline_consistency()`` runs all checks and caches the report
+for the process (the tables are module-level constants, so one check
+per interpreter suffices); ``ensure_pipeline_consistent()`` raises
+:class:`PipelineInconsistency` on errors and is called when
+``repro.core.interface`` is imported — a broken table fails fast at
+import time instead of mis-translating queries at runtime.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import AnalysisReport, Finding
+from repro.analysis.rules import RULES
+
+
+class PipelineInconsistency(Exception):
+    """The lexicon/grammar/translator tables contradict each other."""
+
+    def __init__(self, report):
+        self.report = report
+        rendered = "; ".join(
+            finding.message for finding in report.errors[:5]
+        )
+        super().__init__(
+            f"{len(report.errors)} pipeline consistency error(s): {rendered}"
+        )
+
+
+def _emit(report, rule_id, message, path):
+    rule = RULES[rule_id]
+    report.add(Finding(rule_id, rule.severity, message, path=path))
+
+
+# -- individual checks (parameterized for tests) ------------------------------
+
+
+def check_lexicon(report, tables=None):
+    """QP001: no phrase claimed by two tables with different token types."""
+    if tables is None:
+        from repro.core import enums
+
+        tables = {
+            "COMMAND_PHRASES (CMT)": enums.COMMAND_PHRASES,
+            "ORDER_PHRASES (OBT)": enums.ORDER_PHRASES,
+            "FUNCTION_PHRASES (FT)": enums.FUNCTION_PHRASES,
+            "OPERATOR_PHRASES (OT)": enums.OPERATOR_PHRASES,
+            "CONNECTION_PREPOSITIONS (CM)": enums.CONNECTION_PREPOSITIONS,
+            "QUANTIFIER_WORDS (QT)": enums.QUANTIFIER_WORDS,
+            "NEGATION_WORDS (NEG)": enums.NEGATION_WORDS,
+        }
+    claimed = {}
+    for table_name, phrases in tables.items():
+        for phrase in phrases:
+            owner = claimed.setdefault(phrase, table_name)
+            if owner != table_name:
+                _emit(
+                    report, "QP001",
+                    f"the phrase {phrase!r} is claimed by both {owner} "
+                    f"and {table_name}; classification is ambiguous",
+                    f"lexicon/{phrase}",
+                )
+    return report
+
+
+def check_grammar_tables(report, allowed_parents=None, productions=None,
+                         human_names=None):
+    """QP002/QP003: the Table 6 tables cover the same producible symbols."""
+    from repro.core.classifier import CLASSIFICATION_RULES
+    from repro.core.grammar import ALLOWED_PARENTS, HUMAN_NAMES, PRODUCTIONS
+
+    if allowed_parents is None:
+        allowed_parents = ALLOWED_PARENTS
+    if productions is None:
+        productions = PRODUCTIONS
+    if human_names is None:
+        human_names = HUMAN_NAMES
+    tables = {
+        "allowed-parents": set(allowed_parents),
+        "productions": set(productions),
+        "human-names": set(human_names),
+    }
+    universe = set().union(*tables.values())
+    for symbol in sorted(universe):
+        missing = [name for name, table in tables.items()
+                   if symbol not in table]
+        if missing:
+            _emit(
+                report, "QP002",
+                f"token type {symbol} is missing from the grammar "
+                f"table(s): {', '.join(missing)}",
+                f"grammar/{symbol}",
+            )
+    producible = set(CLASSIFICATION_RULES)
+    for child, parents in allowed_parents.items():
+        for parent in parents:
+            if parent is None:
+                continue
+            if parent not in producible:
+                _emit(
+                    report, "QP003",
+                    f"the grammar licenses {child} under {parent}, but "
+                    "no classifier rule produces that token type",
+                    f"grammar/{child}",
+                )
+    return report
+
+
+def check_lexicon_payloads(report, operator_phrases=None,
+                           function_phrases=None, order_phrases=None):
+    """QP004: every lexicon payload is executable downstream."""
+    from repro.core import enums
+    from repro.xquery.ast import Comparison
+    from repro.xquery.functions import builtin_arity, is_aggregate
+
+    if operator_phrases is None:
+        operator_phrases = enums.OPERATOR_PHRASES
+    if function_phrases is None:
+        function_phrases = enums.FUNCTION_PHRASES
+    if order_phrases is None:
+        order_phrases = enums.ORDER_PHRASES
+    executable_ops = set(Comparison.OPS) | {"contains"}
+    for phrase, symbol in operator_phrases.items():
+        if symbol not in executable_ops:
+            _emit(
+                report, "QP004",
+                f"operator phrase {phrase!r} maps to {symbol!r}, which "
+                "the XQuery layer cannot execute",
+                f"lexicon/{phrase}",
+            )
+    for phrase, function in function_phrases.items():
+        if not is_aggregate(function) or builtin_arity(function) is None:
+            _emit(
+                report, "QP004",
+                f"function phrase {phrase!r} maps to {function!r}, which "
+                "is not an executable XQuery aggregate",
+                f"lexicon/{phrase}",
+            )
+    for phrase, descending in order_phrases.items():
+        if not isinstance(descending, bool):
+            _emit(
+                report, "QP004",
+                f"order phrase {phrase!r} carries the sort direction "
+                f"{descending!r} (expected a boolean)",
+                f"lexicon/{phrase}",
+            )
+    return report
+
+
+def check_classifier_rules(report, rules=None):
+    """QP005: provenance rules cover exactly the known token types."""
+    from repro.core.classifier import CLASSIFICATION_RULES
+    from repro.core.token_types import TokenType
+
+    if rules is None:
+        rules = CLASSIFICATION_RULES
+    known = set(TokenType.TOKENS) | set(TokenType.MARKERS) | {
+        TokenType.UNKNOWN
+    }
+    for symbol in sorted(known - set(rules)):
+        _emit(
+            report, "QP005",
+            f"token type {symbol} has no Tables 1-2 classification rule",
+            f"classifier/{symbol}",
+        )
+    for symbol in sorted(set(rules) - known):
+        _emit(
+            report, "QP005",
+            f"the classifier cites a rule for {symbol}, which is not a "
+            "known token type",
+            f"classifier/{symbol}",
+        )
+    return report
+
+
+# -- entry points -------------------------------------------------------------
+
+_CACHED_REPORT = None
+
+
+def check_pipeline_consistency(refresh=False):
+    """Run all QP checks; the report is cached per process."""
+    global _CACHED_REPORT
+    if _CACHED_REPORT is not None and not refresh:
+        return _CACHED_REPORT
+    report = AnalysisReport(subject="pipeline tables")
+    check_lexicon(report)
+    check_grammar_tables(report)
+    check_lexicon_payloads(report)
+    check_classifier_rules(report)
+    _CACHED_REPORT = report
+    return report
+
+
+def ensure_pipeline_consistent():
+    """Raise :class:`PipelineInconsistency` when any QP error exists."""
+    report = check_pipeline_consistency()
+    if report.errors:
+        raise PipelineInconsistency(report)
+    return report

@@ -1,0 +1,41 @@
+"""The lintable query corpus: paper examples + the 9 benchmark tasks.
+
+``iter_corpus()`` yields ``(dataset, label, sentence)`` triples covering
+every English query the repository treats as a golden example (the
+worked paper figures pinned by the explain golden files) plus the
+phrasings of the nine XMP benchmark tasks.  ``repro lint --corpus``,
+the ``lint-queries`` CI job, and the property-style analyzer test all
+iterate the same corpus, so "every generated query passes scope/binding
+analysis" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+#: The paper's worked examples (datasets: movies | bib | dblp).
+PAPER_EXAMPLES = (
+    ("movies", "figure2", "Return the title of every movie directed by "
+     "Ron Howard."),
+    ("movies", "figure2-return", "Return the title of every movie."),
+    ("movies", "question-form", "What is the title of every movie?"),
+    ("movies", "director", "Return the director of every movie directed "
+     "by Ron Howard."),
+    ("bib", "figure5", "Return the title of the book with the lowest "
+     "price."),
+    ("bib", "publisher-value", 'Return the title of every book published '
+     'by "Addison-Wesley".'),
+    ("dblp", "figure9-grouping", "Return the number of books published "
+     "by each publisher."),
+)
+
+
+def iter_corpus(include_tasks=True, good_only=True):
+    """Yield ``(dataset, label, sentence)`` for the whole lint corpus."""
+    yield from PAPER_EXAMPLES
+    if not include_tasks:
+        return
+    from repro.evaluation.tasks import TASKS
+
+    for task in TASKS:
+        phrasings = task.good_phrasings() if good_only else task.phrasings
+        for index, phrasing in enumerate(phrasings):
+            yield ("dblp", f"{task.task_id}[{index}]", phrasing.text)

@@ -1,0 +1,182 @@
+"""Typed findings produced by the static analyzer ("qlint").
+
+A :class:`Finding` is one diagnostic: a rule id (see
+:mod:`repro.analysis.rules`), a severity, a human-readable message, an
+AST location (a ``/``-separated clause path plus the offending
+fragment's rendered text), and — when the query came out of the
+translator — the provenance token ids of the source words (threaded
+from the PR 3 clause records, so a finding can point back at the
+English that produced the bad clause).
+
+:class:`AnalysisReport` is the per-query container: ordered findings,
+severity filters, and the text / JSON / GitHub-annotation renderings
+shared by the post-translation gate, the ``repro lint`` CLI, and CI.
+
+Like the rest of the analysis package this module is dependency-free
+and imports nothing from other ``repro`` packages.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Severity levels, most severe first.
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+SEVERITIES = (ERROR, WARNING, INFO)
+
+
+class Finding:
+    """One static-analysis diagnostic."""
+
+    __slots__ = ("rule_id", "severity", "message", "path", "fragment",
+                 "token_ids", "words")
+
+    def __init__(self, rule_id, severity, message, path="query",
+                 fragment=None, token_ids=None, words=None):
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown severity {severity!r}")
+        self.rule_id = rule_id
+        self.severity = severity
+        self.message = message
+        self.path = path
+        self.fragment = fragment
+        self.token_ids = list(token_ids) if token_ids else []
+        self.words = list(words) if words else []
+
+    def to_dict(self):
+        entry = {
+            "rule": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.path,
+        }
+        if self.fragment is not None:
+            entry["fragment"] = self.fragment
+        if self.token_ids:
+            entry["token_ids"] = list(self.token_ids)
+            entry["words"] = list(self.words)
+        return entry
+
+    def render(self):
+        line = f"{self.severity} {self.rule_id} at {self.path}: {self.message}"
+        if self.words:
+            cited = ", ".join(
+                f"{word}({node_id})"
+                for word, node_id in zip(self.words, self.token_ids)
+            )
+            line += f"  [from {cited}]"
+        return line
+
+    def __repr__(self):
+        return f"Finding({self.rule_id}, {self.severity}, {self.message!r})"
+
+
+class AnalysisReport:
+    """All findings of one analyzer run, in discovery order."""
+
+    def __init__(self, subject=None):
+        self.subject = subject      # the analyzed XQuery text (or a label)
+        self.findings = []
+
+    def add(self, finding):
+        self.findings.append(finding)
+        return finding
+
+    # -- severity views ------------------------------------------------------
+
+    @property
+    def errors(self):
+        return [f for f in self.findings if f.severity == ERROR]
+
+    @property
+    def warnings(self):
+        return [f for f in self.findings if f.severity == WARNING]
+
+    @property
+    def infos(self):
+        return [f for f in self.findings if f.severity == INFO]
+
+    @property
+    def ok(self):
+        """True when no *error* findings exist (warnings are tolerated)."""
+        return not self.errors
+
+    def rule_ids(self):
+        """Distinct rule ids that fired, sorted."""
+        return sorted({finding.rule_id for finding in self.findings})
+
+    def summary(self):
+        """Compact dict for the audit log's ``analysis`` column."""
+        return {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "rules": self.rule_ids(),
+        }
+
+    # -- renderings ----------------------------------------------------------
+
+    def to_dict(self):
+        entry = {
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+        if self.subject is not None:
+            entry["subject"] = self.subject
+        return entry
+
+    def to_json(self, indent=2):
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self):
+        if not self.findings:
+            return "ok (no findings)"
+        return "\n".join(finding.render() for finding in self.findings)
+
+    def github_lines(self, context=None):
+        """``::error``/``::warning`` workflow-annotation lines."""
+        lines = []
+        for finding in self.findings:
+            level = "error" if finding.severity == ERROR else "warning"
+            where = f" [{context}]" if context else ""
+            message = f"{finding.message} (at {finding.path}){where}"
+            lines.append(f"::{level} title={finding.rule_id}::{message}")
+        return lines
+
+    def __len__(self):
+        return len(self.findings)
+
+    def __iter__(self):
+        return iter(self.findings)
+
+    def __repr__(self):
+        return (
+            f"AnalysisReport({len(self.errors)} errors, "
+            f"{len(self.warnings)} warnings)"
+        )
+
+
+def attach_clause_provenance(report, clause_records):
+    """Point findings back at source tokens via PR 3 clause records.
+
+    Best effort: a finding whose rendered fragment appears inside (or
+    contains) a clause record's fragment inherits that record's token
+    ids and words.  Findings that already carry tokens are left alone.
+    """
+    if not clause_records:
+        return report
+    for finding in report.findings:
+        if finding.token_ids or not finding.fragment:
+            continue
+        for record in clause_records:
+            fragment = record.fragment
+            if not fragment:
+                continue
+            if finding.fragment in fragment or fragment in finding.fragment:
+                finding.token_ids = list(record.token_ids)
+                finding.words = list(record.words)
+                break
+    return report

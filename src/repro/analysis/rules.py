@@ -1,0 +1,135 @@
+"""The rule registry: every qlint diagnostic, its id and default severity.
+
+Rule id prefixes partition the namespace:
+
+* ``QS``  — scope/binding analysis over the emitted FLWOR AST;
+* ``QT``  — type/operator compatibility;
+* ``QM``  — ``mqf()`` sanity (Defs. 4–6 of the paper);
+* ``QD``  — dead-code detection (tautologies, contradictions,
+  unreachable clauses);
+* ``QP``  — pipeline self-consistency (lexicon / Table 6 grammar /
+  translator pattern tables, checked once per process).
+
+Severity policy: **error** means the query is malformed — it would
+crash the evaluator or is provably meaningless (unbound variable,
+degenerate ``mqf``, bad arity) — and the post-translation gate rejects
+it as ``invalid-query``.  **warning** means the query executes but is
+suspicious (shadowing, unused bindings, contradictory predicates); the
+gate lets it through and attaches the finding to
+``QueryResult.warnings``.
+
+Suppression: every analyzer entry point takes ``suppress`` — an
+iterable of rule ids to silence (``analyze_query(expr,
+suppress={"QS003"})``, ``NaLIX(analysis_suppress=...)``, ``repro lint
+--suppress QS003``).  Extension: pass extra pass callables to
+:class:`~repro.analysis.analyzer.QueryAnalyzer` via ``extra_passes``;
+each receives ``(expr, report)`` after the built-in passes run.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import ERROR, WARNING
+
+
+class Rule:
+    """One registered diagnostic."""
+
+    __slots__ = ("rule_id", "severity", "title", "description")
+
+    def __init__(self, rule_id, severity, title, description):
+        self.rule_id = rule_id
+        self.severity = severity
+        self.title = title
+        self.description = description
+
+    def __repr__(self):
+        return f"Rule({self.rule_id}, {self.severity}, {self.title!r})"
+
+
+def _table(*rows):
+    return {rule_id: Rule(rule_id, severity, title, description)
+            for rule_id, severity, title, description in rows}
+
+
+#: Every known rule, id -> Rule.
+RULES = _table(
+    # -- scope / binding ----------------------------------------------------
+    ("QS001", ERROR, "unbound variable",
+     "a variable referenced in a where/return/order-by clause is not "
+     "bound by any in-scope for/let/quantifier"),
+    ("QS002", WARNING, "variable shadowing",
+     "a for/let/quantifier binding reuses a name that is already bound "
+     "in an enclosing scope"),
+    ("QS003", WARNING, "unused binding",
+     "a for/let/quantifier binding is never referenced"),
+    ("QS004", ERROR, "duplicate binding",
+     "one for clause binds the same variable name twice"),
+    # -- type / operator compatibility -------------------------------------
+    ("QT001", WARNING, "non-numeric ordering comparison",
+     "an ordering comparison (< <= > >=) has a string literal operand "
+     "that does not look numeric"),
+    ("QT002", ERROR, "aggregate over non-sequence",
+     "an aggregate function (count/sum/avg/min/max) is applied to a "
+     "literal instead of a sequence-typed argument"),
+    ("QT003", ERROR, "wrong arity",
+     "a built-in function is called with the wrong number of arguments"),
+    ("QT004", ERROR, "unknown function",
+     "a function call names no known built-in"),
+    ("QT005", WARNING, "double negation",
+     "not(not(...)) — the nesting almost certainly does not match the "
+     "intended Figs. 6-7 scope"),
+    # -- mqf sanity ---------------------------------------------------------
+    ("QM001", ERROR, "mqf with fewer than two arguments",
+     "mqf() relates variables; fewer than two arguments is degenerate"),
+    ("QM002", ERROR, "mqf argument is not a variable",
+     "every mqf() argument must be a variable reference"),
+    ("QM003", ERROR, "degenerate mqf self-join",
+     "mqf() needs at least two *distinct* variables; repeating one is "
+     "a self-join that always holds"),
+    # -- dead code ----------------------------------------------------------
+    ("QD001", WARNING, "tautological predicate",
+     "a predicate over literal values is always true and can be dropped"),
+    ("QD002", WARNING, "contradictory predicate",
+     "a predicate over literal values is always false; the query "
+     "returns nothing"),
+    ("QD003", WARNING, "unsatisfiable conjunction",
+     "one conjunction equates a single-item variable with two "
+     "different literal values"),
+    ("QD004", WARNING, "unreachable clause",
+     "the where condition is statically false, so the clauses after it "
+     "can never produce output"),
+    # -- pipeline self-consistency ------------------------------------------
+    ("QP001", ERROR, "lexicon conflict",
+     "one lemma phrase is claimed by two classification tables with "
+     "conflicting token types (Tables 1-2)"),
+    ("QP002", ERROR, "grammar table incomplete",
+     "a token type is missing from the Table 6 attachment/production/"
+     "name tables"),
+    ("QP003", ERROR, "unproducible grammar symbol",
+     "the grammar licenses an attachment to a token type no classifier "
+     "rule can produce"),
+    ("QP004", ERROR, "untranslatable lexicon payload",
+     "a lexicon entry maps to an operator or aggregate the XQuery "
+     "layer cannot execute"),
+    ("QP005", ERROR, "classifier rule gap",
+     "a token type has no Tables 1-2 provenance rule (or cites one "
+     "that does not exist)"),
+)
+
+
+def rule(rule_id):
+    """Look up a rule; raises KeyError for unknown ids."""
+    return RULES[rule_id]
+
+
+def severity_of(rule_id):
+    return RULES[rule_id].severity
+
+
+def render_rule_table():
+    """The docs table: one line per rule (id, severity, title)."""
+    lines = []
+    for rule_id in sorted(RULES):
+        entry = RULES[rule_id]
+        lines.append(f"{rule_id}  {entry.severity:<8} {entry.title}")
+    return "\n".join(lines)

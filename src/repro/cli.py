@@ -10,6 +10,9 @@ Subcommands::
     python -m repro stats   [--books N] [--format table|json|prom|chrome]
     python -m repro profile [--hz N] [--repeat N] "SENTENCE"
     python -m repro bench-check [--baseline FILE] [--handicap STAGE=F]
+    python -m repro lint    [--data ...] [--tasks|--corpus|--self]
+                            [--stdin] [--xquery] [--format text|json|github]
+                            ["SENTENCE" ...]
     python -m repro study   [--participants N] [--seed S]
     python -m repro generate [--books N] [--seed S] [--out FILE]
 
@@ -556,6 +559,147 @@ def cmd_stats(args):
     return _finish(args, audit, 0)
 
 
+def cmd_lint(args):
+    """qlint: static-analyze queries and/or the pipeline tables.
+
+    Inputs compose: positional sentences (English, or raw XQuery with
+    ``--xquery``), ``--stdin`` batch lines, the nine benchmark tasks
+    (``--tasks``), the full golden corpus (``--corpus``), and the
+    pipeline-table self-check (``--self``).  With no inputs at all the
+    command runs ``--self --corpus`` — the same checks as CI's
+    ``lint-queries`` job.  Exit status is non-zero when any error
+    finding fires (or any warning, with ``--strict``).
+    """
+    import json as json_module
+
+    from repro.analysis import (
+        RULES,
+        analyze_query,
+        check_pipeline_consistency,
+        iter_corpus,
+    )
+
+    suppress = tuple(args.suppress or ())
+    unknown = sorted(set(suppress) - set(RULES))
+    if unknown:
+        raise SystemExit(
+            f"repro: unknown rule id(s): {', '.join(unknown)}"
+        )
+
+    sentences = list(args.sentence or ())
+    if args.stdin:
+        sentences.extend(
+            line.strip() for line in sys.stdin if line.strip()
+        )
+    jobs = []  # (dataset, label, text, kind)
+    kind = "xquery" if args.xquery else "english"
+    for text in sentences:
+        jobs.append((args.data, text, text, kind))
+    corpus = args.corpus
+    self_check = args.self_check
+    if not jobs and not args.tasks and not corpus and not self_check:
+        corpus = self_check = True
+    if args.tasks and not corpus:
+        from repro.evaluation.tasks import TASKS
+
+        for task in TASKS:
+            for index, phrasing in enumerate(task.good_phrasings()):
+                jobs.append(
+                    ("dblp", f"{task.task_id}[{index}]",
+                     phrasing.text, "english")
+                )
+    if corpus:
+        for dataset, label, text in iter_corpus():
+            jobs.append((dataset, label, text, "english"))
+
+    reports = []  # (label, AnalysisReport | None, note)
+    if self_check:
+        reports.append(
+            ("pipeline-tables", check_pipeline_consistency(), None)
+        )
+    interfaces = {}
+
+    def interface_for(dataset):
+        if dataset not in interfaces:
+            database = load_database(
+                dataset, books=args.books, seed=args.seed
+            )
+            interfaces[dataset] = NaLIX(
+                database, analysis_suppress=suppress
+            )
+        return interfaces[dataset]
+
+    for dataset, label, text, job_kind in jobs:
+        if job_kind == "xquery":
+            try:
+                reports.append(
+                    (label, analyze_query(text, suppress=suppress), None)
+                )
+            except Exception as error:
+                reports.append(
+                    (label, None, f"unparseable XQuery: {error}")
+                )
+            continue
+        result = interface_for(dataset).ask(text, evaluate=False)
+        if result.analysis is not None:
+            reports.append((label, result.analysis, None))
+        else:
+            codes = ", ".join(
+                message.code for message in result.errors
+            ) or result.status
+            reports.append(
+                (label, None,
+                 f"the query did not reach the analyzer ({codes})")
+            )
+
+    error_count = sum(
+        len(report.errors) for _, report, _ in reports if report is not None
+    )
+    warning_count = sum(
+        len(report.warnings) for _, report, _ in reports
+        if report is not None
+    )
+    unanalyzed = [label for label, report, _ in reports if report is None]
+
+    if args.format == "json":
+        document = []
+        for label, report, note in reports:
+            if report is not None:
+                entry = report.to_dict()
+                entry["xquery"] = entry.pop("subject", None)
+            else:
+                entry = {"error": note}
+            entry["subject"] = label
+            document.append(entry)
+        print(json_module.dumps(document, indent=2))
+    elif args.format == "github":
+        for label, report, note in reports:
+            if report is not None:
+                for line in report.github_lines(context=label):
+                    print(line)
+            else:
+                print(f"::error title=lint::{note} [{label}]")
+    else:
+        for label, report, note in reports:
+            if note is not None:
+                print(f"{label}: error — {note}")
+            elif report.findings:
+                print(f"{label}:")
+                for finding in report.findings:
+                    print(f"  {finding.render()}")
+        print(
+            f"linted {len(reports)} subject(s): "
+            f"{error_count} error(s), {warning_count} warning(s)"
+            + (f", {len(unanalyzed)} unanalyzable" if unanalyzed else "")
+        )
+    failed = (
+        bool(unanalyzed)
+        or error_count
+        or (args.strict and warning_count)
+    )
+    return 1 if failed else 0
+
+
 def cmd_study(args):
     from repro.evaluation.report import StudyReport
     from repro.evaluation.study import Study, StudyConfig
@@ -769,6 +913,34 @@ def build_parser():
     bench_check.add_argument("--out", metavar="PATH",
                              help="write the report to a file")
     bench_check.set_defaults(handler=cmd_bench_check)
+
+    lint = commands.add_parser(
+        "lint",
+        help="qlint: static-analyze queries and the pipeline tables",
+    )
+    _add_data_options(lint)
+    lint.add_argument("sentence", nargs="*",
+                      help="English queries to lint (raw XQuery with "
+                      "--xquery); none = --self --corpus")
+    lint.add_argument("--stdin", action="store_true",
+                      help="also read one query per line from stdin")
+    lint.add_argument("--xquery", action="store_true",
+                      help="treat the inputs as raw XQuery text")
+    lint.add_argument("--tasks", action="store_true",
+                      help="lint the 9 XMP benchmark task phrasings")
+    lint.add_argument("--corpus", action="store_true",
+                      help="lint the full corpus: paper examples + tasks")
+    lint.add_argument("--self", dest="self_check", action="store_true",
+                      help="cross-check the lexicon/grammar/translator "
+                      "tables (QP rules)")
+    lint.add_argument("--suppress", action="append", metavar="RULE",
+                      help="suppress a rule id (repeatable)")
+    lint.add_argument("--format", choices=("text", "json", "github"),
+                      default="text",
+                      help="output format (default: text)")
+    lint.add_argument("--strict", action="store_true",
+                      help="warnings also fail the lint")
+    lint.set_defaults(handler=cmd_lint)
 
     study = commands.add_parser("study", help="run the simulated user study")
     study.add_argument("--participants", type=int, default=18)

@@ -56,6 +56,10 @@ _RULES = {
     TokenType.UNKNOWN: "outside the Tables 1-2 vocabulary",
 }
 
+#: Public alias consumed by the pipeline-consistency linter
+#: (:mod:`repro.analysis.consistency`).
+CLASSIFICATION_RULES = _RULES
+
 
 def _classify_node(node):
     node.implicit = False

@@ -92,6 +92,12 @@ _HUMAN_NAMES = {
     TokenType.NEG: "negation",
 }
 
+#: Public aliases consumed by the pipeline-consistency linter
+#: (:mod:`repro.analysis.consistency`), which cross-checks these tables
+#: against the classifier and lexicon at import time.
+ALLOWED_PARENTS = _ALLOWED_PARENTS
+HUMAN_NAMES = _HUMAN_NAMES
+
 
 def check_grammar(root):
     """All grammar violations in a classified tree (empty when valid).

@@ -3,7 +3,8 @@
 Wires the full pipeline of the paper's Sec. 3–4 together::
 
     parse -> classify -> validate (feedback on failure) -> translate ->
-    serialize to XQuery text -> evaluate on the database
+    analyze (the qlint gate; see repro.analysis) -> serialize to XQuery
+    text -> evaluate on the database
 
 ``ask`` never raises on user-input problems: it returns a
 :class:`QueryResult` that either carries results or carries the feedback
@@ -33,6 +34,11 @@ from __future__ import annotations
 
 import re
 
+from repro.analysis import (
+    analyze_query,
+    attach_clause_provenance,
+    ensure_pipeline_consistent,
+)
 from repro.core.classifier import classify_tree
 from repro.core.enums import COMMAND_PHRASES, parser_vocabulary
 from repro.core.errors import TranslationError
@@ -60,6 +66,7 @@ from repro.obs.provenance import (
 from repro.obs.spans import Span, Trace, activate_trace
 from repro.ontology.expansion import TermExpander
 from repro.resilience.budget import (
+    BudgetExceeded,
     QueryBudget,
     activate_budget,
     check_deadline,
@@ -77,14 +84,19 @@ from repro.xquery.values import string_value
 
 _SENTENCE_SPLIT_RE = re.compile(r"[.!?]\s+")
 
+# A contradictory lexicon/grammar/translator table is a programming
+# error, not a user error: fail at import time, before any query can be
+# mis-translated (see repro.analysis.consistency).
+ensure_pipeline_consistent()
+
 #: Error codes that mean the *system* failed on an accepted query, as
 #: opposed to the query being rejected back to the user with feedback.
 _FAILURE_CODES = frozenset({"translation-failure", "evaluation-failure",
                             "budget-exhausted", "internal-error",
-                            "injected-fault"})
+                            "injected-fault", "invalid-query"})
 
 #: Pipeline stage span names, in execution order.
-_STAGES = ("parse", "classify", "validate", "translate",
+_STAGES = ("parse", "classify", "validate", "translate", "analyze",
            "xquery-parse", "evaluate")
 
 # Metrics resolved once: _record runs after every query, so it must not
@@ -109,6 +121,12 @@ _STAGE_ERROR_COUNTERS = {
     stage: METRICS.counter(f"pipeline.stage.{stage}.errors")
     for stage in _STAGES
 }
+_ANALYSIS_FINDING_COUNTERS = {
+    severity: METRICS.counter(f"analysis.findings.{severity}")
+    for severity in ("error", "warning")
+}
+_ANALYSIS_REJECTED = METRICS.counter("analysis.gate.rejected")
+_ANALYSIS_UNAVAILABLE = METRICS.counter("analysis.gate.unavailable")
 _PEAK_RSS_GAUGE = METRICS.gauge("pipeline.memory.peak_rss_bytes")
 _ALLOC_HISTOGRAM = METRICS.histogram("pipeline.memory.alloc_bytes")
 _PROFILED_QUERIES = METRICS.counter("pipeline.profiled_queries")
@@ -125,6 +143,7 @@ class QueryResult:
         self.translation = None
         self.xquery_text = None
         self.items = []             # raw evaluation output
+        self.analysis = None        # repro.analysis.AnalysisReport
         self.trace = None           # repro.obs.spans.Trace, set by ask()
         self.provenance = None      # repro.obs.provenance.QueryProvenance
         self.plan_stats = None      # repro.obs.plan_stats.PlanStatsCollection
@@ -295,11 +314,16 @@ class NaLIX:
     ``FaultPlan.coerce`` accepts) whose faults fire inside the pipeline
     stages; ``degrade=False`` disables the fallback ladder, turning
     evaluation failures directly into errors.
+
+    ``analysis_suppress`` is an iterable of qlint rule ids (see
+    DESIGN.md §8) that the post-translation static-analysis gate must
+    not report for this interface.
     """
 
     def __init__(self, database, document_name=None, thesaurus=None,
                  use_planner=True, wrap_results=False, audit_log=None,
-                 budget=None, fault_plan=None, degrade=True):
+                 budget=None, fault_plan=None, degrade=True,
+                 analysis_suppress=()):
         self.database = database
         self.document_name = document_name or next(iter(database.documents), "doc")
         self.parser = DependencyParser(parser_vocabulary())
@@ -315,6 +339,7 @@ class NaLIX:
         self.budget = budget
         self.fault_plan = FaultPlan.coerce(fault_plan)
         self.degrade = degrade
+        self.analysis_suppress = tuple(analysis_suppress)
 
     # -- pipeline stages (each usable on its own for tests/benches) ------------------
 
@@ -476,10 +501,80 @@ class NaLIX:
         result.translation = translation
         result.xquery_text = translation.text
         result.provenance.clauses = list(translation.provenance)
+
+        # The qlint gate: a malformed translation is a translator bug
+        # and must never reach the evaluator (see DESIGN.md §8).
+        with trace.span("analyze") as span, memory.stage(span):
+            if not self._analyze(result, span):
+                return
         result.accepted = True
 
         if evaluate:
             self._evaluate_with_degradation(result, trace)
+
+    # -- the static-analysis gate --------------------------------------------
+
+    def _analyze(self, result, span):
+        """Run the qlint gate on the translated AST; True = proceed.
+
+        Analyzer *errors* mean the translation is malformed (unbound
+        variable, bad ``mqf`` call, …): the query is rejected with an
+        ``invalid-query`` error — classified ``internal``, because the
+        bug is ours, not the user's — and never reaches the evaluator.
+        Analyzer *warnings* ride along as ``analysis-<RULE>`` feedback
+        and the report is attached as ``result.analysis``.
+
+        The gate fails open: if the analyzer itself crashes (including
+        injected faults at the ``analyze`` stage), the query is served
+        unchecked with an ``analysis-unavailable`` warning — static
+        analysis must never take down query serving.  Budget trips are
+        re-raised so they keep their ``exhausted`` classification.
+        """
+        try:
+            self._fire_fault("analyze")
+            check_deadline()
+            report = analyze_query(
+                result.translation.query, suppress=self.analysis_suppress
+            )
+            attach_clause_provenance(report, result.provenance.clauses)
+        except BudgetExceeded:
+            raise
+        except Exception as error:
+            span.status = Span.ERROR
+            _ANALYSIS_UNAVAILABLE.inc()
+            result.feedback.warning(
+                "analysis-unavailable",
+                f"Static analysis could not run "
+                f"({type(error).__name__}: {error}); the query was "
+                "served unchecked.",
+            )
+            return True
+        result.analysis = report
+        if report.findings:
+            span.set("findings", len(report.findings))
+        for finding in report.warnings:
+            _ANALYSIS_FINDING_COUNTERS["warning"].inc()
+            result.feedback.warning(
+                f"analysis-{finding.rule_id}", finding.render()
+            )
+        if not report.errors:
+            return True
+        span.status = Span.ERROR
+        span.set("errors", len(report.errors))
+        _ANALYSIS_REJECTED.inc()
+        for _ in report.errors:
+            _ANALYSIS_FINDING_COUNTERS["error"].inc()
+        details = "; ".join(
+            finding.render() for finding in report.errors[:3]
+        )
+        result.feedback.error(
+            "invalid-query",
+            f"The translated query failed static analysis: {details}.",
+            suggestion="This is a translator defect, not a problem with "
+            "the question; please report the rule id(s) above, or "
+            "rephrase the query to avoid the pattern.",
+        )
+        return False
 
     # -- evaluation and the graceful-degradation ladder ----------------------
 

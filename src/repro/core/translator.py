@@ -503,6 +503,28 @@ class _TranslationState:
 
         var2new = self.fresh_variable(variable)
         use.equated_variable = var2new
+        # Outer predicates and sort keys on the aggregated variable would
+        # otherwise reference the binding that just moved inside the let
+        # (the unbound-variable bug qlint rule QS001 catches); they
+        # constrain the anchor's related copy instead: "the book with the
+        # lowest price where the price is more than 10" filters the
+        # book's price, i.e. the equated variable.
+        for condition in self.conditions:
+            if condition.inner:
+                continue
+            if condition.left[0] == "var" and condition.left[1] is variable:
+                condition.left = ("var", var2new)
+            if condition.right[0] == "var" and condition.right[1] is variable:
+                condition.right = ("var", var2new)
+        self.order_keys = [
+            (
+                ("var", var2new)
+                if operand[0] == "var" and operand[1] is variable
+                else operand,
+                descending,
+            )
+            for operand, descending in self.order_keys
+        ]
         self._add_to_group_of(anchor, var2new)
         self.conditions.append(
             Condition(

@@ -23,7 +23,7 @@ import time
 #: Pipeline stage span names recorded per audit entry.  The two
 #: ``evaluate-*`` stages are the graceful-degradation hops; they only
 #: appear in traces of degraded queries.
-STAGES = ("parse", "classify", "validate", "translate",
+STAGES = ("parse", "classify", "validate", "translate", "analyze",
           "xquery-parse", "evaluate", "evaluate-naive", "evaluate-keyword")
 
 
@@ -66,6 +66,11 @@ def audit_entry(result, actor=None):
         summary = provenance.summary()
         if summary:
             entry["provenance"] = summary
+    analysis = getattr(result, "analysis", None)
+    if analysis is not None and analysis.findings:
+        # Static-analysis findings (repro.analysis): counts plus the
+        # rule ids that fired, so failures are greppable by rule.
+        entry["analysis"] = analysis.summary()
     if actor is not None:
         entry["actor"] = actor
     return entry

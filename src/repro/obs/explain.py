@@ -9,10 +9,12 @@ nothing from ``repro.core``), :func:`explain` builds an
 3. which tokens produced which XQuery clause (Fig. 4 direct mapping,
    Fig. 5 marker semantics, Fig. 6 nesting scopes);
 4. the emitted FLWOR;
-5. the executed plan with per-operator row counts, cache hits and wall
+5. static-analysis findings from the qlint gate, when any fired
+   (``repro.analysis``; a clean analysis renders nothing);
+6. the executed plan with per-operator row counts, cache hits and wall
    times (``EXPLAIN ANALYZE`` style);
-6. per-stage wall times from the trace;
-7. the memory account, when the query ran with tracking on: per-stage
+7. per-stage wall times from the trace;
+8. the memory account, when the query ran with tracking on: per-stage
    allocation deltas and the top-N allocation sites by retained size.
 
 ``render_text(timings=False)`` omits every wall-clock number, giving a
@@ -25,8 +27,8 @@ from __future__ import annotations
 import json
 
 #: Pipeline stages rendered in the timing section, in execution order.
-_STAGES = ("parse", "classify", "validate", "translate", "xquery-parse",
-           "evaluate", "evaluate-naive", "evaluate-keyword")
+_STAGES = ("parse", "classify", "validate", "translate", "analyze",
+           "xquery-parse", "evaluate", "evaluate-naive", "evaluate-keyword")
 
 
 class Explanation:
@@ -38,6 +40,7 @@ class Explanation:
         self.plan_stats = getattr(result, "plan_stats", None)
         self.trace = getattr(result, "trace", None)
         self.memory = getattr(result, "memory", None)
+        self.analysis = getattr(result, "analysis", None)
 
     # -- JSON ---------------------------------------------------------------
 
@@ -50,6 +53,8 @@ class Explanation:
         }
         if self.provenance is not None:
             entry["provenance"] = self.provenance.to_dict()
+        if self.analysis is not None and self.analysis.findings:
+            entry["analysis"] = self.analysis.to_dict()
         if self.plan_stats:
             entry["plan"] = self.plan_stats.to_dict()
         if timings and self.trace is not None:
@@ -82,6 +87,10 @@ class Explanation:
         xquery = self._xquery_section()
         if xquery:
             sections.append(xquery)
+        # Only rendered when something fired: a clean analysis adds no
+        # noise (and keeps the finding-free golden reports stable).
+        if self.analysis is not None and self.analysis.findings:
+            sections.append(self._analysis_section())
         if self.plan_stats:
             sections.append(self._plan_section(timings))
         if timings and self.trace is not None:
@@ -151,6 +160,15 @@ class Explanation:
             return None
         indented = "\n".join("  " + line for line in text.splitlines())
         return f"XQuery:\n{indented}"
+
+    def _analysis_section(self):
+        lines = ["Static analysis (qlint findings):"]
+        for finding in self.analysis.findings:
+            lines.append(
+                f"  {finding.severity:<8} {finding.rule_id} "
+                f"{finding.render()}"
+            )
+        return "\n".join(lines)
 
     def _plan_section(self, timings):
         rendered = self.plan_stats.render(timings=timings)

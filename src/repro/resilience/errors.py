@@ -49,9 +49,11 @@ RETRYABLE_CLASSES = frozenset(
 EXHAUSTED_CODES = frozenset({"budget-exhausted"})
 
 #: Feedback error codes signalling a system-side failure.
+#: ``invalid-query`` is the static-analysis gate rejecting a malformed
+#: translation (repro.analysis) — a translator defect, not user error.
 INTERNAL_CODES = frozenset(
     {"translation-failure", "evaluation-failure", "internal-error",
-     "injected-fault"}
+     "injected-fault", "invalid-query"}
 )
 
 

@@ -30,7 +30,7 @@ from repro.obs.metrics import METRICS
 from repro.resilience.errors import InjectedFault
 
 #: Pipeline stages with an injection point, in execution order.
-FAULT_STAGES = ("parse", "classify", "validate", "translate",
+FAULT_STAGES = ("parse", "classify", "validate", "translate", "analyze",
                 "xquery-parse", "evaluate")
 
 _INJECTED = METRICS.counter("resilience.faults.injected")

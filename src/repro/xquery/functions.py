@@ -159,6 +159,34 @@ _TWO_ARGUMENT = {
 }
 
 
+#: Names the evaluator resolves outside this table: ``mqf`` needs
+#: candidate populations, ``not`` is the AST's Not node in call syntax.
+_SPECIAL_FORMS = {"mqf": (2, None), "not": (1, 1)}
+
+
+def builtin_names():
+    """Every callable name the XQuery subset accepts (static analysis)."""
+    return (
+        set(_SINGLE_ARGUMENT) | set(_TWO_ARGUMENT) | {"concat"}
+        | set(_SPECIAL_FORMS)
+    )
+
+
+def builtin_arity(name):
+    """``(min_args, max_args)`` for a callable name (max None = unbounded).
+
+    Returns None for unknown names so the analyzer can distinguish
+    "unknown function" from "wrong arity".
+    """
+    if name in _SINGLE_ARGUMENT:
+        return (1, 1)
+    if name in _TWO_ARGUMENT:
+        return (2, 2)
+    if name == "concat":
+        return (2, None)
+    return _SPECIAL_FORMS.get(name)
+
+
 def call_builtin(name, argument_sequences):
     """Dispatch a built-in by name; raises for unknown names/arity."""
     if name in _SINGLE_ARGUMENT:

@@ -1,0 +1,230 @@
+"""Per-rule unit tests for the qlint static analyzer.
+
+Each rule gets a positive case (the defect fires) and a negative case
+(well-formed code stays silent).  The defects are expressed as XQuery
+text — ``analyze_query`` parses it through the same parser the
+interface uses, so these tests also pin the text round-trip.
+"""
+
+import pytest
+
+from repro.analysis import RULES, analyze_query, severity_of
+from repro.analysis.analyzer import QueryAnalyzer
+
+DOC = 'doc("bib.xml")'
+CLEAN = (
+    f"for $b in {DOC}//book, $t in {DOC}//title "
+    "where mqf($b, $t) return $t"
+)
+
+
+def rule_ids(query):
+    return analyze_query(query).rule_ids()
+
+
+def test_clean_query_has_no_findings():
+    report = analyze_query(CLEAN)
+    assert report.findings == []
+    assert report.ok
+
+
+class TestScopeRules:
+    def test_qs001_unbound_variable(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book where $ghost = 1 return $b"
+        )
+        assert "QS001" in ids
+
+    def test_qs001_respects_let_scope(self):
+        assert "QS001" not in rule_ids(
+            f"for $b in {DOC}//book let $p := $b/price "
+            "where $p > 10 return $b"
+        )
+
+    def test_qs001_later_for_binding_sees_earlier(self):
+        assert "QS001" not in rule_ids(
+            f"for $b in {DOC}//book, $p in $b/price "
+            "where $p > 10 return $b"
+        )
+
+    def test_qs002_shadowing(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book let $b := $b/price return $b"
+        )
+        assert "QS002" in ids
+
+    def test_qs002_no_shadowing_across_distinct_names(self):
+        assert "QS002" not in rule_ids(CLEAN)
+
+    def test_qs003_unused_binding(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book let $dead := $b/price return $b"
+        )
+        assert "QS003" in ids
+
+    def test_qs003_used_binding_is_silent(self):
+        assert "QS003" not in rule_ids(CLEAN)
+
+    def test_qs003_unused_quantifier_variable(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book "
+            f"where some $p in $b/price satisfies 1 = 1 return $b"
+        )
+        assert "QS003" in ids
+
+    def test_qs004_duplicate_binding_in_one_for(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book, $b in {DOC}//title return $b"
+        )
+        assert "QS004" in ids
+
+
+class TestTypeRules:
+    def test_qt001_ordering_against_non_numeric_string(self):
+        ids = rule_ids(
+            f'for $b in {DOC}//book where $b/price > "cheap" return $b'
+        )
+        assert "QT001" in ids
+
+    def test_qt001_numeric_string_is_fine(self):
+        assert "QT001" not in rule_ids(
+            f'for $b in {DOC}//book where $b/price > "10" return $b'
+        )
+
+    def test_qt002_aggregate_over_literal(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book where $b/price = min(5) return $b"
+        )
+        assert "QT002" in ids
+
+    def test_qt002_aggregate_over_path_is_fine(self):
+        assert "QT002" not in rule_ids(
+            f"for $b in {DOC}//book "
+            "where $b/price = min($b/price) return $b"
+        )
+
+    def test_qt003_wrong_arity(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book where contains($b/title) return $b"
+        )
+        assert "QT003" in ids
+
+    def test_qt004_unknown_function(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book where frobnicate($b) return $b"
+        )
+        assert "QT004" in ids
+
+    def test_qt005_double_negation(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book "
+            "where not(not($b/price > 10)) return $b"
+        )
+        assert "QT005" in ids
+
+    def test_qt005_single_negation_is_fine(self):
+        assert "QT005" not in rule_ids(
+            f"for $b in {DOC}//book where not($b/price > 10) return $b"
+        )
+
+
+class TestMqfRules:
+    def test_qm001_one_argument(self):
+        ids = rule_ids(f"for $b in {DOC}//book where mqf($b) return $b")
+        assert "QM001" in ids
+
+    def test_qm002_non_variable_argument(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book where mqf($b, 5) return $b"
+        )
+        assert "QM002" in ids
+
+    def test_qm003_self_join(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book where mqf($b, $b) return $b"
+        )
+        assert "QM003" in ids
+
+    def test_well_formed_mqf_is_silent(self):
+        report = analyze_query(CLEAN)
+        assert not any(f.rule_id.startswith("QM") for f in report.findings)
+
+    def test_qm_arguments_must_be_bound(self):
+        ids = rule_ids(
+            f"for $b in {DOC}//book where mqf($b, $ghost) return $b"
+        )
+        assert "QS001" in ids
+
+
+class TestDeadCodeRules:
+    def test_qd001_tautology(self):
+        ids = rule_ids(f"for $b in {DOC}//book where 1 = 1 return $b")
+        assert "QD001" in ids
+
+    def test_qd002_contradiction(self):
+        ids = rule_ids(f"for $b in {DOC}//book where 1 = 2 return $b")
+        assert "QD002" in ids
+
+    def test_qd003_unsatisfiable_conjunction(self):
+        ids = rule_ids(
+            f'for $b in {DOC}//book '
+            'where $b = "a" and $b = "b" return $b'
+        )
+        assert "QD003" in ids
+
+    def test_qd003_let_sequences_are_existential(self):
+        # A let-bound sequence can contain both values at once.
+        assert "QD003" not in rule_ids(
+            f"for $b in {DOC}//book let $p := $b/price "
+            'where $p = "1" and $p = "2" and $b/title = "x" return $b'
+        )
+
+    def test_qd003_same_value_twice_is_fine(self):
+        assert "QD003" not in rule_ids(
+            f'for $b in {DOC}//book '
+            'where $b = "a" and $b = "A" return $b'
+        )
+
+    def test_qd004_unreachable_return(self):
+        ids = rule_ids(f"for $b in {DOC}//book where 1 = 2 return $b")
+        assert "QD004" in ids
+
+
+class TestAnalyzerConfiguration:
+    def test_suppression_silences_a_rule(self):
+        query = f"for $b in {DOC}//book where $ghost = 1 return $b"
+        assert "QS001" in rule_ids(query)
+        report = analyze_query(query, suppress=("QS001",))
+        assert "QS001" not in report.rule_ids()
+
+    def test_unknown_suppression_rejected(self):
+        with pytest.raises(ValueError, match="QZ999"):
+            QueryAnalyzer(suppress=("QZ999",))
+
+    def test_extra_pass_runs_and_can_add_findings(self):
+        from repro.analysis.findings import Finding
+
+        def forbid_books(expr, report):
+            if "//book" in expr.to_text():
+                report.add(
+                    Finding("QD001", severity_of("QD001"),
+                            "books are forbidden today")
+                )
+
+        report = analyze_query(CLEAN, extra_passes=(forbid_books,))
+        assert any(
+            f.message == "books are forbidden today" for f in report.findings
+        )
+
+    def test_analyzer_accepts_ast_and_text(self):
+        from repro.xquery.parser import parse_xquery
+
+        from_text = analyze_query(CLEAN)
+        from_ast = analyze_query(parse_xquery(CLEAN))
+        assert from_text.rule_ids() == from_ast.rule_ids() == []
+
+    def test_every_rule_has_severity_and_description(self):
+        for rule_id, rule in RULES.items():
+            assert rule.severity in ("error", "warning", "info")
+            assert rule.title
+            assert rule_id == rule.rule_id

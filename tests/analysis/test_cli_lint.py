@@ -1,0 +1,134 @@
+"""The ``repro lint`` subcommand: inputs, formats, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_XQ = (
+    'for $b in doc("bib.xml")//book, $t in doc("bib.xml")//title '
+    "where mqf($b, $t) return $t"
+)
+UNBOUND_XQ = 'for $b in doc("bib.xml")//book where $ghost = 1 return $b'
+ONE_ARG_MQF_XQ = 'for $b in doc("bib.xml")//book where mqf($b) return $b'
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestXQueryInputs:
+    def test_clean_query_exits_zero(self, capsys):
+        code, out = run(capsys, "lint", "--xquery", CLEAN_XQ)
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_unbound_variable_exits_nonzero(self, capsys):
+        code, out = run(capsys, "lint", "--xquery", UNBOUND_XQ)
+        assert code == 1
+        assert "QS001" in out
+
+    def test_one_arg_mqf_exits_nonzero(self, capsys):
+        code, out = run(capsys, "lint", "--xquery", ONE_ARG_MQF_XQ)
+        assert code == 1
+        assert "QM001" in out
+
+    def test_unparseable_xquery_exits_nonzero(self, capsys):
+        code, out = run(capsys, "lint", "--xquery", "for for for")
+        assert code == 1
+        assert "unparseable" in out
+
+
+class TestEnglishInputs:
+    def test_single_sentence(self, capsys):
+        code, out = run(
+            capsys, "lint", "--data", "movies",
+            "Return the title of every movie.",
+        )
+        assert code == 0
+
+    def test_rejected_sentence_fails_the_lint(self, capsys):
+        code, out = run(
+            capsys, "lint", "--data", "movies",
+            "Return the isbn of every movie.",
+        )
+        assert code == 1
+        assert "did not reach the analyzer" in out
+
+    def test_stdin_batch(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin",
+            io.StringIO(
+                "Return the title of every movie.\n"
+                "Return every movie directed by Ron Howard.\n"
+            ),
+        )
+        code, out = run(capsys, "lint", "--data", "movies", "--stdin")
+        assert code == 0
+        assert "linted 2 subject(s)" in out
+
+
+class TestBundledSources:
+    def test_self_check(self, capsys):
+        code, out = run(capsys, "lint", "--self")
+        assert code == 0
+        assert "linted 1 subject(s)" in out
+
+    @pytest.mark.slow
+    def test_tasks(self, capsys):
+        code, out = run(capsys, "lint", "--tasks", "--books", "20")
+        assert code == 0
+        assert "0 error(s)" in out
+
+    @pytest.mark.slow
+    def test_default_is_self_plus_corpus(self, capsys):
+        code, out = run(capsys, "lint", "--books", "20")
+        assert code == 0
+        # pipeline tables + >= 7 paper examples + >= 9 task phrasings
+        count = int(out.rsplit("linted ", 1)[1].split()[0])
+        assert count >= 17
+
+
+class TestFormatsAndFlags:
+    def test_json_format(self, capsys):
+        code, out = run(
+            capsys, "lint", "--xquery", "--format", "json", UNBOUND_XQ
+        )
+        assert code == 1
+        document = json.loads(out)
+        (entry,) = document
+        assert entry["subject"] == UNBOUND_XQ
+        assert entry["errors"] == 1
+        assert entry["findings"][0]["rule"] == "QS001"
+
+    def test_github_format(self, capsys):
+        code, out = run(
+            capsys, "lint", "--xquery", "--format", "github", UNBOUND_XQ
+        )
+        assert code == 1
+        assert "::error title=QS001::" in out
+
+    def test_suppress(self, capsys):
+        code, out = run(
+            capsys, "lint", "--xquery",
+            "--suppress", "QS001", "--suppress", "QS003", UNBOUND_XQ
+        )
+        assert code == 0
+
+    def test_unknown_suppress_rule_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit, match="QZ999"):
+            run(capsys, "lint", "--suppress", "QZ999", "--self")
+
+    def test_strict_promotes_warnings(self, capsys):
+        warn_only = (
+            'for $b in doc("bib.xml")//book, $t in doc("bib.xml")//title '
+            "let $dead := $b/price where mqf($b, $t) return $t"
+        )
+        code, _ = run(capsys, "lint", "--xquery", warn_only)
+        assert code == 0
+        code, _ = run(capsys, "lint", "--xquery", "--strict", warn_only)
+        assert code == 1

@@ -1,0 +1,152 @@
+"""Pipeline consistency linter: the QP rules and the import-time gate.
+
+The real tables must lint clean; each check is then re-run against a
+deliberately corrupted copy of its table to prove the rule fires.
+"""
+
+import pytest
+
+from repro.analysis import (
+    PipelineInconsistency,
+    check_pipeline_consistency,
+    ensure_pipeline_consistent,
+)
+from repro.analysis.consistency import (
+    check_classifier_rules,
+    check_grammar_tables,
+    check_lexicon,
+    check_lexicon_payloads,
+)
+from repro.analysis.findings import AnalysisReport
+from repro.core.classifier import CLASSIFICATION_RULES
+from repro.core.grammar import ALLOWED_PARENTS, HUMAN_NAMES, PRODUCTIONS
+from repro.core.token_types import TokenType
+
+
+def fresh_report():
+    return AnalysisReport(subject="test tables")
+
+
+class TestRealTablesAreConsistent:
+    def test_no_findings(self):
+        report = check_pipeline_consistency(refresh=True)
+        assert report.findings == []
+
+    def test_ensure_passes(self):
+        ensure_pipeline_consistent()  # must not raise
+
+    def test_report_is_cached_per_process(self):
+        first = check_pipeline_consistency()
+        assert check_pipeline_consistency() is first
+
+
+class TestQP001LexiconConflict:
+    def test_conflicting_claim_fires(self):
+        report = check_lexicon(
+            fresh_report(),
+            tables={
+                "COMMAND_PHRASES (CMT)": {"return": "CMT"},
+                "NEGATION_WORDS (NEG)": {"return": "NEG"},
+            },
+        )
+        assert report.rule_ids() == ["QP001"]
+
+    def test_disjoint_tables_are_silent(self):
+        report = check_lexicon(
+            fresh_report(),
+            tables={
+                "A": {"return": "CMT"},
+                "B": {"not": "NEG"},
+            },
+        )
+        assert report.findings == []
+
+
+class TestQP002GrammarTableIncomplete:
+    def test_symbol_missing_from_one_table_fires(self):
+        broken = dict(HUMAN_NAMES)
+        del broken[TokenType.NEG]
+        report = check_grammar_tables(fresh_report(), human_names=broken)
+        assert "QP002" in report.rule_ids()
+
+    def test_complete_tables_are_silent(self):
+        report = check_grammar_tables(fresh_report())
+        assert report.findings == []
+
+
+class TestQP003UnproducibleSymbol:
+    def test_unknown_parent_fires(self):
+        broken = dict(ALLOWED_PARENTS)
+        broken[TokenType.NT] = set(broken[TokenType.NT]) | {"GHOST"}
+        report = check_grammar_tables(
+            fresh_report(),
+            allowed_parents=broken,
+            productions=dict(PRODUCTIONS, GHOST="fake"),
+            human_names=dict(HUMAN_NAMES, GHOST="ghost"),
+        )
+        assert "QP003" in report.rule_ids()
+
+
+class TestQP004UntranslatablePayload:
+    def test_bad_operator_symbol_fires(self):
+        report = check_lexicon_payloads(
+            fresh_report(), operator_phrases={"approximately": "~="}
+        )
+        assert report.rule_ids() == ["QP004"]
+
+    def test_bad_aggregate_fires(self):
+        report = check_lexicon_payloads(
+            fresh_report(), function_phrases={"median": "median"}
+        )
+        assert report.rule_ids() == ["QP004"]
+
+    def test_non_boolean_sort_direction_fires(self):
+        report = check_lexicon_payloads(
+            fresh_report(), order_phrases={"sorted by": "asc"}
+        )
+        assert report.rule_ids() == ["QP004"]
+
+    def test_real_payloads_are_silent(self):
+        report = check_lexicon_payloads(fresh_report())
+        assert report.findings == []
+
+
+class TestQP005ClassifierRuleGap:
+    def test_missing_token_type_fires(self):
+        rules = dict(CLASSIFICATION_RULES)
+        del rules[TokenType.NT]
+        report = check_classifier_rules(fresh_report(), rules=rules)
+        assert "QP005" in report.rule_ids()
+
+    def test_phantom_rule_fires(self):
+        rules = dict(CLASSIFICATION_RULES, GHOST="no such type")
+        report = check_classifier_rules(fresh_report(), rules=rules)
+        assert "QP005" in report.rule_ids()
+
+
+class TestImportTimeGate:
+    def test_inconsistency_raises_with_report(self):
+        report = fresh_report()
+        check_lexicon(
+            report,
+            tables={"A": {"x": 1}, "B": {"x": 2}},
+        )
+        error = PipelineInconsistency(report)
+        assert "QP001" in {f.rule_id for f in error.report.findings}
+        assert "pipeline consistency error" in str(error)
+
+    def test_interface_import_runs_the_check(self):
+        # The interface module calls ensure_pipeline_consistent() at
+        # import; with the real tables that must have succeeded.
+        import repro.core.interface  # noqa: F401
+
+        assert check_pipeline_consistency().ok
+
+
+@pytest.mark.parametrize("severity", ["error"])
+def test_all_qp_rules_are_errors(severity):
+    from repro.analysis import RULES
+
+    for rule_id, entry in RULES.items():
+        if rule_id.startswith("QP"):
+            assert entry.severity == severity

@@ -1,0 +1,116 @@
+"""Finding / AnalysisReport plumbing: renderings and provenance linking."""
+
+import json
+
+import pytest
+
+from repro.analysis.findings import (
+    ERROR,
+    WARNING,
+    AnalysisReport,
+    Finding,
+    attach_clause_provenance,
+)
+
+
+def make_report():
+    report = AnalysisReport(subject="for $x in ... return $x")
+    report.add(
+        Finding("QS001", ERROR, "variable $y is unbound",
+                path="query/where", fragment="$y")
+    )
+    report.add(
+        Finding("QS003", WARNING, "$z is never referenced",
+                path="query/let", fragment="$z")
+    )
+    return report
+
+
+class TestFinding:
+    def test_rejects_unknown_severity(self):
+        with pytest.raises(ValueError):
+            Finding("QS001", "fatal", "boom")
+
+    def test_render_cites_provenance_words(self):
+        finding = Finding(
+            "QS001", ERROR, "bad clause", path="query/where",
+            token_ids=[3, 5], words=["price", "book"],
+        )
+        rendered = finding.render()
+        assert "QS001" in rendered
+        assert "price(3), book(5)" in rendered
+
+    def test_to_dict_roundtrips_through_json(self):
+        finding = Finding("QT001", WARNING, "msg", fragment="$x > 'a'")
+        entry = json.loads(json.dumps(finding.to_dict()))
+        assert entry["rule"] == "QT001"
+        assert entry["severity"] == "warning"
+        assert entry["fragment"] == "$x > 'a'"
+
+
+class TestAnalysisReport:
+    def test_severity_views_and_ok(self):
+        report = make_report()
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert not report.ok
+        assert AnalysisReport().ok
+
+    def test_summary_and_rule_ids(self):
+        report = make_report()
+        assert report.rule_ids() == ["QS001", "QS003"]
+        assert report.summary() == {
+            "errors": 1, "warnings": 1, "rules": ["QS001", "QS003"],
+        }
+
+    def test_render_text(self):
+        assert AnalysisReport().render_text() == "ok (no findings)"
+        text = make_report().render_text()
+        assert "error QS001" in text
+        assert "warning QS003" in text
+
+    def test_github_lines(self):
+        lines = make_report().github_lines(context="Q1[0]")
+        assert lines[0].startswith("::error title=QS001::")
+        assert lines[1].startswith("::warning title=QS003::")
+        assert all("[Q1[0]]" in line for line in lines)
+
+    def test_container_protocol(self):
+        report = make_report()
+        assert len(report) == 2
+        assert [f.rule_id for f in report] == ["QS001", "QS003"]
+
+
+class TestClauseProvenance:
+    class Record:
+        def __init__(self, fragment, token_ids, words):
+            self.fragment = fragment
+            self.token_ids = token_ids
+            self.words = words
+
+    def test_fragment_match_inherits_tokens(self):
+        report = AnalysisReport()
+        finding = report.add(
+            Finding("QS001", ERROR, "unbound", fragment="$y")
+        )
+        attach_clause_provenance(
+            report,
+            [self.Record("$y = 'Morrison'", [7], ["Morrison"])],
+        )
+        assert finding.token_ids == [7]
+        assert finding.words == ["Morrison"]
+
+    def test_existing_tokens_kept_and_no_match_is_noop(self):
+        report = AnalysisReport()
+        pinned = report.add(
+            Finding("QS001", ERROR, "unbound", fragment="$y",
+                    token_ids=[1], words=["w"])
+        )
+        unmatched = report.add(
+            Finding("QS001", ERROR, "unbound", fragment="$zzz")
+        )
+        attach_clause_provenance(
+            report, [self.Record("$y = 1", [9], ["nine"])]
+        )
+        assert pinned.token_ids == [1]
+        assert unmatched.token_ids == []

@@ -1,0 +1,214 @@
+"""The post-translation analysis gate inside ``NaLIX.ask``.
+
+Acceptance contract (ISSUE 5): a corrupted translation — unbound
+variable, one-argument ``mqf`` — is rejected with the correct rule id,
+classified ``invalid-query``/``internal``, and never reaches the
+evaluator; analyzer warnings ride along on served queries; analyzer
+crashes fail open (chaos-tested); metrics, audit, and explain all see
+the findings.
+"""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.obs.audit import AuditLog, read_audit_log
+from repro.obs.explain import explain
+from repro.obs.metrics import METRICS
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.xquery.parser import parse_xquery
+
+SENTENCE = "Return the title of every movie."
+
+UNBOUND = (
+    'for $m in doc("movies.xml")//movie where $ghost = 1 return $m'
+)
+ONE_ARG_MQF = (
+    'for $m in doc("movies.xml")//movie where mqf($m) return $m'
+)
+WARNING_ONLY = (
+    'for $m in doc("movies.xml")//movie, $t in doc("movies.xml")//title '
+    "let $dead := $m/year where mqf($m, $t) return $t"
+)
+
+
+def corrupting_nalix(database, corrupted_text, **kwargs):
+    """A NaLIX whose translator emits ``corrupted_text``'s AST."""
+    nalix = NaLIX(database, **kwargs)
+    corrupted = parse_xquery(corrupted_text)
+    real_translate = nalix.translator.translate
+
+    def corrupt(tree):
+        translation = real_translate(tree)
+        translation.query = corrupted
+        return translation
+
+    nalix.translator.translate = corrupt
+    return nalix
+
+
+class TestGateRejectsCorruptedTranslations:
+    @pytest.mark.parametrize(
+        "corrupted,expected_rule",
+        [(UNBOUND, "QS001"), (ONE_ARG_MQF, "QM001")],
+        ids=["unbound-variable", "one-arg-mqf"],
+    )
+    def test_rejected_with_rule_id(
+        self, movie_database, corrupted, expected_rule
+    ):
+        nalix = corrupting_nalix(movie_database, corrupted)
+        result = nalix.ask(SENTENCE)
+
+        assert result.status == "failed"
+        assert result.error_class == "internal"
+        assert [m.code for m in result.errors] == ["invalid-query"]
+        assert expected_rule in result.analysis.rule_ids()
+        assert expected_rule in result.errors[0].text
+
+        # The malformed query never reached the evaluation stages.
+        assert result.trace.find("evaluate") is None
+        assert result.trace.find("xquery-parse") is None
+        assert result.trace.find("analyze").status == "error"
+        assert result.items == []
+
+    def test_gate_metrics(self, movie_database):
+        errors_before = METRICS.counter("analysis.findings.error").value
+        rejected_before = METRICS.counter("analysis.gate.rejected").value
+        nalix = corrupting_nalix(movie_database, UNBOUND)
+        nalix.ask(SENTENCE)
+        assert (
+            METRICS.counter("analysis.findings.error").value
+            == errors_before + 1
+        )
+        assert (
+            METRICS.counter("analysis.gate.rejected").value
+            == rejected_before + 1
+        )
+
+    def test_audit_entry_carries_findings_column(
+        self, movie_database, tmp_path
+    ):
+        path = tmp_path / "audit.jsonl"
+        nalix = corrupting_nalix(
+            movie_database, UNBOUND, audit_log=AuditLog(str(path))
+        )
+        nalix.ask(SENTENCE)
+        nalix.audit_log.close()
+        (entry,) = read_audit_log(str(path))
+        assert entry["status"] == "failed"
+        assert entry["error_class"] == "internal"
+        assert entry["analysis"]["errors"] == 1
+        assert "QS001" in entry["analysis"]["rules"]
+
+    def test_explain_renders_the_findings(self, movie_database):
+        nalix = corrupting_nalix(movie_database, UNBOUND)
+        result = nalix.ask(SENTENCE)
+        text = explain(result).render_text(timings=False)
+        assert "Static analysis" in text
+        assert "QS001" in text
+        entry = explain(result).to_dict(timings=False)
+        assert entry["analysis"]["errors"] == 1
+
+
+class TestGateWarnings:
+    def test_warnings_do_not_block_the_query(self, movie_database):
+        warnings_before = METRICS.counter("analysis.findings.warning").value
+        nalix = corrupting_nalix(movie_database, WARNING_ONLY)
+        result = nalix.ask(SENTENCE)
+        assert result.status == "ok"
+        assert "QS003" in result.analysis.rule_ids()
+        assert any(
+            m.code == "analysis-QS003" for m in result.warnings
+        )
+        assert (
+            METRICS.counter("analysis.findings.warning").value
+            > warnings_before
+        )
+
+    def test_clean_query_attaches_empty_report(self, movie_nalix):
+        result = movie_nalix.ask(SENTENCE)
+        assert result.status == "ok"
+        assert result.analysis is not None
+        assert result.analysis.findings == []
+        # No analysis noise in feedback or explain for clean queries.
+        assert not any(
+            m.code.startswith("analysis-") for m in result.warnings
+        )
+        assert "Static analysis" not in explain(result).render_text(
+            timings=False
+        )
+
+    def test_suppression_knob(self, movie_database):
+        nalix = corrupting_nalix(
+            movie_database, WARNING_ONLY, analysis_suppress=("QS003",)
+        )
+        result = nalix.ask(SENTENCE)
+        assert result.status == "ok"
+        assert result.analysis.findings == []
+
+
+@pytest.mark.chaos
+class TestGateFailsOpen:
+    def test_injected_analyzer_fault_serves_the_query(self, movie_database):
+        unavailable_before = METRICS.counter(
+            "analysis.gate.unavailable"
+        ).value
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=FaultPlan([FaultSpec("analyze")]),
+        )
+        result = nalix.ask(SENTENCE)
+        # Fail open: the query is served unchecked, visibly.
+        assert result.status == "ok"
+        assert result.items
+        assert any(
+            m.code == "analysis-unavailable" for m in result.warnings
+        )
+        assert result.analysis is None
+        assert (
+            METRICS.counter("analysis.gate.unavailable").value
+            == unavailable_before + 1
+        )
+        # The trace is complete: the analyze span errored but closed,
+        # and evaluation still ran.
+        assert result.trace.find("analyze").status == "error"
+        assert result.trace.find("evaluate") is not None
+        spans = list(result.trace.iter_spans())
+        assert all(span.ended_at is not None for span in spans)
+
+    def test_analyzer_crash_fails_open(self, movie_database, monkeypatch):
+        import repro.core.interface as interface_module
+
+        def explode(expr, suppress=()):
+            raise RuntimeError("analyzer bug")
+
+        monkeypatch.setattr(interface_module, "analyze_query", explode)
+        nalix = NaLIX(movie_database)
+        result = nalix.ask(SENTENCE)
+        assert result.status == "ok"
+        assert result.items
+        assert any(
+            m.code == "analysis-unavailable" for m in result.warnings
+        )
+
+    def test_budget_trip_in_gate_stays_exhausted(self, movie_database):
+        from repro.resilience.budget import BudgetExceeded
+
+        nalix = NaLIX(movie_database)
+        real = nalix.translator.translate
+
+        def slow_translate(tree):
+            translation = real(tree)
+            # Simulate the deadline expiring right at the gate.
+            nalix_budget_error = BudgetExceeded("deadline", 0.001, 0.002)
+            def trip(*args, **kwargs):
+                raise nalix_budget_error
+            nalix._analyze = trip
+            return translation
+
+        nalix.translator.translate = slow_translate
+        result = nalix.ask(SENTENCE)
+        assert result.status == "failed"
+        assert result.error_class == "exhausted"
+        assert any(
+            m.code == "budget-exhausted" for m in result.errors
+        )

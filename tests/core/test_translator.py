@@ -130,6 +130,42 @@ class TestAggregates:
         assert len(values) == 1
         assert "Data on the Web" in values[0]  # the cheapest book
 
+    def test_fig5_outer_predicate_on_aggregated_variable(self, bib_database):
+        """Regression: a predicate on the Fig. 5 aggregate variable.
+
+        The let clause consumes the price binding, so "where the price
+        is more than 10" must be rewritten onto the fresh equated copy
+        — the old code left it referencing the consumed (now unbound)
+        variable, which the qlint gate flags as QS001.
+        """
+        from repro.analysis import analyze_query
+        from repro.core.interface import NaLIX
+
+        nalix = NaLIX(bib_database)
+        result = nalix.ask(
+            "Return the title of the book with the lowest price "
+            "where the price is more than 10."
+        )
+        assert result.ok, result.render_feedback()
+        assert analyze_query(result.xquery_text).findings == []
+        # The filter lives on the equated copy: the cheapest book
+        # (39.95) does cost more than 10, so it is returned.
+        values = result.values()
+        assert len(values) == 1
+        assert "Data on the Web" in values[0]
+
+    def test_fig5_order_by_aggregated_variable(self, bib_database):
+        from repro.analysis import analyze_query
+        from repro.core.interface import NaLIX
+
+        nalix = NaLIX(bib_database)
+        result = nalix.ask(
+            "Return the title of the book with the lowest price "
+            "sorted by the price."
+        )
+        assert result.ok, result.render_feedback()
+        assert analyze_query(result.xquery_text).findings == []
+
 
 class TestBindingsTable:
     def test_rows_have_expected_fields(self, movie_nalix):

@@ -22,7 +22,7 @@ class TestSuccessTrace:
         assert root.status == Span.OK
         assert root.attributes["status"] == "ok"
         assert stage_names(result.trace) == [
-            "parse", "classify", "validate", "translate",
+            "parse", "classify", "validate", "translate", "analyze",
             "xquery-parse", "evaluate",
         ]
         assert all(child.status == Span.OK for child in root.children)
@@ -60,8 +60,9 @@ class TestSuccessTrace:
     def test_no_evaluation_spans_when_not_evaluating(self, movie_nalix):
         result = movie_nalix.ask("Return every movie.", evaluate=False)
         assert result.ok
+        # The static-analysis gate is always on, even without evaluation.
         assert stage_names(result.trace) == [
-            "parse", "classify", "validate", "translate",
+            "parse", "classify", "validate", "translate", "analyze",
         ]
         assert result.evaluation_seconds == 0.0
 

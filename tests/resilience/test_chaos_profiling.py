@@ -32,11 +32,20 @@ class TestProfiledChaos:
         )
         result = nalix.ask(SENTENCE, profile=True, memory=True)
 
-        # Still a classified outcome, never an unhandled crash.
-        assert result.status in ("degraded", "failed")
-        assert result.error_class in (
-            ErrorClass.DEGRADED, ErrorClass.INTERNAL
-        )
+        # Still a classified outcome, never an unhandled crash.  The
+        # static-analysis gate fails open: a fault there serves the
+        # query unchecked instead of failing it.
+        if stage == "analyze":
+            assert result.status == "ok"
+            assert any(
+                message.code == "analysis-unavailable"
+                for message in result.warnings
+            )
+        else:
+            assert result.status in ("degraded", "failed")
+            assert result.error_class in (
+                ErrorClass.DEGRADED, ErrorClass.INTERNAL
+            )
 
         # The sampler is stopped, its thread joined, and the thread
         # switch interval restored — even though the stage raised.

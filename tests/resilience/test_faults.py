@@ -31,12 +31,20 @@ class TestFaultAtEveryStage:
         )
         result = nalix.ask(SENTENCE)  # must not raise
 
-        # A classified outcome, never an unhandled crash.
-        assert result.status in ("degraded", "failed")
-        assert result.error_class in (
-            ErrorClass.DEGRADED, ErrorClass.INTERNAL
-        )
-        assert result.retryable
+        # A classified outcome, never an unhandled crash.  The static-
+        # analysis gate fails open (an analyzer fault serves the query
+        # unchecked with a warning); every other stage degrades or fails.
+        if stage == "analyze":
+            assert result.status == "ok"
+            assert any(
+                m.code == "analysis-unavailable" for m in result.warnings
+            )
+        else:
+            assert result.status in ("degraded", "failed")
+            assert result.error_class in (
+                ErrorClass.DEGRADED, ErrorClass.INTERNAL
+            )
+            assert result.retryable
 
         # The two evaluation-side stages degrade to a fallback answer;
         # the earlier stages fail with the injected-fault code.
@@ -46,7 +54,7 @@ class TestFaultAtEveryStage:
             assert any(
                 m.code == "degraded-answer" for m in result.warnings
             )
-        else:
+        elif stage != "analyze":
             assert result.status == "failed"
             assert any(m.code == "injected-fault" for m in result.errors)
 
@@ -62,8 +70,8 @@ class TestFaultAtEveryStage:
         (entry,) = read_audit_log(str(audit_path))
         assert entry["sentence"] == SENTENCE
         assert entry["status"] == result.status
-        assert entry["error_class"] == result.error_class
-        assert entry["retryable"] == result.retryable
+        assert entry.get("error_class") == result.error_class
+        assert entry.get("retryable", False) == result.retryable
 
     def test_fault_counters(self, movie_database):
         before = METRICS.counter("resilience.faults.injected").value
