@@ -15,7 +15,11 @@ DESIGN.md "Benchmark artifacts"):
   of the nine study tasks' reference phrasing is run
   ``DEFAULT_REPEATS`` times through a fresh DBLP pipeline, recording
   end-to-end mean/p95, the raw per-run samples, and the per-stage
-  breakdown taken from each run's trace.
+  breakdown taken from each run's trace.  The file also carries a
+  ``serving`` section from
+  :func:`repro.evaluation.bench.collect_serve_results` — sustained QPS
+  and server-side p50/p95/p99 under concurrent clients — so the
+  watchdog ratchets serving performance alongside per-task latency.
 """
 
 import json
@@ -27,7 +31,7 @@ import pytest
 from repro.core.interface import NaLIX
 from repro.data import generate_dblp, movies_document
 from repro.database.store import Database
-from repro.evaluation.bench import collect_task_results
+from repro.evaluation.bench import collect_serve_results, collect_task_results
 from repro.evaluation.study import Study, StudyConfig
 from repro.obs.metrics import METRICS
 
@@ -50,6 +54,7 @@ def pytest_sessionfinish(session, exitstatus):
     )
     results = {"timestamp": payload["timestamp"]}
     results.update(collect_task_results())
+    results["serving"] = collect_serve_results()
     _RESULTS_PATH.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -15,6 +15,8 @@ Subcommands::
                             ["SENTENCE" ...]
     python -m repro study   [--participants N] [--seed S]
     python -m repro generate [--books N] [--seed S] [--out FILE]
+    python -m repro serve   [--port P] [--max-inflight N] [--tenant-rate R]
+    python -m repro loadgen [--url URL] [--concurrency N] [--requests N]
 
 Each command builds its database from the named built-in dataset (or an
 XML file path) and prints human-readable output; exit status is non-zero
@@ -41,6 +43,15 @@ times and emits collapsed or speedscope output, ``--memory`` turns on
 per-stage tracemalloc accounting, and ``bench-check`` compares a fresh
 benchmark run against the committed ``benchmarks/BENCH_RESULTS.json``
 baseline (nonzero exit on regression).
+
+Serving (see README.md "Serving"): ``serve`` runs the concurrent HTTP
+query service (``/query``, ``/metrics``, ``/healthz``, ``/readyz``,
+``/statusz``) with per-tenant admission control and graceful drain on
+SIGTERM; ``loadgen`` drives a running server with N concurrent clients
+and cross-checks its ``/metrics`` percentiles; ``stats --url`` reads a
+live server's exposition text instead of replaying queries locally;
+``bench-check --serve`` includes the sustained-throughput serving
+benchmark in the fresh run.
 """
 
 from __future__ import annotations
@@ -379,6 +390,14 @@ def cmd_bench_check(args):
         handicaps[stage] = factor
     if handicaps:
         current = apply_handicaps(current, handicaps)
+    if args.serve and "serving" not in current:
+        from repro.evaluation.bench import collect_serve_results
+
+        print("bench-check: running the serving benchmark...",
+              file=sys.stderr)
+        current["serving"] = collect_serve_results(
+            books=args.books, seed=args.seed
+        )
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as handle:
             json_module.dump(current, handle, indent=2, sort_keys=True)
@@ -404,6 +423,117 @@ def cmd_bench_check(args):
     return report.exit_code
 
 
+def cmd_serve(args):
+    """Run the concurrent HTTP query service until SIGTERM/SIGINT."""
+    from repro.serve import ReproServer, ServeConfig
+
+    database = load_database(args.data, books=args.books, seed=args.seed)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        tenant_rate=args.tenant_rate,
+        tenant_burst=args.tenant_burst,
+        tenant_inflight=args.tenant_inflight,
+        default_timeout=args.timeout
+        if args.timeout is not None
+        else ServeConfig().default_timeout,
+        max_timeout=args.max_timeout,
+        audit_path=args.access_log,
+        allow_xquery=args.allow_xquery,
+        drain_grace=args.drain_grace,
+    )
+    server = ReproServer(database, config=config)
+    server.start()
+    print(f"repro serve: listening on {server.url} "
+          f"(max {config.max_inflight} queries in flight"
+          + (f", {config.tenant_rate:g}/s per tenant"
+             if config.tenant_rate else "")
+          + ")")
+    if config.audit_path:
+        print(f"repro serve: access log -> {config.audit_path}")
+    signum = server.serve_until_signal()
+    print(f"repro serve: received signal {signum}, drained and stopped")
+    return 0
+
+
+def cmd_loadgen(args):
+    """Drive a running server with N concurrent clients and report."""
+    import json as json_module
+
+    from repro.serve import LoadgenConfig, run_loadgen
+
+    try:
+        config = LoadgenConfig(
+            args.url,
+            concurrency=args.concurrency,
+            requests=None if args.duration is not None else args.requests,
+            duration=args.duration,
+            task_mix=args.sentence or None,
+            tenant=args.tenant,
+            tenants=args.tenant.split(",") if "," in args.tenant else None,
+            explain_every=args.explain_every,
+            timeout=args.timeout,
+        )
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
+    report = run_loadgen(config)
+    if args.json:
+        _emit(json_module.dumps(report.to_dict(), indent=2, sort_keys=True)
+              + "\n", args.out)
+    else:
+        _emit(report.render_text() + "\n", args.out)
+    return 0 if report.internal_errors == 0 else 1
+
+
+def _stats_from_url(args):
+    """``stats --url``: read a live server's ``/metrics`` exposition."""
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.export import parse_prometheus_text
+
+    url = args.url
+    if not url.rstrip("/").endswith("/metrics"):
+        url = url.rstrip("/") + "/metrics"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            text = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as error:
+        raise SystemExit(f"repro: cannot scrape {url!r}: {error}")
+    out = getattr(args, "out", None)
+    if args.format == "prom":
+        _emit(text, out)
+        return 0
+    metrics = parse_prometheus_text(text)
+    if args.format == "json":
+        document = {
+            name: {
+                "type": entry["type"],
+                "samples": [
+                    {"labels": labels, "value": value}
+                    for labels, value in entry["samples"]
+                ],
+            }
+            for name, entry in sorted(metrics.items())
+        }
+        _emit(json_module.dumps(document, indent=2, sort_keys=True) + "\n",
+              out)
+        return 0
+    print(f"repro stats — scraped {url} ({len(metrics)} metrics)\n")
+    print(f"{'metric':<54}{'type':>9}{'value':>14}")
+    print("-" * 77)
+    for name, entry in sorted(metrics.items()):
+        for labels, value in entry["samples"]:
+            label_text = ",".join(
+                f"{key}={val}" for key, val in sorted(labels.items())
+            )
+            shown = name + (f"{{{label_text}}}" if label_text else "")
+            print(f"{shown:<54}{entry['type']:>9}{value:>14.6g}")
+    return 0
+
+
 def cmd_stats(args):
     """Replay the XMP task phrasings; report per-stage statistics.
 
@@ -411,10 +541,15 @@ def cmd_stats(args):
     ``json`` dumps the metrics snapshot + sliding latency windows;
     ``prom`` emits Prometheus text exposition; ``chrome`` emits Chrome
     trace-event JSON of every replayed query (one thread lane each).
+    With ``--url`` the command scrapes a live ``repro serve`` instance's
+    ``/metrics`` endpoint instead of replaying queries locally.
     """
     import json as json_module
 
     from repro.evaluation.tasks import TASKS
+
+    if args.url:
+        return _stats_from_url(args)
 
     database = load_database("dblp", books=args.books, seed=args.seed)
     audit = _open_audit_log(args)
@@ -839,6 +974,9 @@ def build_parser():
     )
     stats.add_argument("--books", type=int, default=120)
     stats.add_argument("--seed", type=int, default=7)
+    stats.add_argument("--url", metavar="URL",
+                       help="scrape a live repro serve /metrics endpoint "
+                       "instead of replaying queries locally")
     stats.add_argument("--good-only", action="store_true",
                        help="replay only the known-good phrasings")
     stats.add_argument("--format", choices=("table", "json", "prom", "chrome"),
@@ -912,7 +1050,81 @@ def build_parser():
                              "annotation lines")
     bench_check.add_argument("--out", metavar="PATH",
                              help="write the report to a file")
+    bench_check.add_argument("--serve", action="store_true",
+                             help="also run the sustained-throughput "
+                             "serving benchmark in the fresh run")
     bench_check.set_defaults(handler=cmd_bench_check)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the concurrent HTTP query service "
+        "(/query, /metrics, /healthz, /readyz)",
+    )
+    _add_data_options(serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: %(default)s)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="bind port; 0 picks a free one "
+                       "(default: %(default)s)")
+    serve.add_argument("--max-inflight", type=int, default=8, metavar="N",
+                       help="concurrent queries before shedding load "
+                       "with 503 (default: %(default)s)")
+    serve.add_argument("--tenant-rate", type=float, metavar="R",
+                       help="per-tenant rate limit in requests/second "
+                       "(default: unlimited)")
+    serve.add_argument("--tenant-burst", type=float, metavar="N",
+                       help="per-tenant token-bucket burst depth")
+    serve.add_argument("--tenant-inflight", type=int, metavar="N",
+                       help="per-tenant concurrent-query cap")
+    serve.add_argument("--timeout", type=float, metavar="SECONDS",
+                       help="default per-query budget deadline")
+    serve.add_argument("--max-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="largest per-query deadline a client may "
+                       "request (default: %(default)s)")
+    serve.add_argument("--access-log", metavar="PATH",
+                       help="rotating JSONL access log (one audit "
+                       "record per query)")
+    serve.add_argument("--allow-xquery", action="store_true",
+                       help="enable POST /xquery (raw queries, gated "
+                       "by the qlint static analyzer)")
+    serve.add_argument("--drain-grace", type=float, metavar="SECONDS",
+                       help="max seconds to wait for in-flight queries "
+                       "on shutdown")
+    serve.set_defaults(handler=cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a running repro serve with N concurrent clients",
+    )
+    loadgen.add_argument("--url", default="http://127.0.0.1:8080",
+                         help="server base URL (default: %(default)s)")
+    loadgen.add_argument("--concurrency", type=int, default=8, metavar="N",
+                         help="concurrent clients (default: %(default)s)")
+    loadgen.add_argument("--requests", type=int, default=90, metavar="N",
+                         help="total requests to issue "
+                         "(default: %(default)s)")
+    loadgen.add_argument("--duration", type=float, metavar="SECONDS",
+                         help="run for a duration instead of a request "
+                         "count")
+    loadgen.add_argument("--tenant", default="loadgen",
+                         help="tenant header value; comma-separate "
+                         "several to spread workers across tenants")
+    loadgen.add_argument("--explain-every", type=int, default=0,
+                         metavar="N",
+                         help="request explain output on every Nth "
+                         "query (0 = never)")
+    loadgen.add_argument("--timeout", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="per-request client timeout")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
+    loadgen.add_argument("--out", metavar="PATH",
+                         help="write the report to a file")
+    loadgen.add_argument("sentence", nargs="*",
+                         help="task mix (default: the nine study-task "
+                         "phrasings)")
+    loadgen.set_defaults(handler=cmd_loadgen)
 
     lint = commands.add_parser(
         "lint",
@@ -960,7 +1172,19 @@ def build_parser():
 
 def main(argv=None):
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except BrokenPipeError:
+        # Piping into e.g. ``head`` closes stdout early; that is not an
+        # error.  Point stdout at devnull so interpreter shutdown does
+        # not trip over the closed pipe.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except (OSError, ValueError):
+            pass
+        return 0
 
 
 if __name__ == "__main__":

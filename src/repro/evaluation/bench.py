@@ -79,3 +79,63 @@ def collect_task_results(repeats=DEFAULT_REPEATS, books=120, seed=7,
             },
         }
     return {"repeats": repeats, "tasks": tasks}
+
+
+#: Concurrent clients in the standard serving benchmark.
+SERVE_CONCURRENCY = 8
+
+#: Requests per serving-benchmark run (10 rounds of the nine tasks).
+SERVE_REQUESTS = 90
+
+
+def collect_serve_results(concurrency=SERVE_CONCURRENCY,
+                          requests=SERVE_REQUESTS, books=120, seed=7,
+                          nalix=None):
+    """The sustained-throughput serving benchmark row.
+
+    Boots an in-process :class:`~repro.serve.server.ReproServer` over
+    the standard bench pipeline, runs ``repro loadgen`` against it with
+    ``concurrency`` clients, and returns the ``serving`` section of
+    ``BENCH_RESULTS.json``: QPS, server-side p50/p95/p99 (the
+    ``X-Repro-Seconds`` handling times), the scraped ``/metrics`` p99
+    cross-check, and the error counts.  The per-request latency samples
+    ride along so the regression watchdog's MAD guard applies.
+    """
+    from repro.serve import LoadgenConfig, ReproServer, ServeConfig, run_loadgen
+
+    if nalix is None:
+        nalix = build_bench_nalix(books=books, seed=seed)
+    config = ServeConfig(port=0, max_inflight=concurrency,
+                         window=max(4096, requests))
+    server = ReproServer(nalix=nalix, config=config)
+    server.start()
+    try:
+        # One warm-up pass over the task mix so import/caching costs do
+        # not land in the measured tail.
+        run_loadgen(LoadgenConfig(server.url, concurrency=concurrency,
+                                  requests=len(TASKS)))
+        server.window.reset()
+        report = run_loadgen(
+            LoadgenConfig(server.url, concurrency=concurrency,
+                          requests=requests)
+        )
+    finally:
+        server.stop()
+    latency = report.server_latency
+    return {
+        "concurrency": concurrency,
+        "requests": report.requests,
+        "elapsed_seconds": report.elapsed,
+        "qps": report.qps,
+        "internal_errors": report.internal_errors,
+        "statuses": {str(k): v for k, v in sorted(report.statuses.items())},
+        "p50_seconds": latency["p50"],
+        "p95_seconds": latency["p95"],
+        "p99_seconds": latency["p99"],
+        "client_p99_seconds": report.client_latency["p99"],
+        "scraped_p99_seconds": report.scraped_p99_seconds,
+        "p99_delta_fraction": report.p99_delta_fraction,
+        "samples_seconds": [
+            server for _, _, server in report.records if server is not None
+        ],
+    }

@@ -12,12 +12,20 @@ the in-flight query.  ``audit_entry`` is duck-typed over
 ``QueryResult`` (this module imports nothing from the rest of the
 package), and :func:`read_audit_log` round-trips the file back into
 dicts for analysis.
+
+Thread safety: one :class:`AuditLog` may be shared by concurrent
+``NaLIX.ask`` calls (the ``repro serve`` worker threads all record into
+the same file).  ``record`` serializes the whole rotate-check + write +
+flush sequence under a lock and writes each record as a single
+``write()`` call, so concurrent queries can never interleave fragments
+of two JSONL lines or race the rotation rename.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 
 #: Pipeline stage span names recorded per audit entry.  The two
@@ -27,8 +35,13 @@ STAGES = ("parse", "classify", "validate", "translate", "analyze",
           "xquery-parse", "evaluate", "evaluate-naive", "evaluate-keyword")
 
 
-def audit_entry(result, actor=None):
-    """Build the audit record (a plain dict) for one query result."""
+def audit_entry(result, actor=None, extra=None):
+    """Build the audit record (a plain dict) for one query result.
+
+    ``extra`` (an optional dict) is merged into the record last; the
+    serving layer uses it to stamp access-log fields — tenant, endpoint,
+    request id, HTTP status — onto the same JSONL trail.
+    """
     entry = {
         "timestamp": time.time(),
         "sentence": result.sentence,
@@ -73,6 +86,8 @@ def audit_entry(result, actor=None):
         entry["analysis"] = analysis.summary()
     if actor is not None:
         entry["actor"] = actor
+    if extra:
+        entry.update(extra)
     return entry
 
 
@@ -84,6 +99,8 @@ class AuditLog:
     file is renamed to ``<path>.1`` (replacing any previous rollover)
     and a fresh file is started — the simplest rotation that bounds
     disk use at roughly twice ``max_bytes``.
+
+    ``record`` and ``close`` are thread-safe (see the module docstring).
     """
 
     def __init__(self, path, actor=None, max_bytes=None):
@@ -91,17 +108,25 @@ class AuditLog:
         self.actor = actor
         self.max_bytes = max_bytes
         self._handle = None
+        self._lock = threading.Lock()
 
-    def record(self, result):
-        """Append one audit line for ``result`` and flush."""
-        entry = audit_entry(result, actor=self.actor)
+    def record(self, result, extra=None):
+        """Append one audit line for ``result`` and flush.
+
+        ``extra`` fields are merged into the record (see
+        :func:`audit_entry`).  The entire check-rotate-write-flush
+        sequence holds the log's lock, so records from concurrent
+        threads land whole, one per line, in some serial order.
+        """
+        entry = audit_entry(result, actor=self.actor, extra=extra)
         line = json.dumps(entry, sort_keys=True) + "\n"
-        if self.max_bytes is not None:
-            self._rotate_if_needed(len(line.encode("utf-8")))
-        if self._handle is None:
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(line)
-        self._handle.flush()
+        with self._lock:
+            if self.max_bytes is not None:
+                self._rotate_if_needed(len(line.encode("utf-8")))
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line)
+            self._handle.flush()
         return entry
 
     def _rotate_if_needed(self, incoming_bytes):
@@ -112,13 +137,17 @@ class AuditLog:
         else:
             current = 0
         if current and current + incoming_bytes > self.max_bytes:
-            self.close()
+            self._close_handle()
             os.replace(self.path, self.path + ".1")
 
-    def close(self):
+    def _close_handle(self):
         if self._handle is not None:
             self._handle.close()
             self._handle = None
+
+    def close(self):
+        with self._lock:
+            self._close_handle()
 
     def __enter__(self):
         return self

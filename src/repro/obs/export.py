@@ -182,6 +182,79 @@ def prometheus_text(snapshot, extra_lines=None):
     return "\n".join(lines) + "\n"
 
 
+# -- Prometheus text exposition parsing -------------------------------------
+
+_SAMPLE_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>\S+))?$"
+)
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"\\]*)"')
+
+
+def parse_prometheus_text(text):
+    """Parse exposition text back into ``{name: {type, samples}}``.
+
+    The inverse of :func:`prometheus_text`, used by ``repro stats
+    --url`` and the load generator to read a live server's ``/metrics``
+    endpoint.  Each entry is ``{"type": <TYPE or "untyped">, "samples":
+    [(labels_dict, float_value), ...]}`` keyed by the *sample* metric
+    name (so a summary's ``_sum``/``_count`` series appear under their
+    own names).  Unparseable sample lines are skipped rather than
+    raised on — a scrape should survive a partially-written exposition.
+    """
+    metrics = {}
+    types = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) == 4:
+                types[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE_RE.match(line)
+        if match is None:
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            continue
+        name = match.group("name")
+        labels = dict(_LABEL_PAIR_RE.findall(match.group("labels") or ""))
+        entry = metrics.setdefault(name, {"type": None, "samples": []})
+        entry["samples"].append((labels, value))
+    for name, entry in metrics.items():
+        base = name
+        for suffix in ("_sum", "_count", "_total", "_bucket"):
+            if base.endswith(suffix) and base[: -len(suffix)] in types:
+                base = base[: -len(suffix)]
+                break
+        entry["type"] = types.get(name, types.get(base, "untyped"))
+    return metrics
+
+
+def prometheus_sample_value(metrics, name, labels=None):
+    """The first sample value of ``name`` matching ``labels`` (or None).
+
+    ``labels`` (a dict) must be a subset of a sample's label set to
+    match; with ``labels=None`` the first sample wins.
+    """
+    entry = metrics.get(name)
+    if entry is None:
+        return None
+    for sample_labels, value in entry["samples"]:
+        if labels is None or all(
+            sample_labels.get(key) == str(wanted)
+            for key, wanted in labels.items()
+        ):
+            return value
+    return None
+
+
 # -- sliding-window latency tracking ---------------------------------------
 
 

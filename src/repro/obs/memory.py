@@ -20,6 +20,16 @@ refcounted: the first ``start()`` begins tracing (unless something else
 already did), the last ``stop()`` ends it.  On platforms without the
 ``resource`` module (Windows) RSS reads degrade to 0 rather than
 failing — the tracker never raises into the query path.
+
+Concurrency caveat: the traced heap is one process-wide number, so when
+several *tracked* queries run at once (``repro serve`` with
+``--memory``-style activation), per-stage deltas attribute the whole
+process's allocations to whichever stage happened to be measuring —
+the numbers are blended, not wrong per line, and the refcount keeps
+start/stop correct.  Peak RSS is likewise process-global by nature.
+For per-query isolation under concurrency, track one query at a time;
+the serving layer leaves allocation tracking off by default for
+exactly this reason.
 """
 
 from __future__ import annotations

@@ -58,6 +58,41 @@ MAX_STACK_DEPTH = 128
 #: Root frame used when a sample lands outside any open span.
 NO_SPAN = "(no-span)"
 
+# -- process-global switch-interval tuning ----------------------------------
+#
+# ``sys.setswitchinterval`` is process-wide, so concurrent profilers
+# (several served queries profiled at once) must not save/restore it
+# independently — the last one to stop would reinstate whatever value
+# an *earlier* profiler had temporarily installed.  Mirror the
+# tracemalloc refcount in ``repro.obs.memory``: the first profiler to
+# need a shorter interval saves the original and installs the minimum
+# requested; later profilers only ratchet it downward; the last one
+# out restores the original.
+
+_SWITCH_LOCK = threading.Lock()
+_SWITCH_USERS = 0
+_SWITCH_SAVED = None
+
+
+def _acquire_switch_interval(wanted):
+    global _SWITCH_USERS, _SWITCH_SAVED
+    with _SWITCH_LOCK:
+        _SWITCH_USERS += 1
+        current = sys.getswitchinterval()
+        if _SWITCH_USERS == 1:
+            _SWITCH_SAVED = current
+        if wanted < current:
+            sys.setswitchinterval(wanted)
+
+
+def _release_switch_interval():
+    global _SWITCH_USERS, _SWITCH_SAVED
+    with _SWITCH_LOCK:
+        _SWITCH_USERS -= 1
+        if _SWITCH_USERS == 0 and _SWITCH_SAVED is not None:
+            sys.setswitchinterval(_SWITCH_SAVED)
+            _SWITCH_SAVED = None
+
 
 class ProfileSpec:
     """Sampling parameters, coercible from the ``profile=`` argument."""
@@ -154,13 +189,11 @@ class SamplingProfiler:
         # ``sys.getswitchinterval()`` seconds (5 ms by default), which
         # caps the *effective* sampling rate at ~200 Hz no matter what
         # ``hz`` asks for.  Drop the switch interval below the sampling
-        # period while the profiler runs so handoffs keep up; restored
-        # in :meth:`stop`.
-        wanted = self.interval / 2.0
-        current = sys.getswitchinterval()
-        if wanted < current:
-            self._saved_switch_interval = current
-            sys.setswitchinterval(wanted)
+        # period while the profiler runs; the adjustment is refcounted
+        # process-wide (see ``_acquire_switch_interval``) so concurrent
+        # profilers restore the pre-profiling value exactly once.
+        _acquire_switch_interval(self.interval / 2.0)
+        self._saved_switch_interval = True
         self.started_at = time.perf_counter()
         self._thread = threading.Thread(
             target=self._run, name="repro-profiler", daemon=True
@@ -178,7 +211,7 @@ class SamplingProfiler:
         self._thread = None
         self.stopped_at = time.perf_counter()
         if self._saved_switch_interval is not None:
-            sys.setswitchinterval(self._saved_switch_interval)
+            _release_switch_interval()
             self._saved_switch_interval = None
         return self
 

@@ -228,7 +228,10 @@ def compare_results(baseline, current, tolerance=None):
     Per task present in both: end-to-end ``mean_seconds`` and
     ``p95_seconds``, plus every stage in the baseline's
     ``stage_mean_seconds``.  Tasks missing from the current run are
-    reported as ``skip`` (they cannot pass silently).
+    reported as ``skip`` (they cannot pass silently).  When the
+    baseline carries a ``serving`` section (the sustained-throughput
+    benchmark), its p50/p99 and QPS ratchet too — see
+    :func:`_compare_serving`.
     """
     tolerance = tolerance or Tolerance()
     findings = []
@@ -282,7 +285,65 @@ def compare_results(baseline, current, tolerance=None):
                 Finding(task_id, f"stage:{stage}", base_stages[stage],
                         cur_stages[stage], verdict, note)
             )
+    findings.extend(_compare_serving(baseline, current, tolerance))
     return RegressionReport(findings, tolerance)
+
+
+def _compare_serving(baseline, current, tolerance):
+    """Comparison rows for the ``serving`` benchmark section.
+
+    Server-side p50/p99 compare directly; throughput compares as its
+    inverse (seconds per request), so one slowdown rule covers both
+    latency and QPS — a 2× QPS drop is exactly a 2× seconds-per-request
+    regression.  A baseline with a serving section but a current run
+    without one is a ``skip`` row, never a silent pass.
+    """
+    base = baseline.get("serving")
+    if base is None:
+        return []
+    cur = current.get("serving")
+    if cur is None:
+        return [
+            Finding("serving", "p99_seconds",
+                    base.get("p99_seconds", 0.0), 0.0, SKIP,
+                    "no serving section in current run")
+        ]
+    findings = []
+    samples = cur.get("samples_seconds", [])
+    if len(samples) < tolerance.min_samples:
+        return [
+            Finding("serving", "p99_seconds",
+                    base.get("p99_seconds", 0.0),
+                    cur.get("p99_seconds", 0.0), SKIP,
+                    f"only {len(samples)} samples "
+                    f"(min {tolerance.min_samples})")
+        ]
+    for metric in ("p50_seconds", "p99_seconds"):
+        if metric not in base or metric not in cur:
+            continue
+        verdict, note = _classify(base[metric], cur[metric], samples,
+                                  tolerance)
+        findings.append(
+            Finding("serving", metric, base[metric], cur[metric],
+                    verdict, note)
+        )
+    base_qps = base.get("qps")
+    cur_qps = cur.get("qps")
+    if base_qps and cur_qps:
+        verdict, note = _classify(1.0 / base_qps, 1.0 / cur_qps, samples,
+                                  tolerance)
+        findings.append(
+            Finding("serving", "seconds_per_request",
+                    1.0 / base_qps, 1.0 / cur_qps, verdict,
+                    note or f"qps {base_qps:.1f} -> {cur_qps:.1f}")
+        )
+    errors = cur.get("internal_errors", 0)
+    if errors:
+        findings.append(
+            Finding("serving", "internal_errors", 0.0, float(errors), FAIL,
+                    f"{errors} internal error(s) during the serving run")
+        )
+    return findings
 
 
 # -- synthetic slowdowns (gate validation) ----------------------------------

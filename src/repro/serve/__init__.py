@@ -1,0 +1,45 @@
+"""``repro serve``: a concurrent query service with a live ops surface.
+
+The serving layer wraps :class:`repro.core.interface.NaLIX` in a
+long-lived, multi-tenant HTTP service (stdlib ``ThreadingHTTPServer``,
+no dependencies) and turns the observability substrate — traces,
+metrics, latency windows, audit log, provenance — into *live*
+endpoints instead of post-hoc dumps:
+
+* :class:`ReproServer` / :class:`ServeConfig` — the service itself
+  (``/query``, ``/metrics``, ``/healthz``, ``/readyz``, ``/statusz``),
+  per-tenant admission control built on
+  :class:`repro.resilience.QueryBudget`, structured access logs into a
+  rotating :class:`repro.obs.audit.AuditLog`, and graceful drain on
+  SIGTERM.
+* :class:`AdmissionController` — capacity + per-tenant rate limiting
+  (token buckets, inflight caps).
+* :func:`run_loadgen` / :class:`LoadgenConfig` — the load-generator
+  CLI's engine: N concurrent clients, a task mix, client- and
+  server-side percentiles, and a ``/metrics`` scrape cross-check.
+"""
+
+from repro.serve.admission import (                         # noqa: F401
+    AdmissionController,
+    AdmissionError,
+    TokenBucket,
+)
+from repro.serve.loadgen import (                           # noqa: F401
+    LoadgenConfig,
+    LoadgenReport,
+    default_task_mix,
+    run_loadgen,
+)
+from repro.serve.server import ReproServer, ServeConfig     # noqa: F401
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "TokenBucket",
+    "LoadgenConfig",
+    "LoadgenReport",
+    "default_task_mix",
+    "run_loadgen",
+    "ReproServer",
+    "ServeConfig",
+]

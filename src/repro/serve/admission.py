@@ -1,0 +1,261 @@
+"""Admission control for the query service.
+
+Two gates stand between an HTTP request and ``NaLIX.ask``:
+
+* a **server-wide inflight cap** (``max_inflight``) bounding how many
+  queries execute concurrently — the worker-pool limit.  A request
+  over the cap is turned away with HTTP 503 rather than queued, so an
+  overloaded server sheds load instead of building an unbounded
+  backlog (each ThreadingHTTPServer connection thread would otherwise
+  pile up behind the evaluator);
+* **per-tenant limits**: a token-bucket rate limit
+  (``tenant_rate``/``tenant_burst`` requests per second) and an
+  optional per-tenant inflight cap, keyed by the ``X-Repro-Tenant``
+  header.  Over-rate requests get HTTP 429 with a ``Retry-After``
+  hint computed from the bucket's refill rate.
+
+Admission composes with the existing per-query
+:class:`repro.resilience.QueryBudget`: admission decides *whether* a
+query may start, the budget bounds *how much work* it may do once
+running — together they bound the service's total concurrent work at
+``max_inflight × budget``.
+
+Everything here is thread-safe: one :class:`AdmissionController` is
+shared by all of the server's request threads, and every decision
+increments a ``serve.admission.*`` metric.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import METRICS
+
+#: Default server-wide concurrent-query cap.
+DEFAULT_MAX_INFLIGHT = 16
+
+_ADMITTED = METRICS.counter("serve.admission.admitted")
+_REJECTED = {
+    reason: METRICS.counter(f"serve.admission.rejected.{reason}")
+    for reason in ("capacity", "rate", "tenant_capacity", "draining")
+}
+_INFLIGHT_GAUGE = METRICS.gauge("serve.inflight")
+
+
+class AdmissionError(Exception):
+    """A request turned away before reaching the pipeline.
+
+    ``reason`` is one of ``capacity`` / ``rate`` / ``tenant_capacity``
+    / ``draining``; ``http_status`` is the status the server should
+    answer with, and ``retry_after_seconds`` (optional) becomes a
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, reason, message, http_status, retry_after_seconds=None):
+        super().__init__(message)
+        self.reason = reason
+        self.http_status = http_status
+        self.retry_after_seconds = retry_after_seconds
+
+
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` deep.
+
+    ``clock`` is injectable for deterministic tests.  Not itself
+    locked — the :class:`AdmissionController` serializes access.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_clock", "_last")
+
+    def __init__(self, rate, burst=None, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        self.tokens = self.burst
+        self._clock = clock
+        self._last = clock()
+
+    def try_acquire(self, amount=1.0):
+        """Take ``amount`` tokens; False (and no debit) when short."""
+        now = self._clock()
+        self.tokens = min(
+            self.burst, self.tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+        if self.tokens < amount:
+            return False
+        self.tokens -= amount
+        return True
+
+    def seconds_until(self, amount=1.0):
+        """Seconds until ``amount`` tokens will be available."""
+        missing = amount - self.tokens
+        if missing <= 0:
+            return 0.0
+        return missing / self.rate
+
+
+class _Ticket:
+    """One admitted query; releasing is idempotent and exception-safe."""
+
+    __slots__ = ("_controller", "tenant", "_released")
+
+    def __init__(self, controller, tenant):
+        self._controller = controller
+        self.tenant = tenant
+        self._released = False
+
+    def release(self):
+        if not self._released:
+            self._released = True
+            self._controller._release(self.tenant)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.release()
+        return False
+
+
+class AdmissionController:
+    """Thread-safe admission decisions for the query endpoints.
+
+    ``tenant_rate`` (requests/second, None = unlimited) and
+    ``tenant_burst`` configure a token bucket *per tenant name*;
+    ``tenant_inflight`` (None = unlimited) caps one tenant's
+    concurrent queries; ``max_inflight`` caps the whole server's.
+    """
+
+    def __init__(self, max_inflight=DEFAULT_MAX_INFLIGHT, tenant_rate=None,
+                 tenant_burst=None, tenant_inflight=None,
+                 clock=time.monotonic):
+        self.max_inflight = max_inflight
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = tenant_burst
+        self.tenant_inflight = tenant_inflight
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._draining = False
+        self._tenants = {}  # name -> {"bucket", "inflight", "admitted", "rejected"}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start_draining(self):
+        """Refuse all new admissions from now on (graceful shutdown)."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self):
+        return self._draining
+
+    @property
+    def inflight(self):
+        return self._inflight
+
+    # -- the decision ------------------------------------------------------
+
+    def admit(self, tenant):
+        """Admit one query for ``tenant`` or raise :class:`AdmissionError`.
+
+        Returns a ticket (also a context manager) whose ``release()``
+        must run when the query finishes, on every path.
+        """
+        with self._lock:
+            state = self._tenant_state(tenant)
+            if self._draining:
+                self._reject(state, "draining")
+                raise AdmissionError(
+                    "draining", "the server is draining for shutdown", 503
+                )
+            if (self.max_inflight is not None
+                    and self._inflight >= self.max_inflight):
+                self._reject(state, "capacity")
+                raise AdmissionError(
+                    "capacity",
+                    f"server at capacity ({self.max_inflight} queries "
+                    f"in flight)",
+                    503,
+                    retry_after_seconds=1,
+                )
+            if (self.tenant_inflight is not None
+                    and state["inflight"] >= self.tenant_inflight):
+                self._reject(state, "tenant_capacity")
+                raise AdmissionError(
+                    "tenant_capacity",
+                    f"tenant {tenant!r} at capacity "
+                    f"({self.tenant_inflight} queries in flight)",
+                    429,
+                    retry_after_seconds=1,
+                )
+            bucket = state["bucket"]
+            if bucket is not None and not bucket.try_acquire():
+                self._reject(state, "rate")
+                raise AdmissionError(
+                    "rate",
+                    f"tenant {tenant!r} over its rate limit "
+                    f"({self.tenant_rate:g}/s)",
+                    429,
+                    retry_after_seconds=max(1, int(bucket.seconds_until())),
+                )
+            self._inflight += 1
+            state["inflight"] += 1
+            state["admitted"] += 1
+            _ADMITTED.inc()
+            _INFLIGHT_GAUGE.set(self._inflight)
+            return _Ticket(self, tenant)
+
+    def _release(self, tenant):
+        with self._lock:
+            self._inflight -= 1
+            state = self._tenants.get(tenant)
+            if state is not None:
+                state["inflight"] -= 1
+            _INFLIGHT_GAUGE.set(self._inflight)
+
+    def _tenant_state(self, tenant):
+        state = self._tenants.get(tenant)
+        if state is None:
+            bucket = None
+            if self.tenant_rate is not None:
+                bucket = TokenBucket(
+                    self.tenant_rate, self.tenant_burst, clock=self._clock
+                )
+            state = self._tenants[tenant] = {
+                "bucket": bucket, "inflight": 0,
+                "admitted": 0, "rejected": 0,
+            }
+        return state
+
+    def _reject(self, state, reason):
+        state["rejected"] += 1
+        _REJECTED[reason].inc()
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self):
+        """Plain-dict view for ``/statusz``."""
+        with self._lock:
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "draining": self._draining,
+                "tenants": {
+                    name: {
+                        "inflight": state["inflight"],
+                        "admitted": state["admitted"],
+                        "rejected": state["rejected"],
+                    }
+                    for name, state in sorted(self._tenants.items())
+                },
+            }
+
+    def __repr__(self):
+        return (
+            f"AdmissionController(inflight={self._inflight}/"
+            f"{self.max_inflight}, tenants={len(self._tenants)})"
+        )

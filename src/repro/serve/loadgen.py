@@ -1,0 +1,308 @@
+"""``repro loadgen``: a stdlib load generator for the query service.
+
+Drives N concurrent clients (plain threads + ``urllib``) against a
+running ``repro serve`` instance with a configurable task mix, then
+reports throughput and latency three ways:
+
+* **client-side**: wall-clock per request as the client saw it
+  (includes connection + serialization overhead);
+* **server-side**: the ``X-Repro-Seconds`` header every ``/query``
+  response carries — the server's own handling time for that request;
+* **scraped**: after the run, one ``/metrics`` scrape parsed with
+  :func:`repro.obs.export.parse_prometheus_text`, reading the server's
+  sliding-window p99 for the ``/query`` endpoint.
+
+The server-side and scraped numbers are computed from the same
+observations (the server observes exactly the duration it reports in
+the header), so when the run fits in the server's window the two p99s
+agree — the cross-check that the live ops surface tells the truth.
+The sustained-throughput benchmark asserts they agree within 5%.
+
+Requests are spread round-robin over the task mix with a per-worker
+offset, so every phrasing is exercised by every concurrency level
+without any randomness (runs are reproducible).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import Counter
+
+from repro.obs.export import (
+    parse_prometheus_text,
+    prometheus_metric_name,
+    prometheus_sample_value,
+)
+from repro.obs.quantiles import nearest_rank
+
+#: Transport failures (refused, reset, timeout) before a worker gives up.
+MAX_TRANSPORT_FAILURES = 20
+
+
+def default_task_mix():
+    """The nine study-task reference phrasings (the bench workload)."""
+    from repro.evaluation.tasks import TASKS
+
+    return [task.good_phrasings()[0].text for task in TASKS]
+
+
+class LoadgenConfig:
+    """One load-generation run: who to hit, how hard, with what."""
+
+    def __init__(self, url, concurrency=8, requests=90, duration=None,
+                 task_mix=None, tenant="loadgen", tenants=None,
+                 explain_every=0, timeout=30.0):
+        self.url = url.rstrip("/")
+        self.concurrency = max(1, int(concurrency))
+        self.requests = requests
+        self.duration = duration
+        self.task_mix = list(task_mix) if task_mix else default_task_mix()
+        self.tenant = tenant
+        # Round-robin tenant assignment per worker when several are given.
+        self.tenants = list(tenants) if tenants else [tenant]
+        self.explain_every = explain_every
+        self.timeout = timeout
+        if requests is None and duration is None:
+            raise ValueError("need a request count or a duration")
+
+
+class LoadgenReport:
+    """The outcome of one run, with the /metrics cross-check baked in."""
+
+    def __init__(self, config, records, transport_errors, elapsed,
+                 scraped_p99=None, scrape_error=None):
+        self.config = config
+        self.records = records            # [(http_status, client_s, server_s)]
+        self.transport_errors = transport_errors
+        self.elapsed = elapsed
+        self.scraped_p99_seconds = scraped_p99
+        self.scrape_error = scrape_error
+        self.statuses = Counter(status for status, _, _ in records)
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def requests(self):
+        return len(self.records)
+
+    @property
+    def internal_errors(self):
+        """HTTP 5xx answers plus transport failures — must be zero."""
+        return (
+            sum(count for status, count in self.statuses.items()
+                if status >= 500)
+            + self.transport_errors
+        )
+
+    @property
+    def qps(self):
+        if self.elapsed <= 0:
+            return 0.0
+        return self.requests / self.elapsed
+
+    def _percentiles(self, samples):
+        if not samples:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
+                    "p99": 0.0}
+        ordered = sorted(samples)
+        return {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "p50": nearest_rank(ordered, 0.50),
+            "p95": nearest_rank(ordered, 0.95),
+            "p99": nearest_rank(ordered, 0.99),
+        }
+
+    @property
+    def client_latency(self):
+        return self._percentiles([client for _, client, _ in self.records])
+
+    @property
+    def server_latency(self):
+        return self._percentiles(
+            [server for _, _, server in self.records if server is not None]
+        )
+
+    @property
+    def p99_delta_fraction(self):
+        """|scraped p99 − header p99| / header p99, or None if unknowable."""
+        measured = self.server_latency["p99"]
+        if self.scraped_p99_seconds is None or not measured:
+            return None
+        return abs(self.scraped_p99_seconds - measured) / measured
+
+    def to_dict(self):
+        return {
+            "url": self.config.url,
+            "concurrency": self.config.concurrency,
+            "requests": self.requests,
+            "elapsed_seconds": self.elapsed,
+            "qps": self.qps,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "internal_errors": self.internal_errors,
+            "transport_errors": self.transport_errors,
+            "client_latency_seconds": self.client_latency,
+            "server_latency_seconds": self.server_latency,
+            "scraped_p99_seconds": self.scraped_p99_seconds,
+            "p99_delta_fraction": self.p99_delta_fraction,
+        }
+
+    def render_text(self):
+        client = self.client_latency
+        server = self.server_latency
+        lines = [
+            f"loadgen: {self.requests} requests, "
+            f"{self.config.concurrency} clients, "
+            f"{self.elapsed:.2f}s elapsed",
+            f"  throughput     {self.qps:8.1f} qps",
+            f"  statuses       "
+            + " ".join(f"{k}:{v}" for k, v in sorted(self.statuses.items())),
+            f"  internal errs  {self.internal_errors:8d} "
+            f"(transport {self.transport_errors})",
+            f"  client latency p50 {client['p50'] * 1000:7.1f}ms  "
+            f"p95 {client['p95'] * 1000:7.1f}ms  "
+            f"p99 {client['p99'] * 1000:7.1f}ms",
+            f"  server latency p50 {server['p50'] * 1000:7.1f}ms  "
+            f"p95 {server['p95'] * 1000:7.1f}ms  "
+            f"p99 {server['p99'] * 1000:7.1f}ms",
+        ]
+        if self.scraped_p99_seconds is not None:
+            delta = self.p99_delta_fraction
+            lines.append(
+                f"  /metrics p99   {self.scraped_p99_seconds * 1000:7.1f}ms"
+                + (f"  (delta {delta * 100:.1f}%)" if delta is not None
+                   else "")
+            )
+        elif self.scrape_error:
+            lines.append(f"  /metrics scrape failed: {self.scrape_error}")
+        return "\n".join(lines)
+
+
+def _post_query(config, sentence, tenant, explain):
+    """One request; returns ``(http_status, client_s, server_s|None)``."""
+    payload = {"sentence": sentence}
+    if explain:
+        payload["explain"] = True
+    request = urllib.request.Request(
+        config.url + "/query",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={
+            "Content-Type": "application/json",
+            "X-Repro-Tenant": tenant,
+        },
+        method="POST",
+    )
+    started = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=config.timeout) as resp:
+            resp.read()
+            status = resp.status
+            header = resp.headers.get("X-Repro-Seconds")
+    except urllib.error.HTTPError as error:
+        error.read()
+        status = error.code
+        header = error.headers.get("X-Repro-Seconds")
+    client_seconds = time.perf_counter() - started
+    server_seconds = float(header) if header else None
+    return status, client_seconds, server_seconds
+
+
+def scrape_query_p99(url, timeout=10.0):
+    """The server's sliding-window ``/query`` p99 from ``/metrics``."""
+    with urllib.request.urlopen(url.rstrip("/") + "/metrics",
+                                timeout=timeout) as resp:
+        text = resp.read().decode("utf-8")
+    metrics = parse_prometheus_text(text)
+    name = prometheus_metric_name("window.endpoint:/query.seconds")
+    return prometheus_sample_value(metrics, name, {"quantile": "0.99"})
+
+
+def run_loadgen(config, on_progress=None):
+    """Run the configured load and return a :class:`LoadgenReport`.
+
+    Workers pull from a shared request counter (count mode), or loop
+    until the deadline (duration mode); either way each worker walks
+    the task mix round-robin from its own offset.  A worker stops after
+    :data:`MAX_TRANSPORT_FAILURES` consecutive transport errors so a
+    dead server fails the run quickly instead of hanging it.
+    """
+    records = []
+    lock = threading.Lock()
+    counter = {"issued": 0, "transport": 0}
+    deadline = (
+        time.perf_counter() + config.duration
+        if config.duration is not None
+        else None
+    )
+
+    def _next_request_index():
+        with lock:
+            if config.requests is not None and (
+                    counter["issued"] >= config.requests):
+                return None
+            index = counter["issued"]
+            counter["issued"] += 1
+            return index
+
+    def _worker(worker_index):
+        tenant = config.tenants[worker_index % len(config.tenants)]
+        step = 0
+        failures = 0
+        while True:
+            if deadline is not None and time.perf_counter() >= deadline:
+                return
+            index = _next_request_index()
+            if index is None:
+                return
+            sentence = config.task_mix[
+                (worker_index + step) % len(config.task_mix)
+            ]
+            step += 1
+            explain = (
+                config.explain_every > 0
+                and index % config.explain_every == 0
+            )
+            try:
+                record = _post_query(config, sentence, tenant, explain)
+            except (urllib.error.URLError, OSError):
+                failures += 1
+                with lock:
+                    counter["transport"] += 1
+                if failures >= MAX_TRANSPORT_FAILURES:
+                    return
+                time.sleep(0.05)
+                continue
+            failures = 0
+            with lock:
+                records.append(record)
+                done = len(records)
+            if on_progress is not None:
+                on_progress(done)
+
+    started = time.perf_counter()
+    workers = [
+        threading.Thread(target=_worker, args=(index,),
+                         name=f"loadgen-{index}", daemon=True)
+        for index in range(config.concurrency)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+
+    scraped_p99 = None
+    scrape_error = None
+    try:
+        scraped_p99 = scrape_query_p99(config.url, timeout=config.timeout)
+    except (urllib.error.URLError, OSError, ValueError) as error:
+        scrape_error = str(error)
+
+    return LoadgenReport(
+        config, records, counter["transport"], elapsed,
+        scraped_p99=scraped_p99, scrape_error=scrape_error,
+    )

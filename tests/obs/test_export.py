@@ -223,3 +223,79 @@ class TestLatencyWindow:
         counts = [value for labels, value in summary["samples"]
                   if not labels]
         assert 3.0 in counts
+
+
+class TestProductionParser:
+    """The shipped parser (`repro.obs.export.parse_prometheus_text`)
+    that ``repro stats --url`` and the load generator scrape with —
+    distinct from this module's local reference helper above."""
+
+    def test_round_trips_an_exposition(self):
+        from repro.obs.export import (
+            parse_prometheus_text as production_parse,
+            prometheus_sample_value,
+        )
+
+        registry = MetricsRegistry()
+        registry.counter("serve.requests").inc(7)
+        registry.gauge("serve.inflight").set(3)
+        window = LatencyWindow(window=8)
+        for value in (0.1, 0.2, 0.4):
+            window.observe("endpoint:/query", value)
+        text = prometheus_text(
+            registry.snapshot(), extra_lines=window.prometheus_lines()
+        )
+        metrics = production_parse(text)
+        assert prometheus_sample_value(
+            metrics, "repro_serve_requests_total"
+        ) == 7.0
+        assert prometheus_sample_value(metrics, "repro_serve_inflight") == 3.0
+        assert metrics["repro_serve_requests_total"]["type"] == "counter"
+        p99 = prometheus_sample_value(
+            metrics, "repro_window_endpoint:_query_seconds",
+            {"quantile": "0.99"},
+        )
+        assert p99 == 0.4
+
+    def test_skips_garbage_lines(self):
+        from repro.obs.export import parse_prometheus_text as production_parse
+
+        text = "\n".join([
+            "# HELP repro_x something",
+            "# TYPE repro_x counter",
+            "repro_x 4",
+            "!!! not a metric line",
+            "repro_y not_a_number",
+            "repro_z{label=\"a\"} 1.5 1700000000",
+        ]) + "\n"
+        metrics = production_parse(text)
+        assert metrics["repro_x"]["samples"] == [({}, 4.0)]
+        assert "repro_y" not in metrics
+        assert metrics["repro_z"]["samples"] == [({"label": "a"}, 1.5)]
+        assert metrics["repro_z"]["type"] == "untyped"
+
+    def test_summary_series_resolve_their_type(self):
+        from repro.obs.export import parse_prometheus_text as production_parse
+
+        text = "\n".join([
+            "# TYPE repro_lat summary",
+            "repro_lat{quantile=\"0.5\"} 0.01",
+            "repro_lat_sum 1.5",
+            "repro_lat_count 100",
+        ]) + "\n"
+        metrics = production_parse(text)
+        assert metrics["repro_lat"]["type"] == "summary"
+        assert metrics["repro_lat_sum"]["type"] == "summary"
+        assert metrics["repro_lat_count"]["type"] == "summary"
+
+    def test_sample_value_subset_label_match(self):
+        from repro.obs.export import (
+            parse_prometheus_text as production_parse,
+            prometheus_sample_value,
+        )
+
+        text = 'repro_m{a="1",b="2"} 10\nrepro_m{a="2",b="2"} 20\n'
+        metrics = production_parse(text)
+        assert prometheus_sample_value(metrics, "repro_m", {"a": "2"}) == 20.0
+        assert prometheus_sample_value(metrics, "repro_m", {"a": "3"}) is None
+        assert prometheus_sample_value(metrics, "repro_missing") is None

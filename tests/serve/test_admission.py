@@ -1,0 +1,140 @@
+"""Admission control: capacity, rate limits, draining, tickets."""
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token back
+        assert bucket.try_acquire()
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2.0, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_seconds_until_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1.0, clock=clock)
+        bucket.try_acquire()
+        assert bucket.seconds_until() == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0)
+
+    def test_default_burst_is_at_least_one(self):
+        bucket = TokenBucket(rate=0.1)
+        assert bucket.burst == 1.0
+
+
+class TestAdmissionController:
+    def test_admits_up_to_capacity(self):
+        controller = AdmissionController(max_inflight=2)
+        controller.admit("a")
+        controller.admit("a")
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert info.value.reason == "capacity"
+        assert info.value.http_status == 503
+
+    def test_release_frees_capacity(self):
+        controller = AdmissionController(max_inflight=1)
+        ticket = controller.admit("a")
+        ticket.release()
+        assert controller.inflight == 0
+        controller.admit("a")  # does not raise
+
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(max_inflight=2)
+        ticket = controller.admit("a")
+        ticket.release()
+        ticket.release()
+        assert controller.inflight == 0
+
+    def test_ticket_is_a_context_manager(self):
+        controller = AdmissionController(max_inflight=1)
+        with controller.admit("a"):
+            assert controller.inflight == 1
+        assert controller.inflight == 0
+
+    def test_per_tenant_inflight_cap(self):
+        controller = AdmissionController(max_inflight=10, tenant_inflight=1)
+        controller.admit("a")
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert info.value.reason == "tenant_capacity"
+        assert info.value.http_status == 429
+        controller.admit("b")  # a different tenant is unaffected
+
+    def test_per_tenant_rate_limit(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_inflight=100, tenant_rate=1.0, tenant_burst=1.0, clock=clock
+        )
+        controller.admit("a").release()
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert info.value.reason == "rate"
+        assert info.value.http_status == 429
+        assert info.value.retry_after_seconds >= 1
+        clock.advance(1.0)
+        controller.admit("a")  # bucket refilled
+
+    def test_rate_limits_are_per_tenant(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_inflight=100, tenant_rate=1.0, tenant_burst=1.0, clock=clock
+        )
+        controller.admit("a").release()
+        controller.admit("b").release()  # b has its own bucket
+
+    def test_draining_refuses_everything(self):
+        controller = AdmissionController(max_inflight=10)
+        controller.start_draining()
+        with pytest.raises(AdmissionError) as info:
+            controller.admit("a")
+        assert info.value.reason == "draining"
+        assert info.value.http_status == 503
+
+    def test_snapshot_counts(self):
+        controller = AdmissionController(max_inflight=1)
+        ticket = controller.admit("a")
+        with pytest.raises(AdmissionError):
+            controller.admit("b")
+        snapshot = controller.snapshot()
+        assert snapshot["inflight"] == 1
+        assert snapshot["tenants"]["a"]["admitted"] == 1
+        assert snapshot["tenants"]["b"]["rejected"] == 1
+        ticket.release()

@@ -1,0 +1,76 @@
+"""The serving CLI surface: ``repro loadgen`` and ``repro stats --url``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ReproServer, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def server(movie_nalix):
+    config = ServeConfig(port=0, max_inflight=8)
+    with ReproServer(nalix=movie_nalix, config=config) as instance:
+        yield instance
+
+
+class TestLoadgenCommand:
+    def test_clean_run_exits_zero(self, server, capsys):
+        code = main([
+            "loadgen", "--url", server.url, "--concurrency", "4",
+            "--requests", "8", "find all titles",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loadgen: 8 requests" in out
+        assert "internal errs         0" in out
+
+    def test_json_report(self, server, capsys):
+        code = main([
+            "loadgen", "--url", server.url, "--concurrency", "2",
+            "--requests", "4", "--json", "find all titles",
+        ])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["requests"] == 4
+        assert document["internal_errors"] == 0
+        assert document["statuses"] == {"200": 4}
+
+    def test_dead_server_exits_nonzero(self, capsys):
+        code = main([
+            "loadgen", "--url", "http://127.0.0.1:1", "--concurrency", "1",
+            "--requests", "2", "--timeout", "1", "find all titles",
+        ])
+        assert code == 1
+
+
+class TestStatsUrl:
+    def test_scrapes_live_metrics(self, server, capsys):
+        main([
+            "loadgen", "--url", server.url, "--concurrency", "2",
+            "--requests", "4", "find all titles",
+        ])
+        capsys.readouterr()
+        code = main(["stats", "--url", server.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scraped" in out
+        assert "repro_serve_requests_total" in out
+
+    def test_prom_format_passes_text_through(self, server, capsys):
+        code = main(["stats", "--url", server.url, "--format", "prom"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "# TYPE repro_serve_requests_total counter" in out
+
+    def test_json_format(self, server, capsys):
+        code = main(["stats", "--url", server.url, "--format", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        document = json.loads(out)
+        assert "repro_serve_requests_total" in document
+
+    def test_unreachable_url_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--url", "http://127.0.0.1:1"])

@@ -1,0 +1,137 @@
+"""Graceful shutdown: drain semantics, readiness flip, clean stop."""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ReproServer, ServeConfig
+
+
+class SlowPipeline:
+    """Wraps a NaLIX so every ask takes at least ``delay`` seconds."""
+
+    def __init__(self, inner, delay):
+        self._inner = inner
+        self.delay = delay
+
+    def ask(self, sentence, **kwargs):
+        time.sleep(self.delay)
+        return self._inner.ask(sentence, **kwargs)
+
+
+def http_status(url, payload=None):
+    if payload is None:
+        request = url
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code
+
+
+@pytest.fixture
+def slow_server(movie_nalix):
+    config = ServeConfig(port=0, max_inflight=4)
+    server = ReproServer(
+        nalix=SlowPipeline(movie_nalix, delay=0.4), config=config
+    )
+    server.start()
+    yield server
+    server.stop()
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def test_drain_waits_for_inflight_and_flips_readyz(slow_server):
+    server = slow_server
+    statuses = []
+
+    def _slow_request():
+        statuses.append(
+            http_status(server.url + "/query",
+                        {"sentence": "find all titles"})
+        )
+
+    worker = threading.Thread(target=_slow_request)
+    worker.start()
+    assert wait_for(lambda: server.admission.inflight == 1)
+
+    drained = {}
+    drainer = threading.Thread(
+        target=lambda: drained.setdefault("ok", server.drain())
+    )
+    drainer.start()
+    assert wait_for(lambda: server.draining)
+
+    # While draining: not ready, and new work is shed with 503.
+    assert http_status(server.url + "/readyz") == 503
+    rejected = http_status(server.url + "/query",
+                           {"sentence": "find all titles"})
+    assert rejected == 503
+
+    worker.join(timeout=10.0)
+    drainer.join(timeout=10.0)
+    # The in-flight query finished normally; the drain saw it out.
+    assert statuses == [200]
+    assert drained["ok"] is True
+    assert server.admission.inflight == 0
+
+
+def test_drain_gives_up_after_grace(slow_server):
+    server = slow_server
+    worker = threading.Thread(
+        target=lambda: http_status(server.url + "/query",
+                                   {"sentence": "find all titles"})
+    )
+    worker.start()
+    assert wait_for(lambda: server.admission.inflight == 1)
+    assert server.drain(grace=0.05) is False  # query needs ~0.4s
+    worker.join(timeout=10.0)
+
+
+def test_stop_shuts_the_listener_down(movie_nalix):
+    server = ReproServer(nalix=movie_nalix, config=ServeConfig(port=0))
+    server.start()
+    url = server.url
+    assert http_status(url + "/healthz") == 200
+    server.stop()
+    with pytest.raises((urllib.error.URLError, OSError)):
+        urllib.request.urlopen(url + "/healthz", timeout=2.0)
+
+
+def test_stop_is_idempotent(movie_nalix):
+    server = ReproServer(nalix=movie_nalix, config=ServeConfig(port=0))
+    server.start()
+    server.stop()
+    server.stop()  # does not raise
+
+
+def test_stop_flushes_and_closes_the_access_log(movie_nalix, tmp_path):
+    config = ServeConfig(port=0, audit_path=str(tmp_path / "access.jsonl"))
+    server = ReproServer(nalix=movie_nalix, config=config)
+    server.start()
+    assert http_status(server.url + "/query",
+                       {"sentence": "find all titles"}) == 200
+    server.stop()
+    with open(config.audit_path, encoding="utf-8") as handle:
+        entries = [json.loads(line) for line in handle]
+    assert len(entries) == 1
+    assert entries[0]["http_status"] == 200

@@ -1,0 +1,90 @@
+"""The load generator against a live in-process server."""
+
+import pytest
+
+from repro.serve import LoadgenConfig, ReproServer, ServeConfig, run_loadgen
+from repro.serve.loadgen import default_task_mix
+
+
+@pytest.fixture(scope="module")
+def server(movie_nalix):
+    config = ServeConfig(port=0, max_inflight=8)
+    with ReproServer(nalix=movie_nalix, config=config) as instance:
+        yield instance
+
+
+def test_default_task_mix_is_the_study_tasks():
+    mix = default_task_mix()
+    assert len(mix) == 9
+    assert all(isinstance(sentence, str) and sentence for sentence in mix)
+
+
+def test_loadgen_config_requires_a_bound():
+    with pytest.raises(ValueError):
+        LoadgenConfig("http://localhost:1", requests=None, duration=None)
+
+
+def test_concurrent_run_is_clean(server):
+    config = LoadgenConfig(
+        server.url, concurrency=8, requests=48,
+        task_mix=["find all titles", "show every movie"],
+    )
+    report = run_loadgen(config)
+    assert report.requests == 48
+    assert report.internal_errors == 0
+    assert report.transport_errors == 0
+    assert set(report.statuses) == {200}
+    assert report.qps > 0
+
+
+def test_server_and_scraped_p99_agree(server):
+    server.window.reset()
+    config = LoadgenConfig(
+        server.url, concurrency=8, requests=64,
+        task_mix=["find all titles"],
+    )
+    report = run_loadgen(config)
+    assert report.scraped_p99_seconds is not None
+    # The /metrics window and the X-Repro-Seconds headers describe the
+    # same observations, so the two p99s must agree (5% is the bench
+    # criterion; here the only slack is header rounding).
+    assert report.p99_delta_fraction is not None
+    assert report.p99_delta_fraction < 0.05
+
+
+def test_latency_report_shape(server):
+    report = run_loadgen(
+        LoadgenConfig(server.url, concurrency=2, requests=8,
+                      task_mix=["find all titles"])
+    )
+    client = report.client_latency
+    srv = report.server_latency
+    assert client["count"] == 8
+    assert srv["count"] == 8
+    assert client["p50"] <= client["p95"] <= client["p99"]
+    assert srv["p99"] > 0
+    document = report.to_dict()
+    assert document["qps"] == report.qps
+    assert document["statuses"] == {"200": 8}
+    assert "loadgen: 8 requests" in report.render_text()
+
+
+def test_rejections_are_not_internal_errors(movie_nalix):
+    config = ServeConfig(port=0, max_inflight=8,
+                         tenant_rate=0.001, tenant_burst=1.0)
+    with ReproServer(nalix=movie_nalix, config=config) as limited:
+        report = run_loadgen(
+            LoadgenConfig(limited.url, concurrency=2, requests=6,
+                          task_mix=["find all titles"])
+        )
+    assert report.statuses.get(429, 0) > 0
+    assert report.internal_errors == 0
+
+
+def test_duration_mode_stops(server):
+    report = run_loadgen(
+        LoadgenConfig(server.url, concurrency=2, requests=None,
+                      duration=0.3, task_mix=["find all titles"])
+    )
+    assert report.requests > 0
+    assert report.elapsed < 5.0

@@ -1,0 +1,219 @@
+"""The HTTP service: endpoints, status mapping, headers, access log."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve import ReproServer, ServeConfig
+
+
+def http_get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def http_post_json(url, payload, headers=None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json", **(headers or {})},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+@pytest.fixture(scope="module")
+def server(movie_nalix, tmp_path_factory):
+    audit_path = tmp_path_factory.mktemp("serve") / "access.jsonl"
+    config = ServeConfig(port=0, max_inflight=8, allow_xquery=True,
+                         audit_path=str(audit_path))
+    with ReproServer(nalix=movie_nalix, config=config) as instance:
+        yield instance
+
+
+class TestOpsEndpoints:
+    def test_healthz(self, server):
+        status, _, body = http_get(server.url + "/healthz")
+        assert status == 200
+        assert body == b"ok\n"
+
+    def test_readyz_while_serving(self, server):
+        status, _, _ = http_get(server.url + "/readyz")
+        assert status == 200
+
+    def test_metrics_exposition(self, server):
+        http_post_json(server.url + "/query",
+                       {"sentence": "find all titles"})
+        status, headers, body = http_get(server.url + "/metrics")
+        assert status == 200
+        assert "text/plain" in headers["Content-Type"]
+        text = body.decode("utf-8")
+        assert "repro_serve_requests_total" in text
+        assert "repro_window_endpoint:_query_seconds" in text
+
+    def test_statusz(self, server):
+        status, _, body = http_get(server.url + "/statusz")
+        assert status == 200
+        document = json.loads(body)
+        assert document["draining"] is False
+        assert document["admission"]["max_inflight"] == 8
+        assert document["uptime_seconds"] > 0
+
+    def test_unknown_endpoint_is_404(self, server):
+        status, _, body = http_get(server.url + "/nope")
+        assert status == 404
+        assert json.loads(body)["error"] == "not-found"
+
+
+class TestQueryEndpoint:
+    def test_ok_query(self, server):
+        status, headers, body = http_post_json(
+            server.url + "/query", {"sentence": "find all titles"},
+            headers={"X-Repro-Tenant": "alice"},
+        )
+        assert status == 200
+        document = json.loads(body)
+        assert document["status"] == "ok"
+        assert document["tenant"] == "alice"
+        assert document["result_count"] > 0
+        assert document["results"]
+        assert float(headers["X-Repro-Seconds"]) > 0
+        assert headers["X-Repro-Request-Id"].startswith("r")
+
+    def test_get_query_via_params(self, server):
+        status, _, body = http_get(server.url + "/query?q=find+all+titles")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_rejected_query_is_422_with_feedback(self, server):
+        status, _, body = http_post_json(
+            server.url + "/query", {"sentence": "gibberish blurble fnord"}
+        )
+        assert status == 422
+        document = json.loads(body)
+        assert document["status"] == "rejected"
+        assert document["feedback"]
+        assert document["feedback"][0]["severity"] == "error"
+
+    def test_explain_embeds_provenance(self, server):
+        status, _, body = http_post_json(
+            server.url + "/query",
+            {"sentence": "find all titles", "explain": True},
+        )
+        assert status == 200
+        document = json.loads(body)
+        assert "explain" in document
+        assert "provenance" in document["explain"]
+
+    def test_limit_truncates_results(self, server):
+        status, _, body = http_post_json(
+            server.url + "/query", {"sentence": "find all titles", "limit": 1}
+        )
+        document = json.loads(body)
+        assert len(document["results"]) == 1
+        assert document["truncated"] is True
+        assert document["result_count"] > 1
+
+    def test_missing_sentence_is_400(self, server):
+        status, _, body = http_post_json(server.url + "/query", {})
+        assert status == 400
+        assert json.loads(body)["error"] == "missing-sentence"
+
+    def test_malformed_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/query", data=b"{not json",
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10.0)
+        assert info.value.code == 400
+
+    def test_bad_timeout_is_400(self, server):
+        status, _, body = http_post_json(
+            server.url + "/query",
+            {"sentence": "find all titles", "timeout": "soon"},
+        )
+        assert status == 400
+        assert json.loads(body)["error"] == "bad-timeout"
+
+    def test_access_log_records_request(self, server):
+        status, headers, _ = http_post_json(
+            server.url + "/query", {"sentence": "find all titles"},
+            headers={"X-Repro-Tenant": "logged"},
+        )
+        assert status == 200
+        request_id = headers["X-Repro-Request-Id"]
+        with open(server.audit.path, encoding="utf-8") as handle:
+            entries = [json.loads(line) for line in handle]
+        mine = [e for e in entries if e.get("request_id") == request_id]
+        assert len(mine) == 1
+        assert mine[0]["tenant"] == "logged"
+        assert mine[0]["endpoint"] == "/query"
+        assert mine[0]["http_status"] == 200
+
+
+class TestXQueryEndpoint:
+    def test_valid_query_runs(self, server):
+        status, _, body = http_post_json(
+            server.url + "/xquery",
+            {"query": 'for $m in doc("movie.xml")//movie return $m/title'},
+        )
+        assert status == 200
+        assert json.loads(body)["result_count"] > 0
+
+    def test_unparseable_query_is_400(self, server):
+        status, _, body = http_post_json(
+            server.url + "/xquery", {"query": "for $$ nonsense"}
+        )
+        assert status == 400
+        assert json.loads(body)["error"] == "xquery-parse"
+
+    def test_lint_gate_refuses_bad_queries(self, server):
+        # An unbound variable is a qlint error: execution must be refused.
+        status, _, body = http_post_json(
+            server.url + "/xquery", {"query": "return $nowhere"}
+        )
+        assert status == 400
+        document = json.loads(body)
+        assert document["error"] in ("xquery-rejected", "xquery-parse")
+
+    def test_disabled_by_default(self, movie_nalix):
+        with ReproServer(nalix=movie_nalix,
+                         config=ServeConfig(port=0)) as plain:
+            status, _, body = http_post_json(
+                plain.url + "/xquery", {"query": 'doc("movie.xml")//movie'}
+            )
+        assert status == 403
+        assert json.loads(body)["error"] == "xquery-disabled"
+
+
+class TestTenantLimits:
+    def test_rate_limited_tenant_gets_429(self, movie_nalix):
+        config = ServeConfig(port=0, tenant_rate=0.001, tenant_burst=1.0)
+        with ReproServer(nalix=movie_nalix, config=config) as limited:
+            first, _, _ = http_post_json(
+                limited.url + "/query", {"sentence": "find all titles"},
+                headers={"X-Repro-Tenant": "greedy"},
+            )
+            second, headers, body = http_post_json(
+                limited.url + "/query", {"sentence": "find all titles"},
+                headers={"X-Repro-Tenant": "greedy"},
+            )
+            other, _, _ = http_post_json(
+                limited.url + "/query", {"sentence": "find all titles"},
+                headers={"X-Repro-Tenant": "patient"},
+            )
+        assert first == 200
+        assert second == 429
+        assert json.loads(body)["error"] == "admission-rate"
+        assert int(headers["Retry-After"]) >= 1
+        assert other == 200  # limits are per tenant
