@@ -19,7 +19,11 @@ DESIGN.md "Benchmark artifacts"):
   ``serving`` section from
   :func:`repro.evaluation.bench.collect_serve_results` — sustained QPS
   and server-side p50/p95/p99 under concurrent clients — so the
-  watchdog ratchets serving performance alongside per-task latency.
+  watchdog ratchets serving performance alongside per-task latency,
+  and a ``serving_chaos`` section from
+  :func:`repro.evaluation.bench.collect_serve_chaos_results` — the
+  same workload under the standard injected-fault plan with retrying
+  clients, ratcheting availability and tail latency under faults.
 """
 
 import json
@@ -31,7 +35,11 @@ import pytest
 from repro.core.interface import NaLIX
 from repro.data import generate_dblp, movies_document
 from repro.database.store import Database
-from repro.evaluation.bench import collect_serve_results, collect_task_results
+from repro.evaluation.bench import (
+    collect_serve_chaos_results,
+    collect_serve_results,
+    collect_task_results,
+)
 from repro.evaluation.study import Study, StudyConfig
 from repro.obs.metrics import METRICS
 
@@ -55,6 +63,7 @@ def pytest_sessionfinish(session, exitstatus):
     results = {"timestamp": payload["timestamp"]}
     results.update(collect_task_results())
     results["serving"] = collect_serve_results()
+    results["serving_chaos"] = collect_serve_chaos_results()
     _RESULTS_PATH.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -398,6 +398,14 @@ def cmd_bench_check(args):
         current["serving"] = collect_serve_results(
             books=args.books, seed=args.seed
         )
+    if args.serve and "serving_chaos" not in current:
+        from repro.evaluation.bench import collect_serve_chaos_results
+
+        print("bench-check: running the chaos serving benchmark...",
+              file=sys.stderr)
+        current["serving_chaos"] = collect_serve_chaos_results(
+            books=args.books, seed=args.seed
+        )
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as handle:
             json_module.dump(current, handle, indent=2, sort_keys=True)
@@ -442,8 +450,19 @@ def cmd_serve(args):
         audit_path=args.access_log,
         allow_xquery=args.allow_xquery,
         drain_grace=args.drain_grace,
+        fault_plan=args.inject_fault or None,
+        brownout=not args.no_brownout,
+        watchdog=not args.no_watchdog,
+        watchdog_interval=args.watchdog_interval,
+        watchdog_soft=args.watchdog_soft,
+        watchdog_hard=args.watchdog_hard,
+        breaker_threshold=args.breaker_threshold,
+        breaker_open_seconds=args.breaker_open,
     )
-    server = ReproServer(database, config=config)
+    try:
+        server = ReproServer(database, config=config)
+    except ValueError as error:
+        raise SystemExit(f"repro: {error}")
     server.start()
     print(f"repro serve: listening on {server.url} "
           f"(max {config.max_inflight} queries in flight"
@@ -452,6 +471,9 @@ def cmd_serve(args):
           + ")")
     if config.audit_path:
         print(f"repro serve: access log -> {config.audit_path}")
+    if config.fault_plan:
+        print(f"repro serve: CHAOS — injecting faults: "
+              f"{', '.join(config.fault_plan)}")
     signum = server.serve_until_signal()
     print(f"repro serve: received signal {signum}, drained and stopped")
     return 0
@@ -474,6 +496,9 @@ def cmd_loadgen(args):
             tenants=args.tenant.split(",") if "," in args.tenant else None,
             explain_every=args.explain_every,
             timeout=args.timeout,
+            retries=args.retries,
+            hedge=args.hedge,
+            retry_seed=args.retry_seed,
         )
     except ValueError as error:
         raise SystemExit(f"repro: {error}")
@@ -483,7 +508,78 @@ def cmd_loadgen(args):
               + "\n", args.out)
     else:
         _emit(report.render_text() + "\n", args.out)
-    return 0 if report.internal_errors == 0 else 1
+    if report.internal_errors or report.unclassified_5xx:
+        return 1
+    if (args.min_availability is not None
+            and report.availability < args.min_availability):
+        print(
+            f"repro loadgen: availability {report.availability * 100:.2f}% "
+            f"below the required {args.min_availability * 100:.2f}%",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _resilience_summary(metrics):
+    """Self-healing summary lines from a scraped ``/metrics`` parse.
+
+    Surfaces the serving resilience layer — breaker states, brownout
+    level, watchdog stuck/expired/recovered, client retries/hedges,
+    injected faults — so ``repro stats --url`` answers "is the server
+    healing itself?" without grepping the full table.
+    """
+    from repro.obs.export import prometheus_metric_name, \
+        prometheus_sample_value
+
+    def value(name):
+        return prometheus_sample_value(
+            metrics, prometheus_metric_name(name)
+        )
+
+    lines = []
+    states = {0: "closed", 1: "half-open", 2: "open"}
+    breaker_bits = []
+    for klass in ("internal", "exhausted"):
+        state = value(f"serve.breaker.{klass}.state")
+        if state is not None:
+            opened = value(f"serve.breaker.{klass}.opened") or 0
+            breaker_bits.append(
+                f"{klass}={states.get(int(state), state)} "
+                f"(opened {int(opened)}x)"
+            )
+    if breaker_bits:
+        lines.append("breakers   " + "  ".join(breaker_bits))
+    level = value("serve.brownout.level")
+    if level is not None:
+        lines.append(
+            f"brownout   level {int(level)}"
+            f" (ascends {int(value('serve.brownout.ascends') or 0)},"
+            f" pre-degraded"
+            f" {int(value('serve.brownout.pre_degraded') or 0)})"
+        )
+    stuck = value("serve.watchdog.stuck")
+    if stuck is not None:
+        lines.append(
+            f"watchdog   stuck {int(stuck)}, "
+            f"expired {int(value('serve.watchdog.expired') or 0)}, "
+            f"recovered {int(value('serve.watchdog.recovered') or 0)}"
+        )
+    retries = value("serve.client.retries")
+    if retries:
+        lines.append(
+            f"client     retries {int(retries)}, "
+            f"hedges {int(value('serve.client.hedges') or 0)} "
+            f"(won {int(value('serve.client.hedge_wins') or 0)})"
+        )
+    injected = value("resilience.faults.injected")
+    delayed = value("resilience.faults.delayed")
+    if injected or delayed:
+        lines.append(
+            f"chaos      injected {int(injected or 0)}, "
+            f"delayed {int(delayed or 0)}"
+        )
+    return lines
 
 
 def _stats_from_url(args):
@@ -494,14 +590,27 @@ def _stats_from_url(args):
 
     from repro.obs.export import parse_prometheus_text
 
+    import time as time_module
+
+    from repro.resilience.retry import RetryPolicy
+
     url = args.url
     if not url.rstrip("/").endswith("/metrics"):
         url = url.rstrip("/") + "/metrics"
-    try:
-        with urllib.request.urlopen(url, timeout=10.0) as response:
-            text = response.read().decode("utf-8")
-    except (urllib.error.URLError, OSError) as error:
-        raise SystemExit(f"repro: cannot scrape {url!r}: {error}")
+    # Scrapes ride the shared retry policy: a server mid-restart or
+    # briefly overloaded should not fail an ops look-in.
+    policy = RetryPolicy(max_attempts=3, seed=0)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            with urllib.request.urlopen(url, timeout=10.0) as response:
+                text = response.read().decode("utf-8")
+            break
+        except (urllib.error.URLError, OSError) as error:
+            if not policy.should_retry(attempt, transport_error=True):
+                raise SystemExit(f"repro: cannot scrape {url!r}: {error}")
+            time_module.sleep(policy.backoff_seconds(attempt))
     out = getattr(args, "out", None)
     if args.format == "prom":
         _emit(text, out)
@@ -522,6 +631,12 @@ def _stats_from_url(args):
               out)
         return 0
     print(f"repro stats — scraped {url} ({len(metrics)} metrics)\n")
+    summary = _resilience_summary(metrics)
+    if summary:
+        print("self-healing:")
+        for line in summary:
+            print("  " + line)
+        print()
     print(f"{'metric':<54}{'type':>9}{'value':>14}")
     print("-" * 77)
     for name, entry in sorted(metrics.items()):
@@ -1091,6 +1206,33 @@ def build_parser():
     serve.add_argument("--drain-grace", type=float, metavar="SECONDS",
                        help="max seconds to wait for in-flight queries "
                        "on shutdown")
+    serve.add_argument("--inject-fault", action="append", metavar="SPEC",
+                       help="chaos: inject a fault into the served "
+                       "pipeline (STAGE, STAGE:N, STAGE:p=0.1[,seed=S]"
+                       "[,delay=SECONDS][,tenant=NAME]; repeatable)")
+    serve.add_argument("--no-brownout", action="store_true",
+                       help="disable the brownout ladder (budget "
+                       "tightening + pre-degradation under pressure)")
+    serve.add_argument("--no-watchdog", action="store_true",
+                       help="disable the stuck-query watchdog")
+    serve.add_argument("--watchdog-interval", type=float, default=0.5,
+                       metavar="SECONDS",
+                       help="watchdog scan interval "
+                       "(default: %(default)s)")
+    serve.add_argument("--watchdog-soft", type=float, metavar="SECONDS",
+                       help="absolute stuck stamp deadline (default: "
+                       "1.5x each request's budget deadline)")
+    serve.add_argument("--watchdog-hard", type=float, metavar="SECONDS",
+                       help="absolute force-expiry deadline (default: "
+                       "3x each request's budget deadline)")
+    serve.add_argument("--breaker-threshold", type=float, default=0.5,
+                       metavar="FRACTION",
+                       help="rolling failure rate that opens a circuit "
+                       "breaker (default: %(default)s)")
+    serve.add_argument("--breaker-open", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="seconds an open breaker waits before "
+                       "half-open probes (default: %(default)s)")
     serve.set_defaults(handler=cmd_serve)
 
     loadgen = commands.add_parser(
@@ -1117,6 +1259,17 @@ def build_parser():
     loadgen.add_argument("--timeout", type=float, default=30.0,
                          metavar="SECONDS",
                          help="per-request client timeout")
+    loadgen.add_argument("--retries", type=int, default=0, metavar="N",
+                         help="retry retryable outcomes up to N times "
+                         "with backoff + Retry-After (default: off)")
+    loadgen.add_argument("--hedge", action="store_true",
+                         help="race a hedged second attempt once a "
+                         "request exceeds the client's observed p95")
+    loadgen.add_argument("--retry-seed", type=int, default=0,
+                         help="base seed for the retry jitter")
+    loadgen.add_argument("--min-availability", type=float, metavar="FRACTION",
+                         help="exit 1 when final-outcome availability "
+                         "falls below this fraction")
     loadgen.add_argument("--json", action="store_true",
                          help="emit the report as JSON")
     loadgen.add_argument("--out", metavar="PATH",

@@ -72,6 +72,7 @@ from repro.resilience.budget import (
     check_deadline,
 )
 from repro.resilience.errors import (
+    BrownoutDegraded,
     classify_codes,
     describe_failure,
     is_retryable,
@@ -93,7 +94,8 @@ ensure_pipeline_consistent()
 #: opposed to the query being rejected back to the user with feedback.
 _FAILURE_CODES = frozenset({"translation-failure", "evaluation-failure",
                             "budget-exhausted", "internal-error",
-                            "injected-fault", "invalid-query"})
+                            "injected-fault", "invalid-query",
+                            "brownout-degraded"})
 
 #: Pipeline stage span names, in execution order.
 _STAGES = ("parse", "classify", "validate", "translate", "analyze",
@@ -152,6 +154,7 @@ class QueryResult:
         self.budget = None          # the QueryBudget the query ran under
         self.degraded = False       # served by a fallback hop, not exactly
         self.degradation_path = []  # fallback hops attempted, in order
+        self.pre_degrade = None     # brownout-requested fallback hop
 
     @property
     def ok(self):
@@ -358,14 +361,24 @@ class NaLIX:
     # -- the interactive entry point ------------------------------------------------------
 
     def ask(self, sentence, evaluate=True, budget=None, timeout=None,
-            profile=None, memory=None):
+            profile=None, memory=None, meter=None, pre_degrade=None):
         """Run the full pipeline; never raises.
 
         ``budget`` (a :class:`repro.resilience.QueryBudget`) bounds the
         query's work; ``timeout`` is a convenience that builds the
         default budget with the given wall-clock deadline in seconds.
         An explicit ``budget`` wins over ``timeout``; with neither, the
-        interface-level default budget (if any) applies.
+        interface-level default budget (if any) applies.  ``meter`` is a
+        pre-started :class:`repro.resilience.BudgetMeter` that wins over
+        all of them — the serving layer passes one so its stuck-query
+        watchdog can force-expire a wedged evaluation from outside.
+
+        ``pre_degrade`` (``"naive-flwor"`` or ``"keyword-search"``)
+        skips the full-fidelity evaluation rungs and serves directly
+        from the named fallback hop — the serving brownout ladder uses
+        it to shed work without shedding requests.  The answer is
+        classified ``degraded`` with a ``brownout-degraded`` cause, so
+        lower fidelity is always visible to the caller.
 
         ``profile`` (``True``, an hz number, or a
         :class:`repro.obs.profiler.ProfileSpec`) samples this query's
@@ -397,13 +410,17 @@ class NaLIX:
         if profile_spec is not None:
             profiler = SamplingProfiler.from_spec(profile_spec, trace=trace)
             result.profile = profiler
-        spec = budget
-        if spec is None and timeout is not None:
-            spec = QueryBudget.default(deadline_seconds=timeout)
-        if spec is None:
-            spec = self.budget
+        if meter is not None:
+            spec = meter.budget
+        else:
+            spec = budget
+            if spec is None and timeout is not None:
+                spec = QueryBudget.default(deadline_seconds=timeout)
+            if spec is None:
+                spec = self.budget
+            meter = spec.start() if spec is not None else None
         result.budget = spec
-        meter = spec.start() if spec is not None else None
+        result.pre_degrade = pre_degrade
         try:
             tracker.start()
             if profiler is not None:
@@ -593,6 +610,14 @@ class NaLIX:
         approximate, never silently wrong.
         """
         memory = result.memory
+        pre_degrade = result.pre_degrade
+        if pre_degrade == "keyword-search" and self.degrade:
+            # Brownout floor: skip FLWOR evaluation entirely (the
+            # keyword rung needs no AST, so xquery-parse is skipped too).
+            self._degrade_to_keyword(
+                result, trace, BrownoutDegraded("keyword-search")
+            )
+            return
         try:
             # Re-parse the serialized text: the emitted query string is
             # the contract, exactly as NaLIX hands text to Timber.
@@ -609,18 +634,22 @@ class NaLIX:
                 self._note_failure(result, error)
             return
 
-        try:
-            with trace.span("evaluate") as span, memory.stage(span):
-                self._fire_fault("evaluate")
-                result.items = self.evaluator.run(expr)
-                span.set("items", len(result.items))
-            return
-        except Exception as error:
-            primary = error
-        if not self.degrade:
-            result.accepted = False
-            self._note_failure(result, primary)
-            return
+        if pre_degrade == "naive-flwor" and self.degrade:
+            # Brownout middle rung: skip the planned evaluator.
+            primary = BrownoutDegraded("naive-flwor")
+        else:
+            try:
+                with trace.span("evaluate") as span, memory.stage(span):
+                    self._fire_fault("evaluate")
+                    result.items = self.evaluator.run(expr)
+                    span.set("items", len(result.items))
+                return
+            except Exception as error:
+                primary = error
+            if not self.degrade:
+                result.accepted = False
+                self._note_failure(result, primary)
+                return
 
         if self.evaluator.use_planner:
             result.degradation_path.append("naive-flwor")

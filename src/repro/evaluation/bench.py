@@ -139,3 +139,107 @@ def collect_serve_results(concurrency=SERVE_CONCURRENCY,
             server for _, _, server in report.records if server is not None
         ],
     }
+
+
+#: The standard chaos fault mix (seeded: every run injects the same
+#: number of faults).  Exception faults exercise the degradation
+#: ladder; the short delay trips the watchdog's soft deadline (stuck ->
+#: recovered); the long stall crosses the hard deadline, so the
+#: watchdog force-expires the budget and the request comes back as a
+#: classified 504 the retrying client converts into a success.
+CHAOS_FAULTS = (
+    "evaluate:p=0.10,seed=11",
+    "evaluate:p=0.06,delay=0.3,seed=12",
+    "evaluate:p=0.02,delay=1.2,seed=13",
+)
+
+#: Client retries in the chaos run (attempts = retries + 1).
+CHAOS_RETRIES = 2
+
+#: Watchdog tuning for the chaos run: tight absolute deadlines so the
+#: injected 0.3s/1.2s stalls reliably cross them within one benchmark.
+CHAOS_WATCHDOG_SOFT = 0.2
+CHAOS_WATCHDOG_HARD = 0.9
+CHAOS_WATCHDOG_INTERVAL = 0.02
+
+
+def collect_serve_chaos_results(concurrency=SERVE_CONCURRENCY,
+                                requests=SERVE_REQUESTS, books=120, seed=7,
+                                nalix=None, faults=CHAOS_FAULTS,
+                                retries=CHAOS_RETRIES):
+    """The chaos-under-concurrency serving benchmark row.
+
+    Same shape as :func:`collect_serve_results`, but the server runs
+    with the :data:`CHAOS_FAULTS` plan injected (10% evaluate
+    exceptions plus two latency-spike tiers), an aggressive stuck-query
+    watchdog, and *retrying* loadgen clients.  The row records what the
+    self-healing machinery delivered under fire: final-outcome
+    availability (the ratchet's >= 99% gate), the watchdog's
+    stuck/expired/recovered counts, retry totals, and the
+    injected/delayed fault counts that prove chaos actually ran.
+    """
+    from repro.obs.metrics import METRICS
+    from repro.serve import LoadgenConfig, ReproServer, ServeConfig, run_loadgen
+
+    if nalix is None:
+        nalix = build_bench_nalix(books=books, seed=seed)
+    config = ServeConfig(
+        port=0, max_inflight=concurrency, window=max(4096, requests),
+        fault_plan=list(faults),
+        watchdog_soft=CHAOS_WATCHDOG_SOFT,
+        watchdog_hard=CHAOS_WATCHDOG_HARD,
+        watchdog_interval=CHAOS_WATCHDOG_INTERVAL,
+    )
+    server = ReproServer(nalix=nalix, config=config)
+    server.start()
+    injected = METRICS.counter("resilience.faults.injected")
+    delayed = METRICS.counter("resilience.faults.delayed")
+    try:
+        # Warm up, then rewind the fault plan's seeded RNGs so the
+        # measured run always draws the same injection sequence.
+        run_loadgen(LoadgenConfig(server.url, concurrency=concurrency,
+                                  requests=len(TASKS), retries=retries))
+        server.nalix.fault_plan.reset()
+        server.window.reset()
+        watchdog_before = server.watchdog.snapshot()
+        injected_before = injected.value
+        delayed_before = delayed.value
+        report = run_loadgen(
+            LoadgenConfig(server.url, concurrency=concurrency,
+                          requests=requests, retries=retries)
+        )
+        watchdog_after = server.watchdog.snapshot()
+    finally:
+        server.stop()
+    latency = report.server_latency
+    return {
+        "concurrency": concurrency,
+        "requests": report.requests,
+        "elapsed_seconds": report.elapsed,
+        "qps": report.qps,
+        "availability": report.availability,
+        "statuses": {str(k): v for k, v in sorted(report.statuses.items())},
+        "sheds": report.sheds,
+        "internal_errors": report.internal_errors,
+        "unclassified_5xx": report.unclassified_5xx,
+        "transport_errors": report.transport_errors,
+        "retries": report.retries,
+        "hedges": report.hedges,
+        "faults_injected": injected.value - injected_before,
+        "faults_delayed": delayed.value - delayed_before,
+        "watchdog": {
+            "stuck": (watchdog_after["stuck_total"]
+                      - watchdog_before["stuck_total"]),
+            "expired": (watchdog_after["expired_total"]
+                        - watchdog_before["expired_total"]),
+            "recovered": (watchdog_after["recovered_total"]
+                          - watchdog_before["recovered_total"]),
+        },
+        "p50_seconds": latency["p50"],
+        "p95_seconds": latency["p95"],
+        "p99_seconds": latency["p99"],
+        "client_p99_seconds": report.client_latency["p99"],
+        "samples_seconds": [
+            server for _, _, server in report.records if server is not None
+        ],
+    }

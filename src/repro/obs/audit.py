@@ -129,6 +129,28 @@ class AuditLog:
             self._handle.flush()
         return entry
 
+    def record_event(self, event, **fields):
+        """Append one non-query event line (watchdog dumps, ops notes).
+
+        The entry carries ``event`` (a short kebab-case kind, e.g.
+        ``watchdog-stuck``), a timestamp, the log's actor, and any
+        extra fields — same file, same rotation, same thread-safety as
+        query records, so one JSONL trail tells the whole story.
+        """
+        entry = {"timestamp": time.time(), "event": event}
+        if self.actor is not None:
+            entry["actor"] = self.actor
+        entry.update(fields)
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with self._lock:
+            if self.max_bytes is not None:
+                self._rotate_if_needed(len(line.encode("utf-8")))
+            if self._handle is None:
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(line)
+            self._handle.flush()
+        return entry
+
     def _rotate_if_needed(self, incoming_bytes):
         if self._handle is not None:
             current = self._handle.tell()

@@ -286,6 +286,7 @@ def compare_results(baseline, current, tolerance=None):
                         cur_stages[stage], verdict, note)
             )
     findings.extend(_compare_serving(baseline, current, tolerance))
+    findings.extend(_compare_serving_chaos(baseline, current, tolerance))
     return RegressionReport(findings, tolerance)
 
 
@@ -342,6 +343,89 @@ def _compare_serving(baseline, current, tolerance):
         findings.append(
             Finding("serving", "internal_errors", 0.0, float(errors), FAIL,
                     f"{errors} internal error(s) during the serving run")
+        )
+    return findings
+
+
+#: The chaos benchmark's hard availability floor (final-outcome
+#: availability under injected faults, with client retries on).
+MIN_CHAOS_AVAILABILITY = 0.99
+
+
+def _compare_serving_chaos(baseline, current, tolerance):
+    """Comparison rows for the ``serving_chaos`` benchmark section.
+
+    The chaos run is gated on *absolutes*, not just drift: final-outcome
+    availability below :data:`MIN_CHAOS_AVAILABILITY` fails, and any
+    unclassified 5xx (a failure the server emitted without the error
+    taxonomy) fails — under injected faults every response must still be
+    classified.  Latency (p50/p99) and throughput ratchet relatively,
+    exactly like the fault-free serving section.  A run where the
+    watchdog never saw a stuck request only *warns*: the chaos plan may
+    have rotted, but a healthy-looking run should not block a merge.
+    """
+    base = baseline.get("serving_chaos")
+    if base is None:
+        return []
+    cur = current.get("serving_chaos")
+    if cur is None:
+        return [
+            Finding("serving_chaos", "availability",
+                    base.get("availability", 0.0), 0.0, SKIP,
+                    "no serving_chaos section in current run")
+        ]
+    findings = []
+    availability = cur.get("availability", 0.0)
+    verdict = PASS if availability >= MIN_CHAOS_AVAILABILITY else FAIL
+    findings.append(
+        Finding("serving_chaos", "availability",
+                base.get("availability", 0.0), availability, verdict,
+                f"floor {MIN_CHAOS_AVAILABILITY:.0%}"
+                if verdict == FAIL else "")
+    )
+    unclassified = cur.get("unclassified_5xx", 0)
+    if unclassified:
+        findings.append(
+            Finding("serving_chaos", "unclassified_5xx", 0.0,
+                    float(unclassified), FAIL,
+                    f"{unclassified} unclassified 5xx response(s) — every "
+                    "failure under chaos must carry the error taxonomy")
+        )
+    watchdog = cur.get("watchdog", {})
+    if not watchdog.get("stuck") and not watchdog.get("expired"):
+        findings.append(
+            Finding("serving_chaos", "watchdog_stuck", 1.0, 0.0, WARN,
+                    "the watchdog never saw a stuck request — is the "
+                    "chaos plan still injecting latency?")
+        )
+    samples = cur.get("samples_seconds", [])
+    if len(samples) < tolerance.min_samples:
+        findings.append(
+            Finding("serving_chaos", "p99_seconds",
+                    base.get("p99_seconds", 0.0),
+                    cur.get("p99_seconds", 0.0), SKIP,
+                    f"only {len(samples)} samples "
+                    f"(min {tolerance.min_samples})")
+        )
+        return findings
+    for metric in ("p50_seconds", "p99_seconds"):
+        if metric not in base or metric not in cur:
+            continue
+        verdict, note = _classify(base[metric], cur[metric], samples,
+                                  tolerance)
+        findings.append(
+            Finding("serving_chaos", metric, base[metric], cur[metric],
+                    verdict, note)
+        )
+    base_qps = base.get("qps")
+    cur_qps = cur.get("qps")
+    if base_qps and cur_qps:
+        verdict, note = _classify(1.0 / base_qps, 1.0 / cur_qps, samples,
+                                  tolerance)
+        findings.append(
+            Finding("serving_chaos", "seconds_per_request",
+                    1.0 / base_qps, 1.0 / cur_qps, verdict,
+                    note or f"qps {base_qps:.1f} -> {cur_qps:.1f}")
         )
     return findings
 

@@ -1,22 +1,32 @@
-"""Resilience layer: budgets, error taxonomy, and fault injection.
+"""Resilience layer: budgets, error taxonomy, fault injection, retries.
 
-Three cooperating pieces keep the interactive pipeline deployable:
+Cooperating pieces that keep the interactive pipeline deployable:
 
 * :mod:`repro.resilience.budget` — per-query resource budgets
   (deadline, MQF candidate tuples, materialized nodes, FLWOR
-  iterations) checked cooperatively at engine loop boundaries;
+  iterations) checked cooperatively at engine loop boundaries; meters
+  can be force-expired from another thread (the stuck-query watchdog);
 * :mod:`repro.resilience.errors` — the typed failure taxonomy
   (``REJECTED`` / ``DEGRADED`` / ``EXHAUSTED`` / ``INTERNAL``) with
   retryability flags, surfaced on ``QueryResult``;
 * :mod:`repro.resilience.faults` — a deterministic fault-injection
-  harness used by the chaos test suite and the ``--inject-fault`` CLI
-  flag.
+  harness (exception and latency faults, per-tenant scoping) used by
+  the chaos suites and the ``--inject-fault`` CLI flag;
+* :mod:`repro.resilience.breaker` — per-failure-class circuit breakers
+  feeding the serving brownout ladder;
+* :mod:`repro.resilience.retry` — the shared client retry policy
+  (exponential backoff + jitter, ``Retry-After``, hedging threshold).
 
 The graceful-degradation ladder itself (planned FLWOR → naive FLWOR →
 bounded keyword search) lives in :mod:`repro.core.interface`, which
-consumes all three pieces.
+consumes these pieces; the brownout/watchdog server machinery lives in
+:mod:`repro.serve`.
 """
 
+from repro.resilience.breaker import (
+    BreakerBoard,
+    CircuitBreaker,
+)
 from repro.resilience.budget import (
     BudgetMeter,
     QueryBudget,
@@ -26,6 +36,7 @@ from repro.resilience.budget import (
     check_deadline,
 )
 from repro.resilience.errors import (
+    BrownoutDegraded,
     BudgetExceeded,
     ErrorClass,
     InjectedFault,
@@ -34,23 +45,42 @@ from repro.resilience.errors import (
     describe_failure,
     is_retryable,
 )
-from repro.resilience.faults import FAULT_STAGES, FaultPlan, FaultSpec
+from repro.resilience.faults import (
+    FAULT_STAGES,
+    FaultPlan,
+    FaultSpec,
+    current_fault_tenant,
+    fault_scope,
+)
+from repro.resilience.retry import (
+    RETRYABLE_STATUSES,
+    RetryPolicy,
+    parse_retry_after,
+)
 
 __all__ = [
+    "BreakerBoard",
+    "BrownoutDegraded",
     "BudgetExceeded",
     "BudgetMeter",
+    "CircuitBreaker",
     "ErrorClass",
     "FAULT_STAGES",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "QueryBudget",
+    "RETRYABLE_STATUSES",
     "ResilienceError",
+    "RetryPolicy",
     "activate_budget",
     "active_meter",
     "charge",
     "check_deadline",
     "classify_codes",
+    "current_fault_tenant",
     "describe_failure",
+    "fault_scope",
     "is_retryable",
+    "parse_retry_after",
 ]

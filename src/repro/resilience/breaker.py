@@ -1,0 +1,230 @@
+"""Circuit breakers over the query failure taxonomy.
+
+A :class:`CircuitBreaker` watches the rolling rate of one failure class
+(``QueryResult.error_class``) over the last ``window`` finished
+requests and walks the classic three-state machine:
+
+``closed``
+    Normal operation.  Every outcome lands in the rolling window; when
+    at least ``min_samples`` outcomes are present and the failure rate
+    reaches ``failure_threshold``, the breaker trips to ``open``.
+``open``
+    The failure class is considered systemic.  The serving layer does
+    **not** hard-reject while a breaker is open — it *browns out*
+    (tightens budgets and pre-degrades down the evaluation ladder; see
+    :mod:`repro.serve.brownout`).  After ``open_seconds`` the breaker
+    moves to ``half-open``.
+``half-open``
+    Up to ``half_open_probes`` requests are admitted as **probes**
+    running the full-fidelity path.  ``half_open_probes`` consecutive
+    probe successes close the breaker (window reset); any probe failure
+    re-opens it for another ``open_seconds``.
+
+The clock is injectable so every transition is unit-testable without
+sleeping.  All methods are thread-safe; state changes increment
+``serve.breaker.<name>.*`` counters and a ``serve.breaker.<name>.state``
+gauge (0 = closed, 1 = half-open, 2 = open) so the live ops surface
+(`/metrics`, `/statusz`, ``repro stats --url``) shows breaker health.
+
+:class:`BreakerBoard` groups one breaker per *service-health* failure
+class (``internal`` and ``exhausted`` — ``rejected`` is user error and
+``degraded`` is the brownout ladder doing its job) and fans one
+recorded outcome out to all of them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.obs.metrics import METRICS
+
+CLOSED, HALF_OPEN, OPEN = "closed", "half-open", "open"
+
+#: Numeric encoding of states for the Prometheus gauge.
+STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Failure classes that get a breaker on the serving board.
+BREAKER_CLASSES = ("internal", "exhausted")
+
+
+class CircuitBreaker:
+    """One failure class's closed → open → half-open state machine."""
+
+    def __init__(self, name, window=64, failure_threshold=0.5,
+                 min_samples=8, open_seconds=5.0, half_open_probes=3,
+                 clock=time.monotonic):
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {failure_threshold!r}"
+            )
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.name = name
+        self.window = window
+        self.failure_threshold = failure_threshold
+        self.min_samples = min_samples
+        self.open_seconds = open_seconds
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes = deque(maxlen=window)  # True = failure of our class
+        self._state = CLOSED
+        self._opened_at = None
+        self._probes_outstanding = 0
+        self._probe_successes = 0
+        self._opened_total = 0
+        self._state_gauge = METRICS.gauge(f"serve.breaker.{name}.state")
+        self._opened_counter = METRICS.counter(f"serve.breaker.{name}.opened")
+        self._closed_counter = METRICS.counter(f"serve.breaker.{name}.closed")
+        self._probe_counter = METRICS.counter(f"serve.breaker.{name}.probes")
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self):
+        """The current state, applying the open → half-open timeout."""
+        with self._lock:
+            self._advance()
+            return self._state
+
+    def failure_rate(self):
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            return sum(self._outcomes) / len(self._outcomes)
+
+    def _advance(self):
+        """Open → half-open once ``open_seconds`` have elapsed (locked)."""
+        if (self._state == OPEN
+                and self._clock() - self._opened_at >= self.open_seconds):
+            self._state = HALF_OPEN
+            self._probes_outstanding = 0
+            self._probe_successes = 0
+            self._state_gauge.set(STATE_CODES[HALF_OPEN])
+
+    def _trip(self):
+        """Any state → open (locked)."""
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._opened_total += 1
+        self._probes_outstanding = 0
+        self._probe_successes = 0
+        self._opened_counter.inc()
+        self._state_gauge.set(STATE_CODES[OPEN])
+
+    def _close(self):
+        """Half-open → closed after enough probe successes (locked)."""
+        self._state = CLOSED
+        self._opened_at = None
+        self._outcomes.clear()
+        self._probes_outstanding = 0
+        self._probe_successes = 0
+        self._closed_counter.inc()
+        self._state_gauge.set(STATE_CODES[CLOSED])
+
+    # -- the serving-layer interface ----------------------------------------
+
+    def acquire_probe(self):
+        """Claim one half-open probe slot; True when this request probes.
+
+        Only meaningful while half-open: probes run the full-fidelity
+        path (no brownout pre-degradation) so the breaker can observe
+        whether the failure class has recovered.
+        """
+        with self._lock:
+            self._advance()
+            if (self._state != HALF_OPEN
+                    or self._probes_outstanding >= self.half_open_probes):
+                return False
+            self._probes_outstanding += 1
+            self._probe_counter.inc()
+            return True
+
+    def record(self, failed, probe=False):
+        """Record one finished request (``failed`` = our failure class).
+
+        ``probe`` marks the outcome of a request admitted through
+        :meth:`acquire_probe`; probe outcomes drive the half-open →
+        closed / re-open transitions instead of the rolling window.
+        """
+        with self._lock:
+            self._advance()
+            if probe and self._state == HALF_OPEN:
+                self._probes_outstanding = max(
+                    0, self._probes_outstanding - 1
+                )
+                if failed:
+                    self._trip()
+                else:
+                    self._probe_successes += 1
+                    if self._probe_successes >= self.half_open_probes:
+                        self._close()
+                return
+            if self._state != CLOSED:
+                return
+            self._outcomes.append(bool(failed))
+            if (len(self._outcomes) >= self.min_samples
+                    and sum(self._outcomes) / len(self._outcomes)
+                    >= self.failure_threshold):
+                self._trip()
+
+    # -- introspection -------------------------------------------------------
+
+    def snapshot(self):
+        with self._lock:
+            self._advance()
+            return {
+                "state": self._state,
+                "failure_rate": (
+                    sum(self._outcomes) / len(self._outcomes)
+                    if self._outcomes else 0.0
+                ),
+                "samples": len(self._outcomes),
+                "opened_total": self._opened_total,
+                "probe_successes": self._probe_successes,
+            }
+
+    def __repr__(self):
+        return f"CircuitBreaker({self.name!r}, {self.state})"
+
+
+class BreakerBoard:
+    """One breaker per service-health failure class, fed per request."""
+
+    def __init__(self, classes=BREAKER_CLASSES, **breaker_kwargs):
+        self.breakers = {
+            name: CircuitBreaker(name, **breaker_kwargs) for name in classes
+        }
+
+    def record(self, error_class, probe=False):
+        """Fan one finished request's class out to every breaker."""
+        for name, breaker in self.breakers.items():
+            breaker.record(error_class == name, probe=probe)
+
+    def acquire_probe(self):
+        """Claim a probe slot on any half-open breaker (first wins)."""
+        return any(
+            breaker.acquire_probe() for breaker in self.breakers.values()
+        )
+
+    def any_open(self):
+        return any(
+            breaker.state == OPEN for breaker in self.breakers.values()
+        )
+
+    def snapshot(self):
+        return {
+            name: breaker.snapshot()
+            for name, breaker in sorted(self.breakers.items())
+        }
+
+    def __repr__(self):
+        states = ", ".join(
+            f"{name}={breaker.state}"
+            for name, breaker in sorted(self.breakers.items())
+        )
+        return f"BreakerBoard({states})"

@@ -81,6 +81,33 @@ class QueryBudget:
         """Begin metering one query against this budget."""
         return BudgetMeter(self)
 
+    def scaled(self, factor):
+        """A copy with every finite cap multiplied by ``factor``.
+
+        Used by the serving brownout ladder to tighten budgets under
+        pressure (``factor`` < 1).  ``None`` (unlimited) caps stay
+        unlimited; count caps keep a floor of 1.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be > 0, got {factor!r}")
+
+        def _scale(value, floor=None):
+            if value is None:
+                return None
+            scaled = value * factor
+            if floor is not None:
+                scaled = max(floor, int(scaled))
+            return scaled
+
+        return type(self)(
+            deadline_seconds=_scale(self.deadline_seconds),
+            max_candidate_tuples=_scale(self.max_candidate_tuples, floor=1),
+            max_materialized_nodes=_scale(
+                self.max_materialized_nodes, floor=1
+            ),
+            max_flwor_iterations=_scale(self.max_flwor_iterations, floor=1),
+        )
+
     def to_dict(self):
         return {
             "deadline_seconds": self.deadline_seconds,
@@ -102,7 +129,8 @@ class BudgetMeter:
     """Tracks one query's spending against a :class:`QueryBudget`."""
 
     __slots__ = ("budget", "started_at", "spent", "_limits",
-                 "_deadline_at", "_charges_since_deadline_check")
+                 "_deadline_at", "_charges_since_deadline_check",
+                 "_expired_reason")
 
     def __init__(self, budget):
         self.budget = budget
@@ -123,6 +151,31 @@ class BudgetMeter:
             else None
         )
         self._charges_since_deadline_check = 0
+        self._expired_reason = None
+
+    def expire(self, reason="expired"):
+        """Force the meter expired: the next check raises EXHAUSTED.
+
+        Called from *another* thread (the stuck-query watchdog) to turn
+        a wedged evaluation into a classified ``exhausted`` response at
+        its next cooperative check.  Idempotent; a plain attribute write
+        is atomic under the GIL so no lock is needed.
+        """
+        if self._expired_reason is None:
+            self._expired_reason = reason
+
+    @property
+    def expired(self):
+        return self._expired_reason is not None
+
+    def _check_expired(self):
+        if self._expired_reason is not None:
+            METRICS.inc("resilience.budget.exceeded.deadline")
+            raise BudgetExceeded(
+                "deadline",
+                self.budget.deadline_seconds or 0.0,
+                self.elapsed_seconds(),
+            )
 
     def charge(self, resource, amount=1):
         """Consume ``amount`` of ``resource``; raise when over budget.
@@ -131,6 +184,7 @@ class BudgetMeter:
         ``_DEADLINE_CHECK_INTERVAL`` charges, so tight loops that only
         charge one resource still honour the deadline.
         """
+        self._check_expired()
         spent = self.spent[resource] + amount
         self.spent[resource] = spent
         limit = self._limits[resource]
@@ -143,6 +197,7 @@ class BudgetMeter:
 
     def check_deadline(self):
         """Raise :class:`BudgetExceeded` when the wall clock has run out."""
+        self._check_expired()
         self._charges_since_deadline_check = 0
         if self._deadline_at is None:
             return
@@ -168,6 +223,8 @@ class BudgetMeter:
         """Plain-dict view of spending (for span attributes / audits)."""
         entry = dict(self.spent)
         entry["elapsed_seconds"] = self.elapsed_seconds()
+        if self._expired_reason is not None:
+            entry["expired"] = self._expired_reason
         return entry
 
     def __repr__(self):

@@ -48,6 +48,9 @@ RETRYABLE_CLASSES = frozenset(
 #: Feedback error codes signalling budget exhaustion.
 EXHAUSTED_CODES = frozenset({"budget-exhausted"})
 
+#: Feedback error codes signalling a (brownout) fidelity downgrade.
+DEGRADED_CODES = frozenset({"brownout-degraded"})
+
 #: Feedback error codes signalling a system-side failure.
 #: ``invalid-query`` is the static-analysis gate rejecting a malformed
 #: translation (repro.analysis) — a translator defect, not user error.
@@ -71,6 +74,8 @@ def classify_codes(codes):
         return ErrorClass.EXHAUSTED
     if any(code in INTERNAL_CODES for code in codes):
         return ErrorClass.INTERNAL
+    if any(code in DEGRADED_CODES for code in codes):
+        return ErrorClass.DEGRADED
     return ErrorClass.REJECTED
 
 
@@ -120,6 +125,25 @@ class InjectedFault(ResilienceError):
         super().__init__(message or f"injected fault at stage {stage!r}")
 
 
+class BrownoutDegraded(ResilienceError):
+    """The serving brownout ladder pre-degraded this request.
+
+    Raised *synthetically* inside ``ask()`` to skip the full-fidelity
+    evaluation rungs when the server has asked for a pre-degraded
+    request (see :mod:`repro.serve.brownout`): the degradation ladder
+    catches it and proceeds straight to the requested rung, so the
+    response is classified ``degraded`` with an explicit brownout code
+    rather than silently serving lower fidelity.
+    """
+
+    error_class = ErrorClass.DEGRADED
+    retryable = True
+
+    def __init__(self, target):
+        self.target = target
+        super().__init__(f"brownout pre-degraded to {target}")
+
+
 def describe_failure(error):
     """Feedback ``(code, text, suggestion)`` for an evaluation-path error.
 
@@ -138,6 +162,13 @@ def describe_failure(error):
             "injected-fault",
             f"A fault was injected for testing: {error}.",
             "This failure was requested by the chaos harness.",
+        )
+    if isinstance(error, BrownoutDegraded):
+        return (
+            "brownout-degraded",
+            f"The server is under pressure and served a lower-fidelity "
+            f"answer: {error}.",
+            "Retry later for a full-fidelity answer.",
         )
     from repro.xquery.errors import XQueryError
 

@@ -2,29 +2,44 @@
 
 A :class:`FaultPlan` holds :class:`FaultSpec` triggers keyed by pipeline
 stage.  ``NaLIX`` fires :meth:`FaultPlan.fire` at the top of every stage
-span; when a spec triggers, an :class:`InjectedFault` (or a caller-
-supplied exception) is raised *inside* the stage, exercising exactly the
-error path a real failure of that stage would take.
+span; when a spec triggers it either raises an :class:`InjectedFault`
+(or a caller-supplied exception) *inside* the stage — exercising exactly
+the error path a real failure of that stage would take — or, in
+``delay`` mode, sleeps inside the stage to inject latency without
+monkeypatching (the stage then proceeds normally, which is what lets
+the stuck-query watchdog observe a genuinely slow in-flight request).
 
 Triggers are deterministic: either fire on the Nth call to the stage
 (``at_call``, 1-based; the default fires on every call) or fire with a
 probability driven by a seeded ``random.Random`` — the same plan run
 against the same query sequence always injects the same faults, which
-is what lets the chaos suite assert exact outcomes.
+is what lets the chaos suite assert exact outcomes.  A spec may also be
+scoped to one tenant (``tenant=``): the serving layer publishes the
+current tenant through :func:`fault_scope` and unscoped requests only
+match unscoped specs.
 
 CLI syntax (``--inject-fault``), parsed by :meth:`FaultPlan.parse_spec`::
 
-    STAGE                 fire on every call of STAGE
-    STAGE:N               fire on the Nth call only
-    STAGE:p=0.5,seed=42   fire with probability 0.5 (seeded)
+    STAGE                           fire on every call of STAGE
+    STAGE:N                         fire on the Nth call only
+    STAGE:p=0.5,seed=42             fire with probability 0.5 (seeded)
+    STAGE:probability=0.5           same (long-form alias)
+    STAGE:p=0.1,delay=0.25          sleep 0.25s instead of raising
+    STAGE:p=0.1,tenant=acme         only for tenant "acme"
 
-Every fired fault increments the ``resilience.faults.injected`` counter
-and a per-stage ``resilience.faults.injected.<stage>`` counter.
+Every raised fault increments the ``resilience.faults.injected`` counter
+and a per-stage ``resilience.faults.injected.<stage>`` counter; every
+delay fault increments ``resilience.faults.delayed`` and
+``resilience.faults.delayed.<stage>``.  Plans are shared across server
+worker threads, so trigger bookkeeping is lock-protected.
 """
 
 from __future__ import annotations
 
 import random
+import threading
+import time
+from contextvars import ContextVar
 
 from repro.obs.metrics import METRICS
 from repro.resilience.errors import InjectedFault
@@ -34,13 +49,45 @@ FAULT_STAGES = ("parse", "classify", "validate", "translate", "analyze",
                 "xquery-parse", "evaluate")
 
 _INJECTED = METRICS.counter("resilience.faults.injected")
+_DELAYED = METRICS.counter("resilience.faults.delayed")
+
+#: The tenant the current request belongs to, for ``tenant=`` scoping.
+_FAULT_TENANT: ContextVar[str | None] = ContextVar(
+    "repro_resilience_fault_tenant", default=None
+)
+
+
+class _FaultScope:
+    __slots__ = ("_tenant", "_token")
+
+    def __init__(self, tenant):
+        self._tenant = tenant
+        self._token = None
+
+    def __enter__(self):
+        self._token = _FAULT_TENANT.set(self._tenant)
+        return self._tenant
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        _FAULT_TENANT.reset(self._token)
+        return False
+
+
+def fault_scope(tenant):
+    """Context manager: attribute faults in this context to ``tenant``."""
+    return _FaultScope(tenant)
+
+
+def current_fault_tenant():
+    """The tenant published by the innermost :func:`fault_scope`."""
+    return _FAULT_TENANT.get()
 
 
 class FaultSpec:
-    """One trigger: which stage, when, and what to raise."""
+    """One trigger: which stage, when, whom, and what to do."""
 
     def __init__(self, stage, at_call=None, probability=None, seed=0,
-                 exception=None, message=None):
+                 exception=None, message=None, delay=None, tenant=None):
         if stage not in FAULT_STAGES:
             raise ValueError(
                 f"unknown fault stage {stage!r}; expected one of "
@@ -50,23 +97,40 @@ class FaultSpec:
             raise ValueError("at_call is 1-based and must be >= 1")
         if probability is not None and not 0.0 <= probability <= 1.0:
             raise ValueError("probability must be within [0, 1]")
+        if delay is not None and delay < 0:
+            raise ValueError("delay must be >= 0 seconds")
+        if delay is not None and exception is not None:
+            raise ValueError("a fault spec is either delay= or exception=")
         self.stage = stage
         self.at_call = at_call
         self.probability = probability
         self.seed = seed
         self.exception = exception
         self.message = message
+        self.delay = delay
+        self.tenant = tenant
         self._calls = 0
         self._rng = random.Random(seed) if probability is not None else None
+        self._lock = threading.Lock()
+
+    def matches_tenant(self, tenant):
+        """True when this spec applies to requests from ``tenant``."""
+        return self.tenant is None or self.tenant == tenant
 
     def should_fire(self):
-        """Advance this spec's call count; True when the fault triggers."""
-        self._calls += 1
-        if self.at_call is not None:
-            return self._calls == self.at_call
-        if self.probability is not None:
-            return self._rng.random() < self.probability
-        return True
+        """Advance this spec's call count; True when the fault triggers.
+
+        Thread-safe: server worker threads share one plan, and the call
+        counter / seeded RNG must advance exactly once per consult to
+        stay deterministic.
+        """
+        with self._lock:
+            self._calls += 1
+            if self.at_call is not None:
+                return self._calls == self.at_call
+            if self.probability is not None:
+                return self._rng.random() < self.probability
+            return True
 
     def make_exception(self):
         if self.exception is not None:
@@ -80,9 +144,10 @@ class FaultSpec:
 
     def reset(self):
         """Rewind the call counter and reseed the RNG (for reuse)."""
-        self._calls = 0
-        if self.probability is not None:
-            self._rng = random.Random(self.seed)
+        with self._lock:
+            self._calls = 0
+            if self.probability is not None:
+                self._rng = random.Random(self.seed)
 
     def __repr__(self):
         trigger = (
@@ -91,7 +156,12 @@ class FaultSpec:
             if self.probability is not None
             else "always"
         )
-        return f"FaultSpec({self.stage!r}, {trigger})"
+        extras = ""
+        if self.delay is not None:
+            extras += f", delay={self.delay}"
+        if self.tenant is not None:
+            extras += f", tenant={self.tenant!r}"
+        return f"FaultSpec({self.stage!r}, {trigger}{extras})"
 
 
 class FaultPlan:
@@ -109,7 +179,12 @@ class FaultPlan:
             return cls([value])
         if isinstance(value, str):
             return cls([cls.parse_spec(value)])
-        return cls(list(value))
+        specs = []
+        for item in value:
+            specs.append(
+                cls.parse_spec(item) if isinstance(item, str) else item
+            )
+        return cls(specs)
 
     @staticmethod
     def parse_spec(text):
@@ -123,32 +198,63 @@ class FaultPlan:
             return FaultSpec(stage, at_call=int(options))
         probability = None
         seed = 0
+        delay = None
+        tenant = None
+        at_call = None
         for part in options.split(","):
             key, _, value = part.partition("=")
             key = key.strip()
+            value = value.strip()
             try:
-                if key == "p":
+                if key in ("p", "probability"):
                     probability = float(value)
                 elif key == "seed":
                     seed = int(value)
+                elif key == "delay":
+                    delay = float(value)
+                elif key == "tenant":
+                    if not value:
+                        raise ValueError
+                    tenant = value
+                elif key == "at":
+                    at_call = int(value)
                 else:
                     raise ValueError
             except ValueError:
                 raise ValueError(
-                    f"bad fault option {part!r}; expected STAGE, STAGE:N, "
-                    "or STAGE:p=FLOAT[,seed=INT]"
+                    f"bad fault option {part!r}; expected STAGE, STAGE:N, or "
+                    "STAGE:p=FLOAT[,seed=INT][,delay=SECONDS][,tenant=NAME]"
                 ) from None
-        if probability is None:
+        if probability is None and at_call is None and delay is None:
             raise ValueError(f"fault spec {text!r} sets no trigger")
-        return FaultSpec(stage, probability=probability, seed=seed)
+        return FaultSpec(stage, at_call=at_call, probability=probability,
+                         seed=seed, delay=delay, tenant=tenant)
 
     def fire(self, stage):
-        """Raise the configured fault when a spec for ``stage`` triggers."""
+        """Trigger any matching spec for ``stage``: sleep or raise.
+
+        Delay specs are consulted first and *all* matching delays are
+        applied (sleeping inside the stage), then the first matching
+        exception spec raises.  Tenant-scoped specs only match when the
+        surrounding :func:`fault_scope` names their tenant.
+        """
+        tenant = _FAULT_TENANT.get()
+        raise_spec = None
         for spec in self.specs:
-            if spec.stage == stage and spec.should_fire():
-                _INJECTED.inc()
-                METRICS.inc(f"resilience.faults.injected.{stage}")
-                raise spec.make_exception()
+            if spec.stage != stage or not spec.matches_tenant(tenant):
+                continue
+            if not spec.should_fire():
+                continue
+            if spec.delay is not None:
+                _DELAYED.inc()
+                METRICS.inc(f"resilience.faults.delayed.{stage}")
+                time.sleep(spec.delay)
+            elif raise_spec is None:
+                raise_spec = spec
+        if raise_spec is not None:
+            _INJECTED.inc()
+            METRICS.inc(f"resilience.faults.injected.{stage}")
+            raise raise_spec.make_exception()
 
     def reset(self):
         for spec in self.specs:

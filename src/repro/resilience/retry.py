@@ -1,0 +1,129 @@
+"""Client-side retry policy: exponential backoff, jitter, hedging.
+
+One :class:`RetryPolicy` is shared by every HTTP client in the repo
+(``repro loadgen``, ``repro stats --url``, and
+:class:`repro.serve.client.ServeClient`) so retry semantics stay
+uniform:
+
+* Only *retryable* outcomes are retried: transport errors, HTTP 429 /
+  500 / 503 / 504, and any response body whose ``retryable`` field is
+  true.  A 422 (``rejected`` — the user must rephrase) is **never**
+  retried; neither is a 2xx ``degraded`` answer (the ladder already
+  answered).
+* Backoff is exponential (``base * multiplier**attempt``) capped at
+  ``max_backoff``, with **full jitter** from a seeded ``random.Random``
+  so retries are deterministic under test yet decorrelated in a fleet.
+* A server-supplied ``Retry-After`` header wins over the computed
+  backoff (the admission controller knows its own token-bucket refill
+  better than the client does).
+* Optionally, a **hedged** second attempt fires when the first has been
+  in flight longer than an observed p95 (see
+  :class:`repro.serve.client.ServeClient`); the policy only decides the
+  threshold, the client owns the racing.
+
+The policy is pure decision logic — no I/O — so it is trivially
+unit-testable: :meth:`backoff_seconds` and :meth:`should_retry` are
+deterministic functions of their inputs plus the seeded RNG stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: HTTP statuses worth retrying.  429/503 are admission sheds with
+#: Retry-After; 500 internal (retryable per the taxonomy); 504 is a
+#: watchdog/budget exhaustion.
+RETRYABLE_STATUSES = frozenset({429, 500, 503, 504})
+
+
+class RetryPolicy:
+    """Decide whether / when to retry one HTTP query attempt."""
+
+    def __init__(self, max_attempts=3, base_backoff=0.05, multiplier=2.0,
+                 max_backoff=2.0, jitter=True, seed=None,
+                 hedge_after_p95=False):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base_backoff < 0 or max_backoff < 0:
+            raise ValueError("backoff seconds must be >= 0")
+        self.max_attempts = max_attempts
+        self.base_backoff = base_backoff
+        self.multiplier = multiplier
+        self.max_backoff = max_backoff
+        self.jitter = jitter
+        self.hedge_after_p95 = hedge_after_p95
+        self._rng = random.Random(seed)
+
+    @classmethod
+    def none(cls):
+        """A policy that never retries (one attempt, no hedging)."""
+        return cls(max_attempts=1)
+
+    def should_retry(self, attempt, status=None, retryable=None,
+                     transport_error=False):
+        """True when attempt number ``attempt`` (1-based) may be retried.
+
+        ``status`` is the HTTP status (None on transport error);
+        ``retryable`` is the response body's ``retryable`` field when
+        the caller parsed one.  An explicit ``retryable: false`` body
+        vetoes a status-based retry — the server has classified the
+        failure as not worth repeating.
+        """
+        if attempt >= self.max_attempts:
+            return False
+        if transport_error:
+            return True
+        if status is None or status < 400:
+            return False
+        if retryable is False:
+            return False
+        return status in RETRYABLE_STATUSES
+
+    def backoff_seconds(self, attempt, retry_after=None):
+        """Seconds to sleep before retry number ``attempt`` (1-based).
+
+        A server-supplied ``retry_after`` (seconds) takes precedence
+        over the computed exponential backoff.
+        """
+        if retry_after is not None and retry_after >= 0:
+            return float(retry_after)
+        backoff = min(
+            self.max_backoff,
+            self.base_backoff * (self.multiplier ** (attempt - 1)),
+        )
+        if self.jitter:
+            backoff *= self._rng.random()
+        return backoff
+
+    def to_dict(self):
+        return {
+            "max_attempts": self.max_attempts,
+            "base_backoff": self.base_backoff,
+            "multiplier": self.multiplier,
+            "max_backoff": self.max_backoff,
+            "jitter": self.jitter,
+            "hedge_after_p95": self.hedge_after_p95,
+        }
+
+    def __repr__(self):
+        return (
+            f"RetryPolicy(max_attempts={self.max_attempts}, "
+            f"base={self.base_backoff}, x{self.multiplier}, "
+            f"cap={self.max_backoff}s"
+            f"{', hedged' if self.hedge_after_p95 else ''})"
+        )
+
+
+def parse_retry_after(value):
+    """Parse a ``Retry-After`` header value into seconds (or None).
+
+    Only the delta-seconds form is supported (the admission controller
+    emits integers); HTTP-date forms return None rather than guessing.
+    """
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError):
+        return None
+    return max(0.0, seconds)

@@ -14,15 +14,27 @@ endpoints instead of post-hoc dumps:
   SIGTERM.
 * :class:`AdmissionController` — capacity + per-tenant rate limiting
   (token buckets, inflight caps).
+* Self-healing (see DESIGN.md §9): :class:`BrownoutController` (budget
+  tightening + pre-degradation under pressure or an open
+  :class:`repro.resilience.breaker.CircuitBreaker`),
+  :class:`Watchdog` / :class:`InflightRegistry` (stuck-query detection,
+  stack dumps, forced budget expiry), and :class:`ServeClient` (the
+  shared retrying/hedging HTTP client).
 * :func:`run_loadgen` / :class:`LoadgenConfig` — the load-generator
   CLI's engine: N concurrent clients, a task mix, client- and
-  server-side percentiles, and a ``/metrics`` scrape cross-check.
+  server-side percentiles, availability accounting, and a ``/metrics``
+  scrape cross-check.
 """
 
 from repro.serve.admission import (                         # noqa: F401
     AdmissionController,
     AdmissionError,
     TokenBucket,
+)
+from repro.serve.brownout import BrownoutController         # noqa: F401
+from repro.serve.client import (                            # noqa: F401
+    QueryOutcome,
+    ServeClient,
 )
 from repro.serve.loadgen import (                           # noqa: F401
     LoadgenConfig,
@@ -31,15 +43,24 @@ from repro.serve.loadgen import (                           # noqa: F401
     run_loadgen,
 )
 from repro.serve.server import ReproServer, ServeConfig     # noqa: F401
+from repro.serve.watchdog import (                          # noqa: F401
+    InflightRegistry,
+    Watchdog,
+)
 
 __all__ = [
     "AdmissionController",
     "AdmissionError",
-    "TokenBucket",
+    "BrownoutController",
+    "InflightRegistry",
     "LoadgenConfig",
     "LoadgenReport",
+    "QueryOutcome",
+    "ReproServer",
+    "ServeClient",
+    "ServeConfig",
+    "TokenBucket",
+    "Watchdog",
     "default_task_mix",
     "run_loadgen",
-    "ReproServer",
-    "ServeConfig",
 ]

@@ -1,0 +1,162 @@
+"""The serving brownout ladder: shed *work*, not requests.
+
+Under sustained pressure the classic reaction is load-shedding — 429s
+and 503s.  The admission controller already does that at the hard
+capacity edge; the :class:`BrownoutController` sits *before* it and
+degrades gracefully instead: as pressure rises it tightens every
+admitted request's :class:`~repro.resilience.QueryBudget` and then
+pre-degrades requests down the existing planned → naive → keyword
+evaluation ladder (``ask(pre_degrade=...)``), so clients keep getting
+answers — visibly lower-fidelity, classified ``degraded`` — rather
+than errors.
+
+Ladder levels (``LEVELS``):
+
+====== ============= ==================== =============================
+level  budget scale  pre-degrade          meaning
+====== ============= ==================== =============================
+0      1.0           —                    normal full-fidelity serving
+1      0.5           —                    tighter budgets, same ladder
+2      0.25          ``naive-flwor``      skip the planned evaluator
+3      0.25          ``keyword-search``   serve only the keyword rung
+====== ============= ==================== =============================
+
+Inputs, evaluated by :meth:`BrownoutController.observe`:
+
+* **pressure** — the admission controller's in-flight fraction
+  (``inflight / max_inflight``); above ``pressure_high`` the ladder
+  wants to ascend, below ``pressure_low`` to descend;
+* **breakers** — any open :class:`~repro.resilience.breaker.\
+  CircuitBreaker` also counts as pressure (a systemic failure class is
+  burning budget; serving cheaper answers both relieves it and keeps
+  availability up).
+
+Transitions carry hysteresis: the ladder ascends at most one level per
+``step_seconds`` of *sustained* pressure and descends one level per
+``cooldown_seconds`` of sustained calm, so a single spike never flaps
+it.  The clock is injectable; unit tests drive every step with a fake
+clock and zero sleeps.
+
+Half-open breaker probes bypass the ladder (the breaker must observe
+the full-fidelity path to decide recovery), which is why
+:class:`ReproServer` consults ``acquire_probe()`` before asking the
+brownout controller for a plan.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import METRICS
+
+#: (budget_scale, pre_degrade) per ladder level, mildest first.
+LEVELS = (
+    (1.0, None),
+    (0.5, None),
+    (0.25, "naive-flwor"),
+    (0.25, "keyword-search"),
+)
+
+MAX_LEVEL = len(LEVELS) - 1
+
+_LEVEL_GAUGE = METRICS.gauge("serve.brownout.level")
+_ASCENDS = METRICS.counter("serve.brownout.ascends")
+_DESCENDS = METRICS.counter("serve.brownout.descends")
+_PRE_DEGRADED = METRICS.counter("serve.brownout.pre_degraded")
+_SCALED = METRICS.counter("serve.brownout.budget_scaled")
+
+
+class BrownoutController:
+    """Adaptive budget-tightening + pre-degradation under pressure."""
+
+    def __init__(self, pressure_high=0.8, pressure_low=0.5,
+                 step_seconds=2.0, cooldown_seconds=5.0,
+                 clock=time.monotonic):
+        if not 0.0 <= pressure_low <= pressure_high:
+            raise ValueError(
+                "need 0 <= pressure_low <= pressure_high, got "
+                f"low={pressure_low!r} high={pressure_high!r}"
+            )
+        self.pressure_high = pressure_high
+        self.pressure_low = pressure_low
+        self.step_seconds = step_seconds
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._level = 0
+        # When the current pressure/calm streak started; None = no streak.
+        self._hot_since = None
+        self._calm_since = None
+        _LEVEL_GAUGE.set(0)
+
+    @property
+    def level(self):
+        with self._lock:
+            return self._level
+
+    def observe(self, pressure, breaker_open=False):
+        """Feed one pressure sample; returns the (possibly new) level.
+
+        Called once per admitted request (and by tests with a fake
+        clock).  ``pressure`` is the in-flight fraction; an open
+        breaker forces the sample hot regardless of pressure.
+        """
+        now = self._clock()
+        hot = breaker_open or pressure >= self.pressure_high
+        calm = not breaker_open and pressure <= self.pressure_low
+        with self._lock:
+            if hot:
+                self._calm_since = None
+                if self._hot_since is None:
+                    self._hot_since = now
+                elif (now - self._hot_since >= self.step_seconds
+                        and self._level < MAX_LEVEL):
+                    self._level += 1
+                    self._hot_since = now
+                    _ASCENDS.inc()
+                    _LEVEL_GAUGE.set(self._level)
+            elif calm:
+                self._hot_since = None
+                if self._calm_since is None:
+                    self._calm_since = now
+                elif (now - self._calm_since >= self.cooldown_seconds
+                        and self._level > 0):
+                    self._level -= 1
+                    self._calm_since = now
+                    _DESCENDS.inc()
+                    _LEVEL_GAUGE.set(self._level)
+            else:
+                # The hysteresis band: neither streak accumulates.
+                self._hot_since = None
+                self._calm_since = None
+            return self._level
+
+    def plan(self, budget):
+        """(budget, pre_degrade) for one request at the current level.
+
+        ``budget`` may be None (no budget configured), in which case
+        only the pre-degradation half of the level applies.
+        """
+        with self._lock:
+            scale, pre_degrade = LEVELS[self._level]
+        if budget is not None and scale != 1.0:
+            budget = budget.scaled(scale)
+            _SCALED.inc()
+        if pre_degrade is not None:
+            _PRE_DEGRADED.inc()
+        return budget, pre_degrade
+
+    def snapshot(self):
+        with self._lock:
+            scale, pre_degrade = LEVELS[self._level]
+            return {
+                "level": self._level,
+                "budget_scale": scale,
+                "pre_degrade": pre_degrade,
+                "pressure_high": self.pressure_high,
+                "pressure_low": self.pressure_low,
+            }
+
+    def __repr__(self):
+        return f"BrownoutController(level={self.level})"

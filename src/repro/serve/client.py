@@ -1,0 +1,301 @@
+"""``repro.serve.client``: the retrying, hedging HTTP query client.
+
+Every HTTP consumer in the repo (``repro loadgen``, ``repro stats
+--url``, scripts) talks to a ``repro serve`` instance through
+:class:`ServeClient`, so retry semantics live in exactly one place —
+the shared :class:`~repro.resilience.retry.RetryPolicy`:
+
+* retries only *retryable* outcomes (transport errors, 429/500/503/504,
+  and a body-level ``retryable: true``), with exponential backoff +
+  seeded full jitter;
+* honours the server's ``Retry-After`` header (the admission
+  controller's token-bucket refill hint beats any client guess);
+* optionally **hedges**: when an attempt has been in flight longer than
+  the client's own observed p95, a second identical request races it
+  and the first response wins.  Hedging only pays on the latency tail,
+  so it stays off until the client has seen enough samples to know its
+  p95.
+
+The transport is injectable (``transport(url, body, headers, timeout)``
+→ ``(status, headers, body_bytes)``) so unit tests script exact
+status/latency sequences with zero sockets and zero sleeps; the default
+transport is stdlib ``urllib``.
+
+Counters: ``serve.client.requests`` / ``.retries`` / ``.hedges`` /
+``.hedge_wins`` — surfaced by ``repro stats`` so the ops view shows
+client-side self-healing next to the server-side breaker/brownout
+state.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.metrics import METRICS
+from repro.obs.quantiles import nearest_rank
+from repro.resilience.retry import RetryPolicy, parse_retry_after
+
+_REQUESTS = METRICS.counter("serve.client.requests")
+_RETRIES = METRICS.counter("serve.client.retries")
+_HEDGES = METRICS.counter("serve.client.hedges")
+_HEDGE_WINS = METRICS.counter("serve.client.hedge_wins")
+
+#: Attempts observed before hedging trusts its p95.
+MIN_HEDGE_SAMPLES = 10
+
+
+class TransportError(Exception):
+    """The request never produced an HTTP response."""
+
+
+def urllib_transport(url, body, headers, timeout):
+    """The default transport: one blocking urllib POST (or GET)."""
+    request = urllib.request.Request(
+        url, data=body, headers=headers,
+        method="POST" if body is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as error:
+        payload = error.read()
+        return error.code, dict(error.headers), payload
+    except (urllib.error.URLError, OSError) as error:
+        raise TransportError(str(error)) from error
+
+
+class QueryOutcome:
+    """Everything one (possibly retried, possibly hedged) query produced."""
+
+    __slots__ = ("status", "headers", "body", "client_seconds",
+                 "server_seconds", "attempts", "hedged", "hedge_won",
+                 "transport_error")
+
+    def __init__(self, status=None, headers=None, body=None,
+                 client_seconds=0.0, server_seconds=None, attempts=1,
+                 hedged=False, hedge_won=False, transport_error=None):
+        self.status = status
+        self.headers = headers or {}
+        self.body = body
+        self.client_seconds = client_seconds
+        self.server_seconds = server_seconds
+        self.attempts = attempts
+        self.hedged = hedged
+        self.hedge_won = hedge_won
+        self.transport_error = transport_error
+
+    @property
+    def ok(self):
+        return self.status is not None and 200 <= self.status < 300
+
+    @property
+    def retryable(self):
+        """The response body's ``retryable`` field, if it parsed."""
+        if isinstance(self.body, dict):
+            value = self.body.get("retryable")
+            if isinstance(value, bool):
+                return value
+        return None
+
+    def __repr__(self):
+        tag = self.status if self.status is not None else "transport-error"
+        return (
+            f"QueryOutcome({tag}, attempts={self.attempts}"
+            f"{', hedged' if self.hedged else ''})"
+        )
+
+
+class ServeClient:
+    """One server endpoint + one retry policy, shared by callers."""
+
+    def __init__(self, url, tenant=None, retry_policy=None, timeout=30.0,
+                 transport=urllib_transport, sleep=time.sleep,
+                 clock=time.perf_counter):
+        self.url = url.rstrip("/")
+        self.tenant = tenant
+        self.policy = retry_policy or RetryPolicy.none()
+        self.timeout = timeout
+        self._transport = transport
+        self._sleep = sleep
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies = []  # recent attempt latencies, for the hedge p95
+        self.retries_total = 0
+        self.hedges_total = 0
+        self.hedge_wins_total = 0
+
+    # -- the public surface ---------------------------------------------------
+
+    def query(self, sentence, timeout=None, explain=False, tenant=None):
+        """POST one query, retrying/hedging per the policy; never raises.
+
+        Returns a :class:`QueryOutcome`; a run that exhausts every
+        attempt on transport errors comes back with ``status=None`` and
+        the last error message in ``transport_error``.
+        """
+        payload = {"sentence": sentence}
+        if timeout is not None:
+            payload["timeout"] = timeout
+        if explain:
+            payload["explain"] = True
+        return self.request("/query", payload, tenant=tenant)
+
+    def request(self, path, payload, tenant=None):
+        """The generic retry loop around one JSON POST endpoint."""
+        body = json.dumps(payload).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        tenant = tenant if tenant is not None else self.tenant
+        if tenant:
+            headers["X-Repro-Tenant"] = tenant
+        url = self.url + path
+        started = self._clock()
+        attempt = 0
+        outcome = None
+        while True:
+            attempt += 1
+            _REQUESTS.inc()
+            outcome = self._one_attempt(url, body, headers)
+            outcome.attempts = attempt
+            if outcome.transport_error is None and (
+                    outcome.status < 400
+                    or not self.policy.should_retry(
+                        attempt, status=outcome.status,
+                        retryable=outcome.retryable)):
+                break
+            if outcome.transport_error is not None and not (
+                    self.policy.should_retry(attempt, transport_error=True)):
+                break
+            _RETRIES.inc()
+            with self._lock:
+                self.retries_total += 1
+            retry_after = parse_retry_after(
+                _header(outcome.headers, "Retry-After")
+            )
+            self._sleep(self.policy.backoff_seconds(attempt, retry_after))
+        outcome.client_seconds = self._clock() - started
+        return outcome
+
+    # -- attempt machinery ----------------------------------------------------
+
+    def _one_attempt(self, url, body, headers):
+        """One logical attempt: a single request, or a hedged pair."""
+        hedge_after = self._hedge_threshold()
+        if hedge_after is None:
+            return self._single(url, body, headers)
+        return self._hedged(url, body, headers, hedge_after)
+
+    def _single(self, url, body, headers):
+        started = self._clock()
+        try:
+            status, resp_headers, raw = self._transport(
+                url, body, headers, self.timeout
+            )
+        except TransportError as error:
+            return QueryOutcome(transport_error=str(error))
+        self._observe(self._clock() - started)
+        return self._outcome(status, resp_headers, raw)
+
+    def _hedged(self, url, body, headers, hedge_after):
+        """Race a second identical request once ``hedge_after`` elapses."""
+        results = queue.Queue()
+
+        def _fire(tag):
+            started = self._clock()
+            try:
+                reply = self._transport(url, body, headers, self.timeout)
+            except TransportError as error:
+                results.put((tag, None, str(error)))
+                return
+            self._observe(self._clock() - started)
+            results.put((tag, reply, None))
+
+        threading.Thread(
+            target=_fire, args=("primary",), daemon=True
+        ).start()
+        try:
+            tag, reply, error = results.get(timeout=hedge_after)
+        except queue.Empty:
+            _HEDGES.inc()
+            with self._lock:
+                self.hedges_total += 1
+            threading.Thread(
+                target=_fire, args=("hedge",), daemon=True
+            ).start()
+            tag, reply, error = results.get()
+            if tag == "hedge" and error is None:
+                _HEDGE_WINS.inc()
+                with self._lock:
+                    self.hedge_wins_total += 1
+            outcome = (
+                QueryOutcome(transport_error=error) if reply is None
+                else self._outcome(*reply)
+            )
+            outcome.hedged = True
+            outcome.hedge_won = tag == "hedge" and error is None
+            return outcome
+        if reply is None:
+            return QueryOutcome(transport_error=error)
+        return self._outcome(*reply)
+
+    def _outcome(self, status, headers, raw):
+        body = None
+        if raw:
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                body = raw.decode("utf-8", "replace")
+        header = _header(headers, "X-Repro-Seconds")
+        server_seconds = None
+        if header:
+            try:
+                server_seconds = float(header)
+            except ValueError:
+                pass
+        return QueryOutcome(
+            status=status, headers=headers, body=body,
+            server_seconds=server_seconds,
+        )
+
+    # -- the hedge threshold --------------------------------------------------
+
+    def _observe(self, seconds):
+        with self._lock:
+            self._latencies.append(seconds)
+            if len(self._latencies) > 512:
+                del self._latencies[:256]
+
+    def _hedge_threshold(self):
+        """Seconds after which to hedge, or None (hedging off/not ready)."""
+        if not self.policy.hedge_after_p95:
+            return None
+        with self._lock:
+            if len(self._latencies) < MIN_HEDGE_SAMPLES:
+                return None
+            return max(0.001, nearest_rank(sorted(self._latencies), 0.95))
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "retries": self.retries_total,
+                "hedges": self.hedges_total,
+                "hedge_wins": self.hedge_wins_total,
+                "latency_samples": len(self._latencies),
+            }
+
+    def __repr__(self):
+        return f"ServeClient({self.url!r}, {self.policy!r})"
+
+
+def _header(headers, name):
+    """Case-insensitive header lookup over a plain dict."""
+    if not headers:
+        return None
+    for key, value in headers.items():
+        if key.lower() == name.lower():
+            return value
+    return None

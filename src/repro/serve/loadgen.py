@@ -1,34 +1,48 @@
 """``repro loadgen``: a stdlib load generator for the query service.
 
-Drives N concurrent clients (plain threads + ``urllib``) against a
-running ``repro serve`` instance with a configurable task mix, then
-reports throughput and latency three ways:
+Drives N concurrent clients (plain threads over
+:class:`repro.serve.client.ServeClient`) against a running ``repro
+serve`` instance with a configurable task mix, then reports throughput
+and latency three ways:
 
 * **client-side**: wall-clock per request as the client saw it
-  (includes connection + serialization overhead);
+  (includes connection + serialization overhead, and — when retries
+  are on — the full retry/backoff sequence);
 * **server-side**: the ``X-Repro-Seconds`` header every ``/query``
   response carries — the server's own handling time for that request;
 * **scraped**: after the run, one ``/metrics`` scrape parsed with
   :func:`repro.obs.export.parse_prometheus_text`, reading the server's
   sliding-window p99 for the ``/query`` endpoint.
 
-The server-side and scraped numbers are computed from the same
-observations (the server observes exactly the duration it reports in
-the header), so when the run fits in the server's window the two p99s
-agree — the cross-check that the live ops surface tells the truth.
-The sustained-throughput benchmark asserts they agree within 5%.
+Outcome accounting follows the serving failure taxonomy instead of
+lumping everything non-200 together:
 
-Requests are spread round-robin over the task mix with a per-worker
-offset, so every phrasing is exercised by every concurrency level
-without any randomness (runs are reproducible).
+* **sheds** — 429/503 answers whose body carries an ``admission-*``
+  error code: the server *chose* to turn the request away (rate limit,
+  capacity, draining).  Sheds are not internal errors; with retries on
+  the client honours their ``Retry-After`` and usually converts them
+  into successes.
+* **internal errors** — 5xx answers that are not sheds, plus transport
+  failures.  The subset whose body lacks an ``error_class`` is counted
+  separately as ``unclassified_5xx`` — the number that must be zero:
+  every failure the server emits must be classified.
+* **availability** — the fraction of logical requests whose *final*
+  outcome was usable: a 2xx answer (exact or degraded) or a 422
+  rejection (actionable user feedback).  Budget exhaustion (504),
+  sheds that never got through, and transport failures all count
+  against it.
+
+Retries/hedging (``LoadgenConfig(retries=..., hedge=...)``) use the
+shared :class:`repro.resilience.retry.RetryPolicy` with a per-worker
+seed, so runs stay reproducible.  Requests are spread round-robin over
+the task mix with a per-worker offset, so every phrasing is exercised
+by every concurrency level without any randomness.
 """
 
 from __future__ import annotations
 
-import json
 import threading
 import time
-import urllib.error
 import urllib.request
 from collections import Counter
 
@@ -38,9 +52,15 @@ from repro.obs.export import (
     prometheus_sample_value,
 )
 from repro.obs.quantiles import nearest_rank
+from repro.resilience.retry import RetryPolicy
+from repro.serve.client import ServeClient
 
 #: Transport failures (refused, reset, timeout) before a worker gives up.
 MAX_TRANSPORT_FAILURES = 20
+
+#: Final statuses that count as "available" (a usable answer or
+#: actionable feedback reached the client).
+_AVAILABLE = frozenset({200, 422})
 
 
 def default_task_mix():
@@ -55,7 +75,8 @@ class LoadgenConfig:
 
     def __init__(self, url, concurrency=8, requests=90, duration=None,
                  task_mix=None, tenant="loadgen", tenants=None,
-                 explain_every=0, timeout=30.0):
+                 explain_every=0, timeout=30.0, retries=0, hedge=False,
+                 retry_seed=0):
         self.url = url.rstrip("/")
         self.concurrency = max(1, int(concurrency))
         self.requests = requests
@@ -66,21 +87,44 @@ class LoadgenConfig:
         self.tenants = list(tenants) if tenants else [tenant]
         self.explain_every = explain_every
         self.timeout = timeout
+        # 0 = one attempt, no retries (the ratchet-benchmark default);
+        # N = up to N retries of retryable outcomes with backoff.
+        self.retries = max(0, int(retries))
+        self.hedge = bool(hedge)
+        self.retry_seed = retry_seed
         if requests is None and duration is None:
             raise ValueError("need a request count or a duration")
+
+    def retry_policy(self, worker_index):
+        """The per-worker retry policy (seeded for reproducibility)."""
+        if not self.retries and not self.hedge:
+            return RetryPolicy.none()
+        return RetryPolicy(
+            max_attempts=self.retries + 1,
+            seed=self.retry_seed + worker_index,
+            hedge_after_p95=self.hedge,
+        )
 
 
 class LoadgenReport:
     """The outcome of one run, with the /metrics cross-check baked in."""
 
     def __init__(self, config, records, transport_errors, elapsed,
-                 scraped_p99=None, scrape_error=None):
+                 scraped_p99=None, scrape_error=None, sheds=0,
+                 unclassified_5xx=0, retries=0, hedges=0, hedge_wins=0,
+                 shed_statuses=None):
         self.config = config
         self.records = records            # [(http_status, client_s, server_s)]
         self.transport_errors = transport_errors
         self.elapsed = elapsed
         self.scraped_p99_seconds = scraped_p99
         self.scrape_error = scrape_error
+        self.sheds = sheds                # admission-classified 429/503s
+        self.unclassified_5xx = unclassified_5xx
+        self.retries = retries
+        self.hedges = hedges
+        self.hedge_wins = hedge_wins
+        self.shed_statuses = Counter(shed_statuses or ())
         self.statuses = Counter(status for status, _, _ in records)
 
     # -- aggregate views ----------------------------------------------------
@@ -91,12 +135,31 @@ class LoadgenReport:
 
     @property
     def internal_errors(self):
-        """HTTP 5xx answers plus transport failures — must be zero."""
-        return (
+        """Non-shed 5xx answers plus transport failures — must be zero.
+
+        Admission sheds (429/503 with an ``admission-*`` body) are the
+        server protecting itself, not failing; they are counted in
+        :attr:`sheds` instead.
+        """
+        non_shed_5xx = (
             sum(count for status, count in self.statuses.items()
                 if status >= 500)
-            + self.transport_errors
+            - sum(count for status, count in self.shed_statuses.items()
+                  if status >= 500)
         )
+        return non_shed_5xx + self.transport_errors
+
+    @property
+    def availability(self):
+        """Final-outcome availability in [0, 1] (see module docstring)."""
+        total = self.requests + self.transport_errors
+        if total == 0:
+            return 1.0
+        usable = sum(
+            count for status, count in self.statuses.items()
+            if status in _AVAILABLE
+        )
+        return usable / total
 
     @property
     def qps(self):
@@ -143,8 +206,14 @@ class LoadgenReport:
             "elapsed_seconds": self.elapsed,
             "qps": self.qps,
             "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "availability": self.availability,
+            "sheds": self.sheds,
             "internal_errors": self.internal_errors,
+            "unclassified_5xx": self.unclassified_5xx,
             "transport_errors": self.transport_errors,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
             "client_latency_seconds": self.client_latency,
             "server_latency_seconds": self.server_latency,
             "scraped_p99_seconds": self.scraped_p99_seconds,
@@ -159,10 +228,16 @@ class LoadgenReport:
             f"{self.config.concurrency} clients, "
             f"{self.elapsed:.2f}s elapsed",
             f"  throughput     {self.qps:8.1f} qps",
+            f"  availability   {self.availability * 100:8.2f} %",
             f"  statuses       "
             + " ".join(f"{k}:{v}" for k, v in sorted(self.statuses.items())),
+            f"  sheds          {self.sheds:8d}",
             f"  internal errs  {self.internal_errors:8d} "
-            f"(transport {self.transport_errors})",
+            f"(transport {self.transport_errors}, "
+            f"unclassified 5xx {self.unclassified_5xx})",
+            f"  retries        {self.retries:8d}"
+            + (f"  hedges {self.hedges} (won {self.hedge_wins})"
+               if self.hedges else ""),
             f"  client latency p50 {client['p50'] * 1000:7.1f}ms  "
             f"p95 {client['p95'] * 1000:7.1f}ms  "
             f"p99 {client['p99'] * 1000:7.1f}ms",
@@ -182,33 +257,25 @@ class LoadgenReport:
         return "\n".join(lines)
 
 
-def _post_query(config, sentence, tenant, explain):
-    """One request; returns ``(http_status, client_s, server_s|None)``."""
-    payload = {"sentence": sentence}
-    if explain:
-        payload["explain"] = True
-    request = urllib.request.Request(
-        config.url + "/query",
-        data=json.dumps(payload).encode("utf-8"),
-        headers={
-            "Content-Type": "application/json",
-            "X-Repro-Tenant": tenant,
-        },
-        method="POST",
+def _is_shed(outcome):
+    """An admission-classified turn-away (429/503 + ``admission-*``)."""
+    if outcome.status not in (429, 503):
+        return False
+    body = outcome.body
+    return (
+        isinstance(body, dict)
+        and str(body.get("error", "")).startswith("admission-")
     )
-    started = time.perf_counter()
-    try:
-        with urllib.request.urlopen(request, timeout=config.timeout) as resp:
-            resp.read()
-            status = resp.status
-            header = resp.headers.get("X-Repro-Seconds")
-    except urllib.error.HTTPError as error:
-        error.read()
-        status = error.code
-        header = error.headers.get("X-Repro-Seconds")
-    client_seconds = time.perf_counter() - started
-    server_seconds = float(header) if header else None
-    return status, client_seconds, server_seconds
+
+
+def _is_unclassified_5xx(outcome):
+    """A 5xx whose body does not carry the failure taxonomy."""
+    if outcome.status is None or outcome.status < 500:
+        return False
+    if _is_shed(outcome):
+        return False
+    body = outcome.body
+    return not (isinstance(body, dict) and body.get("error_class"))
 
 
 def scrape_query_p99(url, timeout=10.0):
@@ -227,12 +294,14 @@ def run_loadgen(config, on_progress=None):
     Workers pull from a shared request counter (count mode), or loop
     until the deadline (duration mode); either way each worker walks
     the task mix round-robin from its own offset.  A worker stops after
-    :data:`MAX_TRANSPORT_FAILURES` consecutive transport errors so a
-    dead server fails the run quickly instead of hanging it.
+    :data:`MAX_TRANSPORT_FAILURES` consecutive fully-failed requests so
+    a dead server fails the run quickly instead of hanging it.
     """
     records = []
+    shed_counter = Counter()
     lock = threading.Lock()
-    counter = {"issued": 0, "transport": 0}
+    counter = {"issued": 0, "transport": 0, "sheds": 0, "unclassified": 0}
+    clients = []
     deadline = (
         time.perf_counter() + config.duration
         if config.duration is not None
@@ -250,6 +319,13 @@ def run_loadgen(config, on_progress=None):
 
     def _worker(worker_index):
         tenant = config.tenants[worker_index % len(config.tenants)]
+        client = ServeClient(
+            config.url, tenant=tenant,
+            retry_policy=config.retry_policy(worker_index),
+            timeout=config.timeout,
+        )
+        with lock:
+            clients.append(client)
         step = 0
         failures = 0
         while True:
@@ -266,9 +342,9 @@ def run_loadgen(config, on_progress=None):
                 config.explain_every > 0
                 and index % config.explain_every == 0
             )
-            try:
-                record = _post_query(config, sentence, tenant, explain)
-            except (urllib.error.URLError, OSError):
+            outcome = client.query(sentence, explain=explain)
+            if outcome.status is None:
+                # Every attempt died in transport.
                 failures += 1
                 with lock:
                     counter["transport"] += 1
@@ -278,7 +354,15 @@ def run_loadgen(config, on_progress=None):
                 continue
             failures = 0
             with lock:
-                records.append(record)
+                records.append((
+                    outcome.status, outcome.client_seconds,
+                    outcome.server_seconds,
+                ))
+                if _is_shed(outcome):
+                    counter["sheds"] += 1
+                    shed_counter[outcome.status] += 1
+                if _is_unclassified_5xx(outcome):
+                    counter["unclassified"] += 1
                 done = len(records)
             if on_progress is not None:
                 on_progress(done)
@@ -299,10 +383,15 @@ def run_loadgen(config, on_progress=None):
     scrape_error = None
     try:
         scraped_p99 = scrape_query_p99(config.url, timeout=config.timeout)
-    except (urllib.error.URLError, OSError, ValueError) as error:
+    except (OSError, ValueError) as error:
         scrape_error = str(error)
 
     return LoadgenReport(
         config, records, counter["transport"], elapsed,
         scraped_p99=scraped_p99, scrape_error=scrape_error,
+        sheds=counter["sheds"], unclassified_5xx=counter["unclassified"],
+        retries=sum(client.retries_total for client in clients),
+        hedges=sum(client.hedges_total for client in clients),
+        hedge_wins=sum(client.hedge_wins_total for client in clients),
+        shed_statuses=shed_counter,
     )

@@ -67,12 +67,16 @@ from repro.obs.audit import AuditLog
 from repro.obs.explain import explain
 from repro.obs.export import LATENCIES, LatencyWindow, prometheus_text
 from repro.obs.metrics import METRICS
+from repro.resilience.breaker import BreakerBoard
 from repro.resilience.budget import QueryBudget, activate_budget
+from repro.resilience.faults import FaultPlan, fault_scope
 from repro.serve.admission import (
     DEFAULT_MAX_INFLIGHT,
     AdmissionController,
     AdmissionError,
 )
+from repro.serve.brownout import BrownoutController
+from repro.serve.watchdog import InflightRegistry, Watchdog
 from repro.xmlstore.model import Node
 from repro.xquery.parser import parse_xquery
 from repro.xquery.values import string_value
@@ -103,7 +107,14 @@ class ServeConfig:
                  default_timeout=QueryBudget.DEFAULT_DEADLINE_SECONDS,
                  max_timeout=30.0, result_limit=200,
                  audit_path=None, audit_max_bytes=16 * 1024 * 1024,
-                 window=4096, allow_xquery=False, drain_grace=None):
+                 window=4096, allow_xquery=False, drain_grace=None,
+                 fault_plan=None,
+                 breaker_window=64, breaker_threshold=0.5,
+                 breaker_min_samples=8, breaker_open_seconds=5.0,
+                 brownout=True, pressure_high=0.8, pressure_low=0.5,
+                 brownout_step=2.0, brownout_cooldown=5.0,
+                 watchdog=True, watchdog_interval=0.5,
+                 watchdog_soft=None, watchdog_hard=None):
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
@@ -117,6 +128,26 @@ class ServeConfig:
         self.audit_max_bytes = audit_max_bytes
         self.window = window
         self.allow_xquery = allow_xquery
+        # Chaos: a FaultPlan (or --inject-fault string/list) applied to
+        # the served pipeline.
+        self.fault_plan = fault_plan
+        # Circuit breakers over QueryResult.error_class.
+        self.breaker_window = breaker_window
+        self.breaker_threshold = breaker_threshold
+        self.breaker_min_samples = breaker_min_samples
+        self.breaker_open_seconds = breaker_open_seconds
+        # Brownout ladder (budget tightening + pre-degradation).
+        self.brownout = brownout
+        self.pressure_high = pressure_high
+        self.pressure_low = pressure_low
+        self.brownout_step = brownout_step
+        self.brownout_cooldown = brownout_cooldown
+        # Stuck-query watchdog; soft/hard are absolute-seconds overrides
+        # (default: 1.5x / 3x each request's budget deadline).
+        self.watchdog = watchdog
+        self.watchdog_interval = watchdog_interval
+        self.watchdog_soft = watchdog_soft
+        self.watchdog_hard = watchdog_hard
         # Drain must outlast the longest admissible query: its budget
         # deadline plus slack for serialization and logging.
         self.drain_grace = (
@@ -267,6 +298,7 @@ class _Handler(BaseHTTPRequestHandler):
                              "(or /query?q=...)")
         tenant = self._tenant()
         server = self.repro
+        timeout = server.clamp_timeout(payload.get("timeout"))
         started = time.perf_counter()
         try:
             ticket = server.admission.admit(tenant)
@@ -274,17 +306,30 @@ class _Handler(BaseHTTPRequestHandler):
             raise _HTTPError(error.http_status, f"admission-{error.reason}",
                              str(error),
                              retry_after_seconds=error.retry_after_seconds)
+        # The request id exists before the query runs so the watchdog
+        # can name this request in stuck/expired audit events.
+        request_id = server.next_request_id()
+        probe = False
+        entry = None
         try:
-            result = server.nalix.ask(
-                sentence, timeout=server.clamp_timeout(payload.get("timeout"))
+            meter, pre_degrade, probe = server.resilience_plan(timeout)
+            entry = server.registry.register(
+                request_id, tenant, sentence, meter
             )
+            with fault_scope(tenant):
+                result = server.nalix.ask(
+                    sentence, meter=meter, pre_degrade=pre_degrade
+                )
         finally:
+            if entry is not None:
+                server.registry.finish(entry)
             ticket.release()
+        server.breakers.record(result.error_class, probe=probe)
         seconds = time.perf_counter() - started
         status, body = server.render_result(
-            result, payload, tenant=tenant, seconds=seconds
+            result, payload, tenant=tenant, seconds=seconds,
+            request_id=request_id,
         )
-        request_id = body["request_id"]
         server.observe_request("/query", tenant, seconds)
         server.access_log(result, tenant=tenant, endpoint="/query",
                           request_id=request_id, http_status=status,
@@ -387,6 +432,9 @@ class ReproServer:
                 ),
             )
         self.nalix = nalix
+        if self.config.fault_plan is not None:
+            # The chaos harness: inject faults into the served pipeline.
+            self.nalix.fault_plan = FaultPlan.coerce(self.config.fault_plan)
         self.audit = None
         if self.config.audit_path:
             self.audit = AuditLog(
@@ -398,6 +446,34 @@ class ReproServer:
             tenant_rate=self.config.tenant_rate,
             tenant_burst=self.config.tenant_burst,
             tenant_inflight=self.config.tenant_inflight,
+        )
+        self.breakers = BreakerBoard(
+            window=self.config.breaker_window,
+            failure_threshold=self.config.breaker_threshold,
+            min_samples=self.config.breaker_min_samples,
+            open_seconds=self.config.breaker_open_seconds,
+        )
+        self.brownout = (
+            BrownoutController(
+                pressure_high=self.config.pressure_high,
+                pressure_low=self.config.pressure_low,
+                step_seconds=self.config.brownout_step,
+                cooldown_seconds=self.config.brownout_cooldown,
+            )
+            if self.config.brownout
+            else None
+        )
+        self.registry = InflightRegistry(
+            soft_seconds=self.config.watchdog_soft,
+            hard_seconds=self.config.watchdog_hard,
+        )
+        self.watchdog = (
+            Watchdog(
+                self.registry, interval=self.config.watchdog_interval,
+                audit=self.audit,
+            )
+            if self.config.watchdog
+            else None
         )
         self.window = LatencyWindow(self.config.window)
         self.started_at = time.time()
@@ -424,6 +500,8 @@ class ReproServer:
             name="repro-serve", daemon=True,
         )
         self._thread.start()
+        if self.watchdog is not None:
+            self.watchdog.start()
         return self.config.port
 
     @property
@@ -456,6 +534,8 @@ class ReproServer:
         if self._stopped.is_set():
             return
         self.drain(grace=grace)
+        if self.watchdog is not None:
+            self.watchdog.stop()
         if self._httpd is not None:
             self._httpd.shutdown()
             self._httpd.server_close()
@@ -522,7 +602,34 @@ class ReproServer:
     def next_request_id(self):
         return f"r{next(self._request_ids):08d}"
 
-    def render_result(self, result, payload, tenant, seconds):
+    def resilience_plan(self, timeout):
+        """(meter, pre_degrade, probe) for one admitted ``/query``.
+
+        Half-open breaker probes run the full-fidelity path (the
+        breaker must observe real recovery); everything else consults
+        the brownout ladder, which may tighten the budget and/or
+        pre-degrade the request down the evaluation ladder.  The meter
+        is started here — before ``ask`` — so the stuck-query watchdog
+        holds a live reference it can force-expire.
+        """
+        budget = QueryBudget.default(deadline_seconds=timeout)
+        probe = self.breakers.acquire_probe()
+        pre_degrade = None
+        if self.brownout is not None:
+            pressure = (
+                self.admission.inflight / self.config.max_inflight
+                if self.config.max_inflight
+                else 0.0
+            )
+            self.brownout.observe(
+                pressure, breaker_open=self.breakers.any_open()
+            )
+            if not probe:
+                budget, pre_degrade = self.brownout.plan(budget)
+        return budget.start(), pre_degrade, probe
+
+    def render_result(self, result, payload, tenant, seconds,
+                      request_id=None):
         """(http_status, body) for one finished :class:`QueryResult`."""
         limit = payload.get("limit", self.config.result_limit)
         try:
@@ -532,7 +639,7 @@ class ReproServer:
                              f"limit must be an integer, got {limit!r}")
         values = result.values()
         body = {
-            "request_id": self.next_request_id(),
+            "request_id": request_id or self.next_request_id(),
             "tenant": tenant,
             "sentence": result.sentence,
             "status": result.status,
@@ -638,6 +745,15 @@ class ReproServer:
             "uptime_seconds": time.time() - self.started_at,
             "draining": self.draining,
             "admission": self.admission.snapshot(),
+            "breakers": self.breakers.snapshot(),
+            "brownout": (
+                self.brownout.snapshot() if self.brownout is not None
+                else None
+            ),
+            "watchdog": (
+                self.watchdog.snapshot() if self.watchdog is not None
+                else None
+            ),
             "windows": self.window.snapshot(),
             "config": {
                 "max_inflight": self.config.max_inflight,

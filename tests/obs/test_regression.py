@@ -216,6 +216,97 @@ class TestLoadResults:
             load_results(str(tmp_path / "nope.json"))
 
 
+def make_chaos(availability=1.0, unclassified=0, stuck=5, expired=2,
+               p50=0.02, p99=0.8, qps=20.0, samples=24):
+    """A minimal ``serving_chaos`` section."""
+    return {
+        "availability": availability,
+        "unclassified_5xx": unclassified,
+        "watchdog": {"stuck": stuck, "expired": expired, "recovered": 3},
+        "p50_seconds": p50,
+        "p99_seconds": p99,
+        "qps": qps,
+        "samples_seconds": [p50] * samples,
+    }
+
+
+class TestServingChaosGate:
+    def compare(self, base_chaos, cur_chaos):
+        baseline = dict(make_results(), serving_chaos=base_chaos)
+        current = dict(make_results(), serving_chaos=cur_chaos)
+        return compare_results(baseline, current)
+
+    def chaos_findings(self, report):
+        return [f for f in report.findings if f.task == "serving_chaos"]
+
+    def test_identical_chaos_sections_pass(self):
+        report = self.compare(make_chaos(), make_chaos())
+        assert report.ok
+        assert not [f for f in self.chaos_findings(report)
+                    if f.verdict in (WARN, FAIL)]
+
+    def test_availability_below_the_floor_fails(self):
+        report = self.compare(make_chaos(), make_chaos(availability=0.97))
+        (finding,) = [f for f in self.chaos_findings(report)
+                      if f.metric == "availability"]
+        assert finding.verdict == FAIL
+        assert "floor" in finding.note
+
+    def test_availability_floor_is_absolute_not_relative(self):
+        # Even a baseline that was itself low cannot excuse 97%.
+        report = self.compare(make_chaos(availability=0.97),
+                              make_chaos(availability=0.97))
+        assert not report.ok
+
+    def test_unclassified_5xx_fails(self):
+        report = self.compare(make_chaos(), make_chaos(unclassified=2))
+        (finding,) = [f for f in self.chaos_findings(report)
+                      if f.metric == "unclassified_5xx"]
+        assert finding.verdict == FAIL
+
+    def test_watchdog_never_firing_warns_but_does_not_fail(self):
+        report = self.compare(make_chaos(),
+                              make_chaos(stuck=0, expired=0))
+        (finding,) = [f for f in self.chaos_findings(report)
+                      if f.metric == "watchdog_stuck"]
+        assert finding.verdict == WARN
+        assert report.ok
+
+    def test_expired_only_still_counts_as_watchdog_activity(self):
+        report = self.compare(make_chaos(), make_chaos(stuck=0, expired=4))
+        assert not [f for f in self.chaos_findings(report)
+                    if f.metric == "watchdog_stuck"]
+
+    def test_p99_regression_fails(self):
+        report = self.compare(make_chaos(p99=0.5), make_chaos(p99=2.0))
+        (finding,) = [f for f in self.chaos_findings(report)
+                      if f.metric == "p99_seconds"]
+        assert finding.verdict == FAIL
+
+    def test_throughput_collapse_fails(self):
+        report = self.compare(make_chaos(qps=20.0), make_chaos(qps=5.0))
+        (finding,) = [f for f in self.chaos_findings(report)
+                      if f.metric == "seconds_per_request"]
+        assert finding.verdict == FAIL
+
+    def test_missing_current_section_skips_never_passes_silently(self):
+        baseline = dict(make_results(), serving_chaos=make_chaos())
+        report = compare_results(baseline, make_results())
+        (finding,) = self.chaos_findings(report)
+        assert finding.verdict == SKIP
+
+    def test_no_baseline_section_adds_no_rows(self):
+        report = compare_results(make_results(),
+                                 dict(make_results(),
+                                      serving_chaos=make_chaos()))
+        assert not self.chaos_findings(report)
+
+    def test_too_few_samples_skips_the_latency_ratchet(self):
+        report = self.compare(make_chaos(), make_chaos(samples=2, p99=99.0))
+        verdicts = {f.metric: f.verdict for f in self.chaos_findings(report)}
+        assert verdicts["p99_seconds"] == SKIP
+
+
 class TestCommittedBaseline:
     def test_baseline_has_watchdog_schema(self):
         """The committed baseline must carry the fields the gate needs."""
@@ -233,3 +324,13 @@ class TestCommittedBaseline:
         report = compare_results(results, results)
         assert report.ok
         assert not report.warnings
+
+    def test_baseline_has_a_healthy_chaos_section(self):
+        """The committed chaos run must itself clear the gates."""
+        chaos = load_results("benchmarks/BENCH_RESULTS.json")["serving_chaos"]
+        assert chaos["availability"] >= 0.99
+        assert chaos["unclassified_5xx"] == 0
+        assert chaos["faults_injected"] > 0
+        assert chaos["faults_delayed"] > 0
+        assert chaos["watchdog"]["stuck"] > 0
+        assert len(chaos["samples_seconds"]) == chaos["requests"]

@@ -1,0 +1,215 @@
+"""Every circuit-breaker transition, driven by a fake clock (no sleeps)."""
+
+import pytest
+
+from repro.resilience.breaker import (
+    BREAKER_CLASSES,
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(clock, **overrides):
+    kwargs = dict(window=8, failure_threshold=0.5, min_samples=4,
+                  open_seconds=5.0, half_open_probes=2, clock=clock)
+    kwargs.update(overrides)
+    return CircuitBreaker("internal", **kwargs)
+
+
+class TestClosedState:
+    def test_starts_closed(self):
+        breaker = make_breaker(FakeClock())
+        assert breaker.state == CLOSED
+        assert breaker.failure_rate() == 0.0
+
+    def test_stays_closed_below_min_samples(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(3):  # min_samples=4: three failures cannot trip
+            breaker.record(failed=True)
+        assert breaker.state == CLOSED
+
+    def test_trips_open_at_threshold(self):
+        breaker = make_breaker(FakeClock())
+        breaker.record(failed=False)
+        breaker.record(failed=False)
+        breaker.record(failed=True)
+        assert breaker.state == CLOSED  # 1/3, below min_samples
+        breaker.record(failed=True)     # 2/4 = threshold, enough samples
+        assert breaker.state == OPEN
+
+    def test_stays_closed_below_threshold(self):
+        breaker = make_breaker(FakeClock())
+        for _ in range(7):
+            breaker.record(failed=False)
+        breaker.record(failed=True)  # 1/8 < 0.5
+        assert breaker.state == CLOSED
+
+    def test_window_is_rolling(self):
+        # Old failures fall off the deque: 4 failures then 8 successes
+        # leaves a fully healthy window.
+        breaker = make_breaker(FakeClock(), min_samples=16, window=8)
+        for _ in range(4):
+            breaker.record(failed=True)
+        for _ in range(8):
+            breaker.record(failed=False)
+        assert breaker.failure_rate() == 0.0
+
+
+class TestOpenToHalfOpen:
+    def test_open_goes_half_open_after_timeout(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(failed=True)
+        assert breaker.state == OPEN
+        clock.advance(4.99)
+        assert breaker.state == OPEN
+        clock.advance(0.01)
+        assert breaker.state == HALF_OPEN
+
+    def test_outcomes_recorded_while_open_are_ignored(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(failed=True)
+        breaker.record(failed=False)  # non-probe traffic while open
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        # The window did not accumulate those outcomes.
+        assert breaker.snapshot()["samples"] == 4
+
+
+class TestHalfOpenProbes:
+    def tripped(self, clock):
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record(failed=True)
+        clock.advance(5.0)
+        assert breaker.state == HALF_OPEN
+        return breaker
+
+    def test_probe_slots_are_limited(self):
+        clock = FakeClock()
+        breaker = self.tripped(clock)
+        assert breaker.acquire_probe() is True
+        assert breaker.acquire_probe() is True   # half_open_probes=2
+        assert breaker.acquire_probe() is False  # no third slot
+
+    def test_no_probe_while_closed_or_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock)
+        assert breaker.acquire_probe() is False  # closed
+        for _ in range(4):
+            breaker.record(failed=True)
+        assert breaker.acquire_probe() is False  # open
+
+    def test_probe_successes_close_the_breaker(self):
+        clock = FakeClock()
+        breaker = self.tripped(clock)
+        assert breaker.acquire_probe()
+        breaker.record(failed=False, probe=True)
+        assert breaker.state == HALF_OPEN  # one success is not enough
+        assert breaker.acquire_probe()
+        breaker.record(failed=False, probe=True)
+        assert breaker.state == CLOSED
+        # Closing resets the window: the old failures are forgiven.
+        assert breaker.failure_rate() == 0.0
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.tripped(clock)
+        assert breaker.acquire_probe()
+        breaker.record(failed=True, probe=True)
+        assert breaker.state == OPEN
+        # ... for another full open_seconds.
+        clock.advance(4.99)
+        assert breaker.state == OPEN
+        clock.advance(0.01)
+        assert breaker.state == HALF_OPEN
+
+    def test_probe_release_frees_the_slot(self):
+        clock = FakeClock()
+        breaker = self.tripped(clock)
+        assert breaker.acquire_probe()
+        assert breaker.acquire_probe()
+        assert not breaker.acquire_probe()
+        breaker.record(failed=False, probe=True)
+        assert breaker.acquire_probe()  # the finished probe freed a slot
+
+    def test_reclose_then_retrip(self):
+        # The machine keeps working after one full cycle.
+        clock = FakeClock()
+        breaker = self.tripped(clock)
+        for _ in range(2):
+            breaker.acquire_probe()
+            breaker.record(failed=False, probe=True)
+        assert breaker.state == CLOSED
+        for _ in range(4):
+            breaker.record(failed=True)
+        assert breaker.state == OPEN
+        assert breaker.snapshot()["opened_total"] == 2
+
+
+class TestValidation:
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=1.5)
+
+    def test_bad_min_samples_and_probes_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", min_samples=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", half_open_probes=0)
+
+
+class TestBreakerBoard:
+    def test_one_breaker_per_service_class(self):
+        board = BreakerBoard(min_samples=2, failure_threshold=0.5)
+        assert set(board.breakers) == set(BREAKER_CLASSES)
+
+    def test_record_fans_out_by_class(self):
+        board = BreakerBoard(min_samples=2, failure_threshold=1.0)
+        board.record("internal")
+        board.record("internal")
+        assert board.breakers["internal"].state == OPEN
+        assert board.breakers["exhausted"].state == CLOSED
+        assert board.any_open()
+
+    def test_rejected_is_nobodys_failure(self):
+        board = BreakerBoard(min_samples=2, failure_threshold=0.5)
+        for _ in range(8):
+            board.record("rejected")
+        assert not board.any_open()
+
+    def test_acquire_probe_finds_the_half_open_breaker(self):
+        clock = FakeClock()
+        board = BreakerBoard(min_samples=2, failure_threshold=1.0,
+                             open_seconds=1.0, half_open_probes=1,
+                             clock=clock)
+        assert board.acquire_probe() is False
+        board.record("exhausted")
+        board.record("exhausted")
+        clock.advance(1.0)
+        assert board.acquire_probe() is True
+
+    def test_snapshot_has_all_classes(self):
+        board = BreakerBoard()
+        snap = board.snapshot()
+        assert set(snap) == set(BREAKER_CLASSES)
+        assert all(entry["state"] == CLOSED for entry in snap.values())

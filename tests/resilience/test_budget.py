@@ -80,6 +80,55 @@ class TestBudgetMeter:
         assert snapshot["materialized_nodes"] == 7
         assert snapshot["elapsed_seconds"] >= 0.0
 
+    def test_expire_makes_the_next_check_raise(self):
+        # The watchdog's cross-thread kill switch: once expired, both
+        # cooperative check points raise EXHAUSTED.
+        meter = QueryBudget.default(deadline_seconds=60.0).start()
+        meter.charge("flwor_iterations")  # fine before expiry
+        meter.expire("watchdog")
+        assert meter.expired
+        with pytest.raises(BudgetExceeded) as info:
+            meter.charge("flwor_iterations")
+        assert info.value.resource == "deadline"
+        assert info.value.error_class == ErrorClass.EXHAUSTED
+        with pytest.raises(BudgetExceeded):
+            meter.check_deadline()
+
+    def test_expire_is_idempotent_and_keeps_the_first_reason(self):
+        meter = QueryBudget().start()
+        meter.expire("watchdog")
+        meter.expire("other")
+        assert meter.snapshot()["expired"] == "watchdog"
+
+    def test_unexpired_meter_has_no_expired_snapshot_key(self):
+        meter = QueryBudget().start()
+        assert not meter.expired
+        assert "expired" not in meter.snapshot()
+
+
+class TestScaled:
+    def test_scaled_tightens_every_cap(self):
+        budget = QueryBudget(deadline_seconds=4.0, max_candidate_tuples=100,
+                             max_materialized_nodes=200,
+                             max_flwor_iterations=400)
+        tightened = budget.scaled(0.25)
+        assert tightened.deadline_seconds == pytest.approx(1.0)
+        assert tightened.max_candidate_tuples == 25
+        assert tightened.max_materialized_nodes == 50
+        assert tightened.max_flwor_iterations == 100
+
+    def test_scaled_keeps_unlimited_unlimited(self):
+        tightened = QueryBudget(deadline_seconds=4.0).scaled(0.5)
+        assert tightened.max_candidate_tuples is None
+
+    def test_scaled_count_caps_floor_at_one(self):
+        tightened = QueryBudget(max_candidate_tuples=2).scaled(0.1)
+        assert tightened.max_candidate_tuples == 1
+
+    def test_scaled_rejects_nonpositive_factor(self):
+        with pytest.raises(ValueError):
+            QueryBudget().scaled(0.0)
+
 
 class TestContextPlumbing:
     def test_helpers_are_noops_without_meter(self):

@@ -122,6 +122,78 @@ class TestTriggers:
         assert any(m.code == "internal-error" for m in result.errors)
 
 
+class TestDelayFaults:
+    def test_delay_injects_latency_not_failure(self, movie_database):
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=[FaultSpec("evaluate", delay=0.05)],
+        )
+        before = METRICS.counter("resilience.faults.delayed").value
+        stage_before = METRICS.counter(
+            "resilience.faults.delayed.evaluate"
+        ).value
+        result = nalix.ask(SENTENCE)
+        # The stage proceeds normally after the sleep: a full-fidelity
+        # answer, just slower.
+        assert result.status == "ok"
+        assert result.stage_seconds("evaluate") >= 0.05
+        assert METRICS.counter("resilience.faults.delayed").value == before + 1
+        assert (METRICS.counter("resilience.faults.delayed.evaluate").value
+                == stage_before + 1)
+
+    def test_delay_and_exception_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            FaultSpec("evaluate", delay=0.1, exception=RuntimeError)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec("evaluate", delay=-0.1)
+
+    def test_all_matching_delays_apply_then_exception_raises(
+        self, movie_database
+    ):
+        # A delayed *and* faulted stage: latency lands first, then the
+        # classified failure — the chaos benchmark's hard-stall shape.
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=[FaultSpec("evaluate", delay=0.05),
+                        FaultSpec("evaluate")],
+            degrade=False,
+        )
+        result = nalix.ask(SENTENCE)
+        assert result.status == "failed"
+        assert result.stage_seconds("evaluate") >= 0.05
+
+
+class TestTenantScoping:
+    def test_scoped_spec_only_fires_for_its_tenant(self, movie_database):
+        from repro.resilience.faults import fault_scope
+
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=[FaultSpec("evaluate", tenant="acme")],
+            degrade=False,
+        )
+        with fault_scope("other"):
+            assert nalix.ask(SENTENCE).status == "ok"
+        assert nalix.ask(SENTENCE).status == "ok"  # unscoped request
+        with fault_scope("acme"):
+            assert nalix.ask(SENTENCE).status == "failed"
+
+    def test_unscoped_spec_hits_every_tenant(self, movie_database):
+        from repro.resilience.faults import current_fault_tenant, fault_scope
+
+        nalix = NaLIX(
+            movie_database,
+            fault_plan=[FaultSpec("evaluate")],
+            degrade=False,
+        )
+        with fault_scope("acme"):
+            assert current_fault_tenant() == "acme"
+            assert nalix.ask(SENTENCE).status == "failed"
+        assert current_fault_tenant() is None
+
+
 class TestSpecParsing:
     def test_bare_stage(self):
         spec = FaultPlan.parse_spec("evaluate")
@@ -135,6 +207,26 @@ class TestSpecParsing:
     def test_probability_with_seed(self):
         spec = FaultPlan.parse_spec("parse:p=0.25,seed=9")
         assert spec.probability == 0.25 and spec.seed == 9
+
+    def test_probability_long_form_alias(self):
+        spec = FaultPlan.parse_spec("evaluate:probability=0.1")
+        assert spec.probability == 0.1
+
+    def test_delay_option(self):
+        spec = FaultPlan.parse_spec("evaluate:p=0.1,delay=0.25")
+        assert spec.delay == 0.25 and spec.probability == 0.1
+
+    def test_tenant_option(self):
+        spec = FaultPlan.parse_spec("evaluate:p=0.5,tenant=acme")
+        assert spec.tenant == "acme"
+
+    def test_at_option_long_form(self):
+        spec = FaultPlan.parse_spec("translate:at=3")
+        assert spec.at_call == 3
+
+    def test_option_spec_without_trigger_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse_spec("evaluate:tenant=acme")
 
     def test_unknown_stage_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,96 @@
+"""The shared client retry policy: pure decision logic, fully unit-tested."""
+
+import pytest
+
+from repro.resilience.retry import (
+    RETRYABLE_STATUSES,
+    RetryPolicy,
+    parse_retry_after,
+)
+
+
+class TestShouldRetry:
+    def test_retries_retryable_statuses(self):
+        policy = RetryPolicy(max_attempts=3)
+        for status in sorted(RETRYABLE_STATUSES):
+            assert policy.should_retry(1, status=status)
+
+    def test_never_past_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(2, status=503)
+        assert not policy.should_retry(3, status=503)
+        assert not policy.should_retry(7, status=503)
+
+    def test_rejected_is_never_retried(self):
+        # 422 means "rephrase": repeating the same sentence cannot help.
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.should_retry(1, status=422)
+
+    def test_success_is_never_retried(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert not policy.should_retry(1, status=200)
+
+    def test_transport_errors_always_retry(self):
+        policy = RetryPolicy(max_attempts=2)
+        assert policy.should_retry(1, transport_error=True)
+        assert not policy.should_retry(2, transport_error=True)
+
+    def test_body_retryable_false_vetoes(self):
+        # The server classified the failure as not worth repeating.
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.should_retry(1, status=500, retryable=True)
+        assert not policy.should_retry(1, status=500, retryable=False)
+
+    def test_none_policy_never_retries(self):
+        policy = RetryPolicy.none()
+        assert not policy.should_retry(1, status=503)
+        assert not policy.should_retry(1, transport_error=True)
+        assert not policy.hedge_after_p95
+
+
+class TestBackoff:
+    def test_exponential_without_jitter(self):
+        policy = RetryPolicy(base_backoff=0.1, multiplier=2.0,
+                             max_backoff=10.0, jitter=False)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+
+    def test_capped_at_max_backoff(self):
+        policy = RetryPolicy(base_backoff=1.0, multiplier=10.0,
+                             max_backoff=2.5, jitter=False)
+        assert policy.backoff_seconds(4) == pytest.approx(2.5)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(base_backoff=0.1, seed=7)
+        b = RetryPolicy(base_backoff=0.1, seed=7)
+        seq_a = [a.backoff_seconds(n) for n in (1, 2, 3)]
+        seq_b = [b.backoff_seconds(n) for n in (1, 2, 3)]
+        assert seq_a == seq_b  # same seed, same stream
+        assert all(0.0 <= s <= 0.4 for s in seq_a)  # full jitter in [0, raw]
+        different = RetryPolicy(base_backoff=0.1, seed=8)
+        assert [different.backoff_seconds(n) for n in (1, 2, 3)] != seq_a
+
+    def test_retry_after_wins_over_backoff(self):
+        policy = RetryPolicy(base_backoff=5.0, jitter=False)
+        assert policy.backoff_seconds(1, retry_after=0.25) == 0.25
+        assert policy.backoff_seconds(1, retry_after=0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_backoff=-1)
+
+
+class TestParseRetryAfter:
+    def test_delta_seconds(self):
+        assert parse_retry_after("3") == 3.0
+        assert parse_retry_after("0.5") == 0.5
+
+    def test_negative_clamps_to_zero(self):
+        assert parse_retry_after("-2") == 0.0
+
+    def test_missing_or_http_date_is_none(self):
+        assert parse_retry_after(None) is None
+        assert parse_retry_after("Wed, 21 Oct 2015 07:28:00 GMT") is None

@@ -1,0 +1,173 @@
+"""Every brownout-ladder step, driven by a fake clock (no sleeps)."""
+
+import pytest
+
+from repro.resilience.budget import QueryBudget
+from repro.serve.brownout import LEVELS, MAX_LEVEL, BrownoutController
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_controller(clock, **overrides):
+    kwargs = dict(pressure_high=0.8, pressure_low=0.5, step_seconds=2.0,
+                  cooldown_seconds=5.0, clock=clock)
+    kwargs.update(overrides)
+    return BrownoutController(**kwargs)
+
+
+class TestAscent:
+    def test_starts_at_level_zero(self):
+        controller = make_controller(FakeClock())
+        assert controller.level == 0
+
+    def test_single_hot_sample_does_not_ascend(self):
+        controller = make_controller(FakeClock())
+        assert controller.observe(1.0) == 0
+
+    def test_sustained_pressure_ascends_one_level_per_step(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        controller.observe(0.9)          # streak starts
+        clock.advance(1.99)
+        assert controller.observe(0.9) == 0  # not yet a full step
+        clock.advance(0.01)
+        assert controller.observe(0.9) == 1
+        # The next level needs its *own* full step of sustained heat.
+        assert controller.observe(0.9) == 1
+        clock.advance(2.0)
+        assert controller.observe(0.9) == 2
+        clock.advance(2.0)
+        assert controller.observe(0.9) == 3
+
+    def test_never_exceeds_max_level(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        for _ in range(10):
+            controller.observe(1.0)
+            clock.advance(2.0)
+        assert controller.observe(1.0) == MAX_LEVEL
+
+    def test_open_breaker_counts_as_pressure(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        controller.observe(0.0, breaker_open=True)
+        clock.advance(2.0)
+        assert controller.observe(0.0, breaker_open=True) == 1
+
+    def test_middle_band_resets_the_hot_streak(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        controller.observe(0.9)
+        clock.advance(1.5)
+        controller.observe(0.6)  # between low and high: streak broken
+        clock.advance(1.5)
+        assert controller.observe(0.9) == 0  # streak restarted from zero
+
+
+class TestDescent:
+    def ascended(self, clock, levels=2):
+        controller = make_controller(clock)
+        for _ in range(levels):
+            controller.observe(1.0)
+            clock.advance(2.0)
+            controller.observe(1.0)
+        assert controller.level == levels
+        return controller
+
+    def test_sustained_calm_descends_one_level_per_cooldown(self):
+        clock = FakeClock()
+        controller = self.ascended(clock, levels=2)
+        controller.observe(0.1)          # calm streak starts
+        clock.advance(4.99)
+        assert controller.observe(0.1) == 2
+        clock.advance(0.01)
+        assert controller.observe(0.1) == 1
+        clock.advance(5.0)
+        assert controller.observe(0.1) == 0
+
+    def test_never_descends_below_zero(self):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        controller.observe(0.0)
+        clock.advance(50.0)
+        assert controller.observe(0.0) == 0
+
+    def test_hot_sample_resets_the_calm_streak(self):
+        clock = FakeClock()
+        controller = self.ascended(clock, levels=1)
+        controller.observe(0.1)
+        clock.advance(4.0)
+        controller.observe(0.9)  # heat breaks the calm streak
+        clock.advance(4.0)
+        assert controller.observe(0.1) == 1  # calm must re-accumulate
+
+
+class TestPlan:
+    def at_level(self, level):
+        clock = FakeClock()
+        controller = make_controller(clock)
+        for _ in range(level):
+            controller.observe(1.0)
+            clock.advance(2.0)
+            controller.observe(1.0)
+        assert controller.level == level
+        return controller
+
+    def test_level_zero_passes_the_budget_through(self):
+        controller = self.at_level(0)
+        budget = QueryBudget.default(deadline_seconds=2.0)
+        planned, pre_degrade = controller.plan(budget)
+        assert planned is budget
+        assert pre_degrade is None
+
+    def test_level_one_halves_the_budget(self):
+        controller = self.at_level(1)
+        budget = QueryBudget.default(deadline_seconds=2.0)
+        planned, pre_degrade = controller.plan(budget)
+        assert planned.deadline_seconds == pytest.approx(1.0)
+        assert pre_degrade is None
+
+    def test_level_two_pre_degrades_to_naive(self):
+        controller = self.at_level(2)
+        planned, pre_degrade = controller.plan(
+            QueryBudget.default(deadline_seconds=2.0)
+        )
+        assert planned.deadline_seconds == pytest.approx(0.5)
+        assert pre_degrade == "naive-flwor"
+
+    def test_level_three_pre_degrades_to_keyword(self):
+        controller = self.at_level(3)
+        _, pre_degrade = controller.plan(
+            QueryBudget.default(deadline_seconds=2.0)
+        )
+        assert pre_degrade == "keyword-search"
+
+    def test_plan_without_budget(self):
+        controller = self.at_level(2)
+        planned, pre_degrade = controller.plan(None)
+        assert planned is None
+        assert pre_degrade == "naive-flwor"
+
+    def test_levels_table_shape(self):
+        assert LEVELS[0] == (1.0, None)
+        assert LEVELS[MAX_LEVEL][1] == "keyword-search"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BrownoutController(pressure_high=0.4, pressure_low=0.6)
+
+    def test_snapshot(self):
+        controller = self.at_level(2)
+        snap = controller.snapshot()
+        assert snap["level"] == 2
+        assert snap["budget_scale"] == 0.25
+        assert snap["pre_degrade"] == "naive-flwor"

@@ -1,0 +1,221 @@
+"""ServeClient retry/hedge behaviour over a scripted fake transport."""
+
+import json
+import threading
+
+import pytest
+
+from repro.resilience.retry import RetryPolicy
+from repro.serve.client import (
+    MIN_HEDGE_SAMPLES,
+    QueryOutcome,
+    ServeClient,
+    TransportError,
+)
+
+
+def reply(status, body=None, headers=None):
+    raw = json.dumps(body if body is not None else {}).encode("utf-8")
+    return status, headers or {}, raw
+
+
+class FakeTransport:
+    """Returns scripted replies in order; records every request."""
+
+    def __init__(self, replies):
+        self.replies = list(replies)
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def __call__(self, url, body, headers, timeout):
+        with self._lock:
+            self.calls.append((url, body, headers))
+            item = self.replies.pop(0)
+        if isinstance(item, Exception):
+            raise item
+        return item
+
+
+def make_client(replies, retries=2, sleeps=None, **policy_kwargs):
+    policy = RetryPolicy(max_attempts=retries + 1, jitter=False,
+                         base_backoff=0.01, **policy_kwargs)
+    transport = FakeTransport(replies)
+    client = ServeClient(
+        "http://test", tenant="acme", retry_policy=policy,
+        transport=transport,
+        sleep=(sleeps.append if sleeps is not None else lambda _s: None),
+    )
+    return client, transport
+
+
+class TestSingleAttempt:
+    def test_success_first_try(self):
+        client, transport = make_client(
+            [reply(200, {"status": "ok"},
+                   {"X-Repro-Seconds": "0.125"})]
+        )
+        outcome = client.query("find all titles")
+        assert outcome.ok
+        assert outcome.attempts == 1
+        assert outcome.body["status"] == "ok"
+        assert outcome.server_seconds == pytest.approx(0.125)
+        assert len(transport.calls) == 1
+
+    def test_tenant_header_is_sent(self):
+        client, transport = make_client([reply(200)])
+        client.query("q")
+        _, _, headers = transport.calls[0]
+        assert headers["X-Repro-Tenant"] == "acme"
+
+    def test_non_retryable_4xx_is_final(self):
+        client, transport = make_client([reply(422, {"status": "rejected"})])
+        outcome = client.query("gibberish")
+        assert outcome.status == 422
+        assert outcome.attempts == 1
+        assert len(transport.calls) == 1
+
+
+class TestRetries:
+    def test_retries_5xx_until_success(self):
+        client, transport = make_client(
+            [reply(500, {"error_class": "internal", "retryable": True}),
+             reply(503, {"error": "admission-capacity"}),
+             reply(200, {"status": "ok"})]
+        )
+        outcome = client.query("q")
+        assert outcome.ok
+        assert outcome.attempts == 3
+        assert client.retries_total == 2
+
+    def test_exhausts_attempts_and_returns_the_last_response(self):
+        client, transport = make_client(
+            [reply(500, {"error_class": "internal"})] * 3, retries=2
+        )
+        outcome = client.query("q")
+        assert outcome.status == 500
+        assert outcome.attempts == 3
+        assert len(transport.calls) == 3
+
+    def test_body_retryable_false_stops_the_loop(self):
+        client, transport = make_client(
+            [reply(500, {"retryable": False}), reply(200)], retries=3
+        )
+        outcome = client.query("q")
+        assert outcome.status == 500
+        assert outcome.attempts == 1
+
+    def test_transport_errors_are_retried(self):
+        client, transport = make_client(
+            [TransportError("connection refused"), reply(200)]
+        )
+        outcome = client.query("q")
+        assert outcome.ok
+        assert outcome.attempts == 2
+
+    def test_all_transport_failures_yield_status_none(self):
+        client, transport = make_client(
+            [TransportError("refused")] * 3, retries=2
+        )
+        outcome = client.query("q")
+        assert outcome.status is None
+        assert outcome.transport_error == "refused"
+        assert outcome.attempts == 3
+
+    def test_retry_after_header_drives_the_sleep(self):
+        sleeps = []
+        client, _ = make_client(
+            [reply(429, {"error": "admission-rate"}, {"Retry-After": "2"}),
+             reply(200)],
+            sleeps=sleeps,
+        )
+        outcome = client.query("q")
+        assert outcome.ok
+        assert sleeps == [2.0]
+
+    def test_backoff_used_without_retry_after(self):
+        sleeps = []
+        client, _ = make_client(
+            [reply(503, {"error": "admission-capacity"}), reply(200)],
+            sleeps=sleeps,
+        )
+        client.query("q")
+        assert sleeps == [pytest.approx(0.01)]  # base, jitter off
+
+    def test_no_retry_policy_means_one_attempt(self):
+        transport = FakeTransport([reply(503, {"error": "x"})])
+        client = ServeClient("http://test", transport=transport)
+        outcome = client.query("q")
+        assert outcome.status == 503
+        assert outcome.attempts == 1
+
+
+class TestHedging:
+    def test_hedging_stays_off_until_enough_samples(self):
+        client, _ = make_client([reply(200)], hedge_after_p95=True)
+        assert client._hedge_threshold() is None
+        client.query("q")
+        assert client._hedge_threshold() is None  # 1 < MIN_HEDGE_SAMPLES
+
+    def test_hedge_threshold_is_the_observed_p95(self):
+        client, _ = make_client([], hedge_after_p95=True)
+        for index in range(MIN_HEDGE_SAMPLES):
+            client._observe(0.01 * (index + 1))
+        threshold = client._hedge_threshold()
+        assert threshold == pytest.approx(0.01 * MIN_HEDGE_SAMPLES)
+
+    def test_hedge_fires_and_second_request_wins(self):
+        primary_started = threading.Event()
+        release_primary = threading.Event()
+
+        def transport(url, body, headers, timeout):
+            if not primary_started.is_set():
+                primary_started.set()
+                release_primary.wait(timeout=10.0)  # wedge the primary
+                return reply(200, {"who": "primary"})
+            return reply(200, {"who": "hedge"})
+
+        client = ServeClient(
+            "http://test",
+            retry_policy=RetryPolicy(hedge_after_p95=True),
+            transport=transport,
+        )
+        for _ in range(MIN_HEDGE_SAMPLES):
+            client._observe(0.01)  # p95 ~ 10ms: hedge quickly
+        outcome = client.query("q")
+        release_primary.set()
+        assert outcome.ok
+        assert outcome.hedged
+        assert outcome.hedge_won
+        assert outcome.body["who"] == "hedge"
+        assert client.hedges_total == 1
+        assert client.hedge_wins_total == 1
+
+    def test_fast_primary_needs_no_hedge(self):
+        client, transport = make_client(
+            [reply(200)], hedge_after_p95=True
+        )
+        for _ in range(MIN_HEDGE_SAMPLES):
+            client._observe(10.0)  # p95 far above any real latency
+        outcome = client.query("q")
+        assert outcome.ok
+        assert not outcome.hedged
+        assert client.hedges_total == 0
+        assert len(transport.calls) == 1
+
+
+class TestOutcome:
+    def test_ok_and_retryable_fields(self):
+        assert QueryOutcome(status=200).ok
+        assert not QueryOutcome(status=500).ok
+        assert not QueryOutcome().ok
+        assert QueryOutcome(body={"retryable": True}).retryable is True
+        assert QueryOutcome(body={"retryable": False}).retryable is False
+        assert QueryOutcome(body={}).retryable is None
+        assert QueryOutcome(body="not json").retryable is None
+
+    def test_snapshot(self):
+        client, _ = make_client([reply(200)])
+        client.query("q")
+        snap = client.snapshot()
+        assert snap["retries"] == 0
+        assert snap["latency_samples"] == 1

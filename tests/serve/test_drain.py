@@ -1,6 +1,14 @@
-"""Graceful shutdown: drain semantics, readiness flip, clean stop."""
+"""Graceful shutdown: drain semantics, readiness flip, clean stop.
+
+Includes the drain-while-faulting chaos cases: shutdown arriving while
+injected faults (latency + exceptions) are in flight must still produce
+classified responses for every admitted request, a complete access log,
+and a bounded drain.
+"""
 
 import json
+import os
+import signal
 import threading
 import time
 import urllib.error
@@ -8,6 +16,7 @@ import urllib.request
 
 import pytest
 
+from repro.obs.audit import read_audit_log
 from repro.serve import ReproServer, ServeConfig
 
 
@@ -122,6 +131,132 @@ def test_stop_is_idempotent(movie_nalix):
     server.start()
     server.stop()
     server.stop()  # does not raise
+
+
+def post_json(url, payload, timeout=10.0):
+    """POST and return (status, parsed JSON body) — errors included."""
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"}, method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_drain_while_faulting_yields_classified_responses(
+    movie_nalix, tmp_path
+):
+    """Shutdown mid-chaos: every in-flight faulted request still ends
+    classified, logged, and the drain stays bounded."""
+    audit_path = tmp_path / "access.jsonl"
+    config = ServeConfig(
+        port=0, max_inflight=8, audit_path=str(audit_path),
+        # Every query stalls 0.25s inside evaluate; 40% also hit an
+        # injected translate exception (a classified internal failure).
+        fault_plan=["evaluate:delay=0.25", "translate:p=0.4,seed=5"],
+        watchdog_interval=0.05,
+    )
+    server = ReproServer(nalix=movie_nalix, config=config)
+    server.start()
+    try:
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def _request():
+            outcome = post_json(server.url + "/query",
+                                {"sentence": "find all titles"})
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+        workers = [
+            threading.Thread(target=_request, daemon=True) for _ in range(6)
+        ]
+        for worker in workers:
+            worker.start()
+        # All six are mid-fault (the 0.25s evaluate stall) when the
+        # drain begins — none is turned away as draining.
+        assert wait_for(lambda: server.admission.inflight == 6)
+        drain_started = time.perf_counter()
+        drained = server.drain()
+        drain_seconds = time.perf_counter() - drain_started
+        for worker in workers:
+            worker.join(timeout=10.0)
+    finally:
+        server.stop()
+
+    # Bounded drain: the in-flight stalls are 0.25s, so the drain saw
+    # them out well inside the grace window.
+    assert drained is True
+    assert drain_seconds < config.drain_grace
+    assert len(outcomes) == 6
+    for status, body in outcomes:
+        # Every admitted request ended classified — a 200 (possibly
+        # degraded) or a taxonomy-classified failure, never a bare 500.
+        assert status in (200, 500, 504)
+        assert body["status"] in ("ok", "degraded", "failed")
+        if status != 200:
+            assert body["error_class"]
+            assert any(
+                entry["code"] == "injected-fault"
+                for entry in body["feedback"]
+            )
+
+    # The access log is complete: one classified record per request.
+    entries = [
+        entry for entry in read_audit_log(str(audit_path))
+        if "http_status" in entry
+    ]
+    assert len(entries) == 6
+    assert all(entry["status"] in ("ok", "degraded", "failed")
+               for entry in entries)
+
+
+def test_sigterm_during_in_flight_faults_drains_cleanly(
+    movie_nalix, tmp_path
+):
+    """The CLI path: SIGTERM mid-fault → drain → classified responses."""
+    audit_path = tmp_path / "access.jsonl"
+    config = ServeConfig(
+        port=0, max_inflight=4, audit_path=str(audit_path),
+        fault_plan=["evaluate:delay=0.3"],
+    )
+    server = ReproServer(nalix=movie_nalix, config=config)
+    server.start()
+    statuses = []
+
+    def _request():
+        statuses.append(
+            http_status(server.url + "/query",
+                        {"sentence": "find all titles"})
+        )
+
+    worker = threading.Thread(target=_request, daemon=True)
+
+    def _fire_and_kill():
+        worker.start()
+        if wait_for(lambda: server.admission.inflight == 1):
+            os.kill(os.getpid(), signal.SIGTERM)
+
+    killer = threading.Thread(target=_fire_and_kill, daemon=True)
+    killer.start()
+    # Blocks in the main thread (signal-handler rules) until the
+    # SIGTERM lands, then drains and stops.
+    signum = server.serve_until_signal()
+    worker.join(timeout=10.0)
+    killer.join(timeout=10.0)
+
+    assert signum == signal.SIGTERM
+    assert statuses == [200]  # the in-flight faulted query was seen out
+    assert server.admission.inflight == 0
+    entries = [
+        entry for entry in read_audit_log(str(audit_path))
+        if "http_status" in entry
+    ]
+    assert len(entries) == 1
+    assert entries[0]["http_status"] == 200
 
 
 def test_stop_flushes_and_closes_the_access_log(movie_nalix, tmp_path):

@@ -81,6 +81,66 @@ def test_rejections_are_not_internal_errors(movie_nalix):
     assert report.internal_errors == 0
 
 
+def test_sheds_count_separately_and_availability_reflects_them(movie_nalix):
+    # A near-zero tenant rate: most requests are shed with 429 +
+    # Retry-After.  Sheds are not internal errors, and availability
+    # counts only the final usable answers.
+    config = ServeConfig(port=0, max_inflight=8,
+                         tenant_rate=0.001, tenant_burst=1.0)
+    with ReproServer(nalix=movie_nalix, config=config) as limited:
+        report = run_loadgen(
+            LoadgenConfig(limited.url, concurrency=2, requests=6,
+                          task_mix=["find all titles"])
+        )
+    assert report.sheds > 0
+    assert report.shed_statuses.get(429, 0) == report.sheds
+    assert report.unclassified_5xx == 0
+    assert report.internal_errors == 0
+    successes = report.statuses.get(200, 0)
+    assert report.availability == pytest.approx(successes / 6)
+    document = report.to_dict()
+    assert document["sheds"] == report.sheds
+    assert document["availability"] == report.availability
+    assert "availability" in report.render_text()
+
+
+def test_retries_convert_sheds_into_availability(movie_nalix):
+    # Same throttled server, but the clients honour Retry-After and
+    # retry: every logical request eventually lands a 200.
+    config = ServeConfig(port=0, max_inflight=8,
+                         tenant_rate=5.0, tenant_burst=1.0)
+    with ReproServer(nalix=movie_nalix, config=config) as limited:
+        report = run_loadgen(
+            LoadgenConfig(limited.url, concurrency=2, requests=6,
+                          task_mix=["find all titles"], retries=4)
+        )
+    assert report.statuses.get(200, 0) == 6
+    assert report.availability == 1.0
+    assert report.retries > 0
+    assert "retries" in report.to_dict()
+
+
+def test_rejected_sentences_count_as_available(server):
+    # 422 means the server answered with actionable feedback — the
+    # service did its job, so availability does not drop.
+    report = run_loadgen(
+        LoadgenConfig(server.url, concurrency=2, requests=6,
+                      task_mix=["zzzz qqqq xxxx"])
+    )
+    assert report.statuses.get(422, 0) == 6
+    assert report.availability == 1.0
+    assert report.internal_errors == 0
+
+
+def test_availability_with_no_records_is_one():
+    from repro.serve.loadgen import LoadgenReport
+
+    report = LoadgenReport(
+        LoadgenConfig("http://x", requests=0), [], 0, 0.0
+    )
+    assert report.availability == 1.0
+
+
 def test_duration_mode_stops(server):
     report = run_loadgen(
         LoadgenConfig(server.url, concurrency=2, requests=None,

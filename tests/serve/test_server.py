@@ -68,6 +68,25 @@ class TestOpsEndpoints:
         assert document["admission"]["max_inflight"] == 8
         assert document["uptime_seconds"] > 0
 
+    def test_statusz_surfaces_self_healing_state(self, server):
+        status, _, body = http_get(server.url + "/statusz")
+        assert status == 200
+        document = json.loads(body)
+        # One breaker per failure class, all healthy on a quiet server.
+        breakers = document["breakers"]
+        assert set(breakers) == {"internal", "exhausted"}
+        for snapshot in breakers.values():
+            assert snapshot["state"] == "closed"
+            assert snapshot["opened_total"] == 0
+        brownout = document["brownout"]
+        assert brownout["level"] == 0
+        assert brownout["budget_scale"] == 1.0
+        assert brownout["pre_degrade"] is None
+        watchdog = document["watchdog"]
+        assert watchdog["inflight"] == 0
+        for key in ("stuck_total", "expired_total", "recovered_total"):
+            assert watchdog[key] >= 0
+
     def test_unknown_endpoint_is_404(self, server):
         status, _, body = http_get(server.url + "/nope")
         assert status == 404

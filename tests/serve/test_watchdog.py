@@ -1,0 +1,211 @@
+"""Stuck-query watchdog: every transition via ``scan_once`` + fake clock."""
+
+import threading
+
+import pytest
+
+from repro.obs.audit import AuditLog, read_audit_log
+from repro.resilience.budget import QueryBudget
+from repro.resilience.errors import BudgetExceeded
+from repro.serve.watchdog import (
+    DEFAULT_DEADLINE_BASIS,
+    InflightRegistry,
+    Watchdog,
+    sample_thread_stack,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_pair(clock, **registry_overrides):
+    registry = InflightRegistry(clock=clock, **registry_overrides)
+    watchdog = Watchdog(registry, clock=clock)
+    return registry, watchdog
+
+
+def register(registry, request_id="r1", deadline=1.0):
+    meter = QueryBudget.default(deadline_seconds=deadline).start()
+    return registry.register(request_id, "tenant-a", "find all titles",
+                             meter)
+
+
+class TestDeadlines:
+    def test_deadlines_derive_from_the_budget(self):
+        clock = FakeClock()
+        registry, _ = make_pair(clock)  # factors 1.5 / 3.0
+        entry = register(registry, deadline=2.0)
+        assert entry.soft_at == pytest.approx(3.0)
+        assert entry.hard_at == pytest.approx(6.0)
+
+    def test_absolute_overrides_win(self):
+        clock = FakeClock()
+        registry, _ = make_pair(clock, soft_seconds=0.2, hard_seconds=0.9)
+        entry = register(registry, deadline=30.0)
+        assert entry.soft_at == pytest.approx(0.2)
+        assert entry.hard_at == pytest.approx(0.9)
+
+    def test_no_deadline_falls_back_to_the_basis(self):
+        clock = FakeClock()
+        registry, _ = make_pair(clock)
+        meter = QueryBudget().start()  # deadline_seconds=None
+        entry = registry.register("r1", "t", "s", meter)
+        assert entry.soft_at == pytest.approx(DEFAULT_DEADLINE_BASIS * 1.5)
+
+    def test_hard_never_precedes_soft(self):
+        clock = FakeClock()
+        registry, _ = make_pair(clock, soft_seconds=2.0, hard_seconds=0.5)
+        entry = register(registry)
+        assert entry.hard_at == entry.soft_at
+
+
+class TestScanTransitions:
+    def test_healthy_requests_are_untouched(self):
+        clock = FakeClock()
+        registry, watchdog = make_pair(clock)
+        entry = register(registry, deadline=1.0)
+        clock.advance(1.0)  # under the 1.5s soft deadline
+        assert watchdog.scan_once() == []
+        assert not entry.stuck
+
+    def test_soft_deadline_marks_stuck_once(self):
+        clock = FakeClock()
+        registry, watchdog = make_pair(clock)
+        entry = register(registry, deadline=1.0)
+        clock.advance(1.6)
+        actions = watchdog.scan_once()
+        assert actions == [("stuck", entry)]
+        assert entry.stuck and not entry.expired
+        assert watchdog.stuck_total == 1
+        # A second scan does not re-stamp it.
+        assert watchdog.scan_once() == []
+        assert watchdog.stuck_total == 1
+
+    def test_hard_deadline_expires_the_meter(self):
+        clock = FakeClock()
+        registry, watchdog = make_pair(clock)
+        entry = register(registry, deadline=1.0)
+        clock.advance(3.1)  # past both 1.5s soft and 3.0s hard
+        kinds = [kind for kind, _ in watchdog.scan_once()]
+        assert kinds == ["stuck", "expired"]
+        assert entry.expired
+        assert entry.meter.expired
+        # The wedged engine's next cooperative check raises, and the
+        # failure classifies as exhausted (-> classified 504 upstream).
+        with pytest.raises(BudgetExceeded):
+            entry.meter.charge("flwor_iterations")
+        assert watchdog.expired_total == 1
+
+    def test_finishing_after_stuck_counts_recovered(self):
+        clock = FakeClock()
+        registry, watchdog = make_pair(clock)
+        entry = register(registry, deadline=1.0)
+        clock.advance(1.6)
+        watchdog.scan_once()
+        registry.finish(entry)
+        assert registry.recovered_total == 1
+        assert len(registry) == 0
+
+    def test_expired_requests_do_not_count_recovered(self):
+        clock = FakeClock()
+        registry, watchdog = make_pair(clock)
+        entry = register(registry, deadline=1.0)
+        clock.advance(3.1)
+        watchdog.scan_once()
+        registry.finish(entry)
+        assert registry.recovered_total == 0
+
+    def test_finished_requests_leave_the_scan(self):
+        clock = FakeClock()
+        registry, watchdog = make_pair(clock)
+        entry = register(registry, deadline=1.0)
+        registry.finish(entry)
+        clock.advance(10.0)
+        assert watchdog.scan_once() == []
+
+    def test_scan_handles_many_entries(self):
+        clock = FakeClock()
+        registry, watchdog = make_pair(clock)
+        fast = register(registry, "fast", deadline=100.0)
+        slow = register(registry, "slow", deadline=1.0)
+        clock.advance(2.0)
+        actions = watchdog.scan_once()
+        assert actions == [("stuck", slow)]
+        assert not fast.stuck
+
+
+class TestAuditReporting:
+    def test_stuck_event_carries_a_stack_sample(self, tmp_path):
+        clock = FakeClock()
+        audit = AuditLog(str(tmp_path / "audit.jsonl"), actor="serve")
+        registry = InflightRegistry(clock=clock)
+        watchdog = Watchdog(registry, audit=audit, clock=clock)
+
+        # Register from a live worker thread so the watchdog can sample
+        # a real stack for that thread id.
+        ready = threading.Event()
+        release = threading.Event()
+        holder = {}
+
+        def _worker():
+            holder["entry"] = register(registry, deadline=1.0)
+            ready.set()
+            release.wait(timeout=10.0)
+
+        worker = threading.Thread(target=_worker, daemon=True)
+        worker.start()
+        assert ready.wait(timeout=10.0)
+        clock.advance(3.1)
+        watchdog.scan_once()
+        release.set()
+        worker.join(timeout=10.0)
+        audit.close()
+
+        events = read_audit_log(str(tmp_path / "audit.jsonl"))
+        kinds = [entry["event"] for entry in events]
+        assert kinds == ["watchdog-stuck", "watchdog-expired"]
+        stuck = events[0]
+        assert stuck["request_id"] == "r1"
+        assert stuck["tenant"] == "tenant-a"
+        assert stuck["elapsed_seconds"] == pytest.approx(3.1)
+        # The flight recorder: the worker's sampled stack, naming the
+        # function it was wedged in.
+        assert any("_worker" in line for line in stuck["stack"])
+
+    def test_audit_failure_does_not_kill_the_scan(self):
+        clock = FakeClock()
+
+        class ExplodingAudit:
+            def record_event(self, *args, **kwargs):
+                raise OSError("disk full")
+
+        registry = InflightRegistry(clock=clock)
+        watchdog = Watchdog(registry, audit=ExplodingAudit(), clock=clock)
+        register(registry, deadline=1.0)
+        clock.advance(1.6)
+        assert watchdog.scan_once()  # the action still happens
+
+    def test_sample_thread_stack_of_dead_thread_is_empty(self):
+        assert sample_thread_stack(-1) == []
+
+
+class TestDaemon:
+    def test_start_stop_and_snapshot(self):
+        registry = InflightRegistry()
+        watchdog = Watchdog(registry, interval=0.01)
+        watchdog.start()
+        watchdog.start()  # idempotent
+        watchdog.stop()
+        snap = watchdog.snapshot()
+        assert snap["inflight"] == 0
+        assert snap["stuck_total"] == 0
+        assert snap["expired_total"] == 0
+        assert snap["recovered_total"] == 0
