@@ -23,7 +23,13 @@ DESIGN.md "Benchmark artifacts"):
   and a ``serving_chaos`` section from
   :func:`repro.evaluation.bench.collect_serve_chaos_results` — the
   same workload under the standard injected-fault plan with retrying
-  clients, ratcheting availability and tail latency under faults.
+  clients, ratcheting availability and tail latency under faults (plus
+  the tail sampler's retention profile and the flight recorder's byte
+  accounting, gated absolutely), and a ``serving_observability``
+  section from
+  :func:`repro.evaluation.bench.collect_obs_overhead_results` — the
+  same serving workload with the incident-observability layer off vs
+  on, so the watchdog bounds the overhead of the evidence loop.
 """
 
 import json
@@ -36,6 +42,7 @@ from repro.core.interface import NaLIX
 from repro.data import generate_dblp, movies_document
 from repro.database.store import Database
 from repro.evaluation.bench import (
+    collect_obs_overhead_results,
     collect_serve_chaos_results,
     collect_serve_results,
     collect_task_results,
@@ -64,6 +71,7 @@ def pytest_sessionfinish(session, exitstatus):
     results.update(collect_task_results())
     results["serving"] = collect_serve_results()
     results["serving_chaos"] = collect_serve_chaos_results()
+    results["serving_observability"] = collect_obs_overhead_results()
     _RESULTS_PATH.write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

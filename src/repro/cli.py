@@ -406,6 +406,14 @@ def cmd_bench_check(args):
         current["serving_chaos"] = collect_serve_chaos_results(
             books=args.books, seed=args.seed
         )
+    if args.serve and "serving_observability" not in current:
+        from repro.evaluation.bench import collect_obs_overhead_results
+
+        print("bench-check: measuring observability overhead...",
+              file=sys.stderr)
+        current["serving_observability"] = collect_obs_overhead_results(
+            books=args.books, seed=args.seed
+        )
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as handle:
             json_module.dump(current, handle, indent=2, sort_keys=True)
@@ -429,6 +437,21 @@ def cmd_bench_check(args):
         for line in report.github_annotations():
             print(line)
     return report.exit_code
+
+
+def _parse_dump_signal(name):
+    """``--dump-on SIGUSR1`` → the signal number, or a clear error."""
+    import signal as signal_module
+
+    if name is None:
+        return None
+    candidate = name.upper()
+    if not candidate.startswith("SIG"):
+        candidate = "SIG" + candidate
+    number = getattr(signal_module, candidate, None)
+    if number is None:
+        raise SystemExit(f"repro: unknown signal {name!r} for --dump-on")
+    return number
 
 
 def cmd_serve(args):
@@ -458,6 +481,14 @@ def cmd_serve(args):
         watchdog_hard=args.watchdog_hard,
         breaker_threshold=args.breaker_threshold,
         breaker_open_seconds=args.breaker_open,
+        slos=(() if args.slo and args.slo[0].lower() in ("none", "off")
+              else args.slo or None),
+        slo_fast_burn=args.slo_fast_burn,
+        recorder=not args.no_recorder,
+        recorder_max_bytes=args.recorder_bytes,
+        head_sample_rate=args.head_sample_rate,
+        dump_dir=args.dump_dir,
+        dump_signal=_parse_dump_signal(args.dump_on),
     )
     try:
         server = ReproServer(database, config=config)
@@ -471,12 +502,31 @@ def cmd_serve(args):
           + ")")
     if config.audit_path:
         print(f"repro serve: access log -> {config.audit_path}")
+    if config.dump_dir:
+        print(f"repro serve: flight-recorder dumps -> {config.dump_dir}"
+              + (f" (and on {args.dump_on})" if args.dump_on else ""))
     if config.fault_plan:
         print(f"repro serve: CHAOS — injecting faults: "
               f"{', '.join(config.fault_plan)}")
     signum = server.serve_until_signal()
     print(f"repro serve: received signal {signum}, drained and stopped")
     return 0
+
+
+def cmd_top(args):
+    """Live ops dashboard over a running ``repro serve`` instance."""
+    from repro.serve.top import TopConfig, run_top
+
+    config = TopConfig(
+        args.url,
+        interval=args.interval,
+        once=args.once,
+        color=False if args.no_color else None,
+    )
+    try:
+        return run_top(config)
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_loadgen(args):
@@ -582,6 +632,45 @@ def _resilience_summary(metrics):
     return lines
 
 
+def _slo_summary(metrics):
+    """Per-SLO burn-rate lines from a scraped ``/metrics`` parse.
+
+    Returns ``None`` when the server exposes no ``repro_slo_*`` family
+    at all — i.e. it predates the SLO engine — so the caller can say
+    so explicitly instead of silently showing nothing.
+    """
+    burn = metrics.get("repro_slo_burn_rate")
+    if burn is None:
+        return None
+    budgets = {
+        labels.get("slo"): value
+        for labels, value in
+        metrics.get("repro_slo_error_budget_remaining", {}).get(
+            "samples", ()
+        )
+    }
+    alerts = {
+        labels.get("slo"): value
+        for labels, value in
+        metrics.get("repro_slo_fast_burn_alert", {}).get("samples", ())
+    }
+    rates = {}
+    for labels, value in burn.get("samples", ()):
+        rates.setdefault(labels.get("slo"), {})[
+            labels.get("window")] = value
+    lines = []
+    for name in sorted(rates):
+        windows = rates[name]
+        alerting = alerts.get(name, 0)
+        lines.append(
+            f"{name:<28} burn fast {windows.get('fast', 0.0):6.2f} / "
+            f"slow {windows.get('slow', 0.0):6.2f}  "
+            f"budget {budgets.get(name, 1.0) * 100:5.1f}%  "
+            f"{'ALERT' if alerting else 'ok'}"
+        )
+    return lines
+
+
 def _stats_from_url(args):
     """``stats --url``: read a live server's ``/metrics`` exposition."""
     import json as json_module
@@ -597,56 +686,91 @@ def _stats_from_url(args):
     url = args.url
     if not url.rstrip("/").endswith("/metrics"):
         url = url.rstrip("/") + "/metrics"
-    # Scrapes ride the shared retry policy: a server mid-restart or
-    # briefly overloaded should not fail an ops look-in.
-    policy = RetryPolicy(max_attempts=3, seed=0)
-    attempt = 0
-    while True:
-        attempt += 1
-        try:
-            with urllib.request.urlopen(url, timeout=10.0) as response:
-                text = response.read().decode("utf-8")
-            break
-        except (urllib.error.URLError, OSError) as error:
-            if not policy.should_retry(attempt, transport_error=True):
-                raise SystemExit(f"repro: cannot scrape {url!r}: {error}")
-            time_module.sleep(policy.backoff_seconds(attempt))
-    out = getattr(args, "out", None)
-    if args.format == "prom":
-        _emit(text, out)
-        return 0
-    metrics = parse_prometheus_text(text)
-    if args.format == "json":
-        document = {
-            name: {
-                "type": entry["type"],
-                "samples": [
-                    {"labels": labels, "value": value}
-                    for labels, value in entry["samples"]
-                ],
+
+    def scrape():
+        # Scrapes ride the shared retry policy: a server mid-restart or
+        # briefly overloaded should not fail an ops look-in.
+        policy = RetryPolicy(max_attempts=3, seed=0)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with urllib.request.urlopen(url, timeout=10.0) as response:
+                    return response.read().decode("utf-8")
+            except (urllib.error.URLError, OSError) as error:
+                if not policy.should_retry(attempt, transport_error=True):
+                    raise SystemExit(
+                        f"repro: cannot scrape {url!r}: {error}"
+                    )
+                time_module.sleep(policy.backoff_seconds(attempt))
+
+    def render_once():
+        text = scrape()
+        out = getattr(args, "out", None)
+        if args.format == "prom":
+            _emit(text, out)
+            return 0
+        metrics = parse_prometheus_text(text)
+        if args.format == "json":
+            document = {
+                name: {
+                    "type": entry["type"],
+                    "samples": [
+                        {"labels": labels, "value": value}
+                        for labels, value in entry["samples"]
+                    ],
+                }
+                for name, entry in sorted(metrics.items())
             }
-            for name, entry in sorted(metrics.items())
-        }
-        _emit(json_module.dumps(document, indent=2, sort_keys=True) + "\n",
-              out)
-        return 0
-    print(f"repro stats — scraped {url} ({len(metrics)} metrics)\n")
-    summary = _resilience_summary(metrics)
-    if summary:
-        print("self-healing:")
-        for line in summary:
-            print("  " + line)
-        print()
-    print(f"{'metric':<54}{'type':>9}{'value':>14}")
-    print("-" * 77)
-    for name, entry in sorted(metrics.items()):
-        for labels, value in entry["samples"]:
-            label_text = ",".join(
-                f"{key}={val}" for key, val in sorted(labels.items())
-            )
-            shown = name + (f"{{{label_text}}}" if label_text else "")
-            print(f"{shown:<54}{entry['type']:>9}{value:>14.6g}")
-    return 0
+            _emit(json_module.dumps(document, indent=2, sort_keys=True)
+                  + "\n", out)
+            return 0
+        print(f"repro stats — scraped {url} ({len(metrics)} metrics)\n")
+        slo_lines = _slo_summary(metrics)
+        if slo_lines is None:
+            # A server predating the SLO engine: say so loudly and exit
+            # nonzero so dashboards/scripts notice the missing family
+            # instead of silently reporting "no SLOs configured".
+            print("slo:")
+            print("  this server exposes no repro_slo_* metrics — it "
+                  "predates the SLO engine")
+            print("  (upgrade the server, or start it without --slo none, "
+                  "to get burn rates)")
+            print()
+        elif slo_lines:
+            print("slo:")
+            for line in slo_lines:
+                print("  " + line)
+            print()
+        summary = _resilience_summary(metrics)
+        if summary:
+            print("self-healing:")
+            for line in summary:
+                print("  " + line)
+            print()
+        print(f"{'metric':<54}{'type':>9}{'value':>14}")
+        print("-" * 77)
+        for name, entry in sorted(metrics.items()):
+            for labels, value in entry["samples"]:
+                label_text = ",".join(
+                    f"{key}={val}" for key, val in sorted(labels.items())
+                )
+                shown = name + (f"{{{label_text}}}" if label_text else "")
+                print(f"{shown:<54}{entry['type']:>9}{value:>14.6g}")
+        return 3 if slo_lines is None else 0
+
+    watch = getattr(args, "watch", None)
+    if not watch:
+        return render_once()
+    # --watch N: refresh the same report every N seconds until Ctrl-C.
+    code = 0
+    try:
+        while True:
+            print("\x1b[2J\x1b[H", end="")
+            code = render_once()
+            time_module.sleep(watch)
+    except KeyboardInterrupt:
+        return code
 
 
 def cmd_stats(args):
@@ -1097,6 +1221,9 @@ def build_parser():
     stats.add_argument("--format", choices=("table", "json", "prom", "chrome"),
                        default="table",
                        help="output format (default: human-readable table)")
+    stats.add_argument("--watch", type=float, metavar="SECONDS",
+                       help="with --url: re-scrape and refresh every N "
+                       "seconds until Ctrl-C")
     stats.add_argument("--out", metavar="PATH",
                        help="write the export to a file instead of stdout")
     _add_obs_options(stats)
@@ -1233,7 +1360,49 @@ def build_parser():
                        metavar="SECONDS",
                        help="seconds an open breaker waits before "
                        "half-open probes (default: %(default)s)")
+    serve.add_argument("--slo", action="append", metavar="SPEC",
+                       help="SLO spec: availability:0.99 or "
+                       "latency:0.99@0.5[@/query]; repeatable; "
+                       "'none' disables the SLO engine (default: "
+                       "99%% availability + p99<1s on /query)")
+    serve.add_argument("--slo-fast-burn", type=float, default=14.4,
+                       metavar="RATE",
+                       help="fast-window burn rate that raises the "
+                       "page-now alert (default: %(default)s)")
+    serve.add_argument("--no-recorder", action="store_true",
+                       help="disable the tail sampler + flight recorder")
+    serve.add_argument("--recorder-bytes", type=int,
+                       default=8 * 1024 * 1024, metavar="BYTES",
+                       help="flight-recorder ring-buffer budget "
+                       "(default: %(default)s)")
+    serve.add_argument("--head-sample-rate", type=float, default=0.1,
+                       metavar="FRACTION",
+                       help="fraction of healthy traffic the sampler "
+                       "retains (default: %(default)s)")
+    serve.add_argument("--dump-dir", metavar="DIR",
+                       help="directory for automatic flight-recorder "
+                       "dumps (breaker-open, watchdog-hard, SLO "
+                       "fast-burn)")
+    serve.add_argument("--dump-on", metavar="SIGNAL",
+                       help="also dump on this signal, e.g. SIGUSR1 "
+                       "(server keeps running)")
     serve.set_defaults(handler=cmd_serve)
+
+    top = commands.add_parser(
+        "top",
+        help="live ANSI dashboard over a running repro serve "
+        "(QPS, SLO burn, breakers, in-flight requests)",
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8080",
+                     help="server base URL (default: %(default)s)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     metavar="SECONDS",
+                     help="refresh interval (default: %(default)s)")
+    top.add_argument("--once", action="store_true",
+                     help="print one plain frame and exit (CI smoke)")
+    top.add_argument("--no-color", action="store_true",
+                     help="disable ANSI colors")
+    top.set_defaults(handler=cmd_top)
 
     loadgen = commands.add_parser(
         "loadgen",

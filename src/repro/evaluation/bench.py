@@ -90,7 +90,7 @@ SERVE_REQUESTS = 90
 
 def collect_serve_results(concurrency=SERVE_CONCURRENCY,
                           requests=SERVE_REQUESTS, books=120, seed=7,
-                          nalix=None):
+                          nalix=None, config=None):
     """The sustained-throughput serving benchmark row.
 
     Boots an in-process :class:`~repro.serve.server.ReproServer` over
@@ -105,8 +105,9 @@ def collect_serve_results(concurrency=SERVE_CONCURRENCY,
 
     if nalix is None:
         nalix = build_bench_nalix(books=books, seed=seed)
-    config = ServeConfig(port=0, max_inflight=concurrency,
-                         window=max(4096, requests))
+    if config is None:
+        config = ServeConfig(port=0, max_inflight=concurrency,
+                             window=max(4096, requests))
     server = ReproServer(nalix=nalix, config=config)
     server.start()
     try:
@@ -242,4 +243,67 @@ def collect_serve_chaos_results(concurrency=SERVE_CONCURRENCY,
         "samples_seconds": [
             server for _, _, server in report.records if server is not None
         ],
+        # What the incident-observability layer did under fire: the
+        # tail sampler's per-category retention, the flight recorder's
+        # fill, and the SLO engine's burn state.  The regression
+        # watchdog gates on these (errors retained 100%, slow tail
+        # >= 95%, healthy head-sampling bounded, bytes within budget).
+        "sampler": server.sampler.snapshot(),
+        "recorder": server.recorder.snapshot(),
+        "slo": [
+            {
+                "name": entry["name"],
+                "error_budget_remaining": entry["error_budget_remaining"],
+                "alerting": entry["alerting"],
+            }
+            for entry in server.slo.snapshot()
+        ],
+    }
+
+
+def collect_obs_overhead_results(concurrency=SERVE_CONCURRENCY,
+                                 requests=SERVE_REQUESTS, books=120, seed=7,
+                                 nalix=None):
+    """The observability-overhead benchmark row.
+
+    Runs the sustained-throughput serving benchmark twice over the same
+    pipeline — once with the incident-observability layer fully off
+    (no SLO engine, no sampler, no recorder) and once with the serving
+    defaults on — and reports both latency profiles plus the relative
+    overhead fractions the ratchet watches.  The point of the row: the
+    always-on evidence loop must stay in the noise floor of serving
+    latency, or it is not always-on for long.
+    """
+    if nalix is None:
+        nalix = build_bench_nalix(books=books, seed=seed)
+    from repro.serve import ServeConfig
+
+    bare = collect_serve_results(
+        concurrency=concurrency, requests=requests, nalix=nalix,
+        config=ServeConfig(port=0, max_inflight=concurrency,
+                           window=max(4096, requests),
+                           recorder=False, slos=()),
+    )
+    full = collect_serve_results(
+        concurrency=concurrency, requests=requests, nalix=nalix,
+    )
+
+    def overhead(field):
+        if not bare[field]:
+            return 0.0
+        return (full[field] - bare[field]) / bare[field]
+
+    strip = ("samples_seconds", "statuses", "scraped_p99_seconds",
+             "p99_delta_fraction")
+    return {
+        "concurrency": concurrency,
+        "requests": requests,
+        "baseline": {k: v for k, v in bare.items() if k not in strip},
+        "observability": {k: v for k, v in full.items() if k not in strip},
+        "p50_overhead_fraction": overhead("p50_seconds"),
+        "p99_overhead_fraction": overhead("p99_seconds"),
+        "qps_overhead_fraction": (
+            (bare["qps"] - full["qps"]) / bare["qps"] if bare["qps"] else 0.0
+        ),
+        "samples_seconds": full["samples_seconds"],
     }

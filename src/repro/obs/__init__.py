@@ -37,6 +37,15 @@ instrument itself freely):
   a fresh benchmark run against the committed
   ``benchmarks/BENCH_RESULTS.json`` baseline with a robust tolerance
   rule (relative thresholds + MAD guard + min-sample floor).
+* :mod:`repro.obs.slo` — declarative availability/latency SLOs over the
+  live request stream with Google-SRE multi-window burn-rate alerting.
+* :mod:`repro.obs.sampler` — tail-based trace sampling: always retain
+  errors, watchdog victims, and the slow tail; head-sample the rest.
+* :mod:`repro.obs.recorder` — the byte-bounded in-memory flight
+  recorder of retained traces, dumpable as JSONL/Chrome bundles.
+* :mod:`repro.obs.tracecontext` — W3C ``traceparent`` parsing and
+  formatting (the trace-id thread through client, server, audit log,
+  metrics exemplars, and recorder).
 
 See the "Observability" and "Explain" sections of README.md and
 DESIGN.md for the metric naming scheme and the CLI surface
@@ -87,6 +96,7 @@ from repro.obs.provenance import (
     validation_records_from_feedback,
 )
 from repro.obs.quantiles import median, median_abs_deviation, nearest_rank
+from repro.obs.recorder import FlightRecorder, RecordedTrace
 from repro.obs.regression import (
     Finding,
     RegressionReport,
@@ -96,7 +106,15 @@ from repro.obs.regression import (
     load_results,
     parse_handicap,
 )
+from repro.obs.sampler import SampleDecision, TailSampler
+from repro.obs.slo import SLOEngine, SLOSpec, SLOTracker
 from repro.obs.spans import Span, Trace, activate_trace, current_trace, span
+from repro.obs.tracecontext import (
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
 
 __all__ = [
     "LATENCIES",
@@ -106,6 +124,7 @@ __all__ = [
     "Counter",
     "Explanation",
     "Finding",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LatencyWindow",
@@ -116,9 +135,15 @@ __all__ = [
     "PlanStatsCollection",
     "ProfileSpec",
     "QueryProvenance",
+    "RecordedTrace",
     "RegressionReport",
+    "SLOEngine",
+    "SLOSpec",
+    "SLOTracker",
+    "SampleDecision",
     "SamplingProfiler",
     "Span",
+    "TailSampler",
     "TokenRecord",
     "Tolerance",
     "Trace",
@@ -139,12 +164,16 @@ __all__ = [
     "current_profile_spec",
     "current_trace",
     "explain",
+    "format_traceparent",
     "load_results",
     "median",
     "median_abs_deviation",
     "merge_profiles",
     "nearest_rank",
+    "new_span_id",
+    "new_trace_id",
     "operator",
+    "parse_traceparent",
     "parse_handicap",
     "peak_rss_bytes",
     "prometheus_text",

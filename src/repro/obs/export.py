@@ -190,6 +190,9 @@ _SAMPLE_LINE_RE = re.compile(
     r"\s+(?P<value>\S+)(?:\s+(?P<timestamp>\S+))?$"
 )
 _LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"\\]*)"')
+_EXEMPLAR_RE = re.compile(
+    r"^\{(?P<labels>[^}]*)\}\s+(?P<value>\S+)(?:\s+\S+)?$"
+)
 
 
 def parse_prometheus_text(text):
@@ -200,8 +203,12 @@ def parse_prometheus_text(text):
     endpoint.  Each entry is ``{"type": <TYPE or "untyped">, "samples":
     [(labels_dict, float_value), ...]}`` keyed by the *sample* metric
     name (so a summary's ``_sum``/``_count`` series appear under their
-    own names).  Unparseable sample lines are skipped rather than
-    raised on — a scrape should survive a partially-written exposition.
+    own names).  Samples carrying an OpenMetrics exemplar (``value #
+    {trace_id="..."} exemplar_value``) additionally land in the
+    entry's ``"exemplars"`` list as ``(labels_dict, exemplar_labels,
+    exemplar_value)`` triples.  Unparseable sample lines are skipped
+    rather than raised on — a scrape should survive a
+    partially-written exposition.
     """
     metrics = {}
     types = {}
@@ -216,6 +223,21 @@ def parse_prometheus_text(text):
             continue
         if line.startswith("#"):
             continue
+        exemplar = None
+        if " # " in line:
+            line, _, exemplar_text = line.partition(" # ")
+            line = line.rstrip()
+            exemplar_match = _EXEMPLAR_RE.match(exemplar_text.strip())
+            if exemplar_match is not None:
+                try:
+                    exemplar = (
+                        dict(_LABEL_PAIR_RE.findall(
+                            exemplar_match.group("labels")
+                        )),
+                        float(exemplar_match.group("value")),
+                    )
+                except ValueError:
+                    exemplar = None
         match = _SAMPLE_LINE_RE.match(line)
         if match is None:
             continue
@@ -225,8 +247,12 @@ def parse_prometheus_text(text):
             continue
         name = match.group("name")
         labels = dict(_LABEL_PAIR_RE.findall(match.group("labels") or ""))
-        entry = metrics.setdefault(name, {"type": None, "samples": []})
+        entry = metrics.setdefault(
+            name, {"type": None, "samples": [], "exemplars": []}
+        )
         entry["samples"].append((labels, value))
+        if exemplar is not None:
+            entry["exemplars"].append((labels, exemplar[0], exemplar[1]))
     for name, entry in metrics.items():
         base = name
         for suffix in ("_sum", "_count", "_total", "_bucket"):
@@ -255,6 +281,25 @@ def prometheus_sample_value(metrics, name, labels=None):
     return None
 
 
+def prometheus_sample_exemplar(metrics, name, labels=None):
+    """The first exemplar of ``name`` matching ``labels``, or None.
+
+    Returns ``(exemplar_labels, exemplar_value)`` — for the serving
+    exposition, ``exemplar_labels`` carries the ``trace_id`` that
+    resolves to a record in the server's flight recorder.
+    """
+    entry = metrics.get(name)
+    if entry is None:
+        return None
+    for sample_labels, exemplar_labels, value in entry.get("exemplars", ()):
+        if labels is None or all(
+            sample_labels.get(key) == str(wanted)
+            for key, wanted in labels.items()
+        ):
+            return exemplar_labels, value
+    return None
+
+
 # -- sliding-window latency tracking ---------------------------------------
 
 
@@ -264,28 +309,37 @@ class LatencyWindow:
     Thread-safe: ``NaLIX.ask`` may be called from concurrent threads.
     Keys are free-form (the pipeline uses the stage span names plus
     ``total`` for end-to-end latency).
+
+    Observations may carry an **exemplar** — a trace id of a request
+    retained by the flight recorder — and :meth:`prometheus_lines`
+    attaches the exemplar nearest each quantile to that quantile's
+    sample line in the OpenMetrics ``# {trace_id="..."} value`` syntax,
+    so a scraped p99 links straight to a recorded trace.
     """
 
     def __init__(self, window=256):
         self.window = window
-        self._samples = {}
+        self._samples = {}  # key -> deque of (seconds, exemplar | None)
         self._lock = threading.Lock()
 
-    def observe(self, key, seconds):
+    def observe(self, key, seconds, exemplar=None):
         with self._lock:
             samples = self._samples.get(key)
             if samples is None:
                 samples = self._samples[key] = deque(maxlen=self.window)
-            samples.append(seconds)
+            samples.append((seconds, exemplar))
 
     def reset(self):
         with self._lock:
             self._samples.clear()
 
+    def _values(self, key):
+        with self._lock:
+            return list(self._samples.get(key, ()))
+
     def quantiles(self, key):
         """``{count, mean, p50, p95, p99}`` for one key (zeros if empty)."""
-        with self._lock:
-            samples = list(self._samples.get(key, ()))
+        samples = [seconds for seconds, _ in self._values(key)]
         if not samples:
             return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0,
                     "p99": 0.0}
@@ -298,6 +352,26 @@ class LatencyWindow:
             "p95": nearest_rank(ordered, 0.95),
             "p99": nearest_rank(ordered, 0.99),
         }
+
+    def exemplar_near(self, key, seconds):
+        """``(exemplar, sample_seconds)`` closest to ``seconds``, or None.
+
+        Prefers the exemplared sample with the smallest latency at or
+        above the requested value (the trace that *is* that quantile's
+        tail), falling back to the largest exemplared sample.
+        """
+        candidates = [
+            (value, exemplar)
+            for value, exemplar in self._values(key)
+            if exemplar is not None
+        ]
+        if not candidates:
+            return None
+        at_or_above = [pair for pair in candidates if pair[0] >= seconds]
+        value, exemplar = (
+            min(at_or_above) if at_or_above else max(candidates)
+        )
+        return exemplar, value
 
     def snapshot(self):
         with self._lock:
@@ -316,10 +390,18 @@ class LatencyWindow:
             lines.append(f"# TYPE {metric} summary")
             for label, field in (("0.5", "p50"), ("0.95", "p95"),
                                  ("0.99", "p99")):
-                lines.append(
+                line = (
                     f'{metric}{{quantile="{label}"}} '
                     f"{_format_value(quantiles[field])}"
                 )
+                near = self.exemplar_near(key, quantiles[field])
+                if near is not None:
+                    exemplar, seconds = near
+                    line += (
+                        f' # {{trace_id="{exemplar}"}} '
+                        f"{_format_value(seconds)}"
+                    )
+                lines.append(line)
             lines.append(
                 f"{metric}_sum "
                 f"{_format_value(quantiles['mean'] * quantiles['count'])}"

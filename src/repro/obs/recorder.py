@@ -1,0 +1,273 @@
+"""The flight recorder: a byte-bounded ring buffer of retained traces.
+
+Traces the :class:`~repro.obs.sampler.TailSampler` retains land here as
+:class:`RecordedTrace` entries — the full span tree plus the request
+metadata an incident review needs (trace id, tenant, endpoint, status,
+error class, latency, retention reason).  The buffer is bounded by
+**serialized bytes**, not record count: each record's cost is the
+length of its JSONL line, computed once at insert, and the oldest
+records are evicted until the new one fits.  Memory therefore stays
+under ``max_bytes`` no matter how large individual traces are (a
+record bigger than the whole budget is refused outright).
+
+Dump surfaces:
+
+* :meth:`dump_jsonl` — one JSON object per line, newest last;
+* :meth:`dump_chrome` — a Chrome trace-event document (load in
+  ``chrome://tracing`` / Perfetto; one lane per retained request);
+* :meth:`dump_to` — both of the above written next to each other
+  (``<prefix>.jsonl`` + ``<prefix>.trace.json``);
+* :meth:`trigger_dump` — the *automatic* path (breaker-open,
+  watchdog-hard, SLO fast-burn, SIGUSR1): writes a bundle into
+  ``dump_dir`` named after a sequence number and the triggering
+  reason, rate-limited by ``min_dump_interval`` so a flapping breaker
+  cannot fill the disk.
+
+Everything is thread-safe and clock-injectable; the recorder never
+raises into the serving path (dump failures count in
+``obs.recorder.dump_errors`` instead).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+from repro.obs.export import chrome_trace
+from repro.obs.metrics import METRICS
+
+#: Default ring-buffer budget: 8 MiB of serialized trace records.
+DEFAULT_MAX_BYTES = 8 * 1024 * 1024
+
+#: Default floor between automatic dumps (seconds).
+DEFAULT_MIN_DUMP_INTERVAL = 30.0
+
+_RETAINED = METRICS.counter("obs.recorder.retained")
+_EVICTED = METRICS.counter("obs.recorder.evicted")
+_REFUSED = METRICS.counter("obs.recorder.refused")
+_DUMPS = METRICS.counter("obs.recorder.dumps")
+_DUMPS_SUPPRESSED = METRICS.counter("obs.recorder.dumps_suppressed")
+_BYTES = METRICS.gauge("obs.recorder.bytes")
+
+
+class RecordedTrace:
+    """One retained request: metadata + the serialized span tree."""
+
+    __slots__ = ("trace_id", "request_id", "tenant", "endpoint", "sentence",
+                 "status", "error_class", "seconds", "reason", "stuck",
+                 "expired", "timestamp", "trace", "trace_dict",
+                 "approx_bytes")
+
+    def __init__(self, trace_id, request_id=None, tenant=None, endpoint=None,
+                 sentence=None, status=None, error_class=None, seconds=0.0,
+                 reason=None, stuck=False, expired=False, timestamp=None,
+                 trace=None):
+        self.trace_id = trace_id
+        self.request_id = request_id
+        self.tenant = tenant
+        self.endpoint = endpoint
+        self.sentence = sentence
+        self.status = status
+        self.error_class = error_class
+        self.seconds = seconds
+        self.reason = reason
+        self.stuck = stuck
+        self.expired = expired
+        self.timestamp = timestamp if timestamp is not None else time.time()
+        self.trace = trace  # the live Trace object (chrome export)
+        self.trace_dict = trace.to_dict() if trace is not None else None
+        self.approx_bytes = len(self.to_json())
+
+    def to_dict(self):
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "endpoint": self.endpoint,
+            "sentence": self.sentence,
+            "status": self.status,
+            "error_class": self.error_class,
+            "seconds": self.seconds,
+            "reason": self.reason,
+            "stuck": self.stuck,
+            "expired": self.expired,
+            "timestamp": self.timestamp,
+            "trace": self.trace_dict,
+        }
+
+    def to_json(self):
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    def __repr__(self):
+        return (
+            f"RecordedTrace({self.trace_id[:8]}…, {self.reason}, "
+            f"{self.seconds * 1000:.1f} ms)"
+        )
+
+
+class FlightRecorder:
+    """Bounded in-memory store of retained traces, dumpable on demand."""
+
+    def __init__(self, max_bytes=DEFAULT_MAX_BYTES, dump_dir=None,
+                 min_dump_interval=DEFAULT_MIN_DUMP_INTERVAL,
+                 clock=time.monotonic):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes!r}")
+        self.max_bytes = max_bytes
+        self.dump_dir = dump_dir
+        self.min_dump_interval = min_dump_interval
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._records = []  # oldest first
+        self._by_id = {}
+        self._bytes = 0
+        self._retained_total = 0
+        self._evicted_total = 0
+        self._by_reason = {}
+        self._dump_seq = 0
+        self._last_dump_at = None
+        self._dumps = []  # (path_prefix, reason) history
+
+    # -- the write path -----------------------------------------------------
+
+    def record(self, trace_id, trace=None, reason=None, **fields):
+        """Retain one trace; evicts the oldest records to fit.
+
+        Returns the :class:`RecordedTrace`, or ``None`` when the record
+        alone exceeds the whole byte budget (counted in
+        ``obs.recorder.refused``).
+        """
+        entry = RecordedTrace(trace_id, trace=trace, reason=reason, **fields)
+        if entry.approx_bytes > self.max_bytes:
+            _REFUSED.inc()
+            return None
+        with self._lock:
+            while self._records and (
+                    self._bytes + entry.approx_bytes > self.max_bytes):
+                stale = self._records.pop(0)
+                self._bytes -= stale.approx_bytes
+                self._by_id.pop(stale.trace_id, None)
+                self._evicted_total += 1
+                _EVICTED.inc()
+            self._records.append(entry)
+            self._by_id[entry.trace_id] = entry
+            self._bytes += entry.approx_bytes
+            self._retained_total += 1
+            if reason:
+                self._by_reason[reason] = self._by_reason.get(reason, 0) + 1
+            _BYTES.set(self._bytes)
+        _RETAINED.inc()
+        return entry
+
+    # -- the read path ------------------------------------------------------
+
+    def get(self, trace_id):
+        """The retained record for ``trace_id``, or None (evicted/never)."""
+        with self._lock:
+            return self._by_id.get(trace_id)
+
+    def records(self):
+        """All retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._records)
+
+    def snapshot(self):
+        with self._lock:
+            return {
+                "count": len(self._records),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "retained_total": self._retained_total,
+                "evicted_total": self._evicted_total,
+                "by_reason": dict(sorted(self._by_reason.items())),
+                "dumps": len(self._dumps),
+                "last_dump": self._dumps[-1][0] if self._dumps else None,
+            }
+
+    # -- dumps --------------------------------------------------------------
+
+    def dump_jsonl(self):
+        """Every retained record as JSONL (oldest first)."""
+        return "".join(entry.to_json() + "\n" for entry in self.records())
+
+    def dump_chrome(self):
+        """A Chrome trace-event document of every retained trace."""
+        entries = [
+            entry for entry in self.records() if entry.trace is not None
+        ]
+        names = [
+            f"{entry.reason or 'trace'} {entry.trace_id[:8]} "
+            f"{entry.sentence or entry.endpoint or ''}".strip()
+            for entry in entries
+        ]
+        return chrome_trace(
+            [entry.trace for entry in entries],
+            process_name="repro-flightrecorder", names=names,
+        )
+
+    def dump_bundle(self):
+        """The ``/debugz/flightrecorder`` JSON document."""
+        return {
+            "snapshot": self.snapshot(),
+            "records": [entry.to_dict() for entry in self.records()],
+        }
+
+    def dump_to(self, prefix):
+        """Write ``<prefix>.jsonl`` + ``<prefix>.trace.json``; return paths."""
+        jsonl_path = f"{prefix}.jsonl"
+        chrome_path = f"{prefix}.trace.json"
+        with open(jsonl_path, "w", encoding="utf-8") as handle:
+            handle.write(self.dump_jsonl())
+        with open(chrome_path, "w", encoding="utf-8") as handle:
+            json.dump(self.dump_chrome(), handle)
+            handle.write("\n")
+        _DUMPS.inc()
+        return jsonl_path, chrome_path
+
+    def trigger_dump(self, reason):
+        """The automatic dump path; returns the path prefix or None.
+
+        No-op without a ``dump_dir``.  Rate-limited: at most one dump
+        per ``min_dump_interval`` seconds, so event storms (a flapping
+        breaker, a watchdog sweep expiring ten requests) produce one
+        bundle, not ten.  Never raises into the caller.
+        """
+        if self.dump_dir is None:
+            return None
+        now = self._clock()
+        with self._lock:
+            if (self._last_dump_at is not None
+                    and now - self._last_dump_at < self.min_dump_interval):
+                _DUMPS_SUPPRESSED.inc()
+                return None
+            self._last_dump_at = now
+            self._dump_seq += 1
+            sequence = self._dump_seq
+        safe_reason = "".join(
+            ch if ch.isalnum() or ch in "-_" else "-" for ch in str(reason)
+        )[:80] or "manual"
+        prefix = os.path.join(
+            self.dump_dir, f"flightrecorder-{sequence:04d}-{safe_reason}"
+        )
+        try:
+            os.makedirs(self.dump_dir, exist_ok=True)
+            self.dump_to(prefix)
+        except OSError:
+            METRICS.inc("obs.recorder.dump_errors")
+            return None
+        with self._lock:
+            self._dumps.append((prefix, str(reason)))
+        return prefix
+
+    def __repr__(self):
+        with self._lock:
+            return (
+                f"FlightRecorder({len(self._records)} records, "
+                f"{self._bytes}/{self.max_bytes} bytes)"
+            )

@@ -287,6 +287,9 @@ def compare_results(baseline, current, tolerance=None):
             )
     findings.extend(_compare_serving(baseline, current, tolerance))
     findings.extend(_compare_serving_chaos(baseline, current, tolerance))
+    findings.extend(
+        _compare_serving_observability(baseline, current, tolerance)
+    )
     return RegressionReport(findings, tolerance)
 
 
@@ -398,6 +401,7 @@ def _compare_serving_chaos(baseline, current, tolerance):
                     "the watchdog never saw a stuck request — is the "
                     "chaos plan still injecting latency?")
         )
+    findings.extend(_chaos_retention_findings(cur))
     samples = cur.get("samples_seconds", [])
     if len(samples) < tolerance.min_samples:
         findings.append(
@@ -426,6 +430,134 @@ def _compare_serving_chaos(baseline, current, tolerance):
             Finding("serving_chaos", "seconds_per_request",
                     1.0 / base_qps, 1.0 / cur_qps, verdict,
                     note or f"qps {base_qps:.1f} -> {cur_qps:.1f}")
+        )
+    return findings
+
+
+#: Slow-tail retention floor for the chaos gate.
+MIN_SLOW_RETENTION = 0.95
+
+#: Slack on top of the configured head rate before the healthy-traffic
+#: retention gate fails (the every-Nth counter rounds, warm-up requests
+#: land in the healthy bucket before the p95 threshold exists).
+HEAD_SAMPLE_SLACK = 0.05
+
+#: Observability overhead (p99, full layer on vs off) that warns.  The
+#: evidence loop is supposed to live in the serving noise floor; a
+#: single noisy run should not block a merge, so this never fails on
+#: its own — the absolute p50/p99 ratchet against the baseline does.
+MAX_OBS_OVERHEAD_WARN = 0.25
+
+
+def _chaos_retention_findings(cur):
+    """Absolute gates on what the sampler/recorder kept under chaos.
+
+    Incident evidence is the whole point of the flight recorder, so
+    these are pass/fail invariants, not drift ratchets: every
+    error-class trace retained, (nearly) every slow-tail trace
+    retained, healthy traffic head-sampled at no more than the
+    configured rate plus slack, and the ring buffer within its byte
+    budget.  Sections recorded before the observability layer existed
+    simply produce no rows.
+    """
+    findings = []
+    sampler = cur.get("sampler")
+    if sampler:
+        seen = sampler.get("seen", {})
+        retention = sampler.get("retention", {})
+
+        def gate(category, floor, note):
+            if not seen.get(category):
+                return
+            value = retention.get(category) or 0.0
+            verdict = PASS if value >= floor else FAIL
+            findings.append(
+                Finding("serving_chaos", f"retention:{category}",
+                        floor, value, verdict,
+                        note if verdict == FAIL else
+                        f"{seen[category]} seen")
+            )
+
+        gate("error", 1.0,
+             "error-class traces must always reach the flight recorder")
+        gate("slow", MIN_SLOW_RETENTION,
+             "the slow tail is the incident evidence — it cannot be "
+             "dropped")
+        if seen.get("healthy"):
+            ceiling = (sampler.get("head_rate", 0.0) + HEAD_SAMPLE_SLACK)
+            value = retention.get("healthy") or 0.0
+            verdict = PASS if value <= ceiling else FAIL
+            findings.append(
+                Finding("serving_chaos", "retention:healthy",
+                        ceiling, value, verdict,
+                        "healthy traffic is head-sampled above the "
+                        "configured rate" if verdict == FAIL else
+                        f"{seen['healthy']} seen (ceiling)")
+            )
+    recorder = cur.get("recorder")
+    if recorder and recorder.get("max_bytes"):
+        used = recorder.get("bytes", 0)
+        budget = recorder["max_bytes"]
+        verdict = PASS if used <= budget else FAIL
+        findings.append(
+            Finding("serving_chaos", "recorder_bytes",
+                    float(budget), float(used), verdict,
+                    "the flight-recorder ring buffer exceeded its byte "
+                    "budget" if verdict == FAIL else
+                    f"{recorder.get('count', 0)} traces held")
+        )
+    return findings
+
+
+def _compare_serving_observability(baseline, current, tolerance):
+    """Comparison rows for the ``serving_observability`` section.
+
+    The full-layer latency profile (SLO engine + sampler + recorder
+    all on) ratchets against the committed baseline exactly like the
+    serving section, and the measured overhead fraction *warns* past
+    :data:`MAX_OBS_OVERHEAD_WARN` — a loud nudge that the evidence
+    loop is drifting out of the noise floor, without letting one noisy
+    A/B run block a merge.
+    """
+    base = baseline.get("serving_observability")
+    if base is None:
+        return []
+    cur = current.get("serving_observability")
+    if cur is None:
+        return [
+            Finding("serving_observability", "p99_overhead_fraction",
+                    base.get("p99_overhead_fraction", 0.0), 0.0, SKIP,
+                    "no serving_observability section in current run")
+        ]
+    findings = []
+    samples = cur.get("samples_seconds", [])
+    base_full = base.get("observability", {})
+    cur_full = cur.get("observability", {})
+    if len(samples) < tolerance.min_samples:
+        return [
+            Finding("serving_observability", "p99_seconds",
+                    base_full.get("p99_seconds", 0.0),
+                    cur_full.get("p99_seconds", 0.0), SKIP,
+                    f"only {len(samples)} samples "
+                    f"(min {tolerance.min_samples})")
+        ]
+    for metric in ("p50_seconds", "p99_seconds"):
+        if metric not in base_full or metric not in cur_full:
+            continue
+        verdict, note = _classify(base_full[metric], cur_full[metric],
+                                  samples, tolerance)
+        findings.append(
+            Finding("serving_observability", metric, base_full[metric],
+                    cur_full[metric], verdict, note)
+        )
+    overhead = cur.get("p99_overhead_fraction")
+    if overhead is not None:
+        verdict = PASS if overhead <= MAX_OBS_OVERHEAD_WARN else WARN
+        findings.append(
+            Finding("serving_observability", "p99_overhead_fraction",
+                    MAX_OBS_OVERHEAD_WARN, overhead, verdict,
+                    "observability overhead above the noise-floor "
+                    "target" if verdict == WARN else "(ceiling)")
         )
     return findings
 

@@ -1,0 +1,174 @@
+"""Tail-based trace sampling: keep what an incident review will need.
+
+Head sampling ("keep 1%") throws away exactly the traces that matter —
+the errors and the latency tail are rare by definition.  The
+:class:`TailSampler` decides retention *after* the request finishes, so
+it can look at the outcome:
+
+* **always retain** anything abnormal: ``internal`` / ``exhausted``
+  error classes, failed/degraded results, and requests the watchdog
+  stamped stuck or force-expired;
+* **always retain the slow tail**: any request slower than the rolling
+  p95 of recent latencies (once enough samples exist to trust a p95);
+* **head-sample the healthy rest** at ``head_rate`` — deterministic
+  every-Nth-request sampling, not a coin flip, so the retained fraction
+  is exactly bounded and chaos-benchmark assertions do not flap.
+
+Decisions carry a reason (``error`` / ``degraded`` / ``watchdog`` /
+``slow`` / ``head``) that becomes the flight-recorder record's
+``reason`` field and the ``obs.sampler.retained.*`` counters.  The
+rolling latency window is a deque plus a sorted mirror, so the p95
+lookup is O(1) and maintenance is O(window) memmove on floats — cheap
+enough to sit on the serving hot path.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from collections import deque
+
+from repro.obs.metrics import METRICS
+
+#: Default fraction of healthy traffic head-sampled into the recorder.
+DEFAULT_HEAD_RATE = 0.1
+
+#: Rolling latencies kept for the p95 slow-tail threshold.
+DEFAULT_WINDOW = 512
+
+#: Observations required before the slow-tail rule trusts its p95.
+MIN_TAIL_SAMPLES = 20
+
+_DECISIONS = METRICS.counter("obs.sampler.decisions")
+_DROPPED = METRICS.counter("obs.sampler.dropped")
+_RETAINED = {
+    reason: METRICS.counter(f"obs.sampler.retained.{reason}")
+    for reason in ("error", "degraded", "watchdog", "slow", "head")
+}
+
+
+class SampleDecision:
+    """One sampling verdict: retain or drop, and why."""
+
+    __slots__ = ("retain", "reason")
+
+    def __init__(self, retain, reason):
+        self.retain = retain
+        self.reason = reason
+
+    def __bool__(self):
+        return self.retain
+
+    def __repr__(self):
+        verb = "retain" if self.retain else "drop"
+        return f"SampleDecision({verb}:{self.reason})"
+
+
+class TailSampler:
+    """Outcome-aware retention decisions for finished requests."""
+
+    def __init__(self, head_rate=DEFAULT_HEAD_RATE, window=DEFAULT_WINDOW,
+                 min_tail_samples=MIN_TAIL_SAMPLES):
+        if not 0.0 <= head_rate <= 1.0:
+            raise ValueError(
+                f"head_rate must be in [0, 1], got {head_rate!r}"
+            )
+        self.head_rate = head_rate
+        self.min_tail_samples = min_tail_samples
+        # Every healthy request advances the counter; one in
+        # ``_head_every`` is retained.  head_rate 0 disables entirely.
+        self._head_every = int(round(1.0 / head_rate)) if head_rate else 0
+        self._lock = threading.Lock()
+        self._recent = deque(maxlen=window)
+        self._sorted = []  # sorted mirror of _recent for O(1) p95 reads
+        self._healthy_count = 0
+        # Category accounting for the chaos-benchmark retention gates.
+        self._seen = {"error": 0, "degraded": 0, "slow": 0, "healthy": 0}
+        self._kept = {"error": 0, "degraded": 0, "slow": 0, "healthy": 0}
+
+    # -- the decision -------------------------------------------------------
+
+    def decide(self, status=None, error_class=None, seconds=0.0,
+               stuck=False, expired=False):
+        """The retention verdict for one finished request."""
+        _DECISIONS.inc()
+        threshold = self._observe(seconds)
+        if stuck or expired:
+            return self._retain("watchdog", "error")
+        if error_class in ("internal", "exhausted") or status == "failed":
+            return self._retain("error", "error")
+        if error_class == "degraded" or status == "degraded":
+            return self._retain("degraded", "degraded")
+        if threshold is not None and seconds > threshold:
+            return self._retain("slow", "slow")
+        with self._lock:
+            self._seen["healthy"] += 1
+            self._healthy_count += 1
+            keep = (self._head_every
+                    and self._healthy_count % self._head_every == 0)
+            if keep:
+                self._kept["healthy"] += 1
+        if keep:
+            _RETAINED["head"].inc()
+            return SampleDecision(True, "head")
+        _DROPPED.inc()
+        return SampleDecision(False, "drop")
+
+    def _retain(self, reason, category):
+        with self._lock:
+            self._seen[category] += 1
+            self._kept[category] += 1
+        _RETAINED[reason].inc()
+        return SampleDecision(True, reason)
+
+    def _observe(self, seconds):
+        """Feed one latency; return the current p95 (or None)."""
+        with self._lock:
+            if len(self._recent) == self._recent.maxlen:
+                stale = self._recent.popleft()
+                index = bisect.bisect_left(self._sorted, stale)
+                if index < len(self._sorted):
+                    del self._sorted[index]
+            self._recent.append(seconds)
+            bisect.insort(self._sorted, seconds)
+            return self._p95_locked()
+
+    def _p95_locked(self):
+        """Nearest-rank p95 over the sorted mirror (caller holds lock)."""
+        count = len(self._sorted)
+        if count < self.min_tail_samples:
+            return None
+        rank = max(0, math.ceil(0.95 * count) - 1)
+        return self._sorted[rank]
+
+    def tail_threshold(self):
+        """The live slow-tail threshold (p95), or None while warming."""
+        with self._lock:
+            return self._p95_locked()
+
+    # -- introspection ------------------------------------------------------
+
+    def snapshot(self):
+        """Retention accounting for ``/statusz`` and the chaos gates."""
+        with self._lock:
+            seen = dict(self._seen)
+            kept = dict(self._kept)
+        def fraction(category):
+            return kept[category] / seen[category] if seen[category] else None
+        return {
+            "head_rate": self.head_rate,
+            "tail_threshold_seconds": self.tail_threshold(),
+            "seen": seen,
+            "retained": kept,
+            "retention": {
+                category: fraction(category)
+                for category in ("error", "degraded", "slow", "healthy")
+            },
+        }
+
+    def __repr__(self):
+        return (
+            f"TailSampler(head_rate={self.head_rate:g}, "
+            f"window={self._recent.maxlen})"
+        )

@@ -1,0 +1,405 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLOSpec` declares one objective over the serving layer's
+request stream:
+
+* ``availability`` — at least ``target`` of requests must *succeed*
+  (the server counts a request as good when it produced a usable
+  answer: any non-5xx response);
+* ``latency`` — at least ``target`` of *successful* requests must
+  finish under ``threshold_seconds``.
+
+Specs parse from compact strings so they can ride CLI flags::
+
+    availability:0.99            # 99% of requests succeed
+    latency:0.99@0.5             # 99% of successes under 500 ms
+    availability:0.999@/query    # scoped to one endpoint
+
+The :class:`SLOEngine` evaluates every spec over two rolling
+time-windows — **fast** (default 5 minutes) and **slow** (default 1
+hour) — in the Google-SRE multi-window multi-burn-rate style.  The burn
+rate of a window is ``bad_fraction / (1 - target)``: 1.0 means the
+error budget is being consumed exactly at the sustainable rate, 10
+means ten times too fast.  The engine *alerts* (and fires the
+``on_fast_burn`` hook, which the server wires to a flight-recorder
+dump) only when **both** windows exceed the burn threshold — the slow
+window proves the problem is real, the fast window proves it is still
+happening — with edge-triggered hysteresis so one episode produces one
+dump, not one per request.
+
+Everything is clock-injectable and lock-protected; windows are
+time-bucketed ring buffers (no unbounded growth, O(buckets) reads).
+``prometheus_lines()`` emits the labeled ``repro_slo_burn_rate`` /
+``repro_slo_error_budget_remaining`` gauges the ``/metrics`` endpoint
+and ``repro stats --url`` read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.obs.metrics import METRICS
+
+_ALERTS = METRICS.counter("obs.slo.fast_burn_alerts")
+
+#: Default rolling windows (seconds): Google-SRE fast 5m / slow 1h.
+DEFAULT_FAST_SECONDS = 300.0
+DEFAULT_SLOW_SECONDS = 3600.0
+
+#: Default burn-rate both windows must exceed to page.  14.4 is the
+#: canonical "2% of a 30-day budget in one hour" page threshold.
+DEFAULT_FAST_BURN_THRESHOLD = 14.4
+
+#: Buckets per rolling window (granularity = window / buckets).
+WINDOW_BUCKETS = 60
+
+
+class SLOSpec:
+    """One declarative objective: kind, target, optional scope."""
+
+    KINDS = ("availability", "latency")
+
+    __slots__ = ("kind", "target", "threshold_seconds", "endpoint", "name")
+
+    def __init__(self, kind, target, threshold_seconds=None, endpoint=None,
+                 name=None):
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"SLO kind must be one of {self.KINDS}, got {kind!r}"
+            )
+        if not 0.0 < target < 1.0:
+            raise ValueError(
+                f"SLO target must be in (0, 1), got {target!r}"
+            )
+        if kind == "latency":
+            if threshold_seconds is None or threshold_seconds <= 0:
+                raise ValueError(
+                    "a latency SLO needs a positive threshold_seconds"
+                )
+        elif threshold_seconds is not None:
+            raise ValueError(
+                "threshold_seconds only applies to latency SLOs"
+            )
+        self.kind = kind
+        self.target = target
+        self.threshold_seconds = threshold_seconds
+        self.endpoint = endpoint
+        self.name = name or self._default_name()
+
+    def _default_name(self):
+        scope = (self.endpoint or "all").strip("/").replace("/", "-") or "all"
+        if self.kind == "latency":
+            return f"latency-{scope}"
+        return f"availability-{scope}"
+
+    @classmethod
+    def parse(cls, text):
+        """Parse ``kind:target[@threshold][@endpoint]`` spec strings.
+
+        The ``@`` parts are positional by type: a number is the latency
+        threshold, a ``/``-prefixed token is the endpoint scope.
+        Examples: ``availability:0.99``, ``latency:0.95@0.3``,
+        ``latency:0.99@0.5@/query``.
+        """
+        head, separator, rest = text.strip().partition(":")
+        if not separator:
+            raise ValueError(
+                f"bad SLO spec {text!r}: expected kind:target, "
+                "e.g. availability:0.99 or latency:0.99@0.5"
+            )
+        kind = head.strip()
+        parts = [part.strip() for part in rest.split("@") if part.strip()]
+        if not parts:
+            raise ValueError(f"bad SLO spec {text!r}: missing target")
+        try:
+            target = float(parts[0])
+        except ValueError:
+            raise ValueError(
+                f"bad SLO spec {text!r}: target {parts[0]!r} is not a number"
+            ) from None
+        threshold = None
+        endpoint = None
+        for part in parts[1:]:
+            if part.startswith("/"):
+                endpoint = part
+            else:
+                try:
+                    threshold = float(part)
+                except ValueError:
+                    raise ValueError(
+                        f"bad SLO spec {text!r}: {part!r} is neither a "
+                        "threshold nor an /endpoint"
+                    ) from None
+        return cls(kind, target, threshold_seconds=threshold,
+                   endpoint=endpoint)
+
+    def matches(self, endpoint):
+        return self.endpoint is None or self.endpoint == endpoint
+
+    def classify(self, ok, seconds):
+        """``True``/``False`` when the event counts good/bad; ``None``
+        when it does not count toward this SLO at all."""
+        if self.kind == "availability":
+            return bool(ok)
+        if not ok:
+            return None  # latency SLI is over successful requests only
+        return seconds <= self.threshold_seconds
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "threshold_seconds": self.threshold_seconds,
+            "endpoint": self.endpoint,
+        }
+
+    def __repr__(self):
+        scope = f" {self.endpoint}" if self.endpoint else ""
+        threshold = (
+            f" <{self.threshold_seconds:g}s" if self.threshold_seconds
+            else ""
+        )
+        return f"SLOSpec({self.kind} >={self.target:g}{threshold}{scope})"
+
+
+def default_serving_slos():
+    """The out-of-the-box serving objectives: 99% availability and
+    99% of successful ``/query`` requests under one second."""
+    return (
+        SLOSpec("availability", 0.99, endpoint="/query"),
+        SLOSpec("latency", 0.99, threshold_seconds=1.0, endpoint="/query"),
+    )
+
+
+class _RollingWindow:
+    """Good/bad counts over the trailing ``seconds``, time-bucketed.
+
+    A fixed ring of ``buckets`` (start_time, good, bad) triples; writes
+    land in the current bucket, reads sum every bucket still inside the
+    window.  Memory is O(buckets) forever.  Callers hold the engine
+    lock, so the ring itself needs none.
+    """
+
+    __slots__ = ("seconds", "granularity", "_buckets")
+
+    def __init__(self, seconds, buckets=WINDOW_BUCKETS):
+        self.seconds = seconds
+        self.granularity = seconds / buckets
+        self._buckets = {}  # bucket index -> [good, bad]
+
+    def _index(self, now):
+        return int(now // self.granularity)
+
+    def record(self, good, now):
+        index = self._index(now)
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            self._prune(index)
+            bucket = self._buckets[index] = [0, 0]
+        bucket[0 if good else 1] += 1
+
+    def _prune(self, current_index):
+        horizon = current_index - int(self.seconds / self.granularity)
+        for index in [i for i in self._buckets if i <= horizon]:
+            del self._buckets[index]
+
+    def totals(self, now):
+        """``(good, bad)`` inside the window ending at ``now``."""
+        horizon = self._index(now) - int(self.seconds / self.granularity)
+        good = bad = 0
+        for index, bucket in self._buckets.items():
+            if index > horizon:
+                good += bucket[0]
+                bad += bucket[1]
+        return good, bad
+
+
+class SLOTracker:
+    """One spec + its fast/slow rolling windows + alert state."""
+
+    __slots__ = ("spec", "fast", "slow", "alerting")
+
+    def __init__(self, spec, fast_seconds, slow_seconds):
+        self.spec = spec
+        self.fast = _RollingWindow(fast_seconds)
+        self.slow = _RollingWindow(slow_seconds)
+        self.alerting = False
+
+    def record(self, good, now):
+        self.fast.record(good, now)
+        self.slow.record(good, now)
+
+    def burn_rate(self, window, now):
+        good, bad = window.totals(now)
+        total = good + bad
+        if not total:
+            return 0.0
+        bad_fraction = bad / total
+        return bad_fraction / (1.0 - self.spec.target)
+
+    def error_budget_remaining(self, now):
+        """Fraction of the slow window's error budget still unspent."""
+        good, bad = self.slow.totals(now)
+        total = good + bad
+        if not total:
+            return 1.0
+        budget = total * (1.0 - self.spec.target)
+        if budget <= 0.0:
+            return 0.0 if bad else 1.0
+        return max(0.0, 1.0 - bad / budget)
+
+    def snapshot(self, now, fast_burn_threshold):
+        fast_good, fast_bad = self.fast.totals(now)
+        slow_good, slow_bad = self.slow.totals(now)
+        entry = self.spec.to_dict()
+        entry.update({
+            "windows": {
+                "fast": {
+                    "seconds": self.fast.seconds,
+                    "good": fast_good,
+                    "bad": fast_bad,
+                    "burn_rate": self.burn_rate(self.fast, now),
+                },
+                "slow": {
+                    "seconds": self.slow.seconds,
+                    "good": slow_good,
+                    "bad": slow_bad,
+                    "burn_rate": self.burn_rate(self.slow, now),
+                },
+            },
+            "error_budget_remaining": self.error_budget_remaining(now),
+            "fast_burn_threshold": fast_burn_threshold,
+            "alerting": self.alerting,
+        })
+        return entry
+
+
+class SLOEngine:
+    """Evaluate a set of SLO specs over the live request stream.
+
+    ``record_request(endpoint, ok, seconds)`` is the single write path
+    (the server calls it once per finished request); every read surface
+    — ``snapshot()`` for ``/statusz``, ``prometheus_lines()`` for
+    ``/metrics`` — derives from the same rolling windows.  The
+    ``on_fast_burn(spec, snapshot)`` hook fires on the *transition*
+    into the alerting state (both windows over the threshold), and the
+    tracker re-arms only after the fast window drops back under — one
+    incident, one callback.
+    """
+
+    def __init__(self, specs=None, fast_seconds=DEFAULT_FAST_SECONDS,
+                 slow_seconds=DEFAULT_SLOW_SECONDS,
+                 fast_burn_threshold=DEFAULT_FAST_BURN_THRESHOLD,
+                 on_fast_burn=None, clock=time.monotonic):
+        if specs is None:
+            specs = default_serving_slos()
+        self.fast_burn_threshold = fast_burn_threshold
+        self.on_fast_burn = on_fast_burn
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._trackers = [
+            SLOTracker(spec, fast_seconds, slow_seconds) for spec in specs
+        ]
+
+    def __len__(self):
+        return len(self._trackers)
+
+    @property
+    def specs(self):
+        return [tracker.spec for tracker in self._trackers]
+
+    def record_request(self, endpoint, ok, seconds, now=None):
+        """Feed one finished request to every matching spec.
+
+        Returns the specs that newly entered the alerting state (the
+        server uses the names to label auto-dumps).
+        """
+        if now is None:
+            now = self._clock()
+        fired = []
+        with self._lock:
+            for tracker in self._trackers:
+                if not tracker.spec.matches(endpoint):
+                    continue
+                good = tracker.spec.classify(ok, seconds)
+                if good is None:
+                    continue
+                tracker.record(good, now)
+                fast_burn = tracker.burn_rate(tracker.fast, now)
+                slow_burn = tracker.burn_rate(tracker.slow, now)
+                over = (fast_burn >= self.fast_burn_threshold
+                        and slow_burn >= self.fast_burn_threshold)
+                if over and not tracker.alerting:
+                    tracker.alerting = True
+                    _ALERTS.inc()
+                    fired.append(tracker)
+                elif not over and tracker.alerting:
+                    if fast_burn < self.fast_burn_threshold:
+                        tracker.alerting = False  # re-arm after recovery
+        for tracker in fired:
+            if self.on_fast_burn is not None:
+                try:
+                    self.on_fast_burn(
+                        tracker.spec,
+                        tracker.snapshot(now, self.fast_burn_threshold),
+                    )
+                except Exception:
+                    METRICS.inc("obs.slo.hook_errors")
+        return [tracker.spec for tracker in fired]
+
+    def snapshot(self, now=None):
+        """Per-SLO state for ``/statusz`` and ``repro stats``."""
+        if now is None:
+            now = self._clock()
+        with self._lock:
+            return [
+                tracker.snapshot(now, self.fast_burn_threshold)
+                for tracker in self._trackers
+            ]
+
+    def prometheus_lines(self, now=None):
+        """Labeled gauge lines for the ``/metrics`` exposition."""
+        entries = self.snapshot(now)
+        if not entries:
+            return []
+        lines = [
+            "# HELP repro_slo_burn_rate Error-budget burn rate per SLO "
+            "and window (1.0 = sustainable)",
+            "# TYPE repro_slo_burn_rate gauge",
+        ]
+        for entry in entries:
+            for window in ("fast", "slow"):
+                lines.append(
+                    f'repro_slo_burn_rate{{slo="{entry["name"]}",'
+                    f'window="{window}"}} '
+                    f'{entry["windows"][window]["burn_rate"]:.6g}'
+                )
+        lines.append(
+            "# HELP repro_slo_error_budget_remaining Fraction of the "
+            "slow-window error budget left"
+        )
+        lines.append("# TYPE repro_slo_error_budget_remaining gauge")
+        for entry in entries:
+            lines.append(
+                f'repro_slo_error_budget_remaining{{slo="{entry["name"]}"}} '
+                f'{entry["error_budget_remaining"]:.6g}'
+            )
+        lines.append(
+            "# HELP repro_slo_fast_burn_alert 1 while the multi-window "
+            "burn-rate alert is firing"
+        )
+        lines.append("# TYPE repro_slo_fast_burn_alert gauge")
+        for entry in entries:
+            lines.append(
+                f'repro_slo_fast_burn_alert{{slo="{entry["name"]}"}} '
+                f'{1 if entry["alerting"] else 0}'
+            )
+        return lines
+
+    def __repr__(self):
+        return (
+            f"SLOEngine({len(self._trackers)} SLOs, "
+            f"threshold={self.fast_burn_threshold:g})"
+        )

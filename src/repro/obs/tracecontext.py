@@ -1,0 +1,80 @@
+"""W3C Trace Context helpers: ``traceparent`` headers and trace ids.
+
+The serving layer propagates request identity end-to-end with a
+(subset of the) W3C Trace Context ``traceparent`` header::
+
+    traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+
+:class:`~repro.serve.client.ServeClient` mints one trace id per
+*logical* request and reuses it across every retry and hedge attempt,
+so all server-side records of one client operation — access-log lines,
+flight-recorder entries, metric exemplars — share a single id.  The
+server adopts the client's trace id when the header parses, and mints
+its own otherwise, so every request has exactly one id regardless of
+who called.
+
+Only version ``00`` is understood; ids are random (``os.urandom``), not
+derived from anything, and the all-zero ids the spec forbids are
+rejected on parse.  This module is dependency-free and stateless.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+#: The only traceparent version this parser understands.
+TRACEPARENT_VERSION = "00"
+
+#: Flag byte marking the trace as sampled (the only flag we ever set).
+SAMPLED_FLAG = "01"
+
+_TRACEPARENT_RE = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-"
+    r"(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<parent_id>[0-9a-f]{16})-"
+    r"(?P<flags>[0-9a-f]{2})$"
+)
+
+
+def new_trace_id():
+    """A fresh random 32-hex-digit trace id."""
+    return os.urandom(16).hex()
+
+
+def new_span_id():
+    """A fresh random 16-hex-digit span (parent) id."""
+    return os.urandom(8).hex()
+
+
+def format_traceparent(trace_id, span_id=None, sampled=True):
+    """Render one ``traceparent`` header value.
+
+    ``trace_id`` must be 32 lowercase hex digits (the caller mints it
+    via :func:`new_trace_id`); a missing ``span_id`` gets a fresh one.
+    """
+    if span_id is None:
+        span_id = new_span_id()
+    flags = SAMPLED_FLAG if sampled else "00"
+    return f"{TRACEPARENT_VERSION}-{trace_id}-{span_id}-{flags}"
+
+
+def parse_traceparent(header):
+    """``(trace_id, parent_id)`` from a header value, or ``None``.
+
+    Strict on shape (version 00, exact field widths, lowercase hex) and
+    rejects the all-zero ids the spec forbids.  A malformed header is
+    not an error — the server simply mints its own trace id.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    match = _TRACEPARENT_RE.match(header.strip().lower())
+    if match is None:
+        return None
+    if match.group("version") != TRACEPARENT_VERSION:
+        return None
+    trace_id = match.group("trace_id")
+    parent_id = match.group("parent_id")
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return trace_id, parent_id

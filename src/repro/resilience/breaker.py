@@ -54,7 +54,7 @@ class CircuitBreaker:
 
     def __init__(self, name, window=64, failure_threshold=0.5,
                  min_samples=8, open_seconds=5.0, half_open_probes=3,
-                 clock=time.monotonic):
+                 clock=time.monotonic, on_open=None):
         if not 0.0 < failure_threshold <= 1.0:
             raise ValueError(
                 f"failure_threshold must be in (0, 1], got {failure_threshold!r}"
@@ -69,6 +69,10 @@ class CircuitBreaker:
         self.min_samples = min_samples
         self.open_seconds = open_seconds
         self.half_open_probes = half_open_probes
+        # Event hook: called as on_open(breaker) *outside* the lock
+        # right after any trip to open (the serving layer wires it to a
+        # flight-recorder dump).  Hook errors are counted, not raised.
+        self.on_open = on_open
         self._clock = clock
         self._lock = threading.Lock()
         self._outcomes = deque(maxlen=window)  # True = failure of our class
@@ -151,6 +155,7 @@ class CircuitBreaker:
         :meth:`acquire_probe`; probe outcomes drive the half-open →
         closed / re-open transitions instead of the rolling window.
         """
+        tripped = False
         with self._lock:
             self._advance()
             if probe and self._state == HALF_OPEN:
@@ -159,18 +164,23 @@ class CircuitBreaker:
                 )
                 if failed:
                     self._trip()
+                    tripped = True
                 else:
                     self._probe_successes += 1
                     if self._probe_successes >= self.half_open_probes:
                         self._close()
-                return
-            if self._state != CLOSED:
-                return
-            self._outcomes.append(bool(failed))
-            if (len(self._outcomes) >= self.min_samples
-                    and sum(self._outcomes) / len(self._outcomes)
-                    >= self.failure_threshold):
-                self._trip()
+            elif self._state == CLOSED:
+                self._outcomes.append(bool(failed))
+                if (len(self._outcomes) >= self.min_samples
+                        and sum(self._outcomes) / len(self._outcomes)
+                        >= self.failure_threshold):
+                    self._trip()
+                    tripped = True
+        if tripped and self.on_open is not None:
+            try:
+                self.on_open(self)
+            except Exception:
+                METRICS.inc(f"serve.breaker.{self.name}.hook_errors")
 
     # -- introspection -------------------------------------------------------
 
@@ -199,6 +209,11 @@ class BreakerBoard:
         self.breakers = {
             name: CircuitBreaker(name, **breaker_kwargs) for name in classes
         }
+
+    def set_on_open(self, hook):
+        """Install one ``on_open(breaker)`` hook on every breaker."""
+        for breaker in self.breakers.values():
+            breaker.on_open = hook
 
     def record(self, error_class, probe=False):
         """Fan one finished request's class out to every breaker."""

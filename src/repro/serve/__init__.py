@@ -43,6 +43,7 @@ from repro.serve.loadgen import (                           # noqa: F401
     run_loadgen,
 )
 from repro.serve.server import ReproServer, ServeConfig     # noqa: F401
+from repro.serve.top import TopConfig, run_top              # noqa: F401
 from repro.serve.watchdog import (                          # noqa: F401
     InflightRegistry,
     Watchdog,
@@ -60,7 +61,9 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "TokenBucket",
+    "TopConfig",
     "Watchdog",
     "default_task_mix",
+    "run_top",
     "run_loadgen",
 ]

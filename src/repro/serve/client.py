@@ -38,6 +38,7 @@ import urllib.request
 
 from repro.obs.metrics import METRICS
 from repro.obs.quantiles import nearest_rank
+from repro.obs.tracecontext import format_traceparent, new_trace_id
 from repro.resilience.retry import RetryPolicy, parse_retry_after
 
 _REQUESTS = METRICS.counter("serve.client.requests")
@@ -74,11 +75,12 @@ class QueryOutcome:
 
     __slots__ = ("status", "headers", "body", "client_seconds",
                  "server_seconds", "attempts", "hedged", "hedge_won",
-                 "transport_error")
+                 "transport_error", "trace_id")
 
     def __init__(self, status=None, headers=None, body=None,
                  client_seconds=0.0, server_seconds=None, attempts=1,
-                 hedged=False, hedge_won=False, transport_error=None):
+                 hedged=False, hedge_won=False, transport_error=None,
+                 trace_id=None):
         self.status = status
         self.headers = headers or {}
         self.body = body
@@ -88,6 +90,7 @@ class QueryOutcome:
         self.hedged = hedged
         self.hedge_won = hedge_won
         self.transport_error = transport_error
+        self.trace_id = trace_id
 
     @property
     def ok(self):
@@ -145,10 +148,20 @@ class ServeClient:
             payload["explain"] = True
         return self.request("/query", payload, tenant=tenant)
 
-    def request(self, path, payload, tenant=None):
-        """The generic retry loop around one JSON POST endpoint."""
+    def request(self, path, payload, tenant=None, trace_id=None):
+        """The generic retry loop around one JSON POST endpoint.
+
+        One W3C ``traceparent`` is minted per *logical* request and
+        reused across every retry and hedge, so all attempts of one
+        query share one trace id end to end (client → server →
+        audit log → flight recorder).
+        """
         body = json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"}
+        trace_id = trace_id or new_trace_id()
+        headers = {
+            "Content-Type": "application/json",
+            "traceparent": format_traceparent(trace_id),
+        }
         tenant = tenant if tenant is not None else self.tenant
         if tenant:
             headers["X-Repro-Tenant"] = tenant
@@ -178,7 +191,26 @@ class ServeClient:
             )
             self._sleep(self.policy.backoff_seconds(attempt, retry_after))
         outcome.client_seconds = self._clock() - started
+        outcome.trace_id = trace_id
         return outcome
+
+    def get_json(self, path, timeout=None):
+        """One unretried GET returning parsed JSON (ops surfaces).
+
+        ``repro top`` and ``repro stats --url`` poll ``/statusz`` and
+        ``/metrics`` through this; transport errors raise
+        :class:`TransportError` so the caller can render "server gone".
+        """
+        status, headers, raw = self._transport(
+            self.url + path, None, {}, timeout or self.timeout
+        )
+        if status >= 400:
+            raise TransportError(f"GET {path} -> HTTP {status}")
+        text = raw.decode("utf-8", "replace")
+        content_type = _header(headers, "Content-Type") or ""
+        if "json" in content_type:
+            return json.loads(text)
+        return text
 
     # -- attempt machinery ----------------------------------------------------
 

@@ -67,6 +67,20 @@ from repro.obs.audit import AuditLog
 from repro.obs.explain import explain
 from repro.obs.export import LATENCIES, LatencyWindow, prometheus_text
 from repro.obs.metrics import METRICS
+from repro.obs.recorder import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MIN_DUMP_INTERVAL,
+    FlightRecorder,
+)
+from repro.obs.sampler import DEFAULT_HEAD_RATE, TailSampler
+from repro.obs.slo import (
+    DEFAULT_FAST_BURN_THRESHOLD,
+    DEFAULT_FAST_SECONDS,
+    DEFAULT_SLOW_SECONDS,
+    SLOEngine,
+    SLOSpec,
+)
+from repro.obs.tracecontext import new_trace_id, parse_traceparent
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.budget import QueryBudget, activate_budget
 from repro.resilience.faults import FaultPlan, fault_scope
@@ -114,7 +128,14 @@ class ServeConfig:
                  brownout=True, pressure_high=0.8, pressure_low=0.5,
                  brownout_step=2.0, brownout_cooldown=5.0,
                  watchdog=True, watchdog_interval=0.5,
-                 watchdog_soft=None, watchdog_hard=None):
+                 watchdog_soft=None, watchdog_hard=None,
+                 slos=None, slo_fast_seconds=DEFAULT_FAST_SECONDS,
+                 slo_slow_seconds=DEFAULT_SLOW_SECONDS,
+                 slo_fast_burn=DEFAULT_FAST_BURN_THRESHOLD,
+                 recorder=True, recorder_max_bytes=DEFAULT_MAX_BYTES,
+                 head_sample_rate=DEFAULT_HEAD_RATE,
+                 dump_dir=None, dump_signal=None,
+                 min_dump_interval=DEFAULT_MIN_DUMP_INTERVAL):
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
@@ -148,6 +169,20 @@ class ServeConfig:
         self.watchdog_interval = watchdog_interval
         self.watchdog_soft = watchdog_soft
         self.watchdog_hard = watchdog_hard
+        # SLOs: None = the default serving objectives; an empty tuple
+        # disables the engine; otherwise SLOSpec objects or spec
+        # strings ("availability:0.99", "latency:0.99@0.5").
+        self.slos = slos
+        self.slo_fast_seconds = slo_fast_seconds
+        self.slo_slow_seconds = slo_slow_seconds
+        self.slo_fast_burn = slo_fast_burn
+        # Tail sampling + flight recorder (the incident evidence loop).
+        self.recorder = recorder
+        self.recorder_max_bytes = recorder_max_bytes
+        self.head_sample_rate = head_sample_rate
+        self.dump_dir = dump_dir
+        self.dump_signal = dump_signal
+        self.min_dump_interval = min_dump_interval
         # Drain must outlast the longest admissible query: its budget
         # deadline plus slack for serialization and logging.
         self.drain_grace = (
@@ -226,6 +261,8 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif route == ("GET", "/statusz"):
                 self._send_json(200, self.repro.status_snapshot())
+            elif route == ("GET", "/debugz/flightrecorder"):
+                self._flight_recorder(split.query)
             elif split.path == "/query" and method in ("GET", "POST"):
                 _QUERY_REQUESTS.inc()
                 payload = (
@@ -288,6 +325,45 @@ class _Handler(BaseHTTPRequestHandler):
     def _tenant(self):
         return _clean_tenant(self.headers.get("X-Repro-Tenant"))
 
+    def _trace_id(self):
+        """Adopt the client's W3C traceparent trace id, or mint one."""
+        parsed = parse_traceparent(self.headers.get("traceparent"))
+        if parsed is not None:
+            return parsed[0]
+        return new_trace_id()
+
+    def _flight_recorder(self, query_string):
+        """``GET /debugz/flightrecorder``: the on-demand dump surface.
+
+        Default: the full JSON bundle (snapshot + every retained
+        record).  ``?format=chrome`` returns a Chrome trace-event
+        document, ``?format=jsonl`` the raw JSONL, and ``?dump=1``
+        writes a bundle into the server's dump dir (rate-limited like
+        every automatic dump) and reports the path.
+        """
+        recorder = self.repro.recorder
+        if recorder is None:
+            raise _HTTPError(404, "recorder-disabled",
+                             "the flight recorder is disabled on this "
+                             "server (started with recorder=False)")
+        params = parse_qs(query_string)
+        if params.get("dump", ["0"])[0] not in ("0", "false", ""):
+            prefix = self.repro.trigger_dump("debugz")
+            self._send_json(200, {
+                "dumped": prefix is not None,
+                "prefix": prefix,
+                "snapshot": recorder.snapshot(),
+            })
+            return
+        fmt = params.get("format", ["bundle"])[0]
+        if fmt == "chrome":
+            self._send_json(200, recorder.dump_chrome())
+        elif fmt == "jsonl":
+            self._send_text(200, recorder.dump_jsonl(),
+                            content_type="application/x-ndjson")
+        else:
+            self._send_json(200, recorder.dump_bundle())
+
     # -- the query endpoints -----------------------------------------------
 
     def _run_query(self, payload):
@@ -299,6 +375,7 @@ class _Handler(BaseHTTPRequestHandler):
         tenant = self._tenant()
         server = self.repro
         timeout = server.clamp_timeout(payload.get("timeout"))
+        trace_id = self._trace_id()
         started = time.perf_counter()
         try:
             ticket = server.admission.admit(tenant)
@@ -328,15 +405,20 @@ class _Handler(BaseHTTPRequestHandler):
         seconds = time.perf_counter() - started
         status, body = server.render_result(
             result, payload, tenant=tenant, seconds=seconds,
-            request_id=request_id,
+            request_id=request_id, trace_id=trace_id,
         )
-        server.observe_request("/query", tenant, seconds)
+        server.record_outcome(
+            "/query", tenant, result, seconds, http_status=status,
+            request_id=request_id, trace_id=trace_id, entry=entry,
+        )
         server.access_log(result, tenant=tenant, endpoint="/query",
-                          request_id=request_id, http_status=status,
+                          request_id=request_id, trace_id=trace_id,
+                          http_status=status,
                           remote=self.client_address[0])
         self._send_json(status, body, extra_headers={
             "X-Repro-Seconds": f"{seconds:.6f}",
             "X-Repro-Request-Id": request_id,
+            "X-Repro-Trace-Id": trace_id,
         })
 
     def _run_xquery(self, payload):
@@ -447,11 +529,44 @@ class ReproServer:
             tenant_burst=self.config.tenant_burst,
             tenant_inflight=self.config.tenant_inflight,
         )
+        # The incident evidence loop: tail sampler + flight recorder +
+        # SLO burn-rate engine.  Built before the breaker/watchdog
+        # hooks below so the auto-dump triggers can reference them.
+        self.recorder = (
+            FlightRecorder(
+                max_bytes=self.config.recorder_max_bytes,
+                dump_dir=self.config.dump_dir,
+                min_dump_interval=self.config.min_dump_interval,
+            )
+            if self.config.recorder
+            else None
+        )
+        self.sampler = (
+            TailSampler(head_rate=self.config.head_sample_rate)
+            if self.config.recorder
+            else None
+        )
+        self.slo = (
+            SLOEngine(
+                specs=self._slo_specs(self.config.slos),
+                fast_seconds=self.config.slo_fast_seconds,
+                slow_seconds=self.config.slo_slow_seconds,
+                fast_burn_threshold=self.config.slo_fast_burn,
+                on_fast_burn=lambda spec, snapshot: self.trigger_dump(
+                    f"slo-fast-burn-{spec.name}"
+                ),
+            )
+            if self.config.slos is None or self.config.slos
+            else None
+        )
         self.breakers = BreakerBoard(
             window=self.config.breaker_window,
             failure_threshold=self.config.breaker_threshold,
             min_samples=self.config.breaker_min_samples,
             open_seconds=self.config.breaker_open_seconds,
+        )
+        self.breakers.set_on_open(
+            lambda breaker: self.trigger_dump(f"breaker-open-{breaker.name}")
         )
         self.brownout = (
             BrownoutController(
@@ -470,7 +585,7 @@ class ReproServer:
         self.watchdog = (
             Watchdog(
                 self.registry, interval=self.config.watchdog_interval,
-                audit=self.audit,
+                audit=self.audit, on_event=self._watchdog_event,
             )
             if self.config.watchdog
             else None
@@ -551,7 +666,9 @@ class ReproServer:
         """Run until SIGTERM/SIGINT, then drain and stop (CLI entry).
 
         Must be called from the main thread (signal handler rules).
-        Returns the signal number that stopped the server.
+        Returns the signal number that stopped the server.  When the
+        config names a ``dump_signal`` (e.g. SIGUSR1) that signal
+        triggers a flight-recorder dump *without* stopping the server.
         """
         if self._httpd is None:
             self.start()
@@ -562,9 +679,16 @@ class ReproServer:
             received["signum"] = signum
             wake.set()
 
+        def _on_dump_signal(signum, frame):
+            self.trigger_dump(f"signal-{signum}")
+
         previous = {
             signum: signal.signal(signum, _on_signal) for signum in signals
         }
+        if self.config.dump_signal is not None:
+            previous[self.config.dump_signal] = signal.signal(
+                self.config.dump_signal, _on_dump_signal
+            )
         try:
             wake.wait()
         finally:
@@ -602,6 +726,34 @@ class ReproServer:
     def next_request_id(self):
         return f"r{next(self._request_ids):08d}"
 
+    @staticmethod
+    def _slo_specs(slos):
+        """Coerce configured SLOs (strings or SLOSpec) into specs."""
+        if slos is None:
+            return None  # SLOEngine default
+        return [
+            spec if isinstance(spec, SLOSpec) else SLOSpec.parse(spec)
+            for spec in slos
+        ]
+
+    def trigger_dump(self, reason):
+        """Fire a flight-recorder auto-dump (breaker-open, watchdog-hard,
+        SLO fast-burn, SIGUSR1).  Safe no-op without a recorder or a
+        dump dir; the dump event also lands in the access log."""
+        if self.recorder is None:
+            return None
+        prefix = self.recorder.trigger_dump(reason)
+        if prefix is not None and self.audit is not None:
+            self.audit.record_event(
+                "flightrecorder-dump", reason=str(reason), prefix=prefix,
+            )
+        return prefix
+
+    def _watchdog_event(self, kind, entry):
+        """Watchdog hook: a hard expiry is incident-grade evidence."""
+        if kind == "expired":
+            self.trigger_dump(f"watchdog-hard-{entry.request_id}")
+
     def resilience_plan(self, timeout):
         """(meter, pre_degrade, probe) for one admitted ``/query``.
 
@@ -629,7 +781,7 @@ class ReproServer:
         return budget.start(), pre_degrade, probe
 
     def render_result(self, result, payload, tenant, seconds,
-                      request_id=None):
+                      request_id=None, trace_id=None):
         """(http_status, body) for one finished :class:`QueryResult`."""
         limit = payload.get("limit", self.config.result_limit)
         try:
@@ -640,6 +792,7 @@ class ReproServer:
         values = result.values()
         body = {
             "request_id": request_id or self.next_request_id(),
+            "trace_id": trace_id,
             "tenant": tenant,
             "sentence": result.sentence,
             "status": result.status,
@@ -720,9 +873,46 @@ class ReproServer:
             "findings": findings,
         }
 
-    def observe_request(self, endpoint, tenant, seconds):
-        self.window.observe(f"endpoint:{endpoint}", seconds)
-        self.window.observe(f"tenant:{tenant}", seconds)
+    def record_outcome(self, endpoint, tenant, result, seconds,
+                       http_status, request_id=None, trace_id=None,
+                       entry=None):
+        """Post-request observability: feed the SLO engine, run the
+        tail sampler, park retained traces in the flight recorder, and
+        observe the latency windows (with an exemplar when retained).
+
+        Returns True when the trace landed in the recorder — only then
+        does the exemplar ride the metrics, so every exported exemplar
+        resolves to a record the recorder actually holds.
+        """
+        if self.slo is not None:
+            self.slo.record_request(endpoint, http_status < 500, seconds)
+        retained = False
+        if self.sampler is not None and self.recorder is not None:
+            stuck = bool(entry is not None and entry.stuck)
+            expired = bool(entry is not None and entry.expired)
+            decision = self.sampler.decide(
+                status=result.status, error_class=result.error_class,
+                seconds=seconds, stuck=stuck, expired=expired,
+            )
+            if decision.retain and trace_id is not None:
+                record = self.recorder.record(
+                    trace_id, trace=result.trace, reason=decision.reason,
+                    request_id=request_id, tenant=tenant, endpoint=endpoint,
+                    sentence=result.sentence, status=result.status,
+                    error_class=result.error_class, seconds=seconds,
+                    stuck=stuck, expired=expired,
+                )
+                retained = record is not None
+        self.observe_request(
+            endpoint, tenant, seconds,
+            exemplar=trace_id if retained else None,
+        )
+        return retained
+
+    def observe_request(self, endpoint, tenant, seconds, exemplar=None):
+        self.window.observe(f"endpoint:{endpoint}", seconds,
+                            exemplar=exemplar)
+        self.window.observe(f"tenant:{tenant}", seconds, exemplar=exemplar)
 
     def access_log(self, result, **fields):
         if self.audit is not None:
@@ -732,12 +922,10 @@ class ReproServer:
 
     def metrics_text(self):
         """The full Prometheus exposition for ``/metrics``."""
-        return prometheus_text(
-            METRICS.snapshot(),
-            extra_lines=(
-                LATENCIES.prometheus_lines() + self.window.prometheus_lines()
-            ),
-        )
+        extra = LATENCIES.prometheus_lines() + self.window.prometheus_lines()
+        if self.slo is not None:
+            extra = extra + self.slo.prometheus_lines()
+        return prometheus_text(METRICS.snapshot(), extra_lines=extra)
 
     def status_snapshot(self):
         """The ``/statusz`` JSON document."""
@@ -755,6 +943,19 @@ class ReproServer:
                 else None
             ),
             "windows": self.window.snapshot(),
+            "slo": self.slo.snapshot() if self.slo is not None else None,
+            "recorder": (
+                self.recorder.snapshot() if self.recorder is not None
+                else None
+            ),
+            "sampler": (
+                self.sampler.snapshot() if self.sampler is not None
+                else None
+            ),
+            "inflight_requests": (
+                self.registry.snapshot_entries()
+                if self.registry is not None else []
+            ),
             "config": {
                 "max_inflight": self.config.max_inflight,
                 "tenant_rate": self.config.tenant_rate,

@@ -1,0 +1,273 @@
+"""``repro top``: a dependency-free live dashboard for ``repro serve``.
+
+One screen, refreshed in place, answering the on-call questions in
+order: *is it up* (QPS, availability, p50/p99), *is it burning budget*
+(per-SLO fast/slow burn rates against the alert threshold), *is it
+defending itself* (breaker states, brownout level, watchdog counts,
+flight-recorder fill), and *what is it chewing on right now* (the
+in-flight request table with ages and stuck/expired stamps).
+
+Everything renders with raw ANSI escapes — no curses, no third-party
+TUI — so it works over ssh, inside CI (``--once`` prints a single
+plain frame and exits), and in tests (``render_frame`` is a pure
+function from two poll snapshots to a string).
+
+QPS and availability are computed client-side from *counter deltas*
+between consecutive ``/metrics`` scrapes (``repro_serve_responses_*``),
+so they reflect the poll interval, not the server's whole uptime.
+Burn rates, breaker states, and the in-flight table come straight from
+``/statusz``.  A server that predates the SLO engine simply renders
+``-`` in those slots — ``repro top`` never crashes on an old server.
+"""
+
+from __future__ import annotations
+
+import select
+import sys
+import time
+
+from repro.obs.export import parse_prometheus_text
+from repro.serve.client import ServeClient, TransportError
+
+#: ANSI fragments (empty when color is off).
+_RESET = "\x1b[0m"
+_BOLD = "\x1b[1m"
+_RED = "\x1b[31m"
+_GREEN = "\x1b[32m"
+_YELLOW = "\x1b[33m"
+_CYAN = "\x1b[36m"
+_CLEAR = "\x1b[2J\x1b[H"
+
+#: Response-class counters whose deltas make QPS and availability.
+_RESPONSE_METRICS = ("repro_serve_responses_2xx_total",
+                     "repro_serve_responses_4xx_total",
+                     "repro_serve_responses_5xx_total")
+
+
+class TopConfig:
+    """Everything ``repro top`` can tune."""
+
+    def __init__(self, url, interval=2.0, once=False, color=None,
+                 max_inflight_rows=10):
+        self.url = url
+        self.interval = interval
+        self.once = once
+        # None = auto (on for a tty, off otherwise).
+        self.color = color
+        self.max_inflight_rows = max_inflight_rows
+
+
+class _Poll:
+    """One scrape of the server: statusz + parsed metrics + a clock."""
+
+    __slots__ = ("status", "metrics", "at", "error")
+
+    def __init__(self, status=None, metrics=None, at=0.0, error=None):
+        self.status = status
+        self.metrics = metrics or {}
+        self.at = at
+        self.error = error
+
+
+def poll_server(client, clock=time.monotonic):
+    """Fetch ``/statusz`` + ``/metrics``; errors land in ``_Poll.error``."""
+    at = clock()
+    try:
+        status = client.get_json("/statusz")
+        metrics = parse_prometheus_text(client.get_json("/metrics"))
+    except (TransportError, ValueError) as error:
+        return _Poll(at=at, error=str(error))
+    return _Poll(status=status, metrics=metrics, at=at)
+
+
+def _metric_value(metrics, name):
+    entry = metrics.get(name)
+    if not entry or not entry.get("samples"):
+        return None
+    return entry["samples"][0][1]
+
+
+def _response_totals(poll):
+    values = [_metric_value(poll.metrics, name) for name in _RESPONSE_METRICS]
+    if all(value is None for value in values):
+        return None
+    return [value or 0.0 for value in values]
+
+
+def _rates(previous, current):
+    """(qps, availability) from response-counter deltas, or (None, None)."""
+    if previous is None or previous.error or current.error:
+        return None, None
+    before = _response_totals(previous)
+    after = _response_totals(current)
+    elapsed = current.at - previous.at
+    if before is None or after is None or elapsed <= 0:
+        return None, None
+    deltas = [max(0.0, b - a) for a, b in zip(before, after)]
+    total = sum(deltas)
+    qps = total / elapsed
+    availability = (total - deltas[2]) / total if total else None
+    return qps, availability
+
+
+def _fmt(value, spec="{:.2f}", missing="-"):
+    return missing if value is None else spec.format(value)
+
+
+def _paint(text, color, colors_on):
+    return f"{color}{text}{_RESET}" if colors_on else text
+
+
+def render_frame(current, previous=None, color=False, max_inflight_rows=10,
+                 url=""):
+    """The full dashboard frame for one poll (pure; unit-testable)."""
+    lines = []
+    title = f"repro top — {url}"
+    lines.append(_paint(title, _BOLD, color))
+    if current.error:
+        lines.append(_paint(f"  server unreachable: {current.error}",
+                            _RED, color))
+        return "\n".join(lines) + "\n"
+    status = current.status or {}
+
+    qps, availability = _rates(previous, current)
+    uptime = status.get("uptime_seconds")
+    windows = status.get("windows") or {}
+    endpoint = windows.get("endpoint:/query") or {}
+    avail_text = _fmt(availability, "{:.2%}")
+    if availability is not None:
+        avail_color = _GREEN if availability >= 0.99 else (
+            _YELLOW if availability >= 0.95 else _RED)
+        avail_text = _paint(avail_text, avail_color, color)
+    lines.append(
+        f"  up {_fmt(uptime, '{:.0f}s')}   qps {_fmt(qps)}   "
+        f"avail {avail_text}   "
+        f"p50 {_fmt(endpoint.get('p50'), '{:.3f}s')}   "
+        f"p99 {_fmt(endpoint.get('p99'), '{:.3f}s')}"
+    )
+
+    lines.append(_paint("SLOs", _BOLD, color))
+    slos = status.get("slo")
+    if not slos:
+        lines.append("  (no SLO engine on this server)")
+    for entry in slos or []:
+        fast = entry["windows"]["fast"]["burn_rate"]
+        slow = entry["windows"]["slow"]["burn_rate"]
+        threshold = entry.get("fast_burn_threshold")
+        alerting = entry.get("alerting")
+        budget = entry.get("error_budget_remaining")
+        flag = "ALERT" if alerting else "ok"
+        flag = _paint(flag, _RED if alerting else _GREEN, color)
+        lines.append(
+            f"  {entry['name']:<28} burn fast {fast:6.2f} / "
+            f"slow {slow:6.2f} (alert at {_fmt(threshold, '{:.1f}')})  "
+            f"budget {_fmt(budget, '{:.1%}')}  {flag}"
+        )
+
+    lines.append(_paint("Defenses", _BOLD, color))
+    breakers = status.get("breakers") or {}
+    parts = []
+    for name, snap in sorted(breakers.items()):
+        state = snap.get("state", "?")
+        state_color = {"closed": _GREEN, "open": _RED}.get(state, _YELLOW)
+        parts.append(f"{name}={_paint(state, state_color, color)}")
+    brownout = status.get("brownout") or {}
+    watchdog = status.get("watchdog") or {}
+    recorder = status.get("recorder") or {}
+    sampler = status.get("sampler") or {}
+    lines.append(
+        "  breakers " + (" ".join(parts) if parts else "-")
+        + f"   brownout L{brownout.get('level', '-')}"
+        + f"   stuck {watchdog.get('stuck_total', '-')}"
+        + f"/expired {watchdog.get('expired_total', '-')}"
+        + f"/recovered {watchdog.get('recovered_total', '-')}"
+    )
+    if recorder:
+        fill = (recorder["bytes"] / recorder["max_bytes"]
+                if recorder.get("max_bytes") else 0.0)
+        lines.append(
+            f"  recorder {recorder.get('count', 0)} traces "
+            f"{recorder.get('bytes', 0) / 1024:.0f} KiB ({fill:.0%} full)  "
+            f"retained {recorder.get('retained_total', 0)}  "
+            f"evicted {recorder.get('evicted_total', 0)}  "
+            f"dumps {recorder.get('dumps', 0)}"
+        )
+    if sampler:
+        retention = sampler.get("retention") or {}
+        lines.append(
+            f"  sampler errors {_fmt(retention.get('error'), '{:.0%}')}  "
+            f"slow {_fmt(retention.get('slow'), '{:.0%}')}  "
+            f"healthy {_fmt(retention.get('healthy'), '{:.1%}')}  "
+            f"tail>{_fmt(sampler.get('tail_threshold_seconds'), '{:.3f}s')}"
+        )
+
+    inflight = status.get("inflight_requests") or []
+    admission = status.get("admission") or {}
+    header = (f"In flight ({admission.get('inflight', len(inflight))})"
+              if admission else f"In flight ({len(inflight)})")
+    lines.append(_paint(header, _BOLD, color))
+    if not inflight:
+        lines.append("  (idle)")
+    for row in inflight[:max_inflight_rows]:
+        stamp = ("EXPIRED" if row.get("expired")
+                 else "STUCK" if row.get("stuck") else "")
+        if stamp:
+            stamp = " " + _paint(stamp, _RED, color)
+        lines.append(
+            f"  {row.get('request_id', '?'):<12} "
+            f"{(row.get('tenant') or '-'):<12} "
+            f"{row.get('age_seconds', 0.0):6.2f}s  "
+            f"{row.get('sentence', '')}{stamp}"
+        )
+    if len(inflight) > max_inflight_rows:
+        lines.append(f"  … and {len(inflight) - max_inflight_rows} more")
+    return "\n".join(lines) + "\n"
+
+
+def _quit_pressed(timeout):
+    """Wait up to ``timeout`` seconds for a 'q' keypress on a tty."""
+    if not sys.stdin.isatty():
+        time.sleep(timeout)
+        return False
+    try:
+        ready, _, _ = select.select([sys.stdin], [], [], timeout)
+    except (OSError, ValueError):
+        time.sleep(timeout)
+        return False
+    if not ready:
+        return False
+    return sys.stdin.readline().strip().lower().startswith("q")
+
+
+def run_top(config, out=None, clock=time.monotonic):
+    """The ``repro top`` loop; returns a process exit code.
+
+    ``--once`` prints a single frame (no screen clearing) and exits —
+    0 when the server answered, 1 when it was unreachable.  The live
+    loop refreshes every ``interval`` seconds until ``q`` or Ctrl-C.
+    """
+    if out is None:
+        out = sys.stdout
+    color = config.color
+    if color is None:
+        color = bool(getattr(out, "isatty", lambda: False)())
+    client = ServeClient(config.url, timeout=max(2.0, config.interval * 2))
+    previous = None
+    while True:
+        current = poll_server(client, clock=clock)
+        frame = render_frame(
+            current, previous=previous, color=color,
+            max_inflight_rows=config.max_inflight_rows, url=client.url,
+        )
+        if config.once:
+            out.write(frame)
+            out.flush()
+            return 1 if current.error else 0
+        out.write(_CLEAR + frame + "\n(q to quit)\n")
+        out.flush()
+        previous = current
+        try:
+            if _quit_pressed(config.interval):
+                return 0
+        except KeyboardInterrupt:
+            return 0

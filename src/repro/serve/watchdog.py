@@ -146,6 +146,29 @@ class InflightRegistry:
         with self._lock:
             return list(self._entries.values())
 
+    def snapshot_entries(self, now=None):
+        """The in-flight request table for ``/statusz`` / ``repro top``.
+
+        One dict per live request: id, tenant, a truncated sentence,
+        age in seconds, and the stuck/expired stamps — the operator's
+        "what is it chewing on right now" view.
+        """
+        if now is None:
+            now = self._clock()
+        return [
+            {
+                "request_id": entry.request_id,
+                "tenant": entry.tenant,
+                "sentence": (entry.sentence or "")[:80],
+                "age_seconds": max(0.0, now - entry.started_at),
+                "stuck": entry.stuck,
+                "expired": entry.expired,
+            }
+            for entry in sorted(
+                self.entries(), key=lambda entry: entry.started_at
+            )
+        ]
+
     def __len__(self):
         with self._lock:
             return len(self._entries)
@@ -155,10 +178,14 @@ class Watchdog:
     """Daemon thread scanning the registry for stuck requests."""
 
     def __init__(self, registry, interval=0.5, audit=None,
-                 clock=time.monotonic, stack_limit=40):
+                 clock=time.monotonic, stack_limit=40, on_event=None):
         self.registry = registry
         self.interval = interval
         self.audit = audit
+        # Event hook: called as on_event(kind, entry) for every
+        # stuck/expired transition (the server wires hard expiries to a
+        # flight-recorder dump).  Hook errors are counted, not raised.
+        self.on_event = on_event
         self._clock = clock
         self.stack_limit = stack_limit
         self.stuck_total = 0
@@ -222,6 +249,12 @@ class Watchdog:
                 self._report(entry, now, "watchdog-expired")
                 actions.append(("expired", entry))
         _INFLIGHT_OLDEST.set(oldest)
+        if self.on_event is not None:
+            for kind, entry in actions:
+                try:
+                    self.on_event(kind, entry)
+                except Exception:
+                    METRICS.inc("serve.watchdog.hook_errors")
         return actions
 
     def _report(self, entry, now, event):

@@ -1,0 +1,128 @@
+"""The flight recorder: byte bounds, eviction, dumps, rate limiting."""
+
+import json
+
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import Trace
+
+
+def make_trace():
+    trace = Trace()
+    with trace.span("parse"):
+        pass
+    with trace.span("evaluate"):
+        pass
+    return trace
+
+
+class TestRecord:
+    def test_retains_and_reads_back(self):
+        recorder = FlightRecorder(max_bytes=1 << 20)
+        entry = recorder.record("a" * 32, trace=make_trace(),
+                                reason="error", tenant="t1",
+                                status="failed", seconds=0.5)
+        assert entry is not None
+        assert recorder.get("a" * 32) is entry
+        assert len(recorder) == 1
+        assert entry.trace_dict is not None
+
+    def test_byte_bound_holds_under_sustained_load(self):
+        recorder = FlightRecorder(max_bytes=16 * 1024)
+        for i in range(500):
+            recorder.record(f"{i:032x}", trace=make_trace(),
+                            reason="head", sentence="x" * 100)
+        snapshot = recorder.snapshot()
+        assert snapshot["bytes"] <= 16 * 1024
+        assert snapshot["evicted_total"] > 0
+        # The bound also matches the actual serialized content.
+        actual = sum(
+            len(record.to_json()) for record in recorder.records()
+        )
+        assert actual == snapshot["bytes"]
+
+    def test_evicts_oldest_first(self):
+        recorder = FlightRecorder(max_bytes=2048)
+        first = recorder.record("a" * 32, reason="head")
+        assert first is not None
+        for i in range(50):
+            recorder.record(f"{i:032x}", reason="head")
+        assert recorder.get("a" * 32) is None
+
+    def test_refuses_oversize_record(self):
+        recorder = FlightRecorder(max_bytes=256)
+        entry = recorder.record("a" * 32, reason="error",
+                                sentence="x" * 10_000)
+        assert entry is None
+        assert len(recorder) == 0
+
+    def test_by_reason_accounting(self):
+        recorder = FlightRecorder()
+        recorder.record("a" * 32, reason="error")
+        recorder.record("b" * 32, reason="error")
+        recorder.record("c" * 32, reason="slow")
+        assert recorder.snapshot()["by_reason"] == {"error": 2, "slow": 1}
+
+
+class TestDumps:
+    def test_jsonl_round_trips(self):
+        recorder = FlightRecorder()
+        recorder.record("a" * 32, trace=make_trace(), reason="error",
+                        tenant="t1")
+        lines = recorder.dump_jsonl().strip().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["trace_id"] == "a" * 32
+        assert record["reason"] == "error"
+        names = [span["name"] for span in record["trace"]["spans"]]
+        assert names == ["parse", "evaluate"]
+
+    def test_chrome_document_has_lanes(self):
+        recorder = FlightRecorder()
+        recorder.record("a" * 32, trace=make_trace(), reason="slow")
+        document = recorder.dump_chrome()
+        names = [
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event.get("ph") == "M" and event.get("name") == "thread_name"
+        ]
+        assert any("slow aaaaaaaa" in name for name in names)
+
+    def test_dump_to_writes_both_files(self, tmp_path):
+        recorder = FlightRecorder()
+        recorder.record("a" * 32, trace=make_trace(), reason="error")
+        jsonl_path, chrome_path = recorder.dump_to(
+            str(tmp_path / "bundle")
+        )
+        assert json.loads(open(jsonl_path).readline())["reason"] == "error"
+        assert "traceEvents" in json.load(open(chrome_path))
+
+
+class TestTriggerDump:
+    def test_noop_without_dump_dir(self):
+        recorder = FlightRecorder()
+        assert recorder.trigger_dump("breaker-open") is None
+
+    def test_writes_named_bundle(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        recorder.record("a" * 32, reason="error")
+        prefix = recorder.trigger_dump("breaker-open-internal")
+        assert prefix is not None
+        assert "breaker-open-internal" in prefix
+        assert (tmp_path / (prefix.split("/")[-1] + ".jsonl")).exists()
+
+    def test_rate_limited(self, tmp_path):
+        clock = [100.0]
+        recorder = FlightRecorder(dump_dir=str(tmp_path),
+                                  min_dump_interval=30.0,
+                                  clock=lambda: clock[0])
+        assert recorder.trigger_dump("first") is not None
+        assert recorder.trigger_dump("storm") is None
+        clock[0] += 31.0
+        assert recorder.trigger_dump("later") is not None
+        assert recorder.snapshot()["dumps"] == 2
+
+    def test_reason_is_sanitized(self, tmp_path):
+        recorder = FlightRecorder(dump_dir=str(tmp_path))
+        prefix = recorder.trigger_dump("../../../etc/passwd !")
+        assert prefix is not None
+        assert "/etc/" not in prefix.replace(str(tmp_path), "")

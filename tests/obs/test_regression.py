@@ -334,3 +334,130 @@ class TestCommittedBaseline:
         assert chaos["faults_delayed"] > 0
         assert chaos["watchdog"]["stuck"] > 0
         assert len(chaos["samples_seconds"]) == chaos["requests"]
+
+
+def make_sampler(error=1.0, slow=1.0, healthy=0.08, head_rate=0.1,
+                 seen=None):
+    return {
+        "head_rate": head_rate,
+        "seen": seen or {"error": 40, "degraded": 5, "slow": 12,
+                         "healthy": 500},
+        "retention": {"error": error, "degraded": 1.0, "slow": slow,
+                      "healthy": healthy},
+    }
+
+
+def make_obs(base_p50=0.010, base_p99=0.030, full_p50=0.011, full_p99=0.032,
+             overhead=0.07, samples=24):
+    return {
+        "baseline": {"p50_seconds": base_p50, "p99_seconds": base_p99},
+        "observability": {"p50_seconds": full_p50, "p99_seconds": full_p99},
+        "p99_overhead_fraction": overhead,
+        "samples_seconds": [full_p50] * samples,
+    }
+
+
+class TestChaosRetentionGate:
+    def compare(self, cur_extra):
+        chaos = dict(make_chaos(), **cur_extra)
+        baseline = dict(make_results(), serving_chaos=make_chaos())
+        current = dict(make_results(), serving_chaos=chaos)
+        return compare_results(baseline, current)
+
+    def verdicts(self, report):
+        return {f.metric: f.verdict for f in report.findings
+                if f.metric.startswith(("retention:", "recorder_bytes"))}
+
+    def test_healthy_retention_profile_passes(self):
+        report = self.compare({
+            "sampler": make_sampler(),
+            "recorder": {"bytes": 4096, "max_bytes": 8192, "count": 10},
+        })
+        verdicts = self.verdicts(report)
+        assert set(verdicts) == {"retention:error", "retention:slow",
+                                 "retention:healthy", "recorder_bytes"}
+        assert all(v == PASS for v in verdicts.values())
+
+    def test_dropped_error_trace_fails_absolutely(self):
+        report = self.compare({"sampler": make_sampler(error=0.99)})
+        assert self.verdicts(report)["retention:error"] == FAIL
+        assert not report.ok
+
+    def test_slow_tail_has_a_small_floor(self):
+        passing = self.compare({"sampler": make_sampler(slow=0.96)})
+        failing = self.compare({"sampler": make_sampler(slow=0.90)})
+        assert self.verdicts(passing)["retention:slow"] == PASS
+        assert self.verdicts(failing)["retention:slow"] == FAIL
+
+    def test_healthy_oversampling_fails(self):
+        # head_rate 0.1 + slack 0.05: 0.14 passes, 0.2 fails.
+        passing = self.compare({"sampler": make_sampler(healthy=0.14)})
+        failing = self.compare({"sampler": make_sampler(healthy=0.20)})
+        assert self.verdicts(passing)["retention:healthy"] == PASS
+        assert self.verdicts(failing)["retention:healthy"] == FAIL
+
+    def test_ring_buffer_over_budget_fails(self):
+        report = self.compare({
+            "recorder": {"bytes": 9000, "max_bytes": 8192, "count": 10},
+        })
+        assert self.verdicts(report)["recorder_bytes"] == FAIL
+
+    def test_unseen_categories_produce_no_rows(self):
+        report = self.compare({
+            "sampler": make_sampler(
+                seen={"error": 0, "slow": 0, "healthy": 0}
+            ),
+        })
+        assert self.verdicts(report) == {}
+
+    def test_pre_observability_sections_gate_nothing(self):
+        # A chaos section recorded before the sampler/recorder existed.
+        report = self.compare({})
+        assert self.verdicts(report) == {}
+
+
+class TestObservabilityOverheadGate:
+    def compare(self, base_obs, cur_obs):
+        baseline = dict(make_results(), serving_observability=base_obs)
+        current = (dict(make_results(), serving_observability=cur_obs)
+                   if cur_obs is not None else make_results())
+        return compare_results(baseline, current)
+
+    def obs_findings(self, report):
+        return {f.metric: f for f in report.findings
+                if f.task == "serving_observability"}
+
+    def test_noise_floor_overhead_passes(self):
+        report = self.compare(make_obs(), make_obs())
+        findings = self.obs_findings(report)
+        assert findings["p99_overhead_fraction"].verdict == PASS
+        assert findings["p99_seconds"].verdict == PASS
+        assert report.ok
+
+    def test_large_overhead_warns_but_never_fails(self):
+        report = self.compare(make_obs(), make_obs(overhead=0.40))
+        assert self.obs_findings(report)[
+            "p99_overhead_fraction"].verdict == WARN
+        assert report.ok  # warn-only: one noisy A/B run cannot block
+
+    def test_absolute_latency_ratchet_still_fails(self):
+        report = self.compare(make_obs(),
+                              make_obs(full_p50=0.120, full_p99=0.300))
+        assert self.obs_findings(report)["p50_seconds"].verdict == FAIL
+        assert not report.ok
+
+    def test_missing_current_section_skips(self):
+        report = self.compare(make_obs(), None)
+        assert self.obs_findings(report)[
+            "p99_overhead_fraction"].verdict == SKIP
+
+    def test_no_baseline_section_adds_no_rows(self):
+        report = compare_results(
+            make_results(),
+            dict(make_results(), serving_observability=make_obs()),
+        )
+        assert not self.obs_findings(report)
+
+    def test_too_few_samples_skip_the_ratchet(self):
+        report = self.compare(make_obs(), make_obs(samples=2))
+        assert self.obs_findings(report)["p99_seconds"].verdict == SKIP

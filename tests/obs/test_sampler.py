@@ -1,0 +1,114 @@
+"""Tail-based sampling: retention rules, p95 threshold, head rate."""
+
+from repro.obs.sampler import TailSampler
+
+
+class TestAlwaysRetain:
+    def test_error_classes(self):
+        sampler = TailSampler(head_rate=0.0)
+        for error_class in ("internal", "exhausted"):
+            decision = sampler.decide(status="failed",
+                                      error_class=error_class)
+            assert decision.retain
+            assert decision.reason == "error"
+
+    def test_failed_status(self):
+        sampler = TailSampler(head_rate=0.0)
+        assert sampler.decide(status="failed").reason == "error"
+
+    def test_degraded(self):
+        sampler = TailSampler(head_rate=0.0)
+        decision = sampler.decide(status="degraded",
+                                  error_class="degraded")
+        assert decision.retain
+        assert decision.reason == "degraded"
+
+    def test_watchdog_beats_everything(self):
+        sampler = TailSampler(head_rate=0.0)
+        decision = sampler.decide(status="failed", error_class="internal",
+                                  stuck=True)
+        assert decision.reason == "watchdog"
+        assert sampler.decide(status="ok", expired=True).reason == "watchdog"
+
+    def test_error_retention_is_total(self):
+        sampler = TailSampler(head_rate=0.0)
+        for _ in range(200):
+            sampler.decide(status="failed", error_class="internal")
+        snapshot = sampler.snapshot()
+        assert snapshot["retention"]["error"] == 1.0
+
+
+class TestSlowTail:
+    def test_retains_above_p95(self):
+        sampler = TailSampler(head_rate=0.0, min_tail_samples=20)
+        for _ in range(100):
+            sampler.decide(status="ok", seconds=0.01)
+        decision = sampler.decide(status="ok", seconds=1.0)
+        assert decision.retain
+        assert decision.reason == "slow"
+
+    def test_no_threshold_while_warming(self):
+        sampler = TailSampler(head_rate=0.0, min_tail_samples=20)
+        # Before min_tail_samples the p95 is unknown: nothing is "slow".
+        decision = sampler.decide(status="ok", seconds=100.0)
+        assert not decision.retain
+        assert sampler.tail_threshold() is None
+
+    def test_threshold_tracks_the_window(self):
+        sampler = TailSampler(head_rate=0.0, window=50, min_tail_samples=10)
+        for _ in range(50):
+            sampler.decide(status="ok", seconds=0.01)
+        slow_before = sampler.tail_threshold()
+        for _ in range(50):
+            sampler.decide(status="ok", seconds=1.0)
+        assert sampler.tail_threshold() > slow_before
+
+
+class TestHeadSampling:
+    def test_every_nth_exactly(self):
+        sampler = TailSampler(head_rate=0.1)
+        kept = sum(
+            1 for _ in range(100)
+            if sampler.decide(status="ok", seconds=0.01).retain
+        )
+        assert kept == 10
+
+    def test_zero_rate_drops_all_healthy(self):
+        sampler = TailSampler(head_rate=0.0)
+        assert not any(
+            sampler.decide(status="ok", seconds=0.01).retain
+            for _ in range(50)
+        )
+
+    def test_rate_one_keeps_everything(self):
+        sampler = TailSampler(head_rate=1.0)
+        assert all(
+            sampler.decide(status="ok", seconds=0.01).retain
+            for _ in range(20)
+        )
+
+    def test_healthy_fraction_is_bounded(self):
+        sampler = TailSampler(head_rate=0.1, min_tail_samples=10**9)
+        for _ in range(1000):
+            sampler.decide(status="ok", seconds=0.01)
+        snapshot = sampler.snapshot()
+        assert snapshot["retention"]["healthy"] <= 0.1
+
+
+class TestSnapshot:
+    def test_accounting_by_category(self):
+        sampler = TailSampler(head_rate=0.5)
+        sampler.decide(status="failed", error_class="internal")
+        sampler.decide(status="degraded", error_class="degraded")
+        sampler.decide(status="ok", seconds=0.01)
+        sampler.decide(status="ok", seconds=0.01)
+        snapshot = sampler.snapshot()
+        assert snapshot["seen"]["error"] == 1
+        assert snapshot["seen"]["degraded"] == 1
+        assert snapshot["seen"]["healthy"] == 2
+        assert snapshot["retained"]["error"] == 1
+        assert snapshot["head_rate"] == 0.5
+
+    def test_empty_retention_is_none(self):
+        snapshot = TailSampler().snapshot()
+        assert snapshot["retention"]["error"] is None

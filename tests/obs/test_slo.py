@@ -1,0 +1,171 @@
+"""The SLO engine: spec parsing, burn rates, multi-window alerting."""
+
+import pytest
+
+from repro.obs.slo import SLOEngine, SLOSpec, default_serving_slos
+
+
+class TestSpecParse:
+    def test_availability(self):
+        spec = SLOSpec.parse("availability:0.99")
+        assert spec.kind == "availability"
+        assert spec.target == 0.99
+        assert spec.endpoint is None
+
+    def test_latency_with_threshold(self):
+        spec = SLOSpec.parse("latency:0.95@0.3")
+        assert spec.kind == "latency"
+        assert spec.threshold_seconds == 0.3
+
+    def test_endpoint_scope(self):
+        spec = SLOSpec.parse("latency:0.99@0.5@/query")
+        assert spec.endpoint == "/query"
+        assert spec.threshold_seconds == 0.5
+        assert spec.name == "latency-query"
+
+    def test_at_parts_are_positional_by_type(self):
+        spec = SLOSpec.parse("latency:0.99@/query@0.5")
+        assert spec.endpoint == "/query"
+        assert spec.threshold_seconds == 0.5
+
+    def test_bad_specs_raise(self):
+        for text in ("availability", "availability:nope", "latency:0.99",
+                     "bogus:0.9", "availability:1.5", "latency:0.9@x"):
+            with pytest.raises(ValueError):
+                SLOSpec.parse(text)
+
+
+class TestClassify:
+    def test_availability_counts_every_request(self):
+        spec = SLOSpec("availability", 0.99)
+        assert spec.classify(True, 10.0) is True
+        assert spec.classify(False, 0.001) is False
+
+    def test_latency_skips_failures(self):
+        spec = SLOSpec("latency", 0.99, threshold_seconds=0.5)
+        assert spec.classify(True, 0.1) is True
+        assert spec.classify(True, 0.9) is False
+        assert spec.classify(False, 0.1) is None
+
+    def test_endpoint_matching(self):
+        spec = SLOSpec("availability", 0.99, endpoint="/query")
+        assert spec.matches("/query")
+        assert not spec.matches("/xquery")
+        assert SLOSpec("availability", 0.99).matches("/anything")
+
+
+class TestBurnRate:
+    def _engine(self, **kwargs):
+        return SLOEngine(
+            specs=[SLOSpec("availability", 0.99)],
+            fast_seconds=300, slow_seconds=3600, **kwargs
+        )
+
+    def test_all_good_burns_nothing(self):
+        engine = self._engine()
+        for i in range(100):
+            engine.record_request("/query", True, 0.01, now=1000.0 + i)
+        entry = engine.snapshot(now=1100.0)[0]
+        assert entry["windows"]["fast"]["burn_rate"] == 0.0
+        assert entry["error_budget_remaining"] == 1.0
+
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        engine = self._engine()
+        # 10% bad against a 1% budget -> burn rate 10.
+        for i in range(90):
+            engine.record_request("/q", True, 0.01, now=1000.0)
+        for i in range(10):
+            engine.record_request("/q", False, 0.01, now=1000.0)
+        entry = engine.snapshot(now=1000.0)[0]
+        assert entry["windows"]["fast"]["burn_rate"] == pytest.approx(10.0)
+        assert entry["windows"]["slow"]["burn_rate"] == pytest.approx(10.0)
+
+    def test_fast_window_forgets_old_errors(self):
+        engine = self._engine()
+        for _ in range(50):
+            engine.record_request("/q", False, 0.01, now=1000.0)
+        # 10 minutes later the 5m fast window is clean, the 1h slow
+        # window still remembers.
+        entry = engine.snapshot(now=1600.0)[0]
+        assert entry["windows"]["fast"]["bad"] == 0
+        assert entry["windows"]["slow"]["bad"] == 50
+
+    def test_budget_remaining_decreases_with_errors(self):
+        engine = self._engine()
+        for i in range(990):
+            engine.record_request("/q", True, 0.01, now=1000.0)
+        for i in range(10):
+            engine.record_request("/q", False, 0.01, now=1000.0)
+        entry = engine.snapshot(now=1000.0)[0]
+        assert entry["error_budget_remaining"] == pytest.approx(0.0)
+
+
+class TestAlerting:
+    def test_hook_fires_once_per_episode(self):
+        fired = []
+        engine = SLOEngine(
+            specs=[SLOSpec("availability", 0.99)],
+            fast_seconds=300, slow_seconds=3600,
+            fast_burn_threshold=10.0,
+            on_fast_burn=lambda spec, snap: fired.append(spec.name),
+        )
+        # Sustained 100% errors: both windows blow past threshold.
+        for i in range(50):
+            engine.record_request("/q", False, 0.01, now=1000.0 + i)
+        assert fired == ["availability-all"]
+        # Still burning: no second callback.
+        for i in range(50):
+            engine.record_request("/q", False, 0.01, now=1050.0 + i)
+        assert fired == ["availability-all"]
+
+    def test_rearms_after_fast_window_recovers(self):
+        fired = []
+        engine = SLOEngine(
+            specs=[SLOSpec("availability", 0.9)],
+            fast_seconds=10, slow_seconds=3600,
+            fast_burn_threshold=5.0,
+            on_fast_burn=lambda spec, snap: fired.append(spec.name),
+        )
+        for i in range(20):
+            engine.record_request("/q", False, 0.01, now=1000.0)
+        assert len(fired) == 1
+        # Healthy traffic after the fast window expired the errors:
+        # alert clears...
+        for i in range(200):
+            engine.record_request("/q", True, 0.01, now=1030.0)
+        assert engine.snapshot(now=1030.0)[0]["alerting"] is False
+        # ...and a second incident fires a second callback.
+        for i in range(400):
+            engine.record_request("/q", False, 0.01, now=1050.0)
+        assert len(fired) == 2
+
+    def test_hook_errors_are_swallowed(self):
+        def boom(spec, snap):
+            raise RuntimeError("hook bug")
+
+        engine = SLOEngine(
+            specs=[SLOSpec("availability", 0.99)],
+            fast_burn_threshold=1.0, on_fast_burn=boom,
+        )
+        for i in range(20):
+            engine.record_request("/q", False, 0.01, now=1000.0)
+        assert engine.snapshot(now=1000.0)[0]["alerting"] is True
+
+
+class TestSurfaces:
+    def test_default_slos_scope_query(self):
+        specs = default_serving_slos()
+        assert [spec.kind for spec in specs] == ["availability", "latency"]
+        assert all(spec.endpoint == "/query" for spec in specs)
+
+    def test_prometheus_lines_carry_all_gauges(self):
+        engine = SLOEngine()
+        engine.record_request("/query", True, 0.01, now=1000.0)
+        text = "\n".join(engine.prometheus_lines(now=1000.0))
+        assert 'repro_slo_burn_rate{slo="availability-query",window="fast"}' \
+            in text
+        assert 'repro_slo_error_budget_remaining{slo="latency-query"}' in text
+        assert 'repro_slo_fast_burn_alert{slo="availability-query"} 0' in text
+
+    def test_empty_engine_emits_nothing(self):
+        assert SLOEngine(specs=[]).prometheus_lines() == []

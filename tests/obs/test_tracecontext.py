@@ -1,0 +1,64 @@
+"""W3C traceparent parsing, formatting, and id minting."""
+
+from repro.obs.tracecontext import (
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        assert int(trace_id, 16) >= 0
+
+    def test_span_id_shape(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        assert int(span_id, 16) >= 0
+
+    def test_ids_are_random(self):
+        assert len({new_trace_id() for _ in range(32)}) == 32
+
+
+class TestFormat:
+    def test_round_trip(self):
+        trace_id = new_trace_id()
+        header = format_traceparent(trace_id)
+        parsed = parse_traceparent(header)
+        assert parsed is not None
+        assert parsed[0] == trace_id
+
+    def test_explicit_span_id(self):
+        header = format_traceparent("ab" * 16, span_id="cd" * 8)
+        assert header == "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+
+    def test_unsampled_flag(self):
+        header = format_traceparent("ab" * 16, sampled=False)
+        assert header.endswith("-00")
+
+
+class TestParse:
+    def test_valid_header(self):
+        header = "00-" + "1" * 32 + "-" + "2" * 16 + "-01"
+        assert parse_traceparent(header) == ("1" * 32, "2" * 16)
+
+    def test_case_and_whitespace_tolerant(self):
+        header = "  00-" + "A" * 32 + "-" + "B" * 16 + "-01  "
+        assert parse_traceparent(header) == ("a" * 32, "b" * 16)
+
+    def test_rejects_unknown_version(self):
+        assert parse_traceparent("01-" + "1" * 32 + "-" + "2" * 16 + "-01") \
+            is None
+
+    def test_rejects_all_zero_ids(self):
+        assert parse_traceparent("00-" + "0" * 32 + "-" + "2" * 16 + "-01") \
+            is None
+        assert parse_traceparent("00-" + "1" * 32 + "-" + "0" * 16 + "-01") \
+            is None
+
+    def test_rejects_garbage(self):
+        for header in (None, "", "nonsense", "00-short-2222-01", 42):
+            assert parse_traceparent(header) is None

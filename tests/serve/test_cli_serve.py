@@ -74,3 +74,50 @@ class TestStatsUrl:
     def test_unreachable_url_is_an_error(self):
         with pytest.raises(SystemExit):
             main(["stats", "--url", "http://127.0.0.1:1"])
+
+    def test_table_shows_the_slo_section(self, server, capsys):
+        main([
+            "loadgen", "--url", server.url, "--concurrency", "2",
+            "--requests", "4", "find all titles",
+        ])
+        capsys.readouterr()
+        code = main(["stats", "--url", server.url])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "slo:" in out
+        assert "availability-query" in out
+        assert "burn fast" in out
+
+    def test_server_without_slo_engine_degrades_loudly(
+            self, movie_nalix, capsys):
+        # slos=() disables the engine: no repro_slo_* family at all —
+        # exactly what an old server looks like to the scraper.
+        config = ServeConfig(port=0, slos=())
+        with ReproServer(nalix=movie_nalix, config=config) as instance:
+            code = main(["stats", "--url", instance.url])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "exposes no repro_slo_* metrics" in out
+        # The metric table still renders: degrade, don't die.
+        assert "repro_serve_requests_total" in out
+
+
+class TestTopCommand:
+    def test_once_against_live_server(self, server, capsys):
+        main([
+            "loadgen", "--url", server.url, "--concurrency", "2",
+            "--requests", "4", "find all titles",
+        ])
+        capsys.readouterr()
+        code = main(["top", "--url", server.url, "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "repro top" in out
+        assert "availability-query" in out
+        assert "In flight" in out
+
+    def test_once_against_dead_server(self, capsys):
+        code = main(["top", "--url", "http://127.0.0.1:1", "--once"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "server unreachable" in out

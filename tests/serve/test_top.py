@@ -1,0 +1,172 @@
+"""``repro top``: frame rendering, counter-delta math, the once mode."""
+
+import io
+
+import pytest
+
+from repro.serve import ReproServer, ServeConfig, ServeClient, TopConfig, run_top
+from repro.serve.top import _Poll, _rates, poll_server, render_frame
+
+
+def make_status(**overrides):
+    status = {
+        "uptime_seconds": 120.0,
+        "draining": False,
+        "admission": {"inflight": 1, "max_inflight": 8},
+        "breakers": {
+            "internal": {"state": "closed"},
+            "exhausted": {"state": "open"},
+        },
+        "brownout": {"level": 2},
+        "watchdog": {"stuck_total": 3, "expired_total": 1,
+                     "recovered_total": 2},
+        "windows": {"endpoint:/query": {"p50": 0.010, "p99": 0.090}},
+        "slo": [{
+            "name": "availability-query",
+            "windows": {"fast": {"burn_rate": 15.0},
+                        "slow": {"burn_rate": 14.5}},
+            "fast_burn_threshold": 14.4,
+            "alerting": True,
+            "error_budget_remaining": 0.25,
+        }],
+        "recorder": {"count": 12, "bytes": 4096, "max_bytes": 8192,
+                     "retained_total": 40, "evicted_total": 28, "dumps": 1},
+        "sampler": {"retention": {"error": 1.0, "slow": 1.0,
+                                  "healthy": 0.08},
+                    "tail_threshold_seconds": 0.075},
+        "inflight_requests": [
+            {"request_id": "r00000007", "tenant": "acme",
+             "age_seconds": 1.25, "sentence": "find all titles",
+             "stuck": True, "expired": False},
+        ],
+    }
+    status.update(overrides)
+    return status
+
+
+def metrics_with_totals(two_xx, four_xx, five_xx):
+    return {
+        "repro_serve_responses_2xx_total": {
+            "samples": [({}, float(two_xx))]},
+        "repro_serve_responses_4xx_total": {
+            "samples": [({}, float(four_xx))]},
+        "repro_serve_responses_5xx_total": {
+            "samples": [({}, float(five_xx))]},
+    }
+
+
+class TestRates:
+    def test_qps_and_availability_from_deltas(self):
+        previous = _Poll(status={}, metrics=metrics_with_totals(100, 0, 0),
+                         at=10.0)
+        current = _Poll(status={}, metrics=metrics_with_totals(190, 5, 5),
+                        at=20.0)
+        qps, availability = _rates(previous, current)
+        assert qps == pytest.approx(10.0)  # 100 responses / 10s
+        assert availability == pytest.approx(0.95)  # 5 of 100 were 5xx
+
+    def test_no_previous_poll_means_no_rates(self):
+        current = _Poll(status={}, metrics=metrics_with_totals(1, 0, 0),
+                        at=1.0)
+        assert _rates(None, current) == (None, None)
+
+    def test_counter_reset_is_clamped(self):
+        previous = _Poll(status={}, metrics=metrics_with_totals(500, 0, 0),
+                         at=0.0)
+        current = _Poll(status={}, metrics=metrics_with_totals(10, 0, 0),
+                        at=10.0)
+        qps, _ = _rates(previous, current)
+        assert qps == 0.0  # negative deltas drop to zero, never go negative
+
+    def test_idle_interval_has_no_availability(self):
+        previous = _Poll(status={}, metrics=metrics_with_totals(7, 1, 1),
+                         at=0.0)
+        current = _Poll(status={}, metrics=metrics_with_totals(7, 1, 1),
+                        at=5.0)
+        qps, availability = _rates(previous, current)
+        assert qps == 0.0
+        assert availability is None
+
+
+class TestRenderFrame:
+    def test_unreachable_server_renders_the_error(self):
+        frame = render_frame(_Poll(error="connection refused"),
+                             url="http://gone:1")
+        assert "server unreachable: connection refused" in frame
+
+    def test_full_frame_carries_every_section(self):
+        current = _Poll(status=make_status(),
+                        metrics=metrics_with_totals(100, 0, 0), at=10.0)
+        previous = _Poll(status=make_status(),
+                         metrics=metrics_with_totals(80, 0, 0), at=8.0)
+        frame = render_frame(current, previous=previous,
+                             url="http://127.0.0.1:9")
+        assert "up 120s" in frame
+        assert "qps 10.00" in frame
+        assert "p50 0.010s" in frame and "p99 0.090s" in frame
+        assert "availability-query" in frame
+        assert "burn fast  15.00" in frame
+        assert "ALERT" in frame
+        assert "internal=closed" in frame and "exhausted=open" in frame
+        assert "brownout L2" in frame
+        assert "stuck 3/expired 1/recovered 2" in frame
+        assert "recorder 12 traces 4 KiB (50% full)" in frame
+        assert "sampler errors 100%" in frame
+        assert "tail>0.075s" in frame
+        assert "r00000007" in frame and "STUCK" in frame
+
+    def test_old_server_without_slo_degrades(self):
+        status = make_status(slo=None, recorder=None, sampler=None,
+                             inflight_requests=None)
+        frame = render_frame(_Poll(status=status, metrics={}, at=1.0))
+        assert "(no SLO engine on this server)" in frame
+        assert "(idle)" in frame
+
+    def test_inflight_overflow_is_elided(self):
+        rows = [
+            {"request_id": f"r{i:08d}", "tenant": "t",
+             "age_seconds": 0.1, "sentence": "q"}
+            for i in range(15)
+        ]
+        status = make_status(inflight_requests=rows)
+        frame = render_frame(_Poll(status=status, metrics={}, at=1.0),
+                             max_inflight_rows=10)
+        assert "… and 5 more" in frame
+
+    def test_color_mode_emits_ansi(self):
+        current = _Poll(status=make_status(), metrics={}, at=1.0)
+        assert "\x1b[" in render_frame(current, color=True)
+        assert "\x1b[" not in render_frame(current, color=False)
+
+
+class TestAgainstLiveServer:
+    @pytest.fixture(scope="class")
+    def server(self, movie_nalix):
+        config = ServeConfig(port=0, max_inflight=8)
+        with ReproServer(nalix=movie_nalix, config=config) as instance:
+            yield instance
+
+    def test_poll_server_round_trips(self, server):
+        client = ServeClient(server.url)
+        assert client.query("find all titles").ok
+        poll = poll_server(client)
+        assert poll.error is None
+        assert poll.status["uptime_seconds"] > 0
+        assert "repro_serve_requests_total" in poll.metrics
+
+    def test_once_exits_zero_and_prints_a_frame(self, server):
+        ServeClient(server.url).query("find all titles")
+        out = io.StringIO()
+        code = run_top(TopConfig(server.url, once=True), out=out)
+        assert code == 0
+        frame = out.getvalue()
+        assert "repro top" in frame
+        assert "availability-query" in frame
+        assert "\x1b[" not in frame  # non-tty: plain text
+
+    def test_once_exits_nonzero_when_unreachable(self):
+        out = io.StringIO()
+        config = TopConfig("http://127.0.0.1:9", once=True)
+        code = run_top(config, out=out)
+        assert code == 1
+        assert "server unreachable" in out.getvalue()
