@@ -17,6 +17,7 @@ Subcommands::
     python -m repro generate [--books N] [--seed S] [--out FILE]
     python -m repro serve   [--port P] [--max-inflight N] [--tenant-rate R]
     python -m repro loadgen [--url URL] [--concurrency N] [--requests N]
+    python -m repro replay  LOG [--url URL] [--format text|json] [--github]
 
 Each command builds its database from the named built-in dataset (or an
 XML file path) and prints human-readable output; exit status is non-zero
@@ -52,6 +53,14 @@ and cross-checks its ``/metrics`` percentiles; ``stats --url`` reads a
 live server's exposition text instead of replaying queries locally;
 ``bench-check --serve`` includes the sustained-throughput serving
 benchmark in the fresh run.
+
+Correctness observability (see README.md "Correctness observability"):
+``serve`` runs a golden-query canary by default on the baselined dblp
+dataset (``--canary`` / ``--no-canary`` / ``--canary-interval`` tune
+it), and ``replay`` re-executes a recorded JSONL audit/access log
+against the current build — or a live ``--url`` — and diffs the answer
+digests, statuses, and latency quantiles (nonzero exit on answer
+drift).
 """
 
 from __future__ import annotations
@@ -414,6 +423,14 @@ def cmd_bench_check(args):
         current["serving_observability"] = collect_obs_overhead_results(
             books=args.books, seed=args.seed
         )
+    if args.serve and "serving_canary" not in current:
+        from repro.evaluation.bench import collect_canary_overhead_results
+
+        print("bench-check: measuring canary overhead...",
+              file=sys.stderr)
+        current["serving_canary"] = collect_canary_overhead_results(
+            books=args.books, seed=args.seed
+        )
     if args.save_current:
         with open(args.save_current, "w", encoding="utf-8") as handle:
             json_module.dump(current, handle, indent=2, sort_keys=True)
@@ -456,9 +473,14 @@ def _parse_dump_signal(name):
 
 def cmd_serve(args):
     """Run the concurrent HTTP query service until SIGTERM/SIGINT."""
+    from repro.evaluation.goldens import goldens_for
     from repro.serve import ReproServer, ServeConfig
 
     database = load_database(args.data, books=args.books, seed=args.seed)
+    # The golden-query canary defaults on for the baselined dblp
+    # dataset (where committed golden digests exist); --canary forces
+    # it on elsewhere (self-baselining), --no-canary turns it off.
+    canary = args.canary if args.canary is not None else args.data == "dblp"
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -489,6 +511,11 @@ def cmd_serve(args):
         head_sample_rate=args.head_sample_rate,
         dump_dir=args.dump_dir,
         dump_signal=_parse_dump_signal(args.dump_on),
+        canary=canary,
+        canary_interval=args.canary_interval,
+        canary_goldens=(
+            goldens_for(args.data, args.books, args.seed) if canary else None
+        ),
     )
     try:
         server = ReproServer(database, config=config)
@@ -508,9 +535,44 @@ def cmd_serve(args):
     if config.fault_plan:
         print(f"repro serve: CHAOS — injecting faults: "
               f"{', '.join(config.fault_plan)}")
+    if server.canary is not None:
+        goldens = "committed goldens" if config.canary_goldens else \
+            "self-baselined goldens"
+        print(f"repro serve: canary sweeping every "
+              f"{config.canary_interval:g}s ({goldens})")
     signum = server.serve_until_signal()
     print(f"repro serve: received signal {signum}, drained and stopped")
     return 0
+
+
+def cmd_replay(args):
+    """Differential replay: re-ask a recorded log, diff the answers."""
+    from repro.serve.replay import ReplayConfig, run_replay
+
+    config = ReplayConfig(
+        args.log,
+        url=args.url,
+        tenant=args.tenant,
+        timeout=args.timeout,
+        limit=args.limit,
+        rotated=not args.no_rotated,
+    )
+    nalix = None
+    if not args.url:
+        database = load_database(args.data, books=args.books, seed=args.seed)
+        nalix = NaLIX(database)
+    try:
+        report = run_replay(config, nalix=nalix)
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read {args.log!r}: {error}")
+    if args.format == "json":
+        _emit(report.to_json() + "\n", args.out)
+    else:
+        _emit(report.render_text() + "\n", args.out)
+    if args.github:
+        for line in report.github_annotations():
+            print(line)
+    return report.exit_code
 
 
 def cmd_top(args):
@@ -671,6 +733,139 @@ def _slo_summary(metrics):
     return lines
 
 
+def _stats_from_log(args):
+    """``stats --from-log``: summarize a recorded JSONL audit/access log.
+
+    Reads through the shared hardened parser
+    (:func:`repro.obs.audit.iter_records`) — rotated ``.1`` sibling
+    chained, truncated tail tolerated, corrupt rows counted — instead
+    of an ad-hoc ``json.loads`` loop, so ``stats`` and ``replay`` agree
+    on what a log contains.
+    """
+    import json as json_module
+
+    from repro.obs.audit import ReadStats, iter_records
+
+    if args.format not in ("table", "json"):
+        raise SystemExit(
+            "repro: stats --from-log supports --format table|json"
+        )
+    read_stats = ReadStats()
+    status_counts = {}
+    error_classes = {}
+    tenants = {}
+    events = {}
+    seconds = []
+    queries = 0
+    with_digest = 0
+    try:
+        for record in iter_records(args.from_log, stats=read_stats):
+            event = record.get("event")
+            if event:
+                events[event] = events.get(event, 0) + 1
+                continue
+            queries += 1
+            status = record.get("status") or "unknown"
+            status_counts[status] = status_counts.get(status, 0) + 1
+            if record.get("answer_digest"):
+                with_digest += 1
+            value = record.get("total_seconds", record.get("seconds"))
+            if value is not None:
+                seconds.append(value)
+            tenant = record.get("tenant")
+            if tenant:
+                tenants[tenant] = tenants.get(tenant, 0) + 1
+            error_class = record.get("error_class")
+            if error_class:
+                error_classes[error_class] = (
+                    error_classes.get(error_class, 0) + 1
+                )
+    except OSError as error:
+        raise SystemExit(f"repro: cannot read {args.from_log!r}: {error}")
+    quantiles = None
+    if seconds:
+        ordered = sorted(seconds)
+        quantiles = {
+            "p50": nearest_rank(ordered, 0.50),
+            "p95": nearest_rank(ordered, 0.95),
+            "p99": nearest_rank(ordered, 0.99),
+        }
+    out = getattr(args, "out", None)
+    if args.format == "json":
+        _emit(
+            json_module.dumps(
+                {
+                    "log_path": args.from_log,
+                    "files": read_stats.files,
+                    "records": read_stats.records,
+                    "corrupt_skipped": read_stats.skipped,
+                    "truncated_tail": read_stats.truncated,
+                    "queries": queries,
+                    "with_answer_digest": with_digest,
+                    "statuses": status_counts,
+                    "error_classes": error_classes,
+                    "tenants": tenants,
+                    "events": events,
+                    "latency_seconds": quantiles,
+                },
+                indent=2, sort_keys=True,
+            )
+            + "\n",
+            out,
+        )
+        return 0
+    lines = [
+        f"repro stats — {args.from_log} "
+        f"({read_stats.records} records, {read_stats.files} files)",
+        f"queries: {queries}  with answer digest: {with_digest}",
+        "statuses: "
+        + (
+            "  ".join(
+                f"{key}={value}"
+                for key, value in sorted(status_counts.items())
+            )
+            or "none"
+        ),
+    ]
+    if quantiles is not None:
+        lines.append(
+            "latency: "
+            + "  ".join(
+                f"{name} {quantiles[name] * 1000:.2f} ms"
+                for name in ("p50", "p95", "p99")
+            )
+        )
+    if error_classes:
+        lines.append(
+            "error classes: "
+            + "  ".join(
+                f"{key}={value}"
+                for key, value in sorted(error_classes.items())
+            )
+        )
+    if tenants:
+        lines.append(
+            "tenants: "
+            + "  ".join(
+                f"{key}={value}" for key, value in sorted(tenants.items())
+            )
+        )
+    if events:
+        lines.append(
+            "events: "
+            + "  ".join(
+                f"{key}={value}" for key, value in sorted(events.items())
+            )
+        )
+    if read_stats.skipped or read_stats.truncated:
+        lines.append(
+            f"log health: {read_stats.skipped} corrupt rows skipped, "
+            f"{read_stats.truncated} truncated tail"
+        )
+    _emit("\n".join(lines) + "\n", out)
+    return 0
+
+
 def _stats_from_url(args):
     """``stats --url``: read a live server's ``/metrics`` exposition."""
     import json as json_module
@@ -781,12 +976,16 @@ def cmd_stats(args):
     ``prom`` emits Prometheus text exposition; ``chrome`` emits Chrome
     trace-event JSON of every replayed query (one thread lane each).
     With ``--url`` the command scrapes a live ``repro serve`` instance's
-    ``/metrics`` endpoint instead of replaying queries locally.
+    ``/metrics`` endpoint instead of replaying queries locally, and
+    ``--from-log`` summarizes a recorded JSONL audit/access log through
+    the shared hardened reader.
     """
     import json as json_module
 
     from repro.evaluation.tasks import TASKS
 
+    if getattr(args, "from_log", None):
+        return _stats_from_log(args)
     if args.url:
         return _stats_from_url(args)
 
@@ -1216,6 +1415,10 @@ def build_parser():
     stats.add_argument("--url", metavar="URL",
                        help="scrape a live repro serve /metrics endpoint "
                        "instead of replaying queries locally")
+    stats.add_argument("--from-log", metavar="PATH",
+                       help="summarize a recorded JSONL audit/access log "
+                       "(rotated .1 sibling chained, corrupt rows "
+                       "counted) instead of replaying queries")
     stats.add_argument("--good-only", action="store_true",
                        help="replay only the known-good phrasings")
     stats.add_argument("--format", choices=("table", "json", "prom", "chrome"),
@@ -1386,6 +1589,17 @@ def build_parser():
     serve.add_argument("--dump-on", metavar="SIGNAL",
                        help="also dump on this signal, e.g. SIGUSR1 "
                        "(server keeps running)")
+    serve.add_argument("--canary", dest="canary", action="store_true",
+                       default=None,
+                       help="run the golden-query correctness canary "
+                       "(default: on for --data dblp, where committed "
+                       "golden digests exist)")
+    serve.add_argument("--no-canary", dest="canary", action="store_false",
+                       help="disable the correctness canary")
+    serve.add_argument("--canary-interval", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds between canary sweeps "
+                       "(default: %(default)s)")
     serve.set_defaults(handler=cmd_serve)
 
     top = commands.add_parser(
@@ -1447,6 +1661,40 @@ def build_parser():
                          help="task mix (default: the nine study-task "
                          "phrasings)")
     loadgen.set_defaults(handler=cmd_loadgen)
+
+    replay = commands.add_parser(
+        "replay",
+        help="re-execute a recorded audit/access log and diff the "
+        "answer digests against the current build",
+    )
+    _add_data_options(replay, default_data="dblp")
+    replay.add_argument("log", metavar="LOG",
+                        help="JSONL audit/access log path (the rotated "
+                        ".1 sibling is chained automatically)")
+    replay.add_argument("--url", metavar="URL",
+                        help="replay against a live repro serve instance "
+                        "instead of an in-process pipeline")
+    replay.add_argument("--tenant", default="replay",
+                        help="tenant header in --url mode "
+                        "(default: %(default)s)")
+    replay.add_argument("--timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="per-query budget/client timeout "
+                        "(default: %(default)s)")
+    replay.add_argument("--limit", type=int, metavar="N",
+                        help="replay at most N records")
+    replay.add_argument("--no-rotated", action="store_true",
+                        help="read exactly the named file (skip the "
+                        "rotated .1 sibling)")
+    replay.add_argument("--format", choices=("text", "json"),
+                        default="text",
+                        help="report format (default: text)")
+    replay.add_argument("--github", action="store_true",
+                        help="emit ::warning/::error workflow "
+                        "annotation lines")
+    replay.add_argument("--out", metavar="PATH",
+                        help="write the report to a file")
+    replay.set_defaults(handler=cmd_replay)
 
     lint = commands.add_parser(
         "lint",

@@ -49,6 +49,7 @@ from repro.core.validator import Validator
 from repro.keyword_search.engine import KeywordSearchEngine
 from repro.nlp.dependency import DependencyParser
 from repro.nlp.errors import ParseFailure
+from repro.obs.answers import answer_digest
 from repro.obs.export import LATENCIES
 from repro.obs.memory import MemorySpec, MemoryTracker, current_memory_spec
 from repro.obs.metrics import METRICS
@@ -155,6 +156,7 @@ class QueryResult:
         self.degraded = False       # served by a fallback hop, not exactly
         self.degradation_path = []  # fallback hops attempted, in order
         self.pre_degrade = None     # brownout-requested fallback hop
+        self.answer_digest = None   # canonical answer fingerprint, set by ask()
 
     @property
     def ok(self):
@@ -446,6 +448,14 @@ class NaLIX:
             tracker.stop()
             trace.finish_open_spans()
             plan_stats.finish_open_operators()
+            try:
+                # The fingerprint covers the *presented* answer — the
+                # same values() list /query returns — so the audit log,
+                # flight recorder, canary, and replay all compare the
+                # exact artifact a user would see.
+                result.answer_digest = answer_digest(result.values())
+            except Exception:
+                result.answer_digest = None  # never let obs break ask()
             self._record(result)
         return result
 

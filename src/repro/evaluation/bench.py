@@ -307,3 +307,65 @@ def collect_obs_overhead_results(concurrency=SERVE_CONCURRENCY,
         ),
         "samples_seconds": full["samples_seconds"],
     }
+
+
+#: Canary sweep interval in the A/B run: short enough that several
+#: sweeps land *inside* the measured loadgen window (60x hotter than
+#: the 30s production default), so the row prices sweeps racing
+#: production traffic rather than an idle timer — but not so hot that
+#: the synthetic probes dominate the measurement itself.
+CANARY_BENCH_INTERVAL = 0.5
+
+
+def collect_canary_overhead_results(concurrency=SERVE_CONCURRENCY,
+                                    requests=SERVE_REQUESTS, books=120,
+                                    seed=7, nalix=None):
+    """The canary-overhead benchmark row.
+
+    Runs the sustained-throughput serving benchmark twice over the same
+    pipeline — once without the correctness canary and once with it
+    sweeping every :data:`CANARY_BENCH_INTERVAL` seconds, far hotter
+    than the 30s production default — and reports both latency profiles
+    plus the relative overhead fractions.  The canary executes its nine
+    golden probes on the *server's own* pipeline threads, so this row
+    is the proof (or refutation) that synthetic correctness traffic
+    stays in the noise floor of real serving latency.
+    """
+    if nalix is None:
+        nalix = build_bench_nalix(books=books, seed=seed)
+    from repro.evaluation.goldens import goldens_for
+    from repro.serve import ServeConfig
+
+    bare = collect_serve_results(
+        concurrency=concurrency, requests=requests, nalix=nalix,
+    )
+    canary = collect_serve_results(
+        concurrency=concurrency, requests=requests, nalix=nalix,
+        config=ServeConfig(port=0, max_inflight=concurrency,
+                           window=max(4096, requests),
+                           canary=True,
+                           canary_interval=CANARY_BENCH_INTERVAL,
+                           canary_goldens=goldens_for("dblp", books, seed)),
+    )
+
+    def overhead(field):
+        if not bare[field]:
+            return 0.0
+        return (canary[field] - bare[field]) / bare[field]
+
+    strip = ("samples_seconds", "statuses", "scraped_p99_seconds",
+             "p99_delta_fraction")
+    return {
+        "concurrency": concurrency,
+        "requests": requests,
+        "canary_interval_seconds": CANARY_BENCH_INTERVAL,
+        "baseline": {k: v for k, v in bare.items() if k not in strip},
+        "canary": {k: v for k, v in canary.items() if k not in strip},
+        "p50_overhead_fraction": overhead("p50_seconds"),
+        "p99_overhead_fraction": overhead("p99_seconds"),
+        "qps_overhead_fraction": (
+            (bare["qps"] - canary["qps"]) / bare["qps"]
+            if bare["qps"] else 0.0
+        ),
+        "samples_seconds": canary["samples_seconds"],
+    }

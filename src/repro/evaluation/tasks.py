@@ -321,3 +321,16 @@ def task_by_id(task_id):
         if task.task_id == task_id:
             return task
     raise KeyError(task_id)
+
+
+def reference_sentences():
+    """``(task_id, sentence)`` for every task's canonical phrasing.
+
+    The first good phrasing of each of the nine tasks — the fixed
+    probe set the serving canary re-executes and the loadgen task mix
+    is built from, so golden answer digests have one unambiguous
+    sentence per task.
+    """
+    return [
+        (task.task_id, task.good_phrasings()[0].text) for task in TASKS
+    ]

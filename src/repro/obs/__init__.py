@@ -14,7 +14,14 @@ instrument itself freely):
   export.
 * :mod:`repro.obs.audit` — an optional JSONL audit trail recording one
   line per query (sentence, status, error categories, emitted XQuery,
-  per-stage timings, provenance summary), with size-based rotation.
+  the canonical answer digest, per-stage timings, provenance summary),
+  with size-based rotation and a hardened shared reader
+  (:func:`~repro.obs.audit.iter_records`) that chains rotated files
+  and tolerates truncation.
+* :mod:`repro.obs.answers` — the canonical answer normalizer and
+  stable answer fingerprint (``answer_digest``) stamped on every
+  ``QueryResult`` and compared by the serving canary and ``repro
+  replay``.
 * :mod:`repro.obs.provenance` — word → token → clause provenance
   records carried on ``QueryResult.provenance``.
 * :mod:`repro.obs.plan_stats` — per-operator plan statistics (rows
@@ -53,7 +60,20 @@ DESIGN.md for the metric naming scheme and the CLI surface
 ``explain`` / ``stats`` subcommands).
 """
 
-from repro.obs.audit import AuditLog, audit_entry, read_audit_log
+from repro.obs.answers import (
+    ANSWER_DIGEST_VERSION,
+    EMPTY_ANSWER_DIGEST,
+    answer_digest,
+    canonical_value,
+    normalize_answer,
+)
+from repro.obs.audit import (
+    AuditLog,
+    ReadStats,
+    audit_entry,
+    iter_records,
+    read_audit_log,
+)
 from repro.obs.explain import Explanation, explain
 from repro.obs.export import (
     LATENCIES,
@@ -117,6 +137,8 @@ from repro.obs.tracecontext import (
 )
 
 __all__ = [
+    "ANSWER_DIGEST_VERSION",
+    "EMPTY_ANSWER_DIGEST",
     "LATENCIES",
     "METRICS",
     "AuditLog",
@@ -135,6 +157,7 @@ __all__ = [
     "PlanStatsCollection",
     "ProfileSpec",
     "QueryProvenance",
+    "ReadStats",
     "RecordedTrace",
     "RegressionReport",
     "SLOEngine",
@@ -152,8 +175,10 @@ __all__ = [
     "activate_plan_stats",
     "activate_profiling",
     "activate_trace",
+    "answer_digest",
     "apply_handicaps",
     "audit_entry",
+    "canonical_value",
     "chrome_trace",
     "chrome_trace_events",
     "chrome_trace_json",
@@ -165,6 +190,7 @@ __all__ = [
     "current_trace",
     "explain",
     "format_traceparent",
+    "iter_records",
     "load_results",
     "median",
     "median_abs_deviation",
@@ -172,6 +198,7 @@ __all__ = [
     "nearest_rank",
     "new_span_id",
     "new_trace_id",
+    "normalize_answer",
     "operator",
     "parse_traceparent",
     "parse_handicap",

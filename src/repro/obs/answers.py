@@ -1,0 +1,97 @@
+"""Canonical answer normalization and stable answer digests.
+
+NLIDB evaluation is answer-equivalence checking: two queries (or two
+builds, or two degradation rungs) are "the same" when they produce the
+same *answer*, not the same XQuery text.  This module defines what
+"the same answer" means for the whole platform — one normalizer, one
+digest — so the audit log, ``/query`` responses, the flight recorder,
+the serving canary, and ``repro replay`` all agree byte-for-byte.
+
+Normalization rules (see DESIGN.md §12):
+
+* every answer item is canonicalized to text via the same rules as
+  ``repro.xquery.values.string_value`` — XML nodes through their
+  ``string_value()`` method, booleans as ``true``/``false``, integral
+  floats without the trailing ``.0`` (so ``1991.0`` and ``"1991"``
+  digest identically), everything else via ``str()``;
+* the answer is treated as a **multiset**: items are sorted after
+  canonicalization, so result order — which XQuery leaves undefined
+  absent ``order by``, and which the degradation ladder does not
+  preserve — never changes the digest.  Duplicates are kept: a bag of
+  three identical titles is a different answer from one;
+* the digest is a SHA-256 over a versioned canonical JSON rendering,
+  truncated to 16 hex characters.  The version prefix
+  (:data:`ANSWER_DIGEST_VERSION`) makes future rule changes explicit:
+  bump it and every old fixture reads as "different normalization",
+  not as silent drift.
+
+Only digests are stored and compared — never answer payloads.  Audit
+logs and flight-recorder dumps travel to CI artifacts and dashboards;
+a 16-char fingerprint carries the correctness signal without copying
+result rows (which may be large, or sensitive) into every log line.
+
+Like every ``repro.obs`` module this file imports nothing from the
+rest of the package: canonicalization duck-types over ``string_value``
+instead of importing the XQuery value model.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: Bump when normalization rules change; old digests then compare as
+#: "different normalization version", never as silent answer drift.
+ANSWER_DIGEST_VERSION = 1
+
+#: Digest length in hex characters (64 bits of SHA-256).
+DIGEST_HEX_CHARS = 16
+
+
+def canonical_value(item):
+    """One answer item as canonical text.
+
+    Mirrors ``repro.xquery.values.string_value`` by duck typing:
+    anything exposing a ``string_value()`` method (XML nodes) is asked
+    for it; booleans render as XQuery ``true``/``false``; floats that
+    are whole numbers drop the ``.0`` so ``1991.0`` equals ``"1991"``;
+    everything else goes through ``str()``.
+    """
+    accessor = getattr(item, "string_value", None)
+    if callable(accessor):
+        item = accessor()
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    if isinstance(item, float) and item.is_integer():
+        return str(int(item))
+    return str(item)
+
+
+def normalize_answer(items):
+    """The canonical form of an answer: a sorted multiset of strings.
+
+    Sorting makes the digest order-insensitive (unordered XQuery
+    results, shuffled degradation-rung output); keeping duplicates
+    preserves bag semantics.
+    """
+    return sorted(canonical_value(item) for item in items)
+
+
+def answer_digest(items):
+    """A stable 16-hex-char fingerprint of an answer.
+
+    Equal for any two answers whose normalized forms match —
+    regardless of result order or float formatting — and stable
+    across processes and platforms (canonical JSON, sorted keys,
+    no whitespace).
+    """
+    payload = json.dumps(
+        {"v": ANSWER_DIGEST_VERSION, "answer": normalize_answer(items)},
+        sort_keys=True, separators=(",", ":"), ensure_ascii=True,
+    )
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return digest[:DIGEST_HEX_CHARS]
+
+
+#: The digest of the empty answer, precomputed for cheap comparisons.
+EMPTY_ANSWER_DIGEST = answer_digest(())

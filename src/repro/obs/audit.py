@@ -10,8 +10,14 @@ query's memory account (``peak_rss_bytes`` always; ``alloc_bytes`` /
 The log is append-only and flushed per record, so a crash loses at most
 the in-flight query.  ``audit_entry`` is duck-typed over
 ``QueryResult`` (this module imports nothing from the rest of the
-package), and :func:`read_audit_log` round-trips the file back into
-dicts for analysis.
+package), and :func:`iter_records` / :func:`read_audit_log` round-trip
+the file back into dicts for analysis.  Reading is hardened for logs
+that crossed a crash or a rotation boundary: :func:`iter_records`
+transparently chains the rotated ``<path>.1`` file first (so records
+come back in write order), tolerates a truncated final line (the one
+write a crash can lose), and skips corrupt interior rows while
+counting them — every consumer (``repro stats``, ``repro replay``)
+shares this one parser instead of ad-hoc ``json.loads`` loops.
 
 Thread safety: one :class:`AuditLog` may be shared by concurrent
 ``NaLIX.ask`` calls (the ``repro serve`` worker threads all record into
@@ -51,6 +57,9 @@ def audit_entry(result, actor=None, extra=None):
         "xquery": result.xquery_text,
         "results": len(result.items),
     }
+    answer_digest = getattr(result, "answer_digest", None)
+    if answer_digest is not None:
+        entry["answer_digest"] = answer_digest
     error_class = getattr(result, "error_class", None)
     if error_class is not None:
         entry["error_class"] = error_class
@@ -181,12 +190,81 @@ class AuditLog:
         return f"AuditLog({self.path!r})"
 
 
-def read_audit_log(path):
-    """Parse a JSONL audit file back into a list of dicts."""
-    entries = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+class ReadStats:
+    """Counters from one :func:`iter_records` pass.
+
+    ``records`` lines parsed, ``skipped`` corrupt rows dropped,
+    ``truncated`` 1 when the final line was a partial write, ``files``
+    files read (2 when the rotated ``.1`` was chained).
+    """
+
+    __slots__ = ("records", "skipped", "truncated", "files")
+
+    def __init__(self):
+        self.records = 0
+        self.skipped = 0
+        self.truncated = 0
+        self.files = 0
+
+    def __repr__(self):
+        return (
+            f"ReadStats(records={self.records}, skipped={self.skipped}, "
+            f"truncated={self.truncated}, files={self.files})"
+        )
+
+
+def iter_records(path, rotated=True, stats=None):
+    """Yield records from a JSONL audit/access log, hardened.
+
+    The one parser every log consumer shares:
+
+    * with ``rotated=True`` the rotation sibling ``<path>.1`` is read
+      first when it exists, so records come back in write order across
+      the rollover;
+    * a truncated final line — the single in-flight write a crash or a
+      live scrape can lose, recognizable by the missing trailing
+      newline — is tolerated silently (counted in ``stats.truncated``);
+    * any other corrupt row is skipped, counted in ``stats.skipped``.
+
+    Pass a :class:`ReadStats` as ``stats`` to observe the counters
+    (the generator mutates it as it goes).
+    """
+    if stats is None:
+        stats = ReadStats()
+    paths = []
+    if rotated and os.path.exists(path + ".1"):
+        paths.append(path + ".1")
+    if os.path.exists(path) or not paths:
+        paths.append(path)
+    for position, file_path in enumerate(paths):
+        final_file = position == len(paths) - 1
+        with open(file_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        stats.files += 1
+        lines = text.split("\n")
+        complete = text.endswith("\n")
+        for line_number, line in enumerate(lines):
             line = line.strip()
-            if line:
-                entries.append(json.loads(line))
-    return entries
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if (final_file and not complete
+                        and line_number == len(lines) - 1):
+                    stats.truncated += 1
+                else:
+                    stats.skipped += 1
+                continue
+            stats.records += 1
+            yield record
+
+
+def read_audit_log(path, rotated=False, stats=None):
+    """Parse a JSONL audit file back into a list of dicts.
+
+    A list-building wrapper over :func:`iter_records`.  ``rotated``
+    defaults off to preserve the historical contract (exactly the file
+    named); pass ``rotated=True`` to chain ``<path>.1`` first.
+    """
+    return list(iter_records(path, rotated=rotated, stats=stats))

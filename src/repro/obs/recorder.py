@@ -56,14 +56,14 @@ class RecordedTrace:
     """One retained request: metadata + the serialized span tree."""
 
     __slots__ = ("trace_id", "request_id", "tenant", "endpoint", "sentence",
-                 "status", "error_class", "seconds", "reason", "stuck",
-                 "expired", "timestamp", "trace", "trace_dict",
-                 "approx_bytes")
+                 "status", "error_class", "answer_digest", "seconds",
+                 "reason", "stuck", "expired", "timestamp", "trace",
+                 "trace_dict", "approx_bytes")
 
     def __init__(self, trace_id, request_id=None, tenant=None, endpoint=None,
-                 sentence=None, status=None, error_class=None, seconds=0.0,
-                 reason=None, stuck=False, expired=False, timestamp=None,
-                 trace=None):
+                 sentence=None, status=None, error_class=None,
+                 answer_digest=None, seconds=0.0, reason=None, stuck=False,
+                 expired=False, timestamp=None, trace=None):
         self.trace_id = trace_id
         self.request_id = request_id
         self.tenant = tenant
@@ -71,6 +71,7 @@ class RecordedTrace:
         self.sentence = sentence
         self.status = status
         self.error_class = error_class
+        self.answer_digest = answer_digest
         self.seconds = seconds
         self.reason = reason
         self.stuck = stuck
@@ -89,6 +90,7 @@ class RecordedTrace:
             "sentence": self.sentence,
             "status": self.status,
             "error_class": self.error_class,
+            "answer_digest": self.answer_digest,
             "seconds": self.seconds,
             "reason": self.reason,
             "stuck": self.stuck,

@@ -290,6 +290,7 @@ def compare_results(baseline, current, tolerance=None):
     findings.extend(
         _compare_serving_observability(baseline, current, tolerance)
     )
+    findings.extend(_compare_serving_canary(baseline, current, tolerance))
     return RegressionReport(findings, tolerance)
 
 
@@ -448,6 +449,12 @@ HEAD_SAMPLE_SLACK = 0.05
 #: its own — the absolute p50/p99 ratchet against the baseline does.
 MAX_OBS_OVERHEAD_WARN = 0.25
 
+#: Canary overhead (p99, golden sweeps on vs off) that warns.  Same
+#: philosophy as the observability gate: synthetic correctness traffic
+#: must stay in the serving noise floor, but one noisy A/B run never
+#: blocks a merge on its own.
+MAX_CANARY_OVERHEAD_WARN = 0.25
+
 
 def _chaos_retention_findings(cur):
     """Absolute gates on what the sampler/recorder kept under chaos.
@@ -558,6 +565,59 @@ def _compare_serving_observability(baseline, current, tolerance):
                     MAX_OBS_OVERHEAD_WARN, overhead, verdict,
                     "observability overhead above the noise-floor "
                     "target" if verdict == WARN else "(ceiling)")
+        )
+    return findings
+
+
+def _compare_serving_canary(baseline, current, tolerance):
+    """Comparison rows for the ``serving_canary`` section.
+
+    The canary-on latency profile ratchets against the committed
+    baseline like every serving section, and the measured overhead
+    fraction (golden sweeps racing production load vs the same server
+    without them) *warns* past :data:`MAX_CANARY_OVERHEAD_WARN` —
+    warn-only, because a correctness probe that occasionally costs a
+    noisy run its p99 should nag, not block.
+    """
+    base = baseline.get("serving_canary")
+    if base is None:
+        return []
+    cur = current.get("serving_canary")
+    if cur is None:
+        return [
+            Finding("serving_canary", "p99_overhead_fraction",
+                    base.get("p99_overhead_fraction", 0.0), 0.0, SKIP,
+                    "no serving_canary section in current run")
+        ]
+    findings = []
+    samples = cur.get("samples_seconds", [])
+    base_full = base.get("canary", {})
+    cur_full = cur.get("canary", {})
+    if len(samples) < tolerance.min_samples:
+        return [
+            Finding("serving_canary", "p99_seconds",
+                    base_full.get("p99_seconds", 0.0),
+                    cur_full.get("p99_seconds", 0.0), SKIP,
+                    f"only {len(samples)} samples "
+                    f"(min {tolerance.min_samples})")
+        ]
+    for metric in ("p50_seconds", "p99_seconds"):
+        if metric not in base_full or metric not in cur_full:
+            continue
+        verdict, note = _classify(base_full[metric], cur_full[metric],
+                                  samples, tolerance)
+        findings.append(
+            Finding("serving_canary", metric, base_full[metric],
+                    cur_full[metric], verdict, note)
+        )
+    overhead = cur.get("p99_overhead_fraction")
+    if overhead is not None:
+        verdict = PASS if overhead <= MAX_CANARY_OVERHEAD_WARN else WARN
+        findings.append(
+            Finding("serving_canary", "p99_overhead_fraction",
+                    MAX_CANARY_OVERHEAD_WARN, overhead, verdict,
+                    "canary overhead above the noise-floor target"
+                    if verdict == WARN else "(ceiling)")
         )
     return findings
 

@@ -24,6 +24,13 @@ endpoints instead of post-hoc dumps:
   CLI's engine: N concurrent clients, a task mix, client- and
   server-side percentiles, availability accounting, and a ``/metrics``
   scrape cross-check.
+* Correctness observability (see DESIGN.md §12):
+  :class:`CanaryRunner` — periodic in-process golden-query sweeps
+  comparing answer digests against committed fixtures, structurally
+  isolated from production SLOs and rate limits — and
+  :func:`run_replay` / :class:`ReplayConfig` /
+  :class:`ReplayReport` — differential re-execution of a recorded
+  audit/access log against the current build or a live server.
 """
 
 from repro.serve.admission import (                         # noqa: F401
@@ -32,9 +39,19 @@ from repro.serve.admission import (                         # noqa: F401
     TokenBucket,
 )
 from repro.serve.brownout import BrownoutController         # noqa: F401
+from repro.serve.canary import (                            # noqa: F401
+    CANARY_TENANT,
+    CanaryRunner,
+)
 from repro.serve.client import (                            # noqa: F401
     QueryOutcome,
     ServeClient,
+)
+from repro.serve.replay import (                            # noqa: F401
+    ReplayConfig,
+    ReplayReport,
+    ReplayRow,
+    run_replay,
 )
 from repro.serve.loadgen import (                           # noqa: F401
     LoadgenConfig,
@@ -50,13 +67,18 @@ from repro.serve.watchdog import (                          # noqa: F401
 )
 
 __all__ = [
+    "CANARY_TENANT",
     "AdmissionController",
     "AdmissionError",
     "BrownoutController",
+    "CanaryRunner",
     "InflightRegistry",
     "LoadgenConfig",
     "LoadgenReport",
     "QueryOutcome",
+    "ReplayConfig",
+    "ReplayReport",
+    "ReplayRow",
     "ReproServer",
     "ServeClient",
     "ServeConfig",
@@ -66,4 +88,5 @@ __all__ = [
     "default_task_mix",
     "run_top",
     "run_loadgen",
+    "run_replay",
 ]

@@ -90,6 +90,7 @@ from repro.serve.admission import (
     AdmissionError,
 )
 from repro.serve.brownout import BrownoutController
+from repro.serve.canary import DEFAULT_CANARY_INTERVAL, CanaryRunner
 from repro.serve.watchdog import InflightRegistry, Watchdog
 from repro.xmlstore.model import Node
 from repro.xquery.parser import parse_xquery
@@ -135,7 +136,9 @@ class ServeConfig:
                  recorder=True, recorder_max_bytes=DEFAULT_MAX_BYTES,
                  head_sample_rate=DEFAULT_HEAD_RATE,
                  dump_dir=None, dump_signal=None,
-                 min_dump_interval=DEFAULT_MIN_DUMP_INTERVAL):
+                 min_dump_interval=DEFAULT_MIN_DUMP_INTERVAL,
+                 canary=False, canary_interval=DEFAULT_CANARY_INTERVAL,
+                 canary_goldens=None, canary_tasks=None):
         self.host = host
         self.port = port
         self.max_inflight = max_inflight
@@ -183,6 +186,13 @@ class ServeConfig:
         self.dump_dir = dump_dir
         self.dump_signal = dump_signal
         self.min_dump_interval = min_dump_interval
+        # The correctness canary: periodic in-process golden-query
+        # sweeps under the reserved "_canary" tenant.  Off by default
+        # (tests and benchmarks opt in); the CLI turns it on.
+        self.canary = canary
+        self.canary_interval = canary_interval
+        self.canary_goldens = canary_goldens
+        self.canary_tasks = canary_tasks
         # Drain must outlast the longest admissible query: its budget
         # deadline plus slack for serialization and logging.
         self.drain_grace = (
@@ -590,6 +600,17 @@ class ReproServer:
             if self.config.watchdog
             else None
         )
+        self.canary = (
+            CanaryRunner(
+                self.nalix, interval=self.config.canary_interval,
+                tasks=self.config.canary_tasks,
+                goldens=self.config.canary_goldens,
+                on_drift=self._canary_drift,
+                audit=self.audit, recorder=self.recorder,
+            )
+            if self.config.canary
+            else None
+        )
         self.window = LatencyWindow(self.config.window)
         self.started_at = time.time()
         self._request_ids = itertools.count(1)
@@ -617,6 +638,8 @@ class ReproServer:
         self._thread.start()
         if self.watchdog is not None:
             self.watchdog.start()
+        if self.canary is not None:
+            self.canary.start()
         return self.config.port
 
     @property
@@ -649,6 +672,8 @@ class ReproServer:
         if self._stopped.is_set():
             return
         self.drain(grace=grace)
+        if self.canary is not None:
+            self.canary.stop()
         if self.watchdog is not None:
             self.watchdog.stop()
         if self._httpd is not None:
@@ -754,6 +779,10 @@ class ReproServer:
         if kind == "expired":
             self.trigger_dump(f"watchdog-hard-{entry.request_id}")
 
+    def _canary_drift(self, failing):
+        """Canary hook: answer drift is incident-grade evidence too."""
+        self.trigger_dump("canary-drift-" + "-".join(failing))
+
     def resilience_plan(self, timeout):
         """(meter, pre_degrade, probe) for one admitted ``/query``.
 
@@ -800,6 +829,7 @@ class ReproServer:
             "retryable": result.retryable,
             "degraded": result.degraded,
             "xquery": result.xquery_text,
+            "answer_digest": getattr(result, "answer_digest", None),
             "result_count": len(values),
             "results": values[:limit],
             "truncated": len(values) > limit,
@@ -899,8 +929,9 @@ class ReproServer:
                     trace_id, trace=result.trace, reason=decision.reason,
                     request_id=request_id, tenant=tenant, endpoint=endpoint,
                     sentence=result.sentence, status=result.status,
-                    error_class=result.error_class, seconds=seconds,
-                    stuck=stuck, expired=expired,
+                    error_class=result.error_class,
+                    answer_digest=getattr(result, "answer_digest", None),
+                    seconds=seconds, stuck=stuck, expired=expired,
                 )
                 retained = record is not None
         self.observe_request(
@@ -925,6 +956,8 @@ class ReproServer:
         extra = LATENCIES.prometheus_lines() + self.window.prometheus_lines()
         if self.slo is not None:
             extra = extra + self.slo.prometheus_lines()
+        if self.canary is not None:
+            extra = extra + self.canary.prometheus_lines()
         return prometheus_text(METRICS.snapshot(), extra_lines=extra)
 
     def status_snapshot(self):
@@ -950,6 +983,10 @@ class ReproServer:
             ),
             "sampler": (
                 self.sampler.snapshot() if self.sampler is not None
+                else None
+            ),
+            "canary": (
+                self.canary.snapshot() if self.canary is not None
                 else None
             ),
             "inflight_requests": (

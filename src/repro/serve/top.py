@@ -4,7 +4,8 @@ One screen, refreshed in place, answering the on-call questions in
 order: *is it up* (QPS, availability, p50/p99), *is it burning budget*
 (per-SLO fast/slow burn rates against the alert threshold), *is it
 defending itself* (breaker states, brownout level, watchdog counts,
-flight-recorder fill), and *what is it chewing on right now* (the
+flight-recorder fill, the correctness canary's verdict), and *what is
+it chewing on right now* (the
 in-flight request table with ages and stuck/expired stamps).
 
 Everything renders with raw ANSI escapes — no curses, no third-party
@@ -199,6 +200,24 @@ def render_frame(current, previous=None, color=False, max_inflight_rows=10,
             f"slow {_fmt(retention.get('slow'), '{:.0%}')}  "
             f"healthy {_fmt(retention.get('healthy'), '{:.1%}')}  "
             f"tail>{_fmt(sampler.get('tail_threshold_seconds'), '{:.3f}s')}"
+        )
+    canary = status.get("canary")
+    if canary:
+        if not canary.get("sweeps"):
+            state = "warming"
+            state_color = _YELLOW
+        elif canary.get("pass"):
+            state = "PASS"
+            state_color = _GREEN
+        else:
+            state = "DRIFT " + ",".join(canary.get("drifting") or [])
+            state_color = _RED
+        lines.append(
+            f"  canary   {_paint(state, state_color, color)}  "
+            f"{canary.get('task_count', 0)} tasks  "
+            f"sweeps {canary.get('sweeps', 0)}  "
+            f"last {_fmt(canary.get('last_sweep_seconds'), '{:.3f}s')}  "
+            f"every {_fmt(canary.get('interval_seconds'), '{:.0f}s')}"
         )
 
     inflight = status.get("inflight_requests") or []

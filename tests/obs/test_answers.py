@@ -1,0 +1,108 @@
+"""Canonical answer normalization and the stable answer digest."""
+
+import random
+
+from repro.obs.answers import (
+    ANSWER_DIGEST_VERSION,
+    DIGEST_HEX_CHARS,
+    EMPTY_ANSWER_DIGEST,
+    answer_digest,
+    canonical_value,
+    normalize_answer,
+)
+
+
+class _FakeNode:
+    """Anything with string_value() canonicalizes like an XML node."""
+
+    def __init__(self, text):
+        self._text = text
+
+    def string_value(self):
+        return self._text
+
+
+class TestCanonicalValue:
+    def test_nodes_canonicalize_to_their_string_value(self):
+        assert canonical_value(_FakeNode("TCP/IP Illustrated")) == \
+            "TCP/IP Illustrated"
+
+    def test_integral_floats_match_their_int_rendering(self):
+        # XQuery arithmetic yields 1991.0 where the source text said
+        # 1991; both spellings are the same answer.
+        assert canonical_value(1991.0) == canonical_value(1991) == "1991"
+
+    def test_non_integral_floats_keep_their_fraction(self):
+        assert canonical_value(2.5) == "2.5"
+
+    def test_booleans_render_as_xquery_booleans(self):
+        assert canonical_value(True) == "true"
+        assert canonical_value(False) == "false"
+
+    def test_strings_pass_through(self):
+        assert canonical_value("Addison-Wesley") == "Addison-Wesley"
+
+
+class TestNormalizeAnswer:
+    def test_order_insensitive(self):
+        items = ["b", "a", "c"]
+        assert normalize_answer(items) == ["a", "b", "c"]
+
+    def test_duplicates_are_preserved(self):
+        # The answer is a multiset: losing a duplicate row is drift.
+        assert normalize_answer(["a", "a", "b"]) == ["a", "a", "b"]
+        assert normalize_answer(["a", "b"]) != normalize_answer(
+            ["a", "a", "b"]
+        )
+
+
+class TestAnswerDigest:
+    def test_shuffled_tuples_produce_equal_digests(self):
+        items = [_FakeNode(f"title-{i}") for i in range(20)]
+        shuffled = list(items)
+        random.Random(7).shuffle(shuffled)
+        assert answer_digest(items) == answer_digest(shuffled)
+
+    def test_float_formatting_does_not_change_the_digest(self):
+        assert answer_digest([1991.0, "a"]) == answer_digest(["1991", "a"])
+
+    def test_distinct_answers_differ(self):
+        assert answer_digest(["a"]) != answer_digest(["b"])
+        assert answer_digest(["a"]) != answer_digest(["a", "a"])
+        assert answer_digest([]) != answer_digest(["a"])
+
+    def test_digest_is_short_stable_hex(self):
+        digest = answer_digest(["a", "b"])
+        assert len(digest) == DIGEST_HEX_CHARS
+        int(digest, 16)  # hex or raise
+        assert digest == answer_digest(["a", "b"])
+
+    def test_empty_answer_constant(self):
+        assert EMPTY_ANSWER_DIGEST == answer_digest(())
+        assert ANSWER_DIGEST_VERSION == 1
+
+
+class TestPipelineStamping:
+    def test_every_result_carries_the_digest_of_its_values(
+        self, movie_nalix
+    ):
+        result = movie_nalix.ask("Return the title of every movie.")
+        assert result.status == "ok"
+        assert result.answer_digest == answer_digest(result.values())
+
+    def test_identical_questions_share_a_digest(self, movie_nalix):
+        first = movie_nalix.ask("Return the title of every movie.")
+        second = movie_nalix.ask("Return the title of every movie.")
+        assert first.answer_digest == second.answer_digest
+
+    def test_different_questions_fingerprint_differently(self, movie_nalix):
+        titles = movie_nalix.ask("Return the title of every movie.")
+        everything = movie_nalix.ask("Return every movie.")
+        assert titles.answer_digest != everything.answer_digest
+
+    def test_rejected_queries_fingerprint_their_empty_answer(
+        self, movie_nalix
+    ):
+        result = movie_nalix.ask("Return the isbn of every movie.")
+        assert result.status == "rejected"
+        assert result.answer_digest == EMPTY_ANSWER_DIGEST

@@ -1,10 +1,16 @@
-"""Audit trail: JSONL round-trip and record content."""
+"""Audit trail: JSONL round-trip, record content, hardened reading."""
 
 import json
 
 from repro.core.errors import TranslationError
 from repro.core.interface import NaLIX
-from repro.obs.audit import AuditLog, audit_entry, read_audit_log
+from repro.obs.audit import (
+    AuditLog,
+    ReadStats,
+    audit_entry,
+    iter_records,
+    read_audit_log,
+)
 
 
 class TestAuditLog:
@@ -92,6 +98,15 @@ class TestAuditLog:
         assert entry["status"] == "ok"
         assert "stage_seconds" not in entry
 
+    def test_entry_carries_answer_digest(self, movie_database, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        with AuditLog(str(path)) as audit:
+            nalix = NaLIX(movie_database, audit_log=audit)
+            result = nalix.ask("Return the title of every movie.")
+        (entry,) = read_audit_log(str(path))
+        assert entry["answer_digest"] == result.answer_digest
+        assert len(entry["answer_digest"]) == 16
+
     def test_entry_carries_provenance_summary(self, movie_database, tmp_path):
         path = tmp_path / "audit.jsonl"
         with AuditLog(str(path)) as audit:
@@ -152,6 +167,91 @@ class TestRotation:
             self._fill(audit, nalix, 8)
         assert not (tmp_path / "audit.jsonl.1").exists()
         assert len(read_audit_log(str(path))) == 8
+
+
+class TestHardenedReader:
+    def _write(self, path, lines, trailing_newline=True):
+        text = "\n".join(lines)
+        if trailing_newline:
+            text += "\n"
+        path.write_text(text, encoding="utf-8")
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        # A crash (or a live scrape racing a write) can lose at most
+        # the in-flight line; the reader must keep everything before.
+        path = tmp_path / "audit.jsonl"
+        self._write(
+            path,
+            ['{"sentence": "a"}', '{"sentence": "b"}', '{"sentence": "c'],
+            trailing_newline=False,
+        )
+        stats = ReadStats()
+        records = list(iter_records(str(path), stats=stats))
+        assert [r["sentence"] for r in records] == ["a", "b"]
+        assert stats.truncated == 1
+        assert stats.skipped == 0
+
+    def test_corrupt_interior_row_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        self._write(
+            path,
+            ['{"sentence": "a"}', "%%% not json %%%", '{"sentence": "b"}'],
+        )
+        stats = ReadStats()
+        records = list(iter_records(str(path), stats=stats))
+        assert [r["sentence"] for r in records] == ["a", "b"]
+        assert stats.skipped == 1
+        assert stats.truncated == 0
+
+    def test_corrupt_final_line_with_newline_is_corruption(self, tmp_path):
+        # A complete (newline-terminated) bad line is corruption, not
+        # the tolerated partial write.
+        path = tmp_path / "audit.jsonl"
+        self._write(path, ['{"sentence": "a"}', "garbage"])
+        stats = ReadStats()
+        assert len(list(iter_records(str(path), stats=stats))) == 1
+        assert stats.skipped == 1
+        assert stats.truncated == 0
+
+    def test_rotated_file_is_chained_in_write_order(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        self._write(tmp_path / "audit.jsonl.1", ['{"sentence": "old"}'])
+        self._write(path, ['{"sentence": "new"}'])
+        stats = ReadStats()
+        records = list(iter_records(str(path), stats=stats))
+        assert [r["sentence"] for r in records] == ["old", "new"]
+        assert stats.files == 2
+
+    def test_rotation_chaining_is_opt_out(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        self._write(tmp_path / "audit.jsonl.1", ['{"sentence": "old"}'])
+        self._write(path, ['{"sentence": "new"}'])
+        records = list(iter_records(str(path), rotated=False))
+        assert [r["sentence"] for r in records] == ["new"]
+
+    def test_read_audit_log_keeps_the_single_file_contract(self, tmp_path):
+        # Historical callers read exactly the file they name.
+        path = tmp_path / "audit.jsonl"
+        self._write(tmp_path / "audit.jsonl.1", ['{"sentence": "old"}'])
+        self._write(path, ['{"sentence": "new"}'])
+        assert len(read_audit_log(str(path))) == 1
+        assert len(read_audit_log(str(path), rotated=True)) == 2
+
+    def test_truncation_in_rotated_file_counts_as_corruption(self, tmp_path):
+        # Only the *final* file's final line may be a partial write —
+        # a rotated file was closed long ago, so a bad tail there is
+        # real corruption.
+        path = tmp_path / "audit.jsonl"
+        self._write(
+            tmp_path / "audit.jsonl.1", ['{"sentence": "ol'],
+            trailing_newline=False,
+        )
+        self._write(path, ['{"sentence": "new"}'])
+        stats = ReadStats()
+        records = list(iter_records(str(path), stats=stats))
+        assert [r["sentence"] for r in records] == ["new"]
+        assert stats.skipped == 1
+        assert stats.truncated == 0
 
 
 class TestMemoryColumns:

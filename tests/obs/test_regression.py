@@ -461,3 +461,64 @@ class TestObservabilityOverheadGate:
     def test_too_few_samples_skip_the_ratchet(self):
         report = self.compare(make_obs(), make_obs(samples=2))
         assert self.obs_findings(report)["p99_seconds"].verdict == SKIP
+
+
+def make_canary_section(base_p50=0.010, base_p99=0.030, full_p50=0.011,
+                        full_p99=0.032, overhead=0.07, samples=24):
+    return {
+        "baseline": {"p50_seconds": base_p50, "p99_seconds": base_p99},
+        "canary": {"p50_seconds": full_p50, "p99_seconds": full_p99},
+        "p99_overhead_fraction": overhead,
+        "samples_seconds": [full_p50] * samples,
+    }
+
+
+class TestCanaryOverheadGate:
+    def compare(self, base_section, cur_section):
+        baseline = dict(make_results(), serving_canary=base_section)
+        current = (dict(make_results(), serving_canary=cur_section)
+                   if cur_section is not None else make_results())
+        return compare_results(baseline, current)
+
+    def canary_findings(self, report):
+        return {f.metric: f for f in report.findings
+                if f.task == "serving_canary"}
+
+    def test_noise_floor_overhead_passes(self):
+        report = self.compare(make_canary_section(), make_canary_section())
+        findings = self.canary_findings(report)
+        assert findings["p99_overhead_fraction"].verdict == PASS
+        assert findings["p99_seconds"].verdict == PASS
+        assert report.ok
+
+    def test_large_overhead_warns_but_never_fails(self):
+        report = self.compare(make_canary_section(),
+                              make_canary_section(overhead=0.40))
+        assert self.canary_findings(report)[
+            "p99_overhead_fraction"].verdict == WARN
+        assert report.ok  # warn-only: the probe nags, never blocks
+
+    def test_absolute_latency_ratchet_still_fails(self):
+        report = self.compare(
+            make_canary_section(),
+            make_canary_section(full_p50=0.120, full_p99=0.300),
+        )
+        assert self.canary_findings(report)["p50_seconds"].verdict == FAIL
+        assert not report.ok
+
+    def test_missing_current_section_skips(self):
+        report = self.compare(make_canary_section(), None)
+        assert self.canary_findings(report)[
+            "p99_overhead_fraction"].verdict == SKIP
+
+    def test_no_baseline_section_adds_no_rows(self):
+        report = compare_results(
+            make_results(),
+            dict(make_results(), serving_canary=make_canary_section()),
+        )
+        assert not self.canary_findings(report)
+
+    def test_too_few_samples_skip_the_ratchet(self):
+        report = self.compare(make_canary_section(),
+                              make_canary_section(samples=2))
+        assert self.canary_findings(report)["p99_seconds"].verdict == SKIP

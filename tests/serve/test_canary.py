@@ -1,0 +1,198 @@
+"""The correctness canary: golden sweeps, drift alerts, isolation."""
+
+import pytest
+
+from repro.core.interface import NaLIX
+from repro.data import DblpConfig, generate_dblp
+from repro.database.store import Database
+from repro.evaluation.goldens import compute_goldens, goldens_for
+from repro.obs.metrics import METRICS
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.serve import CANARY_TENANT, CanaryRunner, ReproServer, ServeConfig
+
+#: The committed fixture for the dataset these tests serve.
+GOLDENS = goldens_for("dblp", 40, 7)
+
+
+@pytest.fixture(scope="module")
+def canary_database():
+    database = Database()
+    database.load_document(generate_dblp(DblpConfig(books=40, seed=7)))
+    return database
+
+
+@pytest.fixture()
+def canary_nalix(canary_database):
+    # Function-scoped: drift tests arm fault plans on their pipeline.
+    return NaLIX(canary_database)
+
+
+def _translate_chaos():
+    """An always-firing translator mutation (the chaos fault)."""
+    return FaultPlan([FaultSpec("translate")])
+
+
+class TestGoldenFixture:
+    def test_committed_goldens_match_a_fresh_pipeline(self, canary_nalix):
+        # The fixture check: if this fails, the pipeline's answers
+        # changed — update repro/evaluation/goldens.py only once the
+        # change is understood and deliberate.
+        assert compute_goldens(canary_nalix) == GOLDENS
+
+    def test_unbaselined_datasets_have_no_fixture(self):
+        assert goldens_for("dblp", 41, 7) is None
+        assert goldens_for("movies", 120, 7) is None
+
+
+class TestSweep:
+    def test_healthy_sweep_passes_against_committed_goldens(
+        self, canary_nalix
+    ):
+        runner = CanaryRunner(canary_nalix, goldens=GOLDENS)
+        assert runner.run_once() == []
+        snapshot = runner.snapshot()
+        assert snapshot["pass"] is True
+        assert snapshot["alerting"] is False
+        assert snapshot["sweeps"] == 1
+        assert snapshot["task_count"] == 9
+        assert snapshot["tenant"] == CANARY_TENANT
+        for outcome in snapshot["tasks"].values():
+            assert outcome["ok"] is True
+            assert outcome["golden_source"] == "committed"
+            assert outcome["seconds"] > 0
+        assert METRICS.gauge("canary.pass").value == 1.0
+        assert METRICS.gauge("canary.drift").value == 0.0
+
+    def test_self_baseline_without_committed_goldens(self, canary_nalix):
+        runner = CanaryRunner(canary_nalix, goldens=None)
+        assert runner.run_once() == []
+        snapshot = runner.snapshot()
+        assert snapshot["pass"] is True
+        for task_id, outcome in snapshot["tasks"].items():
+            assert outcome["golden_source"] == "computed"
+            # The self-baseline converges on the committed fixture.
+            assert outcome["answer_digest"] == GOLDENS[task_id]
+
+    def test_prometheus_lines_carry_per_task_gauges(self, canary_nalix):
+        runner = CanaryRunner(canary_nalix, goldens=GOLDENS)
+        runner.run_once()
+        lines = runner.prometheus_lines()
+        assert any(
+            line.startswith('repro_canary_task_ok{task="Q1"} 1')
+            for line in lines
+        )
+        assert any(
+            line.startswith('repro_canary_task_seconds{task="Q1"}')
+            for line in lines
+        )
+
+
+class TestDrift:
+    def test_translator_mutation_flips_the_gauge_within_two_sweeps(
+        self, canary_nalix
+    ):
+        runner = CanaryRunner(canary_nalix, goldens=GOLDENS)
+        assert runner.run_once() == []
+        canary_nalix.fault_plan = _translate_chaos()
+        failing = runner.run_once()
+        assert failing  # drift detected on the very next sweep
+        assert METRICS.gauge("canary.pass").value == 0.0
+        assert METRICS.gauge("canary.drift").value == float(len(failing))
+        snapshot = runner.snapshot()
+        assert snapshot["pass"] is False
+        assert snapshot["alerting"] is True
+        assert snapshot["drifting"] == sorted(failing)
+
+    def test_self_baseline_still_catches_lifetime_drift(self, canary_nalix):
+        runner = CanaryRunner(canary_nalix, goldens=None)
+        assert runner.run_once() == []
+        canary_nalix.fault_plan = _translate_chaos()
+        assert runner.run_once()  # drifted against the first sweep
+
+    def test_drift_alert_is_edge_triggered(self, canary_nalix):
+        alerts = []
+        runner = CanaryRunner(
+            canary_nalix, goldens=GOLDENS, on_drift=alerts.append
+        )
+        canary_nalix.fault_plan = _translate_chaos()
+        runner.run_once()
+        runner.run_once()
+        assert len(alerts) == 1  # fail->fail does not re-fire
+        canary_nalix.fault_plan = None
+        assert runner.run_once() == []  # recovery re-arms the edge
+        assert runner.snapshot()["alerting"] is False
+        canary_nalix.fault_plan = _translate_chaos()
+        runner.run_once()
+        assert len(alerts) == 2
+
+    def test_a_crashing_alert_hook_never_breaks_the_sweep(
+        self, canary_nalix
+    ):
+        def explode(failing):
+            raise RuntimeError("pager down")
+
+        runner = CanaryRunner(
+            canary_nalix, goldens=GOLDENS, on_drift=explode
+        )
+        canary_nalix.fault_plan = _translate_chaos()
+        before = METRICS.counter("canary.alert_errors").value
+        assert runner.run_once()  # does not raise
+        assert METRICS.counter("canary.alert_errors").value == before + 1
+
+
+class TestServerIntegration:
+    @pytest.fixture()
+    def server(self, canary_database, tmp_path):
+        config = ServeConfig(
+            port=0,
+            canary=True,
+            canary_interval=999.0,  # sweeps driven by hand in tests
+            canary_goldens=GOLDENS,
+            dump_dir=str(tmp_path / "dumps"),
+            min_dump_interval=0.0,
+        )
+        return ReproServer(nalix=NaLIX(canary_database), config=config)
+
+    def test_canary_traffic_never_moves_production_surfaces(self, server):
+        for _ in range(2):
+            assert server.canary.run_once() == []
+        # SLO windows saw zero requests: the canary bypasses
+        # SLOEngine.record_request entirely.
+        for entry in server.slo.snapshot():
+            for window in entry["windows"].values():
+                assert window["good"] == 0
+                assert window["bad"] == 0
+        # No serving latency window (endpoint or tenant) observed it.
+        assert server.window.snapshot() == {}
+        # No admission tenant bucket exists for it either.
+        assert server.admission.snapshot()["tenants"] == {}
+
+    def test_statusz_and_metrics_surface_the_canary(self, server):
+        server.canary.run_once()
+        snapshot = server.status_snapshot()
+        assert snapshot["canary"]["pass"] is True
+        assert snapshot["canary"]["tenant"] == CANARY_TENANT
+        assert 'repro_canary_task_ok{task="Q1"} 1' in server.metrics_text()
+
+    def test_drift_triggers_a_flight_recorder_dump(self, server, tmp_path):
+        assert server.canary.run_once() == []
+        server.nalix.fault_plan = _translate_chaos()
+        # "Within two canary periods": the mutation lands between
+        # sweeps; the next two sweeps must flip the gauge and dump.
+        server.canary.run_once()
+        server.canary.run_once()
+        assert METRICS.gauge("canary.pass").value == 0.0
+        dumps = list((tmp_path / "dumps").glob(
+            "flightrecorder-*-canary-drift-*.jsonl"
+        ))
+        assert dumps, "drift fired no flight-recorder dump"
+        # The failing probes were parked as evidence before the dump.
+        by_reason = server.recorder.snapshot()["by_reason"]
+        assert by_reason.get("canary-drift", 0) > 0
+
+    def test_canary_off_by_default(self, canary_database):
+        server = ReproServer(
+            nalix=NaLIX(canary_database), config=ServeConfig(port=0)
+        )
+        assert server.canary is None
+        assert server.status_snapshot()["canary"] is None

@@ -113,6 +113,20 @@ class TestQueryEndpoint:
         assert status == 200
         assert json.loads(body)["status"] == "ok"
 
+    def test_response_carries_the_answer_fingerprint(self, server):
+        status, _, body = http_post_json(
+            server.url + "/query", {"sentence": "find all titles"}
+        )
+        assert status == 200
+        digest = json.loads(body)["answer_digest"]
+        assert len(digest) == 16
+        int(digest, 16)  # hex or raise
+        # The fingerprint is deterministic: same question, same digest.
+        _, _, again = http_post_json(
+            server.url + "/query", {"sentence": "find all titles"}
+        )
+        assert json.loads(again)["answer_digest"] == digest
+
     def test_rejected_query_is_422_with_feedback(self, server):
         status, _, body = http_post_json(
             server.url + "/query", {"sentence": "gibberish blurble fnord"}
@@ -178,6 +192,9 @@ class TestQueryEndpoint:
         assert mine[0]["tenant"] == "logged"
         assert mine[0]["endpoint"] == "/query"
         assert mine[0]["http_status"] == 200
+        # Every logged query is replayable: the access-log line
+        # carries the same answer fingerprint the response returned.
+        assert len(mine[0]["answer_digest"]) == 16
 
 
 class TestXQueryEndpoint:

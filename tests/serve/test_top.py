@@ -139,6 +139,47 @@ class TestRenderFrame:
         assert "\x1b[" not in render_frame(current, color=False)
 
 
+class TestCanaryRow:
+    def make_canary(self, **overrides):
+        canary = {
+            "tenant": "_canary", "interval_seconds": 30.0,
+            "task_count": 9, "sweeps": 4, "pass": True,
+            "alerting": False, "drifting": [],
+            "last_sweep_seconds": 0.042,
+        }
+        canary.update(overrides)
+        return canary
+
+    def test_passing_canary_renders_green(self):
+        status = make_status(canary=self.make_canary())
+        frame = render_frame(_Poll(status=status, metrics={}, at=1.0))
+        assert "canary" in frame
+        assert "PASS" in frame
+        assert "9 tasks" in frame
+        assert "sweeps 4" in frame
+        assert "every 30s" in frame
+
+    def test_drifting_canary_names_the_tasks(self):
+        status = make_status(canary=self.make_canary(
+            **{"pass": False, "drifting": ["Q3", "Q7"]}
+        ))
+        frame = render_frame(_Poll(status=status, metrics={}, at=1.0))
+        assert "DRIFT Q3,Q7" in frame
+
+    def test_warming_canary_before_the_first_sweep(self):
+        status = make_status(canary=self.make_canary(
+            sweeps=0, last_sweep_seconds=None
+        ))
+        frame = render_frame(_Poll(status=status, metrics={}, at=1.0))
+        assert "warming" in frame
+
+    def test_server_without_a_canary_renders_no_row(self):
+        frame = render_frame(
+            _Poll(status=make_status(), metrics={}, at=1.0)
+        )
+        assert "canary" not in frame
+
+
 class TestAgainstLiveServer:
     @pytest.fixture(scope="class")
     def server(self, movie_nalix):

@@ -523,3 +523,137 @@ class TestParser:
                    else [])
             )
             assert args.command == command
+
+
+class TestStatsFromLog:
+    """``stats --from-log``: audit logs read via the shared parser."""
+
+    def _capture(self, tmp_path, capsys):
+        log = tmp_path / "audit.jsonl"
+        assert main(
+            ["query", "--data", "movies", "--audit-log", str(log),
+             "Return the title of every movie."]
+        ) == 0
+        capsys.readouterr()
+        return log
+
+    def test_summarizes_a_recorded_log(self, tmp_path, capsys):
+        log = self._capture(tmp_path, capsys)
+        code = main(["stats", "--from-log", str(log)])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "queries: 1" in output
+        assert "with answer digest: 1" in output
+        assert "ok=1" in output
+        assert "p50" in output
+
+    def test_json_format_counts_corruption(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "audit.jsonl"
+        log.write_text(
+            '{"sentence": "a", "status": "ok", "answer_digest": "ab", '
+            '"total_seconds": 0.01}\n'
+            "%%% not json %%%\n",
+            encoding="utf-8",
+        )
+        code = main(["stats", "--from-log", str(log), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 1
+        assert payload["corrupt_skipped"] == 1
+        assert payload["with_answer_digest"] == 1
+        assert payload["statuses"] == {"ok": 1}
+
+    def test_rotated_sibling_is_chained(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "audit.jsonl"
+        (tmp_path / "audit.jsonl.1").write_text(
+            '{"sentence": "old", "status": "ok"}\n', encoding="utf-8"
+        )
+        log.write_text(
+            '{"sentence": "new", "status": "ok"}\n', encoding="utf-8"
+        )
+        code = main(["stats", "--from-log", str(log), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 2
+        assert payload["files"] == 2
+
+    def test_event_lines_are_counted_not_queried(self, tmp_path, capsys):
+        import json
+
+        log = tmp_path / "audit.jsonl"
+        log.write_text(
+            '{"event": "canary-drift", "tenant": "_canary"}\n'
+            '{"sentence": "a", "status": "ok"}\n',
+            encoding="utf-8",
+        )
+        code = main(["stats", "--from-log", str(log), "--format", "json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["queries"] == 1
+        assert payload["events"] == {"canary-drift": 1}
+
+    def test_missing_file_exits_nonzero(self):
+        with pytest.raises(SystemExit):
+            main(["stats", "--from-log", "/nonexistent/audit.jsonl"])
+
+    def test_unsupported_format_exits(self, tmp_path):
+        log = tmp_path / "audit.jsonl"
+        log.write_text("", encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["stats", "--from-log", str(log), "--format", "prom"])
+
+
+class TestReplayCommand:
+    """``repro replay``: differential replay through the CLI."""
+
+    def _capture(self, tmp_path, capsys):
+        log = tmp_path / "audit.jsonl"
+        assert main(
+            ["query", "--data", "movies", "--audit-log", str(log),
+             "Return the title of every movie."]
+        ) == 0
+        capsys.readouterr()
+        return log
+
+    def test_fresh_log_matches_and_exits_zero(self, tmp_path, capsys):
+        log = self._capture(tmp_path, capsys)
+        code = main(["replay", str(log), "--data", "movies"])
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "replay verdict: PASS" in output
+        assert "1 pass" in output
+
+    def test_mutated_digest_fails_with_github_annotation(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        log = self._capture(tmp_path, capsys)
+        record = json.loads(log.read_text(encoding="utf-8"))
+        record["answer_digest"] = "0" * 16
+        log.write_text(json.dumps(record) + "\n", encoding="utf-8")
+        code = main(["replay", str(log), "--data", "movies", "--github"])
+        output = capsys.readouterr().out
+        assert code == 1
+        assert "answer drift" in output
+        assert "::error title=answer drift::" in output
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        log = self._capture(tmp_path, capsys)
+        code = main(
+            ["replay", str(log), "--data", "movies", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["fail"] == 0
+        assert payload["rows"][0]["verdict"] == "pass"
+
+    def test_missing_log_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["replay", "/nonexistent/audit.jsonl", "--data", "movies"])
