@@ -1,6 +1,6 @@
-"""``repro.analysis`` — the qlint static analyzer and pipeline linter.
+"""``repro.analysis`` — static analyzers: qlint, pipeline lint, srclint.
 
-Two halves:
+Three halves:
 
 * :func:`analyze_query` walks an XQuery AST (or text) and reports typed
   findings — scope/binding, type/operator compatibility, ``mqf``
@@ -11,37 +11,55 @@ Two halves:
   lexicon, Table 6 grammar, and translator payload tables against each
   other; :func:`ensure_pipeline_consistent` raises at import time of
   the interface when they disagree.
+* :mod:`repro.analysis.srclint` turns the same philosophy on the
+  repo's own Python source: lock-order, ContextVar hygiene, clock
+  discipline, and thread/resource lifecycle checks (``repro
+  lint-src``), with a runtime half in
+  :mod:`repro.analysis.racecheck`.
 
-See DESIGN.md §8 for rule ids, the severity policy, and how to
-suppress or extend rules.
+See DESIGN.md §8 for qlint rule ids and DESIGN.md §13 for the srclint
+rule catalog and the declared lock hierarchy.
+
+This package ``__init__`` is deliberately lazy (PEP 562): low-level
+runtime modules (:mod:`repro.obs.metrics`) import
+:mod:`repro.analysis.racecheck` for :func:`named_lock`, and an eager
+``__init__`` would drag the whole analyzer/core import graph into
+every metrics import — a circular-import trap.  Submodules stay
+stdlib-light at the top level; the heavyweight re-exports below are
+resolved on first attribute access.
 """
 
-from repro.analysis.analyzer import QueryAnalyzer, analyze_query
-from repro.analysis.consistency import (
-    PipelineInconsistency,
-    check_pipeline_consistency,
-    ensure_pipeline_consistent,
-)
-from repro.analysis.corpus import PAPER_EXAMPLES, iter_corpus
-from repro.analysis.findings import (
-    AnalysisReport,
-    Finding,
-    attach_clause_provenance,
-)
-from repro.analysis.rules import RULES, render_rule_table, severity_of
+_LAZY_EXPORTS = {
+    "QueryAnalyzer": "repro.analysis.analyzer",
+    "analyze_query": "repro.analysis.analyzer",
+    "PipelineInconsistency": "repro.analysis.consistency",
+    "check_pipeline_consistency": "repro.analysis.consistency",
+    "ensure_pipeline_consistent": "repro.analysis.consistency",
+    "PAPER_EXAMPLES": "repro.analysis.corpus",
+    "iter_corpus": "repro.analysis.corpus",
+    "AnalysisReport": "repro.analysis.findings",
+    "Finding": "repro.analysis.findings",
+    "attach_clause_provenance": "repro.analysis.findings",
+    "RULES": "repro.analysis.rules",
+    "render_rule_table": "repro.analysis.rules",
+    "severity_of": "repro.analysis.rules",
+}
 
-__all__ = [
-    "AnalysisReport",
-    "Finding",
-    "PAPER_EXAMPLES",
-    "PipelineInconsistency",
-    "QueryAnalyzer",
-    "RULES",
-    "analyze_query",
-    "attach_clause_provenance",
-    "check_pipeline_consistency",
-    "ensure_pipeline_consistent",
-    "iter_corpus",
-    "render_rule_table",
-    "severity_of",
-]
+__all__ = sorted(_LAZY_EXPORTS)
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: __getattr__ fires once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

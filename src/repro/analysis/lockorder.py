@@ -1,0 +1,152 @@
+"""Loader for the declared lock hierarchy (``lockorder.toml``).
+
+Shared by both halves of srclint: the static pass maps
+``named_lock("x")`` sites to ranks, the runtime
+:class:`~repro.analysis.racecheck.CheckedLock` maps live acquisitions
+to the same ranks.  Python 3.11+ parses the file with :mod:`tomllib`;
+on 3.10 a minimal hand parser covers the subset the file actually
+uses (sections, string arrays, comments) — the repo takes no
+third-party dependencies, so no ``tomli`` fallback.
+"""
+
+from __future__ import annotations
+
+import os
+
+DEFAULT_PATH = os.path.join(os.path.dirname(__file__), "lockorder.toml")
+
+
+class LockOrder:
+    """The declared hierarchy: lock names outermost-first."""
+
+    __slots__ = ("order", "blocking_calls", "path", "_ranks")
+
+    def __init__(self, order, blocking_calls=(), path=None):
+        self.order = list(order)
+        self.blocking_calls = list(blocking_calls)
+        self.path = path
+        self._ranks = {name: index for index, name in enumerate(self.order)}
+        if len(self._ranks) != len(self.order):
+            dupes = sorted(
+                name for name in self._ranks
+                if self.order.count(name) > 1
+            )
+            raise ValueError(
+                f"duplicate lock names in hierarchy: {', '.join(dupes)}"
+            )
+
+    def rank(self, name):
+        """0-based rank (0 = outermost), or None for undeclared names."""
+        return self._ranks.get(name)
+
+    def declared(self, name):
+        return name in self._ranks
+
+    def allows(self, held_name, acquired_name):
+        """True when acquiring ``acquired_name`` under ``held_name`` is
+        hierarchy-legal; undeclared names are not judged here (SC003
+        reports them separately)."""
+        held = self.rank(held_name)
+        acquired = self.rank(acquired_name)
+        if held is None or acquired is None:
+            return True
+        return acquired > held
+
+
+def load_lock_order(path=None):
+    """Parse ``lockorder.toml`` (or ``path``) into a :class:`LockOrder`."""
+    path = path or DEFAULT_PATH
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    data = _parse_toml(raw)
+    hierarchy = data.get("hierarchy", {})
+    blocking = data.get("blocking", {})
+    order = hierarchy.get("order", [])
+    if not order:
+        raise ValueError(f"{path}: [hierarchy] order is missing or empty")
+    return LockOrder(order, blocking.get("calls", []), path=path)
+
+
+def _parse_toml(raw):
+    try:
+        import tomllib
+    except ImportError:
+        return _parse_minimal(raw.decode("utf-8"))
+    return tomllib.loads(raw.decode("utf-8"))
+
+
+def _parse_minimal(text):
+    """Parse the TOML subset lockorder.toml uses (Python 3.10 path).
+
+    Supports ``[section]`` headers and ``key = [...]`` string arrays
+    (single- or multi-line) plus ``key = "value"`` scalars; ``#``
+    comments anywhere.  Anything fancier is a loud error rather than a
+    silent misparse.
+    """
+    data = {}
+    section = data
+    pending_key = None
+    pending_items = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = _strip_comment(line).strip()
+        if not stripped:
+            continue
+        if pending_key is not None:
+            closed = stripped.endswith("]")
+            body = stripped[:-1] if closed else stripped
+            pending_items.extend(_parse_string_items(body, lineno))
+            if closed:
+                section[pending_key] = pending_items
+                pending_key = pending_items = None
+            continue
+        if stripped.startswith("[") and stripped.endswith("]"):
+            name = stripped[1:-1].strip()
+            section = data.setdefault(name, {})
+            continue
+        if "=" not in stripped:
+            raise ValueError(f"lockorder.toml:{lineno}: cannot parse {line!r}")
+        key, _, value = stripped.partition("=")
+        key, value = key.strip(), value.strip()
+        if value.startswith("["):
+            value = value[1:].strip()
+            if value.endswith("]"):
+                section[key] = _parse_string_items(value[:-1], lineno)
+            else:
+                pending_key = key
+                pending_items = _parse_string_items(value, lineno)
+        elif value.startswith('"') and value.endswith('"') and len(value) >= 2:
+            section[key] = value[1:-1]
+        else:
+            raise ValueError(
+                f"lockorder.toml:{lineno}: unsupported value {value!r}"
+            )
+    if pending_key is not None:
+        raise ValueError(f"lockorder.toml: unterminated array {pending_key!r}")
+    return data
+
+
+def _strip_comment(line):
+    out = []
+    in_string = False
+    for char in line:
+        if char == '"':
+            in_string = not in_string
+        elif char == "#" and not in_string:
+            break
+        out.append(char)
+    return "".join(out)
+
+
+def _parse_string_items(body, lineno):
+    items = []
+    for chunk in body.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if not (chunk.startswith('"') and chunk.endswith('"')):
+            raise ValueError(
+                f"lockorder.toml:{lineno}: expected quoted string, "
+                f"got {chunk!r}"
+            )
+        items.append(chunk[1:-1])
+    return items

@@ -1,0 +1,415 @@
+"""Runtime lock-order and leak checking for the serving stack.
+
+The static half of srclint (:mod:`repro.analysis.srclint`) reasons
+about lock acquisition *sites*; this module checks the acquisitions
+that actually happen.  Every lock in the repo is created through
+:func:`named_lock`, which normally returns a plain
+:class:`threading.Lock` — zero overhead.  With ``REPRO_RACECHECK=1``
+in the environment (or after :func:`enable`), newly created locks are
+:class:`CheckedLock` instances that:
+
+* validate every acquisition against the declared hierarchy in
+  ``lockorder.toml`` (acquiring an outer lock while holding an inner
+  one is an **order** violation);
+* maintain a wait-for graph and detect **cycles** (a real deadlock in
+  the making) *before* blocking, raising :class:`DeadlockError` so the
+  test or chaos run fails loudly instead of hanging;
+* record per-lock hold-time statistics, publishing histograms into
+  METRICS (``racecheck.hold_seconds.<name>``) and flagging holds
+  longer than ``REPRO_RACECHECK_MAX_HOLD`` seconds (default 1.0) as
+  **hold** violations;
+* via :func:`note_blocking`, flag blocking entry points (``ask()``)
+  reached while any checked lock is held.
+
+Import discipline: this module is imported by
+:mod:`repro.obs.metrics` at the very bottom of the runtime stack, so
+it must not import anything from ``repro`` at module level.  METRICS
+and the lock hierarchy are imported lazily, with a thread-local
+reentrancy guard so instrumenting the metrics registry's own locks
+cannot recurse.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+
+RACECHECK_ENV = "REPRO_RACECHECK"
+MAX_HOLD_ENV = "REPRO_RACECHECK_MAX_HOLD"
+
+#: Violation events kept for ``report()``; bounded so a pathological
+#: run cannot grow memory without limit.
+_EVENT_LIMIT = 256
+
+
+def _env_enabled():
+    return os.environ.get(RACECHECK_ENV, "").strip() in ("1", "true", "yes")
+
+
+_ENABLED = _env_enabled()
+
+
+class DeadlockError(RuntimeError):
+    """Raised when an acquisition would close a wait-for cycle."""
+
+
+class LockOrderError(RuntimeError):
+    """Raised (in raise-mode) when an acquisition inverts the hierarchy."""
+
+
+class _RaceState:
+    """Process-global instrumentation state shared by all CheckedLocks."""
+
+    def __init__(self):
+        # A plain lock on purpose: this is the instrumentation itself.
+        self._mu = threading.Lock()
+        self._local = threading.local()
+        self.held = {}        # thread id -> [(CheckedLock, t_acquired)]
+        self.wants = {}       # thread id -> CheckedLock (pre-block)
+        self.counts = {
+            "acquisitions": 0,
+            "order": 0,
+            "cycle": 0,
+            "hold": 0,
+            "blocking": 0,
+        }
+        self.events = deque(maxlen=_EVENT_LIMIT)
+        self.holds = {}       # lock name -> [count, total_s, max_s]
+        self.raise_on_order = False
+        self._hierarchy = None
+
+    # -- declared hierarchy -------------------------------------------------
+
+    def rank(self, name):
+        """Declared rank of ``name`` (0 = outermost), or None if unknown."""
+        if self._hierarchy is None:
+            from repro.analysis.lockorder import load_lock_order
+
+            order = load_lock_order().order
+            self._hierarchy = {n: i for i, n in enumerate(order)}
+        return self._hierarchy.get(name)
+
+    # -- reentrancy guard ---------------------------------------------------
+
+    def entered(self):
+        """True if this thread is already inside an instrumentation hook."""
+        if getattr(self._local, "in_hook", False):
+            return True
+        self._local.in_hook = True
+        return False
+
+    def leave(self):
+        self._local.in_hook = False
+
+    def record(self, kind, **detail):
+        with self._mu:
+            self.counts[kind] += 1
+            self.events.append({"kind": kind, **detail})
+
+
+_STATE = _RaceState()
+
+
+def enabled():
+    """True when racecheck instrumentation is active for new locks."""
+    return _ENABLED
+
+
+def enable(raise_on_order=False):
+    """Turn instrumentation on for locks created from now on (tests)."""
+    global _ENABLED
+    _ENABLED = True
+    _STATE.raise_on_order = raise_on_order
+
+
+def disable():
+    global _ENABLED
+    _ENABLED = False
+    _STATE.raise_on_order = False
+
+
+def reset():
+    """Clear accumulated violations and hold stats (between test cases)."""
+    with _STATE._mu:
+        for key in _STATE.counts:
+            _STATE.counts[key] = 0
+        _STATE.events.clear()
+        _STATE.holds.clear()
+
+
+def named_lock(name, *, rlock=False):
+    """A lock registered under ``name`` in the declared hierarchy.
+
+    The single factory every repo lock goes through: with racecheck off
+    (the default) it returns a plain ``threading.Lock``/``RLock``;
+    with racecheck on it returns an instrumented :class:`CheckedLock`.
+    The name ties the runtime object to its rank in ``lockorder.toml``
+    and to the static srclint pass, which resolves ``named_lock("x")``
+    call sites to the same hierarchy.
+    """
+    if not _ENABLED:
+        return threading.RLock() if rlock else threading.Lock()
+    return CheckedLock(name, rlock=rlock)
+
+
+class CheckedLock:
+    """Drop-in lock with order checking, deadlock and hold-time detection.
+
+    ``_before_block`` is a test-only hook invoked after the wait-for
+    edge is registered but before the underlying acquire can block —
+    it lets the deadlock unit tests force an exact interleaving with
+    events instead of sleeps.
+    """
+
+    __slots__ = ("name", "_inner", "_rlock", "_owner", "_depth",
+                 "_before_block")
+
+    def __init__(self, name, *, rlock=False, _before_block=None):
+        self.name = name
+        self._rlock = rlock
+        self._inner = threading.RLock() if rlock else threading.Lock()
+        self._owner = None
+        self._depth = 0
+        self._before_block = _before_block
+
+    # -- acquisition --------------------------------------------------------
+
+    def acquire(self, blocking=True, timeout=-1):
+        tid = threading.get_ident()
+        if self._rlock and self._owner == tid:
+            acquired = self._inner.acquire(blocking, timeout)
+            if acquired:
+                self._depth += 1
+            return acquired
+        skip = _STATE.entered()
+        if not skip:
+            try:
+                self._check_order(tid)
+                self._check_cycle(tid)
+            finally:
+                _STATE.leave()
+        if self._before_block is not None:
+            self._before_block()
+        acquired = self._inner.acquire(blocking, timeout)
+        if not skip:
+            with _STATE._mu:
+                _STATE.wants.pop(tid, None)
+                if acquired:
+                    _STATE.counts["acquisitions"] += 1
+                    _STATE.held.setdefault(tid, []).append(
+                        (self, _monotonic())
+                    )
+        if acquired:
+            self._owner = tid
+            self._depth += 1
+        return acquired
+
+    def release(self):
+        tid = threading.get_ident()
+        self._depth -= 1
+        if self._depth == 0:
+            self._owner = None
+        self._inner.release()
+        if self._rlock and self._depth > 0:
+            return  # inner RLock release; the hold continues
+        if getattr(_STATE._local, "in_hook", False):
+            return
+        held_for = None
+        with _STATE._mu:
+            stack = _STATE.held.get(tid, [])
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index][0] is self:
+                    held_for = _monotonic() - stack[index][1]
+                    del stack[index]
+                    break
+        if held_for is not None:
+            self._account_hold(held_for)
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.release()
+        return False
+
+    def locked(self):
+        return self._inner.locked() if not self._rlock else self._depth > 0
+
+    def __repr__(self):
+        return f"CheckedLock({self.name!r})"
+
+    # -- checks -------------------------------------------------------------
+
+    def _check_order(self, tid):
+        my_rank = _STATE.rank(self.name)
+        if my_rank is None:
+            return
+        with _STATE._mu:
+            held = list(_STATE.held.get(tid, []))
+        for lock, _t0 in held:
+            held_rank = _STATE.rank(lock.name)
+            if held_rank is not None and my_rank <= held_rank:
+                _STATE.record(
+                    "order",
+                    acquiring=self.name,
+                    holding=lock.name,
+                    thread=threading.current_thread().name,
+                )
+                if _STATE.raise_on_order:
+                    raise LockOrderError(
+                        f"lock order inversion: acquiring {self.name!r} "
+                        f"(rank {my_rank}) while holding {lock.name!r} "
+                        f"(rank {held_rank})"
+                    )
+
+    def _check_cycle(self, tid):
+        """Register the wait-for edge; raise if it closes a cycle.
+
+        Walks owner->wants chains: this thread wants ``self``; if the
+        chain of "owner of the wanted lock wants ..." reaches a lock
+        this thread holds, both threads would block forever.
+        """
+        with _STATE._mu:
+            _STATE.wants[tid] = self
+            path = [self.name]
+            wanted = self
+            seen = {tid}
+            for _hop in range(64):  # bounded walk; graphs are tiny
+                owner = wanted._owner
+                if owner is None or owner == tid:
+                    cycle = owner == tid
+                    break
+                if owner in seen:
+                    cycle = False
+                    break
+                seen.add(owner)
+                wanted = _STATE.wants.get(owner)
+                if wanted is None:
+                    cycle = False
+                    break
+                path.append(wanted.name)
+                if any(lock is wanted
+                       for lock, _t in _STATE.held.get(tid, [])):
+                    cycle = True
+                    break
+            else:
+                cycle = False
+            if not cycle:
+                return
+            _STATE.counts["cycle"] += 1
+            _STATE.events.append({
+                "kind": "cycle",
+                "path": list(path),
+                "thread": threading.current_thread().name,
+            })
+            _STATE.wants.pop(tid, None)
+        raise DeadlockError(
+            "wait-for cycle detected: " + " -> ".join(path)
+        )
+
+    def _account_hold(self, held_for):
+        with _STATE._mu:
+            stats = _STATE.holds.setdefault(self.name, [0, 0.0, 0.0])
+            stats[0] += 1
+            stats[1] += held_for
+            stats[2] = max(stats[2], held_for)
+            too_long = held_for > _max_hold_seconds()
+            if too_long:
+                _STATE.counts["hold"] += 1
+                _STATE.events.append({
+                    "kind": "hold",
+                    "lock": self.name,
+                    "seconds": round(held_for, 6),
+                })
+        # The metrics subsystem's own locks are accounted in-memory
+        # only: feeding them into METRICS would re-enter the registry
+        # — fatally so when the release happens during metric
+        # construction, with the (non-reentrant) registry lock held.
+        if not self.name.startswith("obs.metrics."):
+            self._observe_metrics(held_for)
+
+    def _observe_metrics(self, held_for):
+        """Feed the hold-time histogram; guarded against recursion.
+
+        The metrics registry's own locks are CheckedLocks too, so the
+        observe below would re-enter instrumentation — the ``entered``
+        guard makes those nested operations plain passthroughs.
+        """
+        if _STATE.entered():
+            return
+        try:
+            from repro.obs.metrics import METRICS
+
+            METRICS.histogram(
+                f"racecheck.hold_seconds.{self.name}"
+            ).observe(held_for)
+        except Exception:
+            pass
+        finally:
+            _STATE.leave()
+
+
+def note_blocking(what):
+    """Record a violation if this thread holds any checked lock.
+
+    Called at known blocking entry points (``NaLIX.ask``) when
+    racecheck is enabled; holding a lock across a full query run is a
+    latency and deadlock hazard regardless of hierarchy rank.
+    """
+    if not _ENABLED:
+        return
+    tid = threading.get_ident()
+    with _STATE._mu:
+        held = [lock.name for lock, _t in _STATE.held.get(tid, [])]
+    if held:
+        _STATE.record(
+            "blocking", call=what, holding=held,
+            thread=threading.current_thread().name,
+        )
+
+
+def locks_held():
+    """Names of checked locks held by the current thread (diagnostics)."""
+    tid = threading.get_ident()
+    with _STATE._mu:
+        return [lock.name for lock, _t in _STATE.held.get(tid, [])]
+
+
+def report():
+    """One snapshot of racecheck accounting, JSON-shaped for /statusz."""
+    with _STATE._mu:
+        holds = {
+            name: {
+                "count": count,
+                "avg_ms": round(total / count * 1000.0, 3) if count else 0.0,
+                "max_ms": round(peak * 1000.0, 3),
+            }
+            for name, (count, total, peak) in sorted(_STATE.holds.items())
+        }
+        violations = {
+            kind: _STATE.counts[kind]
+            for kind in ("order", "cycle", "hold", "blocking")
+        }
+        return {
+            "enabled": _ENABLED,
+            "acquisitions": _STATE.counts["acquisitions"],
+            "violations": violations,
+            "violations_total": sum(violations.values()),
+            "events": list(_STATE.events),
+            "holds": holds,
+        }
+
+
+def _max_hold_seconds():
+    try:
+        return float(os.environ.get(MAX_HOLD_ENV, "") or 1.0)
+    except ValueError:
+        return 1.0
+
+
+def _monotonic():
+    import time
+
+    return time.monotonic()

@@ -1,0 +1,90 @@
+"""Thread and file-descriptor leak sanitizers for test sessions.
+
+The serve/chaos suites start real servers, watchdogs, canaries, and
+profilers; a missing ``stop()`` or an unclosed socket survives the
+test that caused it and fails some *later* test mysteriously.  These
+helpers snapshot the process at session start and diff at session end
+— the pytest fixtures in ``tests/serve/conftest.py`` wire them in.
+
+Stdlib-only, like everything under ``repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+
+class LeakSnapshot:
+    """What the process looked like when the snapshot was taken."""
+
+    __slots__ = ("thread_idents", "thread_names", "fd_count")
+
+    def __init__(self):
+        threads = threading.enumerate()
+        self.thread_idents = {t.ident for t in threads}
+        self.thread_names = sorted(t.name for t in threads)
+        self.fd_count = count_open_fds()
+
+
+def count_open_fds():
+    """Open descriptor count via /proc, or None off Linux."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:
+        return None
+
+
+def snapshot():
+    return LeakSnapshot()
+
+
+def check_thread_leaks(baseline, grace_seconds=5.0):
+    """Names of threads born since ``baseline`` that refuse to die.
+
+    New threads get ``grace_seconds`` (total) to finish: daemonized
+    HTTP connection handlers and executor workers wind down shortly
+    after their server stops, and joining them here keeps slow
+    teardown from reading as a leak.
+    """
+    deadline = time.monotonic() + grace_seconds
+    leaked = _new_threads(baseline)
+    for thread in leaked:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        thread.join(timeout=remaining)
+    return sorted(
+        f"{t.name} (daemon={t.daemon})"
+        for t in _new_threads(baseline)
+    )
+
+
+def _new_threads(baseline):
+    return [
+        t for t in threading.enumerate()
+        if t.ident not in baseline.thread_idents and t.is_alive()
+        and t is not threading.current_thread()
+    ]
+
+
+def check_fd_leaks(baseline, tolerance=8):
+    """A human-readable complaint when fd count grew past tolerance.
+
+    Returns None when clean or unmeasurable.  ``tolerance`` absorbs
+    interpreter-internal descriptors (import machinery, random
+    devices) that come and go legitimately.
+    """
+    if baseline.fd_count is None:
+        return None
+    now = count_open_fds()
+    if now is None:
+        return None
+    grown = now - baseline.fd_count
+    if grown > tolerance:
+        return (
+            f"file descriptors grew {baseline.fd_count} -> {now} "
+            f"(+{grown}, tolerance {tolerance})"
+        )
+    return None

@@ -13,6 +13,8 @@ Subcommands::
     python -m repro lint    [--data ...] [--tasks|--corpus|--self]
                             [--stdin] [--xquery] [--format text|json|github]
                             ["SENTENCE" ...]
+    python -m repro lint-src [PATH ...] [--strict] [--format text|json|github]
+                            [--suppress-file FILE] [--rules]
     python -m repro study   [--participants N] [--seed S]
     python -m repro generate [--books N] [--seed S] [--out FILE]
     python -m repro serve   [--port P] [--max-inflight N] [--tenant-rate R]
@@ -1273,6 +1275,45 @@ def cmd_lint(args):
     return 1 if failed else 0
 
 
+def cmd_lint_src(args):
+    """srclint: concurrency/resource-safety analysis of the repo source.
+
+    Lints the installed ``repro`` package by default (or the given
+    paths): lock-order against the declared hierarchy, ContextVar
+    set/reset pairing, wall-vs-monotonic clock discipline, and
+    thread/container lifecycle.  Exit status is non-zero on any error
+    finding (or any warning, with ``--strict``).  CI runs
+    ``repro lint-src --strict --format github`` as a hard gate.
+    """
+    from repro.analysis.srclint import (
+        lint_paths,
+        render_src_rule_table,
+    )
+
+    if args.rules:
+        print(render_src_rule_table())
+        return 0
+    report = lint_paths(
+        paths=args.path or None,
+        lockorder_path=args.lockorder,
+        suppress_path=args.suppress_file,
+        use_default_suppressions=not args.no_default_suppressions,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    elif args.format == "github":
+        for line in report.github_lines():
+            print(line)
+        print(
+            f"srclint: {report.files_scanned} files, "
+            f"{len(report.errors)} errors, {len(report.warnings)} "
+            f"warnings, {len(report.suppressed)} suppressed"
+        )
+    else:
+        print(report.render_text())
+    return 0 if report.ok(strict=args.strict) else 1
+
+
 def cmd_study(args):
     from repro.evaluation.report import StudyReport
     from repro.evaluation.study import Study, StudyConfig
@@ -1723,6 +1764,31 @@ def build_parser():
     lint.add_argument("--strict", action="store_true",
                       help="warnings also fail the lint")
     lint.set_defaults(handler=cmd_lint)
+
+    lint_src = commands.add_parser(
+        "lint-src",
+        help="srclint: concurrency/resource-safety analysis of the "
+        "repo's own source",
+    )
+    lint_src.add_argument("path", nargs="*",
+                          help="files or directories to lint "
+                          "(default: the installed repro package)")
+    lint_src.add_argument("--format", choices=("text", "json", "github"),
+                          default="text",
+                          help="output format (default: text)")
+    lint_src.add_argument("--strict", action="store_true",
+                          help="warnings also fail the lint")
+    lint_src.add_argument("--suppress-file", metavar="FILE",
+                          help="extra suppression file (adds to the "
+                          "packaged srclint-suppress.txt)")
+    lint_src.add_argument("--no-default-suppressions", action="store_true",
+                          help="ignore the packaged suppression file")
+    lint_src.add_argument("--lockorder", metavar="FILE",
+                          help="alternate lock-hierarchy TOML "
+                          "(default: packaged lockorder.toml)")
+    lint_src.add_argument("--rules", action="store_true",
+                          help="print the srclint rule catalog and exit")
+    lint_src.set_defaults(handler=cmd_lint_src)
 
     study = commands.add_parser("study", help="run the simulated user study")
     study.add_argument("--participants", type=int, default=18)

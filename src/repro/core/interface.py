@@ -39,6 +39,7 @@ from repro.analysis import (
     attach_clause_provenance,
     ensure_pipeline_consistent,
 )
+from repro.analysis.racecheck import note_blocking
 from repro.core.classifier import classify_tree
 from repro.core.enums import COMMAND_PHRASES, parser_vocabulary
 from repro.core.errors import TranslationError
@@ -394,6 +395,10 @@ class NaLIX:
         the sampler thread is stopped and tracemalloc released on
         every path out of the query.
         """
+        # A full query run blocks for up to the budget deadline; under
+        # REPRO_RACECHECK=1 flag any caller that reaches it holding a
+        # lock (no-op when racecheck is off).
+        note_blocking("NaLIX.ask")
         result = QueryResult(sentence)
         trace = Trace()
         result.trace = trace

@@ -31,8 +31,8 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 import time
+from repro.analysis.racecheck import named_lock
 
 #: Pipeline stage span names recorded per audit entry.  The two
 #: ``evaluate-*`` stages are the graceful-degradation hops; they only
@@ -117,7 +117,7 @@ class AuditLog:
         self.actor = actor
         self.max_bytes = max_bytes
         self._handle = None
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.audit")
 
     def record(self, result, extra=None):
         """Append one audit line for ``result`` and flush.

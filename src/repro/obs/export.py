@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import json
 import re
-import threading
 from collections import deque
 
 from repro.obs.quantiles import nearest_rank
+from repro.analysis.racecheck import named_lock
 
 _METRIC_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 _LEADING_DIGIT_RE = re.compile(r"^[0-9]")
@@ -320,7 +320,7 @@ class LatencyWindow:
     def __init__(self, window=256):
         self.window = window
         self._samples = {}  # key -> deque of (seconds, exemplar | None)
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.window")
 
     def observe(self, key, seconds, exemplar=None):
         with self._lock:

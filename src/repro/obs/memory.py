@@ -35,9 +35,9 @@ exactly this reason.
 from __future__ import annotations
 
 import sys
-import threading
 import tracemalloc
 from contextvars import ContextVar
+from repro.analysis.racecheck import named_lock
 
 try:
     import resource
@@ -90,7 +90,7 @@ class MemorySpec:
 
 # -- process-global tracemalloc refcount ------------------------------------
 
-_TRACEMALLOC_LOCK = threading.Lock()
+_TRACEMALLOC_LOCK = named_lock("obs.memory.tracemalloc")
 _TRACEMALLOC_USERS = 0
 _TRACEMALLOC_OURS = False
 
@@ -303,18 +303,18 @@ def current_memory_spec():
 
 
 class _MemoryActivation:
-    __slots__ = ("_spec", "_token")
+    __slots__ = ("_spec", "_tokens")
 
     def __init__(self, spec):
         self._spec = spec
-        self._token = None
+        self._tokens = []  # LIFO: safe under re-entrant use
 
     def __enter__(self):
-        self._token = _CURRENT_MEMORY_SPEC.set(self._spec)
+        self._tokens.append(_CURRENT_MEMORY_SPEC.set(self._spec))
         return self._spec
 
     def __exit__(self, exc_type, exc_value, traceback):
-        _CURRENT_MEMORY_SPEC.reset(self._token)
+        _CURRENT_MEMORY_SPEC.reset(self._tokens.pop())
         return False
 
 

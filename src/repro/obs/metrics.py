@@ -28,9 +28,9 @@ just unlikely.
 from __future__ import annotations
 
 import json
-import threading
 
 from repro.obs.quantiles import nearest_rank
+from repro.analysis.racecheck import named_lock
 
 
 class Counter:
@@ -41,7 +41,7 @@ class Counter:
     def __init__(self, name):
         self.name = name
         self.value = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.metrics.metric")
 
     def inc(self, amount=1):
         with self._lock:
@@ -63,7 +63,7 @@ class Gauge:
     def __init__(self, name):
         self.name = name
         self.value = 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.metrics.metric")
 
     def set(self, value):
         with self._lock:
@@ -91,8 +91,15 @@ class Histogram:
 
     def __init__(self, name):
         self.name = name
-        self._lock = threading.Lock()
-        self.reset()
+        self._lock = named_lock("obs.metrics.metric")
+        # Direct assignment, not reset(): the object is not shared yet,
+        # and construction happens under the registry lock — taking the
+        # metric lock here would nest locks for no benefit.
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._sample = []
 
     def reset(self):
         with self._lock:
@@ -153,7 +160,7 @@ class MetricsRegistry:
         self._counters = {}
         self._gauges = {}
         self._histograms = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.metrics.registry")
 
     # -- access (create on demand) -----------------------------------------
 

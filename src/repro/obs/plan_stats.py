@@ -247,18 +247,18 @@ def current_plan_stats():
 
 
 class _PlanStatsActivation:
-    __slots__ = ("_collection", "_token")
+    __slots__ = ("_collection", "_tokens")
 
     def __init__(self, collection):
         self._collection = collection
-        self._token = None
+        self._tokens = []  # LIFO: safe under re-entrant use
 
     def __enter__(self):
-        self._token = _CURRENT_PLAN_STATS.set(self._collection)
+        self._tokens.append(_CURRENT_PLAN_STATS.set(self._collection))
         return self._collection
 
     def __exit__(self, exc_type, exc_value, traceback):
-        _CURRENT_PLAN_STATS.reset(self._token)
+        _CURRENT_PLAN_STATS.reset(self._tokens.pop())
         return False
 
 

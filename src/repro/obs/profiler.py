@@ -42,6 +42,7 @@ import sys
 import threading
 import time
 from contextvars import ContextVar
+from repro.analysis.racecheck import named_lock
 
 #: Default sampling rate.  Prime, so the sampler does not phase-lock
 #: with millisecond-granular work loops; high enough that a ~10 ms
@@ -69,7 +70,7 @@ NO_SPAN = "(no-span)"
 # requested; later profilers only ratchet it downward; the last one
 # out restores the original.
 
-_SWITCH_LOCK = threading.Lock()
+_SWITCH_LOCK = named_lock("obs.profiler.switch")
 _SWITCH_USERS = 0
 _SWITCH_SAVED = None
 
@@ -453,18 +454,18 @@ def current_profile_spec():
 
 
 class _ProfilingActivation:
-    __slots__ = ("_spec", "_token")
+    __slots__ = ("_spec", "_tokens")
 
     def __init__(self, spec):
         self._spec = spec
-        self._token = None
+        self._tokens = []  # LIFO: safe under re-entrant use
 
     def __enter__(self):
-        self._token = _CURRENT_PROFILE_SPEC.set(self._spec)
+        self._tokens.append(_CURRENT_PROFILE_SPEC.set(self._spec))
         return self._spec
 
     def __exit__(self, exc_type, exc_value, traceback):
-        _CURRENT_PROFILE_SPEC.reset(self._token)
+        _CURRENT_PROFILE_SPEC.reset(self._tokens.pop())
         return False
 
 

@@ -32,11 +32,11 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 import time
 
 from repro.obs.export import chrome_trace
 from repro.obs.metrics import METRICS
+from repro.analysis.racecheck import named_lock
 
 #: Default ring-buffer budget: 8 MiB of serialized trace records.
 DEFAULT_MAX_BYTES = 8 * 1024 * 1024
@@ -121,7 +121,7 @@ class FlightRecorder:
         self.dump_dir = dump_dir
         self.min_dump_interval = min_dump_interval
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.recorder")
         self._records = []  # oldest first
         self._by_id = {}
         self._bytes = 0
@@ -130,7 +130,10 @@ class FlightRecorder:
         self._by_reason = {}
         self._dump_seq = 0
         self._last_dump_at = None
-        self._dumps = []  # (path_prefix, reason) history
+        # (path_prefix, reason) history; bounded — a long-lived server
+        # that dumps forever must not grow this without limit.
+        self._dumps = []
+        self._max_dump_history = 64
 
     # -- the write path -----------------------------------------------------
 
@@ -265,6 +268,8 @@ class FlightRecorder:
             return None
         with self._lock:
             self._dumps.append((prefix, str(reason)))
+            if len(self._dumps) > self._max_dump_history:
+                del self._dumps[:-self._max_dump_history]
         return prefix
 
     def __repr__(self):

@@ -26,10 +26,10 @@ from __future__ import annotations
 
 import bisect
 import math
-import threading
 from collections import deque
 
 from repro.obs.metrics import METRICS
+from repro.analysis.racecheck import named_lock
 
 #: Default fraction of healthy traffic head-sampled into the recorder.
 DEFAULT_HEAD_RATE = 0.1
@@ -79,7 +79,7 @@ class TailSampler:
         # Every healthy request advances the counter; one in
         # ``_head_every`` is retained.  head_rate 0 disables entirely.
         self._head_every = int(round(1.0 / head_rate)) if head_rate else 0
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.sampler")
         self._recent = deque(maxlen=window)
         self._sorted = []  # sorted mirror of _recent for O(1) p95 reads
         self._healthy_count = 0

@@ -36,10 +36,10 @@ and ``repro stats --url`` read.
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.obs.metrics import METRICS
+from repro.analysis.racecheck import named_lock
 
 _ALERTS = METRICS.counter("obs.slo.fast_burn_alerts")
 
@@ -298,7 +298,7 @@ class SLOEngine:
         self.fast_burn_threshold = fast_burn_threshold
         self.on_fast_burn = on_fast_burn
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.slo")
         self._trackers = [
             SLOTracker(spec, fast_seconds, slow_seconds) for spec in specs
         ]

@@ -255,18 +255,18 @@ def current_trace():
 
 
 class _TraceActivation:
-    __slots__ = ("_trace", "_token")
+    __slots__ = ("_trace", "_tokens")
 
     def __init__(self, trace):
         self._trace = trace
-        self._token = None
+        self._tokens = []  # LIFO: safe under re-entrant use
 
     def __enter__(self):
-        self._token = _CURRENT_TRACE.set(self._trace)
+        self._tokens.append(_CURRENT_TRACE.set(self._trace))
         return self._trace
 
     def __exit__(self, exc_type, exc_value, traceback):
-        _CURRENT_TRACE.reset(self._token)
+        _CURRENT_TRACE.reset(self._tokens.pop())
         return False
 
 

@@ -34,11 +34,11 @@ recorded outcome out to all of them.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 
 from repro.obs.metrics import METRICS
+from repro.analysis.racecheck import named_lock
 
 CLOSED, HALF_OPEN, OPEN = "closed", "half-open", "open"
 
@@ -74,7 +74,7 @@ class CircuitBreaker:
         # flight-recorder dump).  Hook errors are counted, not raised.
         self.on_open = on_open
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("resilience.breaker")
         self._outcomes = deque(maxlen=window)  # True = failure of our class
         self._state = CLOSED
         self._opened_at = None

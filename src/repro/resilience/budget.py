@@ -242,18 +242,18 @@ def active_meter():
 
 
 class _MeterActivation:
-    __slots__ = ("_meter", "_token")
+    __slots__ = ("_meter", "_tokens")
 
     def __init__(self, meter):
         self._meter = meter
-        self._token = None
+        self._tokens = []  # LIFO: safe under re-entrant use
 
     def __enter__(self):
-        self._token = _ACTIVE_METER.set(self._meter)
+        self._tokens.append(_ACTIVE_METER.set(self._meter))
         return self._meter
 
     def __exit__(self, exc_type, exc_value, traceback):
-        _ACTIVE_METER.reset(self._token)
+        _ACTIVE_METER.reset(self._tokens.pop())
         return False
 
 

@@ -37,12 +37,12 @@ worker threads, so trigger bookkeeping is lock-protected.
 from __future__ import annotations
 
 import random
-import threading
 import time
 from contextvars import ContextVar
 
 from repro.obs.metrics import METRICS
 from repro.resilience.errors import InjectedFault
+from repro.analysis.racecheck import named_lock
 
 #: Pipeline stages with an injection point, in execution order.
 FAULT_STAGES = ("parse", "classify", "validate", "translate", "analyze",
@@ -58,18 +58,18 @@ _FAULT_TENANT: ContextVar[str | None] = ContextVar(
 
 
 class _FaultScope:
-    __slots__ = ("_tenant", "_token")
+    __slots__ = ("_tenant", "_tokens")
 
     def __init__(self, tenant):
         self._tenant = tenant
-        self._token = None
+        self._tokens = []  # LIFO: safe under re-entrant use
 
     def __enter__(self):
-        self._token = _FAULT_TENANT.set(self._tenant)
+        self._tokens.append(_FAULT_TENANT.set(self._tenant))
         return self._tenant
 
     def __exit__(self, exc_type, exc_value, traceback):
-        _FAULT_TENANT.reset(self._token)
+        _FAULT_TENANT.reset(self._tokens.pop())
         return False
 
 
@@ -111,7 +111,7 @@ class FaultSpec:
         self.tenant = tenant
         self._calls = 0
         self._rng = random.Random(seed) if probability is not None else None
-        self._lock = threading.Lock()
+        self._lock = named_lock("resilience.faults")
 
     def matches_tenant(self, tenant):
         """True when this spec applies to requests from ``tenant``."""

@@ -27,15 +27,20 @@ increments a ``serve.admission.*`` metric.
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.obs.metrics import METRICS
+from repro.analysis.racecheck import named_lock
 
 #: Default server-wide concurrent-query cap.
 DEFAULT_MAX_INFLIGHT = 16
 
+#: Default cap on distinct tenant states kept in memory.  Tenant names
+#: are client-supplied, so an uncapped map is a cardinality bomb.
+DEFAULT_MAX_TENANTS = 1024
+
 _ADMITTED = METRICS.counter("serve.admission.admitted")
+_TENANTS_EVICTED = METRICS.counter("serve.admission.tenants_evicted")
 _REJECTED = {
     reason: METRICS.counter(f"serve.admission.rejected.{reason}")
     for reason in ("capacity", "rate", "tenant_capacity", "draining")
@@ -131,16 +136,21 @@ class AdmissionController:
 
     def __init__(self, max_inflight=DEFAULT_MAX_INFLIGHT, tenant_rate=None,
                  tenant_burst=None, tenant_inflight=None,
-                 clock=time.monotonic):
+                 clock=time.monotonic, max_tenants=DEFAULT_MAX_TENANTS):
         self.max_inflight = max_inflight
         self.tenant_rate = tenant_rate
         self.tenant_burst = tenant_burst
         self.tenant_inflight = tenant_inflight
+        self.max_tenants = max_tenants
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.admission")
         self._inflight = 0
         self._draining = False
-        self._tenants = {}  # name -> {"bucket", "inflight", "admitted", "rejected"}
+        # name -> {"bucket", "inflight", "admitted", "rejected",
+        # "last_seen"}.  Tenant names arrive on the wire, so this map
+        # is client-controlled cardinality: capped at ``max_tenants``,
+        # evicting the longest-idle zero-inflight states.
+        self._tenants = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -220,6 +230,9 @@ class AdmissionController:
     def _tenant_state(self, tenant):
         state = self._tenants.get(tenant)
         if state is None:
+            if (self.max_tenants is not None
+                    and len(self._tenants) >= self.max_tenants):
+                self._evict_idle_tenant()
             bucket = None
             if self.tenant_rate is not None:
                 bucket = TokenBucket(
@@ -227,9 +240,30 @@ class AdmissionController:
                 )
             state = self._tenants[tenant] = {
                 "bucket": bucket, "inflight": 0,
-                "admitted": 0, "rejected": 0,
+                "admitted": 0, "rejected": 0, "last_seen": self._clock(),
             }
+        else:
+            state["last_seen"] = self._clock()
         return state
+
+    def _evict_idle_tenant(self):
+        """Drop the longest-idle tenant with nothing in flight.
+
+        Caller holds the lock.  Eviction only forgets rate-limiter
+        state and counters for a tenant that is not currently using
+        the server — a returning tenant simply starts a fresh bucket.
+        When every tenant has queries in flight nothing is evicted;
+        the map is then bounded by ``max_inflight`` anyway.
+        """
+        idle = [
+            (state["last_seen"], name)
+            for name, state in self._tenants.items()
+            if state["inflight"] == 0
+        ]
+        if idle:
+            _, victim = min(idle)
+            self._tenants.pop(victim, None)
+            _TENANTS_EVICTED.inc()
 
     def _reject(self, state, reason):
         state["rejected"] += 1

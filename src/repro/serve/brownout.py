@@ -45,10 +45,10 @@ brownout controller for a plan.
 
 from __future__ import annotations
 
-import threading
 import time
 
 from repro.obs.metrics import METRICS
+from repro.analysis.racecheck import named_lock
 
 #: (budget_scale, pre_degrade) per ladder level, mildest first.
 LEVELS = (
@@ -83,7 +83,7 @@ class BrownoutController:
         self.step_seconds = step_seconds
         self.cooldown_seconds = cooldown_seconds
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.brownout")
         self._level = 0
         # When the current pressure/calm streak started; None = no streak.
         self._hot_since = None

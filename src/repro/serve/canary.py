@@ -44,6 +44,7 @@ import time
 from repro.obs.metrics import METRICS
 from repro.obs.tracecontext import new_trace_id
 from repro.resilience.faults import fault_scope
+from repro.analysis.racecheck import named_lock
 
 #: The reserved tenant canary probes run under (never a real client's).
 CANARY_TENANT = "_canary"
@@ -89,7 +90,7 @@ class CanaryRunner:
         self.audit = audit
         self.recorder = recorder
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.canary")
         self._stop = threading.Event()
         self._thread = None
         self._alerting = False

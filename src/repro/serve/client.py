@@ -40,6 +40,7 @@ from repro.obs.metrics import METRICS
 from repro.obs.quantiles import nearest_rank
 from repro.obs.tracecontext import format_traceparent, new_trace_id
 from repro.resilience.retry import RetryPolicy, parse_retry_after
+from repro.analysis.racecheck import named_lock
 
 _REQUESTS = METRICS.counter("serve.client.requests")
 _RETRIES = METRICS.counter("serve.client.retries")
@@ -126,7 +127,7 @@ class ServeClient:
         self._transport = transport
         self._sleep = sleep
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.client")
         self._latencies = []  # recent attempt latencies, for the hedge p95
         self.retries_total = 0
         self.hedges_total = 0

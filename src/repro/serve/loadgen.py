@@ -54,6 +54,7 @@ from repro.obs.export import (
 from repro.obs.quantiles import nearest_rank
 from repro.resilience.retry import RetryPolicy
 from repro.serve.client import ServeClient
+from repro.analysis.racecheck import named_lock
 
 #: Transport failures (refused, reset, timeout) before a worker gives up.
 MAX_TRANSPORT_FAILURES = 20
@@ -299,7 +300,7 @@ def run_loadgen(config, on_progress=None):
     """
     records = []
     shed_counter = Counter()
-    lock = threading.Lock()
+    lock = named_lock("serve.loadgen")
     counter = {"issued": 0, "transport": 0, "sheds": 0, "unclassified": 0}
     clients = []
     deadline = (

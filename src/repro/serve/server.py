@@ -62,6 +62,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis import analyze_query
+from repro.analysis import racecheck
 from repro.core.interface import NaLIX
 from repro.obs.audit import AuditLog
 from repro.obs.explain import explain
@@ -612,7 +613,10 @@ class ReproServer:
             else None
         )
         self.window = LatencyWindow(self.config.window)
+        # Wall clock for the serialized timestamp, monotonic for the
+        # uptime interval: NTP steps must not bend uptime_seconds.
         self.started_at = time.time()
+        self._started_monotonic = time.monotonic()
         self._request_ids = itertools.count(1)
         self._draining = threading.Event()
         self._stopped = threading.Event()
@@ -963,7 +967,8 @@ class ReproServer:
     def status_snapshot(self):
         """The ``/statusz`` JSON document."""
         return {
-            "uptime_seconds": time.time() - self.started_at,
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "started_at_unix": self.started_at,
             "draining": self.draining,
             "admission": self.admission.snapshot(),
             "breakers": self.breakers.snapshot(),
@@ -988,6 +993,9 @@ class ReproServer:
             "canary": (
                 self.canary.snapshot() if self.canary is not None
                 else None
+            ),
+            "racecheck": (
+                racecheck.report() if racecheck.enabled() else None
             ),
             "inflight_requests": (
                 self.registry.snapshot_entries()

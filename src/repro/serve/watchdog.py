@@ -39,6 +39,7 @@ import time
 import traceback
 
 from repro.obs.metrics import METRICS
+from repro.analysis.racecheck import named_lock
 
 _STUCK = METRICS.counter("serve.watchdog.stuck")
 _EXPIRED = METRICS.counter("serve.watchdog.expired")
@@ -100,7 +101,7 @@ class InflightRegistry:
         self.soft_seconds = soft_seconds
         self.hard_seconds = hard_seconds
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.registry")
         self._entries = {}
         self.recovered_total = 0
 

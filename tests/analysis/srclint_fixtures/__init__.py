@@ -1,0 +1,7 @@
+"""Seeded-violation fixtures for the srclint static passes.
+
+Each module here is deliberately wrong in exactly one way and must
+produce exactly one finding with the rule id named in its docstring —
+the acceptance tests in ``test_srclint.py`` lint them one at a time
+and assert on the JSON output.  They are never imported at runtime.
+"""

@@ -1,0 +1,9 @@
+"""Seeded violation: daemon thread started, never joined -> SR001."""
+
+import threading
+
+
+def fire_and_forget(task):
+    thread = threading.Thread(target=task, daemon=True)
+    thread.start()
+    return thread

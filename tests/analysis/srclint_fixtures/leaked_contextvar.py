@@ -1,0 +1,10 @@
+"""Seeded violation: ContextVar set with no reset anywhere -> SV002."""
+
+from contextvars import ContextVar
+
+_VAR = ContextVar("srclint_fixture_var", default=None)
+
+
+def leak(value):
+    token = _VAR.set(value)
+    return token

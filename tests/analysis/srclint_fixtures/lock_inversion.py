@@ -1,0 +1,17 @@
+"""Seeded violation: lock-order inversion -> SC001.
+
+``obs.metrics.metric`` ranks below ``serve.admission`` in the declared
+hierarchy, so acquiring the admission lock while holding the metric
+lock inverts the order.
+"""
+
+from repro.analysis.racecheck import named_lock
+
+_METRIC = named_lock("obs.metrics.metric")
+_ADMISSION = named_lock("serve.admission")
+
+
+def inverted():
+    with _METRIC:
+        with _ADMISSION:
+            return 1

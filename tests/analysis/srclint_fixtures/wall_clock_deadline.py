@@ -1,0 +1,8 @@
+"""Seeded violation: wall-clock deadline arithmetic -> SK001."""
+
+import time
+
+
+def remaining(deadline_seconds):
+    started = time.time()
+    return deadline_seconds - (time.time() - started)

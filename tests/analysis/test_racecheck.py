@@ -1,0 +1,222 @@
+"""Runtime racecheck: deterministic deadlock units, order checks, holds.
+
+The deadlock tests force an exact interleaving with events and the
+``_before_block`` test hook — no sleeps, no timing assumptions.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import racecheck
+from repro.analysis.racecheck import (
+    CheckedLock,
+    DeadlockError,
+    LockOrderError,
+    locks_held,
+    named_lock,
+    note_blocking,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_racecheck():
+    """Isolate each test; restore the session's enabled state after."""
+    was_enabled = racecheck.enabled()
+    racecheck.reset()
+    yield
+    if was_enabled:
+        racecheck.enable()
+    else:
+        racecheck.disable()
+    racecheck.reset()
+
+
+class TestFactory:
+    def test_disabled_returns_plain_locks(self):
+        racecheck.disable()
+        lock = named_lock("serve.admission")
+        assert not isinstance(lock, CheckedLock)
+        with lock:
+            pass
+
+    def test_enabled_returns_checked_locks(self):
+        racecheck.enable()
+        lock = named_lock("serve.admission")
+        assert isinstance(lock, CheckedLock)
+        with lock:
+            assert locks_held() == ["serve.admission"]
+        assert locks_held() == []
+
+    def test_rlock_reentrancy_keeps_one_hold(self):
+        racecheck.enable()
+        lock = named_lock("test.rlock", rlock=True)
+        with lock:
+            with lock:
+                assert locks_held() == ["test.rlock"]
+            # the inner release must not end the hold
+            assert locks_held() == ["test.rlock"]
+            assert lock.locked()
+        assert locks_held() == []
+        assert not lock.locked()
+
+
+class TestDeadlockDetection:
+    def test_two_thread_cycle_raises_instead_of_hanging(self):
+        """Forced A->B / B->A interleaving; the cycle is caught pre-block.
+
+        main holds A and will want B; the worker holds B and wants A.
+        The ``_before_block`` hook on A fires after the worker's
+        wait-for edge is registered, so by the time main tries B the
+        cycle is fully present in the graph — deterministically.
+        """
+        racecheck.enable()
+        lock_a = CheckedLock("test.cycle.a")
+        lock_b = CheckedLock("test.cycle.b")
+        main_tid = threading.get_ident()
+        worker_wants_a = threading.Event()
+
+        def before_block_on_a():
+            if threading.get_ident() != main_tid:
+                worker_wants_a.set()
+
+        lock_a._before_block = before_block_on_a
+        worker_errors = []
+
+        def worker():
+            with lock_b:
+                try:
+                    with lock_a:  # blocks until main releases A
+                        pass
+                except Exception as error:  # pragma: no cover - bug path
+                    worker_errors.append(error)
+
+        with lock_a:
+            thread = threading.Thread(target=worker, name="rc-worker")
+            thread.start()
+            assert worker_wants_a.wait(10.0)
+            with pytest.raises(DeadlockError, match="test.cycle"):
+                lock_b.acquire()
+        thread.join(10.0)
+        assert not thread.is_alive()
+        assert worker_errors == []
+        report = racecheck.report()
+        assert report["violations"]["cycle"] == 1
+        (event,) = [e for e in report["events"] if e["kind"] == "cycle"]
+        assert event["path"] == ["test.cycle.b", "test.cycle.a"]
+
+    def test_uncontended_nesting_is_not_a_cycle(self):
+        racecheck.enable()
+        lock_a = CheckedLock("test.nest.a")
+        lock_b = CheckedLock("test.nest.b")
+        with lock_a:
+            with lock_b:
+                pass
+        assert racecheck.report()["violations"]["cycle"] == 0
+
+
+class TestOrderChecking:
+    def test_inversion_is_recorded(self):
+        racecheck.enable()
+        outer = CheckedLock("serve.admission")
+        inner = CheckedLock("obs.metrics.registry")
+        with inner:
+            with outer:
+                pass
+        report = racecheck.report()
+        assert report["violations"]["order"] == 1
+        (event,) = [e for e in report["events"] if e["kind"] == "order"]
+        assert event["acquiring"] == "serve.admission"
+        assert event["holding"] == "obs.metrics.registry"
+
+    def test_declared_order_is_clean(self):
+        racecheck.enable()
+        outer = CheckedLock("serve.admission")
+        inner = CheckedLock("obs.metrics.registry")
+        with outer:
+            with inner:
+                pass
+        assert racecheck.report()["violations"]["order"] == 0
+
+    def test_raise_mode_raises(self):
+        racecheck.enable(raise_on_order=True)
+        outer = CheckedLock("serve.admission")
+        inner = CheckedLock("obs.metrics.registry")
+        with inner:
+            with pytest.raises(LockOrderError, match="inversion"):
+                outer.acquire()
+
+    def test_undeclared_names_are_not_judged(self):
+        racecheck.enable(raise_on_order=True)
+        with CheckedLock("test.anon.inner"):
+            with CheckedLock("test.anon.outer"):
+                pass
+        assert racecheck.report()["violations"]["order"] == 0
+
+
+class TestHoldAccounting:
+    def test_hold_time_and_threshold(self, monkeypatch):
+        """A fake monotonic clock makes the 2 s hold deterministic."""
+        racecheck.enable()
+        ticks = iter([10.0, 12.0])
+        monkeypatch.setattr(racecheck, "_monotonic", lambda: next(ticks))
+        lock = CheckedLock("test.hold")
+        with lock:
+            pass
+        report = racecheck.report()
+        stats = report["holds"]["test.hold"]
+        assert stats["count"] == 1
+        assert stats["max_ms"] == 2000.0
+        # 2 s exceeds the 1 s default REPRO_RACECHECK_MAX_HOLD
+        assert report["violations"]["hold"] == 1
+
+    def test_fast_hold_is_clean(self):
+        racecheck.enable()
+        lock = CheckedLock("test.fast")
+        with lock:
+            pass
+        report = racecheck.report()
+        assert report["holds"]["test.fast"]["count"] == 1
+        assert report["violations"]["hold"] == 0
+
+
+class TestBlockingEntryPoints:
+    def test_note_blocking_under_lock(self):
+        racecheck.enable()
+        lock = CheckedLock("test.blocking")
+        with lock:
+            note_blocking("unit.test")
+        report = racecheck.report()
+        assert report["violations"]["blocking"] == 1
+        (event,) = [e for e in report["events"] if e["kind"] == "blocking"]
+        assert event["call"] == "unit.test"
+        assert event["holding"] == ["test.blocking"]
+
+    def test_note_blocking_without_lock_is_clean(self):
+        racecheck.enable()
+        note_blocking("unit.test")
+        assert racecheck.report()["violations"]["blocking"] == 0
+
+    def test_note_blocking_disabled_is_noop(self):
+        racecheck.disable()
+        note_blocking("unit.test")
+        assert racecheck.report()["violations"]["blocking"] == 0
+
+
+class TestReport:
+    def test_shape_and_reset(self):
+        racecheck.enable()
+        with CheckedLock("test.shape"):
+            pass
+        report = racecheck.report()
+        assert report["enabled"] is True
+        assert report["acquisitions"] >= 1
+        assert set(report["violations"]) == {
+            "order", "cycle", "hold", "blocking"
+        }
+        assert report["violations_total"] == 0
+        racecheck.reset()
+        cleared = racecheck.report()
+        assert cleared["acquisitions"] == 0
+        assert cleared["holds"] == {}
+        assert cleared["events"] == []

@@ -1,0 +1,274 @@
+"""The srclint static passes: seeded fixtures, self-lint, suppressions."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.lockorder import LockOrder, load_lock_order
+from repro.analysis.srclint import (
+    SRC_RULES,
+    lint_paths,
+    load_suppressions,
+)
+from repro.cli import main
+
+FIXTURES = "tests/analysis/srclint_fixtures"
+
+#: fixture module -> the one rule id it must produce, per the issue's
+#: acceptance criteria (inversion, leaked ContextVar, wall-clock
+#: deadline, joinless daemon thread).
+SEEDED = {
+    "lock_inversion.py": "SC001",
+    "leaked_contextvar.py": "SV002",
+    "wall_clock_deadline.py": "SK001",
+    "joinless_daemon.py": "SR001",
+}
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestSeededFixtures:
+    @pytest.mark.parametrize("fixture,rule", sorted(SEEDED.items()))
+    def test_exactly_the_expected_rule(self, capsys, fixture, rule):
+        code, out = run(
+            capsys, "lint-src", f"{FIXTURES}/{fixture}",
+            "--format", "json", "--no-default-suppressions",
+        )
+        assert code == 1
+        document = json.loads(out)
+        (finding,) = document["findings"]
+        assert finding["rule"] == rule
+        assert finding["severity"] == "error"
+        assert finding["path"].endswith(fixture)
+
+    def test_github_format_lines(self, capsys):
+        code, out = run(
+            capsys, "lint-src", f"{FIXTURES}/lock_inversion.py",
+            "--format", "github", "--no-default-suppressions",
+        )
+        assert code == 1
+        assert "::error file=" in out
+        assert "SC001" in out
+
+
+class TestSelfLint:
+    def test_committed_tree_is_strict_clean(self):
+        report = lint_paths()
+        assert report.ok(strict=True), "\n" + report.render_text()
+
+    def test_cli_strict_exit_zero(self, capsys):
+        code, out = run(capsys, "lint-src", "--strict")
+        assert code == 0
+        assert "0 errors" in out
+
+    def test_every_default_suppression_still_fires(self):
+        """A suppression whose finding no longer exists is stale noise."""
+        unsuppressed = lint_paths(use_default_suppressions=False)
+        suppressed = lint_paths()
+        fired = (len(unsuppressed.errors) + len(unsuppressed.warnings)) - (
+            len(suppressed.errors) + len(suppressed.warnings))
+        assert fired == len(suppressed.suppressed)
+
+    def test_rule_catalog_is_printable(self, capsys):
+        code, out = run(capsys, "lint-src", "--rules")
+        assert code == 0
+        for rule_id in SRC_RULES:
+            assert rule_id in out
+
+
+class TestSuppressions:
+    def test_suppress_file(self, capsys, tmp_path):
+        suppress = tmp_path / "suppress.txt"
+        suppress.write_text(
+            "SK001  wall_clock_deadline.py  remaining  fixture reason\n"
+        )
+        code, out = run(
+            capsys, "lint-src", f"{FIXTURES}/wall_clock_deadline.py",
+            "--format", "json", "--no-default-suppressions",
+            "--suppress-file", str(suppress),
+        )
+        assert code == 0
+        document = json.loads(out)
+        assert document["findings"] == []
+        assert document["suppressed"] == 1
+
+    def test_wildcard_symbol(self, tmp_path):
+        suppress = tmp_path / "suppress.txt"
+        suppress.write_text("SR001  joinless_daemon.py  fire_*  reason\n")
+        report = lint_paths(
+            [f"{FIXTURES}/joinless_daemon.py"],
+            suppress_path=str(suppress), use_default_suppressions=False,
+        )
+        assert report.ok() and len(report.suppressed) == 1
+
+    def test_inline_ignore(self, tmp_path):
+        target = tmp_path / "inline.py"
+        target.write_text(textwrap.dedent("""\
+            import time
+
+
+            def remaining(deadline_seconds):
+                started = time.time()
+                return deadline_seconds - (time.time() - started)  # srclint: ignore[SK001]
+        """))
+        report = lint_paths([str(target)], use_default_suppressions=False)
+        assert report.ok(strict=True)
+
+    def test_malformed_suppress_line_is_loud(self, tmp_path):
+        suppress = tmp_path / "suppress.txt"
+        suppress.write_text("SK001 only-two-fields\n")
+        with pytest.raises(ValueError, match="suppress"):
+            load_suppressions(str(suppress))
+
+
+class TestMorePasses:
+    """Rules without a committed fixture file, seeded from tmp sources."""
+
+    def lint_source(self, tmp_path, source):
+        target = tmp_path / "sample.py"
+        target.write_text(textwrap.dedent(source))
+        report = lint_paths([str(target)], use_default_suppressions=False)
+        return [f.rule_id for f in report.errors + report.warnings]
+
+    def test_blocking_call_under_lock(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            import time
+
+            from repro.analysis.racecheck import named_lock
+
+            _MU = named_lock("obs.audit")
+
+
+            def slow():
+                with _MU:
+                    time.sleep(0.1)
+        """)
+        assert rules == ["SC002"]
+
+    def test_raw_lock_is_a_warning(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            import threading
+
+            _MU = threading.Lock()
+        """)
+        assert rules == ["SC004"]
+
+    def test_undeclared_lock_name(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            from repro.analysis.racecheck import named_lock
+
+            _MU = named_lock("not.in.the.hierarchy")
+        """)
+        assert rules == ["SC003"]
+
+    def test_discarded_contextvar_token(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            from contextvars import ContextVar
+
+            _VAR = ContextVar("sample", default=None)
+
+
+            def set_and_reset(value):
+                _VAR.set(value)
+                _VAR.reset(None)
+        """)
+        assert "SV001" in rules
+
+    def test_reset_outside_finally_is_a_warning(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            from contextvars import ContextVar
+
+            _VAR = ContextVar("sample", default=None)
+
+
+            def scoped(value):
+                token = _VAR.set(value)
+                do_work()
+                _VAR.reset(token)
+        """)
+        assert rules == ["SV003"]
+
+    def test_mixed_clock_arithmetic(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            import time
+
+
+            def elapsed(started_wall):
+                return time.monotonic() - started_wall + time.time()
+        """)
+        assert rules == ["SK002"]
+
+    def test_clean_monotonic_code_passes(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            import time
+
+
+            def remaining(deadline_seconds):
+                started = time.monotonic()
+                return deadline_seconds - (time.monotonic() - started)
+        """)
+        assert rules == []
+
+    def test_unbounded_growth_under_lock(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            from repro.analysis.racecheck import named_lock
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = named_lock("serve.registry")
+                    self._entries = {}
+
+                def add(self, key, value):
+                    with self._lock:
+                        self._entries[key] = value
+        """)
+        assert rules == ["SR002"]
+
+    def test_len_guard_bounds_growth(self, tmp_path):
+        rules = self.lint_source(tmp_path, """\
+            from repro.analysis.racecheck import named_lock
+
+
+            class Registry:
+                def __init__(self):
+                    self._lock = named_lock("serve.registry")
+                    self._entries = {}
+
+                def add(self, key, value):
+                    with self._lock:
+                        if len(self._entries) < 100:
+                            self._entries[key] = value
+        """)
+        assert rules == []
+
+
+class TestLockOrder:
+    def test_declared_hierarchy_loads(self):
+        order = load_lock_order()
+        assert len(order.order) >= 15
+        assert order.order[0] == "serve.admission"
+        assert "time.sleep" in order.blocking_calls
+
+    def test_allows_inner_after_outer(self):
+        order = LockOrder(["a", "b", "c"], [])
+        assert order.allows("a", "b")
+        assert not order.allows("b", "a")
+        assert not order.allows("b", "b")
+        # undeclared names are never judged
+        assert order.allows("b", "mystery")
+        assert order.allows("mystery", "b")
+
+    def test_minimal_toml_parser(self, tmp_path):
+        path = tmp_path / "lockorder.toml"
+        path.write_text(
+            '# comment\n[hierarchy]\norder = [\n  "x",  # outer\n'
+            '  "y",\n]\n[blocking]\ncalls = ["time.sleep"]\n'
+        )
+        order = load_lock_order(str(path))
+        assert order.order == ["x", "y"]
+        assert order.blocking_calls == ["time.sleep"]

@@ -1,0 +1,28 @@
+"""Serve-suite fixtures: thread/fd leak sanitizer around the session.
+
+The serve tests start real HTTP servers, watchdog sweeps, canary
+runners and load generators; a missing ``stop()`` or an unclosed
+socket outlives its test and poisons a later one.  The autouse
+session fixture snapshots the process before the first serve test and
+fails loudly at session end if threads or descriptors leaked.
+"""
+
+import pytest
+
+from repro.analysis.sanitizers import (
+    check_fd_leaks,
+    check_thread_leaks,
+    snapshot,
+)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def leak_sanitizer():
+    baseline = snapshot()
+    yield
+    leaked_threads = check_thread_leaks(baseline)
+    assert not leaked_threads, (
+        f"serve tests leaked threads: {leaked_threads}"
+    )
+    fd_complaint = check_fd_leaks(baseline)
+    assert fd_complaint is None, f"serve tests leaked fds: {fd_complaint}"

@@ -1,0 +1,139 @@
+"""Racecheck under real serving load: zero violations, bounded overhead.
+
+The chaos/CI contract for ``REPRO_RACECHECK=1``: a server whose locks
+are all :class:`CheckedLock` serves real traffic with **zero** order,
+cycle, hold, or blocking violations, surfaces the accounting on
+``/statusz``, and costs well under the 25% overhead budget.
+"""
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.analysis import racecheck
+from repro.serve import ReproServer, ServeConfig
+
+pytestmark = pytest.mark.chaos
+
+SENTENCE = "Return the title of every movie."
+
+
+def post_query(url, sentence):
+    request = urllib.request.Request(
+        url + "/query",
+        data=json.dumps({"sentence": sentence}).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=30.0) as response:
+        return json.loads(response.read())
+
+
+def get_statusz(url):
+    with urllib.request.urlopen(url + "/statusz", timeout=10.0) as response:
+        return json.loads(response.read())
+
+
+@pytest.fixture
+def checked_racecheck():
+    """Enable racecheck for locks created inside the test; restore after."""
+    was_enabled = racecheck.enabled()
+    racecheck.enable()
+    racecheck.reset()
+    yield
+    if not was_enabled:
+        racecheck.disable()
+    racecheck.reset()
+
+
+def serve_config(tmp_path, tag):
+    return ServeConfig(
+        port=0, max_inflight=8,
+        audit_path=str(tmp_path / f"{tag}-audit.jsonl"),
+    )
+
+
+class TestCheckedServing:
+    def test_served_traffic_is_violation_free(
+        self, checked_racecheck, movie_nalix, tmp_path
+    ):
+        config = serve_config(tmp_path, "checked")
+        with ReproServer(nalix=movie_nalix, config=config) as server:
+            for _ in range(10):
+                document = post_query(server.url, SENTENCE)
+                assert document["status"] == "ok"
+            statusz = get_statusz(server.url)
+        section = statusz["racecheck"]
+        assert section["enabled"] is True
+        assert section["acquisitions"] > 0
+        assert section["violations_total"] == 0, section["events"]
+        # hold-time accounting covers the serving locks
+        assert any(
+            name.startswith(("serve.", "obs.")) for name in section["holds"]
+        )
+
+    def test_statusz_omits_racecheck_when_disabled(
+        self, movie_nalix, tmp_path
+    ):
+        if racecheck.enabled():
+            pytest.skip("session runs with REPRO_RACECHECK=1")
+        config = serve_config(tmp_path, "plain")
+        with ReproServer(nalix=movie_nalix, config=config) as server:
+            statusz = get_statusz(server.url)
+        assert statusz["racecheck"] is None
+
+
+class TestOverhead:
+    #: The issue's acceptance budget for racecheck instrumentation.
+    BUDGET = 1.25
+
+    def batch_seconds(self, url, requests_per_batch=20, batches=3):
+        """Fastest batch wall-time — robust to scheduler noise spikes."""
+        times = []
+        for _ in range(batches):
+            started = time.monotonic()
+            for _ in range(requests_per_batch):
+                post_query(url, SENTENCE)
+            times.append(time.monotonic() - started)
+        return min(times)
+
+    def test_overhead_under_budget(self, movie_nalix, tmp_path):
+        was_enabled = racecheck.enabled()
+        racecheck.disable()
+        try:
+            config = serve_config(tmp_path, "baseline")
+            with ReproServer(nalix=movie_nalix, config=config) as server:
+                post_query(server.url, SENTENCE)  # warm caches
+                plain = self.batch_seconds(server.url)
+        finally:
+            if was_enabled:
+                racecheck.enable()
+
+        racecheck.enable()
+        racecheck.reset()
+        try:
+            config = serve_config(tmp_path, "checked")
+            with ReproServer(nalix=movie_nalix, config=config) as server:
+                post_query(server.url, SENTENCE)
+                checked = self.batch_seconds(server.url)
+                report = racecheck.report()
+        finally:
+            if not was_enabled:
+                racecheck.disable()
+            racecheck.reset()
+
+        assert report["acquisitions"] > 0
+        assert report["violations_total"] == 0
+        overhead = checked / plain
+        print(
+            f"\nracecheck overhead: plain={plain:.3f}s "
+            f"checked={checked:.3f}s ratio={overhead:.3f} "
+            f"({report['acquisitions']} checked acquisitions)"
+        )
+        assert overhead < self.BUDGET, (
+            f"racecheck overhead {overhead:.2f}x exceeds "
+            f"{self.BUDGET:.2f}x budget (plain {plain:.3f}s, "
+            f"checked {checked:.3f}s)"
+        )
